@@ -1,0 +1,343 @@
+//! Static rule-set analysis.
+//!
+//! The paper notes "conflicts can appear with the use of an active
+//! mechanism, since rules can trigger other conflicting rules", and argues
+//! its customization rules are conflict-free because their actions only
+//! fetch presentations. This module checks that argument mechanically:
+//! it reports *ambiguities* (two equally specific customization rules that
+//! can match the same event in the same context) and *potential cycles*
+//! in the raise-graph of non-customization rules.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::event::EventPattern;
+use crate::rule::{Action, Rule, RuleGroup};
+
+/// A detected problem in a rule set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// Two customization rules with overlapping events, overlapping
+    /// contexts and identical specificity+priority: selection between
+    /// them falls back to registration order, which is fragile.
+    Ambiguity { a: String, b: String },
+    /// A chain of Raise actions that can revisit a rule.
+    PossibleCycle { path: Vec<String> },
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::Ambiguity { a, b } => {
+                write!(f, "ambiguous customization rules `{a}` and `{b}`")
+            }
+            Finding::PossibleCycle { path } => {
+                write!(f, "possible rule cycle: {}", path.join(" -> "))
+            }
+        }
+    }
+}
+
+/// Can two event patterns match a common event? (Conservative: errs on
+/// the side of overlap.)
+fn events_overlap(a: &EventPattern, b: &EventPattern) -> bool {
+    use EventPattern::*;
+    match (a, b) {
+        (Any, _) | (_, Any) => true,
+        (
+            Db { kind: k1, schema: s1, class: c1 },
+            Db { kind: k2, schema: s2, class: c2 },
+        ) => {
+            let opt_overlap = |x: &Option<String>, y: &Option<String>| match (x, y) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            };
+            (match (k1, k2) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }) && opt_overlap(s1, s2)
+                && opt_overlap(c1, c2)
+        }
+        (
+            Interface { name: n1, source_prefix: p1 },
+            Interface { name: n2, source_prefix: p2 },
+        ) => {
+            (match (n1, n2) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }) && match (p1, p2) {
+                (Some(a), Some(b)) => a.starts_with(b.as_str()) || b.starts_with(a.as_str()),
+                _ => true,
+            }
+        }
+        (External { name: n1 }, External { name: n2 }) => match (n1, n2) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        },
+        _ => false,
+    }
+}
+
+/// Can two context patterns match a common session?
+fn contexts_overlap<P>(a: &Rule<P>, b: &Rule<P>) -> bool {
+    let opt = |x: &Option<String>, y: &Option<String>| match (x, y) {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
+    };
+    opt(&a.context.user, &b.context.user)
+        && opt(&a.context.category, &b.context.category)
+        && opt(&a.context.application, &b.context.application)
+        && a.context.extras.iter().all(|(k, v)| {
+            b.context.extras.get(k).is_none_or(|w| w == v)
+        })
+}
+
+/// Which event kinds an action can raise (descriptions of raised events).
+fn raised_events<P>(action: &Action<P>) -> Vec<crate::event::Event> {
+    match action {
+        Action::Raise(es) => es.clone(),
+        Action::Compound(actions) => actions.iter().flat_map(raised_events).collect(),
+        // Callbacks may raise anything; treated as opaque (not analyzable).
+        _ => Vec::new(),
+    }
+}
+
+/// Analyze a rule set.
+pub fn analyze<P>(rules: &[Rule<P>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // 1. Ambiguities among customization rules.
+    let cust: Vec<&Rule<P>> = rules
+        .iter()
+        .filter(|r| r.group == RuleGroup::Customization && r.enabled)
+        .collect();
+    for i in 0..cust.len() {
+        for j in (i + 1)..cust.len() {
+            let (a, b) = (cust[i], cust[j]);
+            if a.specificity() == b.specificity()
+                && a.priority == b.priority
+                && events_overlap(&a.event, &b.event)
+                && contexts_overlap(a, b)
+            {
+                findings.push(Finding::Ambiguity {
+                    a: a.name.clone(),
+                    b: b.name.clone(),
+                });
+            }
+        }
+    }
+
+    // 2. Cycles in the raise-graph: edge r -> s when r raises an event
+    //    that s's pattern matches.
+    let mut edges: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, r) in rules.iter().enumerate() {
+        for ev in raised_events(&r.action) {
+            for (j, s) in rules.iter().enumerate() {
+                if s.enabled && s.event.matches(&ev) {
+                    edges.entry(i).or_default().push(j);
+                }
+            }
+        }
+    }
+    // DFS cycle detection.
+    fn dfs<P>(
+        node: usize,
+        edges: &HashMap<usize, Vec<usize>>,
+        rules: &[Rule<P>],
+        stack: &mut Vec<usize>,
+        on_stack: &mut HashSet<usize>,
+        done: &mut HashSet<usize>,
+        findings: &mut Vec<Finding>,
+    ) {
+        if done.contains(&node) {
+            return;
+        }
+        stack.push(node);
+        on_stack.insert(node);
+        for &next in edges.get(&node).map(|v| v.as_slice()).unwrap_or(&[]) {
+            if on_stack.contains(&next) {
+                let start = stack.iter().position(|&n| n == next).unwrap_or(0);
+                let mut path: Vec<String> =
+                    stack[start..].iter().map(|&n| rules[n].name.clone()).collect();
+                path.push(rules[next].name.clone());
+                findings.push(Finding::PossibleCycle { path });
+            } else {
+                dfs(next, edges, rules, stack, on_stack, done, findings);
+            }
+        }
+        stack.pop();
+        on_stack.remove(&node);
+        done.insert(node);
+    }
+    let mut done = HashSet::new();
+    for i in 0..rules.len() {
+        dfs(
+            i,
+            &edges,
+            rules,
+            &mut Vec::new(),
+            &mut HashSet::new(),
+            &mut done,
+            &mut findings,
+        );
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextPattern;
+    use crate::event::Event;
+    use geodb::query::DbEventKind;
+
+    fn cust(name: &str, event: EventPattern, ctx: ContextPattern) -> Rule<&'static str> {
+        Rule::customization(name, event, ctx, "p")
+    }
+
+    #[test]
+    fn detects_ambiguous_twins() {
+        let rules = vec![
+            cust(
+                "a",
+                EventPattern::db(DbEventKind::GetSchema),
+                ContextPattern::for_user("juliano"),
+            ),
+            cust(
+                "b",
+                EventPattern::db(DbEventKind::GetSchema),
+                ContextPattern::for_user("juliano"),
+            ),
+        ];
+        let findings = analyze(&rules);
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(&findings[0], Finding::Ambiguity { a, b } if a == "a" && b == "b"));
+    }
+
+    #[test]
+    fn different_specificity_is_not_ambiguous() {
+        let rules = vec![
+            cust(
+                "generic",
+                EventPattern::db(DbEventKind::GetSchema),
+                ContextPattern::any(),
+            ),
+            cust(
+                "specific",
+                EventPattern::db(DbEventKind::GetSchema),
+                ContextPattern::for_user("juliano"),
+            ),
+        ];
+        assert!(analyze(&rules).is_empty());
+    }
+
+    #[test]
+    fn disjoint_contexts_are_not_ambiguous() {
+        let rules = vec![
+            cust(
+                "a",
+                EventPattern::db(DbEventKind::GetSchema),
+                ContextPattern::for_user("juliano"),
+            ),
+            cust(
+                "b",
+                EventPattern::db(DbEventKind::GetSchema),
+                ContextPattern::for_user("claudia"),
+            ),
+        ];
+        assert!(analyze(&rules).is_empty());
+    }
+
+    #[test]
+    fn priority_disambiguates() {
+        let rules = vec![
+            cust(
+                "a",
+                EventPattern::db(DbEventKind::GetSchema),
+                ContextPattern::any(),
+            )
+            .with_priority(1),
+            cust(
+                "b",
+                EventPattern::db(DbEventKind::GetSchema),
+                ContextPattern::any(),
+            )
+            .with_priority(2),
+        ];
+        assert!(analyze(&rules).is_empty());
+    }
+
+    #[test]
+    fn detects_raise_cycles() {
+        let ping_pong: Vec<Rule<&str>> = vec![
+            Rule {
+                name: "ping".into(),
+                event: EventPattern::External { name: Some("a".into()) },
+                context: ContextPattern::any(),
+                guard: None,
+                action: Action::Raise(vec![Event::external("b")]),
+                group: RuleGroup::Other,
+                coupling: crate::rule::Coupling::Immediate,
+                priority: 0,
+                enabled: true,
+            },
+            Rule {
+                name: "pong".into(),
+                event: EventPattern::External { name: Some("b".into()) },
+                context: ContextPattern::any(),
+                guard: None,
+                action: Action::Raise(vec![Event::external("a")]),
+                group: RuleGroup::Other,
+                coupling: crate::rule::Coupling::Immediate,
+                priority: 0,
+                enabled: true,
+            },
+        ];
+        let findings = analyze(&ping_pong);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::PossibleCycle { .. })));
+    }
+
+    #[test]
+    fn linear_chains_are_fine() {
+        let chain: Vec<Rule<&str>> = vec![
+            Rule {
+                name: "first".into(),
+                event: EventPattern::External { name: Some("a".into()) },
+                context: ContextPattern::any(),
+                guard: None,
+                action: Action::Raise(vec![Event::external("b")]),
+                group: RuleGroup::Other,
+                coupling: crate::rule::Coupling::Immediate,
+                priority: 0,
+                enabled: true,
+            },
+            cust(
+                "second",
+                EventPattern::External { name: Some("b".into()) },
+                ContextPattern::any(),
+            ),
+        ];
+        assert!(analyze(&chain).is_empty());
+    }
+
+    #[test]
+    fn paper_claim_customization_rules_cannot_cycle() {
+        // "the action of a rule is limited to getting a customization for
+        // an interface object" — Customize actions raise nothing, so any
+        // pure-customization rule set is cycle-free by construction.
+        let rules: Vec<Rule<&str>> = (0..20)
+            .map(|i| {
+                cust(
+                    &format!("r{i}"),
+                    EventPattern::db(DbEventKind::GetClass),
+                    ContextPattern::for_user(format!("u{i}")),
+                )
+            })
+            .collect();
+        let findings = analyze(&rules);
+        assert!(!findings
+            .iter()
+            .any(|f| matches!(f, Finding::PossibleCycle { .. })));
+    }
+}

@@ -1,0 +1,236 @@
+//! Application contexts.
+//!
+//! The paper restricts rule conditions to "checking a given application
+//! context … the tuple `<user class, application domain>`, where user
+//! class and application domain belong to well defined partitions created
+//! by the application designer", extensible to "other contextual data
+//! (e.g., geographic scale, time framework)". A [`SessionContext`] is the
+//! concrete environment of a session; a [`ContextPattern`] is the
+//! condition part of a rule, matching a set of sessions.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Concrete context of a running session.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SessionContext {
+    /// The individual user (e.g. `juliano`).
+    pub user: String,
+    /// The user category/stereotype the designer assigned (e.g. `planner`).
+    pub category: String,
+    /// The application domain (e.g. `pole_manager`).
+    pub application: String,
+    /// Extension dimensions (`scale`, `time`, `region`, …).
+    pub extras: BTreeMap<String, String>,
+}
+
+impl SessionContext {
+    pub fn new(
+        user: impl Into<String>,
+        category: impl Into<String>,
+        application: impl Into<String>,
+    ) -> SessionContext {
+        SessionContext {
+            user: user.into(),
+            category: category.into(),
+            application: application.into(),
+            extras: BTreeMap::new(),
+        }
+    }
+
+    /// Add an extension dimension (geographic scale, time frame, …).
+    pub fn with_extra(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extras.insert(key.into(), value.into());
+        self
+    }
+}
+
+impl std::fmt::Display for SessionContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{}, {}, {}>", self.user, self.category, self.application)
+    }
+}
+
+/// The condition part of a customization rule: a partial context.
+///
+/// An unset field matches anything; a set field must match exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ContextPattern {
+    pub user: Option<String>,
+    pub category: Option<String>,
+    pub application: Option<String>,
+    /// Required extension dimensions.
+    pub extras: BTreeMap<String, String>,
+}
+
+impl ContextPattern {
+    /// The pattern matching every session — the "generic users" rule.
+    pub fn any() -> ContextPattern {
+        ContextPattern::default()
+    }
+
+    pub fn for_user(user: impl Into<String>) -> ContextPattern {
+        ContextPattern {
+            user: Some(user.into()),
+            ..Default::default()
+        }
+    }
+
+    pub fn for_category(category: impl Into<String>) -> ContextPattern {
+        ContextPattern {
+            category: Some(category.into()),
+            ..Default::default()
+        }
+    }
+
+    pub fn for_application(application: impl Into<String>) -> ContextPattern {
+        ContextPattern {
+            application: Some(application.into()),
+            ..Default::default()
+        }
+    }
+
+    pub fn user(mut self, user: impl Into<String>) -> Self {
+        self.user = Some(user.into());
+        self
+    }
+
+    pub fn category(mut self, category: impl Into<String>) -> Self {
+        self.category = Some(category.into());
+        self
+    }
+
+    pub fn application(mut self, application: impl Into<String>) -> Self {
+        self.application = Some(application.into());
+        self
+    }
+
+    pub fn extra(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extras.insert(key.into(), value.into());
+        self
+    }
+
+    /// Does a session satisfy this pattern?
+    pub fn matches(&self, ctx: &SessionContext) -> bool {
+        self.user.as_deref().is_none_or(|u| u == ctx.user)
+            && self.category.as_deref().is_none_or(|c| c == ctx.category)
+            && self
+                .application
+                .as_deref()
+                .is_none_or(|a| a == ctx.application)
+            && self
+                .extras
+                .iter()
+                .all(|(k, v)| ctx.extras.get(k) == Some(v))
+    }
+
+    /// Specificity score for the paper's conflict resolution: "the highest
+    /// priority for the most specific rule, that is, the rule whose
+    /// condition (context) part is more restrictive. For instance … a rule
+    /// for generic users, for a particular category of users, and for a
+    /// particular user within the category."
+    ///
+    /// `user` dominates `category`, which dominates `application`; each
+    /// extension dimension adds one point below those.
+    pub fn specificity(&self) -> u32 {
+        let mut s = 0;
+        if self.user.is_some() {
+            s += 100;
+        }
+        if self.category.is_some() {
+            s += 50;
+        }
+        if self.application.is_some() {
+            s += 25;
+        }
+        s + self.extras.len() as u32
+    }
+}
+
+impl std::fmt::Display for ContextPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let part = |o: &Option<String>| o.clone().unwrap_or_else(|| "*".into());
+        write!(
+            f,
+            "<{}, {}, {}>",
+            part(&self.user),
+            part(&self.category),
+            part(&self.application)
+        )?;
+        for (k, v) in &self.extras {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> SessionContext {
+        SessionContext::new("juliano", "planner", "pole_manager")
+            .with_extra("scale", "1:1000")
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(ContextPattern::any().matches(&session()));
+        assert!(ContextPattern::any().matches(&SessionContext::default()));
+    }
+
+    #[test]
+    fn bound_fields_must_match() {
+        let ctx = session();
+        assert!(ContextPattern::for_user("juliano").matches(&ctx));
+        assert!(!ContextPattern::for_user("claudia").matches(&ctx));
+        assert!(ContextPattern::for_category("planner")
+            .application("pole_manager")
+            .matches(&ctx));
+        assert!(!ContextPattern::for_category("planner")
+            .application("env_monitor")
+            .matches(&ctx));
+    }
+
+    #[test]
+    fn extras_must_match() {
+        let ctx = session();
+        assert!(ContextPattern::any().extra("scale", "1:1000").matches(&ctx));
+        assert!(!ContextPattern::any().extra("scale", "1:500").matches(&ctx));
+        assert!(!ContextPattern::any().extra("time", "1997").matches(&ctx));
+    }
+
+    #[test]
+    fn specificity_orders_generic_category_user() {
+        let generic = ContextPattern::any();
+        let app = ContextPattern::for_application("pole_manager");
+        let cat = ContextPattern::for_category("planner").application("pole_manager");
+        let user = ContextPattern::for_user("juliano").application("pole_manager");
+        let full = ContextPattern::for_user("juliano")
+            .category("planner")
+            .application("pole_manager");
+        assert!(generic.specificity() < app.specificity());
+        assert!(app.specificity() < cat.specificity());
+        assert!(cat.specificity() < user.specificity());
+        assert!(user.specificity() < full.specificity());
+    }
+
+    #[test]
+    fn user_dominates_category_and_extras() {
+        let by_user = ContextPattern::for_user("juliano");
+        let by_cat_and_app = ContextPattern::for_category("planner")
+            .application("pole_manager")
+            .extra("scale", "1:1000");
+        assert!(by_user.specificity() > by_cat_and_app.specificity());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ContextPattern::for_user("juliano").to_string(),
+            "<juliano, *, *>"
+        );
+        assert_eq!(session().to_string(), "<juliano, planner, pole_manager>");
+    }
+}

@@ -1,0 +1,730 @@
+//! The rule engine: registration, selection, execution and cascading.
+//!
+//! Execution model (paper Section 3.3): "it is possible to have a set of
+//! customization rules activated by an event, one for each context. In our
+//! execution model, only one rule is selected for execution — the one
+//! which has the highest priority. We define the highest priority for the
+//! most specific rule." Non-customization rules (integrity maintenance
+//! etc.) all fire, in priority order. Actions may raise further events;
+//! cascades are bounded by a configurable depth.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::context::SessionContext;
+use crate::event::Event;
+use crate::rule::{Action, Coupling, Rule, RuleGroup};
+use crate::trace::{Trace, TraceEntry};
+
+/// How customization rules are selected when several match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// The paper's policy: only the single most specific rule fires.
+    MostSpecific,
+    /// Ablation baseline: every matching customization rule fires.
+    FireAll,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    pub selection: SelectionPolicy,
+    /// Maximum cascade depth before the engine aborts the dispatch.
+    pub max_cascade_depth: usize,
+    /// Record traces (disable in tight benchmark loops).
+    pub tracing: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            selection: SelectionPolicy::MostSpecific,
+            max_cascade_depth: 16,
+            tracing: true,
+        }
+    }
+}
+
+/// Errors from rule registration and dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActiveError {
+    DuplicateRule(String),
+    UnknownRule(String),
+    /// A cascade exceeded `max_cascade_depth` — almost always a rule cycle.
+    CascadeOverflow { depth: usize, event: String },
+}
+
+impl std::fmt::Display for ActiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActiveError::DuplicateRule(n) => write!(f, "duplicate rule `{n}`"),
+            ActiveError::UnknownRule(n) => write!(f, "unknown rule `{n}`"),
+            ActiveError::CascadeOverflow { depth, event } => {
+                write!(f, "cascade overflow at depth {depth} on {event} (rule cycle?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ActiveError {}
+
+/// Everything a dispatch produced.
+#[derive(Debug, Clone)]
+pub struct Outcome<P> {
+    /// Customization payloads, in firing order.
+    pub customizations: Vec<P>,
+    /// Names of every rule that fired.
+    pub fired: Vec<String>,
+    /// Total events processed (1 + cascaded).
+    pub events_processed: usize,
+    /// The execution trace (empty when tracing is off).
+    pub trace: Trace,
+}
+
+impl<P> Outcome<P> {
+    /// The single selected customization, if any (the common case under
+    /// `MostSpecific`).
+    pub fn customization(&self) -> Option<&P> {
+        self.customizations.first()
+    }
+}
+
+/// The active mechanism.
+pub struct Engine<P> {
+    rules: Vec<Rule<P>>,
+    by_name: HashMap<String, usize>,
+    config: EngineConfig,
+    /// Monotonic registration counter used as the final tiebreaker.
+    dispatch_count: u64,
+    /// Firings queued by rules with deferred coupling.
+    deferred: Vec<(String, Action<P>, Event, SessionContext)>,
+}
+
+impl<P: Clone> Default for Engine<P> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<P: Clone> Engine<P> {
+    pub fn new() -> Engine<P> {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    pub fn with_config(config: EngineConfig) -> Engine<P> {
+        Engine {
+            rules: Vec::new(),
+            by_name: HashMap::new(),
+            config,
+            dispatch_count: 0,
+            deferred: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    pub fn set_selection(&mut self, policy: SelectionPolicy) {
+        self.config.selection = policy;
+    }
+
+    /// Number of dispatches served (telemetry for benches).
+    pub fn dispatches(&self) -> u64 {
+        self.dispatch_count
+    }
+
+    // -- rule management ----------------------------------------------------
+
+    /// Register a rule; names must be unique.
+    pub fn add_rule(&mut self, rule: Rule<P>) -> Result<(), ActiveError> {
+        if self.by_name.contains_key(&rule.name) {
+            return Err(ActiveError::DuplicateRule(rule.name.clone()));
+        }
+        self.by_name.insert(rule.name.clone(), self.rules.len());
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Register many rules (e.g. the output of the customization compiler).
+    pub fn add_rules(&mut self, rules: impl IntoIterator<Item = Rule<P>>) -> Result<(), ActiveError> {
+        for r in rules {
+            self.add_rule(r)?;
+        }
+        Ok(())
+    }
+
+    /// Remove a rule by name.
+    pub fn remove_rule(&mut self, name: &str) -> Result<Rule<P>, ActiveError> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
+        let rule = self.rules.remove(idx);
+        self.by_name.remove(name);
+        // Reindex.
+        for (i, r) in self.rules.iter().enumerate() {
+            self.by_name.insert(r.name.clone(), i);
+        }
+        Ok(rule)
+    }
+
+    /// Enable or disable a rule in place.
+    pub fn set_enabled(&mut self, name: &str, enabled: bool) -> Result<(), ActiveError> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
+        self.rules[idx].enabled = enabled;
+        Ok(())
+    }
+
+    pub fn rule(&self, name: &str) -> Option<&Rule<P>> {
+        self.by_name.get(name).map(|&i| &self.rules[i])
+    }
+
+    pub fn rules(&self) -> &[Rule<P>] {
+        &self.rules
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Drop every rule whose name starts with `prefix`; returns how many
+    /// were removed. (Recompiling a customization program replaces its
+    /// rule family this way.)
+    pub fn remove_rules_with_prefix(&mut self, prefix: &str) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| !r.name.starts_with(prefix));
+        self.by_name.clear();
+        for (i, r) in self.rules.iter().enumerate() {
+            self.by_name.insert(r.name.clone(), i);
+        }
+        before - self.rules.len()
+    }
+
+    // -- dispatch -----------------------------------------------------------
+
+    /// Feed one event through the rule set for a session context.
+    pub fn dispatch(
+        &mut self,
+        event: Event,
+        ctx: &SessionContext,
+    ) -> Result<Outcome<P>, ActiveError> {
+        self.dispatch_count += 1;
+        let mut outcome = Outcome {
+            customizations: Vec::new(),
+            fired: Vec::new(),
+            events_processed: 0,
+            trace: Trace::default(),
+        };
+        let mut queue: VecDeque<(usize, Event)> = VecDeque::new();
+        queue.push_back((0, event));
+
+        while let Some((depth, event)) = queue.pop_front() {
+            if depth > self.config.max_cascade_depth {
+                return Err(ActiveError::CascadeOverflow {
+                    depth,
+                    event: event.describe(),
+                });
+            }
+            outcome.events_processed += 1;
+
+            // Collect matching rule indexes.
+            let matched: Vec<usize> = self
+                .rules
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.matches(&event, ctx))
+                .map(|(i, _)| i)
+                .collect();
+
+            // Partition by group.
+            let (cust, other): (Vec<usize>, Vec<usize>) = matched
+                .iter()
+                .partition(|&&i| self.rules[i].group == RuleGroup::Customization);
+
+            // Customization selection.
+            let mut to_fire: Vec<usize> = Vec::new();
+            let mut shadowed: Vec<usize> = Vec::new();
+            match self.config.selection {
+                SelectionPolicy::MostSpecific => {
+                    if let Some(&winner) = cust.iter().max_by_key(|&&i| {
+                        let r = &self.rules[i];
+                        // Specificity, then designer priority, then
+                        // registration order (later wins: redefinitions
+                        // override).
+                        (r.specificity(), r.priority, i)
+                    }) {
+                        to_fire.push(winner);
+                        shadowed.extend(cust.iter().copied().filter(|&i| i != winner));
+                    }
+                }
+                SelectionPolicy::FireAll => to_fire.extend(cust.iter().copied()),
+            }
+            // Non-customization rules all fire, highest priority first.
+            let mut others = other;
+            others.sort_by_key(|&i| (-self.rules[i].priority, i));
+            to_fire.extend(others);
+
+            // Execute (or queue, for deferred-coupling rules).
+            let mut fired_names = Vec::with_capacity(to_fire.len());
+            for i in to_fire {
+                let action = self.rules[i].action.clone();
+                let name = self.rules[i].name.clone();
+                let coupling = self.rules[i].coupling;
+                fired_names.push(name.clone());
+                match coupling {
+                    Coupling::Immediate => Self::run_action(
+                        &action,
+                        &event,
+                        ctx,
+                        depth,
+                        &mut queue,
+                        &mut outcome.customizations,
+                    ),
+                    Coupling::Deferred => {
+                        self.deferred.push((name, action, event.clone(), ctx.clone()));
+                    }
+                }
+            }
+
+            if self.config.tracing {
+                outcome.trace.entries.push(TraceEntry {
+                    depth,
+                    event: event.describe(),
+                    matched: matched
+                        .iter()
+                        .map(|&i| self.rules[i].name.clone())
+                        .collect(),
+                    fired: fired_names.clone(),
+                    shadowed: shadowed
+                        .iter()
+                        .map(|&i| self.rules[i].name.clone())
+                        .collect(),
+                });
+            }
+            outcome.fired.extend(fired_names);
+        }
+        Ok(outcome)
+    }
+
+    /// Number of deferred firings awaiting [`Self::flush_deferred`].
+    pub fn pending_deferred(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Drop queued deferred firings without running them (rollback).
+    pub fn clear_deferred(&mut self) {
+        self.deferred.clear();
+    }
+
+    /// Execute every queued deferred firing (the "end of transaction"
+    /// point). Events raised by deferred actions dispatch normally —
+    /// immediate rules run inline, deferred ones re-queue.
+    pub fn flush_deferred(&mut self) -> Result<Outcome<P>, ActiveError> {
+        let mut outcome = Outcome {
+            customizations: Vec::new(),
+            fired: Vec::new(),
+            events_processed: 0,
+            trace: Trace::default(),
+        };
+        for (name, action, event, ctx) in std::mem::take(&mut self.deferred) {
+            outcome.fired.push(name);
+            let mut queue: VecDeque<(usize, Event)> = VecDeque::new();
+            Self::run_action(&action, &event, &ctx, 0, &mut queue, &mut outcome.customizations);
+            while let Some((_, raised)) = queue.pop_front() {
+                let sub = self.dispatch(raised, &ctx)?;
+                outcome.customizations.extend(sub.customizations);
+                outcome.fired.extend(sub.fired);
+                outcome.events_processed += sub.events_processed;
+                outcome.trace.entries.extend(sub.trace.entries);
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn run_action(
+        action: &Action<P>,
+        event: &Event,
+        ctx: &SessionContext,
+        depth: usize,
+        queue: &mut VecDeque<(usize, Event)>,
+        customizations: &mut Vec<P>,
+    ) {
+        match action {
+            Action::Customize(p) => customizations.push(p.clone()),
+            Action::Callback(f) => {
+                for e in f(event, ctx) {
+                    queue.push_back((depth + 1, e));
+                }
+            }
+            Action::Raise(events) => {
+                for e in events {
+                    queue.push_back((depth + 1, e.clone()));
+                }
+            }
+            Action::Compound(actions) => {
+                for a in actions {
+                    Self::run_action(a, event, ctx, depth, queue, customizations);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextPattern;
+    use crate::event::EventPattern;
+    use geodb::query::{DbEvent, DbEventKind};
+    use std::rc::Rc;
+
+    fn get_schema() -> Event {
+        Event::Db(DbEvent::GetSchema {
+            schema: "phone_net".into(),
+        })
+    }
+
+    fn session() -> SessionContext {
+        SessionContext::new("juliano", "planner", "pole_manager")
+    }
+
+    fn cust(name: &str, ctx: ContextPattern, payload: &'static str) -> Rule<&'static str> {
+        Rule::customization(name, EventPattern::db(DbEventKind::GetSchema), ctx, payload)
+    }
+
+    #[test]
+    fn most_specific_rule_wins() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(cust("generic", ContextPattern::any(), "generic")).unwrap();
+        eng.add_rule(cust(
+            "by_cat",
+            ContextPattern::for_category("planner"),
+            "category",
+        ))
+        .unwrap();
+        eng.add_rule(cust("by_user", ContextPattern::for_user("juliano"), "user"))
+            .unwrap();
+
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["user"]);
+        assert_eq!(out.fired, vec!["by_user"]);
+        // The shadowed rules are visible in the trace.
+        assert_eq!(out.trace.entries[0].shadowed.len(), 2);
+
+        // A session outside the specific contexts falls back to generic.
+        let anon = SessionContext::new("guest", "visitor", "browser");
+        let out = eng.dispatch(get_schema(), &anon).unwrap();
+        assert_eq!(out.customizations, vec!["generic"]);
+    }
+
+    #[test]
+    fn fire_all_ablation_fires_everything() {
+        let mut eng: Engine<&str> = Engine::with_config(EngineConfig {
+            selection: SelectionPolicy::FireAll,
+            ..Default::default()
+        });
+        eng.add_rule(cust("a", ContextPattern::any(), "a")).unwrap();
+        eng.add_rule(cust("b", ContextPattern::for_user("juliano"), "b"))
+            .unwrap();
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations.len(), 2);
+    }
+
+    #[test]
+    fn priority_breaks_specificity_ties() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(cust("low", ContextPattern::for_user("juliano"), "low").with_priority(1))
+            .unwrap();
+        eng.add_rule(cust("high", ContextPattern::for_user("juliano"), "high").with_priority(9))
+            .unwrap();
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["high"]);
+    }
+
+    #[test]
+    fn later_registration_overrides_equal_rules() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(cust("v1", ContextPattern::for_user("juliano"), "old"))
+            .unwrap();
+        eng.add_rule(cust("v2", ContextPattern::for_user("juliano"), "new"))
+            .unwrap();
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["new"]);
+    }
+
+    #[test]
+    fn integrity_rules_all_fire_alongside_customization() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(cust("c", ContextPattern::any(), "payload")).unwrap();
+        let hits = Rc::new(std::cell::RefCell::new(0));
+        for name in ["i1", "i2"] {
+            let hits = hits.clone();
+            eng.add_rule(Rule::integrity(
+                name,
+                EventPattern::db(DbEventKind::GetSchema),
+                Rc::new(move |_, _| {
+                    *hits.borrow_mut() += 1;
+                    vec![]
+                }),
+            ))
+            .unwrap();
+        }
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(out.customizations, vec!["payload"]);
+        assert_eq!(out.fired.len(), 3);
+    }
+
+    #[test]
+    fn raise_cascades_and_counts_events() {
+        let mut eng: Engine<&str> = Engine::new();
+        // Get_Schema raises Get_Class, like the paper's R1 -> Get_Class(Pole).
+        eng.add_rule(
+            Rule::customization(
+                "r1",
+                EventPattern::db(DbEventKind::GetSchema),
+                ContextPattern::any(),
+                "schema-cust",
+            )
+            .with_priority(0),
+        )
+        .unwrap();
+        eng.add_rule(Rule {
+            name: "raiser".into(),
+            event: EventPattern::db(DbEventKind::GetSchema),
+            context: ContextPattern::any(),
+            guard: None,
+            action: Action::Raise(vec![Event::Db(DbEvent::GetClass {
+                schema: "phone_net".into(),
+                class: "Pole".into(),
+            })]),
+            group: RuleGroup::Other,
+            coupling: crate::rule::Coupling::Immediate,
+            priority: 0,
+            enabled: true,
+        })
+        .unwrap();
+        eng.add_rule(Rule::customization(
+            "r2",
+            EventPattern::db(DbEventKind::GetClass),
+            ContextPattern::any(),
+            "class-cust",
+        ))
+        .unwrap();
+
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.events_processed, 2);
+        assert_eq!(out.customizations, vec!["schema-cust", "class-cust"]);
+        assert!(out.trace.fired("r2"));
+        assert_eq!(out.trace.entries[1].depth, 1);
+    }
+
+    #[test]
+    fn cascade_cycle_is_detected() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(Rule {
+            name: "loop".into(),
+            event: EventPattern::External { name: Some("ping".into()) },
+            context: ContextPattern::any(),
+            guard: None,
+            action: Action::Raise(vec![Event::external("ping")]),
+            group: RuleGroup::Other,
+            coupling: crate::rule::Coupling::Immediate,
+            priority: 0,
+            enabled: true,
+        })
+        .unwrap();
+        let err = eng.dispatch(Event::external("ping"), &session()).unwrap_err();
+        assert!(matches!(err, ActiveError::CascadeOverflow { .. }));
+    }
+
+    #[test]
+    fn rule_management() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(cust("a", ContextPattern::any(), "a")).unwrap();
+        assert!(matches!(
+            eng.add_rule(cust("a", ContextPattern::any(), "dup")),
+            Err(ActiveError::DuplicateRule(_))
+        ));
+        eng.set_enabled("a", false).unwrap();
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert!(out.customizations.is_empty());
+        eng.set_enabled("a", true).unwrap();
+        assert!(eng.rule("a").is_some());
+        eng.remove_rule("a").unwrap();
+        assert!(eng.is_empty());
+        assert!(eng.remove_rule("a").is_err());
+    }
+
+    #[test]
+    fn prefix_removal_replaces_rule_families() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(cust("prog1/r1", ContextPattern::any(), "x")).unwrap();
+        eng.add_rule(cust("prog1/r2", ContextPattern::any(), "y")).unwrap();
+        eng.add_rule(cust("prog2/r1", ContextPattern::any(), "z")).unwrap();
+        assert_eq!(eng.remove_rules_with_prefix("prog1/"), 2);
+        assert_eq!(eng.len(), 1);
+        assert!(eng.rule("prog2/r1").is_some());
+        // Index is still consistent.
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["z"]);
+    }
+
+    #[test]
+    fn no_matching_rule_yields_empty_outcome() {
+        let mut eng: Engine<&str> = Engine::new();
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert!(out.customizations.is_empty());
+        assert!(out.customization().is_none());
+        assert_eq!(out.events_processed, 1);
+    }
+
+    #[test]
+    fn tracing_can_be_disabled() {
+        let mut eng: Engine<&str> = Engine::with_config(EngineConfig {
+            tracing: false,
+            ..Default::default()
+        });
+        eng.add_rule(cust("a", ContextPattern::any(), "a")).unwrap();
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert!(out.trace.entries.is_empty());
+        assert_eq!(out.customizations, vec!["a"]);
+    }
+}
+
+#[cfg(test)]
+mod coupling_tests {
+    use super::*;
+    use crate::context::ContextPattern;
+    use crate::event::EventPattern;
+    use crate::rule::Coupling;
+    use geodb::query::{DbEvent, DbEventKind};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn insert_event(n: u64) -> Event {
+        Event::Db(DbEvent::Insert {
+            schema: "s".into(),
+            class: "C".into(),
+            oid: geodb::instance::Oid(n),
+        })
+    }
+
+    fn ctx() -> SessionContext {
+        SessionContext::new("editor", "ops", "entry")
+    }
+
+    #[test]
+    fn deferred_rules_queue_until_flush() {
+        let mut eng: Engine<&str> = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        eng.add_rule(
+            Rule::integrity(
+                "batch_check",
+                EventPattern::db(DbEventKind::Insert),
+                Rc::new(move |e, _| {
+                    log2.borrow_mut().push(e.describe());
+                    vec![]
+                }),
+            )
+            .with_coupling(Coupling::Deferred),
+        )
+        .unwrap();
+
+        // Three inserts: rule matches (and is reported fired) but the
+        // callback has not run yet.
+        for i in 0..3 {
+            let out = eng.dispatch(insert_event(i), &ctx()).unwrap();
+            assert_eq!(out.fired.len(), 1);
+        }
+        assert!(log.borrow().is_empty());
+        assert_eq!(eng.pending_deferred(), 3);
+
+        // Flush = "end of transaction": all three checks run.
+        let out = eng.flush_deferred().unwrap();
+        assert_eq!(out.fired.len(), 3);
+        assert_eq!(log.borrow().len(), 3);
+        assert_eq!(eng.pending_deferred(), 0);
+        // Flushing again is a no-op.
+        assert!(eng.flush_deferred().unwrap().fired.is_empty());
+    }
+
+    #[test]
+    fn clear_deferred_discards_queued_work() {
+        let mut eng: Engine<&str> = Engine::new();
+        let hits = Rc::new(RefCell::new(0));
+        let hits2 = hits.clone();
+        eng.add_rule(
+            Rule::integrity(
+                "check",
+                EventPattern::db(DbEventKind::Insert),
+                Rc::new(move |_, _| {
+                    *hits2.borrow_mut() += 1;
+                    vec![]
+                }),
+            )
+            .with_coupling(Coupling::Deferred),
+        )
+        .unwrap();
+        eng.dispatch(insert_event(1), &ctx()).unwrap();
+        assert_eq!(eng.pending_deferred(), 1);
+        eng.clear_deferred();
+        eng.flush_deferred().unwrap();
+        assert_eq!(*hits.borrow(), 0);
+    }
+
+    #[test]
+    fn deferred_raises_dispatch_on_flush() {
+        let mut eng: Engine<&str> = Engine::new();
+        // Deferred rule raises an external event; an immediate
+        // customization rule answers it.
+        eng.add_rule(
+            Rule {
+                name: "deferred_raiser".into(),
+                event: EventPattern::db(DbEventKind::Insert),
+                context: ContextPattern::any(),
+                guard: None,
+                action: Action::Raise(vec![Event::external("recheck")]),
+                group: RuleGroup::Other,
+                coupling: Coupling::Deferred,
+                priority: 0,
+                enabled: true,
+            },
+        )
+        .unwrap();
+        eng.add_rule(Rule::customization(
+            "answer",
+            EventPattern::External {
+                name: Some("recheck".into()),
+            },
+            ContextPattern::any(),
+            "payload",
+        ))
+        .unwrap();
+
+        let out = eng.dispatch(insert_event(1), &ctx()).unwrap();
+        assert!(out.customizations.is_empty());
+        let out = eng.flush_deferred().unwrap();
+        assert_eq!(out.customizations, vec!["payload"]);
+        assert!(out.fired.contains(&"answer".to_string()));
+    }
+
+    #[test]
+    fn immediate_is_the_default_coupling() {
+        let r: Rule<&str> = Rule::customization(
+            "r",
+            EventPattern::Any,
+            ContextPattern::any(),
+            "p",
+        );
+        assert_eq!(r.coupling, Coupling::Immediate);
+    }
+}

@@ -1,0 +1,269 @@
+//! E-C-A rules.
+//!
+//! The paper's rule form:
+//!
+//! ```text
+//! On Event Eᵢ
+//! If Condition Cⱼ
+//! Then Apply Customization CTₙ to database objects O₁…Oₑ
+//!      involving interface library objects IO₁…IOₖ
+//! ```
+//!
+//! The engine is generic over the customization payload `P` — the `active`
+//! crate stays a *general* active mechanism, as the paper insists: "we do
+//! not require a special purpose active mechanism, but have only
+//! introduced a new type of rules and events".
+
+use std::rc::Rc;
+
+use crate::context::{ContextPattern, SessionContext};
+use crate::event::{Event, EventPattern};
+
+/// Native guard evaluated after event/context matching (the paper's
+/// database-state conditions for non-customization rules).
+pub type Guard = Rc<dyn Fn(&Event, &SessionContext) -> bool>;
+
+/// Native callback action; may raise follow-up events.
+pub type Callback = Rc<dyn Fn(&Event, &SessionContext) -> Vec<Event>>;
+
+/// The Action part of a rule.
+#[derive(Clone)]
+pub enum Action<P> {
+    /// Yield a customization payload to the interface builder.
+    Customize(P),
+    /// Run native code (constraint maintenance, logging, …).
+    Callback(Callback),
+    /// Raise follow-up events (cascading rules).
+    Raise(Vec<Event>),
+    /// Several actions in order.
+    Compound(Vec<Action<P>>),
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for Action<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Customize(p) => f.debug_tuple("Customize").field(p).finish(),
+            Action::Callback(_) => f.write_str("Callback(<native>)"),
+            Action::Raise(es) => f.debug_tuple("Raise").field(es).finish(),
+            Action::Compound(a) => f.debug_tuple("Compound").field(a).finish(),
+        }
+    }
+}
+
+/// When a rule's action executes relative to the triggering operation —
+/// the classic active-database coupling modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Coupling {
+    /// Run during the triggering dispatch (the default; customization
+    /// rules must be immediate — the window is being built *now*).
+    #[default]
+    Immediate,
+    /// Queue the firing; it runs when the application calls
+    /// [`crate::engine::Engine::flush_deferred`] (e.g. at transaction
+    /// boundaries — batch constraint checking after bulk data entry).
+    Deferred,
+}
+
+/// Rule families — "the rule set may be partitioned into (at least) two
+/// subsets: rules for interface customization, and other rules".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleGroup {
+    /// Interface customization rules: per event, only the single most
+    /// specific rule fires.
+    Customization,
+    /// Integrity/constraint rules: all matching rules fire.
+    Integrity,
+    /// Anything else (view refresh, audit, …): all matching rules fire.
+    Other,
+}
+
+/// A complete Event-Condition-Action rule.
+#[derive(Clone)]
+pub struct Rule<P> {
+    /// Unique name (duplicates are rejected at registration).
+    pub name: String,
+    pub event: EventPattern,
+    pub context: ContextPattern,
+    /// Optional extra guard beyond the context check.
+    pub guard: Option<Guard>,
+    pub action: Action<P>,
+    pub group: RuleGroup,
+    pub coupling: Coupling,
+    /// Designer-assigned tiebreaker among equally specific rules.
+    pub priority: i32,
+    pub enabled: bool,
+}
+
+impl<P> Rule<P> {
+    /// A customization rule (the common case in this system).
+    pub fn customization(
+        name: impl Into<String>,
+        event: EventPattern,
+        context: ContextPattern,
+        payload: P,
+    ) -> Rule<P> {
+        Rule {
+            name: name.into(),
+            event,
+            context,
+            guard: None,
+            action: Action::Customize(payload),
+            group: RuleGroup::Customization,
+            coupling: Coupling::Immediate,
+            priority: 0,
+            enabled: true,
+        }
+    }
+
+    /// An integrity rule running a native callback.
+    pub fn integrity(
+        name: impl Into<String>,
+        event: EventPattern,
+        callback: Callback,
+    ) -> Rule<P> {
+        Rule {
+            name: name.into(),
+            event,
+            context: ContextPattern::any(),
+            guard: None,
+            action: Action::Callback(callback),
+            group: RuleGroup::Integrity,
+            coupling: Coupling::Immediate,
+            priority: 0,
+            enabled: true,
+        }
+    }
+
+    pub fn with_guard(mut self, guard: Guard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    pub fn with_group(mut self, group: RuleGroup) -> Self {
+        self.group = group;
+        self
+    }
+
+    pub fn with_coupling(mut self, coupling: Coupling) -> Self {
+        self.coupling = coupling;
+        self
+    }
+
+    /// Event + context + guard check.
+    pub fn matches(&self, event: &Event, ctx: &SessionContext) -> bool {
+        self.enabled
+            && self.event.matches(event)
+            && self.context.matches(ctx)
+            && self.guard.as_ref().is_none_or(|g| g(event, ctx))
+    }
+
+    /// Combined specificity: context dominates, event pattern breaks ties.
+    ///
+    /// Contexts score in units of 25+ (see [`ContextPattern::specificity`])
+    /// while event patterns score 0–4, so a more restrictive *context*
+    /// always wins, exactly as the paper prescribes; among rules with the
+    /// same context restrictiveness, the narrower event pattern wins.
+    pub fn specificity(&self) -> u32 {
+        self.context.specificity() * 8 + self.event.specificity()
+    }
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for Rule<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule")
+            .field("name", &self.name)
+            .field("on", &self.event.to_string())
+            .field("if", &self.context.to_string())
+            .field("group", &self.group)
+            .field("priority", &self.priority)
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodb::query::{DbEvent, DbEventKind};
+
+    fn ev() -> Event {
+        Event::Db(DbEvent::GetSchema {
+            schema: "phone_net".into(),
+        })
+    }
+
+    fn ctx() -> SessionContext {
+        SessionContext::new("juliano", "planner", "pole_manager")
+    }
+
+    #[test]
+    fn matches_requires_event_and_context() {
+        let r: Rule<&str> = Rule::customization(
+            "r1",
+            EventPattern::db(DbEventKind::GetSchema),
+            ContextPattern::for_user("juliano"),
+            "payload",
+        );
+        assert!(r.matches(&ev(), &ctx()));
+        let other_user = SessionContext::new("claudia", "planner", "pole_manager");
+        assert!(!r.matches(&ev(), &other_user));
+        let other_event = Event::Db(DbEvent::GetClass {
+            schema: "phone_net".into(),
+            class: "Pole".into(),
+        });
+        assert!(!r.matches(&other_event, &ctx()));
+    }
+
+    #[test]
+    fn disabled_rules_never_match() {
+        let mut r: Rule<&str> =
+            Rule::customization("r", EventPattern::Any, ContextPattern::any(), "p");
+        assert!(r.matches(&ev(), &ctx()));
+        r.enabled = false;
+        assert!(!r.matches(&ev(), &ctx()));
+    }
+
+    #[test]
+    fn guard_is_consulted() {
+        let r: Rule<&str> =
+            Rule::customization("r", EventPattern::Any, ContextPattern::any(), "p")
+                .with_guard(Rc::new(|e, _| matches!(e, Event::Db(_))));
+        assert!(r.matches(&ev(), &ctx()));
+        assert!(!r.matches(&Event::external("tick"), &ctx()));
+    }
+
+    #[test]
+    fn context_dominates_event_in_specificity() {
+        let narrow_event: Rule<&str> = Rule::customization(
+            "a",
+            EventPattern::db_on_class(DbEventKind::GetClass, "s", "C"),
+            ContextPattern::any(),
+            "p",
+        );
+        let narrow_context: Rule<&str> = Rule::customization(
+            "b",
+            EventPattern::Any,
+            ContextPattern::for_application("app"),
+            "p",
+        );
+        assert!(narrow_context.specificity() > narrow_event.specificity());
+    }
+
+    #[test]
+    fn debug_impl_is_informative() {
+        let r: Rule<&str> = Rule::customization(
+            "cust_pole",
+            EventPattern::db(DbEventKind::GetClass),
+            ContextPattern::for_user("juliano"),
+            "p",
+        );
+        let s = format!("{r:?}");
+        assert!(s.contains("cust_pole"));
+        assert!(s.contains("juliano"));
+    }
+}

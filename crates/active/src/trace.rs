@@ -1,0 +1,93 @@
+//! Execution traces.
+//!
+//! Every dispatch records which rules were considered, which fired, and
+//! why — the raw material for the *explanation* interaction mode the
+//! paper lists ("users want to know why and how the system presented a
+//! specific answer to a query") and for the F1 architecture walkthrough.
+
+/// One processed event within a dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cascade depth (0 = the event handed to `dispatch`).
+    pub depth: usize,
+    /// `Event::describe()` output.
+    pub event: String,
+    /// Names of rules whose event+context+guard matched.
+    pub matched: Vec<String>,
+    /// Names of rules that actually executed.
+    pub fired: Vec<String>,
+    /// Names of matching customization rules skipped by the
+    /// most-specific-wins policy.
+    pub shadowed: Vec<String>,
+}
+
+impl TraceEntry {
+    /// Render as an indented line for explanation output.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{}{} -> fired [{}]",
+            "  ".repeat(self.depth),
+            self.event,
+            self.fired.join(", ")
+        );
+        if !self.shadowed.is_empty() {
+            s.push_str(&format!(" (shadowed: {})", self.shadowed.join(", ")));
+        }
+        s
+    }
+}
+
+/// A dispatch-long trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Multi-line rendering of the full cascade.
+    pub fn render(&self) -> String {
+        self.entries
+            .iter()
+            .map(TraceEntry::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Did a rule with this name fire anywhere in the cascade?
+    pub fn fired(&self, rule: &str) -> bool {
+        self.entries.iter().any(|e| e.fired.iter().any(|f| f == rule))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_cascade_depth_and_shadowing() {
+        let t = Trace {
+            entries: vec![
+                TraceEntry {
+                    depth: 0,
+                    event: "Get_Schema(phone_net)".into(),
+                    matched: vec!["R1".into(), "R0".into()],
+                    fired: vec!["R1".into()],
+                    shadowed: vec!["R0".into()],
+                },
+                TraceEntry {
+                    depth: 1,
+                    event: "Get_Class(phone_net, Pole)".into(),
+                    matched: vec!["R2".into()],
+                    fired: vec!["R2".into()],
+                    shadowed: vec![],
+                },
+            ],
+        };
+        let out = t.render();
+        assert!(out.contains("Get_Schema(phone_net) -> fired [R1] (shadowed: R0)"));
+        assert!(out.contains("  Get_Class(phone_net, Pole) -> fired [R2]"));
+        assert!(t.fired("R1"));
+        assert!(t.fired("R2"));
+        assert!(!t.fired("R0"));
+    }
+}

@@ -1,0 +1,194 @@
+//! An interactive shell over the weak-integration protocol.
+//!
+//! Every command is turned into a protocol [`Request`], encoded to JSON,
+//! decoded, served by the dispatcher, and the JSON [`Response`] decoded
+//! back — the same path a remote front end would use.
+//!
+//! ```text
+//! $ cargo run --bin activegis-repl
+//! activegis> login juliano planner pole_manager
+//! activegis> customize fig6
+//! activegis> schema phone_net
+//! activegis> class Pole
+//! activegis> explain
+//! activegis> help
+//! ```
+
+use std::io::{BufRead, Write};
+
+use activegis::{ActiveGis, Request, Response, TelecomConfig, FIG6_PROGRAM};
+use gisui::SessionId;
+
+const HELP: &str = "\
+commands:
+  login <user> <category> <application>   start a session (required first)
+  customize fig6                          install the paper's Fig. 6 program
+  customize <file>                        install a program from a file
+  schema <name>                           open the Schema window
+  class <name>                            open a Class-set window (uses last schema)
+  inst <oid>                              open an Instance window
+  select <window> <path> <item>           deliver a list-select gesture
+  close <window>                          close a window (and children)
+  explain                                 print the rule-firing trace
+  screen                                  tile this session's windows
+  windows                                 list open windows
+  help                                    this text
+  quit                                    exit";
+
+struct Repl {
+    gis: ActiveGis,
+    session: Option<SessionId>,
+    last_schema: String,
+}
+
+impl Repl {
+    /// Round-trip a request through the JSON protocol.
+    fn call(&mut self, req: Request) -> Response {
+        let Some(sid) = self.session else {
+            return Response::Error {
+                message: "no session: `login <user> <category> <application>` first".into(),
+            };
+        };
+        let wire = gisui::encode(&req);
+        let req: Request = gisui::decode(&wire).expect("own encoding decodes");
+        let resp = self.gis.dispatcher().handle_request(sid, req);
+        let wire = gisui::encode(&resp);
+        gisui::decode(&wire).expect("own encoding decodes")
+    }
+
+    fn show(&self, resp: Response) {
+        match resp {
+            Response::Windows(ws) => {
+                for w in ws {
+                    if w.visible {
+                        println!("[win {}] {} ({})", w.id, w.title, w.kind);
+                        println!("{}", w.ascii);
+                    } else {
+                        println!("[win {}] {} ({}) — hidden", w.id, w.title, w.kind);
+                    }
+                }
+            }
+            Response::Closed(ids) => println!("closed {ids:?}"),
+            Response::Explanation(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+            }
+            Response::Error { message } => println!("error: {message}"),
+        }
+    }
+
+    fn handle(&mut self, line: &str) -> bool {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["quit"] | ["exit"] => return false,
+            ["help"] => println!("{HELP}"),
+            ["login", user, category, application] => {
+                self.session = Some(self.gis.login(user, category, application));
+                println!("session open for <{user}, {category}, {application}>");
+            }
+            ["customize", "fig6"] => match self.gis.customize(FIG6_PROGRAM, "fig6") {
+                Ok(n) => println!("installed {n} rules"),
+                Err(e) => println!("error: {e}"),
+            },
+            ["customize", file] => match std::fs::read_to_string(file) {
+                Ok(src) => match self.gis.customize(&src, file) {
+                    Ok(n) => println!("installed {n} rules from {file}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("error: cannot read {file}: {e}"),
+            },
+            ["schema", name] => {
+                self.last_schema = name.to_string();
+                let resp = self.call(Request::OpenSchema {
+                    schema: name.to_string(),
+                });
+                self.show(resp);
+            }
+            ["class", name] => {
+                let resp = self.call(Request::OpenClass {
+                    schema: self.last_schema.clone(),
+                    class: name.to_string(),
+                });
+                self.show(resp);
+            }
+            ["inst", oid] => match oid.parse::<u64>() {
+                Ok(oid) => {
+                    let resp = self.call(Request::OpenInstance { oid });
+                    self.show(resp);
+                }
+                Err(_) => println!("error: `{oid}` is not an oid"),
+            },
+            ["select", window, path, item] => match window.parse::<u64>() {
+                Ok(window) => {
+                    let resp = self.call(Request::UiGesture {
+                        window,
+                        path: path.to_string(),
+                        gesture: "select".into(),
+                        detail: Some(item.to_string()),
+                    });
+                    self.show(resp);
+                }
+                Err(_) => println!("error: `{window}` is not a window id"),
+            },
+            ["close", window] => match window.parse::<u64>() {
+                Ok(window) => {
+                    let resp = self.call(Request::CloseWindow { window });
+                    self.show(resp);
+                }
+                Err(_) => println!("error: `{window}` is not a window id"),
+            },
+            ["explain"] => {
+                let resp = self.call(Request::Explain);
+                self.show(resp);
+            }
+            ["screen"] => match self.session {
+                Some(sid) => {
+                    print!("{}", gisui::session_screen(self.gis.dispatcher(), sid))
+                }
+                None => println!("error: no session"),
+            },
+            ["windows"] => {
+                for w in self.gis.dispatcher().open_windows() {
+                    println!(
+                        "[win {}] {} ({}) schema={} class={}",
+                        w.id.0,
+                        w.built.title,
+                        w.built.kind,
+                        w.schema,
+                        w.class.as_deref().unwrap_or("-")
+                    );
+                }
+            }
+            other => println!("unknown command {other:?}; try `help`"),
+        }
+        true
+    }
+}
+
+fn main() {
+    println!("activegis repl — phone_net demo database loaded; `help` for commands");
+    let gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo builds");
+    let mut repl = Repl {
+        gis,
+        session: None,
+        last_schema: "phone_net".into(),
+    };
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("activegis> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !repl.handle(line.trim()) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # activegis — Active Customization of GIS User Interfaces
+//!
+//! A full reproduction of *Medeiros, Oliveira & Cilia, "Active
+//! Customization of GIS User Interfaces"* (ICDE 1997) as a Rust library.
+//!
+//! The paper customizes a GIS user interface **inside the DBMS**: user
+//! interactions become database events; an active (E-C-A) rule engine
+//! intercepts them; rules keyed on the session context `<user, category,
+//! application>` select a customization; and a generic interface builder
+//! assembles the Schema / Class-set / Instance windows dynamically from a
+//! library of interface objects stored in the database.
+//!
+//! ## Crate map
+//!
+//! | Crate | Paper component |
+//! |---|---|
+//! | [`geodb`] | the object-oriented geographic DBMS substrate |
+//! | [`active`] | the active mechanism (Section 3.3) |
+//! | [`uilib`] | the interface-objects library (Fig. 2, Section 3.2) |
+//! | [`custlang`] | the customization language + compiler (Fig. 3, Section 3.4) |
+//! | [`builder`] | the generic interface builder |
+//! | [`gisui`] | the GIS interface layer: dispatcher, MVC, protocol (Section 3.5) |
+//! | this crate | the integrated system ([`ActiveGis`]) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use activegis::{ActiveGis, TelecomConfig, FIG6_PROGRAM};
+//!
+//! // The paper's telephone-utility database.
+//! let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+//! // Install the verbatim Fig. 6 customization program.
+//! gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+//! // Juliano gets the customized interface of Fig. 7 …
+//! let sid = gis.login("juliano", "planner", "pole_manager");
+//! let windows = gis.browse_schema(sid, "phone_net").unwrap();
+//! assert_eq!(windows.len(), 2); // hidden Schema window + Pole window
+//! // … anyone else gets the generic interface of Fig. 4.
+//! let other = gis.login("guest", "visitor", "browse");
+//! let windows = gis.browse_schema(other, "phone_net").unwrap();
+//! assert_eq!(windows.len(), 1);
+//! ```
+
+pub mod system;
+
+pub use system::ActiveGis;
+
+// One-stop re-exports so applications can depend on `activegis` alone.
+pub use active::{
+    ContextPattern, Engine, Event, EventPattern, Rule, RuleGroup, SelectionPolicy,
+    SessionContext,
+};
+pub use builder::{BuiltWindow, Format, InterfaceBuilder, WindowKind};
+pub use custlang::{
+    analyze, compile, parse, AnalysisEnv, Customization, Program, SchemaMode, FIG6_PROGRAM,
+};
+pub use geodb::db::{Database, IndexKind};
+pub use geodb::gen::{phone_net_db, phone_net_schema, TelecomConfig, TelecomStats};
+pub use geodb::{
+    AttrType, ClassDef, CmpOp, DbEvent, DbEventKind, Geometry, Instance, Oid, Point, Predicate,
+    Rect, SchemaDef, Value,
+};
+pub use gisui::{
+    Dispatcher, InteractionMode, Request, Response, SessionId, UiError, WindowId,
+};
+pub use uilib::{Library, MapScene, MapShape, Prop, WidgetKind, WidgetTree};

@@ -1,0 +1,194 @@
+//! The integrated system facade.
+//!
+//! [`ActiveGis`] wires the five subsystems of the paper's Fig. 1 together
+//! — geographic database, active mechanism, interface-objects library,
+//! generic interface builder, and GIS interface layer — behind one small
+//! API that the examples and downstream applications use.
+
+use active::SessionContext;
+use builder::InterfaceBuilder;
+use geodb::db::Database;
+use geodb::gen::TelecomConfig;
+use geodb::instance::Oid;
+use gisui::{Dispatcher, InteractionMode, Result, SessionId, UiError, WindowId};
+use uilib::{Library, Prop};
+
+/// The assembled Active-GIS system.
+pub struct ActiveGis {
+    dispatcher: Dispatcher,
+}
+
+impl ActiveGis {
+    /// Assemble the system over an existing database, using the paper's
+    /// widget library (kernel + `slider`, `poleWidget`, `composed_text`,
+    /// `text`).
+    pub fn open(db: Database) -> ActiveGis {
+        ActiveGis {
+            dispatcher: Dispatcher::new(db, InterfaceBuilder::with_paper_library()),
+        }
+    }
+
+    /// Assemble with a caller-provided widget library.
+    pub fn with_library(db: Database, library: Library) -> ActiveGis {
+        ActiveGis {
+            dispatcher: Dispatcher::new(db, InterfaceBuilder::new(library)),
+        }
+    }
+
+    /// The paper's running example: a synthetic telephone-network
+    /// database (`phone_net`) ready to browse.
+    pub fn phone_net_demo(cfg: &TelecomConfig) -> Result<ActiveGis> {
+        Ok(ActiveGis {
+            dispatcher: gisui::paper_dispatcher(cfg)?,
+        })
+    }
+
+    // -- customization ----------------------------------------------------
+
+    /// Install (or replace) a named customization program. Returns the
+    /// number of active rules generated.
+    pub fn customize(&mut self, program: &str, name: &str) -> Result<usize> {
+        self.dispatcher.install_program(program, name)
+    }
+
+    /// Validate, persist into the geographic database, and install a
+    /// customization program ("customization rules stored in the
+    /// database").
+    pub fn customize_stored(&mut self, program: &str, name: &str) -> Result<usize> {
+        self.dispatcher.store_program(program, name)
+    }
+
+    /// Install every program stored in the database (the boot path after
+    /// reopening a snapshot); returns `(programs, rules, skipped names)`.
+    pub fn load_stored_customizations(&mut self) -> Result<(usize, usize, Vec<String>)> {
+        self.dispatcher.load_stored_programs()
+    }
+
+    /// Add a specialized widget class to the interface-objects library so
+    /// customization programs can reference it.
+    pub fn define_widget(
+        &mut self,
+        name: &str,
+        parent: &str,
+        defaults: Vec<(String, Prop)>,
+    ) -> Result<()> {
+        self.dispatcher
+            .builder_library_mut()
+            .specialize(name, parent, defaults)
+            .map_err(|e| UiError::Build(e.into()))
+    }
+
+    // -- sessions and browsing ----------------------------------------------
+
+    /// Start a session for `<user, category, application>`.
+    pub fn login(
+        &mut self,
+        user: &str,
+        category: &str,
+        application: &str,
+    ) -> SessionId {
+        self.dispatcher
+            .open_session(SessionContext::new(user, category, application))
+    }
+
+    /// Start a session with a full context, including extension
+    /// dimensions such as `scale` or `time`.
+    pub fn login_with(&mut self, context: SessionContext) -> SessionId {
+        self.dispatcher.open_session(context)
+    }
+
+    /// Switch a session's interaction mode.
+    pub fn set_mode(&mut self, sid: SessionId, mode: InteractionMode) -> Result<()> {
+        self.dispatcher.set_mode(sid, mode)
+    }
+
+    /// Open the Schema window (plus any auto-opened class windows).
+    pub fn browse_schema(&mut self, sid: SessionId, schema: &str) -> Result<Vec<WindowId>> {
+        self.dispatcher.open_schema(sid, schema)
+    }
+
+    /// Open a Class-set window.
+    pub fn browse_class(
+        &mut self,
+        sid: SessionId,
+        schema: &str,
+        class: &str,
+    ) -> Result<WindowId> {
+        self.dispatcher.open_class(sid, schema, class, None)
+    }
+
+    /// Open an Instance window.
+    pub fn inspect(&mut self, sid: SessionId, oid: Oid) -> Result<WindowId> {
+        self.dispatcher.open_instance(sid, oid, None)
+    }
+
+    /// ASCII rendering of a window.
+    pub fn render(&self, window: WindowId) -> Result<String> {
+        self.dispatcher.render(window)
+    }
+
+    /// SVG rendering of a window.
+    pub fn render_svg(&self, window: WindowId) -> Result<String> {
+        Ok(self
+            .dispatcher
+            .window(window)
+            .ok_or(UiError::UnknownWindow(window))?
+            .built
+            .to_svg())
+    }
+
+    /// The rule-firing explanation log.
+    pub fn explanation(&self) -> &[String] {
+        self.dispatcher.explanation()
+    }
+
+    /// Tile a session's visible windows into one text screen (the way the
+    /// paper's Figs. 4 and 7 show the three windows side by side).
+    pub fn screen(&self, sid: SessionId) -> String {
+        gisui::session_screen(&self.dispatcher, sid)
+    }
+
+    /// Full access to the underlying dispatcher (and through it the
+    /// database and rule engine).
+    pub fn dispatcher(&mut self) -> &mut Dispatcher {
+        &mut self.dispatcher
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use custlang::FIG6_PROGRAM;
+
+    #[test]
+    fn end_to_end_facade_flow() {
+        let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+        gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+
+        let sid = gis.login("juliano", "planner", "pole_manager");
+        let windows = gis.browse_schema(sid, "phone_net").unwrap();
+        assert_eq!(windows.len(), 2, "Null schema + auto-opened Pole window");
+        let art = gis.render(windows[1]).unwrap();
+        assert!(art.contains("Class: Pole"));
+        assert!(gis.render_svg(windows[1]).unwrap().starts_with("<svg"));
+        assert!(!gis.explanation().is_empty());
+    }
+
+    #[test]
+    fn define_widget_extends_the_library() {
+        let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+        gis.define_widget("bigButton", "Button", vec![("label".into(), "GO".into())])
+            .unwrap();
+        // Now a program can reference it.
+        let program = "for user u schema phone_net display as default \
+                       class Pole display control as bigButton";
+        assert!(gis.customize(program, "p").is_ok());
+    }
+
+    #[test]
+    fn duplicate_widget_definition_errors() {
+        let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+        let r = gis.define_widget("poleWidget", "Panel", vec![]);
+        assert!(r.is_err());
+    }
+}

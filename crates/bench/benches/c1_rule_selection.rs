@@ -1,0 +1,103 @@
+//! C1 — rule selection scaling and the most-specific-wins ablation.
+//!
+//! The paper's execution model fires exactly one customization rule per
+//! event, the most specific. This bench measures dispatch latency as the
+//! rule population grows (10 → 10 000 rules across a user/category/
+//! application lattice) and compares the paper's `MostSpecific` policy
+//! against the `FireAll` ablation.
+//!
+//! Expected shape: dispatch linear in matching-candidate count for both
+//! policies (every rule's pattern must be tested), but `FireAll` also
+//! pays per-firing action costs and produces conflicting payloads —
+//! the qualitative argument for the paper's policy is output size:
+//! 1 payload vs. hundreds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use active::{
+    ContextPattern, Engine, EngineConfig, Event, EventPattern, Rule, SelectionPolicy,
+    SessionContext,
+};
+use geodb::query::{DbEvent, DbEventKind};
+
+/// Build an engine with `n` customization rules over a context lattice:
+/// one third generic-application, one third per-category, one third
+/// per-user.
+fn engine_with_rules(n: usize, policy: SelectionPolicy) -> Engine<usize> {
+    let mut engine = Engine::with_config(EngineConfig {
+        selection: policy,
+        tracing: false,
+        ..Default::default()
+    });
+    for i in 0..n {
+        let ctx = match i % 3 {
+            0 => ContextPattern::for_application("pole_manager"),
+            1 => ContextPattern::for_category(format!("cat{}", i % 7)).application("pole_manager"),
+            _ => ContextPattern::for_user(format!("user{i}")).application("pole_manager"),
+        };
+        engine
+            .add_rule(Rule::customization(
+                format!("r{i}"),
+                EventPattern::db(DbEventKind::GetClass),
+                ctx,
+                i,
+            ))
+            .unwrap();
+    }
+    engine
+}
+
+fn event() -> Event {
+    Event::Db(DbEvent::GetClass {
+        schema: "phone_net".into(),
+        class: "Pole".into(),
+    })
+}
+
+fn bench_rule_selection(c: &mut Criterion) {
+    let session = SessionContext::new("user5", "cat5", "pole_manager");
+
+    let mut group = c.benchmark_group("c1_most_specific");
+    for &n in &[10usize, 100, 1000, 10_000] {
+        let mut engine = engine_with_rules(n, SelectionPolicy::MostSpecific);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(engine.dispatch(event(), &session).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("c1_fire_all_ablation");
+    for &n in &[10usize, 100, 1000, 10_000] {
+        let mut engine = engine_with_rules(n, SelectionPolicy::FireAll);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(engine.dispatch(event(), &session).unwrap()));
+        });
+    }
+    group.finish();
+
+    // The qualitative difference the latency numbers hide: payload counts.
+    let mut most = engine_with_rules(1000, SelectionPolicy::MostSpecific);
+    let mut all = engine_with_rules(1000, SelectionPolicy::FireAll);
+    let n_most = most.dispatch(event(), &session).unwrap().customizations.len();
+    let n_all = all.dispatch(event(), &session).unwrap().customizations.len();
+    eprintln!(
+        "\n[c1] at 1000 rules: MostSpecific selects {n_most} customization, \
+         FireAll produces {n_all} conflicting customizations\n"
+    );
+
+    // Non-matching dispatch (different application) — the common case in
+    // a multi-application deployment.
+    let mut group = c.benchmark_group("c1_no_match");
+    let other = SessionContext::new("user5", "cat5", "other_app");
+    let mut engine = engine_with_rules(1000, SelectionPolicy::MostSpecific);
+    group.bench_function("1000_rules_no_context_match", |b| {
+        b.iter(|| black_box(engine.dispatch(event(), &other).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_selection);
+criterion_main!(benches);

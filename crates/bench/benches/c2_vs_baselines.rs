@@ -1,0 +1,91 @@
+//! C2 — active customization vs. the three existing approaches.
+//!
+//! Two measurements back the paper's economic claim:
+//!
+//! 1. **Run-time price** of the active architecture: building the same
+//!    Class-set window hardwired vs. through the full active path. The
+//!    claim holds if the overhead is a small constant factor.
+//! 2. **Deployment cost** (printed table): lines-touched and redeploys to
+//!    support N user contexts under toolkit / multiple-paradigms /
+//!    active, using the cost model calibrated from the paper's own
+//!    datapoint (10 000 LoC per 100 windows in [14]).
+//!
+//! Expected shape: active ≈ hardwired × small-constant at run time;
+//! active's deployment cost flat in contexts (slope = directive lines)
+//! while the baselines grow by ~300 LoC and ≥1 redeploy per context —
+//! crossover before the second context.
+
+use bench::{customized_gis, generic_gis};
+use builder::baselines::{hardwired_class_window, CostModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use activegis::TelecomConfig;
+use uilib::Library;
+
+fn bench_vs_baselines(c: &mut Criterion) {
+    let cfg = TelecomConfig::small();
+
+    let mut group = c.benchmark_group("c2_runtime");
+    group.sample_size(40);
+
+    group.bench_function("hardwired", |b| {
+        let mut gis = generic_gis(&cfg);
+        let poles = gis
+            .dispatcher()
+            .db()
+            .get_class("phone_net", "Pole", false)
+            .unwrap();
+        gis.dispatcher().db().drain_events();
+        let lib = Library::with_kernel();
+        b.iter(|| black_box(hardwired_class_window(&lib, "Pole", &poles).unwrap()));
+    });
+
+    group.bench_function("active_generic_path", |b| {
+        let mut gis = generic_gis(&cfg);
+        let sid = gis.login("guest", "visitor", "browse");
+        b.iter(|| {
+            let w = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+            gis.dispatcher().close_window(sid, w).unwrap();
+        });
+    });
+
+    group.bench_function("active_customized_path", |b| {
+        let mut gis = customized_gis(&cfg);
+        let sid = gis.login("juliano", "planner", "pole_manager");
+        b.iter(|| {
+            let w = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+            gis.dispatcher().close_window(sid, w).unwrap();
+        });
+    });
+
+    group.finish();
+
+    // Deployment-cost table (the paper's Section 2.2 argument, quantified).
+    let m = CostModel::default();
+    let windows = 3; // Schema / Class-set / Instance per context
+    eprintln!("\n[c2] deployment cost to support N contexts (lines touched / redeploys)");
+    eprintln!(
+        "{:>10} {:>22} {:>22} {:>22}",
+        "contexts", "toolkit", "multi-paradigm(3)", "active (this paper)"
+    );
+    for contexts in [1u64, 2, 5, 10, 50, 100] {
+        let t = m.toolkit(contexts, windows);
+        let p = m.multiple_paradigms(contexts, windows, 3);
+        let a = m.active(contexts, windows);
+        eprintln!(
+            "{:>10} {:>15} / {:>3} {:>15} / {:>3} {:>15} / {:>3}",
+            contexts,
+            t.lines_touched,
+            t.redeploys,
+            p.lines_touched,
+            p.redeploys,
+            a.lines_touched,
+            a.redeploys
+        );
+    }
+    eprintln!();
+}
+
+criterion_group!(benches, bench_vs_baselines);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! F1 — the Fig. 1 architecture event flow.
+//!
+//! Measures the cost of one complete user interaction (click → interface
+//! event → database event → rule dispatch → builder → window) along four
+//! paths: generic (no rules), customized (Fig. 6 rules installed),
+//! hardwired baseline (no architecture at all), and through the
+//! weak-integration protocol (JSON encode/decode on both sides).
+//!
+//! Expected shape: hardwired ≤ generic ≈ customized ≪ protocol overhead
+//! remains small relative to window construction; the active mechanism
+//! adds only a rule lookup to the generic path.
+
+use bench::{customized_gis, generic_gis};
+use builder::baselines::hardwired_class_window;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use activegis::TelecomConfig;
+use gisui::{Request, Response};
+use uilib::Library;
+
+fn bench_event_flow(c: &mut Criterion) {
+    let cfg = TelecomConfig::small();
+    let mut group = c.benchmark_group("fig1_event_flow");
+    group.sample_size(30);
+
+    // Generic path: open a class window with no rules installed.
+    group.bench_function("generic_open_class", |b| {
+        let mut gis = generic_gis(&cfg);
+        let sid = gis.login("guest", "visitor", "browse");
+        b.iter(|| {
+            let w = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+            let d = gis.dispatcher();
+            black_box(d.close_window(sid, w).unwrap());
+        });
+    });
+
+    // Customized path: same gesture under the Fig. 6 rules.
+    group.bench_function("customized_open_class", |b| {
+        let mut gis = customized_gis(&cfg);
+        let sid = gis.login("juliano", "planner", "pole_manager");
+        b.iter(|| {
+            let w = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+            let d = gis.dispatcher();
+            black_box(d.close_window(sid, w).unwrap());
+        });
+    });
+
+    // Hardwired baseline: direct window construction, no dispatcher, no
+    // rules, no event interception.
+    group.bench_function("hardwired_build", |b| {
+        let mut gis = generic_gis(&cfg);
+        let poles = gis
+            .dispatcher()
+            .db()
+            .get_class("phone_net", "Pole", false)
+            .unwrap();
+        gis.dispatcher().db().drain_events();
+        let lib = Library::with_kernel();
+        b.iter(|| black_box(hardwired_class_window(&lib, "Pole", &poles).unwrap()));
+    });
+
+    // Weak-integration protocol: the same interaction through JSON.
+    group.bench_function("protocol_open_class", |b| {
+        let mut gis = customized_gis(&cfg);
+        let sid = gis.login("juliano", "planner", "pole_manager");
+        b.iter(|| {
+            let wire = gisui::encode(&Request::OpenClass {
+                schema: "phone_net".into(),
+                class: "Pole".into(),
+            });
+            let req: Request = gisui::decode(&wire).unwrap();
+            let resp = gis.dispatcher().handle_request(sid, req);
+            let wire = gisui::encode(&resp);
+            let resp: Response = gisui::decode(&wire).unwrap();
+            if let Response::Windows(ws) = &resp {
+                let id = gisui::WindowId(ws[0].id);
+                gis.dispatcher().close_window(sid, id).unwrap();
+            }
+            black_box(resp);
+        });
+    });
+
+    // Full three-window walkthrough (schema -> class -> instance), the
+    // paper's "typical browsing session".
+    group.bench_function("full_browse_session", |b| {
+        let mut gis = customized_gis(&cfg);
+        let mut n = 0u32;
+        b.iter(|| {
+            n += 1;
+            let sid = gis.login(&format!("guest{n}"), "visitor", "browse");
+            let windows = gis.browse_schema(sid, "phone_net").unwrap();
+            let class = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+            let poles = gis
+                .dispatcher()
+                .db()
+                .get_class("phone_net", "Pole", false)
+                .unwrap();
+            gis.dispatcher().db().drain_events();
+            let inst = gis.inspect(sid, poles[0].oid).unwrap();
+            for w in windows.into_iter().chain([class, inst]) {
+                gis.dispatcher().close_window(sid, w).unwrap();
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_flow);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! F2 — the interface-objects kernel (paper Fig. 2).
+//!
+//! Measures dynamic composition: instantiating kernel classes into trees
+//! of growing size, instantiating through a specialization chain (class
+//! lookup + default inheritance), layout, and rendering.
+//!
+//! Expected shape: tree construction linear in widget count; the
+//! specialization chain adds a small constant per instantiation
+//! (ancestry walk), which is the price of run-time extensibility.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use uilib::{layout, Library, SceneMap, WidgetTree};
+
+/// Build a tree of roughly `n` widgets: panels of 8 buttons each.
+fn build_tree(lib: &Library, n: usize) -> WidgetTree {
+    let mut tree = WidgetTree::new(lib, "Window", "w").expect("window");
+    let mut built = 1;
+    let mut panel_idx = 0;
+    while built < n {
+        let panel = tree
+            .add(lib, tree.root(), "Panel", format!("p{panel_idx}"))
+            .expect("panel");
+        built += 1;
+        panel_idx += 1;
+        for b in 0..8 {
+            if built >= n {
+                break;
+            }
+            let id = tree.add(lib, panel, "Button", format!("b{b}")).expect("button");
+            tree.get_mut(id).unwrap().set_prop("label", format!("B{b}"));
+            built += 1;
+        }
+    }
+    tree
+}
+
+fn bench_widget_tree(c: &mut Criterion) {
+    let lib = Library::with_kernel();
+
+    let mut group = c.benchmark_group("fig2_compose");
+    for &n in &[10usize, 100, 1000, 5000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(build_tree(&lib, n)));
+        });
+    }
+    group.finish();
+
+    // Instantiation through a deep specialization chain vs. kernel class.
+    let mut chained = Library::with_kernel();
+    let mut parent = "Button".to_string();
+    for i in 0..8 {
+        let name = format!("spec{i}");
+        chained
+            .specialize(&name, &parent, vec![(format!("k{i}"), uilib::Prop::Int(i as i64))])
+            .unwrap();
+        parent = name;
+    }
+    let mut group = c.benchmark_group("fig2_instantiate");
+    group.bench_function("kernel_class", |b| {
+        b.iter(|| black_box(lib.instantiate("Button", uilib::WidgetId(1), "x").unwrap()));
+    });
+    group.bench_function("depth8_specialization", |b| {
+        b.iter(|| black_box(chained.instantiate("spec7", uilib::WidgetId(1), "x").unwrap()));
+    });
+    group.finish();
+
+    // Layout and rendering cost over tree size.
+    let mut group = c.benchmark_group("fig2_layout_render");
+    group.sample_size(20);
+    for &n in &[100usize, 1000] {
+        let tree = build_tree(&lib, n);
+        group.bench_with_input(BenchmarkId::new("layout", n), &tree, |b, tree| {
+            b.iter(|| black_box(layout(tree).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("render_ascii", n), &tree, |b, tree| {
+            let scenes = SceneMap::new();
+            b.iter(|| black_box(uilib::render::ascii::render(tree, &scenes).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_widget_tree);
+criterion_main!(benches);

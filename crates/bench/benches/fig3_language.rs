@@ -1,0 +1,70 @@
+//! F3 — the customization language (paper Fig. 3).
+//!
+//! Throughput of the full front end — lex+parse, semantic analysis, and
+//! rule compilation — over programs of 1 to 500 directives.
+//!
+//! Expected shape: all three stages linear in program size; compilation
+//! dominates slightly (rule materialization); a 500-directive program
+//! (≈ 2000 lines, far larger than any hand-written customization)
+//! processes in milliseconds, supporting the claim that per-context
+//! customization cost is negligible next to per-context *code*.
+
+use bench::synthetic_program;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use custlang::{analyze, compile, parse, AnalysisEnv};
+use geodb::catalog::Catalog;
+use geodb::gen::phone_net_schema;
+use uilib::Library;
+
+fn bench_language(c: &mut Criterion) {
+    let mut catalog = Catalog::new();
+    catalog.register(phone_net_schema()).unwrap();
+    let library = Library::with_kernel();
+
+    let sizes = [1usize, 10, 100, 500];
+    let programs: Vec<(usize, String)> =
+        sizes.iter().map(|&n| (n, synthetic_program(n))).collect();
+
+    let mut group = c.benchmark_group("fig3_parse");
+    for (n, src) in &programs {
+        group.throughput(Throughput::Elements(*n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), src, |b, src| {
+            b.iter(|| black_box(parse(src).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig3_analyze");
+    for (n, src) in &programs {
+        let program = parse(src).unwrap();
+        group.throughput(Throughput::Elements(*n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, program| {
+            let env = AnalysisEnv::new(&catalog, &library);
+            b.iter(|| black_box(analyze(program, &env)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig3_compile");
+    for (n, src) in &programs {
+        let program = parse(src).unwrap();
+        group.throughput(Throughput::Elements(*n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, program| {
+            b.iter(|| black_box(compile(program, "bench")));
+        });
+    }
+    group.finish();
+
+    // Round-trip through the pretty-printer (canonical formatting).
+    let mut group = c.benchmark_group("fig3_pretty");
+    let program = parse(&programs[2].1).unwrap();
+    group.bench_function("pretty_100_directives", |b| {
+        b.iter(|| black_box(custlang::pretty(&program)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_language);
+criterion_main!(benches);

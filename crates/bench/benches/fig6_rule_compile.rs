@@ -1,0 +1,65 @@
+//! F6 — the Fig. 6 customization program and its rule pipeline.
+//!
+//! Measures the verbatim paper program through every stage: parse,
+//! compile to rules (R1/R2/R3), install into a live engine, and the
+//! atomic replace-on-recompile path the dispatcher uses.
+//!
+//! Expected shape: whole pipeline in microseconds — installing a user's
+//! customization is interactive-speed, versus a recompile/redeploy cycle
+//! under the toolkit approach.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use active::Engine;
+use custlang::{compile, parse, Customization, FIG6_PROGRAM};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_pipeline");
+
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(parse(FIG6_PROGRAM).unwrap()));
+    });
+
+    let program = parse(FIG6_PROGRAM).unwrap();
+    group.bench_function("compile", |b| {
+        b.iter(|| black_box(compile(&program, "fig6")));
+    });
+
+    group.bench_function("install_fresh_engine", |b| {
+        b.iter(|| {
+            let mut engine: Engine<Customization> = Engine::new();
+            engine.add_rules(compile(&program, "fig6")).unwrap();
+            black_box(engine.len())
+        });
+    });
+
+    // Live replacement in an engine that already holds 100 other programs.
+    group.bench_function("replace_among_100_programs", |b| {
+        let mut engine: Engine<Customization> = Engine::new();
+        for i in 0..100 {
+            let src = format!(
+                "for user u{i} schema phone_net display as default class Pole display"
+            );
+            let p = parse(&src).unwrap();
+            engine.add_rules(compile(&p, &format!("p{i}"))).unwrap();
+        }
+        engine.add_rules(compile(&program, "fig6")).unwrap();
+        b.iter(|| {
+            engine.remove_rules_with_prefix("fig6/");
+            engine.add_rules(compile(&program, "fig6")).unwrap();
+            black_box(engine.len())
+        });
+    });
+
+    // Static conflict analysis over the compiled rule set.
+    group.bench_function("conflict_analysis", |b| {
+        let rules = compile(&program, "fig6");
+        b.iter(|| black_box(active::analyze(&rules)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

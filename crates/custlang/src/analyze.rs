@@ -1,0 +1,382 @@
+//! Semantic analysis: validate a parsed program against the database
+//! catalog and the interface-objects library.
+//!
+//! "The target user of this language is the application designer, who has
+//! knowledge about the database schema" — the analyzer is what tells that
+//! designer, before any rule is generated, that `class Pol` or
+//! `as poleWidgt` doesn't exist.
+
+use geodb::catalog::Catalog;
+use geodb::value::AttrType;
+use uilib::Library;
+
+use crate::ast::*;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The program cannot be compiled.
+    Error,
+    /// Suspicious but compilable (e.g. callback not yet registered).
+    Warning,
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn error(message: String) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            message,
+        }
+    }
+
+    fn warning(message: String) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+/// Presentation formats the generic builder understands out of the box.
+pub const BUILTIN_FORMATS: &[&str] = &[
+    "default",
+    "pointFormat",
+    "lineFormat",
+    "polygonFormat",
+    "tableFormat",
+    "symbolFormat",
+];
+
+/// Everything the analyzer checks against.
+pub struct AnalysisEnv<'a> {
+    pub catalog: &'a Catalog,
+    pub library: &'a Library,
+    /// Presentation format names beyond [`BUILTIN_FORMATS`].
+    pub extra_formats: Vec<String>,
+    /// Callback names already registered (unknown ones warn, not error —
+    /// "the definition of such functions is out of the scope of the
+    /// language").
+    pub known_callbacks: Vec<String>,
+}
+
+impl<'a> AnalysisEnv<'a> {
+    pub fn new(catalog: &'a Catalog, library: &'a Library) -> AnalysisEnv<'a> {
+        AnalysisEnv {
+            catalog,
+            library,
+            extra_formats: Vec::new(),
+            known_callbacks: Vec::new(),
+        }
+    }
+
+    fn format_known(&self, name: &str) -> bool {
+        BUILTIN_FORMATS.contains(&name) || self.extra_formats.iter().any(|f| f == name)
+    }
+}
+
+/// Resolve a dotted attribute path against a class's effective attributes;
+/// returns the leaf type if valid.
+fn resolve_path(
+    catalog: &Catalog,
+    schema: &str,
+    class: &str,
+    path: &str,
+) -> Result<AttrType, String> {
+    let attrs = catalog
+        .effective_attrs(schema, class)
+        .map_err(|e| e.to_string())?;
+    let mut parts = path.split('.');
+    let head = parts.next().expect("split yields at least one part");
+    let mut ty = attrs
+        .iter()
+        .find(|a| a.name == head)
+        .map(|a| a.ty.clone())
+        .ok_or_else(|| format!("class `{class}` has no attribute `{head}`"))?;
+    for part in parts {
+        match ty {
+            AttrType::Tuple(fields) => {
+                ty = fields
+                    .iter()
+                    .find(|(n, _)| n == part)
+                    .map(|(_, t)| t.clone())
+                    .ok_or_else(|| {
+                        format!("tuple attribute has no field `{part}` (in `{path}`)")
+                    })?;
+            }
+            other => {
+                return Err(format!(
+                    "`{part}` in `{path}` descends into non-tuple type {}",
+                    other.name()
+                ))
+            }
+        }
+    }
+    Ok(ty)
+}
+
+/// Analyze a program; returns all diagnostics (empty = clean).
+pub fn analyze(program: &Program, env: &AnalysisEnv<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (di, d) in program.directives.iter().enumerate() {
+        let where_ = format!("directive {}", di + 1);
+
+        // Schema must exist.
+        let schema_ok = env.catalog.schema(&d.schema.name).is_ok();
+        if !schema_ok {
+            out.push(Diagnostic::error(format!(
+                "{where_}: unknown schema `{}`",
+                d.schema.name
+            )));
+        }
+
+        for c in &d.classes {
+            let class_ok =
+                schema_ok && env.catalog.class(&d.schema.name, &c.name).is_ok();
+            if schema_ok && !class_ok {
+                out.push(Diagnostic::error(format!(
+                    "{where_}: unknown class `{}` in schema `{}`",
+                    c.name, d.schema.name
+                )));
+            }
+
+            if let Some(ctl) = &c.control {
+                if !env.library.contains(ctl) {
+                    out.push(Diagnostic::error(format!(
+                        "{where_}: control widget class `{ctl}` is not in the interface library"
+                    )));
+                }
+            }
+            if let Some(p) = &c.presentation {
+                if !env.format_known(p) && !env.library.contains(p) {
+                    out.push(Diagnostic::error(format!(
+                        "{where_}: unknown presentation format `{p}`"
+                    )));
+                }
+            }
+
+            for a in &c.instances {
+                if class_ok {
+                    if let Err(e) =
+                        resolve_path(env.catalog, &d.schema.name, &c.name, &a.attribute)
+                    {
+                        out.push(Diagnostic::error(format!("{where_}: {e}")));
+                    }
+                }
+                if let AttrDisplay::Widget(w) = &a.display {
+                    if !env.library.contains(w) {
+                        out.push(Diagnostic::error(format!(
+                            "{where_}: attribute `{}` displays as unknown widget `{w}`",
+                            a.attribute
+                        )));
+                    }
+                }
+                for src in &a.from {
+                    match src {
+                        Source::Path(p) => {
+                            if class_ok {
+                                if let Err(e) =
+                                    resolve_path(env.catalog, &d.schema.name, &c.name, p)
+                                {
+                                    out.push(Diagnostic::error(format!("{where_}: {e}")));
+                                }
+                            }
+                        }
+                        Source::MethodCall { method, args } => {
+                            if class_ok {
+                                let methods = env
+                                    .catalog
+                                    .effective_methods(&d.schema.name, &c.name)
+                                    .unwrap_or_default();
+                                match methods.iter().find(|m| m.name == *method) {
+                                    None => out.push(Diagnostic::error(format!(
+                                        "{where_}: class `{}` has no method `{method}`",
+                                        c.name
+                                    ))),
+                                    Some(m) => {
+                                        if m.params.len() != args.len() {
+                                            out.push(Diagnostic::error(format!(
+                                                "{where_}: `{method}` takes {} argument(s), got {}",
+                                                m.params.len(),
+                                                args.len()
+                                            )));
+                                        }
+                                    }
+                                }
+                                for arg in args {
+                                    if let Err(e) = resolve_path(
+                                        env.catalog,
+                                        &d.schema.name,
+                                        &c.name,
+                                        arg,
+                                    ) {
+                                        out.push(Diagnostic::error(format!("{where_}: {e}")));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(cb) = &a.using {
+                    if !env.known_callbacks.iter().any(|k| k == cb) {
+                        out.push(Diagnostic::warning(format!(
+                            "{where_}: callback `{cb}` is not registered yet"
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Duplicate class clauses within one directive are ambiguous.
+        for (i, a) in d.classes.iter().enumerate() {
+            if d.classes[..i].iter().any(|b| b.name == a.name) {
+                out.push(Diagnostic::error(format!(
+                    "{where_}: class `{}` customized twice in the same directive",
+                    a.name
+                )));
+            }
+        }
+    }
+    out
+}
+
+/// True when no diagnostic is an error.
+pub fn is_clean(diags: &[Diagnostic]) -> bool {
+    diags.iter().all(|d| d.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, FIG6_PROGRAM};
+    use geodb::gen::phone_net_schema;
+
+    fn env_parts() -> (Catalog, Library) {
+        let mut catalog = Catalog::new();
+        catalog.register(phone_net_schema()).unwrap();
+        let mut library = Library::with_kernel();
+        library
+            .specialize("slider", "Panel", vec![("style".into(), "slider".into())])
+            .unwrap();
+        library.specialize("poleWidget", "slider", vec![]).unwrap();
+        library.specialize("composed_text", "Text", vec![]).unwrap();
+        library.specialize("text", "Text", vec![]).unwrap();
+        (catalog, library)
+    }
+
+    #[test]
+    fn fig6_analyzes_clean_modulo_callback_warning() {
+        let (catalog, library) = env_parts();
+        let env = AnalysisEnv::new(&catalog, &library);
+        let prog = parse(FIG6_PROGRAM).unwrap();
+        let diags = analyze(&prog, &env);
+        assert!(is_clean(&diags), "diags: {diags:?}");
+        // The notify callback isn't registered -> exactly one warning.
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("composed_text.notify"));
+    }
+
+    #[test]
+    fn registered_callback_silences_warning() {
+        let (catalog, library) = env_parts();
+        let mut env = AnalysisEnv::new(&catalog, &library);
+        env.known_callbacks.push("composed_text.notify".into());
+        let prog = parse(FIG6_PROGRAM).unwrap();
+        assert!(analyze(&prog, &env).is_empty());
+    }
+
+    #[test]
+    fn unknown_schema_class_widget_format() {
+        let (catalog, library) = env_parts();
+        let env = AnalysisEnv::new(&catalog, &library);
+        let prog = parse(
+            "for user u schema ghost display as default class Nope display \
+             control as noWidget presentation as noFormat",
+        )
+        .unwrap();
+        let diags = analyze(&prog, &env);
+        let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("unknown schema `ghost`")));
+        assert!(msgs.iter().any(|m| m.contains("`noWidget`")));
+        assert!(msgs.iter().any(|m| m.contains("`noFormat`")));
+        assert!(!is_clean(&diags));
+    }
+
+    #[test]
+    fn bad_attribute_paths_are_caught() {
+        let (catalog, library) = env_parts();
+        let env = AnalysisEnv::new(&catalog, &library);
+        // Unknown attribute, bad tuple field, descent into scalar.
+        let prog = parse(
+            "for user u schema phone_net display as default class Pole display instances \
+               display attribute nonexistent \
+               display attribute pole_composition.bad_field \
+               display attribute pole_type.sub",
+        )
+        .unwrap();
+        let diags = analyze(&prog, &env);
+        assert_eq!(diags.iter().filter(|d| d.severity == Severity::Error).count(), 3);
+        assert!(diags.iter().any(|d| d.message.contains("no attribute `nonexistent`")));
+        assert!(diags.iter().any(|d| d.message.contains("no field `bad_field`")));
+        assert!(diags.iter().any(|d| d.message.contains("non-tuple")));
+    }
+
+    #[test]
+    fn method_arity_is_checked() {
+        let (catalog, library) = env_parts();
+        let env = AnalysisEnv::new(&catalog, &library);
+        let prog = parse(
+            "for user u schema phone_net display as default class Pole display instances \
+               display attribute pole_supplier from get_supplier_name(pole_supplier, pole_type) \
+               display attribute pole_type from no_such_method()",
+        )
+        .unwrap();
+        let diags = analyze(&prog, &env);
+        assert!(diags.iter().any(|d| d.message.contains("takes 1 argument(s), got 2")));
+        assert!(diags.iter().any(|d| d.message.contains("no method `no_such_method`")));
+    }
+
+    #[test]
+    fn duplicate_class_clause_is_flagged() {
+        let (catalog, library) = env_parts();
+        let env = AnalysisEnv::new(&catalog, &library);
+        let prog = parse(
+            "for user u schema phone_net display as default \
+             class Pole display control as poleWidget \
+             class Pole display presentation as pointFormat",
+        )
+        .unwrap();
+        let diags = analyze(&prog, &env);
+        assert!(diags.iter().any(|d| d.message.contains("customized twice")));
+    }
+
+    #[test]
+    fn builtin_formats_are_accepted() {
+        let (catalog, library) = env_parts();
+        let env = AnalysisEnv::new(&catalog, &library);
+        for fmt in BUILTIN_FORMATS {
+            let prog = parse(&format!(
+                "for user u schema phone_net display as default class Pole display presentation as {fmt}"
+            ))
+            .unwrap();
+            assert!(is_clean(&analyze(&prog, &env)), "format {fmt}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Abstract syntax of customization programs (paper Fig. 3).
+
+use serde::{Deserialize, Serialize};
+
+/// A whole customization program: one or more directives.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    pub directives: Vec<Directive>,
+}
+
+/// One `For … schema … {class …}+` directive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Directive {
+    pub context: ContextClause,
+    pub schema: SchemaClause,
+    pub classes: Vec<ClassClause>,
+}
+
+/// The `For [user] [category] [application]` clause — "the context
+/// (Condition component of the rule) is specified by the directive in the
+/// For clause".
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ContextClause {
+    pub user: Option<String>,
+    pub category: Option<String>,
+    pub application: Option<String>,
+    /// Extension dimensions the paper anticipates: "this context
+    /// information can conceivably be extended to other contextual data
+    /// (e.g., geographic scale, time framework)". Keys are `scale`,
+    /// `time`, … with free-form values (`1:1000`, `1997`).
+    pub extras: Vec<(String, String)>,
+}
+
+impl ContextClause {
+    /// True when no dimension is bound (matches everyone).
+    pub fn is_generic(&self) -> bool {
+        self.user.is_none()
+            && self.category.is_none()
+            && self.application.is_none()
+            && self.extras.is_empty()
+    }
+
+    /// Compact form used in generated rule names.
+    pub fn slug(&self) -> String {
+        let mut s = format!(
+            "{}:{}:{}",
+            self.user.as_deref().unwrap_or("*"),
+            self.category.as_deref().unwrap_or("*"),
+            self.application.as_deref().unwrap_or("*")
+        );
+        for (k, v) in &self.extras {
+            s.push_str(&format!(":{k}={v}"));
+        }
+        s
+    }
+}
+
+/// `schema <name> display as <mode>`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaClause {
+    pub name: String,
+    pub mode: SchemaMode,
+}
+
+/// Display modes of the Schema window (Fig. 3): `default | hierarchy |
+/// user-defined | Null`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemaMode {
+    Default,
+    Hierarchy,
+    UserDefined,
+    Null,
+}
+
+impl std::fmt::Display for SchemaMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SchemaMode::Default => "default",
+            SchemaMode::Hierarchy => "hierarchy",
+            SchemaMode::UserDefined => "user-defined",
+            SchemaMode::Null => "Null",
+        };
+        f.write_str(s)
+    }
+}
+
+/// `class <name> display [control as …] [presentation as …]
+/// [instances …]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassClause {
+    pub name: String,
+    /// Widget class for the control area.
+    pub control: Option<String>,
+    /// Presentation format for the display area (`pointFormat`, …).
+    pub presentation: Option<String>,
+    /// Per-attribute customizations of the Instance window.
+    pub instances: Vec<AttrClause>,
+}
+
+/// `display attribute <attr> [as <widget>|Null] [from <source>+]
+/// [using <callback>]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrClause {
+    pub attribute: String,
+    pub display: AttrDisplay,
+    pub from: Vec<Source>,
+    /// Callback bound via `using`, e.g. `composed_text.notify`.
+    pub using: Option<String>,
+}
+
+/// How an attribute displays in the Instance window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrDisplay {
+    /// Omitted `as`: keep the generic presentation.
+    Default,
+    /// `as Null`: hide the attribute.
+    Null,
+    /// `as <widget-class>`: display with this library widget.
+    Widget(String),
+}
+
+/// A data source in a `from` list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Source {
+    /// Dotted attribute path, e.g. `pole_composition.pole_height`.
+    Path(String),
+    /// Method call, e.g. `get_supplier_name(pole_supplier)`.
+    MethodCall { method: String, args: Vec<String> },
+}
+
+impl std::fmt::Display for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Source::Path(p) => f.write_str(p),
+            Source::MethodCall { method, args } => {
+                write!(f, "{method}({})", args.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_slug_and_genericity() {
+        let generic = ContextClause::default();
+        assert!(generic.is_generic());
+        assert_eq!(generic.slug(), "*:*:*");
+
+        let juliano = ContextClause {
+            user: Some("juliano".into()),
+            category: None,
+            application: Some("pole_manager".into()),
+            extras: vec![],
+        };
+        assert!(!juliano.is_generic());
+        assert_eq!(juliano.slug(), "juliano:*:pole_manager");
+    }
+
+    #[test]
+    fn schema_mode_displays() {
+        assert_eq!(SchemaMode::UserDefined.to_string(), "user-defined");
+        assert_eq!(SchemaMode::Null.to_string(), "Null");
+    }
+
+    #[test]
+    fn source_displays() {
+        assert_eq!(Source::Path("a.b".into()).to_string(), "a.b");
+        assert_eq!(
+            Source::MethodCall {
+                method: "get_supplier_name".into(),
+                args: vec!["pole_supplier".into()]
+            }
+            .to_string(),
+            "get_supplier_name(pole_supplier)"
+        );
+    }
+}

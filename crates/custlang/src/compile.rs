@@ -1,0 +1,315 @@
+//! Compiler from customization directives to active-database rules.
+//!
+//! "A given customization directive can thus be mapped directly into
+//! customization database rules, for events Get_Schema, Get_Class,
+//! Get_Instance to window customization (for, respectively, Schema,
+//! Class set and Instance interaction windows)." The paper lists this
+//! compiler as work in progress; here it is complete.
+
+use active::{ContextPattern, EventPattern, Rule};
+use geodb::query::DbEventKind;
+use serde::{Deserialize, Serialize};
+
+use crate::ast::*;
+
+/// The customization payload carried by compiled rules — what the paper
+/// writes as `Apply Customization CTₙ … involving interface library
+/// objects IO₁…IOₖ`. Interpreted by the generic interface builder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Customization {
+    /// Customize the Schema window (rule R1 in the example): display mode
+    /// plus the classes the directive goes on to customize — with mode
+    /// `Null` the dispatcher opens those classes directly.
+    SchemaWindow {
+        schema: String,
+        mode: SchemaMode,
+        classes: Vec<String>,
+    },
+    /// Customize a Class-set window (rule R2): control widget +
+    /// presentation format.
+    ClassWindow {
+        schema: String,
+        class: String,
+        control: Option<String>,
+        presentation: Option<String>,
+    },
+    /// Customize an Instance window (rule R3): per-attribute displays.
+    InstanceWindow {
+        schema: String,
+        class: String,
+        attrs: Vec<AttrClause>,
+    },
+}
+
+impl Customization {
+    /// The window type this customization applies to (for traces).
+    pub fn window_kind(&self) -> &'static str {
+        match self {
+            Customization::SchemaWindow { .. } => "Schema",
+            Customization::ClassWindow { .. } => "Class_set",
+            Customization::InstanceWindow { .. } => "Instance",
+        }
+    }
+}
+
+fn context_pattern(c: &ContextClause) -> ContextPattern {
+    let mut p = ContextPattern::any();
+    if let Some(u) = &c.user {
+        p = p.user(u.clone());
+    }
+    if let Some(cat) = &c.category {
+        p = p.category(cat.clone());
+    }
+    if let Some(a) = &c.application {
+        p = p.application(a.clone());
+    }
+    for (k, v) in &c.extras {
+        p = p.extra(k.clone(), v.clone());
+    }
+    p
+}
+
+/// Compile a program into customization rules.
+///
+/// `prefix` namespaces the generated rule names so a recompilation can
+/// atomically replace them (`engine.remove_rules_with_prefix`). One
+/// directive yields `1 + classes + classes-with-instances` rules.
+pub fn compile(program: &Program, prefix: &str) -> Vec<Rule<Customization>> {
+    let mut rules = Vec::new();
+    for (di, d) in program.directives.iter().enumerate() {
+        let ctx = context_pattern(&d.context);
+        let slug = d.context.slug();
+
+        rules.push(Rule::customization(
+            format!("{prefix}/{di}/{slug}/schema"),
+            EventPattern::db_on_schema(DbEventKind::GetSchema, d.schema.name.clone()),
+            ctx.clone(),
+            Customization::SchemaWindow {
+                schema: d.schema.name.clone(),
+                mode: d.schema.mode,
+                classes: d.classes.iter().map(|c| c.name.clone()).collect(),
+            },
+        ));
+
+        for c in &d.classes {
+            rules.push(Rule::customization(
+                format!("{prefix}/{di}/{slug}/class.{}", c.name),
+                EventPattern::db_on_class(
+                    DbEventKind::GetClass,
+                    d.schema.name.clone(),
+                    c.name.clone(),
+                ),
+                ctx.clone(),
+                Customization::ClassWindow {
+                    schema: d.schema.name.clone(),
+                    class: c.name.clone(),
+                    control: c.control.clone(),
+                    presentation: c.presentation.clone(),
+                },
+            ));
+            if !c.instances.is_empty() {
+                rules.push(Rule::customization(
+                    format!("{prefix}/{di}/{slug}/inst.{}", c.name),
+                    EventPattern::db_on_class(
+                        DbEventKind::GetValue,
+                        d.schema.name.clone(),
+                        c.name.clone(),
+                    ),
+                    ctx.clone(),
+                    Customization::InstanceWindow {
+                        schema: d.schema.name.clone(),
+                        class: c.name.clone(),
+                        attrs: c.instances.clone(),
+                    },
+                ));
+            }
+        }
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, FIG6_PROGRAM};
+    use active::{Engine, Event, SessionContext};
+    use geodb::query::DbEvent;
+
+    #[test]
+    fn fig6_compiles_to_three_rules() {
+        let prog = parse(FIG6_PROGRAM).unwrap();
+        let rules = compile(&prog, "fig6");
+        // R1 (schema), R2 (class), R3 (instances) — the paper shows R1/R2
+        // and describes the third level for Get_Value.
+        assert_eq!(rules.len(), 3);
+        let names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fig6/0/juliano:*:pole_manager/schema",
+                "fig6/0/juliano:*:pole_manager/class.Pole",
+                "fig6/0/juliano:*:pole_manager/inst.Pole",
+            ]
+        );
+        assert!(matches!(
+            rules[0].action,
+            active::Action::Customize(Customization::SchemaWindow {
+                mode: SchemaMode::Null,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn compiled_rules_fire_like_the_papers_r1_r2() {
+        let prog = parse(FIG6_PROGRAM).unwrap();
+        let mut engine: Engine<Customization> = Engine::new();
+        engine.add_rules(compile(&prog, "fig6")).unwrap();
+
+        let juliano = SessionContext::new("juliano", "planner", "pole_manager");
+
+        // R1: Get_Schema under the right context.
+        let out = engine
+            .dispatch(
+                Event::Db(DbEvent::GetSchema {
+                    schema: "phone_net".into(),
+                }),
+                &juliano,
+            )
+            .unwrap();
+        match out.customization().unwrap() {
+            Customization::SchemaWindow { mode, classes, .. } => {
+                assert_eq!(*mode, SchemaMode::Null);
+                assert_eq!(classes, &vec!["Pole".to_string()]);
+            }
+            other => panic!("wrong payload {other:?}"),
+        }
+
+        // R2: Get_Class(Pole).
+        let out = engine
+            .dispatch(
+                Event::Db(DbEvent::GetClass {
+                    schema: "phone_net".into(),
+                    class: "Pole".into(),
+                }),
+                &juliano,
+            )
+            .unwrap();
+        match out.customization().unwrap() {
+            Customization::ClassWindow {
+                control,
+                presentation,
+                ..
+            } => {
+                assert_eq!(control.as_deref(), Some("poleWidget"));
+                assert_eq!(presentation.as_deref(), Some("pointFormat"));
+            }
+            other => panic!("wrong payload {other:?}"),
+        }
+
+        // A different user gets no customization ("no customization exists
+        // for that context … the Interface Builder uses generic code").
+        let other = SessionContext::new("claudia", "admin", "net_inventory");
+        let out = engine
+            .dispatch(
+                Event::Db(DbEvent::GetSchema {
+                    schema: "phone_net".into(),
+                }),
+                &other,
+            )
+            .unwrap();
+        assert!(out.customization().is_none());
+    }
+
+    #[test]
+    fn classes_without_instances_skip_the_instance_rule() {
+        let prog = parse(
+            "for user u schema s display as default class A display control as Panel \
+             class B display instances display attribute x",
+        )
+        .unwrap();
+        let rules = compile(&prog, "p");
+        // schema + class.A + class.B + inst.B
+        assert_eq!(rules.len(), 4);
+        assert!(rules.iter().any(|r| r.name.ends_with("inst.B")));
+        assert!(!rules.iter().any(|r| r.name.ends_with("inst.A")));
+    }
+
+    #[test]
+    fn multiple_directives_namespace_by_index() {
+        let prog = parse(
+            "for user a schema s display as default class C display \
+             for user b schema s display as default class C display",
+        )
+        .unwrap();
+        let rules = compile(&prog, "p");
+        assert_eq!(rules.len(), 4);
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4, "rule names must be unique");
+    }
+
+    #[test]
+    fn generic_directive_compiles_to_generic_context() {
+        let prog = parse("for schema s display as hierarchy class C display").unwrap();
+        let rules = compile(&prog, "p");
+        assert_eq!(rules[0].context, ContextPattern::any());
+        assert_eq!(rules[0].context.specificity(), 0);
+    }
+
+    #[test]
+    fn recompilation_replaces_rule_family() {
+        let mut engine: Engine<Customization> = Engine::new();
+        let v1 = parse("for user u schema s display as default class C display").unwrap();
+        engine.add_rules(compile(&v1, "prog")).unwrap();
+        assert_eq!(engine.len(), 2);
+
+        let v2 = parse(
+            "for user u schema s display as Null class C display class D display",
+        )
+        .unwrap();
+        engine.remove_rules_with_prefix("prog/");
+        engine.add_rules(compile(&v2, "prog")).unwrap();
+        assert_eq!(engine.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::parser::parse;
+    use active::{Engine, Event, SessionContext};
+    use geodb::query::DbEvent;
+
+    #[test]
+    fn scale_scoped_rules_only_fire_at_that_scale() {
+        let prog = parse(
+            "for application pole_manager scale 1:1000 \
+             schema phone_net display as default \
+             class Pole display presentation as symbolFormat",
+        )
+        .unwrap();
+        let mut engine: Engine<Customization> = Engine::new();
+        engine.add_rules(compile(&prog, "s")).unwrap();
+
+        let event = || {
+            Event::Db(DbEvent::GetClass {
+                schema: "phone_net".into(),
+                class: "Pole".into(),
+            })
+        };
+        let base = SessionContext::new("anyone", "any", "pole_manager");
+        // Without the scale dimension: no match.
+        let out = engine.dispatch(event(), &base).unwrap();
+        assert!(out.customization().is_none());
+        // With the right scale: fires.
+        let zoomed = base.clone().with_extra("scale", "1:1000");
+        let out = engine.dispatch(event(), &zoomed).unwrap();
+        assert!(out.customization().is_some());
+        // Wrong scale: no match.
+        let coarse = base.with_extra("scale", "1:50000");
+        let out = engine.dispatch(event(), &coarse).unwrap();
+        assert!(out.customization().is_none());
+    }
+}

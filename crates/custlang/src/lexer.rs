@@ -1,0 +1,267 @@
+//! Lexer for the customization language.
+//!
+//! The language "has to be as simple and easy to use as possible": plain
+//! identifiers, a dozen case-insensitive keywords, and `( ) . ,`
+//! punctuation. `#` starts a line comment (an ergonomic extension).
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Keywords (matched case-insensitively).
+    For,
+    User,
+    Category,
+    Application,
+    /// Context extension: geographic scale (`scale 1:1000`).
+    Scale,
+    /// Context extension: time framework (`time 1997`).
+    Time,
+    Schema,
+    Class,
+    Display,
+    As,
+    Control,
+    Presentation,
+    Instances,
+    Attribute,
+    From,
+    Using,
+    Default,
+    Hierarchy,
+    UserDefined,
+    Null,
+    // Punctuation.
+    LParen,
+    RParen,
+    Dot,
+    Comma,
+    /// Anything else word-like: schema/class/attribute/widget names.
+    Ident(String),
+    Eof,
+}
+
+impl TokenKind {
+    /// Display form used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Eof => "end of input".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Comma => "`,`".into(),
+            other => format!("`{}`", format!("{other:?}").to_lowercase()),
+        }
+    }
+}
+
+/// A lexical error: an unexpected character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub ch: char,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: unexpected character `{}`", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    match word.to_ascii_lowercase().as_str() {
+        "for" => Some(TokenKind::For),
+        "user" => Some(TokenKind::User),
+        "category" => Some(TokenKind::Category),
+        "application" => Some(TokenKind::Application),
+        "scale" => Some(TokenKind::Scale),
+        "time" => Some(TokenKind::Time),
+        "schema" => Some(TokenKind::Schema),
+        "class" => Some(TokenKind::Class),
+        "display" => Some(TokenKind::Display),
+        "as" => Some(TokenKind::As),
+        "control" => Some(TokenKind::Control),
+        "presentation" => Some(TokenKind::Presentation),
+        "instances" => Some(TokenKind::Instances),
+        "attribute" => Some(TokenKind::Attribute),
+        "from" => Some(TokenKind::From),
+        "using" => Some(TokenKind::Using),
+        "default" => Some(TokenKind::Default),
+        "hierarchy" => Some(TokenKind::Hierarchy),
+        "user-defined" => Some(TokenKind::UserDefined),
+        "null" => Some(TokenKind::Null),
+        _ => None,
+    }
+}
+
+/// Tokenize a program.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::RParen, line });
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Dot, line });
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Comma, line });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    // Hyphen is a word character so `user-defined` and
+                    // hyphenated names lex as single tokens; ':' supports
+                    // scale denominators like `1:1000`.
+                    if c.is_alphanumeric() || c == '_' || c == '-' || c == ':' {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = keyword(&word).unwrap_or(TokenKind::Ident(word));
+                tokens.push(Token { kind, line });
+            }
+            other => return Err(LexError { line, ch: other }),
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("For USER Schema"),
+            vec![TokenKind::For, TokenKind::User, TokenKind::Schema, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn idents_keep_case() {
+        assert_eq!(
+            kinds("Pole poleWidget"),
+            vec![
+                TokenKind::Ident("Pole".into()),
+                TokenKind::Ident("poleWidget".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn user_defined_lexes_as_one_keyword() {
+        assert_eq!(
+            kinds("display as user-defined"),
+            vec![
+                TokenKind::Display,
+                TokenKind::As,
+                TokenKind::UserDefined,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_calls() {
+        assert_eq!(
+            kinds("using composed_text.notify()"),
+            vec![
+                TokenKind::Using,
+                TokenKind::Ident("composed_text".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("notify".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines_are_tracked() {
+        let toks = lex("for user juliano # context\nschema phone_net").unwrap();
+        let schema_tok = toks.iter().find(|t| t.kind == TokenKind::Schema).unwrap();
+        assert_eq!(schema_tok.line, 2);
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_line() {
+        let err = lex("for user juliano\n@").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.ch, '@');
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n # only a comment\n"), vec![TokenKind::Eof]);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn scale_and_time_keywords() {
+        let toks = lex("scale 1:1000 time 1997").unwrap();
+        let kinds: Vec<TokenKind> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Scale,
+                TokenKind::Ident("1:1000".into()),
+                TokenKind::Time,
+                TokenKind::Ident("1997".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

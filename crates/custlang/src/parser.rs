@@ -1,0 +1,545 @@
+//! Recursive-descent parser for the customization language.
+//!
+//! Grammar (paper Fig. 3, formalized):
+//!
+//! ```text
+//! program      := directive* EOF
+//! directive    := "for" context schema_clause class_clause+
+//! context      := ("user" IDENT)? ("category" IDENT)? ("application" IDENT)?
+//! schema_clause:= "schema" IDENT "display" "as" mode
+//! mode         := "default" | "hierarchy" | "user-defined" | "Null"
+//! class_clause := "class" IDENT "display" ("control" "as" IDENT)?
+//!                 ("presentation" "as" IDENT)? ("instances" attr_clause+)?
+//! attr_clause  := "display" "attribute" path ("as" (IDENT | "Null"))?
+//!                 ("from" source+)? ("using" callback)?
+//! path         := IDENT ("." IDENT)*
+//! source       := path | IDENT "(" [path ("," path)*] ")"
+//! callback     := IDENT ("." IDENT)? ["(" ")"]
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            line: e.line,
+            message: format!("unexpected character `{}`", e.ch),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn next(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {} ({what}), found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    /// `IDENT ("." IDENT)*`
+    fn path(&mut self, what: &str) -> Result<String, ParseError> {
+        let mut p = self.ident(what)?;
+        while self.eat(&TokenKind::Dot) {
+            p.push('.');
+            p.push_str(&self.ident("path segment")?);
+        }
+        Ok(p)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut directives = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            directives.push(self.directive()?);
+        }
+        Ok(Program { directives })
+    }
+
+    fn directive(&mut self) -> Result<Directive, ParseError> {
+        self.expect(TokenKind::For, "start of directive")?;
+        let context = self.context()?;
+        let schema = self.schema_clause()?;
+        let mut classes = Vec::new();
+        while matches!(self.peek(), TokenKind::Class) {
+            classes.push(self.class_clause()?);
+        }
+        if classes.is_empty() {
+            return Err(self.error("a directive needs at least one `class` clause".into()));
+        }
+        Ok(Directive {
+            context,
+            schema,
+            classes,
+        })
+    }
+
+    fn context(&mut self) -> Result<ContextClause, ParseError> {
+        let mut ctx = ContextClause::default();
+        loop {
+            match self.peek() {
+                TokenKind::User => {
+                    self.next();
+                    let v = self.ident("user name")?;
+                    if ctx.user.replace(v).is_some() {
+                        return Err(self.error("duplicate `user` in For clause".into()));
+                    }
+                }
+                TokenKind::Category => {
+                    self.next();
+                    let v = self.ident("category name")?;
+                    if ctx.category.replace(v).is_some() {
+                        return Err(self.error("duplicate `category` in For clause".into()));
+                    }
+                }
+                TokenKind::Application => {
+                    self.next();
+                    let v = self.ident("application name")?;
+                    if ctx.application.replace(v).is_some() {
+                        return Err(self.error("duplicate `application` in For clause".into()));
+                    }
+                }
+                TokenKind::Scale => {
+                    self.next();
+                    let v = self.ident("scale value")?;
+                    if ctx.extras.iter().any(|(k, _)| k == "scale") {
+                        return Err(self.error("duplicate `scale` in For clause".into()));
+                    }
+                    ctx.extras.push(("scale".into(), v));
+                }
+                TokenKind::Time => {
+                    self.next();
+                    let v = self.ident("time value")?;
+                    if ctx.extras.iter().any(|(k, _)| k == "time") {
+                        return Err(self.error("duplicate `time` in For clause".into()));
+                    }
+                    ctx.extras.push(("time".into(), v));
+                }
+                _ => break,
+            }
+        }
+        Ok(ctx)
+    }
+
+    fn schema_clause(&mut self) -> Result<SchemaClause, ParseError> {
+        self.expect(TokenKind::Schema, "schema clause")?;
+        let name = self.ident("schema name")?;
+        self.expect(TokenKind::Display, "schema clause")?;
+        self.expect(TokenKind::As, "schema clause")?;
+        let mode = match self.peek() {
+            TokenKind::Default => SchemaMode::Default,
+            TokenKind::Hierarchy => SchemaMode::Hierarchy,
+            TokenKind::UserDefined => SchemaMode::UserDefined,
+            TokenKind::Null => SchemaMode::Null,
+            other => {
+                return Err(self.error(format!(
+                    "expected a schema display mode (default|hierarchy|user-defined|Null), found {}",
+                    other.describe()
+                )))
+            }
+        };
+        self.next();
+        Ok(SchemaClause { name, mode })
+    }
+
+    fn class_clause(&mut self) -> Result<ClassClause, ParseError> {
+        self.expect(TokenKind::Class, "class clause")?;
+        let name = self.ident("class name")?;
+        self.expect(TokenKind::Display, "class clause")?;
+
+        let mut clause = ClassClause {
+            name,
+            control: None,
+            presentation: None,
+            instances: Vec::new(),
+        };
+        if self.eat(&TokenKind::Control) {
+            self.expect(TokenKind::As, "control clause")?;
+            clause.control = Some(self.ident("control widget class")?);
+        }
+        if self.eat(&TokenKind::Presentation) {
+            self.expect(TokenKind::As, "presentation clause")?;
+            // `default` is a keyword but also a valid format name.
+            clause.presentation = if self.eat(&TokenKind::Default) {
+                Some("default".to_string())
+            } else {
+                Some(self.ident("presentation format")?)
+            };
+        }
+        if self.eat(&TokenKind::Instances) {
+            while matches!(self.peek(), TokenKind::Display) {
+                clause.instances.push(self.attr_clause()?);
+            }
+            if clause.instances.is_empty() {
+                return Err(
+                    self.error("`instances` needs at least one `display attribute`".into())
+                );
+            }
+        }
+        Ok(clause)
+    }
+
+    fn attr_clause(&mut self) -> Result<AttrClause, ParseError> {
+        self.expect(TokenKind::Display, "attribute clause")?;
+        self.expect(TokenKind::Attribute, "attribute clause")?;
+        let attribute = self.path("attribute name")?;
+
+        let display = if self.eat(&TokenKind::As) {
+            match self.peek().clone() {
+                TokenKind::Null => {
+                    self.next();
+                    AttrDisplay::Null
+                }
+                TokenKind::Ident(_) => AttrDisplay::Widget(self.ident("widget class")?),
+                other => {
+                    return Err(self.error(format!(
+                        "expected a widget class or Null after `as`, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        } else {
+            AttrDisplay::Default
+        };
+
+        let mut from = Vec::new();
+        if self.eat(&TokenKind::From) {
+            while matches!(self.peek(), TokenKind::Ident(_)) {
+                from.push(self.source()?);
+            }
+            if from.is_empty() {
+                return Err(self.error("`from` needs at least one source".into()));
+            }
+        }
+
+        let mut using = None;
+        if self.eat(&TokenKind::Using) {
+            let mut name = self.ident("callback name")?;
+            if self.eat(&TokenKind::Dot) {
+                name.push('.');
+                name.push_str(&self.ident("callback method")?);
+            }
+            if self.eat(&TokenKind::LParen) {
+                self.expect(TokenKind::RParen, "callback call")?;
+            }
+            using = Some(name);
+        }
+
+        Ok(AttrClause {
+            attribute,
+            display,
+            from,
+            using,
+        })
+    }
+
+    fn source(&mut self) -> Result<Source, ParseError> {
+        let first = self.ident("source")?;
+        if self.eat(&TokenKind::LParen) {
+            // Method call.
+            let mut args = Vec::new();
+            if !matches!(self.peek(), TokenKind::RParen) {
+                loop {
+                    args.push(self.path("method argument")?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen, "method call")?;
+            Ok(Source::MethodCall {
+                method: first,
+                args,
+            })
+        } else {
+            let mut p = first;
+            while self.eat(&TokenKind::Dot) {
+                p.push('.');
+                p.push_str(&self.ident("path segment")?);
+            }
+            Ok(Source::Path(p))
+        }
+    }
+}
+
+/// Parse a customization program.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+/// The verbatim program of paper Fig. 6.
+pub const FIG6_PROGRAM: &str = "\
+For user juliano application pole_manager
+  schema phone_net display as Null
+  class Pole display
+    control as poleWidget
+    presentation as pointFormat
+    instances
+      display attribute pole_composition as composed_text
+        from pole_composition.pole_material pole_composition.pole_diameter pole_composition.pole_height
+        using composed_text.notify()
+      display attribute pole_supplier as text
+        from get_supplier_name(pole_supplier)
+      display attribute pole_location as Null
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig6_verbatim() {
+        let prog = parse(FIG6_PROGRAM).unwrap();
+        assert_eq!(prog.directives.len(), 1);
+        let d = &prog.directives[0];
+        assert_eq!(d.context.user.as_deref(), Some("juliano"));
+        assert_eq!(d.context.category, None);
+        assert_eq!(d.context.application.as_deref(), Some("pole_manager"));
+        assert_eq!(d.schema.name, "phone_net");
+        assert_eq!(d.schema.mode, SchemaMode::Null);
+        assert_eq!(d.classes.len(), 1);
+        let c = &d.classes[0];
+        assert_eq!(c.name, "Pole");
+        assert_eq!(c.control.as_deref(), Some("poleWidget"));
+        assert_eq!(c.presentation.as_deref(), Some("pointFormat"));
+        assert_eq!(c.instances.len(), 3);
+
+        let comp = &c.instances[0];
+        assert_eq!(comp.attribute, "pole_composition");
+        assert_eq!(comp.display, AttrDisplay::Widget("composed_text".into()));
+        assert_eq!(comp.from.len(), 3);
+        assert_eq!(
+            comp.from[0],
+            Source::Path("pole_composition.pole_material".into())
+        );
+        assert_eq!(comp.using.as_deref(), Some("composed_text.notify"));
+
+        let sup = &c.instances[1];
+        assert_eq!(
+            sup.from[0],
+            Source::MethodCall {
+                method: "get_supplier_name".into(),
+                args: vec!["pole_supplier".into()]
+            }
+        );
+
+        let loc = &c.instances[2];
+        assert_eq!(loc.display, AttrDisplay::Null);
+        assert!(loc.from.is_empty());
+        assert!(loc.using.is_none());
+    }
+
+    #[test]
+    fn generic_context_parses() {
+        let prog = parse("for schema s display as default class C display").unwrap();
+        assert!(prog.directives[0].context.is_generic());
+        assert_eq!(prog.directives[0].schema.mode, SchemaMode::Default);
+    }
+
+    #[test]
+    fn all_schema_modes_parse() {
+        for (txt, mode) in [
+            ("default", SchemaMode::Default),
+            ("hierarchy", SchemaMode::Hierarchy),
+            ("user-defined", SchemaMode::UserDefined),
+            ("Null", SchemaMode::Null),
+        ] {
+            let src = format!("for user u schema s display as {txt} class C display");
+            assert_eq!(parse(&src).unwrap().directives[0].schema.mode, mode);
+        }
+    }
+
+    #[test]
+    fn multiple_directives_and_classes() {
+        let src = "
+            for user a schema s display as default
+              class C1 display control as w1
+              class C2 display presentation as f1
+            for category ops application maint schema s display as hierarchy
+              class C3 display
+        ";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.directives.len(), 2);
+        assert_eq!(prog.directives[0].classes.len(), 2);
+        assert_eq!(
+            prog.directives[1].context.category.as_deref(),
+            Some("ops")
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("for user u\nschema s display as bogus\nclass C display").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("display mode"));
+
+        let err = parse("for user u schema s display as default").unwrap_err();
+        assert!(err.message.contains("at least one `class`"));
+    }
+
+    #[test]
+    fn duplicate_context_binding_rejected() {
+        let err =
+            parse("for user a user b schema s display as default class C display").unwrap_err();
+        assert!(err.message.contains("duplicate `user`"));
+    }
+
+    #[test]
+    fn empty_instances_rejected() {
+        let err = parse(
+            "for user u schema s display as default class C display instances",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("display attribute"));
+    }
+
+    #[test]
+    fn from_without_sources_rejected() {
+        let err = parse(
+            "for user u schema s display as default class C display instances display attribute a from using cb",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("at least one source"));
+    }
+
+    #[test]
+    fn method_call_with_multiple_args() {
+        let src = "for user u schema s display as default class C display \
+                   instances display attribute a from f(x, y.z)";
+        let prog = parse(src).unwrap();
+        let attr = &prog.directives[0].classes[0].instances[0];
+        assert_eq!(
+            attr.from[0],
+            Source::MethodCall {
+                method: "f".into(),
+                args: vec!["x".into(), "y.z".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn using_without_parens_or_dot() {
+        let src = "for user u schema s display as default class C display \
+                   instances display attribute a using refresh";
+        let prog = parse(src).unwrap();
+        assert_eq!(
+            prog.directives[0].classes[0].instances[0].using.as_deref(),
+            Some("refresh")
+        );
+    }
+
+    #[test]
+    fn empty_program_is_valid() {
+        assert_eq!(parse("").unwrap().directives.len(), 0);
+        assert_eq!(parse("# just a comment\n").unwrap().directives.len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn scale_and_time_context_dimensions() {
+        let prog = parse(
+            "for user juliano application pole_manager scale 1:1000 time 1997 \
+             schema phone_net display as default class Pole display",
+        )
+        .unwrap();
+        let ctx = &prog.directives[0].context;
+        assert_eq!(
+            ctx.extras,
+            vec![
+                ("scale".to_string(), "1:1000".to_string()),
+                ("time".to_string(), "1997".to_string())
+            ]
+        );
+        assert_eq!(ctx.slug(), "juliano:*:pole_manager:scale=1:1000:time=1997");
+    }
+
+    #[test]
+    fn duplicate_scale_rejected() {
+        let err = parse(
+            "for scale 1:10 scale 1:20 schema s display as default class C display",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate `scale`"));
+    }
+
+    #[test]
+    fn extras_round_trip_through_pretty() {
+        let src = "for category planner scale 1:500 \
+                   schema s display as default class C display";
+        let prog = parse(src).unwrap();
+        let printed = crate::pretty::pretty(&prog);
+        assert_eq!(parse(&printed).unwrap(), prog);
+    }
+}

@@ -1,0 +1,94 @@
+//! Pretty-printer: renders a [`Program`] back to canonical source text.
+//!
+//! Guarantees `parse(pretty(p)) == p`, which the property tests rely on.
+
+use crate::ast::*;
+
+fn write_attr(a: &AttrClause, out: &mut String) {
+    out.push_str(&format!("      display attribute {}", a.attribute));
+    match &a.display {
+        AttrDisplay::Default => {}
+        AttrDisplay::Null => out.push_str(" as Null"),
+        AttrDisplay::Widget(w) => out.push_str(&format!(" as {w}")),
+    }
+    out.push('\n');
+    if !a.from.is_empty() {
+        let sources: Vec<String> = a.from.iter().map(|s| s.to_string()).collect();
+        out.push_str(&format!("        from {}\n", sources.join(" ")));
+    }
+    if let Some(cb) = &a.using {
+        out.push_str(&format!("        using {cb}()\n"));
+    }
+}
+
+/// Render a program as parseable source.
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    for d in &program.directives {
+        out.push_str("For");
+        if let Some(u) = &d.context.user {
+            out.push_str(&format!(" user {u}"));
+        }
+        if let Some(c) = &d.context.category {
+            out.push_str(&format!(" category {c}"));
+        }
+        if let Some(a) = &d.context.application {
+            out.push_str(&format!(" application {a}"));
+        }
+        for (k, v) in &d.context.extras {
+            out.push_str(&format!(" {k} {v}"));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "  schema {} display as {}\n",
+            d.schema.name, d.schema.mode
+        ));
+        for c in &d.classes {
+            out.push_str(&format!("  class {} display\n", c.name));
+            if let Some(ctl) = &c.control {
+                out.push_str(&format!("    control as {ctl}\n"));
+            }
+            if let Some(p) = &c.presentation {
+                out.push_str(&format!("    presentation as {p}\n"));
+            }
+            if !c.instances.is_empty() {
+                out.push_str("    instances\n");
+                for a in &c.instances {
+                    write_attr(a, &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, FIG6_PROGRAM};
+
+    #[test]
+    fn fig6_round_trips() {
+        let prog = parse(FIG6_PROGRAM).unwrap();
+        let printed = pretty(&prog);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn callback_parens_are_emitted() {
+        let prog = parse(
+            "for user u schema s display as default class C display \
+             instances display attribute a using cb.notify",
+        )
+        .unwrap();
+        let printed = pretty(&prog);
+        assert!(printed.contains("using cb.notify()"));
+        assert_eq!(parse(&printed).unwrap(), prog);
+    }
+
+    #[test]
+    fn empty_program_prints_empty() {
+        assert_eq!(pretty(&Program::default()), "");
+    }
+}

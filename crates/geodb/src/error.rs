@@ -1,0 +1,109 @@
+//! Error type shared by every `geodb` module.
+
+use std::fmt;
+
+/// Errors produced by the geographic DBMS substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeoDbError {
+    /// A named schema does not exist in the catalog.
+    UnknownSchema(String),
+    /// A named class does not exist in the given schema.
+    UnknownClass(String),
+    /// A named attribute does not exist on the given class.
+    UnknownAttribute { class: String, attribute: String },
+    /// A named method does not exist on the given class.
+    UnknownMethod { class: String, method: String },
+    /// An object id does not resolve to a stored instance.
+    UnknownOid(u64),
+    /// A schema/class/attribute with this name already exists.
+    Duplicate(String),
+    /// A value did not match the declared attribute type.
+    TypeMismatch {
+        class: String,
+        attribute: String,
+        expected: String,
+        got: String,
+    },
+    /// A required (non-optional) attribute was missing on insert.
+    MissingAttribute { class: String, attribute: String },
+    /// Inheritance cycle detected while resolving a class.
+    InheritanceCycle(String),
+    /// A geometry was structurally invalid (e.g. polygon with < 3 points).
+    InvalidGeometry(String),
+    /// WKT text could not be parsed.
+    WktParse(String),
+    /// A storage-layer failure (page full, bad record id, I/O).
+    Storage(String),
+    /// Snapshot (de)serialization failure.
+    Snapshot(String),
+    /// A query referenced something inconsistent (e.g. spatial predicate on
+    /// a non-geometry attribute).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for GeoDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoDbError::UnknownSchema(s) => write!(f, "unknown schema `{s}`"),
+            GeoDbError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            GeoDbError::UnknownAttribute { class, attribute } => {
+                write!(f, "unknown attribute `{attribute}` on class `{class}`")
+            }
+            GeoDbError::UnknownMethod { class, method } => {
+                write!(f, "unknown method `{method}` on class `{class}`")
+            }
+            GeoDbError::UnknownOid(o) => write!(f, "unknown object id {o}"),
+            GeoDbError::Duplicate(n) => write!(f, "duplicate definition `{n}`"),
+            GeoDbError::TypeMismatch {
+                class,
+                attribute,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch on `{class}.{attribute}`: expected {expected}, got {got}"
+            ),
+            GeoDbError::MissingAttribute { class, attribute } => {
+                write!(f, "missing required attribute `{attribute}` on class `{class}`")
+            }
+            GeoDbError::InheritanceCycle(c) => {
+                write!(f, "inheritance cycle through class `{c}`")
+            }
+            GeoDbError::InvalidGeometry(m) => write!(f, "invalid geometry: {m}"),
+            GeoDbError::WktParse(m) => write!(f, "WKT parse error: {m}"),
+            GeoDbError::Storage(m) => write!(f, "storage error: {m}"),
+            GeoDbError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            GeoDbError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GeoDbError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GeoDbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GeoDbError::TypeMismatch {
+            class: "Pole".into(),
+            attribute: "pole_height".into(),
+            expected: "float".into(),
+            got: "text".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Pole.pole_height"));
+        assert!(msg.contains("float"));
+        assert!(msg.contains("text"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GeoDbError::UnknownOid(7));
+    }
+}

@@ -1,0 +1,380 @@
+//! Synthetic workload generation.
+//!
+//! The paper's running example is an urban-planning application for
+//! telephone utilities: "a telephone network contains aerial and
+//! underground network elements, such as ducts and poles". No 1997
+//! Brazilian telecom traces survive, so this module generates the closest
+//! synthetic equivalent: a street grid with poles along streets, ducts
+//! connecting poles, suppliers, and administrative district polygons. The
+//! shape matches the paper's browsing workload — mostly points and
+//! polylines, spatially clustered, explored by region.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::db::Database;
+use crate::error::Result;
+use crate::geometry::{Geometry, Point, Polygon, Polyline};
+use crate::instance::Oid;
+use crate::schema::{ClassDef, MethodDef, SchemaDef};
+use crate::value::{AttrType, Value};
+
+/// Parameters of the synthetic telephone network.
+#[derive(Debug, Clone)]
+pub struct TelecomConfig {
+    /// City blocks along each axis (streets = blocks + 1 per axis).
+    pub blocks: usize,
+    /// Block side length in map units (metres).
+    pub block_size: f64,
+    /// Poles per street segment.
+    pub poles_per_segment: usize,
+    /// Fraction of consecutive pole pairs joined by a duct.
+    pub duct_fraction: f64,
+    /// Number of supplier companies.
+    pub suppliers: usize,
+    /// Bytes in each pole's bitmap picture (0 disables pictures).
+    pub picture_bytes: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for TelecomConfig {
+    fn default() -> Self {
+        TelecomConfig {
+            blocks: 4,
+            block_size: 100.0,
+            poles_per_segment: 3,
+            duct_fraction: 0.5,
+            suppliers: 3,
+            picture_bytes: 64,
+            seed: 1997,
+        }
+    }
+}
+
+impl TelecomConfig {
+    /// A small network for unit tests (tens of objects).
+    pub fn small() -> TelecomConfig {
+        TelecomConfig::default()
+    }
+
+    /// Scale the network to roughly `n` poles.
+    pub fn with_poles(n: usize) -> TelecomConfig {
+        // poles ≈ 2 * blocks * (blocks + 1) * poles_per_segment
+        let per_seg = 3usize;
+        let mut blocks = 1usize;
+        while 2 * blocks * (blocks + 1) * per_seg < n {
+            blocks += 1;
+        }
+        TelecomConfig {
+            blocks,
+            poles_per_segment: per_seg,
+            ..TelecomConfig::default()
+        }
+    }
+}
+
+/// The paper's `phone_net` schema. `Pole` is verbatim Fig. 5; the other
+/// classes round out the network the example browses.
+pub fn phone_net_schema() -> SchemaDef {
+    SchemaDef::new("phone_net")
+        .class(
+            ClassDef::new("Supplier")
+                .attr("supplier_name", AttrType::Text)
+                .attr("supplier_city", AttrType::Text)
+                .doc("Company providing network elements"),
+        )
+        .class(
+            ClassDef::new("Pole")
+                .attr("pole_type", AttrType::Int)
+                .attr(
+                    "pole_composition",
+                    AttrType::Tuple(vec![
+                        ("pole_material".into(), AttrType::Text),
+                        ("pole_diameter".into(), AttrType::Float),
+                        ("pole_height".into(), AttrType::Float),
+                    ]),
+                )
+                .attr("pole_supplier", AttrType::Ref("Supplier".into()))
+                .attr("pole_location", AttrType::Geometry)
+                .optional_attr("pole_picture", AttrType::Bitmap)
+                .optional_attr("pole_historic", AttrType::Text)
+                .method(MethodDef::new(
+                    "get_supplier_name",
+                    vec![AttrType::Ref("Supplier".into())],
+                    AttrType::Text,
+                ))
+                .doc("Aerial network support element (paper Fig. 5)"),
+        )
+        .class(
+            ClassDef::new("Duct")
+                .attr("duct_type", AttrType::Int)
+                .attr("duct_diameter", AttrType::Float)
+                .attr("duct_supplier", AttrType::Ref("Supplier".into()))
+                .attr("duct_path", AttrType::Geometry)
+                .doc("Underground conduit between network points"),
+        )
+        .class(
+            ClassDef::new("District")
+                .attr("district_name", AttrType::Text)
+                .attr("district_boundary", AttrType::Geometry)
+                .doc("Administrative region polygon"),
+        )
+}
+
+/// Register the native body of `Pole.get_supplier_name`.
+pub fn register_phone_net_methods(db: &mut Database) -> Result<()> {
+    db.register_method(
+        "phone_net",
+        "Pole",
+        "get_supplier_name",
+        std::rc::Rc::new(|db, inst, _args| {
+            let Value::Ref(oid) = inst.get("pole_supplier") else {
+                return Ok(Value::Null);
+            };
+            let supplier = db.peek(*oid)?;
+            Ok(supplier.get("supplier_name").clone())
+        }),
+    )
+}
+
+/// Summary of what [`generate_phone_net`] created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelecomStats {
+    pub suppliers: usize,
+    pub poles: usize,
+    pub ducts: usize,
+    pub districts: usize,
+}
+
+/// Populate `db` with a synthetic telephone network.
+pub fn generate_phone_net(db: &mut Database, cfg: &TelecomConfig) -> Result<TelecomStats> {
+    db.register_schema(phone_net_schema())?;
+    register_phone_net_methods(db)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    const MATERIALS: &[&str] = &["wood", "concrete", "steel", "fiberglass"];
+    const CITIES: &[&str] = &["Campinas", "Tandil", "Bari", "Lisboa"];
+
+    // Suppliers.
+    let mut suppliers = Vec::with_capacity(cfg.suppliers);
+    for i in 0..cfg.suppliers {
+        let oid = db.insert(
+            "phone_net",
+            "Supplier",
+            vec![
+                ("supplier_name".into(), format!("Supplier-{i:02}").into()),
+                (
+                    "supplier_city".into(),
+                    CITIES[i % CITIES.len()].into(),
+                ),
+            ],
+        )?;
+        suppliers.push(oid);
+    }
+
+    // Street segments of the grid: horizontal and vertical.
+    let n = cfg.blocks;
+    let s = cfg.block_size;
+    let mut segments: Vec<(Point, Point)> = Vec::new();
+    for row in 0..=n {
+        for col in 0..n {
+            let y = row as f64 * s;
+            segments.push((
+                Point::new(col as f64 * s, y),
+                Point::new((col + 1) as f64 * s, y),
+            ));
+        }
+    }
+    for col in 0..=n {
+        for row in 0..n {
+            let x = col as f64 * s;
+            segments.push((
+                Point::new(x, row as f64 * s),
+                Point::new(x, (row + 1) as f64 * s),
+            ));
+        }
+    }
+
+    // Poles along each segment, jittered off the street line.
+    let mut poles: Vec<(Oid, Point)> = Vec::new();
+    for (a, b) in &segments {
+        for k in 0..cfg.poles_per_segment {
+            let t = (k as f64 + 0.5) / cfg.poles_per_segment as f64;
+            let base = a.lerp(b, t);
+            let loc = Point::new(
+                base.x + rng.gen_range(-1.0..1.0),
+                base.y + rng.gen_range(-1.0..1.0),
+            );
+            let material = MATERIALS[rng.gen_range(0..MATERIALS.len())];
+            let supplier = suppliers[rng.gen_range(0..suppliers.len())];
+            let diameter = (rng.gen_range(0.2..0.6_f64) * 100.0).round() / 100.0;
+            let height = (rng.gen_range(7.0..14.0_f64) * 10.0).round() / 10.0;
+            let mut values = vec![
+                ("pole_type".into(), Value::Int(rng.gen_range(1..=4))),
+                (
+                    "pole_composition".into(),
+                    Value::Tuple(vec![
+                        ("pole_material".into(), material.into()),
+                        ("pole_diameter".into(), Value::Float(diameter)),
+                        ("pole_height".into(), Value::Float(height)),
+                    ]),
+                ),
+                ("pole_supplier".into(), Value::Ref(supplier)),
+                (
+                    "pole_location".into(),
+                    Geometry::Point(loc).into(),
+                ),
+                (
+                    "pole_historic".into(),
+                    format!("installed 19{}", rng.gen_range(70..97)).into(),
+                ),
+            ];
+            if cfg.picture_bytes > 0 {
+                let mut pic = vec![0u8; cfg.picture_bytes];
+                rng.fill(&mut pic[..]);
+                values.push(("pole_picture".into(), Value::Bitmap(pic)));
+            }
+            let oid = db.insert("phone_net", "Pole", values)?;
+            poles.push((oid, loc));
+        }
+    }
+
+    // Ducts join some consecutive pole pairs.
+    let mut ducts = 0;
+    for pair in poles.windows(2) {
+        if rng.gen_bool(cfg.duct_fraction) {
+            let path = Polyline::new(vec![pair[0].1, pair[1].1])?;
+            let supplier = suppliers[rng.gen_range(0..suppliers.len())];
+            db.insert(
+                "phone_net",
+                "Duct",
+                vec![
+                    ("duct_type".into(), Value::Int(rng.gen_range(1..=3))),
+                    (
+                        "duct_diameter".into(),
+                        Value::Float((rng.gen_range(0.05..0.3_f64) * 100.0).round() / 100.0),
+                    ),
+                    ("duct_supplier".into(), Value::Ref(supplier)),
+                    ("duct_path".into(), Geometry::Polyline(path).into()),
+                ],
+            )?;
+            ducts += 1;
+        }
+    }
+
+    // Districts: quadrants of the grid.
+    let half = n as f64 * s / 2.0;
+    let mut districts = 0;
+    for (name, x0, y0) in [
+        ("Centro", 0.0, 0.0),
+        ("Norte", 0.0, half),
+        ("Leste", half, 0.0),
+        ("Industrial", half, half),
+    ] {
+        let ring = vec![
+            Point::new(x0, y0),
+            Point::new(x0 + half, y0),
+            Point::new(x0 + half, y0 + half),
+            Point::new(x0, y0 + half),
+        ];
+        db.insert(
+            "phone_net",
+            "District",
+            vec![
+                ("district_name".into(), name.into()),
+                (
+                    "district_boundary".into(),
+                    Geometry::Polygon(Polygon::new(ring)?).into(),
+                ),
+            ],
+        )?;
+        districts += 1;
+    }
+
+    db.drain_events();
+    Ok(TelecomStats {
+        suppliers: suppliers.len(),
+        poles: poles.len(),
+        ducts,
+        districts,
+    })
+}
+
+/// Build a ready-to-browse phone-net database.
+pub fn phone_net_db(cfg: &TelecomConfig) -> Result<(Database, TelecomStats)> {
+    let mut db = Database::new("GEO");
+    let stats = generate_phone_net(&mut db, cfg)?;
+    Ok((db, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TelecomConfig::small();
+        let (mut a, sa) = phone_net_db(&cfg).unwrap();
+        let (mut b, sb) = phone_net_db(&cfg).unwrap();
+        assert_eq!(sa, sb);
+        let pa = a.get_class("phone_net", "Pole", false).unwrap();
+        let pb = b.get_class("phone_net", "Pole", false).unwrap();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = TelecomConfig::small();
+        let (db, stats) = phone_net_db(&cfg).unwrap();
+        // 2 * blocks * (blocks+1) segments, poles_per_segment each.
+        let segs = 2 * cfg.blocks * (cfg.blocks + 1);
+        assert_eq!(stats.poles, segs * cfg.poles_per_segment);
+        assert_eq!(stats.suppliers, cfg.suppliers);
+        assert_eq!(stats.districts, 4);
+        assert_eq!(db.extent_size("phone_net", "Pole"), stats.poles);
+        assert_eq!(db.extent_size("phone_net", "Duct"), stats.ducts);
+    }
+
+    #[test]
+    fn with_poles_scales() {
+        let cfg = TelecomConfig::with_poles(500);
+        let (_, stats) = phone_net_db(&cfg).unwrap();
+        assert!(stats.poles >= 500, "got {}", stats.poles);
+        assert!(stats.poles < 1000, "got {}", stats.poles);
+    }
+
+    #[test]
+    fn poles_lie_within_the_grid() {
+        let cfg = TelecomConfig::small();
+        let (mut db, _) = phone_net_db(&cfg).unwrap();
+        let extent = cfg.blocks as f64 * cfg.block_size;
+        let bounds = Rect::new(-2.0, -2.0, extent + 2.0, extent + 2.0);
+        for pole in db.get_class("phone_net", "Pole", false).unwrap() {
+            let g = pole.get("pole_location").as_geometry().unwrap();
+            assert!(bounds.contains_rect(&g.bbox()));
+        }
+    }
+
+    #[test]
+    fn supplier_method_works_on_generated_data() {
+        let (mut db, _) = phone_net_db(&TelecomConfig::small()).unwrap();
+        let poles = db.get_class("phone_net", "Pole", false).unwrap();
+        let name = db
+            .call_method(&poles[0], "get_supplier_name", &[])
+            .unwrap();
+        assert!(matches!(name, Value::Text(s) if s.starts_with("Supplier-")));
+    }
+
+    #[test]
+    fn spatial_browse_finds_district_poles() {
+        let cfg = TelecomConfig::small();
+        let (mut db, stats) = phone_net_db(&cfg).unwrap();
+        let half = cfg.blocks as f64 * cfg.block_size / 2.0;
+        let quadrant = Rect::new(0.0, 0.0, half, half);
+        let hits = db.window_query("phone_net", "Pole", quadrant).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.len() < stats.poles);
+    }
+}

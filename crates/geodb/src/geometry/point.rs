@@ -1,0 +1,144 @@
+//! 2-D point in a projected (planar) coordinate system.
+//!
+//! All geo-referenced data in the paper's examples (pole locations, duct
+//! endpoints) are planar map coordinates, so a Euclidean model is adequate.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in planar map coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Create a new point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared distance — cheaper when only comparing distances.
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise midpoint.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Translate by `(dx, dy)`.
+    pub fn translate(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// 2-D cross product of `(b - a)` and `(c - a)`; sign gives orientation.
+    pub fn cross(a: &Point, b: &Point, c: &Point) -> f64 {
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+
+    /// Distance from this point to the segment `[a, b]`.
+    pub fn distance_to_segment(&self, a: &Point, b: &Point) -> f64 {
+        let abx = b.x - a.x;
+        let aby = b.y - a.y;
+        let len_sq = abx * abx + aby * aby;
+        if len_sq == 0.0 {
+            return self.distance(a);
+        }
+        let t = ((self.x - a.x) * abx + (self.y - a.y) * aby) / len_sq;
+        let t = t.clamp(0.0, 1.0);
+        let proj = Point::new(a.x + t * abx, a.y + t * aby);
+        self.distance(&proj)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(7.25, -3.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert_eq!(a.midpoint(&b), a.lerp(&b, 0.5));
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+    }
+
+    #[test]
+    fn cross_sign_gives_orientation() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let left = Point::new(0.5, 1.0);
+        let right = Point::new(0.5, -1.0);
+        assert!(Point::cross(&a, &b, &left) > 0.0);
+        assert!(Point::cross(&a, &b, &right) < 0.0);
+        let colinear = Point::new(2.0, 0.0);
+        assert_eq!(Point::cross(&a, &b, &colinear), 0.0);
+    }
+
+    #[test]
+    fn distance_to_segment_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        // Perpendicular foot inside the segment.
+        assert_eq!(Point::new(5.0, 3.0).distance_to_segment(&a, &b), 3.0);
+        // Beyond endpoint b -> distance to b.
+        assert_eq!(Point::new(13.0, 4.0).distance_to_segment(&a, &b), 5.0);
+        // Degenerate segment.
+        assert_eq!(Point::new(3.0, 4.0).distance_to_segment(&a, &a), 5.0);
+    }
+
+    #[test]
+    fn translate_moves_point() {
+        assert_eq!(Point::new(1.0, 2.0).translate(2.0, -1.0), Point::new(3.0, 1.0));
+    }
+}

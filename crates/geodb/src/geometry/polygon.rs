@@ -1,0 +1,248 @@
+//! Simple polygons — administrative regions, coverage zones, building
+//! footprints in the workloads.
+
+use serde::{Deserialize, Serialize};
+
+use super::point::Point;
+use super::polyline::segments_intersect;
+use super::rect::Rect;
+use crate::error::{GeoDbError, Result};
+
+/// A simple polygon given by its exterior ring (not self-intersecting,
+/// without an explicit closing vertex — the ring wraps implicitly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    ring: Vec<Point>,
+}
+
+impl Polygon {
+    /// Create a polygon; fails with fewer than three vertices or a
+    /// duplicated closing vertex that would make the ring degenerate.
+    pub fn new(mut ring: Vec<Point>) -> Result<Polygon> {
+        // Tolerate an explicit closing vertex and strip it.
+        if ring.len() >= 2 && ring.first() == ring.last() {
+            ring.pop();
+        }
+        if ring.len() < 3 {
+            return Err(GeoDbError::InvalidGeometry(format!(
+                "polygon needs >= 3 distinct points, got {}",
+                ring.len()
+            )));
+        }
+        Ok(Polygon { ring })
+    }
+
+    /// Axis-aligned rectangle as a polygon.
+    pub fn from_rect(r: &Rect) -> Polygon {
+        Polygon {
+            ring: vec![
+                r.min,
+                Point::new(r.max.x, r.min.y),
+                r.max,
+                Point::new(r.min.x, r.max.y),
+            ],
+        }
+    }
+
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Edges of the ring, including the closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = (&Point, &Point)> {
+        let n = self.ring.len();
+        (0..n).map(move |i| (&self.ring[i], &self.ring[(i + 1) % n]))
+    }
+
+    /// Signed area via the shoelace formula (positive when CCW).
+    pub fn signed_area(&self) -> f64 {
+        let mut acc = 0.0;
+        for (a, b) in self.edges() {
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute enclosed area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Ring perimeter.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|(a, b)| a.distance(b)).sum()
+    }
+
+    /// Centroid of the enclosed region (falls back to vertex mean for
+    /// zero-area rings).
+    pub fn centroid(&self) -> Point {
+        let a = self.signed_area();
+        if a == 0.0 {
+            let n = self.ring.len() as f64;
+            let (sx, sy) = self
+                .ring
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+            return Point::new(sx / n, sy / n);
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for (p, q) in self.edges() {
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Tight axis-aligned bounding box.
+    pub fn bbox(&self) -> Rect {
+        self.ring
+            .iter()
+            .fold(Rect::empty(), |acc, p| acc.union(&Rect::from_point(*p)))
+    }
+
+    /// Even-odd point-in-polygon test; boundary points count as inside.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        // Boundary check first, so edge/vertex hits are deterministic.
+        for (a, b) in self.edges() {
+            if p.distance_to_segment(a, b) == 0.0 {
+                return true;
+            }
+        }
+        let mut inside = false;
+        for (a, b) in self.edges() {
+            let crosses = (a.y > p.y) != (b.y > p.y);
+            if crosses {
+                let x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_at {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// True when the polygons share any point (edge crossing or one
+    /// containing a vertex of the other).
+    pub fn intersects(&self, other: &Polygon) -> bool {
+        if !self.bbox().intersects(&other.bbox()) {
+            return false;
+        }
+        for (a, b) in self.edges() {
+            for (c, d) in other.edges() {
+                if segments_intersect(a, b, c, d) {
+                    return true;
+                }
+            }
+        }
+        self.contains_point(&other.ring[0]) || other.contains_point(&self.ring[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(pts: &[(f64, f64)]) -> Polygon {
+        Polygon::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn unit_square() -> Polygon {
+        poly(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+    }
+
+    #[test]
+    fn rejects_degenerate_rings() {
+        assert!(Polygon::new(vec![]).is_err());
+        assert!(Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn strips_explicit_closing_vertex() {
+        let open = poly(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        let closed = poly(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (0.0, 0.0)]);
+        assert_eq!(open, closed);
+    }
+
+    #[test]
+    fn area_of_unit_square() {
+        assert_eq!(unit_square().area(), 1.0);
+        assert_eq!(unit_square().perimeter(), 4.0);
+    }
+
+    #[test]
+    fn signed_area_reflects_winding() {
+        let ccw = unit_square();
+        let cw = poly(&[(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)]);
+        assert!(ccw.signed_area() > 0.0);
+        assert!(cw.signed_area() < 0.0);
+        assert_eq!(ccw.area(), cw.area());
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let c = unit_square().centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_in_polygon() {
+        let sq = unit_square();
+        assert!(sq.contains_point(&Point::new(0.5, 0.5)));
+        assert!(!sq.contains_point(&Point::new(1.5, 0.5)));
+        assert!(!sq.contains_point(&Point::new(-0.1, 0.5)));
+        // Boundary and vertex count as inside.
+        assert!(sq.contains_point(&Point::new(1.0, 0.5)));
+        assert!(sq.contains_point(&Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn point_in_concave_polygon() {
+        // A "U" shape: the notch at the top middle is outside.
+        let u = poly(&[
+            (0.0, 0.0),
+            (3.0, 0.0),
+            (3.0, 3.0),
+            (2.0, 3.0),
+            (2.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 3.0),
+            (0.0, 3.0),
+        ]);
+        assert!(u.contains_point(&Point::new(0.5, 2.0)));
+        assert!(u.contains_point(&Point::new(2.5, 2.0)));
+        assert!(!u.contains_point(&Point::new(1.5, 2.0)));
+        assert!(u.contains_point(&Point::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn overlapping_polygons_intersect() {
+        let a = unit_square();
+        let b = poly(&[(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)]);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn nested_polygons_intersect() {
+        let outer = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let inner = poly(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]);
+        assert!(outer.intersects(&inner));
+        assert!(inner.intersects(&outer));
+    }
+
+    #[test]
+    fn disjoint_polygons_do_not_intersect() {
+        let a = unit_square();
+        let b = poly(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn from_rect_round_trips() {
+        let r = Rect::new(1.0, 2.0, 4.0, 6.0);
+        let p = Polygon::from_rect(&r);
+        assert_eq!(p.bbox(), r);
+        assert_eq!(p.area(), r.area());
+    }
+}

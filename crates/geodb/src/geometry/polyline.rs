@@ -1,0 +1,198 @@
+//! Polylines — ducts, cables and street segments in the telephone-network
+//! workload are open line strings.
+
+use serde::{Deserialize, Serialize};
+
+use super::point::Point;
+use super::rect::Rect;
+use crate::error::{GeoDbError, Result};
+
+/// An open chain of line segments with at least two vertices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+impl Polyline {
+    /// Create a polyline; fails with fewer than two vertices.
+    pub fn new(points: Vec<Point>) -> Result<Polyline> {
+        if points.len() < 2 {
+            return Err(GeoDbError::InvalidGeometry(format!(
+                "polyline needs >= 2 points, got {}",
+                points.len()
+            )));
+        }
+        Ok(Polyline { points })
+    }
+
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Consecutive vertex pairs.
+    pub fn segments(&self) -> impl Iterator<Item = (&Point, &Point)> {
+        self.points.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// Total length of all segments.
+    pub fn length(&self) -> f64 {
+        self.segments().map(|(a, b)| a.distance(b)).sum()
+    }
+
+    /// Tight axis-aligned bounding box.
+    pub fn bbox(&self) -> Rect {
+        self.points
+            .iter()
+            .fold(Rect::empty(), |acc, p| acc.union(&Rect::from_point(*p)))
+    }
+
+    /// Minimum distance from a point to the polyline.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        self.segments()
+            .map(|(a, b)| p.distance_to_segment(a, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The point at arc-length fraction `t in [0, 1]` along the polyline.
+    pub fn point_at(&self, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        let total = self.length();
+        if total == 0.0 {
+            return self.points[0];
+        }
+        let mut remaining = t * total;
+        for (a, b) in self.segments() {
+            let seg = a.distance(b);
+            if remaining <= seg {
+                let frac = if seg == 0.0 { 0.0 } else { remaining / seg };
+                return a.lerp(b, frac);
+            }
+            remaining -= seg;
+        }
+        *self.points.last().expect("polyline has >= 2 points")
+    }
+
+    /// True when any segment of `self` comes within `eps` of crossing or
+    /// touching any segment of `other`.
+    pub fn intersects(&self, other: &Polyline) -> bool {
+        if !self.bbox().intersects(&other.bbox()) {
+            return false;
+        }
+        for (a, b) in self.segments() {
+            for (c, d) in other.segments() {
+                if segments_intersect(a, b, c, d) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Proper or touching intersection test between segments `[a,b]` and `[c,d]`.
+pub(crate) fn segments_intersect(a: &Point, b: &Point, c: &Point, d: &Point) -> bool {
+    let d1 = Point::cross(c, d, a);
+    let d2 = Point::cross(c, d, b);
+    let d3 = Point::cross(a, b, c);
+    let d4 = Point::cross(a, b, d);
+
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    // Colinear / endpoint-touching cases.
+    (d1 == 0.0 && on_segment(c, d, a))
+        || (d2 == 0.0 && on_segment(c, d, b))
+        || (d3 == 0.0 && on_segment(a, b, c))
+        || (d4 == 0.0 && on_segment(a, b, d))
+}
+
+/// With `p` colinear to `[a,b]`, is it within the segment's bounds?
+fn on_segment(a: &Point, b: &Point, p: &Point) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(pts: &[(f64, f64)]) -> Polyline {
+        Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(Polyline::new(vec![]).is_err());
+        assert!(Polyline::new(vec![Point::ORIGIN]).is_err());
+        assert!(Polyline::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]).is_ok());
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        let p = pl(&[(0.0, 0.0), (3.0, 4.0), (3.0, 10.0)]);
+        assert_eq!(p.length(), 11.0);
+    }
+
+    #[test]
+    fn bbox_is_tight() {
+        let p = pl(&[(1.0, 5.0), (-2.0, 0.0), (4.0, 2.0)]);
+        assert_eq!(p.bbox(), Rect::new(-2.0, 0.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn point_at_walks_arc_length() {
+        let p = pl(&[(0.0, 0.0), (10.0, 0.0)]);
+        assert_eq!(p.point_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at(0.5), Point::new(5.0, 0.0));
+        assert_eq!(p.point_at(1.0), Point::new(10.0, 0.0));
+        // Clamped outside [0, 1].
+        assert_eq!(p.point_at(2.0), Point::new(10.0, 0.0));
+
+        let bent = pl(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]);
+        assert_eq!(bent.point_at(0.75), Point::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn distance_to_point_picks_nearest_segment() {
+        let p = pl(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]);
+        assert_eq!(p.distance_to_point(&Point::new(5.0, 2.0)), 2.0);
+        assert_eq!(p.distance_to_point(&Point::new(12.0, 5.0)), 2.0);
+    }
+
+    #[test]
+    fn crossing_polylines_intersect() {
+        let a = pl(&[(0.0, 0.0), (10.0, 10.0)]);
+        let b = pl(&[(0.0, 10.0), (10.0, 0.0)]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+    }
+
+    #[test]
+    fn touching_at_endpoint_intersects() {
+        let a = pl(&[(0.0, 0.0), (5.0, 5.0)]);
+        let b = pl(&[(5.0, 5.0), (9.0, 1.0)]);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn parallel_disjoint_do_not_intersect() {
+        let a = pl(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = pl(&[(0.0, 1.0), (10.0, 1.0)]);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn colinear_overlapping_intersect() {
+        let a = pl(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = pl(&[(5.0, 0.0), (15.0, 0.0)]);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn far_apart_bbox_early_out() {
+        let a = pl(&[(0.0, 0.0), (1.0, 1.0)]);
+        let b = pl(&[(100.0, 100.0), (101.0, 101.0)]);
+        assert!(!a.intersects(&b));
+    }
+}

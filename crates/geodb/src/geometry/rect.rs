@@ -1,0 +1,250 @@
+//! Axis-aligned bounding rectangles — the workhorse of the spatial indexes.
+
+use serde::{Deserialize, Serialize};
+
+use super::point::Point;
+
+/// An axis-aligned rectangle with `min` ≤ `max` on both axes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// Build a rectangle from two corner points in any order.
+    pub fn from_corners(a: Point, b: Point) -> Rect {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Build from explicit bounds; callers must guarantee `min ≤ max`.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Rect {
+        debug_assert!(min_x <= max_x && min_y <= max_y);
+        Rect {
+            min: Point::new(min_x, min_y),
+            max: Point::new(max_x, max_y),
+        }
+    }
+
+    /// Degenerate rectangle covering a single point.
+    pub fn from_point(p: Point) -> Rect {
+        Rect { min: p, max: p }
+    }
+
+    /// The empty rectangle: union-identity, intersects nothing.
+    pub fn empty() -> Rect {
+        Rect {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// True when this is the `empty()` rectangle.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Half the perimeter; the classic R-tree "margin" measure.
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() + self.height()
+        }
+    }
+
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Smallest rectangle enclosing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Area added to `self` if it had to enclose `other` too.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// True if the rectangles share any point (boundaries count).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The overlapping region, or `empty()` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        if !self.intersects(other) {
+            return Rect::empty();
+        }
+        Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        }
+    }
+
+    /// True if `other` lies fully inside `self` (boundaries count).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// True if the point lies inside or on the boundary.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Minimum distance from the rectangle to a point (0 when inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Grow (or shrink, with negative `d`) the rectangle on all sides.
+    pub fn inflate(&self, d: f64) -> Rect {
+        Rect::from_corners(
+            Point::new(self.min.x - d, self.min.y - d),
+            Point::new(self.max.x + d, self.max.y + d),
+        )
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::new(a, b, c, d)
+    }
+
+    #[test]
+    fn from_corners_normalizes_order() {
+        let rect = Rect::from_corners(Point::new(5.0, 1.0), Point::new(2.0, 8.0));
+        assert_eq!(rect, r(2.0, 1.0, 5.0, 8.0));
+    }
+
+    #[test]
+    fn empty_behaves_as_identity_for_union() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert!(Rect::empty().is_empty());
+        assert_eq!(Rect::empty().union(&a), a);
+        assert_eq!(a.union(&Rect::empty()), a);
+        assert_eq!(Rect::empty().area(), 0.0);
+    }
+
+    #[test]
+    fn empty_intersects_nothing() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert!(!Rect::empty().intersects(&a));
+        assert!(!a.intersects(&Rect::empty()));
+        assert!(!Rect::empty().intersects(&Rect::empty()));
+    }
+
+    #[test]
+    fn union_encloses_both() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(3.0, -2.0, 4.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, r(0.0, -2.0, 4.0, 1.0));
+    }
+
+    #[test]
+    fn intersection_and_intersects_agree() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        let b = r(2.0, 2.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), r(2.0, 2.0, 4.0, 4.0));
+
+        let c = r(5.0, 5.0, 6.0, 6.0);
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn touching_boundaries_intersect() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).area(), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = r(0.0, 0.0, 10.0, 10.0);
+        let inner = r(1.0, 1.0, 2.0, 2.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+        assert!(outer.contains_point(&Point::new(10.0, 10.0)));
+        assert!(!outer.contains_point(&Point::new(10.1, 10.0)));
+    }
+
+    #[test]
+    fn enlargement_is_zero_for_contained() {
+        let outer = r(0.0, 0.0, 10.0, 10.0);
+        let inner = r(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(outer.enlargement(&inner), 0.0);
+        assert!(inner.enlargement(&outer) > 0.0);
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.distance_to_point(&Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(a.distance_to_point(&Point::new(5.0, 2.0)), 3.0);
+        assert_eq!(a.distance_to_point(&Point::new(5.0, 6.0)), 5.0);
+    }
+
+    #[test]
+    fn margin_and_inflate() {
+        let a = r(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(a.margin(), 5.0);
+        assert_eq!(a.inflate(1.0), r(-1.0, -1.0, 3.0, 4.0));
+    }
+}

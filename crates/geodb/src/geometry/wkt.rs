@@ -1,0 +1,157 @@
+//! A minimal Well-Known-Text reader/writer for the supported geometry types.
+//!
+//! Supported forms: `POINT (x y)`, `LINESTRING (x y, x y, ...)`,
+//! `POLYGON ((x y, x y, ...))` — enough to exchange data with external
+//! tools and to keep snapshots human-readable.
+
+use super::{Geometry, Point, Polygon, Polyline};
+use crate::error::{GeoDbError, Result};
+
+/// Render a geometry as WKT.
+pub fn to_wkt(g: &Geometry) -> String {
+    match g {
+        Geometry::Point(p) => format!("POINT ({} {})", p.x, p.y),
+        Geometry::Polyline(l) => format!("LINESTRING ({})", coord_list(l.points())),
+        Geometry::Polygon(p) => {
+            // Emit the closed ring as WKT requires.
+            let mut pts: Vec<Point> = p.ring().to_vec();
+            pts.push(pts[0]);
+            format!("POLYGON (({}))", coord_list(&pts))
+        }
+    }
+}
+
+fn coord_list(pts: &[Point]) -> String {
+    pts.iter()
+        .map(|p| format!("{} {}", p.x, p.y))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Parse a WKT string into a geometry.
+pub fn from_wkt(s: &str) -> Result<Geometry> {
+    let s = s.trim();
+    let upper = s.to_ascii_uppercase();
+    if let Some(rest) = upper.strip_prefix("POINT") {
+        let body = strip_parens(rest.trim(), s, "POINT")?;
+        let coords = parse_coords(body)?;
+        if coords.len() != 1 {
+            return Err(GeoDbError::WktParse(format!(
+                "POINT takes exactly one coordinate, got {}",
+                coords.len()
+            )));
+        }
+        Ok(Geometry::Point(coords[0]))
+    } else if let Some(rest) = upper.strip_prefix("LINESTRING") {
+        let body = strip_parens(rest.trim(), s, "LINESTRING")?;
+        let coords = parse_coords(body)?;
+        Ok(Geometry::Polyline(Polyline::new(coords)?))
+    } else if let Some(rest) = upper.strip_prefix("POLYGON") {
+        let body = strip_parens(rest.trim(), s, "POLYGON")?;
+        let inner = strip_parens(body.trim(), s, "POLYGON ring")?;
+        let coords = parse_coords(inner)?;
+        Ok(Geometry::Polygon(Polygon::new(coords)?))
+    } else {
+        Err(GeoDbError::WktParse(format!("unrecognized WKT: `{s}`")))
+    }
+}
+
+/// Return the slice between the outermost parentheses of `upper_rest`,
+/// mapped back onto the original string `orig` so coordinate text keeps
+/// its original case (digits are case-free, but error messages improve).
+fn strip_parens<'a>(upper_rest: &'a str, orig: &str, what: &str) -> Result<&'a str> {
+    let open = upper_rest
+        .find('(')
+        .ok_or_else(|| GeoDbError::WktParse(format!("{what}: missing '(' in `{orig}`")))?;
+    let close = upper_rest
+        .rfind(')')
+        .ok_or_else(|| GeoDbError::WktParse(format!("{what}: missing ')' in `{orig}`")))?;
+    if close < open {
+        return Err(GeoDbError::WktParse(format!(
+            "{what}: mismatched parentheses in `{orig}`"
+        )));
+    }
+    Ok(&upper_rest[open + 1..close])
+}
+
+fn parse_coords(body: &str) -> Result<Vec<Point>> {
+    body.split(',')
+        .map(|pair| {
+            let mut it = pair.split_whitespace();
+            let x = it
+                .next()
+                .ok_or_else(|| GeoDbError::WktParse(format!("empty coordinate in `{pair}`")))?;
+            let y = it
+                .next()
+                .ok_or_else(|| GeoDbError::WktParse(format!("missing y in `{pair}`")))?;
+            if it.next().is_some() {
+                return Err(GeoDbError::WktParse(format!(
+                    "extra token in coordinate `{pair}`"
+                )));
+            }
+            let x: f64 = x
+                .parse()
+                .map_err(|_| GeoDbError::WktParse(format!("bad number `{x}`")))?;
+            let y: f64 = y
+                .parse()
+                .map_err(|_| GeoDbError::WktParse(format!("bad number `{y}`")))?;
+            Ok(Point::new(x, y))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_round_trip() {
+        let g = Geometry::Point(Point::new(1.5, -2.25));
+        let wkt = to_wkt(&g);
+        assert_eq!(wkt, "POINT (1.5 -2.25)");
+        assert_eq!(from_wkt(&wkt).unwrap(), g);
+    }
+
+    #[test]
+    fn linestring_round_trip() {
+        let g = Geometry::Polyline(
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)]).unwrap(),
+        );
+        let wkt = to_wkt(&g);
+        assert_eq!(wkt, "LINESTRING (0 0, 3 4)");
+        assert_eq!(from_wkt(&wkt).unwrap(), g);
+    }
+
+    #[test]
+    fn polygon_round_trip_closes_ring() {
+        let g = Geometry::Polygon(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(4.0, 4.0),
+            ])
+            .unwrap(),
+        );
+        let wkt = to_wkt(&g);
+        assert_eq!(wkt, "POLYGON ((0 0, 4 0, 4 4, 0 0))");
+        assert_eq!(from_wkt(&wkt).unwrap(), g);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert!(from_wkt("  point (1 2)  ").is_ok());
+        assert!(from_wkt("LineString(0 0, 1 1)").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_wkt("CIRCLE (1 2)").is_err());
+        assert!(from_wkt("POINT 1 2").is_err());
+        assert!(from_wkt("POINT (1)").is_err());
+        assert!(from_wkt("POINT (1 2 3)").is_err());
+        assert!(from_wkt("POINT (a b)").is_err());
+        assert!(from_wkt("LINESTRING (1 2)").is_err()); // too few points
+        assert!(from_wkt("POLYGON ((1 2, 3 4))").is_err()); // too few points
+        assert!(from_wkt("POINT )1 2(").is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! A uniform grid index: fixed-size cells hashed by integer coordinates.
+//!
+//! The baseline spatial access method for experiment C3. Excellent for
+//! uniformly distributed point data; degrades on skew and on large
+//! rectangles (an object registers in every cell its bbox touches).
+
+use std::collections::HashMap;
+
+use crate::geometry::{Point, Rect};
+use crate::instance::Oid;
+
+use super::SpatialIndex;
+
+/// Uniform grid over the plane with square cells of side `cell_size`.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<Oid>>,
+    entries: HashMap<Oid, Rect>,
+}
+
+impl GridIndex {
+    /// Create a grid with the given cell side length (must be > 0).
+    pub fn new(cell_size: f64) -> GridIndex {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        GridIndex {
+            cell_size,
+            cells: HashMap::new(),
+            entries: HashMap::new(),
+        }
+    }
+
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of non-empty cells; exposed for diagnostics and benches.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> (i64, i64) {
+        (
+            (x / self.cell_size).floor() as i64,
+            (y / self.cell_size).floor() as i64,
+        )
+    }
+
+    fn cells_for(&self, r: &Rect) -> Vec<(i64, i64)> {
+        if r.is_empty() {
+            return Vec::new();
+        }
+        let (x0, y0) = self.cell_of(r.min.x, r.min.y);
+        let (x1, y1) = self.cell_of(r.max.x, r.max.y);
+        let mut out = Vec::with_capacity(((x1 - x0 + 1) * (y1 - y0 + 1)) as usize);
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                out.push((cx, cy));
+            }
+        }
+        out
+    }
+}
+
+impl SpatialIndex for GridIndex {
+    fn insert(&mut self, oid: Oid, bbox: Rect) {
+        if self.entries.contains_key(&oid) {
+            self.remove(oid);
+        }
+        for cell in self.cells_for(&bbox) {
+            self.cells.entry(cell).or_default().push(oid);
+        }
+        self.entries.insert(oid, bbox);
+    }
+
+    fn remove(&mut self, oid: Oid) -> bool {
+        let Some(bbox) = self.entries.remove(&oid) else {
+            return false;
+        };
+        for cell in self.cells_for(&bbox) {
+            if let Some(v) = self.cells.get_mut(&cell) {
+                v.retain(|o| *o != oid);
+                if v.is_empty() {
+                    self.cells.remove(&cell);
+                }
+            }
+        }
+        true
+    }
+
+    fn query_rect(&self, window: &Rect) -> Vec<Oid> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for cell in self.cells_for(window) {
+            if let Some(v) = self.cells.get(&cell) {
+                for &oid in v {
+                    if seen.insert(oid) {
+                        // Filter against the stored bbox: a cell can hold
+                        // objects whose boxes don't reach the window.
+                        if self.entries[&oid].intersects(window) {
+                            out.push(oid);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn nearest(&self, p: &Point, k: usize) -> Vec<Oid> {
+        if k == 0 || self.entries.is_empty() {
+            return Vec::new();
+        }
+        // Expanding ring search: examine cells in growing square rings
+        // until we have k candidates and the ring distance exceeds the
+        // k-th best distance.
+        let (cx, cy) = self.cell_of(p.x, p.y);
+        let mut best: Vec<(f64, Oid)> = Vec::new();
+        let mut radius: i64 = 0;
+        let max_radius = 1 + (self.entries.len() as f64).sqrt() as i64 + 1_000;
+        loop {
+            let mut any_cell = false;
+            for dx in -radius..=radius {
+                for dy in -radius..=radius {
+                    // Only the new ring, not the interior.
+                    if dx.abs() != radius && dy.abs() != radius {
+                        continue;
+                    }
+                    if let Some(v) = self.cells.get(&(cx + dx, cy + dy)) {
+                        any_cell = true;
+                        for &oid in v {
+                            let d = self.entries[&oid].distance_to_point(p);
+                            if !best.iter().any(|(_, o)| *o == oid) {
+                                best.push((d, oid));
+                            }
+                        }
+                    }
+                }
+            }
+            best.sort_by(|a, b| a.0.total_cmp(&b.0));
+            best.truncate(k.max(best.len().min(k)));
+            if best.len() >= k {
+                // Safe to stop once the ring's minimum possible distance
+                // exceeds our k-th best.
+                let ring_min = (radius as f64) * self.cell_size - self.cell_size;
+                if ring_min > best[k - 1].0 {
+                    break;
+                }
+            }
+            radius += 1;
+            if radius > max_radius {
+                break;
+            }
+            // Once every entry has been seen there is nothing more to find.
+            if best.len() == self.entries.len() {
+                break;
+            }
+            let _ = any_cell;
+        }
+        best.truncate(k);
+        best.into_iter().map(|(_, o)| o).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        GridIndex::new(0.0);
+    }
+
+    #[test]
+    fn spanning_object_registers_in_all_cells() {
+        let mut g = GridIndex::new(1.0);
+        g.insert(Oid(1), Rect::new(0.5, 0.5, 2.5, 0.6));
+        assert_eq!(g.occupied_cells(), 3);
+        // Query touching only the far cell still finds it once.
+        let hits = g.query_rect(&Rect::new(2.4, 0.0, 3.0, 1.0));
+        assert_eq!(hits, vec![Oid(1)]);
+        // Query covering all cells returns it once, not thrice.
+        let hits = g.query_rect(&Rect::new(0.0, 0.0, 3.0, 1.0));
+        assert_eq!(hits, vec![Oid(1)]);
+    }
+
+    #[test]
+    fn remove_cleans_all_cells() {
+        let mut g = GridIndex::new(1.0);
+        g.insert(Oid(1), Rect::new(0.5, 0.5, 2.5, 0.6));
+        assert!(g.remove(Oid(1)));
+        assert_eq!(g.occupied_cells(), 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn bbox_filter_prevents_false_positives() {
+        let mut g = GridIndex::new(10.0);
+        // Object in a corner of a large cell.
+        g.insert(Oid(1), Rect::new(0.0, 0.0, 1.0, 1.0));
+        // Window in the opposite corner of the same cell.
+        let hits = g.query_rect(&Rect::new(8.0, 8.0, 9.0, 9.0));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn nearest_on_skewed_data() {
+        let mut g = GridIndex::new(1.0);
+        g.insert(Oid(1), Rect::from_point(Point::new(0.0, 0.0)));
+        g.insert(Oid(2), Rect::from_point(Point::new(50.0, 0.0)));
+        g.insert(Oid(3), Rect::from_point(Point::new(51.0, 0.0)));
+        let got = g.nearest(&Point::new(49.0, 0.0), 2);
+        assert_eq!(got, vec![Oid(2), Oid(3)]);
+        // k exceeding population returns all, nearest-first.
+        let got = g.nearest(&Point::new(0.0, 0.0), 10);
+        assert_eq!(got, vec![Oid(1), Oid(2), Oid(3)]);
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let mut g = GridIndex::new(2.0);
+        g.insert(Oid(1), Rect::from_point(Point::new(-3.0, -3.0)));
+        let hits = g.query_rect(&Rect::new(-4.0, -4.0, -2.0, -2.0));
+        assert_eq!(hits, vec![Oid(1)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Spatial access methods.
+//!
+//! The Class-set window's presentation area shows "the extension of each
+//! selected class in some format (typically allowing the user to grasp the
+//! spatial relationships among class instances)". Populating a map viewport
+//! is a rectangle query over the class extension; these indexes accelerate
+//! it. Two implementations are provided so the benches can compare them
+//! against a sequential scan (experiment C3):
+//!
+//! * [`rtree::RTree`] — a Guttman R-tree with quadratic splits;
+//! * [`grid::GridIndex`] — a uniform grid (fixed cell size).
+
+pub mod grid;
+pub mod rtree;
+
+pub use grid::GridIndex;
+pub use rtree::RTree;
+
+use crate::geometry::{Point, Rect};
+use crate::instance::Oid;
+
+/// Common interface of the spatial access methods.
+pub trait SpatialIndex {
+    /// Insert an object with its bounding rectangle.
+    fn insert(&mut self, oid: Oid, bbox: Rect);
+
+    /// Remove an object; returns true if it was present.
+    fn remove(&mut self, oid: Oid) -> bool;
+
+    /// OIDs whose bounding rectangles intersect `window`.
+    ///
+    /// This is a *filter* step: callers refine against exact geometry.
+    fn query_rect(&self, window: &Rect) -> Vec<Oid>;
+
+    /// Up to `k` OIDs nearest to `p` by bounding-rectangle distance.
+    fn nearest(&self, p: &Point, k: usize) -> Vec<Oid>;
+
+    /// Number of indexed objects.
+    fn len(&self) -> usize;
+
+    /// True when no objects are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod conformance {
+    //! The same behavioural suite run against every implementation.
+    use super::*;
+
+    fn run_suite(mut idx: impl SpatialIndex) {
+        assert!(idx.is_empty());
+        // A 10x10 grid of unit points.
+        for i in 0..10u64 {
+            for j in 0..10u64 {
+                idx.insert(
+                    Oid(i * 10 + j),
+                    Rect::from_point(Point::new(i as f64, j as f64)),
+                );
+            }
+        }
+        assert_eq!(idx.len(), 100);
+
+        // Window covering the 3x3 corner.
+        let mut hits = idx.query_rect(&Rect::new(-0.5, -0.5, 2.5, 2.5));
+        hits.sort();
+        let mut expect: Vec<Oid> = (0..3u64)
+            .flat_map(|i| (0..3u64).map(move |j| Oid(i * 10 + j)))
+            .collect();
+        expect.sort();
+        assert_eq!(hits, expect);
+
+        // Empty window.
+        assert!(idx.query_rect(&Rect::new(50.0, 50.0, 60.0, 60.0)).is_empty());
+
+        // Nearest to (0,0): the corner point itself first.
+        let near = idx.nearest(&Point::new(0.1, 0.1), 3);
+        assert_eq!(near.len(), 3);
+        assert_eq!(near[0], Oid(0));
+
+        // Removal shrinks results.
+        assert!(idx.remove(Oid(0)));
+        assert!(!idx.remove(Oid(0)));
+        assert_eq!(idx.len(), 99);
+        let hits = idx.query_rect(&Rect::new(-0.5, -0.5, 0.5, 0.5));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn rtree_conforms() {
+        run_suite(RTree::new());
+    }
+
+    #[test]
+    fn grid_conforms() {
+        run_suite(GridIndex::new(2.0));
+    }
+}

@@ -1,0 +1,676 @@
+//! A Guttman R-tree with quadratic node splits.
+//!
+//! Arena-based: nodes live in a `Vec` and link by index, which keeps the
+//! structure simple, cache-friendly and free of `unsafe`.
+
+use std::collections::HashMap;
+
+use crate::geometry::{Point, Rect};
+use crate::instance::Oid;
+
+use super::SpatialIndex;
+
+/// Maximum entries per node before splitting.
+const MAX_ENTRIES: usize = 8;
+/// Minimum entries after a split (Guttman recommends M/2 for quadratic).
+const MIN_ENTRIES: usize = MAX_ENTRIES / 2;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Children are node indexes with their covering rectangles.
+    Internal(Vec<(Rect, usize)>),
+    /// Leaf entries are stored objects.
+    Leaf(Vec<(Rect, Oid)>),
+}
+
+impl Node {
+    fn len(&self) -> usize {
+        match self {
+            Node::Internal(v) => v.len(),
+            Node::Leaf(v) => v.len(),
+        }
+    }
+
+    fn bbox(&self) -> Rect {
+        match self {
+            Node::Internal(v) => v.iter().fold(Rect::empty(), |a, (r, _)| a.union(r)),
+            Node::Leaf(v) => v.iter().fold(Rect::empty(), |a, (r, _)| a.union(r)),
+        }
+    }
+}
+
+/// The R-tree itself.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: usize,
+    /// oid -> bbox; supports O(1) membership tests and removal lookups.
+    entries: HashMap<Oid, Rect>,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTree {
+    pub fn new() -> RTree {
+        RTree {
+            nodes: vec![Node::Leaf(Vec::new())],
+            root: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Bulk-build from an iterator (insertion-based; adequate for the
+    /// workload sizes in the benches).
+    pub fn from_items(items: impl IntoIterator<Item = (Oid, Rect)>) -> RTree {
+        let mut t = RTree::new();
+        for (oid, r) in items {
+            t.insert(oid, r);
+        }
+        t
+    }
+
+    /// Sort-Tile-Recursive bulk load: packs leaves along x/y tiles,
+    /// yielding near-100% node fill and better-clustered rectangles than
+    /// insertion builds. Duplicate OIDs keep the last rectangle.
+    pub fn bulk_load(items: impl IntoIterator<Item = (Oid, Rect)>) -> RTree {
+        let mut entries: HashMap<Oid, Rect> = HashMap::new();
+        for (oid, r) in items {
+            entries.insert(oid, r);
+        }
+        if entries.is_empty() {
+            return RTree::new();
+        }
+
+        // Leaf level via STR tiling.
+        let mut leaves: Vec<(Rect, Oid)> = entries.iter().map(|(o, r)| (*r, *o)).collect();
+        leaves.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
+        let n = leaves.len();
+        let leaf_count = n.div_ceil(MAX_ENTRIES);
+        let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = n.div_ceil(slice_count);
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut level: Vec<(Rect, usize)> = Vec::new();
+        for slice in leaves.chunks(slice_size.max(1)) {
+            let mut slice: Vec<(Rect, Oid)> = slice.to_vec();
+            slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
+            for leaf in slice.chunks(MAX_ENTRIES) {
+                let node = Node::Leaf(leaf.to_vec());
+                let bbox = node.bbox();
+                nodes.push(node);
+                level.push((bbox, nodes.len() - 1));
+            }
+        }
+
+        // Pack upper levels until a single root remains.
+        while level.len() > 1 {
+            let mut next: Vec<(Rect, usize)> = Vec::new();
+            let count = level.len().div_ceil(MAX_ENTRIES);
+            let slices = (count as f64).sqrt().ceil() as usize;
+            let slice_size = level.len().div_ceil(slices).max(1);
+            level.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
+            for slice in level.chunks(slice_size) {
+                let mut slice: Vec<(Rect, usize)> = slice.to_vec();
+                slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
+                for group in slice.chunks(MAX_ENTRIES) {
+                    let node = Node::Internal(group.to_vec());
+                    let bbox = node.bbox();
+                    nodes.push(node);
+                    next.push((bbox, nodes.len() - 1));
+                }
+            }
+            level = next;
+        }
+
+        RTree {
+            root: level[0].1,
+            nodes,
+            entries,
+        }
+    }
+
+    /// Average node fill factor (entries per node / MAX); diagnostics for
+    /// the bulk-load ablation.
+    pub fn fill_factor(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.nodes.iter().map(Node::len).sum();
+        total as f64 / (self.nodes.len() * MAX_ENTRIES) as f64
+    }
+
+    /// Height of the tree (leaf = 1); exposed for tests and benches.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf(_) => return h,
+                Node::Internal(children) => {
+                    cur = children.first().map(|&(_, c)| c).unwrap_or(cur);
+                    if children.is_empty() {
+                        return h;
+                    }
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Choose the leaf whose enlargement is minimal (ties: smaller area).
+    fn choose_leaf(&self, bbox: &Rect) -> Vec<usize> {
+        let mut path = vec![self.root];
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf(_) => return path,
+                Node::Internal(children) => {
+                    let mut best = 0usize;
+                    let mut best_enl = f64::INFINITY;
+                    let mut best_area = f64::INFINITY;
+                    for (i, (r, _)) in children.iter().enumerate() {
+                        let enl = r.enlargement(bbox);
+                        let area = r.area();
+                        if enl < best_enl || (enl == best_enl && area < best_area) {
+                            best = i;
+                            best_enl = enl;
+                            best_area = area;
+                        }
+                    }
+                    cur = children[best].1;
+                    path.push(cur);
+                }
+            }
+        }
+    }
+
+    /// Quadratic split of a set of rectangles into two groups; returns the
+    /// indexes assigned to each group.
+    fn quadratic_partition(rects: &[Rect]) -> (Vec<usize>, Vec<usize>) {
+        debug_assert!(rects.len() >= 2);
+        // Pick seeds: the pair wasting the most area if grouped.
+        let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+                if waste > worst {
+                    worst = waste;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+        let mut g1 = vec![s1];
+        let mut g2 = vec![s2];
+        let mut bb1 = rects[s1];
+        let mut bb2 = rects[s2];
+        let mut rest: Vec<usize> = (0..rects.len()).filter(|&i| i != s1 && i != s2).collect();
+
+        while let Some(pos) = {
+            // Force-assign when a group must absorb all remaining entries
+            // to reach the minimum fill.
+            if g1.len() + rest.len() == MIN_ENTRIES {
+                g1.append(&mut rest);
+                for &i in &g1 {
+                    bb1 = bb1.union(&rects[i]);
+                }
+                None
+            } else if g2.len() + rest.len() == MIN_ENTRIES {
+                g2.append(&mut rest);
+                for &i in &g2 {
+                    bb2 = bb2.union(&rects[i]);
+                }
+                None
+            } else if rest.is_empty() {
+                None
+            } else {
+                // PickNext: maximal preference difference.
+                let mut best = 0usize;
+                let mut best_diff = f64::NEG_INFINITY;
+                for (k, &i) in rest.iter().enumerate() {
+                    let d1 = bb1.enlargement(&rects[i]);
+                    let d2 = bb2.enlargement(&rects[i]);
+                    let diff = (d1 - d2).abs();
+                    if diff > best_diff {
+                        best_diff = diff;
+                        best = k;
+                    }
+                }
+                Some(best)
+            }
+        } {
+            let i = rest.swap_remove(pos);
+            let d1 = bb1.enlargement(&rects[i]);
+            let d2 = bb2.enlargement(&rects[i]);
+            let to_g1 = d1 < d2
+                || (d1 == d2 && bb1.area() < bb2.area())
+                || (d1 == d2 && bb1.area() == bb2.area() && g1.len() <= g2.len());
+            if to_g1 {
+                g1.push(i);
+                bb1 = bb1.union(&rects[i]);
+            } else {
+                g2.push(i);
+                bb2 = bb2.union(&rects[i]);
+            }
+        }
+        (g1, g2)
+    }
+
+    /// Split an overfull node, returning the index of the new sibling.
+    fn split(&mut self, node_idx: usize) -> usize {
+        let sibling = match &mut self.nodes[node_idx] {
+            Node::Leaf(entries) => {
+                let rects: Vec<Rect> = entries.iter().map(|(r, _)| *r).collect();
+                let (g1, g2) = Self::quadratic_partition(&rects);
+                let old = std::mem::take(entries);
+                let mut keep = Vec::with_capacity(g1.len());
+                let mut give = Vec::with_capacity(g2.len());
+                for (i, e) in old.into_iter().enumerate() {
+                    if g1.contains(&i) {
+                        keep.push(e);
+                    } else {
+                        give.push(e);
+                    }
+                }
+                *entries = keep;
+                Node::Leaf(give)
+            }
+            Node::Internal(children) => {
+                let rects: Vec<Rect> = children.iter().map(|(r, _)| *r).collect();
+                let (g1, g2) = Self::quadratic_partition(&rects);
+                let old = std::mem::take(children);
+                let mut keep = Vec::with_capacity(g1.len());
+                let mut give = Vec::with_capacity(g2.len());
+                for (i, e) in old.into_iter().enumerate() {
+                    if g1.contains(&i) {
+                        keep.push(e);
+                    } else {
+                        give.push(e);
+                    }
+                }
+                *children = keep;
+                Node::Internal(give)
+            }
+        };
+        self.nodes.push(sibling);
+        self.nodes.len() - 1
+    }
+
+    fn collect_rect(&self, node: usize, window: &Rect, out: &mut Vec<Oid>) {
+        match &self.nodes[node] {
+            Node::Leaf(entries) => {
+                for (r, oid) in entries {
+                    if r.intersects(window) {
+                        out.push(*oid);
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                for (r, c) in children {
+                    if r.intersects(window) {
+                        self.collect_rect(*c, window, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SpatialIndex for RTree {
+    fn insert(&mut self, oid: Oid, bbox: Rect) {
+        // Re-inserting an oid replaces its old entry.
+        if self.entries.contains_key(&oid) {
+            self.remove(oid);
+        }
+        self.entries.insert(oid, bbox);
+
+        let path = self.choose_leaf(&bbox);
+        let leaf = *path.last().expect("path never empty");
+        if let Node::Leaf(entries) = &mut self.nodes[leaf] {
+            entries.push((bbox, oid));
+        } else {
+            unreachable!("choose_leaf returns a leaf");
+        }
+
+        // Walk back up, splitting overfull nodes and refreshing rectangles.
+        let mut split_of: Option<(usize, usize)> = None; // (node, new sibling)
+        for depth in (0..path.len()).rev() {
+            let node_idx = path[depth];
+
+            // Install a pending split from the child level.
+            if let Some((child, sibling)) = split_of.take() {
+                let sib_bbox = self.nodes[sibling].bbox();
+                let child_bbox = self.nodes[child].bbox();
+                if let Node::Internal(children) = &mut self.nodes[node_idx] {
+                    if let Some(slot) = children.iter_mut().find(|(_, c)| *c == child) {
+                        slot.0 = child_bbox;
+                    }
+                    children.push((sib_bbox, sibling));
+                }
+            }
+
+            if self.nodes[node_idx].len() > MAX_ENTRIES {
+                let sibling = self.split(node_idx);
+                if depth == 0 {
+                    // Root split: grow the tree.
+                    let left_bbox = self.nodes[node_idx].bbox();
+                    let right_bbox = self.nodes[sibling].bbox();
+                    let new_root = Node::Internal(vec![
+                        (left_bbox, node_idx),
+                        (right_bbox, sibling),
+                    ]);
+                    self.nodes.push(new_root);
+                    self.root = self.nodes.len() - 1;
+                } else {
+                    split_of = Some((node_idx, sibling));
+                }
+            } else if depth > 0 {
+                // Refresh this child's rectangle in its parent.
+                let bbox = self.nodes[node_idx].bbox();
+                let parent = path[depth - 1];
+                if let Node::Internal(children) = &mut self.nodes[parent] {
+                    if let Some(slot) = children.iter_mut().find(|(_, c)| *c == node_idx) {
+                        slot.0 = bbox;
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, oid: Oid) -> bool {
+        let Some(bbox) = self.entries.remove(&oid) else {
+            return false;
+        };
+        // Find and remove the leaf entry along the bbox path. We do not
+        // implement Guttman's CondenseTree re-insertion; under-full nodes
+        // are tolerated (queries stay correct, packing degrades slightly),
+        // which is the standard trade-off for delete-light workloads.
+        fn recurse(nodes: &mut Vec<Node>, node: usize, oid: Oid, bbox: &Rect) -> bool {
+            let found = match &mut nodes[node] {
+                Node::Leaf(entries) => {
+                    let before = entries.len();
+                    entries.retain(|(_, o)| *o != oid);
+                    entries.len() != before
+                }
+                Node::Internal(children) => {
+                    let kids: Vec<usize> = children
+                        .iter()
+                        .filter(|(r, _)| r.intersects(bbox))
+                        .map(|(_, c)| *c)
+                        .collect();
+                    let mut hit = false;
+                    for c in kids {
+                        if recurse(nodes, c, oid, bbox) {
+                            hit = true;
+                            break;
+                        }
+                    }
+                    hit
+                }
+            };
+            if found {
+                // Refresh child rectangles on the way out.
+                if let Node::Internal(children) = &nodes[node] {
+                    let updated: Vec<(Rect, usize)> = children
+                        .iter()
+                        .map(|&(_, c)| (nodes[c].bbox(), c))
+                        .collect();
+                    if let Node::Internal(children) = &mut nodes[node] {
+                        *children = updated;
+                    }
+                }
+            }
+            found
+        }
+        recurse(&mut self.nodes, self.root, oid, &bbox)
+    }
+
+    fn query_rect(&self, window: &Rect) -> Vec<Oid> {
+        let mut out = Vec::new();
+        self.collect_rect(self.root, window, &mut out);
+        out
+    }
+
+    fn nearest(&self, p: &Point, k: usize) -> Vec<Oid> {
+        if k == 0 || self.entries.is_empty() {
+            return Vec::new();
+        }
+        // Best-first search over nodes by min-distance.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Cand(f64, Item);
+        #[derive(PartialEq, Clone, Copy)]
+        enum Item {
+            Node(usize),
+            Entry(Oid),
+        }
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        heap.push(Reverse(Cand(0.0, Item::Node(self.root))));
+        let mut out = Vec::with_capacity(k);
+        while let Some(Reverse(Cand(_, item))) = heap.pop() {
+            match item {
+                Item::Entry(oid) => {
+                    out.push(oid);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(n) => match &self.nodes[n] {
+                    Node::Leaf(entries) => {
+                        for (r, oid) in entries {
+                            heap.push(Reverse(Cand(r.distance_to_point(p), Item::Entry(*oid))));
+                        }
+                    }
+                    Node::Internal(children) => {
+                        for (r, c) in children {
+                            heap.push(Reverse(Cand(r.distance_to_point(p), Item::Node(*c))));
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_rects(n: usize, seed: u64) -> Vec<(Oid, Rect)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = rng.gen_range(0.0..1000.0);
+                let y = rng.gen_range(0.0..1000.0);
+                let w = rng.gen_range(0.0..5.0);
+                let h = rng.gen_range(0.0..5.0);
+                (Oid(i as u64), Rect::new(x, y, x + w, y + h))
+            })
+            .collect()
+    }
+
+    /// Brute-force reference.
+    fn scan(items: &[(Oid, Rect)], window: &Rect) -> Vec<Oid> {
+        let mut v: Vec<Oid> = items
+            .iter()
+            .filter(|(_, r)| r.intersects(window))
+            .map(|(o, _)| *o)
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        let items = random_rects(500, 42);
+        let tree = RTree::from_items(items.iter().cloned());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let x = rng.gen_range(0.0..900.0);
+            let y = rng.gen_range(0.0..900.0);
+            let window = Rect::new(x, y, x + rng.gen_range(1.0..150.0), y + rng.gen_range(1.0..150.0));
+            let mut got = tree.query_rect(&window);
+            got.sort();
+            assert_eq!(got, scan(&items, &window));
+        }
+    }
+
+    #[test]
+    fn tree_grows_in_height() {
+        let items = random_rects(500, 1);
+        let tree = RTree::from_items(items);
+        assert!(tree.height() >= 3, "height = {}", tree.height());
+        assert_eq!(tree.len(), 500);
+    }
+
+    #[test]
+    fn reinsert_replaces_entry() {
+        let mut tree = RTree::new();
+        tree.insert(Oid(1), Rect::new(0.0, 0.0, 1.0, 1.0));
+        tree.insert(Oid(1), Rect::new(100.0, 100.0, 101.0, 101.0));
+        assert_eq!(tree.len(), 1);
+        assert!(tree.query_rect(&Rect::new(0.0, 0.0, 2.0, 2.0)).is_empty());
+        assert_eq!(
+            tree.query_rect(&Rect::new(99.0, 99.0, 102.0, 102.0)),
+            vec![Oid(1)]
+        );
+    }
+
+    #[test]
+    fn remove_after_splits_keeps_queries_exact() {
+        let items = random_rects(300, 5);
+        let mut tree = RTree::from_items(items.iter().cloned());
+        // Remove every third item.
+        let mut remaining = Vec::new();
+        for (i, (oid, r)) in items.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(tree.remove(*oid));
+            } else {
+                remaining.push((*oid, *r));
+            }
+        }
+        assert_eq!(tree.len(), remaining.len());
+        let window = Rect::new(200.0, 200.0, 600.0, 600.0);
+        let mut got = tree.query_rect(&window);
+        got.sort();
+        assert_eq!(got, scan(&remaining, &window));
+    }
+
+    #[test]
+    fn nearest_returns_true_knn_for_points() {
+        // For point data, bbox distance == point distance, so kNN is exact.
+        let items: Vec<(Oid, Rect)> = (0..100u64)
+            .map(|i| {
+                let p = Point::new((i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0);
+                (Oid(i), Rect::from_point(p))
+            })
+            .collect();
+        let tree = RTree::from_items(items.iter().cloned());
+        let q = Point::new(12.0, 13.0);
+        let got = tree.nearest(&q, 4);
+        // Brute force.
+        let mut all: Vec<(f64, Oid)> = items
+            .iter()
+            .map(|(o, r)| (r.distance_to_point(&q), *o))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let expect: Vec<Oid> = all[..4].iter().map(|(_, o)| *o).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bulk_load_matches_brute_force() {
+        let items = random_rects(777, 99);
+        let tree = RTree::bulk_load(items.iter().cloned());
+        assert_eq!(tree.len(), 777);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..30 {
+            let x = rng.gen_range(0.0..900.0);
+            let y = rng.gen_range(0.0..900.0);
+            let window = Rect::new(x, y, x + 120.0, y + 120.0);
+            let mut got = tree.query_rect(&window);
+            got.sort();
+            assert_eq!(got, scan(&items, &window));
+        }
+    }
+
+    #[test]
+    fn bulk_load_packs_tighter_than_inserts() {
+        let items = random_rects(1000, 4);
+        let inserted = RTree::from_items(items.iter().cloned());
+        let bulk = RTree::bulk_load(items.iter().cloned());
+        assert!(
+            bulk.fill_factor() > inserted.fill_factor(),
+            "bulk {} <= inserted {}",
+            bulk.fill_factor(),
+            inserted.fill_factor()
+        );
+        assert!(bulk.fill_factor() > 0.8, "STR should pack >80% full");
+    }
+
+    #[test]
+    fn bulk_load_edge_cases() {
+        let empty = RTree::bulk_load(std::iter::empty());
+        assert!(empty.is_empty());
+        assert!(empty.query_rect(&Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+
+        let one = RTree::bulk_load([(Oid(1), Rect::from_point(Point::new(1.0, 1.0)))]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.query_rect(&Rect::new(0.0, 0.0, 2.0, 2.0)), vec![Oid(1)]);
+
+        // Duplicate oids: last wins.
+        let dup = RTree::bulk_load([
+            (Oid(1), Rect::from_point(Point::new(0.0, 0.0))),
+            (Oid(1), Rect::from_point(Point::new(9.0, 9.0))),
+        ]);
+        assert_eq!(dup.len(), 1);
+        assert!(dup.query_rect(&Rect::new(8.0, 8.0, 10.0, 10.0)).contains(&Oid(1)));
+    }
+
+    #[test]
+    fn bulk_loaded_tree_supports_mutation() {
+        let items = random_rects(100, 12);
+        let mut tree = RTree::bulk_load(items.iter().cloned());
+        tree.insert(Oid(5000), Rect::from_point(Point::new(-50.0, -50.0)));
+        assert!(tree.remove(items[0].0));
+        assert_eq!(tree.len(), 100);
+        let hits = tree.query_rect(&Rect::new(-51.0, -51.0, -49.0, -49.0));
+        assert_eq!(hits, vec![Oid(5000)]);
+    }
+
+    #[test]
+    fn nearest_edge_cases() {
+        let tree = RTree::new();
+        assert!(tree.nearest(&Point::ORIGIN, 3).is_empty());
+        let mut tree = RTree::new();
+        tree.insert(Oid(9), Rect::from_point(Point::new(1.0, 1.0)));
+        assert_eq!(tree.nearest(&Point::ORIGIN, 0), Vec::<Oid>::new());
+        // k larger than population returns everything.
+        assert_eq!(tree.nearest(&Point::ORIGIN, 10), vec![Oid(9)]);
+    }
+}

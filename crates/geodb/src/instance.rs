@@ -1,0 +1,134 @@
+//! Object instances: OIDs and attribute bindings.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Database-wide object identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Oid(pub u64);
+
+impl std::fmt::Display for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A stored object: its identity, its class, and attribute values.
+///
+/// Attribute values are kept in a `BTreeMap` so iteration order is
+/// deterministic — window layouts and snapshots must not flap between runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    pub oid: Oid,
+    pub class: String,
+    pub values: BTreeMap<String, Value>,
+}
+
+impl Instance {
+    pub fn new(oid: Oid, class: impl Into<String>) -> Instance {
+        Instance {
+            oid,
+            class: class.into(),
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style attribute setter.
+    pub fn with(mut self, attr: impl Into<String>, value: impl Into<Value>) -> Instance {
+        self.values.insert(attr.into(), value.into());
+        self
+    }
+
+    /// Value of an attribute; `Null` when absent (matching optional attrs).
+    pub fn get(&self, attr: &str) -> &Value {
+        self.values.get(attr).unwrap_or(&Value::Null)
+    }
+
+    /// Resolve a possibly-nested path such as `pole_composition.pole_height`.
+    pub fn get_path(&self, path: &str) -> &Value {
+        let mut parts = path.split('.');
+        let first = match parts.next() {
+            Some(p) => p,
+            None => return &Value::Null,
+        };
+        let mut cur = self.get(first);
+        for part in parts {
+            match cur.tuple_field(part) {
+                Some(v) => cur = v,
+                None => return &Value::Null,
+            }
+        }
+        cur
+    }
+
+    /// The first geometry-valued attribute, if any — used as the object's
+    /// cartographic footprint by the map presentation.
+    pub fn primary_geometry(&self) -> Option<(&str, &crate::geometry::Geometry)> {
+        self.values
+            .iter()
+            .find_map(|(k, v)| v.as_geometry().map(|g| (k.as_str(), g)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Geometry, Point};
+
+    #[test]
+    fn get_returns_null_for_missing() {
+        let i = Instance::new(Oid(1), "Pole");
+        assert_eq!(i.get("anything"), &Value::Null);
+    }
+
+    #[test]
+    fn with_sets_values() {
+        let i = Instance::new(Oid(1), "Pole").with("pole_type", 3i64);
+        assert_eq!(i.get("pole_type"), &Value::Int(3));
+        assert_eq!(i.class, "Pole");
+    }
+
+    #[test]
+    fn get_path_traverses_tuples() {
+        let comp = Value::Tuple(vec![
+            ("pole_material".into(), "wood".into()),
+            ("pole_height".into(), 9.0f64.into()),
+        ]);
+        let i = Instance::new(Oid(2), "Pole").with("pole_composition", comp);
+        assert_eq!(
+            i.get_path("pole_composition.pole_height"),
+            &Value::Float(9.0)
+        );
+        assert_eq!(i.get_path("pole_composition.missing"), &Value::Null);
+        assert_eq!(i.get_path("missing.path"), &Value::Null);
+        assert_eq!(i.get_path("pole_composition").type_name(), "tuple");
+    }
+
+    #[test]
+    fn primary_geometry_finds_spatial_attr() {
+        let i = Instance::new(Oid(3), "Pole")
+            .with("pole_type", 1i64)
+            .with("pole_location", Geometry::Point(Point::new(4.0, 5.0)));
+        let (name, g) = i.primary_geometry().unwrap();
+        assert_eq!(name, "pole_location");
+        assert_eq!(g.bbox().center(), Point::new(4.0, 5.0));
+
+        let bare = Instance::new(Oid(4), "Supplier").with("name", "Acme");
+        assert!(bare.primary_geometry().is_none());
+    }
+
+    #[test]
+    fn values_iterate_deterministically() {
+        let i = Instance::new(Oid(5), "X")
+            .with("z", 1i64)
+            .with("a", 2i64)
+            .with("m", 3i64);
+        let keys: Vec<_> = i.values.keys().cloned().collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Query predicates and the database event vocabulary.
+//!
+//! The paper restricts exploratory-mode database events to the primitives
+//! `Get_Schema`, `Get_Class` and `Get_Value`; those events (plus updates,
+//! which its active prototype also intercepts for constraint maintenance)
+//! are modelled by [`DbEvent`]. Selection predicates combine attribute
+//! comparisons with spatial conditions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{Point, Rect};
+use crate::instance::{Instance, Oid};
+use crate::value::Value;
+
+/// Comparison operators over attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Substring match on text values.
+    Contains,
+}
+
+impl CmpOp {
+    pub fn eval(&self, lhs: &Value, rhs: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Contains => match (lhs, rhs) {
+                (Value::Text(a), Value::Text(b)) => a.contains(b.as_str()),
+                _ => false,
+            },
+            _ => {
+                let ord = lhs.compare(rhs);
+                match self {
+                    CmpOp::Eq => ord == Equal,
+                    CmpOp::Ne => ord != Equal,
+                    CmpOp::Lt => ord == Less,
+                    CmpOp::Le => ord != Greater,
+                    CmpOp::Gt => ord == Greater,
+                    CmpOp::Ge => ord != Less,
+                    CmpOp::Contains => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// A selection predicate over instances of one class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Matches everything.
+    True,
+    /// Compare an attribute (dotted paths reach into tuples) to a constant.
+    Cmp {
+        path: String,
+        op: CmpOp,
+        value: Value,
+    },
+    /// Geometry attribute entirely within a rectangle.
+    Within { attr: String, rect: Rect },
+    /// Geometry attribute intersecting a rectangle (map viewport query).
+    IntersectsRect { attr: String, rect: Rect },
+    /// Geometry attribute within `dist` of a point.
+    NearPoint {
+        attr: String,
+        point: Point,
+        dist: f64,
+    },
+    And(Box<Predicate>, Box<Predicate>),
+    Or(Box<Predicate>, Box<Predicate>),
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate against one instance.
+    pub fn eval(&self, inst: &Instance) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { path, op, value } => op.eval(inst.get_path(path), value),
+            Predicate::Within { attr, rect } => inst
+                .get(attr)
+                .as_geometry()
+                .is_some_and(|g| g.within(rect)),
+            Predicate::IntersectsRect { attr, rect } => inst
+                .get(attr)
+                .as_geometry()
+                .is_some_and(|g| g.intersects_rect(rect)),
+            Predicate::NearPoint { attr, point, dist } => inst
+                .get(attr)
+                .as_geometry()
+                .is_some_and(|g| g.distance_to_point(point) <= *dist),
+            Predicate::And(a, b) => a.eval(inst) && b.eval(inst),
+            Predicate::Or(a, b) => a.eval(inst) || b.eval(inst),
+            Predicate::Not(p) => !p.eval(inst),
+        }
+    }
+
+    /// A rectangle that any matching instance's geometry must intersect,
+    /// if one can be derived — the spatial index prefilter.
+    pub fn index_window(&self) -> Option<(String, Rect)> {
+        match self {
+            Predicate::Within { attr, rect } => Some((attr.clone(), *rect)),
+            Predicate::IntersectsRect { attr, rect } => Some((attr.clone(), *rect)),
+            Predicate::NearPoint { attr, point, dist } => Some((
+                attr.clone(),
+                Rect::from_point(*point).inflate(*dist),
+            )),
+            // A conjunction can be prefiltered by either side's window.
+            Predicate::And(a, b) => a.index_window().or_else(|| b.index_window()),
+            _ => None,
+        }
+    }
+
+    // -- combinators ------------------------------------------------------
+
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    pub fn cmp(path: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            path: path.into(),
+            op,
+            value: value.into(),
+        }
+    }
+}
+
+/// Events emitted by the database as user interactions are translated into
+/// queries and updates; the active mechanism intercepts these.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DbEvent {
+    /// Schema metadata was requested (a `Get_Schema` primitive).
+    GetSchema { schema: String },
+    /// A class extension was requested (a `Get_Class` primitive).
+    GetClass { schema: String, class: String },
+    /// A single instance was requested (a `Get_Value` primitive, called
+    /// `Get_Instance` in parts of the paper).
+    GetValue {
+        schema: String,
+        class: String,
+        oid: Oid,
+    },
+    /// An instance was inserted.
+    Insert {
+        schema: String,
+        class: String,
+        oid: Oid,
+    },
+    /// An instance was updated.
+    Update {
+        schema: String,
+        class: String,
+        oid: Oid,
+    },
+    /// An instance was deleted.
+    Delete {
+        schema: String,
+        class: String,
+        oid: Oid,
+    },
+    /// A schema was registered in the catalog.
+    SchemaRegistered { schema: String },
+}
+
+impl DbEvent {
+    /// Short tag used by rule-event matching and trace output.
+    pub fn kind(&self) -> DbEventKind {
+        match self {
+            DbEvent::GetSchema { .. } => DbEventKind::GetSchema,
+            DbEvent::GetClass { .. } => DbEventKind::GetClass,
+            DbEvent::GetValue { .. } => DbEventKind::GetValue,
+            DbEvent::Insert { .. } => DbEventKind::Insert,
+            DbEvent::Update { .. } => DbEventKind::Update,
+            DbEvent::Delete { .. } => DbEventKind::Delete,
+            DbEvent::SchemaRegistered { .. } => DbEventKind::SchemaRegistered,
+        }
+    }
+
+    /// The schema the event concerns.
+    pub fn schema(&self) -> &str {
+        match self {
+            DbEvent::GetSchema { schema }
+            | DbEvent::GetClass { schema, .. }
+            | DbEvent::GetValue { schema, .. }
+            | DbEvent::Insert { schema, .. }
+            | DbEvent::Update { schema, .. }
+            | DbEvent::Delete { schema, .. }
+            | DbEvent::SchemaRegistered { schema } => schema,
+        }
+    }
+
+    /// The class the event concerns, when class-scoped.
+    pub fn class(&self) -> Option<&str> {
+        match self {
+            DbEvent::GetClass { class, .. }
+            | DbEvent::GetValue { class, .. }
+            | DbEvent::Insert { class, .. }
+            | DbEvent::Update { class, .. }
+            | DbEvent::Delete { class, .. } => Some(class),
+            _ => None,
+        }
+    }
+}
+
+/// Discriminant-only event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DbEventKind {
+    GetSchema,
+    GetClass,
+    GetValue,
+    Insert,
+    Update,
+    Delete,
+    SchemaRegistered,
+}
+
+impl std::fmt::Display for DbEventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DbEventKind::GetSchema => "Get_Schema",
+            DbEventKind::GetClass => "Get_Class",
+            DbEventKind::GetValue => "Get_Value",
+            DbEventKind::Insert => "Insert",
+            DbEventKind::Update => "Update",
+            DbEventKind::Delete => "Delete",
+            DbEventKind::SchemaRegistered => "Schema_Registered",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+
+    fn pole(x: f64, height: f64, material: &str) -> Instance {
+        Instance::new(Oid(1), "Pole")
+            .with("pole_location", Geometry::Point(Point::new(x, 0.0)))
+            .with(
+                "pole_composition",
+                Value::Tuple(vec![
+                    ("pole_material".into(), material.into()),
+                    ("pole_height".into(), height.into()),
+                ]),
+            )
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Eq.eval(&Value::Int(3), &Value::Int(3)));
+        assert!(CmpOp::Lt.eval(&Value::Int(3), &Value::Float(3.5)));
+        assert!(CmpOp::Ge.eval(&Value::Float(3.5), &Value::Int(3)));
+        assert!(CmpOp::Contains.eval(&"wooden".into(), &"ood".into()));
+        assert!(!CmpOp::Contains.eval(&Value::Int(3), &"3".into()));
+    }
+
+    #[test]
+    fn cmp_predicate_on_nested_path() {
+        let p = Predicate::cmp("pole_composition.pole_height", CmpOp::Gt, 8.0);
+        assert!(p.eval(&pole(0.0, 9.0, "wood")));
+        assert!(!p.eval(&pole(0.0, 7.0, "wood")));
+    }
+
+    #[test]
+    fn spatial_predicates() {
+        let inst = pole(5.0, 9.0, "wood");
+        let inside = Predicate::Within {
+            attr: "pole_location".into(),
+            rect: Rect::new(0.0, -1.0, 10.0, 1.0),
+        };
+        let outside = Predicate::Within {
+            attr: "pole_location".into(),
+            rect: Rect::new(10.0, 10.0, 20.0, 20.0),
+        };
+        assert!(inside.eval(&inst));
+        assert!(!outside.eval(&inst));
+
+        let near = Predicate::NearPoint {
+            attr: "pole_location".into(),
+            point: Point::new(5.0, 3.0),
+            dist: 3.0,
+        };
+        assert!(near.eval(&inst));
+
+        // Predicate on a non-geometry attribute is simply false.
+        let bogus = Predicate::Within {
+            attr: "pole_composition".into(),
+            rect: Rect::new(0.0, 0.0, 10.0, 10.0),
+        };
+        assert!(!bogus.eval(&inst));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let inst = pole(5.0, 9.0, "wood");
+        let tall = Predicate::cmp("pole_composition.pole_height", CmpOp::Gt, 8.0);
+        let steel = Predicate::cmp("pole_composition.pole_material", CmpOp::Eq, "steel");
+        assert!(tall.clone().and(steel.clone().not()).eval(&inst));
+        assert!(tall.clone().or(steel.clone()).eval(&inst));
+        assert!(!tall.and(steel).eval(&inst));
+    }
+
+    #[test]
+    fn index_window_derivation() {
+        let w = Predicate::IntersectsRect {
+            attr: "loc".into(),
+            rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+        };
+        assert_eq!(w.index_window().unwrap().0, "loc");
+
+        let near = Predicate::NearPoint {
+            attr: "loc".into(),
+            point: Point::new(5.0, 5.0),
+            dist: 2.0,
+        };
+        let (_, rect) = near.index_window().unwrap();
+        assert_eq!(rect, Rect::new(3.0, 3.0, 7.0, 7.0));
+
+        // AND propagates a window from either side.
+        let conj = Predicate::cmp("a", CmpOp::Eq, 1i64).and(near);
+        assert!(conj.index_window().is_some());
+
+        // OR cannot be prefiltered.
+        let disj = Predicate::cmp("a", CmpOp::Eq, 1i64).or(Predicate::True);
+        assert!(disj.index_window().is_none());
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = DbEvent::GetClass {
+            schema: "phone_net".into(),
+            class: "Pole".into(),
+        };
+        assert_eq!(e.kind(), DbEventKind::GetClass);
+        assert_eq!(e.schema(), "phone_net");
+        assert_eq!(e.class(), Some("Pole"));
+        assert_eq!(e.kind().to_string(), "Get_Class");
+
+        let s = DbEvent::GetSchema {
+            schema: "phone_net".into(),
+        };
+        assert_eq!(s.class(), None);
+    }
+}

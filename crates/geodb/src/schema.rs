@@ -1,0 +1,210 @@
+//! Class and schema definitions of the object-oriented data model,
+//! including single inheritance and method signatures (paper Fig. 5 shows
+//! `Class Pole` with attributes and a `get_supplier_name` method).
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::AttrType;
+
+/// One declared attribute of a class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrDef {
+    pub name: String,
+    pub ty: AttrType,
+    /// Optional attributes may be absent/`Null` on insert.
+    pub optional: bool,
+}
+
+impl AttrDef {
+    pub fn new(name: impl Into<String>, ty: AttrType) -> AttrDef {
+        AttrDef {
+            name: name.into(),
+            ty,
+            optional: false,
+        }
+    }
+
+    pub fn optional(mut self) -> AttrDef {
+        self.optional = true;
+        self
+    }
+}
+
+/// A method signature. Bodies are native Rust callbacks registered on the
+/// [`crate::db::Database`]; the schema records only the signature, as the
+/// paper's customization language references methods by name
+/// (`get_supplier_name(pole_supplier)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodDef {
+    pub name: String,
+    pub params: Vec<AttrType>,
+    pub returns: AttrType,
+}
+
+impl MethodDef {
+    pub fn new(name: impl Into<String>, params: Vec<AttrType>, returns: AttrType) -> MethodDef {
+        MethodDef {
+            name: name.into(),
+            params,
+            returns,
+        }
+    }
+}
+
+/// A class definition: named attributes, methods, and an optional parent
+/// class (single inheritance, as in the OMT model the paper adopts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDef {
+    pub name: String,
+    pub parent: Option<String>,
+    pub attrs: Vec<AttrDef>,
+    pub methods: Vec<MethodDef>,
+    /// Free-form description shown by the Schema window's metadata pane.
+    pub doc: String,
+}
+
+impl ClassDef {
+    pub fn new(name: impl Into<String>) -> ClassDef {
+        ClassDef {
+            name: name.into(),
+            parent: None,
+            attrs: Vec::new(),
+            methods: Vec::new(),
+            doc: String::new(),
+        }
+    }
+
+    pub fn extends(mut self, parent: impl Into<String>) -> ClassDef {
+        self.parent = Some(parent.into());
+        self
+    }
+
+    pub fn attr(mut self, name: impl Into<String>, ty: AttrType) -> ClassDef {
+        self.attrs.push(AttrDef::new(name, ty));
+        self
+    }
+
+    pub fn optional_attr(mut self, name: impl Into<String>, ty: AttrType) -> ClassDef {
+        self.attrs.push(AttrDef::new(name, ty).optional());
+        self
+    }
+
+    pub fn method(mut self, m: MethodDef) -> ClassDef {
+        self.methods.push(m);
+        self
+    }
+
+    pub fn doc(mut self, text: impl Into<String>) -> ClassDef {
+        self.doc = text.into();
+        self
+    }
+
+    /// Locally-declared attribute by name (no inheritance).
+    pub fn own_attr(&self, name: &str) -> Option<&AttrDef> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+
+    /// Locally-declared method by name (no inheritance).
+    pub fn own_method(&self, name: &str) -> Option<&MethodDef> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// True if any own attribute is spatial.
+    pub fn has_own_geometry(&self) -> bool {
+        self.attrs.iter().any(|a| a.ty == AttrType::Geometry)
+    }
+}
+
+/// A named database schema: an ordered set of class definitions.
+///
+/// Order is preserved because the generic Schema window lists classes in
+/// declaration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemaDef {
+    pub name: String,
+    pub classes: Vec<ClassDef>,
+}
+
+impl SchemaDef {
+    pub fn new(name: impl Into<String>) -> SchemaDef {
+        SchemaDef {
+            name: name.into(),
+            classes: Vec::new(),
+        }
+    }
+
+    pub fn class(mut self, c: ClassDef) -> SchemaDef {
+        self.classes.push(c);
+        self
+    }
+
+    pub fn find_class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    pub fn class_names(&self) -> Vec<&str> {
+        self.classes.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pole_class() -> ClassDef {
+        ClassDef::new("Pole")
+            .attr("pole_type", AttrType::Int)
+            .attr(
+                "pole_composition",
+                AttrType::Tuple(vec![
+                    ("pole_material".into(), AttrType::Text),
+                    ("pole_diameter".into(), AttrType::Float),
+                    ("pole_height".into(), AttrType::Float),
+                ]),
+            )
+            .attr("pole_supplier", AttrType::Ref("Supplier".into()))
+            .attr("pole_location", AttrType::Geometry)
+            .optional_attr("pole_picture", AttrType::Bitmap)
+            .optional_attr("pole_historic", AttrType::Text)
+            .method(MethodDef::new(
+                "get_supplier_name",
+                vec![AttrType::Ref("Supplier".into())],
+                AttrType::Text,
+            ))
+    }
+
+    #[test]
+    fn builder_accumulates_members() {
+        let c = pole_class();
+        assert_eq!(c.attrs.len(), 6);
+        assert_eq!(c.methods.len(), 1);
+        assert!(c.own_attr("pole_location").is_some());
+        assert!(c.own_attr("nonexistent").is_none());
+        assert!(c.own_method("get_supplier_name").is_some());
+        assert!(c.has_own_geometry());
+    }
+
+    #[test]
+    fn optional_flag_is_recorded() {
+        let c = pole_class();
+        assert!(!c.own_attr("pole_type").unwrap().optional);
+        assert!(c.own_attr("pole_picture").unwrap().optional);
+    }
+
+    #[test]
+    fn schema_preserves_declaration_order() {
+        let s = SchemaDef::new("phone_net")
+            .class(ClassDef::new("Duct"))
+            .class(pole_class())
+            .class(ClassDef::new("Supplier"));
+        assert_eq!(s.class_names(), vec!["Duct", "Pole", "Supplier"]);
+        assert!(s.find_class("Pole").is_some());
+        assert!(s.find_class("pole").is_none()); // names are case-sensitive
+    }
+
+    #[test]
+    fn inheritance_parent_is_stored() {
+        let c = ClassDef::new("AerialPole").extends("Pole");
+        assert_eq!(c.parent.as_deref(), Some("Pole"));
+    }
+}

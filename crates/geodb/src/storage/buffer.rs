@@ -1,0 +1,330 @@
+//! The buffer pool.
+//!
+//! The paper singles buffer management out: "the volume of data manipulated
+//! in gis is usually very high and the interface has to provide large
+//! buffers to temporarily store and manipulate the data retrieved from the
+//! spatial dbms … Efficient management of buffers is thus a typical dbms
+//! problem that the gis interface must deal with." Experiment C3 measures
+//! hit rates and eviction policies on map-browsing workloads.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+
+use super::page::PAGE_SIZE;
+use super::store::{PageId, PageStore};
+
+/// Replacement policy for the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least-recently-used by access counter.
+    Lru,
+    /// Second-chance clock.
+    Clock,
+}
+
+/// Cumulative counters, exposed to benches and the EXPERIMENTS report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub dirty_writebacks: u64,
+}
+
+impl BufferStats {
+    /// Fraction of accesses served from memory (1.0 when no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    pid: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+    last_used: u64,
+    referenced: bool,
+}
+
+/// A fixed-capacity page cache in front of a [`PageStore`].
+#[derive(Debug)]
+pub struct BufferPool<S: PageStore> {
+    store: S,
+    capacity: usize,
+    policy: EvictionPolicy,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    tick: u64,
+    clock_hand: usize,
+    stats: BufferStats,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Create a pool of `capacity` frames (must be ≥ 1).
+    pub fn new(store: S, capacity: usize, policy: EvictionPolicy) -> BufferPool<S> {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            store,
+            capacity,
+            policy,
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+            tick: 0,
+            clock_hand: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Allocate a fresh page in the backing store.
+    pub fn allocate_page(&mut self) -> Result<PageId> {
+        self.store.allocate()
+    }
+
+    pub fn num_pages(&self) -> u64 {
+        self.store.num_pages()
+    }
+
+    /// Read access to a page through the cache.
+    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let idx = self.fetch(pid)?;
+        self.touch(idx);
+        Ok(f(&self.frames[idx].data))
+    }
+
+    /// Write access to a page through the cache; marks the frame dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
+        let idx = self.fetch(pid)?;
+        self.touch(idx);
+        self.frames[idx].dirty = true;
+        Ok(f(&mut self.frames[idx].data))
+    }
+
+    /// Write every dirty frame back to the store.
+    pub fn flush_all(&mut self) -> Result<()> {
+        for i in 0..self.frames.len() {
+            if self.frames[i].dirty {
+                self.store
+                    .write_page(self.frames[i].pid, &self.frames[i].data)?;
+                self.frames[i].dirty = false;
+                self.stats.dirty_writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop every cached frame (after flushing). Used by tests to force
+    /// cold reads.
+    pub fn clear(&mut self) -> Result<()> {
+        self.flush_all()?;
+        self.frames.clear();
+        self.map.clear();
+        self.clock_hand = 0;
+        Ok(())
+    }
+
+    /// Reset statistics counters (frames stay cached).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        self.frames[idx].last_used = self.tick;
+        self.frames[idx].referenced = true;
+    }
+
+    /// Ensure `pid` is resident; return its frame index.
+    fn fetch(&mut self, pid: PageId) -> Result<usize> {
+        if let Some(&idx) = self.map.get(&pid) {
+            self.stats.hits += 1;
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+
+        let idx = if self.frames.len() < self.capacity {
+            // Cold frame available.
+            self.frames.push(Frame {
+                pid,
+                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                dirty: false,
+                last_used: 0,
+                referenced: false,
+            });
+            self.frames.len() - 1
+        } else {
+            let victim = self.choose_victim();
+            self.stats.evictions += 1;
+            if self.frames[victim].dirty {
+                self.store
+                    .write_page(self.frames[victim].pid, &self.frames[victim].data)?;
+                self.stats.dirty_writebacks += 1;
+            }
+            self.map.remove(&self.frames[victim].pid);
+            self.frames[victim].pid = pid;
+            self.frames[victim].dirty = false;
+            self.frames[victim].referenced = false;
+            victim
+        };
+
+        self.store.read_page(pid, &mut self.frames[idx].data)?;
+        self.map.insert(pid, idx);
+        Ok(idx)
+    }
+
+    fn choose_victim(&mut self) -> usize {
+        match self.policy {
+            EvictionPolicy::Lru => self
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(i, _)| i)
+                .expect("pool is full when evicting"),
+            EvictionPolicy::Clock => {
+                loop {
+                    let i = self.clock_hand;
+                    self.clock_hand = (self.clock_hand + 1) % self.frames.len();
+                    if self.frames[i].referenced {
+                        self.frames[i].referenced = false;
+                    } else {
+                        return i;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::store::MemStore;
+
+    fn pool(cap: usize, policy: EvictionPolicy) -> (BufferPool<MemStore>, Vec<PageId>) {
+        let mut pool = BufferPool::new(MemStore::new(), cap, policy);
+        let pids: Vec<PageId> = (0..8).map(|_| pool.allocate_page().unwrap()).collect();
+        // Stamp each page with its index for identification.
+        for (i, &pid) in pids.iter().enumerate() {
+            pool.with_page_mut(pid, |d| d[0] = i as u8).unwrap();
+        }
+        pool.flush_all().unwrap();
+        pool.clear().unwrap();
+        pool.reset_stats();
+        (pool, pids)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        BufferPool::new(MemStore::new(), 0, EvictionPolicy::Lru);
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let (mut pool, pids) = pool(4, EvictionPolicy::Lru);
+        pool.with_page(pids[0], |d| assert_eq!(d[0], 0)).unwrap();
+        pool.with_page(pids[0], |_| ()).unwrap();
+        pool.with_page(pids[1], |d| assert_eq!(d[0], 1)).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 1);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (mut pool, pids) = pool(2, EvictionPolicy::Lru);
+        pool.with_page(pids[0], |_| ()).unwrap(); // miss
+        pool.with_page(pids[1], |_| ()).unwrap(); // miss
+        pool.with_page(pids[0], |_| ()).unwrap(); // hit -> 1 is LRU
+        pool.with_page(pids[2], |_| ()).unwrap(); // miss, evicts 1
+        pool.with_page(pids[0], |_| ()).unwrap(); // still resident: hit
+        pool.with_page(pids[1], |_| ()).unwrap(); // evicted: miss
+        let s = pool.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let (mut pool, pids) = pool(2, EvictionPolicy::Clock);
+        pool.with_page(pids[0], |_| ()).unwrap();
+        pool.with_page(pids[1], |_| ()).unwrap();
+        // Both referenced; clock clears 0 then 1, wraps, evicts 0.
+        pool.with_page(pids[2], |_| ()).unwrap();
+        pool.with_page(pids[1], |_| ()).unwrap(); // expected hit
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn dirty_pages_survive_eviction() {
+        let (mut pool, pids) = pool(1, EvictionPolicy::Lru);
+        pool.with_page_mut(pids[3], |d| d[100] = 0xEE).unwrap();
+        // Evict by touching other pages through the 1-frame pool.
+        pool.with_page(pids[4], |_| ()).unwrap();
+        pool.with_page(pids[5], |_| ()).unwrap();
+        // Read back.
+        pool.with_page(pids[3], |d| assert_eq!(d[100], 0xEE)).unwrap();
+        assert!(pool.stats().dirty_writebacks >= 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_pool_thrashes() {
+        let (mut pool, pids) = pool(2, EvictionPolicy::Lru);
+        // Cyclic scan of 4 pages through 2 frames: classic LRU worst case.
+        for _ in 0..10 {
+            for &pid in &pids[..4] {
+                pool.with_page(pid, |_| ()).unwrap();
+            }
+        }
+        assert_eq!(pool.stats().hits, 0);
+    }
+
+    #[test]
+    fn working_set_fitting_pool_all_hits_after_warmup() {
+        let (mut pool, pids) = pool(4, EvictionPolicy::Lru);
+        for _ in 0..10 {
+            for &pid in &pids[..4] {
+                pool.with_page(pid, |_| ()).unwrap();
+            }
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 36);
+    }
+
+    #[test]
+    fn flush_all_persists_to_store() {
+        let mut pool = BufferPool::new(MemStore::new(), 2, EvictionPolicy::Lru);
+        let pid = pool.allocate_page().unwrap();
+        pool.with_page_mut(pid, |d| d[0] = 42).unwrap();
+        pool.flush_all().unwrap();
+        pool.clear().unwrap();
+        pool.with_page(pid, |d| assert_eq!(d[0], 42)).unwrap();
+    }
+}

@@ -1,0 +1,394 @@
+//! Heap files: unordered record storage over the buffer pool, with
+//! overflow chains for records larger than a page (bitmap attributes).
+
+use crate::error::{GeoDbError, Result};
+
+use super::buffer::BufferPool;
+use super::page::{SlottedPage, SlottedPageRef, MAX_RECORD, PAGE_SIZE};
+use super::store::{PageId, PageStore};
+
+/// Location of a record: page + slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+const TAG_INLINE: u8 = 0;
+const TAG_OVERFLOW: u8 = 1;
+/// Inline payload limit: record bytes minus the tag byte.
+const INLINE_MAX: usize = MAX_RECORD - 1;
+/// Overflow page header: next page id (u64) + used bytes (u16).
+const OVF_HEADER: usize = 10;
+const OVF_CAPACITY: usize = PAGE_SIZE - OVF_HEADER;
+const NO_PAGE: u64 = u64::MAX;
+
+/// An unordered collection of variable-length records.
+///
+/// The heap file does not own the buffer pool — one pool serves every
+/// extent in a database — so operations borrow it explicitly.
+#[derive(Debug, Default)]
+pub struct HeapFile {
+    /// Slotted data pages, in allocation order (scan order).
+    data_pages: Vec<PageId>,
+    /// Overflow pages freed by deletions, available for reuse.
+    free_overflow: Vec<PageId>,
+    /// Live record count.
+    len: usize,
+}
+
+impl HeapFile {
+    pub fn new() -> HeapFile {
+        HeapFile::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slotted data pages (not counting overflow pages).
+    pub fn data_page_count(&self) -> usize {
+        self.data_pages.len()
+    }
+
+    /// Insert a record, returning its id.
+    pub fn insert<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        payload: &[u8],
+    ) -> Result<RecordId> {
+        let head = if payload.len() <= INLINE_MAX {
+            let mut rec = Vec::with_capacity(payload.len() + 1);
+            rec.push(TAG_INLINE);
+            rec.extend_from_slice(payload);
+            rec
+        } else {
+            let first = self.write_overflow_chain(pool, payload)?;
+            let mut rec = Vec::with_capacity(13);
+            rec.push(TAG_OVERFLOW);
+            rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            rec.extend_from_slice(&first.0.to_le_bytes());
+            rec
+        };
+        let rid = self.place_record(pool, &head)?;
+        self.len += 1;
+        Ok(rid)
+    }
+
+    /// Find (or allocate) a page with room and insert the head record.
+    fn place_record<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        rec: &[u8],
+    ) -> Result<RecordId> {
+        // Try the most recently used data page first — the common case for
+        // append-heavy loads — then fall back to a scan.
+        let candidates: Vec<PageId> = self
+            .data_pages
+            .last()
+            .copied()
+            .into_iter()
+            .chain(self.data_pages.iter().rev().skip(1).copied())
+            .collect();
+        for pid in candidates {
+            let slot = pool.with_page_mut(pid, |data| SlottedPage::new(data).insert(rec))?;
+            if let Some(slot) = slot {
+                return Ok(RecordId {
+                    page: pid,
+                    slot: slot as u16,
+                });
+            }
+        }
+        // No room anywhere: new page.
+        let pid = pool.allocate_page()?;
+        let slot = pool.with_page_mut(pid, |data| SlottedPage::init(data).insert(rec))?;
+        let slot =
+            slot.ok_or_else(|| GeoDbError::Storage("record too large for empty page".into()))?;
+        self.data_pages.push(pid);
+        Ok(RecordId {
+            page: pid,
+            slot: slot as u16,
+        })
+    }
+
+    fn take_overflow_page<S: PageStore>(&mut self, pool: &mut BufferPool<S>) -> Result<PageId> {
+        match self.free_overflow.pop() {
+            Some(p) => Ok(p),
+            None => pool.allocate_page(),
+        }
+    }
+
+    fn write_overflow_chain<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        payload: &[u8],
+    ) -> Result<PageId> {
+        let chunks: Vec<&[u8]> = payload.chunks(OVF_CAPACITY).collect();
+        let pages: Vec<PageId> = (0..chunks.len())
+            .map(|_| self.take_overflow_page(pool))
+            .collect::<Result<_>>()?;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = pages.get(i + 1).map(|p| p.0).unwrap_or(NO_PAGE);
+            pool.with_page_mut(pages[i], |data| {
+                data[0..8].copy_from_slice(&next.to_le_bytes());
+                data[8..10].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+                data[OVF_HEADER..OVF_HEADER + chunk.len()].copy_from_slice(chunk);
+            })?;
+        }
+        Ok(pages[0])
+    }
+
+    fn read_overflow_chain<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        first: PageId,
+        total: usize,
+    ) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(total);
+        let mut cur = first.0;
+        while cur != NO_PAGE {
+            let (next, chunk) = pool.with_page(PageId(cur), |data| {
+                let next = u64::from_le_bytes(data[0..8].try_into().expect("8 bytes"));
+                let used = u16::from_le_bytes(data[8..10].try_into().expect("2 bytes")) as usize;
+                (next, data[OVF_HEADER..OVF_HEADER + used].to_vec())
+            })?;
+            out.extend_from_slice(&chunk);
+            cur = next;
+        }
+        if out.len() != total {
+            return Err(GeoDbError::Storage(format!(
+                "overflow chain length mismatch: expected {total}, got {}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Read a record's full payload.
+    pub fn get<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        rid: RecordId,
+    ) -> Result<Vec<u8>> {
+        let head = pool.with_page(rid.page, |data| {
+            SlottedPageRef::new(data)
+                .get(rid.slot as usize)
+                .map(|r| r.to_vec())
+        })?;
+        let head =
+            head.ok_or_else(|| GeoDbError::Storage(format!("no record at {rid}")))?;
+        match head.first() {
+            Some(&TAG_INLINE) => Ok(head[1..].to_vec()),
+            Some(&TAG_OVERFLOW) => {
+                let total = u32::from_le_bytes(head[1..5].try_into().expect("4 bytes")) as usize;
+                let first = PageId(u64::from_le_bytes(head[5..13].try_into().expect("8 bytes")));
+                self.read_overflow_chain(pool, first, total)
+            }
+            _ => Err(GeoDbError::Storage(format!("corrupt record head at {rid}"))),
+        }
+    }
+
+    /// Delete a record; overflow pages return to the free list.
+    pub fn delete<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        rid: RecordId,
+    ) -> Result<()> {
+        let head = pool.with_page(rid.page, |data| {
+            SlottedPageRef::new(data)
+                .get(rid.slot as usize)
+                .map(|r| r.to_vec())
+        })?;
+        let head =
+            head.ok_or_else(|| GeoDbError::Storage(format!("no record at {rid}")))?;
+        if head.first() == Some(&TAG_OVERFLOW) {
+            let mut cur = u64::from_le_bytes(head[5..13].try_into().expect("8 bytes"));
+            while cur != NO_PAGE {
+                let next = pool.with_page(PageId(cur), |data| {
+                    u64::from_le_bytes(data[0..8].try_into().expect("8 bytes"))
+                })?;
+                self.free_overflow.push(PageId(cur));
+                cur = next;
+            }
+        }
+        let deleted =
+            pool.with_page_mut(rid.page, |data| SlottedPage::new(data).delete(rid.slot as usize))?;
+        if !deleted {
+            return Err(GeoDbError::Storage(format!("no record at {rid}")));
+        }
+        self.len -= 1;
+        Ok(())
+    }
+
+    /// Replace a record's payload, possibly relocating it.
+    pub fn update<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        rid: RecordId,
+        payload: &[u8],
+    ) -> Result<RecordId> {
+        self.delete(pool, rid)?;
+        self.insert(pool, payload)
+    }
+
+    /// Materialize every live record as `(rid, payload)` pairs in scan order.
+    pub fn scan<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+    ) -> Result<Vec<(RecordId, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(self.len);
+        for &pid in &self.data_pages {
+            let heads: Vec<(u16, Vec<u8>)> = pool.with_page(pid, |data| {
+                SlottedPageRef::new(data)
+                    .iter()
+                    .map(|(s, r)| (s as u16, r.to_vec()))
+                    .collect()
+            })?;
+            for (slot, head) in heads {
+                let rid = RecordId { page: pid, slot };
+                let payload = match head.first() {
+                    Some(&TAG_INLINE) => head[1..].to_vec(),
+                    Some(&TAG_OVERFLOW) => {
+                        let total =
+                            u32::from_le_bytes(head[1..5].try_into().expect("4 bytes")) as usize;
+                        let first =
+                            PageId(u64::from_le_bytes(head[5..13].try_into().expect("8 bytes")));
+                        self.read_overflow_chain(pool, first, total)?
+                    }
+                    _ => {
+                        return Err(GeoDbError::Storage(format!(
+                            "corrupt record head at {rid}"
+                        )))
+                    }
+                };
+                out.push((rid, payload));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::buffer::EvictionPolicy;
+    use crate::storage::store::MemStore;
+
+    fn pool() -> BufferPool<MemStore> {
+        BufferPool::new(MemStore::new(), 16, EvictionPolicy::Lru)
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut pool = pool();
+        let mut heap = HeapFile::new();
+        let a = heap.insert(&mut pool, b"alpha").unwrap();
+        let b = heap.insert(&mut pool, b"beta").unwrap();
+        assert_eq!(heap.get(&mut pool, a).unwrap(), b"alpha");
+        assert_eq!(heap.get(&mut pool, b).unwrap(), b"beta");
+        assert_eq!(heap.len(), 2);
+    }
+
+    #[test]
+    fn large_record_uses_overflow_chain() {
+        let mut pool = pool();
+        let mut heap = HeapFile::new();
+        // ~3 pages worth of payload.
+        let big: Vec<u8> = (0..12_000).map(|i| (i % 251) as u8).collect();
+        let rid = heap.insert(&mut pool, &big).unwrap();
+        assert_eq!(heap.get(&mut pool, rid).unwrap(), big);
+        // The head itself lives in a slotted page.
+        assert_eq!(heap.data_page_count(), 1);
+    }
+
+    #[test]
+    fn delete_frees_overflow_pages_for_reuse() {
+        let mut pool = pool();
+        let mut heap = HeapFile::new();
+        let big = vec![0xCD; 10_000];
+        let rid = heap.insert(&mut pool, &big).unwrap();
+        let pages_before = pool.num_pages();
+        heap.delete(&mut pool, rid).unwrap();
+        assert_eq!(heap.len(), 0);
+        // Re-inserting an equally large record reuses the freed chain.
+        let rid2 = heap.insert(&mut pool, &big).unwrap();
+        assert_eq!(pool.num_pages(), pages_before);
+        assert_eq!(heap.get(&mut pool, rid2).unwrap(), big);
+    }
+
+    #[test]
+    fn get_after_delete_fails() {
+        let mut pool = pool();
+        let mut heap = HeapFile::new();
+        let rid = heap.insert(&mut pool, b"x").unwrap();
+        heap.delete(&mut pool, rid).unwrap();
+        assert!(heap.get(&mut pool, rid).is_err());
+        assert!(heap.delete(&mut pool, rid).is_err());
+    }
+
+    #[test]
+    fn update_relocates_and_preserves_payload() {
+        let mut pool = pool();
+        let mut heap = HeapFile::new();
+        let rid = heap.insert(&mut pool, b"short").unwrap();
+        let big = vec![0x11; 9_000];
+        let rid2 = heap.update(&mut pool, rid, &big).unwrap();
+        assert_eq!(heap.get(&mut pool, rid2).unwrap(), big);
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn scan_returns_all_live_records() {
+        let mut pool = pool();
+        let mut heap = HeapFile::new();
+        let mut rids = Vec::new();
+        for i in 0..200u32 {
+            let payload = format!("record-{i}").into_bytes();
+            rids.push((heap.insert(&mut pool, &payload).unwrap(), payload));
+        }
+        // Delete a few.
+        heap.delete(&mut pool, rids[10].0).unwrap();
+        heap.delete(&mut pool, rids[50].0).unwrap();
+        let scanned = heap.scan(&mut pool).unwrap();
+        assert_eq!(scanned.len(), 198);
+        let payloads: std::collections::HashSet<Vec<u8>> =
+            scanned.into_iter().map(|(_, p)| p).collect();
+        assert!(!payloads.contains(&rids[10].1));
+        assert!(payloads.contains(&rids[0].1));
+        assert!(payloads.contains(&rids[199].1));
+    }
+
+    #[test]
+    fn many_records_spill_to_multiple_pages() {
+        let mut pool = pool();
+        let mut heap = HeapFile::new();
+        let payload = vec![0u8; 500];
+        for _ in 0..100 {
+            heap.insert(&mut pool, &payload).unwrap();
+        }
+        assert!(heap.data_page_count() > 10);
+        assert_eq!(heap.scan(&mut pool).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn mixed_inline_and_overflow_scan() {
+        let mut pool = pool();
+        let mut heap = HeapFile::new();
+        heap.insert(&mut pool, b"small").unwrap();
+        heap.insert(&mut pool, &vec![0xAA; 8000]).unwrap();
+        heap.insert(&mut pool, b"another").unwrap();
+        let scanned = heap.scan(&mut pool).unwrap();
+        assert_eq!(scanned.len(), 3);
+        assert!(scanned.iter().any(|(_, p)| p.len() == 8000));
+    }
+}

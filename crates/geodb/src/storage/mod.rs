@@ -1,0 +1,14 @@
+//! Storage layer: slotted pages, page stores, the buffer pool, and heap
+//! files. Persistence of a whole database is handled by
+//! [`crate::snapshot`], which serializes the logical state rather than the
+//! physical pages.
+
+pub mod buffer;
+pub mod heap;
+pub mod page;
+pub mod store;
+
+pub use buffer::{BufferPool, BufferStats, EvictionPolicy};
+pub use heap::{HeapFile, RecordId};
+pub use page::{SlottedPage, SlottedPageRef, MAX_RECORD, PAGE_SIZE};
+pub use store::{AnyStore, FileStore, MemStore, PageId, PageStore};

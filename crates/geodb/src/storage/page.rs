@@ -1,0 +1,344 @@
+//! Slotted data pages.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! 0..2    u16  slot count
+//! 2..4    u16  (reserved)
+//! 4..     slot directory, 4 bytes per slot: (offset: u16, len: u16)
+//! ...     free space
+//! ...     record payloads, packed from the END of the page downward
+//! ```
+//!
+//! A slot with `offset == 0` is dead (records can never start at offset 0
+//! because the header occupies it). Deleting leaves a hole; insertion
+//! compacts the page lazily when total free space suffices but the
+//! contiguous gap does not.
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+
+/// Maximum payload a single slot can hold on an empty page.
+pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT;
+
+/// Read-only view over a page buffer.
+pub struct SlottedPageRef<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> SlottedPageRef<'a> {
+    /// Wrap an existing page buffer (must be `PAGE_SIZE` long).
+    pub fn new(data: &'a [u8]) -> SlottedPageRef<'a> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        SlottedPageRef { data }
+    }
+
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.data[at], self.data[at + 1]])
+    }
+
+    /// Number of slots (live and dead).
+    pub fn slot_count(&self) -> usize {
+        self.read_u16(0) as usize
+    }
+
+    fn slot(&self, i: usize) -> (usize, usize) {
+        let base = HEADER + i * SLOT;
+        (self.read_u16(base) as usize, self.read_u16(base + 2) as usize)
+    }
+
+    /// Read a live record.
+    pub fn get(&self, slot: usize) -> Option<&'a [u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return None;
+        }
+        Some(&self.data[off..off + len])
+    }
+
+    /// Iterate live `(slot, bytes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &'a [u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |i| self.get(i).map(|r| (i, r)))
+    }
+}
+
+/// Zero-copy view over a page buffer with slotted-page operations.
+pub struct SlottedPage<'a> {
+    data: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wrap an existing page buffer (must be `PAGE_SIZE` long).
+    pub fn new(data: &'a mut [u8]) -> SlottedPage<'a> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        SlottedPage { data }
+    }
+
+    /// Initialize an empty page in-place.
+    pub fn init(data: &'a mut [u8]) -> SlottedPage<'a> {
+        data[..HEADER].fill(0);
+        SlottedPage::new(data)
+    }
+
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.data[at], self.data[at + 1]])
+    }
+
+    fn write_u16(&mut self, at: usize, v: u16) {
+        self.data[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots (live and dead).
+    pub fn slot_count(&self) -> usize {
+        self.read_u16(0) as usize
+    }
+
+    fn set_slot_count(&mut self, n: usize) {
+        self.write_u16(0, n as u16);
+    }
+
+    fn slot(&self, i: usize) -> (usize, usize) {
+        let base = HEADER + i * SLOT;
+        (self.read_u16(base) as usize, self.read_u16(base + 2) as usize)
+    }
+
+    fn set_slot(&mut self, i: usize, offset: usize, len: usize) {
+        let base = HEADER + i * SLOT;
+        self.write_u16(base, offset as u16);
+        self.write_u16(base + 2, len as u16);
+    }
+
+    /// Lowest record offset (PAGE_SIZE when no live records).
+    fn low_water(&self) -> usize {
+        let mut low = PAGE_SIZE;
+        for i in 0..self.slot_count() {
+            let (off, _) = self.slot(i);
+            if off != 0 {
+                low = low.min(off);
+            }
+        }
+        low
+    }
+
+    /// Total free bytes (contiguous or not), assuming one new slot entry.
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() * SLOT;
+        let mut live: usize = 0;
+        for i in 0..self.slot_count() {
+            let (off, len) = self.slot(i);
+            if off != 0 {
+                live += len;
+            }
+        }
+        PAGE_SIZE - dir_end - live
+    }
+
+    /// Can a record of `len` bytes be inserted (possibly after compaction)?
+    pub fn can_insert(&self, len: usize) -> bool {
+        let needs_new_slot = !self.has_dead_slot();
+        let overhead = if needs_new_slot { SLOT } else { 0 };
+        self.free_space() >= len + overhead && len <= MAX_RECORD
+    }
+
+    fn has_dead_slot(&self) -> bool {
+        (0..self.slot_count()).any(|i| self.slot(i).0 == 0)
+    }
+
+    /// Insert a record; returns its slot number, or `None` when it cannot
+    /// fit even after compaction.
+    pub fn insert(&mut self, record: &[u8]) -> Option<usize> {
+        if !self.can_insert(record.len()) {
+            return None;
+        }
+        // Reuse a dead slot if available, else append a new one.
+        let slot_idx = (0..self.slot_count())
+            .find(|&i| self.slot(i).0 == 0)
+            .unwrap_or_else(|| {
+                let n = self.slot_count();
+                self.set_slot_count(n + 1);
+                self.set_slot(n, 0, 0);
+                n
+            });
+
+        let dir_end = HEADER + self.slot_count() * SLOT;
+        let mut low = self.low_water();
+        if low < dir_end + record.len() {
+            self.compact();
+            low = self.low_water();
+        }
+        debug_assert!(low >= dir_end + record.len());
+        let off = low - record.len();
+        self.data[off..off + record.len()].copy_from_slice(record);
+        self.set_slot(slot_idx, off, record.len());
+        Some(slot_idx)
+    }
+
+    /// Read a live record.
+    pub fn get(&self, slot: usize) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return None;
+        }
+        Some(&self.data[off..off + len])
+    }
+
+    /// Delete a record; returns true if it was live.
+    pub fn delete(&mut self, slot: usize) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let (off, _) = self.slot(slot);
+        if off == 0 {
+            return false;
+        }
+        self.set_slot(slot, 0, 0);
+        true
+    }
+
+    /// Slide all live records to the end of the page, closing holes.
+    fn compact(&mut self) {
+        let mut entries: Vec<(usize, usize, usize)> = (0..self.slot_count())
+            .filter_map(|i| {
+                let (off, len) = self.slot(i);
+                (off != 0).then_some((i, off, len))
+            })
+            .collect();
+        // Move highest-offset records first so copies never overlap wrongly.
+        entries.sort_by_key(|&(_, off, _)| std::cmp::Reverse(off));
+        let mut dest = PAGE_SIZE;
+        for (slot, off, len) in entries {
+            dest -= len;
+            self.data.copy_within(off..off + len, dest);
+            self.set_slot(slot, dest, len);
+        }
+    }
+
+    /// Iterate live `(slot, bytes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u8])> {
+        (0..self.slot_count()).filter_map(move |i| self.get(i).map(|r| (i, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_buf() -> Vec<u8> {
+        vec![0u8; PAGE_SIZE]
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut buf = page_buf();
+        let mut p = SlottedPage::init(&mut buf);
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s0).unwrap(), b"hello");
+        assert_eq!(p.get(s1).unwrap(), b"world!");
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn delete_then_slot_reuse() {
+        let mut buf = page_buf();
+        let mut p = SlottedPage::init(&mut buf);
+        let s0 = p.insert(b"aaaa").unwrap();
+        let _s1 = p.insert(b"bbbb").unwrap();
+        assert!(p.delete(s0));
+        assert!(!p.delete(s0));
+        assert!(p.get(s0).is_none());
+        // New insert reuses the dead slot.
+        let s2 = p.insert(b"cccc").unwrap();
+        assert_eq!(s2, s0);
+        assert_eq!(p.get(s2).unwrap(), b"cccc");
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn fills_to_capacity_and_rejects_overflow() {
+        let mut buf = page_buf();
+        let mut p = SlottedPage::init(&mut buf);
+        let rec = vec![0xAB; 100];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 104 bytes per record (100 + slot) into ~4092 usable.
+        assert!(n >= 39, "only {n} records fit");
+        assert!(!p.can_insert(100));
+        assert!(p.insert(&rec).is_none());
+    }
+
+    #[test]
+    fn compaction_reclaims_holes() {
+        let mut buf = page_buf();
+        let mut p = SlottedPage::init(&mut buf);
+        // Fill with 10 records of ~400 bytes.
+        let rec = vec![7u8; 400];
+        let slots: Vec<usize> = (0..10).map(|_| p.insert(&rec).unwrap()).collect();
+        assert!(p.insert(&rec).is_none());
+        // Free alternating records: 2000 bytes free but fragmented.
+        for &s in slots.iter().step_by(2) {
+            assert!(p.delete(s));
+        }
+        // A 1500-byte record only fits after compaction.
+        let big = vec![9u8; 1500];
+        let s = p.insert(&big).unwrap();
+        assert_eq!(p.get(s).unwrap(), &big[..]);
+        // Survivors are intact.
+        for &s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(p.get(s).unwrap(), &rec[..]);
+        }
+    }
+
+    #[test]
+    fn max_record_fits_exactly() {
+        let mut buf = page_buf();
+        let mut p = SlottedPage::init(&mut buf);
+        let rec = vec![1u8; MAX_RECORD];
+        let s = p.insert(&rec).unwrap();
+        assert_eq!(p.get(s).unwrap().len(), MAX_RECORD);
+        assert!(!p.can_insert(1));
+
+        let mut buf2 = page_buf();
+        let mut p2 = SlottedPage::init(&mut buf2);
+        assert!(p2.insert(&vec![1u8; MAX_RECORD + 1]).is_none());
+    }
+
+    #[test]
+    fn iter_yields_live_records_only() {
+        let mut buf = page_buf();
+        let mut p = SlottedPage::init(&mut buf);
+        let a = p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        let c = p.insert(b"c").unwrap();
+        p.delete(b);
+        let got: Vec<(usize, Vec<u8>)> = p.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        assert_eq!(got, vec![(a, b"a".to_vec()), (c, b"c".to_vec())]);
+    }
+
+    #[test]
+    fn empty_record_is_allowed() {
+        let mut buf = page_buf();
+        let mut p = SlottedPage::init(&mut buf);
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"");
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let mut buf = page_buf();
+        let p = SlottedPage::init(&mut buf);
+        assert!(p.get(0).is_none());
+        assert!(p.get(99).is_none());
+    }
+}

@@ -1,0 +1,1214 @@
+//! The dispatcher: generic interface control.
+//!
+//! "Each user action is captured by the interface where it is processed
+//! by a dispatcher, which is responsible for creating and maintaining the
+//! hierarchy of (Schema, Class set, Instance) windows … The dispatcher
+//! recognizes different types of database interaction requests (schema
+//! and extension manipulations), and generates the primitive events
+//! captured by the active database mechanism."
+//!
+//! The full Fig. 1 loop lives here: a user gesture (`IEᵢ`) fires a
+//! callback, the callback's signal becomes a database request whose
+//! events (`DBEᵢ`) the active engine intercepts, the selected
+//! customization (if any) goes to the generic interface builder, and the
+//! built window returns to the screen.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use active::{ActiveError, Engine, Event, SessionContext};
+use builder::{BuildError, InterfaceBuilder, WindowKind};
+use custlang::{AnalysisEnv, Customization, Diagnostic, ParseError};
+use geodb::db::Database;
+use geodb::error::GeoDbError;
+use geodb::instance::Oid;
+use geodb::query::Predicate;
+use geodb::value::Value;
+use uilib::{CallbackTable, Signal, UiEvent};
+
+use crate::modes::InteractionMode;
+use crate::protocol::{Request, Response, WindowDescriptor};
+use crate::session::{Session, SessionId};
+use crate::windows::{ManagedWindow, WindowId, WindowRegistry};
+
+/// Errors surfaced by the UI layer.
+#[derive(Debug)]
+pub enum UiError {
+    Db(GeoDbError),
+    Build(BuildError),
+    Active(ActiveError),
+    Parse(ParseError),
+    /// The customization program failed semantic analysis.
+    Analysis(Vec<Diagnostic>),
+    UnknownSession(SessionId),
+    UnknownWindow(WindowId),
+    /// The session's interaction mode forbids the operation.
+    ModeViolation(String),
+}
+
+impl std::fmt::Display for UiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UiError::Db(e) => write!(f, "database: {e}"),
+            UiError::Build(e) => write!(f, "builder: {e}"),
+            UiError::Active(e) => write!(f, "active mechanism: {e}"),
+            UiError::Parse(e) => write!(f, "customization program: {e}"),
+            UiError::Analysis(diags) => {
+                write!(f, "customization program rejected:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            UiError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            UiError::UnknownWindow(w) => write!(f, "unknown window {w}"),
+            UiError::ModeViolation(m) => write!(f, "mode violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for UiError {}
+
+impl From<GeoDbError> for UiError {
+    fn from(e: GeoDbError) -> Self {
+        UiError::Db(e)
+    }
+}
+impl From<BuildError> for UiError {
+    fn from(e: BuildError) -> Self {
+        UiError::Build(e)
+    }
+}
+impl From<ActiveError> for UiError {
+    fn from(e: ActiveError) -> Self {
+        UiError::Active(e)
+    }
+}
+impl From<ParseError> for UiError {
+    fn from(e: ParseError) -> Self {
+        UiError::Parse(e)
+    }
+}
+
+/// Result alias for the UI layer.
+pub type Result<T> = std::result::Result<T, UiError>;
+
+/// The central controller tying database, active engine, builder,
+/// callbacks and window registry together.
+pub struct Dispatcher {
+    db: Database,
+    engine: Engine<Customization>,
+    builder: InterfaceBuilder,
+    callbacks: CallbackTable,
+    registry: WindowRegistry,
+    sessions: HashMap<SessionId, Session>,
+    next_session: u32,
+    /// Rendered rule traces of recent interactions (explanation mode).
+    trace_log: Vec<String>,
+}
+
+impl Dispatcher {
+    /// Create a dispatcher over a database, with the generic callbacks
+    /// pre-registered.
+    pub fn new(db: Database, builder: InterfaceBuilder) -> Dispatcher {
+        let mut callbacks = CallbackTable::new();
+        // The generic (default) behaviors of the interface: every signal
+        // is a request the dispatcher knows how to serve.
+        callbacks.register(
+            "open_class",
+            Rc::new(|_, ev: &UiEvent| {
+                let class = ev.detail.clone().unwrap_or_default();
+                vec![Signal::new("open_class").arg("class", class.trim())]
+            }),
+        );
+        callbacks.register(
+            "open_schema",
+            Rc::new(|_, _| vec![Signal::new("open_schema")]),
+        );
+        callbacks.register(
+            "pick_instance",
+            Rc::new(|_, ev: &UiEvent| {
+                vec![Signal::new("pick_instance")
+                    .arg("detail", ev.detail.clone().unwrap_or_default())]
+            }),
+        );
+        callbacks.register(
+            "close_window",
+            Rc::new(|_, _| vec![Signal::new("close_window")]),
+        );
+        for noop in ["zoom", "select_mode", "control_changed"] {
+            let name = noop.to_string();
+            callbacks.register(
+                noop,
+                Rc::new(move |_, _| vec![Signal::new("status").arg("action", name.clone())]),
+            );
+        }
+        Dispatcher {
+            db,
+            engine: Engine::new(),
+            builder,
+            callbacks,
+            registry: WindowRegistry::new(),
+            sessions: HashMap::new(),
+            next_session: 1,
+            trace_log: Vec::new(),
+        }
+    }
+
+    // -- accessors ----------------------------------------------------------
+
+    pub fn db(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    pub fn engine(&mut self) -> &mut Engine<Customization> {
+        &mut self.engine
+    }
+
+    pub fn callbacks(&mut self) -> &mut CallbackTable {
+        &mut self.callbacks
+    }
+
+    /// Mutable access to the interface-objects library, for run-time
+    /// class additions ("the user can add or specialize controls in this
+    /// library").
+    pub fn builder_library_mut(&mut self) -> &mut uilib::Library {
+        &mut self.builder.library
+    }
+
+    pub fn window(&self, id: WindowId) -> Option<&ManagedWindow> {
+        self.registry.get(id)
+    }
+
+    pub fn open_windows(&self) -> Vec<&ManagedWindow> {
+        self.registry.iter()
+    }
+
+    /// Rendered rule traces of this dispatcher's interactions so far.
+    pub fn explanation(&self) -> &[String] {
+        &self.trace_log
+    }
+
+    // -- sessions -----------------------------------------------------------
+
+    /// Open a session for a user context.
+    pub fn open_session(&mut self, context: SessionContext) -> SessionId {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(id, Session::new(id, context));
+        id
+    }
+
+    pub fn set_mode(&mut self, sid: SessionId, mode: InteractionMode) -> Result<()> {
+        self.sessions
+            .get_mut(&sid)
+            .ok_or(UiError::UnknownSession(sid))?
+            .mode = mode;
+        Ok(())
+    }
+
+    pub fn session(&self, sid: SessionId) -> Option<&Session> {
+        self.sessions.get(&sid)
+    }
+
+    fn context_of(&self, sid: SessionId) -> Result<SessionContext> {
+        Ok(self
+            .sessions
+            .get(&sid)
+            .ok_or(UiError::UnknownSession(sid))?
+            .context
+            .clone())
+    }
+
+    // -- customization program management ------------------------------------
+
+    /// Parse, analyze, compile and install a customization program.
+    /// Returns the number of rules installed. Reinstalling under the same
+    /// `prefix` replaces the previous program.
+    pub fn install_program(&mut self, source: &str, prefix: &str) -> Result<usize> {
+        let program = custlang::parse(source)?;
+        let env = AnalysisEnv::new(self.db.catalog(), &self.builder.library);
+        let diags = custlang::analyze(&program, &env);
+        if !custlang::is_clean(&diags) {
+            return Err(UiError::Analysis(diags));
+        }
+        let rules = custlang::compile(&program, prefix);
+        let n = rules.len();
+        self.engine.remove_rules_with_prefix(&format!("{prefix}/"));
+        self.engine.add_rules(rules)?;
+        Ok(n)
+    }
+
+    /// Validate, persist *into the geographic database* and install a
+    /// customization program — the paper's durable form: "customization
+    /// rules stored in the database are derived from assertives written
+    /// in this language".
+    pub fn store_program(&mut self, source: &str, name: &str) -> Result<usize> {
+        let n = self.install_program(source, name)?;
+        custlang::save_program(&mut self.db, name, source)?;
+        Ok(n)
+    }
+
+    /// Compile and install every program stored in the database (the
+    /// boot path after reopening a snapshot). Returns `(programs, rules)`
+    /// counts. Programs that no longer analyze cleanly are skipped and
+    /// reported by name.
+    pub fn load_stored_programs(&mut self) -> Result<(usize, usize, Vec<String>)> {
+        let programs = custlang::load_programs(&mut self.db)?;
+        let mut installed = 0;
+        let mut rules = 0;
+        let mut skipped = Vec::new();
+        for (name, source) in programs {
+            match self.install_program(&source, &name) {
+                Ok(n) => {
+                    installed += 1;
+                    rules += n;
+                }
+                Err(_) => skipped.push(name),
+            }
+        }
+        Ok((installed, rules, skipped))
+    }
+
+    // -- the Fig. 1 event loop ------------------------------------------------
+
+    /// Drain pending database events through the active engine for a
+    /// session; returns the first customization selected, if any.
+    fn intercept_events(&mut self, ctx: &SessionContext) -> Result<Option<Customization>> {
+        let mut selected = None;
+        for db_event in self.db.drain_events() {
+            let outcome = self.engine.dispatch(Event::Db(db_event), ctx)?;
+            if !outcome.trace.entries.is_empty() {
+                self.trace_log.push(outcome.trace.render());
+            }
+            if selected.is_none() {
+                selected = outcome.customizations.into_iter().next();
+            }
+        }
+        Ok(selected)
+    }
+
+    /// Open the Schema window of a schema (the user "activates the
+    /// generic interface, giving a db schema name as a parameter").
+    /// Returns every window opened — more than one when a `Null` schema
+    /// customization auto-opens class windows.
+    pub fn open_schema(&mut self, sid: SessionId, schema: &str) -> Result<Vec<WindowId>> {
+        let ctx = self.context_of(sid)?;
+        let schema_def = self.db.get_schema(schema)?;
+        let cust = self.intercept_events(&ctx)?;
+        let built = self
+            .builder
+            .schema_window(&schema_def, self.db.catalog(), cust.as_ref())?;
+        let auto_open = built.auto_open.clone();
+        let id = self
+            .registry
+            .insert(built, None, sid.0, schema.to_string(), None, None);
+        self.sessions
+            .get_mut(&sid)
+            .expect("checked by context_of")
+            .track(id);
+        let mut opened = vec![id];
+        for class in auto_open {
+            opened.push(self.open_class(sid, schema, &class, Some(id))?);
+        }
+        Ok(opened)
+    }
+
+    /// Open a Class-set window.
+    pub fn open_class(
+        &mut self,
+        sid: SessionId,
+        schema: &str,
+        class: &str,
+        parent: Option<WindowId>,
+    ) -> Result<WindowId> {
+        let ctx = self.context_of(sid)?;
+        let instances = self.db.get_class(schema, class, false)?;
+        let cust = self.intercept_events(&ctx)?;
+        let built = self
+            .builder
+            .class_window(schema, class, &instances, cust.as_ref())?;
+        let id = self.registry.insert(
+            built,
+            parent,
+            sid.0,
+            schema.to_string(),
+            Some(class.to_string()),
+            None,
+        );
+        self.sessions
+            .get_mut(&sid)
+            .expect("checked by context_of")
+            .track(id);
+        Ok(id)
+    }
+
+    /// Open an Instance window for one object.
+    pub fn open_instance(
+        &mut self,
+        sid: SessionId,
+        oid: Oid,
+        parent: Option<WindowId>,
+    ) -> Result<WindowId> {
+        let ctx = self.context_of(sid)?;
+        let inst = self.db.get_value(oid)?;
+        let cust = self.intercept_events(&ctx)?;
+        let built = self.builder.instance_window(&mut self.db, &inst, cust.as_ref())?;
+        let schema = self
+            .db
+            .locate(oid)
+            .map(|(s, _)| s.to_string())
+            .unwrap_or_default();
+        let id = self
+            .registry
+            .insert(built, parent, sid.0, schema, Some(inst.class.clone()), Some(oid));
+        self.sessions
+            .get_mut(&sid)
+            .expect("checked by context_of")
+            .track(id);
+        Ok(id)
+    }
+
+    /// Analysis mode: open a Class-set window restricted to a predicate.
+    pub fn analysis_query(
+        &mut self,
+        sid: SessionId,
+        schema: &str,
+        class: &str,
+        predicate: &Predicate,
+    ) -> Result<WindowId> {
+        let session = self.sessions.get(&sid).ok_or(UiError::UnknownSession(sid))?;
+        if !session.mode.allows_predicates() {
+            return Err(UiError::ModeViolation(format!(
+                "{} mode cannot run predicate queries",
+                session.mode
+            )));
+        }
+        let ctx = self.context_of(sid)?;
+        let instances = self.db.select(schema, class, predicate)?;
+        // Selection is a Get_Class at the event level: rules customize the
+        // resulting Class-set window identically.
+        let outcome = self.engine.dispatch(
+            Event::Db(geodb::query::DbEvent::GetClass {
+                schema: schema.to_string(),
+                class: class.to_string(),
+            }),
+            &ctx,
+        )?;
+        if !outcome.trace.entries.is_empty() {
+            self.trace_log.push(outcome.trace.render());
+        }
+        let cust = outcome.customizations.into_iter().next();
+        let mut built = self
+            .builder
+            .class_window(schema, class, &instances, cust.as_ref())?;
+        built.title = format!("{} [filtered: {} hits]", built.title, instances.len());
+        let id = self.registry.insert(
+            built,
+            None,
+            sid.0,
+            schema.to_string(),
+            Some(class.to_string()),
+            None,
+        );
+        self.sessions
+            .get_mut(&sid)
+            .expect("checked above")
+            .track(id);
+        Ok(id)
+    }
+
+    /// Simulation mode: apply hypothetical updates to a sandbox copy of
+    /// the database and return a Class-set window of the outcome. The
+    /// real database is untouched.
+    pub fn simulate(
+        &mut self,
+        sid: SessionId,
+        schema: &str,
+        class: &str,
+        updates: Vec<(Oid, Vec<(String, Value)>)>,
+    ) -> Result<WindowId> {
+        let session = self.sessions.get(&sid).ok_or(UiError::UnknownSession(sid))?;
+        if !session.mode.allows_updates() {
+            return Err(UiError::ModeViolation(format!(
+                "{} mode cannot issue updates",
+                session.mode
+            )));
+        }
+        let ctx = self.context_of(sid)?;
+        // Sandbox: snapshot + reload is a deep copy through stable state.
+        let snapshot = geodb::snapshot::save(&mut self.db)?;
+        let mut sandbox = geodb::snapshot::load(&snapshot)?;
+        for (oid, changes) in updates {
+            sandbox.update(oid, changes)?;
+        }
+        let instances = sandbox.get_class(schema, class, false)?;
+        let outcome = self.engine.dispatch(
+            Event::Db(geodb::query::DbEvent::GetClass {
+                schema: schema.to_string(),
+                class: class.to_string(),
+            }),
+            &ctx,
+        )?;
+        let cust = outcome.customizations.into_iter().next();
+        let mut built = self
+            .builder
+            .class_window(schema, class, &instances, cust.as_ref())?;
+        built.title = format!("{} [simulation]", built.title);
+        let id = self.registry.insert(
+            built,
+            None,
+            sid.0,
+            schema.to_string(),
+            Some(class.to_string()),
+            None,
+        );
+        self.sessions
+            .get_mut(&sid)
+            .expect("checked above")
+            .track(id);
+        Ok(id)
+    }
+
+    /// Deliver a user gesture to a widget of a window; returns any windows
+    /// opened in response.
+    pub fn handle_gesture(
+        &mut self,
+        sid: SessionId,
+        window: WindowId,
+        path: &str,
+        gesture: &str,
+        detail: Option<String>,
+    ) -> Result<Vec<WindowId>> {
+        let managed = self
+            .registry
+            .get(window)
+            .ok_or(UiError::UnknownWindow(window))?;
+        let widget = managed
+            .built
+            .tree
+            .find(path)
+            .map_err(|_| UiError::UnknownWindow(window))?;
+        let mut event = UiEvent::new(widget, path, gesture);
+        if let Some(d) = detail {
+            event = event.with_detail(d);
+        }
+        let schema = managed.schema.clone();
+        let signals = self.callbacks.fire(&managed.built.tree, &event);
+
+        let mut opened = Vec::new();
+        for signal in signals {
+            match signal.name.as_str() {
+                "open_schema" => {
+                    opened.extend(self.open_schema(sid, &schema)?);
+                }
+                "open_class" => {
+                    let class = signal.get("class").unwrap_or_default().to_string();
+                    if !class.is_empty() {
+                        opened.push(self.open_class(sid, &schema, &class, Some(window))?);
+                    }
+                }
+                "pick_instance" => {
+                    if let Some(oid) = parse_oid(signal.get("detail").unwrap_or_default()) {
+                        opened.push(self.open_instance(sid, Oid(oid), Some(window))?);
+                    }
+                }
+                "close_window" => {
+                    self.close_window(sid, window)?;
+                }
+                "status" if signal.get("action") == Some("zoom") => {
+                    self.zoom_window(window, 0.5)?;
+                }
+                _ => {} // other status signals
+            }
+        }
+        Ok(opened)
+    }
+
+    /// Zoom every map scene of a window by `factor` (< 1 zooms in),
+    /// keeping the viewport center.
+    pub fn zoom_window(&mut self, window: WindowId, factor: f64) -> Result<()> {
+        let managed = self
+            .registry
+            .get_mut(window)
+            .ok_or(UiError::UnknownWindow(window))?;
+        for scene in managed.built.scenes.values_mut() {
+            let v = scene.effective_viewport();
+            let c = v.center();
+            let hw = v.width() * factor / 2.0;
+            let hh = v.height() * factor / 2.0;
+            scene.viewport = Some(geodb::geometry::Rect::new(
+                c.x - hw,
+                c.y - hh,
+                c.x + hw,
+                c.y + hh,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Apply an update through the interface and refresh every open
+    /// window that displays the object or its class.
+    ///
+    /// This is the *view refresh* facility of Diaz et al. [3], which the
+    /// paper contrasts with its own focus: here the two compose — the
+    /// refreshed window is rebuilt through the active mechanism, so it
+    /// keeps the session's customization. Update events themselves still
+    /// trigger only integrity/other rules (the paper does not customize
+    /// update requests); exploratory sessions cannot call this.
+    pub fn apply_update(
+        &mut self,
+        sid: SessionId,
+        oid: Oid,
+        changes: Vec<(String, Value)>,
+    ) -> Result<Vec<WindowId>> {
+        let session = self.sessions.get(&sid).ok_or(UiError::UnknownSession(sid))?;
+        if session.mode == InteractionMode::Exploratory {
+            return Err(UiError::ModeViolation(
+                "exploratory mode cannot issue updates".into(),
+            ));
+        }
+        let ctx = self.context_of(sid)?;
+        let (schema, class) = self
+            .db
+            .locate(oid)
+            .map(|(s, c)| (s.to_string(), c.to_string()))
+            .ok_or(UiError::Db(GeoDbError::UnknownOid(oid.0)))?;
+        self.db.update(oid, changes)?;
+        // The Update event flows through the rules (integrity group).
+        self.intercept_events(&ctx)?;
+        self.refresh_windows(&schema, &class, Some(oid))
+    }
+
+    /// Rebuild every open window showing `schema.class` (and, for
+    /// Instance windows, the given object). Each window is rebuilt under
+    /// *its own session's* context, so per-user customizations survive
+    /// the refresh. Returns the refreshed window ids.
+    pub fn refresh_windows(
+        &mut self,
+        schema: &str,
+        class: &str,
+        oid: Option<Oid>,
+    ) -> Result<Vec<WindowId>> {
+        let targets: Vec<(WindowId, u32, WindowKind, Option<Oid>)> = self
+            .registry
+            .iter()
+            .into_iter()
+            .filter(|w| {
+                w.schema == schema
+                    && w.class.as_deref() == Some(class)
+                    && match w.built.kind {
+                        WindowKind::ClassSet => true,
+                        WindowKind::Instance => oid.is_none() || w.oid == oid,
+                        WindowKind::Schema => false,
+                    }
+            })
+            .map(|w| (w.id, w.session, w.built.kind, w.oid))
+            .collect();
+
+        let mut refreshed = Vec::with_capacity(targets.len());
+        for (id, session, kind, win_oid) in targets {
+            let ctx = self
+                .sessions
+                .get(&SessionId(session))
+                .map(|s| s.context.clone())
+                .unwrap_or_default();
+            let built = match kind {
+                WindowKind::ClassSet => {
+                    let instances = self.db.get_class(schema, class, false)?;
+                    let cust = self.intercept_events(&ctx)?;
+                    self.builder
+                        .class_window(schema, class, &instances, cust.as_ref())?
+                }
+                WindowKind::Instance => {
+                    let target = win_oid.expect("instance windows record their oid");
+                    let inst = self.db.get_value(target)?;
+                    let cust = self.intercept_events(&ctx)?;
+                    self.builder
+                        .instance_window(&mut self.db, &inst, cust.as_ref())?
+                }
+                WindowKind::Schema => continue,
+            };
+            if let Some(managed) = self.registry.get_mut(id) {
+                managed.built = built;
+                refreshed.push(id);
+            }
+        }
+        Ok(refreshed)
+    }
+
+    /// Close a window and its children.
+    pub fn close_window(&mut self, sid: SessionId, window: WindowId) -> Result<Vec<WindowId>> {
+        let closed = self.registry.close(window);
+        if let Some(s) = self.sessions.get_mut(&sid) {
+            s.untrack(&closed);
+        }
+        Ok(closed)
+    }
+
+    /// ASCII rendering of a window.
+    pub fn render(&self, window: WindowId) -> Result<String> {
+        Ok(self
+            .registry
+            .get(window)
+            .ok_or(UiError::UnknownWindow(window))?
+            .built
+            .to_ascii())
+    }
+
+    // -- protocol endpoint ----------------------------------------------------
+
+    fn descriptor(&self, id: WindowId) -> Option<WindowDescriptor> {
+        self.registry.get(id).map(|m| WindowDescriptor {
+            id: id.0,
+            kind: m.built.kind.to_string(),
+            title: m.built.title.clone(),
+            visible: m.built.visible,
+            ascii: m.built.to_ascii(),
+            oid: m.oid,
+        })
+    }
+
+    /// Serve one weak-integration protocol request for a session.
+    pub fn handle_request(&mut self, sid: SessionId, request: Request) -> Response {
+        let result: Result<Response> = (|| match request {
+            Request::OpenSchema { schema } => {
+                let ids = self.open_schema(sid, &schema)?;
+                Ok(Response::Windows(
+                    ids.iter().filter_map(|&i| self.descriptor(i)).collect(),
+                ))
+            }
+            Request::OpenClass { schema, class } => {
+                let id = self.open_class(sid, &schema, &class, None)?;
+                Ok(Response::Windows(
+                    self.descriptor(id).into_iter().collect(),
+                ))
+            }
+            Request::OpenInstance { oid } => {
+                let id = self.open_instance(sid, Oid(oid), None)?;
+                Ok(Response::Windows(
+                    self.descriptor(id).into_iter().collect(),
+                ))
+            }
+            Request::UiGesture {
+                window,
+                path,
+                gesture,
+                detail,
+            } => {
+                let ids =
+                    self.handle_gesture(sid, WindowId(window), &path, &gesture, detail)?;
+                Ok(Response::Windows(
+                    ids.iter().filter_map(|&i| self.descriptor(i)).collect(),
+                ))
+            }
+            Request::CloseWindow { window } => {
+                let closed = self.close_window(sid, WindowId(window))?;
+                Ok(Response::Closed(closed.iter().map(|w| w.0).collect()))
+            }
+            Request::Analyze {
+                schema,
+                class,
+                predicate,
+            } => {
+                let id = self.analysis_query(sid, &schema, &class, &predicate)?;
+                Ok(Response::Windows(
+                    self.descriptor(id).into_iter().collect(),
+                ))
+            }
+            Request::Explain => Ok(Response::Explanation(self.trace_log.clone())),
+        })();
+        result.unwrap_or_else(|e| Response::Error {
+            message: e.to_string(),
+        })
+    }
+
+    /// The window kind counts currently open — used by the C4 census.
+    pub fn census(&self) -> HashMap<WindowKind, usize> {
+        let mut out = HashMap::new();
+        for w in self.registry.iter() {
+            *out.entry(w.built.kind).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// Parse an OID out of gesture detail text such as `"7"`, `"#7"` or
+/// `"#7 name=…"`.
+fn parse_oid(detail: &str) -> Option<u64> {
+    let trimmed = detail.trim().trim_start_matches('#');
+    let digits: String = trimmed.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Convenience: a dispatcher over a generated phone-net database with the
+/// paper's widget library, ready for the Fig. 4/7 walkthrough.
+pub fn paper_dispatcher(cfg: &geodb::gen::TelecomConfig) -> Result<Dispatcher> {
+    let (db, _) = geodb::gen::phone_net_db(cfg)?;
+    Ok(Dispatcher::new(db, InterfaceBuilder::with_paper_library()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use custlang::FIG6_PROGRAM;
+    use geodb::gen::TelecomConfig;
+
+    fn juliano() -> SessionContext {
+        SessionContext::new("juliano", "planner", "pole_manager")
+    }
+
+    fn dispatcher() -> Dispatcher {
+        paper_dispatcher(&TelecomConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn default_browse_session_walks_three_windows() {
+        let mut d = dispatcher();
+        let sid = d.open_session(SessionContext::new("guest", "visitor", "browse"));
+
+        // 1. Schema window.
+        let opened = d.open_schema(sid, "phone_net").unwrap();
+        assert_eq!(opened.len(), 1);
+        let schema_win = opened[0];
+        assert!(d.render(schema_win).unwrap().contains("Schema: phone_net"));
+
+        // 2. Select "Pole" in the class list.
+        let opened = d
+            .handle_gesture(
+                sid,
+                schema_win,
+                "schema_window/body/classes",
+                "select",
+                Some("Pole".into()),
+            )
+            .unwrap();
+        assert_eq!(opened.len(), 1);
+        let class_win = opened[0];
+        let art = d.render(class_win).unwrap();
+        assert!(art.contains("Class: Pole"));
+        assert!(art.contains("[ Zoom ]"));
+
+        // 3. Pick an instance in the display area.
+        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
+        d.db().drain_events();
+        let oid = poles[0].oid;
+        let opened = d
+            .handle_gesture(
+                sid,
+                class_win,
+                "class_window/body/presentation/map",
+                "click",
+                Some(format!("#{}", oid.0)),
+            )
+            .unwrap();
+        assert_eq!(opened.len(), 1);
+        let inst_win = opened[0];
+        let art = d.render(inst_win).unwrap();
+        assert!(art.contains("pole_type"));
+
+        // Window hierarchy: schema -> class -> instance.
+        assert_eq!(d.window(class_win).unwrap().parent, Some(schema_win));
+        assert_eq!(d.window(inst_win).unwrap().parent, Some(class_win));
+        assert_eq!(d.session(sid).unwrap().windows.len(), 3);
+    }
+
+    #[test]
+    fn fig6_program_customizes_juliano_only() {
+        let mut d = dispatcher();
+        d.install_program(FIG6_PROGRAM, "fig6").unwrap();
+
+        // Juliano: Null schema window + auto-opened customized Pole window.
+        let sid = d.open_session(juliano());
+        let opened = d.open_schema(sid, "phone_net").unwrap();
+        assert_eq!(opened.len(), 2);
+        let schema_win = d.window(opened[0]).unwrap();
+        assert!(!schema_win.built.visible);
+        let class_art = d.render(opened[1]).unwrap();
+        assert!(class_art.contains("O="), "poleWidget slider:\n{class_art}");
+        assert!(!class_art.contains("[ Zoom ]"));
+
+        // Another user still gets the default interface.
+        let other = d.open_session(SessionContext::new("claudia", "admin", "inventory"));
+        let opened = d.open_schema(other, "phone_net").unwrap();
+        assert_eq!(opened.len(), 1);
+        assert!(d.window(opened[0]).unwrap().built.visible);
+    }
+
+    #[test]
+    fn install_program_rejects_bad_programs() {
+        let mut d = dispatcher();
+        assert!(matches!(
+            d.install_program("for user u schema nope display as", "p"),
+            Err(UiError::Parse(_))
+        ));
+        assert!(matches!(
+            d.install_program(
+                "for user u schema ghost display as default class C display",
+                "p"
+            ),
+            Err(UiError::Analysis(_))
+        ));
+    }
+
+    #[test]
+    fn reinstalling_a_program_replaces_it() {
+        let mut d = dispatcher();
+        let n1 = d.install_program(FIG6_PROGRAM, "fig6").unwrap();
+        let n2 = d.install_program(FIG6_PROGRAM, "fig6").unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(d.engine().len(), n2);
+    }
+
+    #[test]
+    fn analysis_mode_gates_predicate_queries() {
+        let mut d = dispatcher();
+        let sid = d.open_session(juliano());
+        let tall = Predicate::cmp(
+            "pole_composition.pole_height",
+            geodb::query::CmpOp::Gt,
+            10.0,
+        );
+        // Exploratory mode refuses.
+        assert!(matches!(
+            d.analysis_query(sid, "phone_net", "Pole", &tall),
+            Err(UiError::ModeViolation(_))
+        ));
+        // Analysis mode runs the query.
+        d.set_mode(sid, InteractionMode::Analysis).unwrap();
+        let win = d.analysis_query(sid, "phone_net", "Pole", &tall).unwrap();
+        let title = &d.window(win).unwrap().built.title;
+        assert!(title.contains("filtered"), "{title}");
+    }
+
+    #[test]
+    fn simulation_mode_sandboxes_updates() {
+        let mut d = dispatcher();
+        let sid = d.open_session(juliano());
+        d.set_mode(sid, InteractionMode::Simulation).unwrap();
+        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
+        d.db().drain_events();
+        let oid = poles[0].oid;
+        let win = d
+            .simulate(
+                sid,
+                "phone_net",
+                "Pole",
+                vec![(oid, vec![("pole_type".into(), Value::Int(99))])],
+            )
+            .unwrap();
+        assert!(d.window(win).unwrap().built.title.contains("simulation"));
+        // The real database is untouched.
+        let pole = d.db().peek(oid).unwrap();
+        assert_ne!(pole.get("pole_type"), &Value::Int(99));
+    }
+
+    #[test]
+    fn explanation_traces_accumulate() {
+        let mut d = dispatcher();
+        d.install_program(FIG6_PROGRAM, "fig6").unwrap();
+        let sid = d.open_session(juliano());
+        d.open_schema(sid, "phone_net").unwrap();
+        let lines = d.explanation().join("\n");
+        assert!(lines.contains("Get_Schema(phone_net)"));
+        assert!(lines.contains("fig6/0/juliano:*:pole_manager/schema"));
+    }
+
+    #[test]
+    fn protocol_round_trip_drives_the_dispatcher() {
+        let mut d = dispatcher();
+        let sid = d.open_session(juliano());
+        let resp = d.handle_request(
+            sid,
+            Request::OpenSchema {
+                schema: "phone_net".into(),
+            },
+        );
+        let Response::Windows(wins) = resp else {
+            panic!("expected windows, got {resp:?}");
+        };
+        assert_eq!(wins.len(), 1);
+        assert!(wins[0].ascii.contains("Schema: phone_net"));
+
+        let resp = d.handle_request(
+            sid,
+            Request::CloseWindow {
+                window: wins[0].id,
+            },
+        );
+        assert!(matches!(resp, Response::Closed(ids) if ids.len() == 1));
+
+        let resp = d.handle_request(
+            sid,
+            Request::OpenSchema {
+                schema: "no_such".into(),
+            },
+        );
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn close_cascades_through_hierarchy() {
+        let mut d = dispatcher();
+        let sid = d.open_session(juliano());
+        let schema_win = d.open_schema(sid, "phone_net").unwrap()[0];
+        let class_win = d
+            .open_class(sid, "phone_net", "Pole", Some(schema_win))
+            .unwrap();
+        let closed = d.close_window(sid, schema_win).unwrap();
+        assert!(closed.contains(&schema_win));
+        assert!(closed.contains(&class_win));
+        assert!(d.session(sid).unwrap().windows.is_empty());
+    }
+
+    #[test]
+    fn census_counts_window_kinds() {
+        let mut d = dispatcher();
+        let sid = d.open_session(juliano());
+        d.open_schema(sid, "phone_net").unwrap();
+        d.open_class(sid, "phone_net", "Pole", None).unwrap();
+        d.open_class(sid, "phone_net", "Duct", None).unwrap();
+        let census = d.census();
+        assert_eq!(census[&WindowKind::Schema], 1);
+        assert_eq!(census[&WindowKind::ClassSet], 2);
+    }
+
+    #[test]
+    fn parse_oid_variants() {
+        assert_eq!(parse_oid("7"), Some(7));
+        assert_eq!(parse_oid("#7"), Some(7));
+        assert_eq!(parse_oid(" #12 supplier=Acme"), Some(12));
+        assert_eq!(parse_oid("Pole"), None);
+        assert_eq!(parse_oid(""), None);
+    }
+}
+
+#[cfg(test)]
+mod refresh_tests {
+    use super::*;
+    use custlang::FIG6_PROGRAM;
+    use geodb::gen::TelecomConfig;
+    use geodb::geometry::{Geometry, Point};
+
+    fn dispatcher() -> Dispatcher {
+        paper_dispatcher(&TelecomConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn exploratory_sessions_cannot_update() {
+        let mut d = dispatcher();
+        let sid = d.open_session(SessionContext::new("m", "op", "maint"));
+        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
+        d.db().drain_events();
+        let err = d.apply_update(
+            sid,
+            poles[0].oid,
+            vec![("pole_type".into(), Value::Int(9))],
+        );
+        assert!(matches!(err, Err(UiError::ModeViolation(_))));
+    }
+
+    #[test]
+    fn update_refreshes_open_class_and_instance_windows() {
+        let mut d = dispatcher();
+        let maint = d.open_session(SessionContext::new("m", "op", "maint"));
+        d.set_mode(maint, InteractionMode::Analysis).unwrap();
+        let viewer = d.open_session(SessionContext::new("v", "op", "browse"));
+
+        let class_win = d.open_class(viewer, "phone_net", "Pole", None).unwrap();
+        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
+        d.db().drain_events();
+        let oid = poles[0].oid;
+        let inst_win = d.open_instance(viewer, oid, None).unwrap();
+        let before_class = d.render(class_win).unwrap();
+        let before_inst = d.render(inst_win).unwrap();
+
+        // Move the pole far away and change its type.
+        let refreshed = d
+            .apply_update(
+                maint,
+                oid,
+                vec![
+                    ("pole_type".into(), Value::Int(99)),
+                    (
+                        "pole_location".into(),
+                        Geometry::Point(Point::new(9999.0, 9999.0)).into(),
+                    ),
+                ],
+            )
+            .unwrap();
+        assert!(refreshed.contains(&class_win));
+        assert!(refreshed.contains(&inst_win));
+
+        let after_class = d.render(class_win).unwrap();
+        let after_inst = d.render(inst_win).unwrap();
+        assert_ne!(before_class, after_class, "map scene must change");
+        assert_ne!(before_inst, after_inst);
+        assert!(after_inst.contains("pole_type: 99"));
+    }
+
+    #[test]
+    fn refresh_preserves_per_session_customization() {
+        let mut d = dispatcher();
+        d.install_program(FIG6_PROGRAM, "fig6").unwrap();
+        let juliano = d.open_session(SessionContext::new(
+            "juliano", "planner", "pole_manager",
+        ));
+        let maint = d.open_session(SessionContext::new("m", "op", "maint"));
+        d.set_mode(maint, InteractionMode::Analysis).unwrap();
+
+        // Juliano's customized window and a generic window stay distinct
+        // through a refresh triggered by a third party.
+        let jwin = d.open_class(juliano, "phone_net", "Pole", None).unwrap();
+        let gwin = d.open_class(maint, "phone_net", "Pole", None).unwrap();
+        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
+        d.db().drain_events();
+        d.apply_update(
+            maint,
+            poles[0].oid,
+            vec![("pole_type".into(), Value::Int(7))],
+        )
+        .unwrap();
+
+        assert!(d.render(jwin).unwrap().contains("O="), "slider kept");
+        assert!(d.render(gwin).unwrap().contains("[ Zoom ]"), "generic kept");
+    }
+
+    #[test]
+    fn update_events_reach_integrity_rules() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut d = dispatcher();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        d.engine()
+            .add_rule(active::Rule::integrity(
+                "audit_updates",
+                active::EventPattern::db(geodb::query::DbEventKind::Update),
+                Rc::new(move |e, _| {
+                    log2.borrow_mut().push(e.describe());
+                    vec![]
+                }),
+            ))
+            .unwrap();
+        let sid = d.open_session(SessionContext::new("m", "op", "maint"));
+        d.set_mode(sid, InteractionMode::Analysis).unwrap();
+        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
+        d.db().drain_events();
+        d.apply_update(sid, poles[0].oid, vec![("pole_type".into(), Value::Int(3))])
+            .unwrap();
+        assert_eq!(log.borrow().len(), 1);
+        assert!(log.borrow()[0].contains("Update"));
+    }
+}
+
+#[cfg(test)]
+mod zoom_tests {
+    use super::*;
+    use geodb::gen::TelecomConfig;
+
+    #[test]
+    fn zoom_button_shrinks_the_viewport() {
+        let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
+        let sid = d.open_session(SessionContext::new("g", "v", "browse"));
+        let win = d.open_class(sid, "phone_net", "Pole", None).unwrap();
+        let before = d.render(win).unwrap();
+
+        // Click the generic Zoom button.
+        d.handle_gesture(sid, win, "class_window/body/control/zoom", "click", None)
+            .unwrap();
+        let after = d.render(win).unwrap();
+        assert_ne!(before, after, "zoom must change the rendered map");
+
+        // The viewport halves each click.
+        let scene = d
+            .window(win)
+            .unwrap()
+            .built
+            .scenes
+            .values()
+            .next()
+            .unwrap();
+        let v1 = scene.effective_viewport();
+        d.handle_gesture(sid, win, "class_window/body/control/zoom", "click", None)
+            .unwrap();
+        let scene = d
+            .window(win)
+            .unwrap()
+            .built
+            .scenes
+            .values()
+            .next()
+            .unwrap();
+        let v2 = scene.effective_viewport();
+        assert!((v2.width() - v1.width() / 2.0).abs() < 1e-9);
+        // Centers are preserved.
+        assert!((v2.center().x - v1.center().x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zoom_on_unknown_window_errors() {
+        let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
+        assert!(matches!(
+            d.zoom_window(WindowId(42), 0.5),
+            Err(UiError::UnknownWindow(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod stored_program_tests {
+    use super::*;
+    use custlang::FIG6_PROGRAM;
+    use geodb::gen::TelecomConfig;
+
+    #[test]
+    fn stored_programs_survive_a_snapshot_reboot() {
+        // Session 1: store the program in the database.
+        let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
+        let n = d.store_program(FIG6_PROGRAM, "fig6").unwrap();
+        assert_eq!(n, 3);
+        let snapshot = geodb::snapshot::save(d.db()).unwrap();
+
+        // Session 2: fresh dispatcher over the restored database.
+        let mut db = geodb::snapshot::load(&snapshot).unwrap();
+        geodb::gen::register_phone_net_methods(&mut db).unwrap();
+        let mut d2 = Dispatcher::new(db, builder::InterfaceBuilder::with_paper_library());
+        assert_eq!(d2.engine().len(), 0);
+        let (programs, rules, skipped) = d2.load_stored_programs().unwrap();
+        assert_eq!((programs, rules), (1, 3));
+        assert!(skipped.is_empty());
+
+        // And the customization is live again.
+        let sid = d2.open_session(SessionContext::new(
+            "juliano", "planner", "pole_manager",
+        ));
+        let windows = d2.open_schema(sid, "phone_net").unwrap();
+        assert_eq!(windows.len(), 2);
+    }
+
+    #[test]
+    fn invalid_stored_programs_are_skipped_not_fatal() {
+        let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
+        d.store_program(FIG6_PROGRAM, "good").unwrap();
+        // Sneak an invalid program into storage directly (e.g. the schema
+        // it references was dropped later).
+        custlang::save_program(
+            d.db(),
+            "stale",
+            "for user u schema ghost display as default class C display",
+        )
+        .unwrap();
+        let (programs, _, skipped) = d.load_stored_programs().unwrap();
+        assert_eq!(programs, 1);
+        assert_eq!(skipped, vec!["stale".to_string()]);
+    }
+
+    #[test]
+    fn store_program_validates_before_persisting() {
+        let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
+        assert!(d.store_program("not a program", "bad").is_err());
+        // Nothing was persisted.
+        assert!(custlang::load_programs(d.db()).unwrap().is_empty());
+    }
+}

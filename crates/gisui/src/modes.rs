@@ -1,0 +1,76 @@
+//! Interaction modes.
+//!
+//! "Common interaction modes include *exploratory* (metadata browsing),
+//! *analysis* (condition evaluation via query predicates), *simulation*
+//! (scenario building) and *explanation* (why/how an answer was
+//! produced)." The paper's prototype supports only the exploratory mode;
+//! the others are listed as what the architecture should grow into, so
+//! they are implemented here as extensions (see EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+/// Session interaction mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InteractionMode {
+    /// Browse schema and extension (the paper's supported mode).
+    #[default]
+    Exploratory,
+    /// Evaluate predicates over extensions.
+    Analysis,
+    /// Hypothetical updates in a sandboxed database copy.
+    Simulation,
+    /// Inspect rule-firing traces.
+    Explanation,
+}
+
+impl InteractionMode {
+    /// May this mode issue update requests? The paper: "it does not
+    /// consider customization of update requests, just of database
+    /// queries … a direct consequence of the fact that we only support
+    /// the exploratory interaction mode". Updates are confined to the
+    /// simulation sandbox.
+    pub fn allows_updates(&self) -> bool {
+        matches!(self, InteractionMode::Simulation)
+    }
+
+    /// May this mode run predicate queries (beyond plain browsing)?
+    pub fn allows_predicates(&self) -> bool {
+        matches!(
+            self,
+            InteractionMode::Analysis | InteractionMode::Simulation
+        )
+    }
+}
+
+impl std::fmt::Display for InteractionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InteractionMode::Exploratory => "exploratory",
+            InteractionMode::Analysis => "analysis",
+            InteractionMode::Simulation => "simulation",
+            InteractionMode::Explanation => "explanation",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_exploratory() {
+        assert_eq!(InteractionMode::default(), InteractionMode::Exploratory);
+    }
+
+    #[test]
+    fn capability_matrix() {
+        assert!(!InteractionMode::Exploratory.allows_updates());
+        assert!(!InteractionMode::Exploratory.allows_predicates());
+        assert!(!InteractionMode::Analysis.allows_updates());
+        assert!(InteractionMode::Analysis.allows_predicates());
+        assert!(InteractionMode::Simulation.allows_updates());
+        assert!(InteractionMode::Simulation.allows_predicates());
+        assert!(!InteractionMode::Explanation.allows_updates());
+    }
+}

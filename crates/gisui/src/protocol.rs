@@ -1,0 +1,163 @@
+//! The weak-integration protocol.
+//!
+//! "Our architecture is based on the weak integration approach … Weak
+//! integration demands the definition of communication and data
+//! conversion protocols between the user interface system and the
+//! geographic system." Requests and responses are self-describing JSON
+//! messages, so the same UI could front a different GIS that speaks the
+//! protocol.
+
+use serde::{Deserialize, Serialize};
+
+use geodb::instance::Oid;
+
+/// Protocol version tag; mismatches are rejected at decode time.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// UI → system requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Open (or refresh) the Schema window of a schema.
+    OpenSchema { schema: String },
+    /// Open a Class-set window.
+    OpenClass { schema: String, class: String },
+    /// Open an Instance window.
+    OpenInstance { oid: u64 },
+    /// Deliver a user gesture on a widget of a window.
+    UiGesture {
+        window: u64,
+        path: String,
+        gesture: String,
+        detail: Option<String>,
+    },
+    /// Close a window (and its children).
+    CloseWindow { window: u64 },
+    /// Analysis mode: open a Class-set window restricted to a predicate
+    /// (predicates are part of the data-conversion protocol, so remote
+    /// front ends can ship them as JSON).
+    Analyze {
+        schema: String,
+        class: String,
+        predicate: geodb::query::Predicate,
+    },
+    /// Ask for the explanation trace of the last interaction.
+    Explain,
+}
+
+/// System → UI responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Windows created or refreshed by the request, as render-ready text.
+    Windows(Vec<WindowDescriptor>),
+    /// Windows closed.
+    Closed(Vec<u64>),
+    /// Explanation trace lines.
+    Explanation(Vec<String>),
+    /// The request failed.
+    Error { message: String },
+}
+
+/// Wire form of a built window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowDescriptor {
+    pub id: u64,
+    pub kind: String,
+    pub title: String,
+    pub visible: bool,
+    /// ASCII rendering (the "data conversion" of the protocol: the UI
+    /// side needs no knowledge of widget internals).
+    pub ascii: String,
+    /// Object shown, for Instance windows.
+    pub oid: Option<Oid>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Envelope<T> {
+    version: u32,
+    body: T,
+}
+
+/// Encode a message for the wire.
+pub fn encode<T: Serialize>(body: &T) -> String {
+    serde_json::to_string(&Envelope {
+        version: PROTOCOL_VERSION,
+        body,
+    })
+    .expect("protocol types serialize")
+}
+
+/// Decode a wire message, checking the version.
+pub fn decode<T: for<'de> Deserialize<'de>>(wire: &str) -> Result<T, String> {
+    let env: Envelope<T> =
+        serde_json::from_str(wire).map_err(|e| format!("malformed message: {e}"))?;
+    if env.version != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version mismatch: got {}, want {PROTOCOL_VERSION}",
+            env.version
+        ));
+    }
+    Ok(env.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::OpenClass {
+            schema: "phone_net".into(),
+            class: "Pole".into(),
+        };
+        let wire = encode(&req);
+        let back: Request = decode(&wire).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::Windows(vec![WindowDescriptor {
+            id: 1,
+            kind: "Schema".into(),
+            title: "Schema: phone_net".into(),
+            visible: true,
+            ascii: "+--+\n".into(),
+            oid: None,
+        }]);
+        let wire = encode(&resp);
+        let back: Response = decode(&wire).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let wire = encode(&Request::Explain).replace("\"version\":1", "\"version\":9");
+        let err = decode::<Request>(&wire).unwrap_err();
+        assert!(err.contains("version mismatch"));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode::<Request>("not json").is_err());
+        assert!(decode::<Request>("{}").is_err());
+    }
+}
+
+#[cfg(test)]
+mod analyze_request_tests {
+    use super::*;
+    use geodb::query::{CmpOp, Predicate};
+
+    #[test]
+    fn analyze_request_round_trips_with_predicate() {
+        let req = Request::Analyze {
+            schema: "phone_net".into(),
+            class: "Pole".into(),
+            predicate: Predicate::cmp("pole_composition.pole_height", CmpOp::Gt, 10.0)
+                .and(Predicate::cmp("pole_type", CmpOp::Eq, 2i64)),
+        };
+        let wire = encode(&req);
+        let back: Request = decode(&wire).unwrap();
+        assert_eq!(req, back);
+    }
+}

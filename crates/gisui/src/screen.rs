@@ -1,0 +1,108 @@
+//! Screen composition: tile a session's open windows into one text
+//! screen, the way Fig. 4 and Fig. 7 of the paper show the three
+//! interaction windows side by side.
+
+use crate::dispatcher::Dispatcher;
+use crate::session::SessionId;
+
+/// Join multi-line blocks horizontally, top-aligned, with a gutter.
+pub fn beside(blocks: &[String]) -> String {
+    let gutter = "  ";
+    let split: Vec<Vec<&str>> = blocks
+        .iter()
+        .map(|b| b.lines().collect::<Vec<_>>())
+        .collect();
+    let widths: Vec<usize> = split
+        .iter()
+        .map(|lines| lines.iter().map(|l| l.chars().count()).max().unwrap_or(0))
+        .collect();
+    let height = split.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for row in 0..height {
+        let mut line = String::new();
+        for (block, width) in split.iter().zip(&widths) {
+            let cell = block.get(row).copied().unwrap_or("");
+            line.push_str(cell);
+            let pad = width.saturating_sub(cell.chars().count());
+            line.push_str(&" ".repeat(pad));
+            line.push_str(gutter);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render every *visible* window of a session, opening order, side by
+/// side — "a typical browsing session iterates through (Schema, {Class,
+/// {Instance}}) windows" and this is that session at a glance.
+pub fn session_screen(dispatcher: &Dispatcher, sid: SessionId) -> String {
+    let Some(session) = dispatcher.session(sid) else {
+        return String::new();
+    };
+    let blocks: Vec<String> = session
+        .windows
+        .iter()
+        .filter_map(|&w| dispatcher.window(w))
+        .filter(|m| m.built.visible)
+        .map(|m| m.built.to_ascii())
+        .collect();
+    beside(&blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::paper_dispatcher;
+    use active::SessionContext;
+    use geodb::gen::TelecomConfig;
+
+    #[test]
+    fn beside_joins_blocks_top_aligned() {
+        let a = "aa\naa\naa".to_string();
+        let b = "bbb".to_string();
+        let s = beside(&[a, b]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "aa  bbb");
+        assert_eq!(lines[1], "aa");
+        assert_eq!(lines[2], "aa");
+    }
+
+    #[test]
+    fn beside_of_nothing_is_empty() {
+        assert_eq!(beside(&[]), "");
+    }
+
+    #[test]
+    fn session_screen_shows_the_walkthrough() {
+        let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
+        let sid = d.open_session(SessionContext::new("m", "op", "browse"));
+        d.open_schema(sid, "phone_net").unwrap();
+        d.open_class(sid, "phone_net", "Pole", None).unwrap();
+        let screen = session_screen(&d, sid);
+        // Both windows appear on one screen, schema first.
+        let first_line = screen.lines().next().unwrap();
+        let schema_at = first_line.find("Schema: phone_net").unwrap();
+        let class_at = first_line.find("Class: Pole").unwrap();
+        assert!(schema_at < class_at);
+    }
+
+    #[test]
+    fn hidden_windows_are_skipped() {
+        let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
+        d.install_program(custlang::FIG6_PROGRAM, "fig6").unwrap();
+        let sid = d.open_session(SessionContext::new(
+            "juliano", "planner", "pole_manager",
+        ));
+        d.open_schema(sid, "phone_net").unwrap();
+        let screen = session_screen(&d, sid);
+        assert!(!screen.contains("Schema: phone_net"));
+        assert!(screen.contains("Class: Pole"));
+    }
+
+    #[test]
+    fn unknown_session_is_empty() {
+        let d = paper_dispatcher(&TelecomConfig::small()).unwrap();
+        assert_eq!(session_screen(&d, SessionId(99)), "");
+    }
+}

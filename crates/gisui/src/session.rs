@@ -1,0 +1,79 @@
+//! User sessions: a context, an interaction mode, and open windows.
+
+use active::SessionContext;
+
+use crate::modes::InteractionMode;
+use crate::windows::WindowId;
+
+/// Identifier of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u32);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One user's session with the GIS.
+#[derive(Debug, Clone)]
+pub struct Session {
+    pub id: SessionId,
+    /// The context the active rules' conditions check.
+    pub context: SessionContext,
+    pub mode: InteractionMode,
+    /// Windows this session opened, in opening order.
+    pub windows: Vec<WindowId>,
+}
+
+impl Session {
+    pub fn new(id: SessionId, context: SessionContext) -> Session {
+        Session {
+            id,
+            context,
+            mode: InteractionMode::default(),
+            windows: Vec::new(),
+        }
+    }
+
+    pub fn with_mode(mut self, mode: InteractionMode) -> Session {
+        self.mode = mode;
+        self
+    }
+
+    pub(crate) fn track(&mut self, w: WindowId) {
+        if !self.windows.contains(&w) {
+            self.windows.push(w);
+        }
+    }
+
+    pub(crate) fn untrack(&mut self, closed: &[WindowId]) {
+        self.windows.retain(|w| !closed.contains(w));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_windows_without_duplicates() {
+        let mut s = Session::new(
+            SessionId(1),
+            SessionContext::new("juliano", "planner", "pole_manager"),
+        );
+        s.track(WindowId(1));
+        s.track(WindowId(2));
+        s.track(WindowId(1));
+        assert_eq!(s.windows, vec![WindowId(1), WindowId(2)]);
+        s.untrack(&[WindowId(1)]);
+        assert_eq!(s.windows, vec![WindowId(2)]);
+    }
+
+    #[test]
+    fn mode_builder() {
+        let s = Session::new(SessionId(1), SessionContext::default())
+            .with_mode(InteractionMode::Analysis);
+        assert_eq!(s.mode, InteractionMode::Analysis);
+    }
+}

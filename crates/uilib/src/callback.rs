@@ -1,0 +1,217 @@
+//! Callbacks: "every object can be associated with several events, each of
+//! which can be linked to a callback function (special functions triggered
+//! by events on interface objects). Generic behavior can be dynamically
+//! customized by callback functions."
+//!
+//! Callbacks are *named* and resolved through a [`CallbackTable`], so the
+//! customization language can bind new behaviour by name
+//! (`using composed_text.notify()`) without compiling code into the tree.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::tree::WidgetTree;
+use crate::widget::WidgetId;
+
+/// A user gesture on a widget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UiEvent {
+    pub widget: WidgetId,
+    /// Tree path of the widget at fire time.
+    pub path: String,
+    /// Gesture name: "click", "select", "key", …
+    pub gesture: String,
+    /// Gesture payload (selected item, typed key, …).
+    pub detail: Option<String>,
+}
+
+impl UiEvent {
+    pub fn new(widget: WidgetId, path: impl Into<String>, gesture: impl Into<String>) -> UiEvent {
+        UiEvent {
+            widget,
+            path: path.into(),
+            gesture: gesture.into(),
+            detail: None,
+        }
+    }
+
+    pub fn with_detail(mut self, detail: impl Into<String>) -> UiEvent {
+        self.detail = Some(detail.into());
+        self
+    }
+}
+
+/// What a callback asks the surrounding system to do. The paper's example:
+/// a Schema-button callback contains "Perform Get_Schema(GEO) for
+/// Context (U,A)" — here that is a signal named `get_schema` with a
+/// `schema` argument; the dispatcher turns signals into database events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signal {
+    pub name: String,
+    pub args: BTreeMap<String, String>,
+}
+
+impl Signal {
+    pub fn new(name: impl Into<String>) -> Signal {
+        Signal {
+            name: name.into(),
+            args: BTreeMap::new(),
+        }
+    }
+
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<String>) -> Signal {
+        self.args.insert(key.into(), value.into());
+        self
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.args.get(key).map(String::as_str)
+    }
+}
+
+/// A callback body: read-only view of the tree plus the triggering event.
+pub type CallbackFn = Rc<dyn Fn(&WidgetTree, &UiEvent) -> Vec<Signal>>;
+
+/// Named callback registry.
+#[derive(Default, Clone)]
+pub struct CallbackTable {
+    callbacks: BTreeMap<String, CallbackFn>,
+}
+
+impl CallbackTable {
+    pub fn new() -> CallbackTable {
+        CallbackTable::default()
+    }
+
+    /// Register (or override — "the coding of new callback functions to
+    /// override their default behavior") a named callback.
+    pub fn register(&mut self, name: impl Into<String>, f: CallbackFn) {
+        self.callbacks.insert(name.into(), f);
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.callbacks.contains_key(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.callbacks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.callbacks.is_empty()
+    }
+
+    /// Deliver a gesture to a widget: resolve its binding for the gesture
+    /// and run the callback. Unbound gestures produce no signals.
+    pub fn fire(&self, tree: &WidgetTree, event: &UiEvent) -> Vec<Signal> {
+        let Ok(widget) = tree.get(event.widget) else {
+            return Vec::new();
+        };
+        let Some(cb_name) = widget.callbacks.get(&event.gesture) else {
+            return Vec::new();
+        };
+        match self.callbacks.get(cb_name) {
+            Some(f) => f(tree, event),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CallbackTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallbackTable")
+            .field("names", &self.callbacks.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Library;
+
+    fn tree_with_button() -> (WidgetTree, WidgetId) {
+        let lib = Library::with_kernel();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let b = t.add(&lib, p, "Button", "schema").unwrap();
+        t.get_mut(b).unwrap().on("click", "open_schema");
+        (t, b)
+    }
+
+    #[test]
+    fn fire_runs_bound_callback() {
+        let (tree, button) = tree_with_button();
+        let mut table = CallbackTable::new();
+        table.register(
+            "open_schema",
+            Rc::new(|_, ev| {
+                vec![Signal::new("get_schema")
+                    .arg("schema", "GEO")
+                    .arg("source", ev.path.clone())]
+            }),
+        );
+        let ev = UiEvent::new(button, "w/p/schema", "click");
+        let signals = table.fire(&tree, &ev);
+        assert_eq!(signals.len(), 1);
+        assert_eq!(signals[0].name, "get_schema");
+        assert_eq!(signals[0].get("schema"), Some("GEO"));
+        assert_eq!(signals[0].get("source"), Some("w/p/schema"));
+    }
+
+    #[test]
+    fn unbound_gesture_is_silent() {
+        let (tree, button) = tree_with_button();
+        let table = CallbackTable::new();
+        // Bound name not registered in the table.
+        assert!(table.fire(&tree, &UiEvent::new(button, "w/p/schema", "click")).is_empty());
+        // Gesture with no binding at all.
+        let mut table = CallbackTable::new();
+        table.register("open_schema", Rc::new(|_, _| vec![Signal::new("x")]));
+        assert!(table
+            .fire(&tree, &UiEvent::new(button, "w/p/schema", "hover"))
+            .is_empty());
+    }
+
+    #[test]
+    fn override_replaces_behavior() {
+        let (tree, button) = tree_with_button();
+        let mut table = CallbackTable::new();
+        table.register("open_schema", Rc::new(|_, _| vec![Signal::new("old")]));
+        table.register("open_schema", Rc::new(|_, _| vec![Signal::new("new")]));
+        let out = table.fire(&tree, &UiEvent::new(button, "w/p/schema", "click"));
+        assert_eq!(out[0].name, "new");
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn callback_can_read_tree_state() {
+        let (mut tree, button) = tree_with_button();
+        tree.get_mut(button).unwrap().set_prop("label", "Schema");
+        let mut table = CallbackTable::new();
+        table.register(
+            "open_schema",
+            Rc::new(|tree, ev| {
+                let label = tree.get(ev.widget).map(|w| w.text("label").to_string());
+                vec![Signal::new("echo").arg("label", label.unwrap_or_default())]
+            }),
+        );
+        let out = table.fire(&tree, &UiEvent::new(button, "w/p/schema", "click"));
+        assert_eq!(out[0].get("label"), Some("Schema"));
+    }
+
+    #[test]
+    fn detail_travels_with_event() {
+        let ev = UiEvent::new(WidgetId(3), "w/list", "select").with_detail("Pole");
+        assert_eq!(ev.detail.as_deref(), Some("Pole"));
+    }
+
+    #[test]
+    fn fire_on_missing_widget_is_silent() {
+        let (tree, _) = tree_with_button();
+        let table = CallbackTable::new();
+        assert!(table
+            .fire(&tree, &UiEvent::new(WidgetId(999), "ghost", "click"))
+            .is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Structural diffing of widget trees.
+//!
+//! When the dispatcher refreshes a window (data changed underneath it),
+//! sending the whole tree over the weak-integration protocol is wasteful:
+//! most refreshes touch a few property values. `diff` computes the
+//! minimal edit script between two trees, keyed by widget *path* (paths
+//! are stable across rebuilds because the builder names widgets after
+//! schema elements).
+
+use std::collections::BTreeMap;
+
+use crate::tree::WidgetTree;
+use crate::widget::Prop;
+
+/// One edit turning the old tree into the new one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffOp {
+    /// A widget path exists only in the new tree.
+    Added { path: String, class: String },
+    /// A widget path exists only in the old tree.
+    Removed { path: String },
+    /// Same path, different widget class (replace wholesale).
+    Replaced {
+        path: String,
+        old_class: String,
+        new_class: String,
+    },
+    /// A property changed (or appeared/disappeared) on a kept widget.
+    PropChanged {
+        path: String,
+        key: String,
+        old: Option<Prop>,
+        new: Option<Prop>,
+    },
+    /// A callback binding changed on a kept widget.
+    CallbackChanged {
+        path: String,
+        gesture: String,
+        old: Option<String>,
+        new: Option<String>,
+    },
+}
+
+impl DiffOp {
+    /// The widget path the op applies to.
+    pub fn path(&self) -> &str {
+        match self {
+            DiffOp::Added { path, .. }
+            | DiffOp::Removed { path }
+            | DiffOp::Replaced { path, .. }
+            | DiffOp::PropChanged { path, .. }
+            | DiffOp::CallbackChanged { path, .. } => path,
+        }
+    }
+}
+
+fn index_by_path(tree: &WidgetTree) -> BTreeMap<String, crate::widget::WidgetId> {
+    tree.walk()
+        .into_iter()
+        .map(|id| (tree.path_of(id).expect("walked id has a path"), id))
+        .collect()
+}
+
+/// Compute the edit script from `old` to `new`.
+pub fn diff(old: &WidgetTree, new: &WidgetTree) -> Vec<DiffOp> {
+    let old_index = index_by_path(old);
+    let new_index = index_by_path(new);
+    let mut ops = Vec::new();
+
+    for (path, &old_id) in &old_index {
+        match new_index.get(path) {
+            None => ops.push(DiffOp::Removed { path: path.clone() }),
+            Some(&new_id) => {
+                let ow = old.get(old_id).expect("indexed");
+                let nw = new.get(new_id).expect("indexed");
+                if ow.class != nw.class {
+                    ops.push(DiffOp::Replaced {
+                        path: path.clone(),
+                        old_class: ow.class.clone(),
+                        new_class: nw.class.clone(),
+                    });
+                    continue;
+                }
+                // Property changes in both directions.
+                let keys: std::collections::BTreeSet<&String> =
+                    ow.props.keys().chain(nw.props.keys()).collect();
+                for key in keys {
+                    let (o, n) = (ow.props.get(key), nw.props.get(key));
+                    if o != n {
+                        ops.push(DiffOp::PropChanged {
+                            path: path.clone(),
+                            key: key.clone(),
+                            old: o.cloned(),
+                            new: n.cloned(),
+                        });
+                    }
+                }
+                let gestures: std::collections::BTreeSet<&String> =
+                    ow.callbacks.keys().chain(nw.callbacks.keys()).collect();
+                for gesture in gestures {
+                    let (o, n) = (ow.callbacks.get(gesture), nw.callbacks.get(gesture));
+                    if o != n {
+                        ops.push(DiffOp::CallbackChanged {
+                            path: path.clone(),
+                            gesture: gesture.clone(),
+                            old: o.cloned(),
+                            new: n.cloned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for (path, &new_id) in &new_index {
+        if !old_index.contains_key(path) {
+            ops.push(DiffOp::Added {
+                path: path.clone(),
+                class: new.get(new_id).expect("indexed").class.clone(),
+            });
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Library;
+
+    fn base() -> (Library, WidgetTree) {
+        let lib = Library::with_kernel();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "body").unwrap();
+        let b = t.add(&lib, p, "Button", "go").unwrap();
+        t.get_mut(b).unwrap().set_prop("label", "Go");
+        (lib, t)
+    }
+
+    #[test]
+    fn identical_trees_have_empty_diff() {
+        let (_, a) = base();
+        let (_, b) = base();
+        assert!(diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn prop_change_is_minimal() {
+        let (_, a) = base();
+        let (_, mut b) = base();
+        let go = b.find("w/body/go").unwrap();
+        b.get_mut(go).unwrap().set_prop("label", "Stop");
+        let ops = diff(&a, &b);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            &ops[0],
+            DiffOp::PropChanged { path, key, new: Some(Prop::Str(v)), .. }
+                if path == "w/body/go" && key == "label" && v == "Stop"
+        ));
+    }
+
+    #[test]
+    fn additions_and_removals() {
+        let (lib, a) = base();
+        let (_, mut b) = base();
+        let body = b.find("w/body").unwrap();
+        b.add(&lib, body, "Text", "status").unwrap();
+        let go = b.find("w/body/go").unwrap();
+        b.remove(go).unwrap();
+        let ops = diff(&a, &b);
+        assert_eq!(ops.len(), 2);
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, DiffOp::Removed { path } if path == "w/body/go")));
+        assert!(ops.iter().any(
+            |o| matches!(o, DiffOp::Added { path, class } if path == "w/body/status" && class == "Text")
+        ));
+    }
+
+    #[test]
+    fn class_change_is_a_replace_not_prop_noise() {
+        let (mut lib, a) = base();
+        lib.specialize("fancyButton", "Button", vec![("style".into(), "fancy".into())])
+            .unwrap();
+        let mut b = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = b.add(&lib, b.root(), "Panel", "body").unwrap();
+        b.add(&lib, p, "fancyButton", "go").unwrap();
+        let ops = diff(&a, &b);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            &ops[0],
+            DiffOp::Replaced { new_class, .. } if new_class == "fancyButton"
+        ));
+    }
+
+    #[test]
+    fn callback_rebinding_is_detected() {
+        let (_, a) = base();
+        let (_, mut b) = base();
+        let go = b.find("w/body/go").unwrap();
+        b.get_mut(go).unwrap().on("click", "new_handler");
+        let ops = diff(&a, &b);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            &ops[0],
+            DiffOp::CallbackChanged { gesture, new: Some(n), old: None, .. }
+                if gesture == "click" && n == "new_handler"
+        ));
+    }
+
+    #[test]
+    fn refresh_scale_diff_is_small() {
+        // A "refresh" that only changes the instance count label should
+        // produce exactly one op even on a large window.
+        let lib = Library::with_kernel();
+        let build = |count: i64| {
+            let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+            let p = t.add(&lib, t.root(), "Panel", "body").unwrap();
+            for i in 0..50 {
+                let b = t.add(&lib, p, "Button", format!("b{i}")).unwrap();
+                t.get_mut(b).unwrap().set_prop("label", format!("B{i}"));
+            }
+            let c = t.add(&lib, p, "Text", "count").unwrap();
+            t.get_mut(c).unwrap().set_prop("value", count.to_string());
+            t
+        };
+        let ops = diff(&build(100), &build(101));
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].path(), "w/body/count");
+    }
+}

@@ -1,0 +1,295 @@
+//! Character-cell box layout.
+//!
+//! The renderers are headless (see DESIGN.md): widgets lay out on a
+//! character grid. Containers stack children vertically or horizontally
+//! (`layout` property `"v"` / `"h"`), draw a one-cell border, and size to
+//! content unless `width`/`height` properties pin them.
+
+use std::collections::HashMap;
+
+use crate::tree::{TreeError, WidgetTree};
+use crate::widget::{Prop, WidgetId, WidgetKind};
+
+/// A placed rectangle in character cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    pub x: i32,
+    pub y: i32,
+    pub w: i32,
+    pub h: i32,
+}
+
+impl Bounds {
+    pub fn right(&self) -> i32 {
+        self.x + self.w
+    }
+
+    pub fn bottom(&self) -> i32 {
+        self.y + self.h
+    }
+
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.x && x < self.right() && y >= self.y && y < self.bottom()
+    }
+}
+
+/// Computed layout: widget id → bounds.
+pub type LayoutMap = HashMap<WidgetId, Bounds>;
+
+/// Stacking direction of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    V,
+    H,
+}
+
+fn dir_of(tree: &WidgetTree, id: WidgetId) -> Dir {
+    match tree.get(id).ok().and_then(|w| w.prop("layout")).and_then(Prop::as_str) {
+        Some("h") => Dir::H,
+        _ => Dir::V,
+    }
+}
+
+/// Preferred content size of a leaf widget.
+fn leaf_size(tree: &WidgetTree, id: WidgetId) -> (i32, i32) {
+    let w = tree.get(id).expect("walked id");
+    match w.kind {
+        WidgetKind::Button => ((w.text("label").chars().count() as i32 + 4).max(8), 3),
+        WidgetKind::Text => {
+            let label = w.text("label").chars().count() as i32;
+            let value = w.text("value").chars().count() as i32;
+            ((label + value + 4).max(20), 3)
+        }
+        WidgetKind::List => {
+            let items = w.prop("items").and_then(Prop::as_items).unwrap_or(&[]);
+            let widest = items
+                .iter()
+                .map(|s| s.chars().count() as i32)
+                .max()
+                .unwrap_or(0)
+                .max(w.text("title").chars().count() as i32);
+            ((widest + 4).max(16), items.len() as i32 + 2)
+        }
+        WidgetKind::DrawingArea => (42, 16),
+        WidgetKind::MenuItem => (w.text("label").chars().count() as i32 + 2, 1),
+        WidgetKind::Menu => {
+            // Horizontal bar of its items.
+            let total: i32 = w
+                .children
+                .iter()
+                .map(|&c| leaf_size(tree, c).0 + 1)
+                .sum();
+            (total.max(10), 3)
+        }
+        // Containers are measured by `measure`, not here.
+        WidgetKind::Window | WidgetKind::Panel => (10, 3),
+    }
+}
+
+/// Bottom-up preferred sizes, honouring explicit width/height props.
+fn measure(tree: &WidgetTree, id: WidgetId, sizes: &mut HashMap<WidgetId, (i32, i32)>) -> (i32, i32) {
+    let widget = tree.get(id).expect("walked id");
+    let mut size = match widget.kind {
+        WidgetKind::Window | WidgetKind::Panel => {
+            let dir = dir_of(tree, id);
+            let (mut w, mut h) = (0, 0);
+            for &c in &widget.children {
+                let (cw, ch) = measure(tree, c, sizes);
+                match dir {
+                    Dir::V => {
+                        w = w.max(cw);
+                        h += ch;
+                    }
+                    Dir::H => {
+                        w += cw;
+                        h = h.max(ch);
+                    }
+                }
+            }
+            // Border + title row for windows and titled panels. Windows
+            // fall back to their name as the title (as the renderer does).
+            let title_text = if widget.text("title").is_empty() && widget.kind == WidgetKind::Window
+            {
+                widget.name.as_str()
+            } else {
+                widget.text("title")
+            };
+            let title = title_text.chars().count() as i32;
+            (
+                (w + 2).max(title + 4).max(12),
+                h + 2,
+            )
+        }
+        WidgetKind::Menu => {
+            for &c in &widget.children {
+                measure(tree, c, sizes);
+            }
+            let (w, _) = leaf_size(tree, id);
+            (w + 2, 3)
+        }
+        _ => leaf_size(tree, id),
+    };
+    if let Some(w) = widget.prop("width").and_then(Prop::as_int) {
+        size.0 = w as i32;
+    }
+    if let Some(h) = widget.prop("height").and_then(Prop::as_int) {
+        size.1 = h as i32;
+    }
+    sizes.insert(id, size);
+    size
+}
+
+fn place(
+    tree: &WidgetTree,
+    id: WidgetId,
+    x: i32,
+    y: i32,
+    sizes: &HashMap<WidgetId, (i32, i32)>,
+    out: &mut LayoutMap,
+) {
+    let (w, h) = sizes[&id];
+    out.insert(id, Bounds { x, y, w, h });
+    let widget = tree.get(id).expect("walked id");
+    match widget.kind {
+        WidgetKind::Window | WidgetKind::Panel => {
+            let dir = dir_of(tree, id);
+            let mut cx = x + 1;
+            let mut cy = y + 1;
+            for &c in &widget.children {
+                place(tree, c, cx, cy, sizes, out);
+                let (cw, ch) = sizes[&c];
+                match dir {
+                    Dir::V => cy += ch,
+                    Dir::H => cx += cw,
+                }
+            }
+        }
+        WidgetKind::Menu => {
+            let mut cx = x + 1;
+            for &c in &widget.children {
+                let (cw, _) = sizes[&c];
+                out.insert(
+                    c,
+                    Bounds {
+                        x: cx,
+                        y: y + 1,
+                        w: cw,
+                        h: 1,
+                    },
+                );
+                cx += cw + 1;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Lay out the whole tree starting at the origin.
+pub fn layout(tree: &WidgetTree) -> Result<LayoutMap, TreeError> {
+    let mut sizes = HashMap::new();
+    measure(tree, tree.root(), &mut sizes);
+    let mut map = LayoutMap::new();
+    place(tree, tree.root(), 0, 0, &sizes, &mut map);
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Library;
+
+    fn lib() -> Library {
+        Library::with_kernel()
+    }
+
+    #[test]
+    fn children_nest_inside_parents() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let b = t.add(&lib, p, "Button", "b").unwrap();
+        t.get_mut(b).unwrap().set_prop("label", "OK");
+        let map = layout(&t).unwrap();
+        let (wb, pb, bb) = (map[&t.root()], map[&p], map[&b]);
+        assert!(wb.contains(pb.x, pb.y));
+        assert!(wb.contains(pb.right() - 1, pb.bottom() - 1));
+        assert!(pb.contains(bb.x, bb.y));
+        assert!(pb.contains(bb.right() - 1, bb.bottom() - 1));
+    }
+
+    #[test]
+    fn vertical_stacking_is_default() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let b1 = t.add(&lib, p, "Button", "b1").unwrap();
+        let b2 = t.add(&lib, p, "Button", "b2").unwrap();
+        let map = layout(&t).unwrap();
+        assert_eq!(map[&b1].x, map[&b2].x);
+        assert_eq!(map[&b2].y, map[&b1].bottom());
+    }
+
+    #[test]
+    fn horizontal_layout_property() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        t.get_mut(p).unwrap().set_prop("layout", "h");
+        let b1 = t.add(&lib, p, "Button", "b1").unwrap();
+        let b2 = t.add(&lib, p, "Button", "b2").unwrap();
+        let map = layout(&t).unwrap();
+        assert_eq!(map[&b1].y, map[&b2].y);
+        assert_eq!(map[&b2].x, map[&b1].right());
+    }
+
+    #[test]
+    fn explicit_size_pins_widgets() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let d = t.add(&lib, p, "DrawingArea", "map").unwrap();
+        t.get_mut(d).unwrap().set_prop("width", 60i64);
+        t.get_mut(d).unwrap().set_prop("height", 24i64);
+        let map = layout(&t).unwrap();
+        assert_eq!((map[&d].w, map[&d].h), (60, 24));
+    }
+
+    #[test]
+    fn list_sizes_with_items() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let l = t.add(&lib, p, "List", "classes").unwrap();
+        t.get_mut(l).unwrap().set_prop(
+            "items",
+            vec!["Pole".to_string(), "Duct".to_string(), "District".to_string()],
+        );
+        let map = layout(&t).unwrap();
+        assert_eq!(map[&l].h, 5); // 3 items + border rows
+    }
+
+    #[test]
+    fn menu_lays_items_horizontally() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let m = t.add(&lib, t.root(), "Menu", "menu").unwrap();
+        let i1 = t.add(&lib, m, "MenuItem", "File").unwrap();
+        let i2 = t.add(&lib, m, "MenuItem", "Edit").unwrap();
+        t.get_mut(i1).unwrap().set_prop("label", "File");
+        t.get_mut(i2).unwrap().set_prop("label", "Edit");
+        let map = layout(&t).unwrap();
+        assert_eq!(map[&i1].y, map[&i2].y);
+        assert!(map[&i2].x > map[&i1].x);
+    }
+
+    #[test]
+    fn window_grows_to_fit_title() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        t.get_mut(t.root())
+            .unwrap()
+            .set_prop("title", "A very long window title indeed");
+        let map = layout(&t).unwrap();
+        assert!(map[&t.root()].w >= 35);
+    }
+}

@@ -1,0 +1,206 @@
+//! Library persistence *inside the geographic database*.
+//!
+//! "This mechanism is based on the active database paradigm, associated
+//! with a **database library of interface objects**" — the widget classes
+//! are themselves rows in the DBMS. This module maps a [`Library`] to a
+//! `ui_library` schema and back.
+
+use std::collections::BTreeMap;
+
+use geodb::db::Database;
+use geodb::error::{GeoDbError, Result};
+use geodb::schema::{ClassDef, SchemaDef};
+use geodb::value::{AttrType, Value};
+
+use crate::registry::{Library, WidgetClass};
+use crate::widget::WidgetKind;
+
+/// Name of the schema holding the interface objects library.
+pub const LIBRARY_SCHEMA: &str = "ui_library";
+const CLASS: &str = "InterfaceObject";
+
+/// The catalog schema for stored widget classes.
+pub fn library_schema() -> SchemaDef {
+    SchemaDef::new(LIBRARY_SCHEMA).class(
+        ClassDef::new(CLASS)
+            .attr("name", AttrType::Text)
+            .attr("kind", AttrType::Text)
+            .optional_attr("parent", AttrType::Text)
+            .attr("defaults_json", AttrType::Text)
+            .attr("callbacks_json", AttrType::Text)
+            .optional_attr("doc", AttrType::Text)
+            .doc("A widget class of the interface objects library"),
+    )
+}
+
+fn kind_from_str(s: &str) -> Result<WidgetKind> {
+    WidgetKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.class_name() == s)
+        .ok_or_else(|| GeoDbError::InvalidQuery(format!("unknown widget kind `{s}`")))
+}
+
+/// Store every class of `library` into `db` (registering the schema on
+/// first use; the previous stored library is replaced).
+pub fn save_library(db: &mut Database, library: &Library) -> Result<()> {
+    if db.catalog().schema(LIBRARY_SCHEMA).is_err() {
+        db.register_schema(library_schema())?;
+    } else {
+        // Replace: delete existing stored classes.
+        let existing = db.get_class(LIBRARY_SCHEMA, CLASS, false)?;
+        for inst in existing {
+            db.delete(inst.oid)?;
+        }
+    }
+    for class in library.classes() {
+        let defaults = serde_json::to_string(&class.defaults)
+            .map_err(|e| GeoDbError::Snapshot(e.to_string()))?;
+        let callbacks = serde_json::to_string(&class.callbacks)
+            .map_err(|e| GeoDbError::Snapshot(e.to_string()))?;
+        let mut values = vec![
+            ("name".into(), class.name.clone().into()),
+            ("kind".into(), class.kind.class_name().into()),
+            ("defaults_json".into(), defaults.into()),
+            ("callbacks_json".into(), callbacks.into()),
+            ("doc".into(), class.doc.clone().into()),
+        ];
+        if let Some(p) = &class.parent {
+            values.push(("parent".into(), p.clone().into()));
+        }
+        db.insert(LIBRARY_SCHEMA, CLASS, values)?;
+    }
+    db.drain_events();
+    Ok(())
+}
+
+/// Load the stored library from `db`.
+///
+/// Classes are inserted parents-first so `define`'s referential check
+/// holds regardless of storage order.
+pub fn load_library(db: &mut Database) -> Result<Library> {
+    let rows = db.get_class(LIBRARY_SCHEMA, CLASS, false)?;
+    let mut pending: Vec<WidgetClass> = rows
+        .iter()
+        .map(|inst| {
+            let get_text = |attr: &str| -> String {
+                match inst.get(attr) {
+                    Value::Text(s) => s.clone(),
+                    _ => String::new(),
+                }
+            };
+            let defaults: BTreeMap<String, crate::widget::Prop> =
+                serde_json::from_str(&get_text("defaults_json"))
+                    .map_err(|e| GeoDbError::Snapshot(e.to_string()))?;
+            let callbacks: BTreeMap<String, String> =
+                serde_json::from_str(&get_text("callbacks_json"))
+                    .map_err(|e| GeoDbError::Snapshot(e.to_string()))?;
+            let parent = match inst.get("parent") {
+                Value::Text(s) => Some(s.clone()),
+                _ => None,
+            };
+            Ok(WidgetClass {
+                name: get_text("name"),
+                parent,
+                kind: kind_from_str(&get_text("kind"))?,
+                defaults,
+                callbacks,
+                doc: get_text("doc"),
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    let mut library = Library::empty();
+    // Topological insertion: repeatedly add classes whose parent exists.
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|class| {
+            let ready = class
+                .parent
+                .as_ref()
+                .map(|p| library.contains(p))
+                .unwrap_or(true);
+            if ready {
+                library
+                    .define(class.clone())
+                    .expect("parent present and names unique in storage");
+                false
+            } else {
+                true
+            }
+        });
+        if pending.len() == before {
+            return Err(GeoDbError::Snapshot(format!(
+                "stored library has dangling parents: {:?}",
+                pending.iter().map(|c| c.name.clone()).collect::<Vec<_>>()
+            )));
+        }
+    }
+    db.drain_events();
+    Ok(library)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::widget::Prop;
+
+    #[test]
+    fn round_trip_preserves_classes() {
+        let mut lib = Library::with_kernel();
+        lib.specialize("slider", "Panel", vec![("style".into(), "slider".into())])
+            .unwrap();
+        lib.specialize("poleWidget", "slider", vec![("range".into(), Prop::Int(4))])
+            .unwrap();
+
+        let mut db = Database::new("GEO");
+        save_library(&mut db, &lib).unwrap();
+        let loaded = load_library(&mut db).unwrap();
+
+        assert_eq!(loaded.len(), lib.len());
+        let pw = loaded.get("poleWidget").unwrap();
+        assert_eq!(pw.parent.as_deref(), Some("slider"));
+        assert_eq!(pw.kind, WidgetKind::Panel);
+        let (defaults, _) = loaded.effective_defaults("poleWidget").unwrap();
+        assert_eq!(defaults.get("style"), Some(&Prop::Str("slider".into())));
+        assert_eq!(defaults.get("range"), Some(&Prop::Int(4)));
+    }
+
+    #[test]
+    fn save_replaces_previous_library() {
+        let mut db = Database::new("GEO");
+        let mut lib = Library::with_kernel();
+        lib.specialize("v1_only", "Panel", vec![]).unwrap();
+        save_library(&mut db, &lib).unwrap();
+
+        let mut lib2 = Library::with_kernel();
+        lib2.specialize("v2_only", "Panel", vec![]).unwrap();
+        save_library(&mut db, &lib2).unwrap();
+
+        let loaded = load_library(&mut db).unwrap();
+        assert!(loaded.contains("v2_only"));
+        assert!(!loaded.contains("v1_only"));
+        assert_eq!(db.extent_size(LIBRARY_SCHEMA, CLASS), lib2.len());
+    }
+
+    #[test]
+    fn load_handles_any_storage_order() {
+        // Build a 3-deep chain; storage iterates instances in OID order,
+        // which here equals alphabetical-insertion order of the library's
+        // BTreeMap — "a_child" sorts before its parent "z_base".
+        let mut lib = Library::with_kernel();
+        lib.specialize("z_base", "Panel", vec![]).unwrap();
+        lib.specialize("a_child", "z_base", vec![]).unwrap();
+        let mut db = Database::new("GEO");
+        save_library(&mut db, &lib).unwrap();
+        let loaded = load_library(&mut db).unwrap();
+        assert!(loaded.contains("a_child"));
+        let names: Vec<&str> = loaded
+            .ancestry("a_child")
+            .unwrap()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a_child", "z_base", "Panel"]);
+    }
+}

@@ -1,0 +1,338 @@
+//! The interface-objects library: a registry of widget classes.
+//!
+//! "The library contains the definition and generic behavior of interface
+//! objects … it is possible to add classes to it, which corresponds to the
+//! incorporation of new interface elements. Alternatively, it is possible
+//! to specialize existing classes, redefining and customizing their
+//! elements." Classes added here are what the customization language
+//! refers to by name (`poleWidget`, `composed_text`, `pointFormat`).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::widget::{Prop, Widget, WidgetId, WidgetKind};
+
+/// Errors from library operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LibraryError {
+    UnknownClass(String),
+    DuplicateClass(String),
+    /// Specialization parent does not exist.
+    UnknownParent { class: String, parent: String },
+}
+
+impl std::fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LibraryError::UnknownClass(c) => write!(f, "unknown widget class `{c}`"),
+            LibraryError::DuplicateClass(c) => write!(f, "duplicate widget class `{c}`"),
+            LibraryError::UnknownParent { class, parent } => {
+                write!(f, "class `{class}` extends unknown parent `{parent}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
+/// A widget class: kernel or user-defined specialization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WidgetClass {
+    pub name: String,
+    /// Parent class (kernel classes have none).
+    pub parent: Option<String>,
+    /// Kernel kind this class bottoms out in.
+    pub kind: WidgetKind,
+    /// Default property values (override the parent's).
+    pub defaults: BTreeMap<String, Prop>,
+    /// Default callback bindings (override the parent's).
+    pub callbacks: BTreeMap<String, String>,
+    pub doc: String,
+}
+
+/// The widget class registry.
+#[derive(Debug, Clone)]
+pub struct Library {
+    classes: BTreeMap<String, WidgetClass>,
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::with_kernel()
+    }
+}
+
+impl Library {
+    /// An empty library (no kernel classes) — used by the persistence
+    /// loader.
+    pub fn empty() -> Library {
+        Library {
+            classes: BTreeMap::new(),
+        }
+    }
+
+    /// A library pre-populated with the eight kernel classes of Fig. 2.
+    pub fn with_kernel() -> Library {
+        let mut lib = Library::empty();
+        for kind in WidgetKind::ALL {
+            lib.classes.insert(
+                kind.class_name().to_string(),
+                WidgetClass {
+                    name: kind.class_name().to_string(),
+                    parent: None,
+                    kind,
+                    defaults: BTreeMap::new(),
+                    callbacks: BTreeMap::new(),
+                    doc: format!("kernel class {kind}"),
+                },
+            );
+        }
+        lib
+    }
+
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.classes.contains_key(name)
+    }
+
+    pub fn get(&self, name: &str) -> Result<&WidgetClass, LibraryError> {
+        self.classes
+            .get(name)
+            .ok_or_else(|| LibraryError::UnknownClass(name.to_string()))
+    }
+
+    /// Iterate classes in name order.
+    pub fn classes(&self) -> impl Iterator<Item = &WidgetClass> {
+        self.classes.values()
+    }
+
+    /// Register a brand-new class (must specialize an existing one).
+    pub fn define(&mut self, class: WidgetClass) -> Result<(), LibraryError> {
+        if self.classes.contains_key(&class.name) {
+            return Err(LibraryError::DuplicateClass(class.name));
+        }
+        if let Some(p) = &class.parent {
+            if !self.classes.contains_key(p) {
+                return Err(LibraryError::UnknownParent {
+                    class: class.name.clone(),
+                    parent: p.clone(),
+                });
+            }
+        }
+        self.classes.insert(class.name.clone(), class);
+        Ok(())
+    }
+
+    /// Convenience: specialize `parent` under a new name with extra
+    /// defaults (the common customization-language path).
+    pub fn specialize(
+        &mut self,
+        name: impl Into<String>,
+        parent: &str,
+        defaults: Vec<(String, Prop)>,
+    ) -> Result<(), LibraryError> {
+        let name = name.into();
+        let parent_class = self.get(parent)?.clone();
+        self.define(WidgetClass {
+            name,
+            parent: Some(parent_class.name),
+            kind: parent_class.kind,
+            defaults: defaults.into_iter().collect(),
+            callbacks: BTreeMap::new(),
+            doc: String::new(),
+        })
+    }
+
+    /// Remove a user-defined class (kernel classes cannot be removed).
+    pub fn remove(&mut self, name: &str) -> Result<WidgetClass, LibraryError> {
+        let is_kernel = WidgetKind::ALL.iter().any(|k| k.class_name() == name);
+        if is_kernel {
+            return Err(LibraryError::DuplicateClass(format!(
+                "kernel class `{name}` cannot be removed"
+            )));
+        }
+        self.classes
+            .remove(name)
+            .ok_or_else(|| LibraryError::UnknownClass(name.to_string()))
+    }
+
+    /// The class and its ancestors, most-derived first.
+    pub fn ancestry(&self, name: &str) -> Result<Vec<&WidgetClass>, LibraryError> {
+        let mut out = Vec::new();
+        let mut cur = self.get(name)?;
+        out.push(cur);
+        while let Some(p) = &cur.parent {
+            cur = self.get(p)?;
+            out.push(cur);
+            if out.len() > self.classes.len() {
+                // Defensive: define() prevents cycles, but belt-and-braces.
+                return Err(LibraryError::UnknownClass(format!("cycle at `{name}`")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Effective defaults with inheritance applied (derived overrides base).
+    #[allow(clippy::type_complexity)]
+    pub fn effective_defaults(
+        &self,
+        name: &str,
+    ) -> Result<(BTreeMap<String, Prop>, BTreeMap<String, String>), LibraryError> {
+        let chain = self.ancestry(name)?;
+        let mut props = BTreeMap::new();
+        let mut callbacks = BTreeMap::new();
+        for class in chain.iter().rev() {
+            props.extend(class.defaults.clone());
+            callbacks.extend(class.callbacks.clone());
+        }
+        Ok((props, callbacks))
+    }
+
+    /// Instantiate a class as a widget node (the tree assigns real ids).
+    pub fn instantiate(
+        &self,
+        class: &str,
+        id: WidgetId,
+        name: impl Into<String>,
+    ) -> Result<Widget, LibraryError> {
+        let def = self.get(class)?;
+        let (props, callbacks) = self.effective_defaults(class)?;
+        Ok(Widget {
+            id,
+            name: name.into(),
+            class: def.name.clone(),
+            kind: def.kind,
+            props,
+            callbacks,
+            children: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_library_has_eight_classes() {
+        let lib = Library::with_kernel();
+        assert_eq!(lib.len(), 8);
+        assert!(lib.contains("Window"));
+        assert!(lib.contains("MenuItem"));
+    }
+
+    #[test]
+    fn define_and_instantiate_specialization() {
+        let mut lib = Library::with_kernel();
+        // The paper's poleWidget, "defined as a slider": a specialized
+        // Panel rendered as a slider control.
+        lib.specialize(
+            "slider",
+            "Panel",
+            vec![("style".into(), "slider".into())],
+        )
+        .unwrap();
+        lib.specialize(
+            "poleWidget",
+            "slider",
+            vec![("range".into(), Prop::Int(4))],
+        )
+        .unwrap();
+
+        let w = lib.instantiate("poleWidget", WidgetId(1), "pole_ctl").unwrap();
+        assert_eq!(w.kind, WidgetKind::Panel);
+        assert_eq!(w.class, "poleWidget");
+        // Inherited default from `slider` plus its own.
+        assert_eq!(w.text("style"), "slider");
+        assert_eq!(w.prop("range").unwrap().as_int(), Some(4));
+    }
+
+    #[test]
+    fn derived_defaults_override_base() {
+        let mut lib = Library::with_kernel();
+        lib.specialize("base", "Button", vec![("label".into(), "base".into())])
+            .unwrap();
+        lib.specialize("derived", "base", vec![("label".into(), "derived".into())])
+            .unwrap();
+        let w = lib.instantiate("derived", WidgetId(1), "b").unwrap();
+        assert_eq!(w.text("label"), "derived");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut lib = Library::with_kernel();
+        assert!(matches!(
+            lib.get("nope"),
+            Err(LibraryError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            lib.specialize("x", "nope", vec![]),
+            Err(LibraryError::UnknownClass(_))
+        ));
+        lib.specialize("x", "Panel", vec![]).unwrap();
+        assert!(matches!(
+            lib.specialize("x", "Panel", vec![]),
+            Err(LibraryError::DuplicateClass(_))
+        ));
+        let orphan = WidgetClass {
+            name: "orphan".into(),
+            parent: Some("ghost".into()),
+            kind: WidgetKind::Panel,
+            defaults: BTreeMap::new(),
+            callbacks: BTreeMap::new(),
+            doc: String::new(),
+        };
+        assert!(matches!(
+            lib.define(orphan),
+            Err(LibraryError::UnknownParent { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_classes_cannot_be_removed() {
+        let mut lib = Library::with_kernel();
+        assert!(lib.remove("Window").is_err());
+        lib.specialize("mine", "Panel", vec![]).unwrap();
+        assert!(lib.remove("mine").is_ok());
+        assert!(!lib.contains("mine"));
+    }
+
+    #[test]
+    fn ancestry_walks_to_kernel() {
+        let mut lib = Library::with_kernel();
+        lib.specialize("a", "Panel", vec![]).unwrap();
+        lib.specialize("b", "a", vec![]).unwrap();
+        let names: Vec<&str> = lib
+            .ancestry("b")
+            .unwrap()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["b", "a", "Panel"]);
+    }
+
+    #[test]
+    fn callback_defaults_inherit() {
+        let mut lib = Library::with_kernel();
+        let mut class = WidgetClass {
+            name: "actionButton".into(),
+            parent: Some("Button".into()),
+            kind: WidgetKind::Button,
+            defaults: BTreeMap::new(),
+            callbacks: BTreeMap::new(),
+            doc: String::new(),
+        };
+        class.callbacks.insert("click".into(), "do_action".into());
+        lib.define(class).unwrap();
+        let w = lib.instantiate("actionButton", WidgetId(9), "go").unwrap();
+        assert_eq!(w.callbacks.get("click").map(String::as_str), Some("do_action"));
+    }
+}

@@ -1,0 +1,383 @@
+//! ASCII renderer: draws a laid-out widget tree onto a character grid.
+//!
+//! This is the headless stand-in for the 1997 Motif screens (paper
+//! Figs. 4 and 7): every window the system builds can be printed, asserted
+//! in tests, and diffed between the default and customized interfaces.
+
+use geodb::geometry::{Geometry, Point};
+
+use crate::layout::{layout, Bounds, LayoutMap};
+use crate::scene::{MapScene, SceneMap};
+use crate::tree::{TreeError, WidgetTree};
+use crate::widget::{Prop, Widget, WidgetKind};
+
+/// A mutable character grid.
+pub struct Canvas {
+    w: i32,
+    h: i32,
+    cells: Vec<char>,
+}
+
+impl Canvas {
+    pub fn new(w: i32, h: i32) -> Canvas {
+        Canvas {
+            w: w.max(0),
+            h: h.max(0),
+            cells: vec![' '; (w.max(0) * h.max(0)) as usize],
+        }
+    }
+
+    pub fn set(&mut self, x: i32, y: i32, c: char) {
+        if x >= 0 && x < self.w && y >= 0 && y < self.h {
+            self.cells[(y * self.w + x) as usize] = c;
+        }
+    }
+
+    pub fn get(&self, x: i32, y: i32) -> char {
+        if x >= 0 && x < self.w && y >= 0 && y < self.h {
+            self.cells[(y * self.w + x) as usize]
+        } else {
+            ' '
+        }
+    }
+
+    pub fn text(&mut self, x: i32, y: i32, s: &str) {
+        for (i, c) in s.chars().enumerate() {
+            self.set(x + i as i32, y, c);
+        }
+    }
+
+    /// Box-drawing border around `b` (inclusive of its outer cells).
+    pub fn border(&mut self, b: &Bounds) {
+        if b.w < 2 || b.h < 2 {
+            return;
+        }
+        for x in b.x..b.right() {
+            self.set(x, b.y, '-');
+            self.set(x, b.bottom() - 1, '-');
+        }
+        for y in b.y..b.bottom() {
+            self.set(b.x, y, '|');
+            self.set(b.right() - 1, y, '|');
+        }
+        self.set(b.x, b.y, '+');
+        self.set(b.right() - 1, b.y, '+');
+        self.set(b.x, b.bottom() - 1, '+');
+        self.set(b.right() - 1, b.bottom() - 1, '+');
+    }
+
+    /// Bresenham line.
+    pub fn line(&mut self, x0: i32, y0: i32, x1: i32, y1: i32, c: char) {
+        let (mut x, mut y) = (x0, y0);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.set(x, y, c);
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    /// Render to a string, trimming trailing whitespace per row.
+    pub fn to_string_trimmed(&self) -> String {
+        let mut out = String::with_capacity((self.w * self.h) as usize);
+        for y in 0..self.h {
+            let row: String = (0..self.w).map(|x| self.get(x, y)).collect();
+            out.push_str(row.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Project world coordinates into the inner cells of a drawing area.
+struct Projection {
+    world: geodb::geometry::Rect,
+    inner: Bounds,
+}
+
+impl Projection {
+    fn to_cell(&self, p: &Point) -> (i32, i32) {
+        let fx = (p.x - self.world.min.x) / self.world.width().max(f64::MIN_POSITIVE);
+        let fy = (p.y - self.world.min.y) / self.world.height().max(f64::MIN_POSITIVE);
+        let x = self.inner.x + (fx * (self.inner.w - 1) as f64).round() as i32;
+        // Screen y grows downward; world y grows upward.
+        let y = self.inner.y + ((1.0 - fy) * (self.inner.h - 1) as f64).round() as i32;
+        (x, y)
+    }
+}
+
+fn draw_scene(canvas: &mut Canvas, scene: &MapScene, area: &Bounds) {
+    let inner = Bounds {
+        x: area.x + 1,
+        y: area.y + 1,
+        w: (area.w - 2).max(1),
+        h: (area.h - 2).max(1),
+    };
+    let proj = Projection {
+        world: scene.effective_viewport(),
+        inner,
+    };
+    for shape in &scene.shapes {
+        let symbol = if shape.selected { '#' } else { shape.symbol };
+        match &shape.geometry {
+            Geometry::Point(p) => {
+                let (x, y) = proj.to_cell(p);
+                canvas.set(x, y, symbol);
+            }
+            Geometry::Polyline(l) => {
+                for (a, b) in l.segments() {
+                    let (x0, y0) = proj.to_cell(a);
+                    let (x1, y1) = proj.to_cell(b);
+                    canvas.line(x0, y0, x1, y1, symbol);
+                }
+            }
+            Geometry::Polygon(poly) => {
+                for (a, b) in poly.edges() {
+                    let (x0, y0) = proj.to_cell(a);
+                    let (x1, y1) = proj.to_cell(b);
+                    canvas.line(x0, y0, x1, y1, symbol);
+                }
+            }
+        }
+    }
+}
+
+fn draw_widget(canvas: &mut Canvas, w: &Widget, b: &Bounds, scenes: &SceneMap) {
+    match w.kind {
+        WidgetKind::Window => {
+            canvas.border(b);
+            let title = if w.text("title").is_empty() {
+                w.name.clone()
+            } else {
+                w.text("title").to_string()
+            };
+            canvas.text(b.x + 2, b.y, &format!(" {title} "));
+        }
+        WidgetKind::Panel => {
+            canvas.border(b);
+            let title = w.text("title");
+            if !title.is_empty() {
+                canvas.text(b.x + 2, b.y, &format!(" {title} "));
+            }
+            if w.text("style") == "slider" {
+                // The paper's poleWidget "defined as a slider".
+                let y = b.y + b.h / 2;
+                let track_w = (b.w - 4).max(3);
+                for i in 0..track_w {
+                    canvas.set(b.x + 2 + i, y, '=');
+                }
+                let pos = w
+                    .prop("slider_pos")
+                    .and_then(Prop::as_int)
+                    .unwrap_or(50)
+                    .clamp(0, 100);
+                let knob = b.x + 2 + (pos as i32 * (track_w - 1) / 100);
+                canvas.set(knob, y, 'O');
+            }
+        }
+        WidgetKind::Button => {
+            let label = format!("[ {} ]", w.text("label"));
+            let y = b.y + b.h / 2;
+            canvas.text(b.x + (b.w - label.chars().count() as i32).max(0) / 2, y, &label);
+        }
+        WidgetKind::Text => {
+            let label = w.text("label");
+            let value = w.text("value");
+            let s = if label.is_empty() {
+                value.to_string()
+            } else {
+                format!("{label}: {value}")
+            };
+            canvas.text(b.x + 1, b.y + b.h / 2, &s);
+        }
+        WidgetKind::List => {
+            canvas.border(b);
+            let title = w.text("title");
+            if !title.is_empty() {
+                canvas.text(b.x + 2, b.y, &format!(" {title} "));
+            }
+            let selected = w.prop("selected").and_then(Prop::as_int).unwrap_or(-1);
+            if let Some(items) = w.prop("items").and_then(Prop::as_items) {
+                for (i, item) in items.iter().enumerate() {
+                    let marker = if i as i64 == selected { '>' } else { ' ' };
+                    canvas.set(b.x + 1, b.y + 1 + i as i32, marker);
+                    canvas.text(b.x + 2, b.y + 1 + i as i32, item);
+                }
+            }
+        }
+        WidgetKind::Menu => {
+            canvas.border(b);
+        }
+        WidgetKind::MenuItem => {
+            canvas.text(b.x, b.y, w.text("label"));
+        }
+        WidgetKind::DrawingArea => {
+            canvas.border(b);
+            if let Some(scene) = scenes.get(&w.id) {
+                draw_scene(canvas, scene, b);
+            }
+        }
+    }
+}
+
+/// Render a tree (with scenes for its drawing areas) to ASCII art.
+pub fn render(tree: &WidgetTree, scenes: &SceneMap) -> Result<String, TreeError> {
+    let map: LayoutMap = layout(tree)?;
+    let root_bounds = map[&tree.root()];
+    let mut canvas = Canvas::new(root_bounds.right(), root_bounds.bottom());
+    // Parents first: children draw over their parents' interiors.
+    for id in tree.walk() {
+        let w = tree.get(id)?;
+        if let Some(b) = map.get(&id) {
+            draw_widget(&mut canvas, w, b, scenes);
+        }
+    }
+    Ok(canvas.to_string_trimmed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Library;
+    use crate::scene::MapShape;
+    use geodb::geometry::Rect;
+
+    fn lib() -> Library {
+        Library::with_kernel()
+    }
+
+    #[test]
+    fn canvas_primitives() {
+        let mut c = Canvas::new(10, 4);
+        c.text(1, 1, "hi");
+        c.set(0, 0, '#');
+        c.set(-5, 99, 'X'); // out of bounds: ignored
+        let s = c.to_string_trimmed();
+        assert!(s.starts_with("#\n"));
+        assert!(s.contains(" hi"));
+        assert_eq!(c.get(1, 1), 'h');
+        assert_eq!(c.get(-1, 0), ' ');
+    }
+
+    #[test]
+    fn window_renders_border_and_title() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "schema_window").unwrap();
+        t.get_mut(t.root()).unwrap().set_prop("title", "Schema: phone_net");
+        let out = render(&t, &SceneMap::new()).unwrap();
+        assert!(out.contains("Schema: phone_net"));
+        assert!(out.contains("+--"));
+        assert!(out.lines().next().unwrap().starts_with("+-"));
+    }
+
+    #[test]
+    fn button_list_text_render() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let b = t.add(&lib, p, "Button", "ok").unwrap();
+        t.get_mut(b).unwrap().set_prop("label", "Show");
+        let l = t.add(&lib, p, "List", "classes").unwrap();
+        t.get_mut(l).unwrap().set_prop(
+            "items",
+            vec!["Pole".to_string(), "Duct".to_string()],
+        );
+        t.get_mut(l).unwrap().set_prop("selected", 0i64);
+        let txt = t.add(&lib, p, "Text", "region").unwrap();
+        t.get_mut(txt).unwrap().set_prop("label", "Region");
+        t.get_mut(txt).unwrap().set_prop("value", "Centro");
+
+        let out = render(&t, &SceneMap::new()).unwrap();
+        assert!(out.contains("[ Show ]"));
+        assert!(out.contains(">Pole"));
+        assert!(out.contains(" Duct"));
+        assert!(out.contains("Region: Centro"));
+    }
+
+    #[test]
+    fn slider_panel_renders_track_and_knob() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "pole_ctl").unwrap();
+        t.get_mut(p).unwrap().set_prop("style", "slider");
+        t.get_mut(p).unwrap().set_prop("width", 30i64);
+        t.get_mut(p).unwrap().set_prop("height", 3i64);
+        t.get_mut(p).unwrap().set_prop("slider_pos", 0i64);
+        let out = render(&t, &SceneMap::new()).unwrap();
+        assert!(out.contains("O=")); // knob at the left end of the track
+        assert!(out.contains("==="));
+    }
+
+    #[test]
+    fn drawing_area_projects_points() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let d = t.add(&lib, p, "DrawingArea", "map").unwrap();
+        let mut scenes = SceneMap::new();
+        let mut scene = MapScene::new();
+        scene.viewport = Some(Rect::new(0.0, 0.0, 10.0, 10.0));
+        scene.add(MapShape::new(Geometry::Point(Point::new(0.0, 0.0))).with_symbol('A'));
+        scene.add(MapShape::new(Geometry::Point(Point::new(10.0, 10.0))).with_symbol('B'));
+        scenes.insert(d, scene);
+        let out = render(&t, &scenes).unwrap();
+        assert!(out.contains('A'));
+        assert!(out.contains('B'));
+        // A is bottom-left of B on screen: A's row is below B's row.
+        let row_of = |c: char| out.lines().position(|l| l.contains(c)).unwrap();
+        assert!(row_of('A') > row_of('B'));
+    }
+
+    #[test]
+    fn selected_shape_renders_highlighted() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let d = t.add(&lib, p, "DrawingArea", "map").unwrap();
+        let mut scenes = SceneMap::new();
+        let mut scene = MapScene::new();
+        let mut shape = MapShape::new(Geometry::Point(Point::new(5.0, 5.0))).with_symbol('o');
+        shape.selected = true;
+        scene.add(shape);
+        scenes.insert(d, scene);
+        let out = render(&t, &scenes).unwrap();
+        assert!(out.contains('#'));
+        assert!(!out.contains('o'));
+    }
+
+    #[test]
+    fn polyline_draws_connected_cells() {
+        use geodb::geometry::Polyline;
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let d = t.add(&lib, p, "DrawingArea", "map").unwrap();
+        let mut scenes = SceneMap::new();
+        let mut scene = MapScene::new();
+        scene.viewport = Some(Rect::new(0.0, 0.0, 10.0, 10.0));
+        scene.add(
+            MapShape::new(Geometry::Polyline(
+                Polyline::new(vec![Point::new(0.0, 5.0), Point::new(10.0, 5.0)]).unwrap(),
+            ))
+            .with_symbol('~'),
+        );
+        scenes.insert(d, scene);
+        let out = render(&t, &scenes).unwrap();
+        let tildes = out.chars().filter(|&c| c == '~').count();
+        assert!(tildes >= 10, "line should span the area, got {tildes}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Headless renderers for the widget tree.
+
+pub mod ascii;
+pub mod svg;

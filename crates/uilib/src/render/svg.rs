@@ -1,0 +1,246 @@
+//! SVG renderer: the vector twin of the ASCII renderer, for inspecting
+//! generated windows in a browser (`examples/pole_manager.rs --svg`).
+
+use geodb::geometry::Geometry;
+
+use crate::layout::{layout, Bounds};
+use crate::scene::{MapScene, SceneMap};
+use crate::tree::{TreeError, WidgetTree};
+use crate::widget::{Prop, Widget, WidgetKind};
+
+/// Pixels per character cell.
+const CELL_W: i32 = 9;
+const CELL_H: i32 = 18;
+
+fn px(b: &Bounds) -> (i32, i32, i32, i32) {
+    (b.x * CELL_W, b.y * CELL_H, b.w * CELL_W, b.h * CELL_H)
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn rect_el(b: &Bounds, fill: &str, stroke: &str, out: &mut String) {
+    let (x, y, w, h) = px(b);
+    out.push_str(&format!(
+        "<rect x=\"{x}\" y=\"{y}\" width=\"{w}\" height=\"{h}\" fill=\"{fill}\" stroke=\"{stroke}\"/>\n"
+    ));
+}
+
+fn text_el(x: i32, y: i32, s: &str, out: &mut String) {
+    out.push_str(&format!(
+        "<text x=\"{x}\" y=\"{y}\" font-family=\"monospace\" font-size=\"13\">{}</text>\n",
+        esc(s)
+    ));
+}
+
+fn draw_scene(scene: &MapScene, area: &Bounds, out: &mut String) {
+    let (ax, ay, aw, ah) = px(&Bounds {
+        x: area.x + 1,
+        y: area.y + 1,
+        w: (area.w - 2).max(1),
+        h: (area.h - 2).max(1),
+    });
+    let world = scene.effective_viewport();
+    let to_px = |p: &geodb::geometry::Point| -> (f64, f64) {
+        let fx = (p.x - world.min.x) / world.width().max(f64::MIN_POSITIVE);
+        let fy = (p.y - world.min.y) / world.height().max(f64::MIN_POSITIVE);
+        (
+            ax as f64 + fx * aw as f64,
+            ay as f64 + (1.0 - fy) * ah as f64,
+        )
+    };
+    for shape in &scene.shapes {
+        let color = if shape.selected { "#d62728" } else { "#1f77b4" };
+        match &shape.geometry {
+            Geometry::Point(p) => {
+                let (x, y) = to_px(p);
+                out.push_str(&format!(
+                    "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"3\" fill=\"{color}\"/>\n"
+                ));
+                if !shape.label.is_empty() {
+                    text_el(x as i32 + 5, y as i32 + 4, &shape.label, out);
+                }
+            }
+            Geometry::Polyline(l) => {
+                let pts: Vec<String> = l
+                    .points()
+                    .iter()
+                    .map(|p| {
+                        let (x, y) = to_px(p);
+                        format!("{x:.1},{y:.1}")
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
+                    pts.join(" ")
+                ));
+            }
+            Geometry::Polygon(poly) => {
+                let pts: Vec<String> = poly
+                    .ring()
+                    .iter()
+                    .map(|p| {
+                        let (x, y) = to_px(p);
+                        format!("{x:.1},{y:.1}")
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "<polygon points=\"{}\" fill=\"{color}\" fill-opacity=\"0.15\" stroke=\"{color}\"/>\n",
+                    pts.join(" ")
+                ));
+            }
+        }
+    }
+}
+
+fn draw_widget(w: &Widget, b: &Bounds, scenes: &SceneMap, out: &mut String) {
+    let (x, y, wpx, _) = px(b);
+    match w.kind {
+        WidgetKind::Window => {
+            rect_el(b, "#fafafa", "#333", out);
+            let title = if w.text("title").is_empty() {
+                w.name.as_str()
+            } else {
+                w.text("title")
+            };
+            text_el(x + 8, y + 14, title, out);
+        }
+        WidgetKind::Panel => {
+            rect_el(b, "none", "#999", out);
+            if !w.text("title").is_empty() {
+                text_el(x + 8, y + 12, w.text("title"), out);
+            }
+            if w.text("style") == "slider" {
+                let (sx, sy, sw, sh) = px(b);
+                let cy = sy + sh / 2;
+                out.push_str(&format!(
+                    "<line x1=\"{}\" y1=\"{cy}\" x2=\"{}\" y2=\"{cy}\" stroke=\"#666\" stroke-width=\"3\"/>\n",
+                    sx + 8,
+                    sx + sw - 8
+                ));
+                let pos = w.prop("slider_pos").and_then(Prop::as_int).unwrap_or(50) as f64 / 100.0;
+                let kx = sx as f64 + 8.0 + pos * (sw - 16) as f64;
+                out.push_str(&format!(
+                    "<circle cx=\"{kx:.0}\" cy=\"{cy}\" r=\"5\" fill=\"#1f77b4\"/>\n"
+                ));
+            }
+        }
+        WidgetKind::Button => {
+            rect_el(b, "#e8e8e8", "#555", out);
+            text_el(x + 8, y + (b.h * CELL_H) / 2 + 5, w.text("label"), out);
+        }
+        WidgetKind::Text => {
+            let s = format!("{}: {}", w.text("label"), w.text("value"));
+            text_el(x + 4, y + (b.h * CELL_H) / 2 + 5, &s, out);
+        }
+        WidgetKind::List => {
+            rect_el(b, "#ffffff", "#777", out);
+            if !w.text("title").is_empty() {
+                text_el(x + 8, y + 12, w.text("title"), out);
+            }
+            let selected = w.prop("selected").and_then(Prop::as_int).unwrap_or(-1);
+            if let Some(items) = w.prop("items").and_then(Prop::as_items) {
+                for (i, item) in items.iter().enumerate() {
+                    let iy = y + CELL_H * (1 + i as i32) + 12;
+                    if i as i64 == selected {
+                        out.push_str(&format!(
+                            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{CELL_H}\" fill=\"#cce5ff\"/>\n",
+                            x + 2,
+                            iy - 13,
+                            wpx - 4
+                        ));
+                    }
+                    text_el(x + 8, iy, item, out);
+                }
+            }
+        }
+        WidgetKind::Menu => {
+            rect_el(b, "#f0f0f0", "#888", out);
+        }
+        WidgetKind::MenuItem => {
+            text_el(x + 2, y + 13, w.text("label"), out);
+        }
+        WidgetKind::DrawingArea => {
+            rect_el(b, "#ffffff", "#333", out);
+            if let Some(scene) = scenes.get(&w.id) {
+                draw_scene(scene, b, out);
+            }
+        }
+    }
+}
+
+/// Render a tree (plus scenes) to an SVG document.
+pub fn render(tree: &WidgetTree, scenes: &SceneMap) -> Result<String, TreeError> {
+    let map = layout(tree)?;
+    let root = map[&tree.root()];
+    let (_, _, w, h) = px(&root);
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n"
+    );
+    for id in tree.walk() {
+        let widget = tree.get(id)?;
+        if let Some(b) = map.get(&id) {
+            draw_widget(widget, b, scenes, &mut out);
+        }
+    }
+    out.push_str("</svg>\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Library;
+    use crate::scene::MapShape;
+    use geodb::geometry::Point;
+
+    #[test]
+    fn produces_valid_looking_svg() {
+        let lib = Library::with_kernel();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        t.get_mut(t.root()).unwrap().set_prop("title", "Map & Tools");
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let b = t.add(&lib, p, "Button", "ok").unwrap();
+        t.get_mut(b).unwrap().set_prop("label", "OK");
+        let out = render(&t, &SceneMap::new()).unwrap();
+        assert!(out.starts_with("<svg"));
+        assert!(out.ends_with("</svg>\n"));
+        assert!(out.contains("<rect"));
+        // Title is XML-escaped.
+        assert!(out.contains("Map &amp; Tools"));
+    }
+
+    #[test]
+    fn scene_shapes_appear() {
+        let lib = Library::with_kernel();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let d = t.add(&lib, p, "DrawingArea", "map").unwrap();
+        let mut scenes = SceneMap::new();
+        let mut scene = MapScene::new();
+        scene.add(
+            MapShape::new(Geometry::Point(Point::new(1.0, 1.0))).with_label("P-1"),
+        );
+        scenes.insert(d, scene);
+        let out = render(&t, &scenes).unwrap();
+        assert!(out.contains("<circle"));
+        assert!(out.contains("P-1"));
+    }
+
+    #[test]
+    fn selected_shapes_change_color() {
+        let lib = Library::with_kernel();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        let d = t.add(&lib, p, "DrawingArea", "map").unwrap();
+        let mut scenes = SceneMap::new();
+        let mut scene = MapScene::new();
+        let mut shape = MapShape::new(Geometry::Point(Point::new(1.0, 1.0)));
+        shape.selected = true;
+        scene.add(shape);
+        scenes.insert(d, scene);
+        let out = render(&t, &scenes).unwrap();
+        assert!(out.contains("#d62728"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Map scenes: the cartographic content of DrawingArea widgets.
+//!
+//! A scene is a set of labelled shapes in world coordinates plus a
+//! viewport; renderers project it into the drawing area's cells (ASCII)
+//! or coordinates (SVG).
+
+use std::collections::HashMap;
+
+use geodb::geometry::{Geometry, Rect};
+use geodb::instance::Oid;
+
+use crate::widget::WidgetId;
+
+/// One displayed feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapShape {
+    /// Backing database object, when the shape is selectable.
+    pub oid: Option<Oid>,
+    pub geometry: Geometry,
+    pub label: String,
+    /// Symbol used by point presentation formats ('•', 'P', …).
+    pub symbol: char,
+    pub selected: bool,
+}
+
+impl MapShape {
+    pub fn new(geometry: Geometry) -> MapShape {
+        MapShape {
+            oid: None,
+            geometry,
+            label: String::new(),
+            symbol: '*',
+            selected: false,
+        }
+    }
+
+    pub fn with_oid(mut self, oid: Oid) -> Self {
+        self.oid = Some(oid);
+        self
+    }
+
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    pub fn with_symbol(mut self, symbol: char) -> Self {
+        self.symbol = symbol;
+        self
+    }
+}
+
+/// The content of one DrawingArea.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MapScene {
+    pub shapes: Vec<MapShape>,
+    /// World-coordinate window shown by the area; `None` = fit contents.
+    pub viewport: Option<Rect>,
+}
+
+impl MapScene {
+    pub fn new() -> MapScene {
+        MapScene::default()
+    }
+
+    pub fn add(&mut self, shape: MapShape) {
+        self.shapes.push(shape);
+    }
+
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// The effective viewport: explicit, else the bbox of the contents
+    /// (slightly inflated so edge shapes stay visible), else a unit box.
+    pub fn effective_viewport(&self) -> Rect {
+        if let Some(v) = self.viewport {
+            return v;
+        }
+        let bbox = self
+            .shapes
+            .iter()
+            .fold(Rect::empty(), |acc, s| acc.union(&s.geometry.bbox()));
+        if bbox.is_empty() {
+            Rect::new(0.0, 0.0, 1.0, 1.0)
+        } else {
+            // Degenerate (single point) boxes still need extent.
+            let pad = (bbox.width().max(bbox.height()) * 0.05).max(1.0);
+            bbox.inflate(pad)
+        }
+    }
+
+    /// Shape nearest to a world point within `max_dist` — hit-testing for
+    /// the "user selects an instance in the graphical area" interaction.
+    pub fn hit_test(&self, p: &geodb::geometry::Point, max_dist: f64) -> Option<&MapShape> {
+        self.shapes
+            .iter()
+            .map(|s| (s.geometry.distance_to_point(p), s))
+            .filter(|(d, _)| *d <= max_dist)
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, s)| s)
+    }
+}
+
+/// Scenes attached to DrawingArea widgets of one tree.
+pub type SceneMap = HashMap<WidgetId, MapScene>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geodb::geometry::{Point, Polyline};
+
+    fn pt(x: f64, y: f64) -> Geometry {
+        Geometry::Point(Point::new(x, y))
+    }
+
+    #[test]
+    fn viewport_fits_contents() {
+        let mut scene = MapScene::new();
+        scene.add(MapShape::new(pt(0.0, 0.0)));
+        scene.add(MapShape::new(pt(100.0, 50.0)));
+        let v = scene.effective_viewport();
+        assert!(v.contains_point(&Point::new(0.0, 0.0)));
+        assert!(v.contains_point(&Point::new(100.0, 50.0)));
+    }
+
+    #[test]
+    fn explicit_viewport_wins() {
+        let mut scene = MapScene::new();
+        scene.add(MapShape::new(pt(1000.0, 1000.0)));
+        scene.viewport = Some(Rect::new(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(scene.effective_viewport(), Rect::new(0.0, 0.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn empty_scene_has_unit_viewport() {
+        assert_eq!(
+            MapScene::new().effective_viewport(),
+            Rect::new(0.0, 0.0, 1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn single_point_viewport_is_not_degenerate() {
+        let mut scene = MapScene::new();
+        scene.add(MapShape::new(pt(5.0, 5.0)));
+        let v = scene.effective_viewport();
+        assert!(v.width() > 0.0 && v.height() > 0.0);
+    }
+
+    #[test]
+    fn hit_test_picks_nearest_within_radius() {
+        let mut scene = MapScene::new();
+        scene.add(MapShape::new(pt(0.0, 0.0)).with_oid(Oid(1)));
+        scene.add(MapShape::new(pt(10.0, 0.0)).with_oid(Oid(2)));
+        let hit = scene.hit_test(&Point::new(9.0, 0.5), 2.0).unwrap();
+        assert_eq!(hit.oid, Some(Oid(2)));
+        assert!(scene.hit_test(&Point::new(5.0, 50.0), 2.0).is_none());
+    }
+
+    #[test]
+    fn hit_test_works_on_lines() {
+        let mut scene = MapScene::new();
+        let line = Geometry::Polyline(
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]).unwrap(),
+        );
+        scene.add(MapShape::new(line).with_oid(Oid(7)));
+        let hit = scene.hit_test(&Point::new(5.0, 0.4), 1.0).unwrap();
+        assert_eq!(hit.oid, Some(Oid(7)));
+    }
+}

@@ -1,0 +1,372 @@
+//! The widget composition tree.
+//!
+//! An arena of [`Widget`] nodes rooted at a Window, enforcing the
+//! composition rules of Fig. 2. Paths like `class_window/control/show`
+//! address widgets by their names along the tree.
+
+use std::collections::HashMap;
+
+use crate::registry::{Library, LibraryError};
+use crate::widget::{Widget, WidgetId, WidgetKind};
+
+/// Errors from tree manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    UnknownWidget(WidgetId),
+    UnknownPath(String),
+    /// Composition rule violation (e.g. Button under Window).
+    BadComposition {
+        parent: WidgetKind,
+        child: WidgetKind,
+    },
+    /// The root must be a Window.
+    BadRoot(WidgetKind),
+    /// Sibling names must be unique for paths to be unambiguous.
+    DuplicateName { parent: WidgetId, name: String },
+    Library(LibraryError),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::UnknownWidget(id) => write!(f, "unknown widget {id}"),
+            TreeError::UnknownPath(p) => write!(f, "unknown widget path `{p}`"),
+            TreeError::BadComposition { parent, child } => {
+                write!(f, "a {parent} cannot contain a {child}")
+            }
+            TreeError::BadRoot(k) => write!(f, "tree root must be a Window, got {k}"),
+            TreeError::DuplicateName { parent, name } => {
+                write!(f, "widget {parent} already has a child named `{name}`")
+            }
+            TreeError::Library(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl From<LibraryError> for TreeError {
+    fn from(e: LibraryError) -> TreeError {
+        TreeError::Library(e)
+    }
+}
+
+/// A tree of widgets rooted at a Window.
+#[derive(Debug, Clone)]
+pub struct WidgetTree {
+    nodes: HashMap<WidgetId, Widget>,
+    parent: HashMap<WidgetId, WidgetId>,
+    root: WidgetId,
+    next_id: u32,
+}
+
+impl WidgetTree {
+    /// Create a tree whose root is an instance of `window_class`.
+    pub fn new(
+        library: &Library,
+        window_class: &str,
+        name: impl Into<String>,
+    ) -> Result<WidgetTree, TreeError> {
+        let root_id = WidgetId(0);
+        let root = library.instantiate(window_class, root_id, name)?;
+        if root.kind != WidgetKind::Window {
+            return Err(TreeError::BadRoot(root.kind));
+        }
+        let mut nodes = HashMap::new();
+        nodes.insert(root_id, root);
+        Ok(WidgetTree {
+            nodes,
+            parent: HashMap::new(),
+            root: root_id,
+            next_id: 1,
+        })
+    }
+
+    pub fn root(&self) -> WidgetId {
+        self.root
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn get(&self, id: WidgetId) -> Result<&Widget, TreeError> {
+        self.nodes.get(&id).ok_or(TreeError::UnknownWidget(id))
+    }
+
+    pub fn get_mut(&mut self, id: WidgetId) -> Result<&mut Widget, TreeError> {
+        self.nodes.get_mut(&id).ok_or(TreeError::UnknownWidget(id))
+    }
+
+    pub fn parent_of(&self, id: WidgetId) -> Option<WidgetId> {
+        self.parent.get(&id).copied()
+    }
+
+    /// Instantiate `class` from the library and attach it under `parent`.
+    pub fn add(
+        &mut self,
+        library: &Library,
+        parent: WidgetId,
+        class: &str,
+        name: impl Into<String>,
+    ) -> Result<WidgetId, TreeError> {
+        let name = name.into();
+        let id = WidgetId(self.next_id);
+        let child = library.instantiate(class, id, name.clone())?;
+        let parent_widget = self.get(parent)?;
+        if !parent_widget.kind.accepts_child(child.kind) {
+            return Err(TreeError::BadComposition {
+                parent: parent_widget.kind,
+                child: child.kind,
+            });
+        }
+        if parent_widget
+            .children
+            .iter()
+            .any(|&c| self.nodes[&c].name == name)
+        {
+            return Err(TreeError::DuplicateName { parent, name });
+        }
+        self.next_id += 1;
+        self.nodes.insert(id, child);
+        self.nodes
+            .get_mut(&parent)
+            .expect("parent checked")
+            .children
+            .push(id);
+        self.parent.insert(id, parent);
+        Ok(id)
+    }
+
+    /// Remove a widget and its whole subtree; returns removed count.
+    ///
+    /// "they can be inserted, updated and removed dynamically."
+    pub fn remove(&mut self, id: WidgetId) -> Result<usize, TreeError> {
+        if id == self.root {
+            return Err(TreeError::BadRoot(WidgetKind::Window));
+        }
+        self.get(id)?;
+        // Detach from parent.
+        if let Some(p) = self.parent.remove(&id) {
+            if let Some(pw) = self.nodes.get_mut(&p) {
+                pw.children.retain(|&c| c != id);
+            }
+        }
+        // Collect the subtree.
+        let mut stack = vec![id];
+        let mut removed = 0;
+        while let Some(cur) = stack.pop() {
+            if let Some(w) = self.nodes.remove(&cur) {
+                removed += 1;
+                stack.extend(w.children);
+                self.parent.remove(&cur);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Slash-separated path from the root, e.g.
+    /// `class_window/control/show` (root's own name is excluded).
+    pub fn path_of(&self, id: WidgetId) -> Result<String, TreeError> {
+        self.get(id)?;
+        let mut parts = Vec::new();
+        let mut cur = id;
+        while cur != self.root {
+            parts.push(self.nodes[&cur].name.clone());
+            cur = *self
+                .parent
+                .get(&cur)
+                .ok_or(TreeError::UnknownWidget(cur))?;
+        }
+        parts.push(self.nodes[&self.root].name.clone());
+        parts.reverse();
+        Ok(parts.join("/"))
+    }
+
+    /// Resolve a path produced by [`Self::path_of`].
+    pub fn find(&self, path: &str) -> Result<WidgetId, TreeError> {
+        let mut parts = path.split('/');
+        let root_name = parts
+            .next()
+            .ok_or_else(|| TreeError::UnknownPath(path.to_string()))?;
+        if self.nodes[&self.root].name != root_name {
+            return Err(TreeError::UnknownPath(path.to_string()));
+        }
+        let mut cur = self.root;
+        for part in parts {
+            let next = self.nodes[&cur]
+                .children
+                .iter()
+                .copied()
+                .find(|c| self.nodes[c].name == part)
+                .ok_or_else(|| TreeError::UnknownPath(path.to_string()))?;
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Depth-first pre-order traversal.
+    pub fn walk(&self) -> Vec<WidgetId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // Push in reverse so children visit in declaration order.
+            for &c in self.nodes[&id].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All widgets of a kernel kind, in traversal order.
+    pub fn of_kind(&self, kind: WidgetKind) -> Vec<WidgetId> {
+        self.walk()
+            .into_iter()
+            .filter(|id| self.nodes[id].kind == kind)
+            .collect()
+    }
+
+    /// Indented structural dump (used in tests and the quickstart demo).
+    pub fn outline(&self) -> String {
+        fn rec(tree: &WidgetTree, id: WidgetId, depth: usize, out: &mut String) {
+            let w = &tree.nodes[&id];
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{} [{}] \"{}\"\n", w.kind, w.class, w.name));
+            for &c in &w.children {
+                rec(tree, c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        rec(self, self.root, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> Library {
+        Library::with_kernel()
+    }
+
+    fn sample_tree() -> (Library, WidgetTree) {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "class_window").unwrap();
+        let control = t.add(&lib, t.root(), "Panel", "control").unwrap();
+        let display = t.add(&lib, t.root(), "Panel", "display").unwrap();
+        t.add(&lib, control, "Button", "show").unwrap();
+        t.add(&lib, control, "Button", "close").unwrap();
+        t.add(&lib, display, "DrawingArea", "map").unwrap();
+        (lib, t)
+    }
+
+    #[test]
+    fn root_must_be_window() {
+        let lib = lib();
+        assert!(matches!(
+            WidgetTree::new(&lib, "Button", "x"),
+            Err(TreeError::BadRoot(WidgetKind::Button))
+        ));
+    }
+
+    #[test]
+    fn composition_rules_enforced() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        // Button directly under Window violates Fig. 2.
+        assert!(matches!(
+            t.add(&lib, t.root(), "Button", "b"),
+            Err(TreeError::BadComposition { .. })
+        ));
+        let menu = t.add(&lib, t.root(), "Menu", "menu").unwrap();
+        t.add(&lib, menu, "MenuItem", "open").unwrap();
+        assert!(t.add(&lib, menu, "Button", "b").is_err());
+    }
+
+    #[test]
+    fn sibling_names_must_be_unique() {
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
+        t.add(&lib, p, "Button", "b").unwrap();
+        assert!(matches!(
+            t.add(&lib, p, "Button", "b"),
+            Err(TreeError::DuplicateName { .. })
+        ));
+        // Same name under a different parent is fine.
+        let p2 = t.add(&lib, t.root(), "Panel", "p2").unwrap();
+        t.add(&lib, p2, "Button", "b").unwrap();
+    }
+
+    #[test]
+    fn paths_round_trip() {
+        let (_, t) = sample_tree();
+        for id in t.walk() {
+            let path = t.path_of(id).unwrap();
+            assert_eq!(t.find(&path).unwrap(), id, "path `{path}`");
+        }
+        assert!(t.find("class_window/control/missing").is_err());
+        assert!(t.find("wrong_root").is_err());
+    }
+
+    #[test]
+    fn walk_is_preorder_in_declaration_order() {
+        let (_, t) = sample_tree();
+        let names: Vec<String> = t
+            .walk()
+            .iter()
+            .map(|&id| t.get(id).unwrap().name.clone())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["class_window", "control", "show", "close", "display", "map"]
+        );
+    }
+
+    #[test]
+    fn remove_subtree() {
+        let (_, mut t) = sample_tree();
+        let control = t.find("class_window/control").unwrap();
+        let removed = t.remove(control).unwrap();
+        assert_eq!(removed, 3); // panel + two buttons
+        assert_eq!(t.len(), 3);
+        assert!(t.find("class_window/control/show").is_err());
+        // Root cannot be removed.
+        assert!(t.remove(t.root()).is_err());
+        // Removing twice fails.
+        assert!(t.remove(control).is_err());
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let (_, t) = sample_tree();
+        assert_eq!(t.of_kind(WidgetKind::Button).len(), 2);
+        assert_eq!(t.of_kind(WidgetKind::DrawingArea).len(), 1);
+        assert_eq!(t.of_kind(WidgetKind::Menu).len(), 0);
+    }
+
+    #[test]
+    fn nested_panels_compose() {
+        // "The recursive relationship allows the specification of complex
+        // control panels using other panels" — the map-selection panel
+        // example from Section 3.2.
+        let lib = lib();
+        let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
+        let outer = t.add(&lib, t.root(), "Panel", "map_selection").unwrap();
+        let lists = t.add(&lib, outer, "Panel", "lists").unwrap();
+        t.add(&lib, lists, "List", "maps").unwrap();
+        t.add(&lib, lists, "Text", "region_name").unwrap();
+        let ops = t.add(&lib, outer, "Panel", "ops").unwrap();
+        t.add(&lib, ops, "Button", "load").unwrap();
+        assert_eq!(t.len(), 7);
+        let outline = t.outline();
+        assert!(outline.contains("Panel [Panel] \"map_selection\""));
+        assert!(outline.contains("    List [List] \"maps\""));
+    }
+}

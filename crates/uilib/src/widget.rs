@@ -1,0 +1,266 @@
+//! Widget nodes and the kernel kinds of paper Fig. 2.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a widget within one [`crate::tree::WidgetTree`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct WidgetId(pub u32);
+
+impl std::fmt::Display for WidgetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// The eight kernel classes of interface objects (paper Fig. 2):
+/// "Window … Panel … Text, Drawing Area, List, Button, Menu, Menu Item."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WidgetKind {
+    /// Root of every interface: "every visual interface uses some kind of
+    /// window to interact with the user".
+    Window,
+    /// Groups "functionally related interface components"; recursive.
+    Panel,
+    /// Text field.
+    Text,
+    /// Cartographic display area.
+    DrawingArea,
+    /// Selection list.
+    List,
+    /// Push button.
+    Button,
+    /// Menu bar / popup menu.
+    Menu,
+    /// Entry within a menu.
+    MenuItem,
+}
+
+impl WidgetKind {
+    pub const ALL: [WidgetKind; 8] = [
+        WidgetKind::Window,
+        WidgetKind::Panel,
+        WidgetKind::Text,
+        WidgetKind::DrawingArea,
+        WidgetKind::List,
+        WidgetKind::Button,
+        WidgetKind::Menu,
+        WidgetKind::MenuItem,
+    ];
+
+    /// May a child of kind `child` be composed under `self`?
+    ///
+    /// Encodes the aggregation arrows of Fig. 2: a Window aggregates
+    /// Panels; Panels aggregate every basic class *and other Panels*
+    /// (the recursive relationship); Menus aggregate MenuItems.
+    pub fn accepts_child(&self, child: WidgetKind) -> bool {
+        match self {
+            WidgetKind::Window => matches!(child, WidgetKind::Panel | WidgetKind::Menu),
+            WidgetKind::Panel => !matches!(child, WidgetKind::Window | WidgetKind::MenuItem),
+            WidgetKind::Menu => matches!(child, WidgetKind::MenuItem),
+            _ => false,
+        }
+    }
+
+    /// Kernel class name as the library registers it.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            WidgetKind::Window => "Window",
+            WidgetKind::Panel => "Panel",
+            WidgetKind::Text => "Text",
+            WidgetKind::DrawingArea => "DrawingArea",
+            WidgetKind::List => "List",
+            WidgetKind::Button => "Button",
+            WidgetKind::Menu => "Menu",
+            WidgetKind::MenuItem => "MenuItem",
+        }
+    }
+}
+
+impl std::fmt::Display for WidgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.class_name())
+    }
+}
+
+/// A widget property value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Prop {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    /// Items of a List widget.
+    Items(Vec<String>),
+}
+
+impl Prop {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Prop::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Prop::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Prop::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_items(&self) -> Option<&[String]> {
+        match self {
+            Prop::Items(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Prop {
+    fn from(s: &str) -> Prop {
+        Prop::Str(s.to_string())
+    }
+}
+impl From<String> for Prop {
+    fn from(s: String) -> Prop {
+        Prop::Str(s)
+    }
+}
+impl From<i64> for Prop {
+    fn from(i: i64) -> Prop {
+        Prop::Int(i)
+    }
+}
+impl From<f64> for Prop {
+    fn from(x: f64) -> Prop {
+        Prop::Float(x)
+    }
+}
+impl From<bool> for Prop {
+    fn from(b: bool) -> Prop {
+        Prop::Bool(b)
+    }
+}
+impl From<Vec<String>> for Prop {
+    fn from(v: Vec<String>) -> Prop {
+        Prop::Items(v)
+    }
+}
+
+/// A widget instance: one node of the composition tree.
+///
+/// `class` names the library class it was instantiated from (kernel or
+/// user-defined specialization); `kind` is the kernel kind it bottoms out
+/// in. Event bindings map gesture names ("click", "select") to callback
+/// names resolved by the [`crate::callback::CallbackTable`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Widget {
+    pub id: WidgetId,
+    /// Stable name within its parent (used in paths).
+    pub name: String,
+    pub class: String,
+    pub kind: WidgetKind,
+    pub props: BTreeMap<String, Prop>,
+    pub callbacks: BTreeMap<String, String>,
+    pub children: Vec<WidgetId>,
+}
+
+impl Widget {
+    pub fn prop(&self, key: &str) -> Option<&Prop> {
+        self.props.get(key)
+    }
+
+    /// String property, with "" default.
+    pub fn text(&self, key: &str) -> &str {
+        self.props.get(key).and_then(Prop::as_str).unwrap_or("")
+    }
+
+    pub fn set_prop(&mut self, key: impl Into<String>, value: impl Into<Prop>) {
+        self.props.insert(key.into(), value.into());
+    }
+
+    /// Bind a gesture to a named callback.
+    pub fn on(&mut self, gesture: impl Into<String>, callback: impl Into<String>) {
+        self.callbacks.insert(gesture.into(), callback.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_rules_match_fig2() {
+        use WidgetKind::*;
+        assert!(Window.accepts_child(Panel));
+        assert!(Window.accepts_child(Menu));
+        assert!(!Window.accepts_child(Button)); // buttons live in panels
+        assert!(Panel.accepts_child(Panel)); // the recursive relationship
+        assert!(Panel.accepts_child(Button));
+        assert!(Panel.accepts_child(DrawingArea));
+        assert!(!Panel.accepts_child(Window));
+        assert!(!Panel.accepts_child(MenuItem));
+        assert!(Menu.accepts_child(MenuItem));
+        assert!(!Menu.accepts_child(Button));
+        assert!(!Button.accepts_child(Text)); // leaves accept nothing
+    }
+
+    #[test]
+    fn kernel_has_eight_classes() {
+        assert_eq!(WidgetKind::ALL.len(), 8);
+        let names: Vec<&str> = WidgetKind::ALL.iter().map(|k| k.class_name()).collect();
+        assert_eq!(
+            names,
+            vec!["Window", "Panel", "Text", "DrawingArea", "List", "Button", "Menu", "MenuItem"]
+        );
+    }
+
+    #[test]
+    fn prop_conversions_and_accessors() {
+        let mut w = Widget {
+            id: WidgetId(1),
+            name: "b".into(),
+            class: "Button".into(),
+            kind: WidgetKind::Button,
+            props: BTreeMap::new(),
+            callbacks: BTreeMap::new(),
+            children: vec![],
+        };
+        w.set_prop("label", "OK");
+        w.set_prop("width", 12i64);
+        w.set_prop("enabled", true);
+        w.set_prop("items", vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(w.text("label"), "OK");
+        assert_eq!(w.prop("width").unwrap().as_int(), Some(12));
+        assert_eq!(w.prop("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(w.prop("items").unwrap().as_items().unwrap().len(), 2);
+        assert_eq!(w.text("missing"), "");
+        assert_eq!(w.prop("label").unwrap().as_int(), None);
+    }
+
+    #[test]
+    fn callback_binding() {
+        let mut w = Widget {
+            id: WidgetId(1),
+            name: "b".into(),
+            class: "Button".into(),
+            kind: WidgetKind::Button,
+            props: BTreeMap::new(),
+            callbacks: BTreeMap::new(),
+            children: vec![],
+        };
+        w.on("click", "open_schema");
+        assert_eq!(w.callbacks.get("click").map(String::as_str), Some("open_schema"));
+    }
+}

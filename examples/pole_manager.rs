@@ -1,0 +1,117 @@
+//! The paper's Section 4 walkthrough, end to end.
+//!
+//! Reproduces every artifact of the worked example:
+//!
+//! * Fig. 5 — the `Pole` class schema (printed from the catalog);
+//! * Fig. 6 — the verbatim customization program and the rules it
+//!   compiles to (R1, R2, R3);
+//! * Fig. 4 — the default Schema / Class-set / Instance windows;
+//! * Fig. 7 — the customized Class-set and Instance windows for the
+//!   context `<user juliano, application pole_manager>`.
+//!
+//! Run with:
+//!   cargo run --example pole_manager             # full walkthrough
+//!   cargo run --example pole_manager -- --rules  # just the rules
+//!   cargo run --example pole_manager -- --svg DIR  # also write SVGs
+
+use activegis::{ActiveGis, Oid, TelecomConfig, FIG6_PROGRAM};
+
+fn print_fig5(gis: &mut ActiveGis) {
+    println!("--- Fig. 5: database schema for class Pole ---\n");
+    let catalog = gis.dispatcher().db().catalog();
+    let pole = catalog.class("phone_net", "Pole").expect("Pole exists");
+    println!("Class Pole {{");
+    for attr in &pole.attrs {
+        println!("  {}: {};", attr.name, attr.ty.name());
+    }
+    for m in &pole.methods {
+        let params: Vec<String> = m.params.iter().map(|p| p.name()).collect();
+        println!("  Methods: {}({});", m.name, params.join(", "));
+    }
+    println!("}}\n");
+}
+
+fn print_fig6_rules(gis: &mut ActiveGis) {
+    println!("--- Fig. 6: customization program ---\n{FIG6_PROGRAM}");
+    gis.customize(FIG6_PROGRAM, "fig6").expect("program installs");
+    println!("--- generated customization rules ---\n");
+    let engine = gis.dispatcher().engine();
+    for rule in engine.rules() {
+        println!(
+            "Rule {}\n  On {}\n  If {}\n  Then apply {} customization\n",
+            rule.name,
+            rule.event,
+            rule.context,
+            match &rule.action {
+                active::Action::Customize(c) => c.window_kind(),
+                _ => "other",
+            }
+        );
+    }
+}
+
+fn first_pole(gis: &mut ActiveGis) -> Oid {
+    let poles = gis
+        .dispatcher()
+        .db()
+        .get_class("phone_net", "Pole", false)
+        .expect("poles exist");
+    gis.dispatcher().db().drain_events();
+    poles[0].oid
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut gis =
+        ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo database builds");
+
+    if args.first().map(String::as_str) == Some("--rules") {
+        print_fig6_rules(&mut gis);
+        return;
+    }
+
+    print_fig5(&mut gis);
+
+    // --- Fig. 4: the default interface windows ---------------------------
+    println!("--- Fig. 4: default interface windows ---\n");
+    let guest = gis.login("maria", "operator", "network_browse");
+    let schema_win = gis.browse_schema(guest, "phone_net").expect("browses")[0];
+    println!("{}", gis.render(schema_win).unwrap());
+    let class_win = gis
+        .browse_class(guest, "phone_net", "Pole")
+        .expect("class browses");
+    println!("{}", gis.render(class_win).unwrap());
+    let pole = first_pole(&mut gis);
+    let inst_win = gis.inspect(guest, pole).expect("instance opens");
+    println!("{}", gis.render(inst_win).unwrap());
+
+    // --- Fig. 6: install the customization --------------------------------
+    print_fig6_rules(&mut gis);
+
+    // --- Fig. 7: the customized windows -----------------------------------
+    println!("--- Fig. 7: customized interface windows (user juliano) ---\n");
+    let juliano = gis.login("juliano", "planner", "pole_manager");
+    let opened = gis.browse_schema(juliano, "phone_net").expect("browses");
+    // opened[0] is the hidden Schema window; opened[1] the Pole window.
+    println!("(Schema window hidden by `display as Null`)\n");
+    println!("{}", gis.render(opened[1]).unwrap());
+    let inst_win = gis.inspect(juliano, pole).expect("instance opens");
+    println!("{}", gis.render(inst_win).unwrap());
+
+    // --- optional SVG output ----------------------------------------------
+    if args.first().map(String::as_str) == Some("--svg") {
+        let dir = args.get(1).cloned().unwrap_or_else(|| "target/svg".into());
+        std::fs::create_dir_all(&dir).expect("svg dir");
+        for (name, win) in [
+            ("fig4_schema", schema_win),
+            ("fig4_class", class_win),
+            ("fig7_class", opened[1]),
+            ("fig7_instance", inst_win),
+        ] {
+            let svg = gis.render_svg(win).unwrap();
+            let path = format!("{dir}/{name}.svg");
+            std::fs::write(&path, svg).expect("svg writes");
+            println!("wrote {path}");
+        }
+    }
+}

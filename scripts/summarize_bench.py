@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Summarize a `cargo bench --workspace` log into a markdown table.
+
+Usage: python3 scripts/summarize_bench.py bench_output.txt
+Parses Criterion "time:" lines (median of the triple) plus the bracketed
+series the benches eprintln ([c1]..[c4]); prints markdown to stdout.
+"""
+import re
+import sys
+
+
+def main(path: str) -> None:
+    lines = open(path, encoding="utf-8").read().splitlines()
+    rows = []
+    pending = None
+    time_re = re.compile(
+        r"time:\s+\[\S+ \S+ (?P<med>\S+) (?P<unit>\S+) \S+ \S+\]"
+    )
+    for line in lines:
+        m = time_re.search(line)
+        if m:
+            name = line.split("time:")[0].strip() or pending or "?"
+            rows.append((name, f"{m.group('med')} {m.group('unit')}"))
+            pending = None
+        elif line and not line.startswith(" ") and "time:" not in line:
+            # Bench id on its own line (long names wrap).
+            if re.match(r"^[A-Za-z0-9_/.:\- ]+$", line) and "/" in line:
+                pending = line.strip()
+
+    print("| benchmark | median |")
+    print("|---|---|")
+    for name, med in rows:
+        print(f"| `{name}` | {med} |")
+
+    print()
+    for line in lines:
+        if line.startswith("[c"):
+            print(f"> {line}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")

@@ -1,0 +1,308 @@
+//! Full-loop integration tests: the Fig. 1 event flow, multi-session
+//! behaviour, the weak-integration protocol, and failure injection.
+
+use activegis::{
+    ActiveGis, CmpOp, InteractionMode, Predicate, Request, Response, TelecomConfig, Value,
+    FIG6_PROGRAM,
+};
+
+fn demo() -> ActiveGis {
+    ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap()
+}
+
+/// The complete Fig. 1 loop driven through gestures only: click in the
+/// schema list → class window; click on the map → instance window.
+#[test]
+fn gesture_driven_three_level_browse() {
+    let mut gis = demo();
+    let sid = gis.login("maria", "operator", "browse");
+    let schema_win = gis.browse_schema(sid, "phone_net").unwrap()[0];
+
+    let d = gis.dispatcher();
+    let opened = d
+        .handle_gesture(
+            sid,
+            schema_win,
+            "schema_window/body/classes",
+            "select",
+            Some("Duct".into()),
+        )
+        .unwrap();
+    assert_eq!(opened.len(), 1);
+    let class_win = opened[0];
+    assert!(d.render(class_win).unwrap().contains("Class: Duct"));
+
+    // Ducts draw as line strokes by default.
+    assert!(d.render(class_win).unwrap().contains('-'));
+
+    // Pick the first duct by oid via the map gesture.
+    let ducts = d.db().get_class("phone_net", "Duct", false).unwrap();
+    d.db().drain_events();
+    let opened = d
+        .handle_gesture(
+            sid,
+            class_win,
+            "class_window/body/presentation/map",
+            "click",
+            Some(format!("#{}", ducts[0].oid.0)),
+        )
+        .unwrap();
+    assert_eq!(opened.len(), 1);
+    let art = d.render(opened[0]).unwrap();
+    assert!(art.contains("duct_type"));
+    assert!(art.contains("duct_diameter"));
+}
+
+/// Two sessions with different contexts run concurrently against one
+/// dispatcher without interfering.
+#[test]
+fn concurrent_sessions_see_different_interfaces() {
+    let mut gis = demo();
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+    let juliano = gis.login("juliano", "planner", "pole_manager");
+    let guest = gis.login("guest", "visitor", "browse");
+
+    // Interleave the two sessions.
+    let jw = gis.browse_schema(juliano, "phone_net").unwrap();
+    let gw = gis.browse_schema(guest, "phone_net").unwrap();
+    assert_eq!(jw.len(), 2);
+    assert_eq!(gw.len(), 1);
+
+    let g_class = gis.browse_class(guest, "phone_net", "Pole").unwrap();
+    assert!(gis.render(g_class).unwrap().contains("[ Zoom ]"));
+    assert!(gis.render(jw[1]).unwrap().contains("O="));
+
+    // Sessions track their own windows.
+    let d = gis.dispatcher();
+    assert_eq!(d.session(juliano).unwrap().windows.len(), 2);
+    assert_eq!(d.session(guest).unwrap().windows.len(), 2);
+}
+
+/// The weak-integration protocol: requests encoded to JSON, served, and
+/// responses decoded — including the error path.
+#[test]
+fn protocol_end_to_end() {
+    let mut gis = demo();
+    let sid = gis.login("maria", "operator", "browse");
+    let d = gis.dispatcher();
+
+    // Encode/decode across the "wire".
+    let wire = gisui::encode(&Request::OpenSchema {
+        schema: "phone_net".into(),
+    });
+    let req: Request = gisui::decode(&wire).unwrap();
+    let resp = d.handle_request(sid, req);
+    let wire = gisui::encode(&resp);
+    let resp: Response = gisui::decode(&wire).unwrap();
+    let Response::Windows(windows) = resp else {
+        panic!("expected windows");
+    };
+    assert_eq!(windows.len(), 1);
+    assert!(windows[0].ascii.contains("Schema: phone_net"));
+
+    // Gesture through the protocol.
+    let resp = d.handle_request(
+        sid,
+        Request::UiGesture {
+            window: windows[0].id,
+            path: "schema_window/body/classes".into(),
+            gesture: "select".into(),
+            detail: Some("Pole".into()),
+        },
+    );
+    let Response::Windows(opened) = resp else {
+        panic!("expected windows");
+    };
+    assert_eq!(opened.len(), 1);
+    assert_eq!(opened[0].kind, "Class_set");
+
+    // Failure injection: unknown schema, unknown window, bad gesture path.
+    for req in [
+        Request::OpenSchema {
+            schema: "nope".into(),
+        },
+        Request::CloseWindow { window: 9999 },
+        Request::UiGesture {
+            window: windows[0].id,
+            path: "schema_window/ghost".into(),
+            gesture: "select".into(),
+            detail: None,
+        },
+    ] {
+        match d.handle_request(sid, req.clone()) {
+            Response::Error { message } => assert!(!message.is_empty()),
+            Response::Closed(ids) if ids.is_empty() => {} // closing closed window
+            other => panic!("expected error for {req:?}, got {other:?}"),
+        }
+    }
+}
+
+/// Analysis-mode predicate browsing produces a filtered class window that
+/// still honours the user's customization.
+#[test]
+fn analysis_mode_respects_customization() {
+    let mut gis = demo();
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+    let sid = gis.login("juliano", "planner", "pole_manager");
+    gis.set_mode(sid, InteractionMode::Analysis).unwrap();
+
+    let wood = Predicate::cmp("pole_composition.pole_material", CmpOp::Eq, "wood");
+    let win = gis
+        .dispatcher()
+        .analysis_query(sid, "phone_net", "Pole", &wood)
+        .unwrap();
+    let art = gis.render(win).unwrap();
+    // Customized control (slider) even on a filtered window.
+    assert!(art.contains("O="));
+    assert!(gis.dispatcher().window(win).unwrap().built.title.contains("filtered"));
+}
+
+/// Updates outside simulation mode are refused; inside it, they are
+/// sandboxed.
+#[test]
+fn update_isolation_between_modes() {
+    let mut gis = demo();
+    let sid = gis.login("maria", "operator", "maintenance");
+
+    let poles = gis
+        .dispatcher()
+        .db()
+        .get_class("phone_net", "Pole", false)
+        .unwrap();
+    gis.dispatcher().db().drain_events();
+    let oid = poles[0].oid;
+    let updates = vec![(oid, vec![("pole_type".to_string(), Value::Int(42))])];
+
+    // Exploratory mode: refused.
+    assert!(gis
+        .dispatcher()
+        .simulate(sid, "phone_net", "Pole", updates.clone())
+        .is_err());
+
+    // Simulation mode: sandboxed.
+    gis.set_mode(sid, InteractionMode::Simulation).unwrap();
+    let win = gis
+        .dispatcher()
+        .simulate(sid, "phone_net", "Pole", updates)
+        .unwrap();
+    assert!(gis.render(win).unwrap().contains("Class: Pole"));
+    let real = gis.dispatcher().db().peek(oid).unwrap();
+    assert_ne!(real.get("pole_type"), &Value::Int(42));
+}
+
+/// Dynamic recustomization: installing a new program changes subsequent
+/// windows without touching existing ones ("interfaces can be built
+/// dynamically").
+#[test]
+fn live_recustomization() {
+    let mut gis = demo();
+    let sid = gis.login("juliano", "planner", "pole_manager");
+
+    let before = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+    assert!(gis.render(before).unwrap().contains("[ Zoom ]"));
+
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+    let after = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+    assert!(gis.render(after).unwrap().contains("O="));
+    // The old window is untouched.
+    assert!(gis.render(before).unwrap().contains("[ Zoom ]"));
+
+    // Replace with a different program under the same name.
+    gis.customize(
+        "for user juliano application pole_manager \
+         schema phone_net display as default \
+         class Pole display presentation as symbolFormat",
+        "fig6",
+    )
+    .unwrap();
+    let third = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+    let art = gis.render(third).unwrap();
+    assert!(art.contains('P'), "symbolFormat uses the class initial");
+    assert!(!art.contains("O="), "old slider customization replaced");
+}
+
+/// The interface-objects library persists inside the database and
+/// round-trips through a snapshot.
+#[test]
+fn library_lives_in_the_database() {
+    let mut gis = demo();
+    gis.define_widget("myGauge", "Panel", vec![("style".into(), "slider".into())])
+        .unwrap();
+
+    // Persist the library into the geographic database itself.
+    let d = gis.dispatcher();
+    let lib = d.builder_library_mut().clone();
+    uilib::persist::save_library(d.db(), &lib).unwrap();
+
+    // Snapshot the whole database (data + stored library)…
+    let json = geodb::snapshot::save(d.db()).unwrap();
+    let mut restored_db = geodb::snapshot::load(&json).unwrap();
+
+    // …and reload the library from the restored database.
+    let restored = uilib::persist::load_library(&mut restored_db).unwrap();
+    assert!(restored.contains("myGauge"));
+    assert!(restored.contains("poleWidget"));
+}
+
+/// Analysis queries travel over the protocol, predicate included.
+#[test]
+fn analyze_request_over_the_protocol() {
+    let mut gis = demo();
+    let sid = gis.login("bruno", "analyst", "inspection");
+    gis.set_mode(sid, InteractionMode::Analysis).unwrap();
+    let req = Request::Analyze {
+        schema: "phone_net".into(),
+        class: "Pole".into(),
+        predicate: Predicate::cmp("pole_composition.pole_height", CmpOp::Gt, 10.0),
+    };
+    let wire = gisui::encode(&req);
+    let req: Request = gisui::decode(&wire).unwrap();
+    let resp = gis.dispatcher().handle_request(sid, req);
+    let Response::Windows(ws) = resp else {
+        panic!("expected a filtered window, got {resp:?}");
+    };
+    assert!(ws[0].title.contains("filtered"));
+
+    // In exploratory mode the same request is refused through the
+    // protocol's error path.
+    let guest = gis.login("g", "v", "browse");
+    let resp = gis.dispatcher().handle_request(
+        guest,
+        Request::Analyze {
+            schema: "phone_net".into(),
+            class: "Pole".into(),
+            predicate: Predicate::True,
+        },
+    );
+    assert!(matches!(resp, Response::Error { message } if message.contains("mode")));
+}
+
+/// The paper's alternative selection path: pick an instance from the
+/// Class-set window's *control area* list rather than the map.
+#[test]
+fn control_area_selection_opens_instance_window() {
+    let mut gis = demo();
+    let sid = gis.login("maria", "operator", "browse");
+    let class_win = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+    let poles = gis
+        .dispatcher()
+        .db()
+        .get_class("phone_net", "Pole", false)
+        .unwrap();
+    gis.dispatcher().db().drain_events();
+    let first = poles[0].oid;
+    let opened = gis
+        .dispatcher()
+        .handle_gesture(
+            sid,
+            class_win,
+            "class_window/body/control/ids",
+            "select",
+            Some(first.to_string()),
+        )
+        .unwrap();
+    assert_eq!(opened.len(), 1);
+    let managed = gis.dispatcher().window(opened[0]).unwrap();
+    assert_eq!(managed.oid, Some(first));
+    assert_eq!(managed.parent, Some(class_win));
+}

@@ -1,0 +1,215 @@
+//! Integration test for the paper's worked example (Section 4):
+//! Fig. 5 (the Pole schema), Fig. 6 (the customization program and its
+//! rules R1/R2/R3), Fig. 4 (default windows) and Fig. 7 (customized
+//! windows).
+
+use activegis::{
+    ActiveGis, AttrType, Customization, Event, SchemaMode, SessionContext, TelecomConfig,
+    FIG6_PROGRAM,
+};
+use geodb::query::DbEvent;
+
+fn demo() -> ActiveGis {
+    ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap()
+}
+
+/// Fig. 5: the `Pole` class as declared in the paper.
+#[test]
+fn fig5_pole_schema_matches_paper() {
+    let mut gis = demo();
+    let db = gis.dispatcher().db();
+    let pole = db.catalog().class("phone_net", "Pole").unwrap().clone();
+
+    let attr_names: Vec<&str> = pole.attrs.iter().map(|a| a.name.as_str()).collect();
+    assert_eq!(
+        attr_names,
+        vec![
+            "pole_type",
+            "pole_composition",
+            "pole_supplier",
+            "pole_location",
+            "pole_picture",
+            "pole_historic",
+        ]
+    );
+    assert_eq!(pole.own_attr("pole_type").unwrap().ty, AttrType::Int);
+    assert_eq!(
+        pole.own_attr("pole_composition").unwrap().ty,
+        AttrType::Tuple(vec![
+            ("pole_material".into(), AttrType::Text),
+            ("pole_diameter".into(), AttrType::Float),
+            ("pole_height".into(), AttrType::Float),
+        ])
+    );
+    assert_eq!(
+        pole.own_attr("pole_supplier").unwrap().ty,
+        AttrType::Ref("Supplier".into())
+    );
+    assert_eq!(pole.own_attr("pole_location").unwrap().ty, AttrType::Geometry);
+    assert_eq!(pole.own_attr("pole_picture").unwrap().ty, AttrType::Bitmap);
+    assert_eq!(pole.own_attr("pole_historic").unwrap().ty, AttrType::Text);
+
+    let m = pole.own_method("get_supplier_name").unwrap();
+    assert_eq!(m.params, vec![AttrType::Ref("Supplier".into())]);
+    assert_eq!(m.returns, AttrType::Text);
+}
+
+/// Fig. 6: the program compiles into the three rules the paper describes,
+/// and they fire exactly as R1 and R2 do in Section 4.
+#[test]
+fn fig6_rules_fire_like_r1_r2() {
+    let program = activegis::parse(FIG6_PROGRAM).unwrap();
+    let rules = activegis::compile(&program, "fig6");
+    assert_eq!(rules.len(), 3);
+
+    let mut engine: activegis::Engine<Customization> = activegis::Engine::new();
+    engine.add_rules(rules).unwrap();
+    let juliano = SessionContext::new("juliano", "planner", "pole_manager");
+
+    // R1: On Get_Schema If <juliano, pole_manager> Then
+    // Build_Window(Schema, phone_net, NULL); Get_Class(Pole).
+    let out = engine
+        .dispatch(
+            Event::Db(DbEvent::GetSchema {
+                schema: "phone_net".into(),
+            }),
+            &juliano,
+        )
+        .unwrap();
+    let Customization::SchemaWindow { schema, mode, classes } = out.customization().unwrap()
+    else {
+        panic!("R1 must customize the Schema window");
+    };
+    assert_eq!(schema, "phone_net");
+    assert_eq!(*mode, SchemaMode::Null);
+    assert_eq!(classes, &["Pole".to_string()]);
+
+    // R2: On Get_Class If <juliano, pole_manager> Then
+    // Build_Window(Class_set, Pole, Pole_Widget, pointFormat).
+    let out = engine
+        .dispatch(
+            Event::Db(DbEvent::GetClass {
+                schema: "phone_net".into(),
+                class: "Pole".into(),
+            }),
+            &juliano,
+        )
+        .unwrap();
+    let Customization::ClassWindow {
+        class,
+        control,
+        presentation,
+        ..
+    } = out.customization().unwrap()
+    else {
+        panic!("R2 must customize the Class_set window");
+    };
+    assert_eq!(class, "Pole");
+    assert_eq!(control.as_deref(), Some("poleWidget"));
+    assert_eq!(presentation.as_deref(), Some("pointFormat"));
+}
+
+/// Fig. 4: the default windows for a non-customized user.
+#[test]
+fn fig4_default_windows() {
+    let mut gis = demo();
+    let sid = gis.login("maria", "operator", "network_browse");
+
+    // Schema window: "a schema window with a list of classes".
+    let windows = gis.browse_schema(sid, "phone_net").unwrap();
+    assert_eq!(windows.len(), 1);
+    let schema_art = gis.render(windows[0]).unwrap();
+    for class in ["Supplier", "Pole", "Duct", "District"] {
+        assert!(schema_art.contains(class));
+    }
+
+    // Class window: "the class schema and a generic map with class
+    // instances" — control + presentation areas.
+    let class_win = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+    let class_art = gis.render(class_win).unwrap();
+    assert!(class_art.contains("control"));
+    assert!(class_art.contains("display"));
+    assert!(class_art.contains("[ Zoom ]"));
+    assert!(class_art.contains('.'), "poles appear as points");
+
+    // Instance window: every attribute with its default presentation.
+    let poles = gis
+        .dispatcher()
+        .db()
+        .get_class("phone_net", "Pole", false)
+        .unwrap();
+    gis.dispatcher().db().drain_events();
+    let inst_win = gis.inspect(sid, poles[0].oid).unwrap();
+    let inst_art = gis.render(inst_win).unwrap();
+    for attr in ["pole_type", "pole_composition", "pole_supplier", "pole_historic"] {
+        assert!(inst_art.contains(attr), "missing {attr}");
+    }
+    assert!(inst_art.contains("[bitmap"), "bitmap placeholder shown");
+}
+
+/// Fig. 7: the customized windows for `<juliano, pole_manager>`.
+#[test]
+fn fig7_customized_windows() {
+    let mut gis = demo();
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+    let sid = gis.login("juliano", "planner", "pole_manager");
+
+    // "the database schema is not displayed (value Null)" and the Pole
+    // class window opens directly.
+    let windows = gis.browse_schema(sid, "phone_net").unwrap();
+    assert_eq!(windows.len(), 2);
+    assert_eq!(gis.render(windows[0]).unwrap(), "");
+
+    // Left of Fig. 7: poleWidget (slider) control + pointFormat display.
+    let class_art = gis.render(windows[1]).unwrap();
+    assert!(class_art.contains("O="), "slider control:\n{class_art}");
+    assert!(!class_art.contains("[ Zoom ]"), "generic buttons replaced");
+    assert!(class_art.contains('o'), "pointFormat symbols");
+
+    // Right of Fig. 7: the customized Instance window.
+    let poles = gis
+        .dispatcher()
+        .db()
+        .get_class("phone_net", "Pole", false)
+        .unwrap();
+    gis.dispatcher().db().drain_events();
+    let inst_win = gis.inspect(sid, poles[0].oid).unwrap();
+    let inst_art = gis.render(inst_win).unwrap();
+
+    // Line 12: pole_location hidden.
+    assert!(!inst_art.contains("pole_location"));
+    // Lines 10-11: supplier name derived via get_supplier_name.
+    assert!(inst_art.contains("pole_supplier: Supplier-"));
+    // Lines 7-9: composition from its three tuple fields.
+    let comp = inst_art
+        .lines()
+        .find(|l| l.contains("pole_composition"))
+        .expect("composition row present");
+    assert_eq!(comp.matches(" / ").count(), 2, "three joined fields");
+    // "The omitted attributes (pole_type, pole_picture, and pole_historic)
+    // are represented with the default presentation."
+    assert!(inst_art.contains("pole_type"));
+    assert!(inst_art.contains("pole_picture"));
+    assert!(inst_art.contains("pole_historic"));
+}
+
+/// The transparency claim: with no rules installed, customized and
+/// non-customized dispatch paths produce identical windows.
+#[test]
+fn customization_is_transparent_when_absent() {
+    let mut a = demo();
+    let mut b = demo();
+    b.customize(FIG6_PROGRAM, "fig6").unwrap();
+
+    // A user outside the customized context sees identical output from
+    // both systems.
+    let sa = a.login("guest", "visitor", "browse");
+    let sb = b.login("guest", "visitor", "browse");
+    let wa = a.browse_schema(sa, "phone_net").unwrap()[0];
+    let wb = b.browse_schema(sb, "phone_net").unwrap()[0];
+    assert_eq!(a.render(wa).unwrap(), b.render(wb).unwrap());
+
+    let ca = a.browse_class(sa, "phone_net", "Pole").unwrap();
+    let cb = b.browse_class(sb, "phone_net", "Pole").unwrap();
+    assert_eq!(a.render(ca).unwrap(), b.render(cb).unwrap());
+}

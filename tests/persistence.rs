@@ -1,0 +1,89 @@
+//! Cross-crate persistence tests: database snapshots, the stored widget
+//! library, and customization programs surviving a full save/load cycle.
+
+use activegis::{ActiveGis, TelecomConfig, FIG6_PROGRAM};
+use geodb::gen::{phone_net_db, TelecomConfig as Cfg};
+use geodb::geometry::Rect;
+
+/// A generated telephone network round-trips bit-for-bit through a
+/// snapshot, including spatial query results.
+#[test]
+fn phone_net_snapshot_round_trip() {
+    let (mut db, stats) = phone_net_db(&Cfg::small()).unwrap();
+    let window = Rect::new(0.0, 0.0, 150.0, 150.0);
+    let before = db.window_query("phone_net", "Pole", window).unwrap();
+
+    let json = geodb::snapshot::save(&mut db).unwrap();
+    let mut restored = geodb::snapshot::load(&json).unwrap();
+
+    assert_eq!(restored.extent_size("phone_net", "Pole"), stats.poles);
+    assert_eq!(restored.extent_size("phone_net", "Duct"), stats.ducts);
+    let after = restored.window_query("phone_net", "Pole", window).unwrap();
+    assert_eq!(before, after);
+
+    // Methods are native code and must be re-registered after load; the
+    // schema still declares them.
+    let poles = restored.get_class("phone_net", "Pole", false).unwrap();
+    assert!(restored.call_method(&poles[0], "get_supplier_name", &[]).is_err());
+    geodb::gen::register_phone_net_methods(&mut restored).unwrap();
+    assert!(restored.call_method(&poles[0], "get_supplier_name", &[]).is_ok());
+}
+
+/// A complete system — data, stored library, customization program —
+/// can be torn down and rebuilt from the snapshot plus program source.
+#[test]
+fn full_system_rebuild_from_snapshot() {
+    // Phase 1: build, customize, persist.
+    let snapshot = {
+        let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+        gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+        let d = gis.dispatcher();
+        let lib = d.builder_library_mut().clone();
+        uilib::persist::save_library(d.db(), &lib).unwrap();
+        geodb::snapshot::save(d.db()).unwrap()
+    };
+
+    // Phase 2: rebuild from the snapshot.
+    let mut db = geodb::snapshot::load(&snapshot).unwrap();
+    geodb::gen::register_phone_net_methods(&mut db).unwrap();
+    let library = uilib::persist::load_library(&mut db).unwrap();
+    assert!(library.contains("poleWidget"));
+
+    let mut gis = ActiveGis::with_library(db, library);
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+
+    // Phase 3: the rebuilt system behaves identically (Fig. 7 windows).
+    let sid = gis.login("juliano", "planner", "pole_manager");
+    let windows = gis.browse_schema(sid, "phone_net").unwrap();
+    assert_eq!(windows.len(), 2);
+    let art = gis.render(windows[1]).unwrap();
+    assert!(art.contains("O="), "customized slider survives rebuild");
+}
+
+/// Snapshots are deterministic: saving twice yields identical JSON.
+#[test]
+fn snapshots_are_deterministic() {
+    let (mut db, _) = phone_net_db(&Cfg::small()).unwrap();
+    let a = geodb::snapshot::save(&mut db).unwrap();
+    let b = geodb::snapshot::save(&mut db).unwrap();
+    assert_eq!(a, b);
+
+    // And loading then saving again is stable.
+    let mut reloaded = geodb::snapshot::load(&a).unwrap();
+    let c = geodb::snapshot::save(&mut reloaded).unwrap();
+    assert_eq!(a, c);
+}
+
+/// Corrupted snapshots fail loudly, never loading partial state.
+#[test]
+fn corrupted_snapshots_are_rejected() {
+    let (mut db, _) = phone_net_db(&Cfg::small()).unwrap();
+    let json = geodb::snapshot::save(&mut db).unwrap();
+
+    // Truncated.
+    assert!(geodb::snapshot::load(&json[..json.len() / 2]).is_err());
+    // Instances re-pointed at a class the schema does not declare.
+    let broken = json.replace("\"class\": \"Pole\"", "\"class\": \"Ghost\"");
+    assert_ne!(broken, json, "corruption must hit something");
+    assert!(geodb::snapshot::load(&broken).is_err());
+}

@@ -1,0 +1,458 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning all crates.
+
+use proptest::prelude::*;
+
+use activegis::{
+    ContextPattern, Engine, Event, EventPattern, Rule, SessionContext,
+};
+use geodb::geometry::{wkt, Geometry, Point, Polygon, Polyline, Rect};
+use geodb::index::{GridIndex, RTree, SpatialIndex};
+use geodb::instance::Oid;
+use geodb::query::{DbEvent, DbEventKind};
+use geodb::storage::{SlottedPage, PAGE_SIZE};
+
+// -- geometry ---------------------------------------------------------------
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+}
+
+proptest! {
+    #[test]
+    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        // Union is commutative.
+        prop_assert_eq!(u, b.union(&a));
+    }
+
+    #[test]
+    fn rect_intersection_is_contained_and_commutes(a in arb_rect(), b in arb_rect()) {
+        let i = a.intersection(&b);
+        prop_assert_eq!(i, b.intersection(&a));
+        if !i.is_empty() {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn rect_enlargement_is_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= 0.0);
+    }
+
+    #[test]
+    fn point_distance_triangle_inequality(
+        a in arb_point(), b in arb_point(), c in arb_point()
+    ) {
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+    }
+
+    #[test]
+    fn geometry_bbox_contains_representative_point(pts in prop::collection::vec(arb_point(), 2..8)) {
+        let line = Geometry::Polyline(Polyline::new(pts).unwrap());
+        let bbox = line.bbox();
+        let rep = line.representative_point();
+        prop_assert!(bbox.inflate(1e-6).contains_point(&rep));
+    }
+
+    #[test]
+    fn wkt_round_trip_points(p in arb_point()) {
+        let g = Geometry::Point(p);
+        prop_assert_eq!(wkt::from_wkt(&wkt::to_wkt(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn wkt_round_trip_polylines(pts in prop::collection::vec(arb_point(), 2..10)) {
+        let g = Geometry::Polyline(Polyline::new(pts).unwrap());
+        prop_assert_eq!(wkt::from_wkt(&wkt::to_wkt(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn polygon_area_is_winding_invariant(pts in prop::collection::vec(arb_point(), 3..8)) {
+        if let Ok(poly) = Polygon::new(pts.clone()) {
+            let mut rev = pts;
+            rev.reverse();
+            if let Ok(rpoly) = Polygon::new(rev) {
+                prop_assert!((poly.area() - rpoly.area()).abs() < 1e-6);
+            }
+        }
+    }
+}
+
+// -- spatial indexes vs. brute force ------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_and_grid_agree_with_scan(
+        items in prop::collection::vec((arb_point(), 0.0..50f64, 0.0..50f64), 1..120),
+        window in arb_rect()
+    ) {
+        let rects: Vec<(Oid, Rect)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, (p, w, h))| {
+                (Oid(i as u64), Rect::new(p.x, p.y, p.x + w, p.y + h))
+            })
+            .collect();
+        let mut rtree = RTree::new();
+        let mut grid = GridIndex::new(100.0);
+        for (oid, r) in &rects {
+            rtree.insert(*oid, *r);
+            grid.insert(*oid, *r);
+        }
+        let mut expect: Vec<Oid> = rects
+            .iter()
+            .filter(|(_, r)| r.intersects(&window))
+            .map(|(o, _)| *o)
+            .collect();
+        expect.sort();
+        let mut from_tree = rtree.query_rect(&window);
+        from_tree.sort();
+        let mut from_grid = grid.query_rect(&window);
+        from_grid.sort();
+        prop_assert_eq!(&from_tree, &expect);
+        prop_assert_eq!(&from_grid, &expect);
+    }
+
+    #[test]
+    fn rtree_survives_interleaved_inserts_and_removes(
+        ops in prop::collection::vec((any::<bool>(), 0u64..40, arb_point()), 1..200)
+    ) {
+        let mut tree = RTree::new();
+        let mut reference: std::collections::HashMap<Oid, Rect> = Default::default();
+        for (insert, id, p) in ops {
+            let oid = Oid(id);
+            if insert {
+                let r = Rect::from_point(p);
+                tree.insert(oid, r);
+                reference.insert(oid, r);
+            } else {
+                let expected = reference.remove(&oid).is_some();
+                prop_assert_eq!(tree.remove(oid), expected);
+            }
+        }
+        prop_assert_eq!(tree.len(), reference.len());
+        let everything = Rect::new(-2e4, -2e4, 2e4, 2e4);
+        let mut got = tree.query_rect(&everything);
+        got.sort();
+        let mut expect: Vec<Oid> = reference.keys().copied().collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+// -- slotted pages --------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_ops_match_reference_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                prop::collection::vec(any::<u8>(), 0..300).prop_map(Some), // insert
+                Just(None),                                               // delete first live
+            ],
+            1..60
+        )
+    ) {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut page = SlottedPage::init(&mut buf);
+        let mut model: Vec<(usize, Vec<u8>)> = Vec::new();
+        for op in ops {
+            match op {
+                Some(record) => {
+                    if let Some(slot) = page.insert(&record) {
+                        model.retain(|(s, _)| *s != slot);
+                        model.push((slot, record));
+                    }
+                }
+                None => {
+                    if let Some((slot, _)) = model.first().cloned() {
+                        prop_assert!(page.delete(slot));
+                        model.remove(0);
+                    }
+                }
+            }
+            // Every model record is readable and correct.
+            for (slot, record) in &model {
+                prop_assert_eq!(page.get(*slot).unwrap(), &record[..]);
+            }
+        }
+    }
+}
+
+// -- customization language -------------------------------------------------------
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,10}".prop_filter("not a keyword", |s| {
+        ![
+            "for", "user", "category", "application", "schema", "class", "display", "as",
+            "control", "presentation", "instances", "attribute", "from", "using", "default",
+            "hierarchy", "null",
+        ]
+        .contains(&s.to_ascii_lowercase().as_str())
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = activegis::Program> {
+    use custlang::{
+        AttrClause, AttrDisplay, ClassClause, ContextClause, Directive, SchemaClause, SchemaMode,
+        Source,
+    };
+    let mode = prop_oneof![
+        Just(SchemaMode::Default),
+        Just(SchemaMode::Hierarchy),
+        Just(SchemaMode::UserDefined),
+        Just(SchemaMode::Null),
+    ];
+    let display = prop_oneof![
+        Just(AttrDisplay::Default),
+        Just(AttrDisplay::Null),
+        arb_ident().prop_map(AttrDisplay::Widget),
+    ];
+    let source = prop_oneof![
+        arb_ident().prop_map(Source::Path),
+        (arb_ident(), prop::collection::vec(arb_ident(), 0..3))
+            .prop_map(|(method, args)| Source::MethodCall { method, args }),
+    ];
+    let attr = (arb_ident(), display, prop::collection::vec(source, 0..3),
+                prop::option::of(arb_ident()))
+        .prop_map(|(attribute, display, from, using)| AttrClause {
+            attribute,
+            display,
+            from,
+            using,
+        });
+    let class = (arb_ident(), prop::option::of(arb_ident()),
+                 prop::option::of(arb_ident()), prop::collection::vec(attr, 0..3))
+        .prop_map(|(name, control, presentation, instances)| ClassClause {
+            name,
+            control,
+            presentation,
+            instances,
+        });
+    let directive = (
+        prop::option::of(arb_ident()),
+        prop::option::of(arb_ident()),
+        prop::option::of(arb_ident()),
+        arb_ident(),
+        mode,
+        prop::collection::vec(class, 1..3),
+    )
+        .prop_map(|(user, category, application, schema, mode, classes)| Directive {
+            context: ContextClause {
+                user,
+                category,
+                application,
+                extras: vec![],
+            },
+            schema: SchemaClause { name: schema, mode },
+            classes,
+        });
+    prop::collection::vec(directive, 0..3)
+        .prop_map(|directives| custlang::Program { directives })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pretty_parse_round_trip(program in arb_program()) {
+        let printed = custlang::pretty(&program);
+        let reparsed = custlang::parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n--- source ---\n{printed}")))?;
+        prop_assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn compiled_rule_counts_match_structure(program in arb_program()) {
+        let rules = custlang::compile(&program, "p");
+        let expected: usize = program
+            .directives
+            .iter()
+            .map(|d| 1 + d.classes.len()
+                + d.classes.iter().filter(|c| !c.instances.is_empty()).count())
+            .sum();
+        prop_assert_eq!(rules.len(), expected);
+        // Names are unique.
+        let names: std::collections::HashSet<&str> =
+            rules.iter().map(|r| r.name.as_str()).collect();
+        prop_assert_eq!(names.len(), rules.len());
+    }
+}
+
+// -- active engine: the most-specific-wins invariant -----------------------------
+
+fn arb_context_pattern() -> impl Strategy<Value = ContextPattern> {
+    (
+        prop::option::of(Just("juliano".to_string())),
+        prop::option::of(Just("planner".to_string())),
+        prop::option::of(Just("pole_manager".to_string())),
+    )
+        .prop_map(|(user, category, application)| ContextPattern {
+            user,
+            category,
+            application,
+            extras: Default::default(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn engine_selects_a_maximally_specific_rule(
+        patterns in prop::collection::vec(arb_context_pattern(), 1..12)
+    ) {
+        let mut engine: Engine<usize> = Engine::new();
+        for (i, ctx) in patterns.iter().enumerate() {
+            engine
+                .add_rule(Rule::customization(
+                    format!("r{i}"),
+                    EventPattern::db(DbEventKind::GetSchema),
+                    ctx.clone(),
+                    i,
+                ))
+                .unwrap();
+        }
+        // All patterns built from these fixed values match this session.
+        let session = SessionContext::new("juliano", "planner", "pole_manager");
+        let out = engine
+            .dispatch(
+                Event::Db(DbEvent::GetSchema { schema: "s".into() }),
+                &session,
+            )
+            .unwrap();
+        prop_assert_eq!(out.customizations.len(), 1);
+        let winner = out.customizations[0];
+        let max = patterns.iter().map(|p| p.specificity()).max().unwrap();
+        prop_assert_eq!(patterns[winner].specificity(), max,
+            "winner {} is not maximally specific", winner);
+    }
+
+    #[test]
+    fn specificity_is_monotone_in_bound_fields(p in arb_context_pattern()) {
+        // Binding one more field strictly increases specificity.
+        if p.user.is_none() {
+            let mut q = p.clone();
+            q.user = Some("x".into());
+            prop_assert!(q.specificity() > p.specificity());
+        }
+        if p.category.is_none() {
+            let mut q = p.clone();
+            q.category = Some("x".into());
+            prop_assert!(q.specificity() > p.specificity());
+        }
+        if p.application.is_none() {
+            let mut q = p.clone();
+            q.application = Some("x".into());
+            prop_assert!(q.specificity() > p.specificity());
+        }
+    }
+}
+
+// -- value model ------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn value_compare_is_antisymmetric(a in -1000i64..1000, b in -1000i64..1000) {
+        use activegis::Value;
+        let va = Value::Int(a);
+        let vb = Value::Float(b as f64 + 0.5);
+        prop_assert_eq!(va.compare(&vb), vb.compare(&va).reverse());
+    }
+}
+
+// -- buffer pool model check ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn buffer_pool_never_corrupts_pages(
+        capacity in 1usize..8,
+        clock in any::<bool>(),
+        ops in prop::collection::vec((0usize..16, any::<bool>(), any::<u8>()), 1..200)
+    ) {
+        use geodb::storage::{BufferPool, EvictionPolicy, MemStore, PAGE_SIZE};
+        let policy = if clock { EvictionPolicy::Clock } else { EvictionPolicy::Lru };
+        let mut pool = BufferPool::new(MemStore::new(), capacity, policy);
+        let pids: Vec<_> = (0..16).map(|_| pool.allocate_page().unwrap()).collect();
+        let ops_count = ops.len() as u64;
+        // Reference model: what each page's first byte should hold.
+        let mut model = [0u8; 16];
+        for (idx, write, val) in ops {
+            let pid = pids[idx];
+            if write {
+                pool.with_page_mut(pid, |d| d[0] = val).unwrap();
+                model[idx] = val;
+            } else {
+                let got = pool.with_page(pid, |d| d[0]).unwrap();
+                prop_assert_eq!(got, model[idx], "page {} first byte", idx);
+            }
+        }
+        // Hit/miss accounting: exactly one access per op.
+        let s = pool.stats();
+        prop_assert_eq!(s.hits + s.misses, ops_count);
+        // Flush then cold-read everything.
+        pool.clear().unwrap();
+        for (idx, pid) in pids.iter().enumerate() {
+            let got = pool.with_page(*pid, |d| (d[0], d.len())).unwrap();
+            prop_assert_eq!(got, (model[idx], PAGE_SIZE));
+        }
+    }
+
+    #[test]
+    fn heap_file_model_check(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (1usize..6000).prop_map(Some),  // insert of this size
+                Just(None),                     // delete oldest live
+            ],
+            1..80
+        )
+    ) {
+        use geodb::storage::{BufferPool, EvictionPolicy, HeapFile, MemStore};
+        let mut pool = BufferPool::new(MemStore::new(), 8, EvictionPolicy::Lru);
+        let mut heap = HeapFile::new();
+        let mut model: Vec<(geodb::storage::RecordId, Vec<u8>)> = Vec::new();
+        let mut counter = 0u8;
+        for op in ops {
+            match op {
+                Some(size) => {
+                    counter = counter.wrapping_add(1);
+                    let payload = vec![counter; size];
+                    let rid = heap.insert(&mut pool, &payload).unwrap();
+                    model.push((rid, payload));
+                }
+                None => {
+                    if !model.is_empty() {
+                        let (rid, _) = model.remove(0);
+                        heap.delete(&mut pool, rid).unwrap();
+                    }
+                }
+            }
+            prop_assert_eq!(heap.len(), model.len());
+        }
+        for (rid, payload) in &model {
+            prop_assert_eq!(&heap.get(&mut pool, *rid).unwrap(), payload);
+        }
+        let mut scanned = heap.scan(&mut pool).unwrap();
+        scanned.sort_by_key(|(_, p)| p.clone());
+        let mut expect: Vec<Vec<u8>> = model.iter().map(|(_, p)| p.clone()).collect();
+        expect.sort();
+        let got: Vec<Vec<u8>> = scanned.into_iter().map(|(_, p)| p).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,131 @@
+//! Rendering stability tests: with a fixed generator seed, the Fig. 4 and
+//! Fig. 7 windows must render byte-identically across runs (determinism
+//! is what makes the figures reproducible artifacts rather than
+//! screenshots), and the SVG twin must stay structurally in sync with the
+//! ASCII rendering.
+
+use activegis::{ActiveGis, TelecomConfig, FIG6_PROGRAM};
+
+fn demo() -> ActiveGis {
+    ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap()
+}
+
+/// Build the three Fig. 4 windows and return their ASCII.
+fn fig4_renders(gis: &mut ActiveGis) -> Vec<String> {
+    let sid = gis.login("maria", "operator", "browse");
+    let schema = gis.browse_schema(sid, "phone_net").unwrap()[0];
+    let class = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+    let poles = gis
+        .dispatcher()
+        .db()
+        .get_class("phone_net", "Pole", false)
+        .unwrap();
+    gis.dispatcher().db().drain_events();
+    let inst = gis.inspect(sid, poles[0].oid).unwrap();
+    vec![
+        gis.render(schema).unwrap(),
+        gis.render(class).unwrap(),
+        gis.render(inst).unwrap(),
+    ]
+}
+
+#[test]
+fn renders_are_deterministic_across_fresh_systems() {
+    let a = fig4_renders(&mut demo());
+    let b = fig4_renders(&mut demo());
+    assert_eq!(a, b);
+    // And non-trivial.
+    for art in &a {
+        assert!(art.lines().count() > 5);
+    }
+}
+
+#[test]
+fn customized_render_differs_from_default_in_expected_places() {
+    let mut gis = demo();
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+
+    let guest = gis.login("guest", "visitor", "browse");
+    let default_win = gis.browse_class(guest, "phone_net", "Pole").unwrap();
+    let default_art = gis.render(default_win).unwrap();
+
+    let juliano = gis.login("juliano", "planner", "pole_manager");
+    let custom_win = gis.browse_class(juliano, "phone_net", "Pole").unwrap();
+    let custom_art = gis.render(custom_win).unwrap();
+
+    // Same window title and display panel...
+    assert!(default_art.contains("Class: Pole"));
+    assert!(custom_art.contains("Class: Pole"));
+    // ...different control area and symbols.
+    assert!(default_art.contains("[ Zoom ]") && !custom_art.contains("[ Zoom ]"));
+    assert!(custom_art.contains("O=") && !default_art.contains("O="));
+    assert!(default_art.contains('.') && custom_art.contains('o'));
+}
+
+#[test]
+fn svg_and_ascii_stay_structurally_in_sync() {
+    let mut gis = demo();
+    let sid = gis.login("maria", "operator", "browse");
+    let win = gis.browse_class(sid, "phone_net", "Pole").unwrap();
+    let ascii = gis.render(win).unwrap();
+    let svg = gis.render_svg(win).unwrap();
+
+    // Every button label visible in ASCII appears as SVG text.
+    for label in ["Zoom", "Select", "Close"] {
+        assert!(ascii.contains(&format!("[ {label} ]")));
+        assert!(svg.contains(label), "{label} missing from SVG");
+    }
+    // The pole count shown in ASCII matches the number of SVG circles.
+    let poles = gis.dispatcher().db().extent_size("phone_net", "Pole");
+    let circles = svg.matches("<circle").count();
+    assert_eq!(circles, poles);
+    assert!(ascii.contains(&format!("instances: {poles}")));
+}
+
+#[test]
+fn every_window_kind_renders_under_every_builtin_format() {
+    let mut gis = demo();
+    for (i, fmt) in ["default", "pointFormat", "lineFormat", "polygonFormat", "tableFormat", "symbolFormat"]
+        .iter()
+        .enumerate()
+    {
+        let program = format!(
+            "for user u{i} application fmt_check \
+             schema phone_net display as default \
+             class Pole display presentation as {fmt} \
+             class Duct display presentation as {fmt} \
+             class District display presentation as {fmt}"
+        );
+        gis.customize(&program, &format!("fmt{i}")).unwrap();
+        let sid = gis.login(&format!("u{i}"), "tester", "fmt_check");
+        for class in ["Pole", "Duct", "District"] {
+            let win = gis.browse_class(sid, "phone_net", class).unwrap();
+            let art = gis.render(win).unwrap();
+            assert!(
+                art.contains(&format!("Class: {class}")),
+                "format {fmt} class {class}:\n{art}"
+            );
+            assert!(!gis.render_svg(win).unwrap().is_empty());
+        }
+    }
+}
+
+#[test]
+fn deep_widget_nesting_renders_without_panics() {
+    // Panels within panels within panels (the recursive relationship),
+    // rendered at every depth.
+    use activegis::{Library, WidgetTree};
+    let lib = Library::with_kernel();
+    let mut tree = WidgetTree::new(&lib, "Window", "w").unwrap();
+    let mut parent = tree.root();
+    for depth in 0..12 {
+        parent = tree
+            .add(&lib, parent, "Panel", format!("p{depth}"))
+            .unwrap();
+    }
+    tree.add(&lib, parent, "Button", "leaf").unwrap();
+    let art = uilib::render::ascii::render(&tree, &Default::default()).unwrap();
+    assert!(art.contains("[  ]") || art.contains('['));
+    let svg = uilib::render::svg::render(&tree, &Default::default()).unwrap();
+    assert!(svg.matches("<rect").count() >= 13);
+}
