@@ -44,8 +44,16 @@ fn events_overlap(a: &EventPattern, b: &EventPattern) -> bool {
     match (a, b) {
         (Any, _) | (_, Any) => true,
         (
-            Db { kind: k1, schema: s1, class: c1 },
-            Db { kind: k2, schema: s2, class: c2 },
+            Db {
+                kind: k1,
+                schema: s1,
+                class: c1,
+            },
+            Db {
+                kind: k2,
+                schema: s2,
+                class: c2,
+            },
         ) => {
             let opt_overlap = |x: &Option<String>, y: &Option<String>| match (x, y) {
                 (Some(a), Some(b)) => a == b,
@@ -58,8 +66,14 @@ fn events_overlap(a: &EventPattern, b: &EventPattern) -> bool {
                 && opt_overlap(c1, c2)
         }
         (
-            Interface { name: n1, source_prefix: p1 },
-            Interface { name: n2, source_prefix: p2 },
+            Interface {
+                name: n1,
+                source_prefix: p1,
+            },
+            Interface {
+                name: n2,
+                source_prefix: p2,
+            },
         ) => {
             (match (n1, n2) {
                 (Some(a), Some(b)) => a == b,
@@ -86,9 +100,10 @@ fn contexts_overlap<P>(a: &Rule<P>, b: &Rule<P>) -> bool {
     opt(&a.context.user, &b.context.user)
         && opt(&a.context.category, &b.context.category)
         && opt(&a.context.application, &b.context.application)
-        && a.context.extras.iter().all(|(k, v)| {
-            b.context.extras.get(k).is_none_or(|w| w == v)
-        })
+        && a.context
+            .extras
+            .iter()
+            .all(|(k, v)| b.context.extras.get(k).is_none_or(|w| w == v))
 }
 
 /// Which event kinds an action can raise (descriptions of raised events).
@@ -156,8 +171,10 @@ pub fn analyze<P>(rules: &[Rule<P>]) -> Vec<Finding> {
         for &next in edges.get(&node).map(|v| v.as_slice()).unwrap_or(&[]) {
             if on_stack.contains(&next) {
                 let start = stack.iter().position(|&n| n == next).unwrap_or(0);
-                let mut path: Vec<String> =
-                    stack[start..].iter().map(|&n| rules[n].name.clone()).collect();
+                let mut path: Vec<String> = stack[start..]
+                    .iter()
+                    .map(|&n| rules[n].name.clone())
+                    .collect();
                 path.push(rules[next].name.clone());
                 findings.push(Finding::PossibleCycle { path });
             } else {
@@ -271,7 +288,9 @@ mod tests {
         let ping_pong: Vec<Rule<&str>> = vec![
             Rule {
                 name: "ping".into(),
-                event: EventPattern::External { name: Some("a".into()) },
+                event: EventPattern::External {
+                    name: Some("a".into()),
+                },
                 context: ContextPattern::any(),
                 guard: None,
                 action: Action::Raise(vec![Event::external("b")]),
@@ -282,7 +301,9 @@ mod tests {
             },
             Rule {
                 name: "pong".into(),
-                event: EventPattern::External { name: Some("b".into()) },
+                event: EventPattern::External {
+                    name: Some("b".into()),
+                },
                 context: ContextPattern::any(),
                 guard: None,
                 action: Action::Raise(vec![Event::external("a")]),
@@ -303,7 +324,9 @@ mod tests {
         let chain: Vec<Rule<&str>> = vec![
             Rule {
                 name: "first".into(),
-                event: EventPattern::External { name: Some("a".into()) },
+                event: EventPattern::External {
+                    name: Some("a".into()),
+                },
                 context: ContextPattern::any(),
                 guard: None,
                 action: Action::Raise(vec![Event::external("b")]),
@@ -314,7 +337,9 @@ mod tests {
             },
             cust(
                 "second",
-                EventPattern::External { name: Some("b".into()) },
+                EventPattern::External {
+                    name: Some("b".into()),
+                },
                 ContextPattern::any(),
             ),
         ];

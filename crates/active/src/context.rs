@@ -48,7 +48,11 @@ impl SessionContext {
 
 impl std::fmt::Display for SessionContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "<{}, {}, {}>", self.user, self.category, self.application)
+        write!(
+            f,
+            "<{}, {}, {}>",
+            self.user, self.category, self.application
+        )
     }
 }
 
@@ -170,8 +174,7 @@ mod tests {
     use super::*;
 
     fn session() -> SessionContext {
-        SessionContext::new("juliano", "planner", "pole_manager")
-            .with_extra("scale", "1:1000")
+        SessionContext::new("juliano", "planner", "pole_manager").with_extra("scale", "1:1000")
     }
 
     #[test]

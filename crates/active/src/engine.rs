@@ -50,7 +50,10 @@ pub enum ActiveError {
     DuplicateRule(String),
     UnknownRule(String),
     /// A cascade exceeded `max_cascade_depth` — almost always a rule cycle.
-    CascadeOverflow { depth: usize, event: String },
+    CascadeOverflow {
+        depth: usize,
+        event: String,
+    },
 }
 
 impl std::fmt::Display for ActiveError {
@@ -59,7 +62,10 @@ impl std::fmt::Display for ActiveError {
             ActiveError::DuplicateRule(n) => write!(f, "duplicate rule `{n}`"),
             ActiveError::UnknownRule(n) => write!(f, "unknown rule `{n}`"),
             ActiveError::CascadeOverflow { depth, event } => {
-                write!(f, "cascade overflow at depth {depth} on {event} (rule cycle?)")
+                write!(
+                    f,
+                    "cascade overflow at depth {depth} on {event} (rule cycle?)"
+                )
             }
         }
     }
@@ -146,7 +152,10 @@ impl<P: Clone> Engine<P> {
     }
 
     /// Register many rules (e.g. the output of the customization compiler).
-    pub fn add_rules(&mut self, rules: impl IntoIterator<Item = Rule<P>>) -> Result<(), ActiveError> {
+    pub fn add_rules(
+        &mut self,
+        rules: impl IntoIterator<Item = Rule<P>>,
+    ) -> Result<(), ActiveError> {
         for r in rules {
             self.add_rule(r)?;
         }
@@ -215,7 +224,15 @@ impl<P: Clone> Engine<P> {
         event: Event,
         ctx: &SessionContext,
     ) -> Result<Outcome<P>, ActiveError> {
+        let _span = obs::span("engine.dispatch");
         self.dispatch_count += 1;
+        // Per-dispatch tallies, flushed to the metrics registry once at
+        // the end so the hot loop costs plain integer adds.
+        let mut m_considered = 0u64;
+        let mut m_matched = 0u64;
+        let mut m_fired = 0u64;
+        let mut m_shadowed = 0u64;
+        let mut m_max_depth = 0usize;
         let mut outcome = Outcome {
             customizations: Vec::new(),
             fired: Vec::new(),
@@ -233,6 +250,8 @@ impl<P: Clone> Engine<P> {
                 });
             }
             outcome.events_processed += 1;
+            m_considered += self.rules.len() as u64;
+            m_max_depth = m_max_depth.max(depth);
 
             // Collect matching rule indexes.
             let matched: Vec<usize> = self
@@ -271,6 +290,10 @@ impl<P: Clone> Engine<P> {
             others.sort_by_key(|&i| (-self.rules[i].priority, i));
             to_fire.extend(others);
 
+            m_matched += matched.len() as u64;
+            m_shadowed += shadowed.len() as u64;
+            m_fired += to_fire.len() as u64;
+
             // Execute (or queue, for deferred-coupling rules).
             let mut fired_names = Vec::with_capacity(to_fire.len());
             for i in to_fire {
@@ -288,7 +311,8 @@ impl<P: Clone> Engine<P> {
                         &mut outcome.customizations,
                     ),
                     Coupling::Deferred => {
-                        self.deferred.push((name, action, event.clone(), ctx.clone()));
+                        self.deferred
+                            .push((name, action, event.clone(), ctx.clone()));
                     }
                 }
             }
@@ -309,6 +333,16 @@ impl<P: Clone> Engine<P> {
                 });
             }
             outcome.fired.extend(fired_names);
+        }
+
+        if obs::enabled() {
+            obs::counter_add("engine.dispatches", 1);
+            obs::counter_add("engine.rules_considered", m_considered);
+            obs::counter_add("engine.rules_matched", m_matched);
+            obs::counter_add("engine.rules_fired", m_fired);
+            obs::counter_add("engine.rules_shadowed", m_shadowed);
+            obs::record_value("engine.cascade_depth", m_max_depth as u64);
+            obs::record_value("engine.deferred_queue_depth", self.deferred.len() as u64);
         }
         Ok(outcome)
     }
@@ -336,7 +370,14 @@ impl<P: Clone> Engine<P> {
         for (name, action, event, ctx) in std::mem::take(&mut self.deferred) {
             outcome.fired.push(name);
             let mut queue: VecDeque<(usize, Event)> = VecDeque::new();
-            Self::run_action(&action, &event, &ctx, 0, &mut queue, &mut outcome.customizations);
+            Self::run_action(
+                &action,
+                &event,
+                &ctx,
+                0,
+                &mut queue,
+                &mut outcome.customizations,
+            );
             while let Some((_, raised)) = queue.pop_front() {
                 let sub = self.dispatch(raised, &ctx)?;
                 outcome.customizations.extend(sub.customizations);
@@ -402,7 +443,8 @@ mod tests {
     #[test]
     fn most_specific_rule_wins() {
         let mut eng: Engine<&str> = Engine::new();
-        eng.add_rule(cust("generic", ContextPattern::any(), "generic")).unwrap();
+        eng.add_rule(cust("generic", ContextPattern::any(), "generic"))
+            .unwrap();
         eng.add_rule(cust(
             "by_cat",
             ContextPattern::for_category("planner"),
@@ -462,7 +504,8 @@ mod tests {
     #[test]
     fn integrity_rules_all_fire_alongside_customization() {
         let mut eng: Engine<&str> = Engine::new();
-        eng.add_rule(cust("c", ContextPattern::any(), "payload")).unwrap();
+        eng.add_rule(cust("c", ContextPattern::any(), "payload"))
+            .unwrap();
         let hits = Rc::new(std::cell::RefCell::new(0));
         for name in ["i1", "i2"] {
             let hits = hits.clone();
@@ -531,7 +574,9 @@ mod tests {
         let mut eng: Engine<&str> = Engine::new();
         eng.add_rule(Rule {
             name: "loop".into(),
-            event: EventPattern::External { name: Some("ping".into()) },
+            event: EventPattern::External {
+                name: Some("ping".into()),
+            },
             context: ContextPattern::any(),
             guard: None,
             action: Action::Raise(vec![Event::external("ping")]),
@@ -541,7 +586,9 @@ mod tests {
             enabled: true,
         })
         .unwrap();
-        let err = eng.dispatch(Event::external("ping"), &session()).unwrap_err();
+        let err = eng
+            .dispatch(Event::external("ping"), &session())
+            .unwrap_err();
         assert!(matches!(err, ActiveError::CascadeOverflow { .. }));
     }
 
@@ -566,9 +613,12 @@ mod tests {
     #[test]
     fn prefix_removal_replaces_rule_families() {
         let mut eng: Engine<&str> = Engine::new();
-        eng.add_rule(cust("prog1/r1", ContextPattern::any(), "x")).unwrap();
-        eng.add_rule(cust("prog1/r2", ContextPattern::any(), "y")).unwrap();
-        eng.add_rule(cust("prog2/r1", ContextPattern::any(), "z")).unwrap();
+        eng.add_rule(cust("prog1/r1", ContextPattern::any(), "x"))
+            .unwrap();
+        eng.add_rule(cust("prog1/r2", ContextPattern::any(), "y"))
+            .unwrap();
+        eng.add_rule(cust("prog2/r1", ContextPattern::any(), "z"))
+            .unwrap();
         assert_eq!(eng.remove_rules_with_prefix("prog1/"), 2);
         assert_eq!(eng.len(), 1);
         assert!(eng.rule("prog2/r1").is_some());
@@ -686,19 +736,17 @@ mod coupling_tests {
         let mut eng: Engine<&str> = Engine::new();
         // Deferred rule raises an external event; an immediate
         // customization rule answers it.
-        eng.add_rule(
-            Rule {
-                name: "deferred_raiser".into(),
-                event: EventPattern::db(DbEventKind::Insert),
-                context: ContextPattern::any(),
-                guard: None,
-                action: Action::Raise(vec![Event::external("recheck")]),
-                group: RuleGroup::Other,
-                coupling: Coupling::Deferred,
-                priority: 0,
-                enabled: true,
-            },
-        )
+        eng.add_rule(Rule {
+            name: "deferred_raiser".into(),
+            event: EventPattern::db(DbEventKind::Insert),
+            context: ContextPattern::any(),
+            guard: None,
+            action: Action::Raise(vec![Event::external("recheck")]),
+            group: RuleGroup::Other,
+            coupling: Coupling::Deferred,
+            priority: 0,
+            enabled: true,
+        })
         .unwrap();
         eng.add_rule(Rule::customization(
             "answer",
@@ -719,12 +767,7 @@ mod coupling_tests {
 
     #[test]
     fn immediate_is_the_default_coupling() {
-        let r: Rule<&str> = Rule::customization(
-            "r",
-            EventPattern::Any,
-            ContextPattern::any(),
-            "p",
-        );
+        let r: Rule<&str> = Rule::customization("r", EventPattern::Any, ContextPattern::any(), "p");
         assert_eq!(r.coupling, Coupling::Immediate);
     }
 }

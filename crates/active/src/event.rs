@@ -110,7 +110,14 @@ impl EventPattern {
     pub fn matches(&self, event: &Event) -> bool {
         match (self, event) {
             (EventPattern::Any, _) => true,
-            (EventPattern::Db { kind, schema, class }, Event::Db(e)) => {
+            (
+                EventPattern::Db {
+                    kind,
+                    schema,
+                    class,
+                },
+                Event::Db(e),
+            ) => {
                 kind.is_none_or(|k| k == e.kind())
                     && schema.as_deref().is_none_or(|s| s == e.schema())
                     && class.as_deref().is_none_or(|c| Some(c) == e.class())
@@ -126,9 +133,7 @@ impl EventPattern {
                 },
             ) => {
                 name.as_deref().is_none_or(|n| n == en)
-                    && source_prefix
-                        .as_deref()
-                        .is_none_or(|p| es.starts_with(p))
+                    && source_prefix.as_deref().is_none_or(|p| es.starts_with(p))
             }
             (EventPattern::External { name }, Event::External { name: en }) => {
                 name.as_deref().is_none_or(|n| n == en)
@@ -143,9 +148,11 @@ impl EventPattern {
     pub fn specificity(&self) -> u32 {
         match self {
             EventPattern::Any => 0,
-            EventPattern::Db { kind, schema, class } => {
-                kind.is_some() as u32 + schema.is_some() as u32 + 2 * class.is_some() as u32
-            }
+            EventPattern::Db {
+                kind,
+                schema,
+                class,
+            } => kind.is_some() as u32 + schema.is_some() as u32 + 2 * class.is_some() as u32,
             EventPattern::Interface {
                 name,
                 source_prefix,
@@ -159,7 +166,11 @@ impl std::fmt::Display for EventPattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EventPattern::Any => write!(f, "*"),
-            EventPattern::Db { kind, schema, class } => {
+            EventPattern::Db {
+                kind,
+                schema,
+                class,
+            } => {
                 match kind {
                     Some(k) => write!(f, "{k}")?,
                     None => write!(f, "DB:*")?,
@@ -212,12 +223,8 @@ mod tests {
         assert!(!EventPattern::db(DbEventKind::GetSchema).matches(&e));
         assert!(EventPattern::db_on_schema(DbEventKind::GetClass, "phone_net").matches(&e));
         assert!(!EventPattern::db_on_schema(DbEventKind::GetClass, "other").matches(&e));
-        assert!(
-            EventPattern::db_on_class(DbEventKind::GetClass, "phone_net", "Pole").matches(&e)
-        );
-        assert!(
-            !EventPattern::db_on_class(DbEventKind::GetClass, "phone_net", "Duct").matches(&e)
-        );
+        assert!(EventPattern::db_on_class(DbEventKind::GetClass, "phone_net", "Pole").matches(&e));
+        assert!(!EventPattern::db_on_class(DbEventKind::GetClass, "phone_net", "Duct").matches(&e));
     }
 
     #[test]

@@ -116,11 +116,7 @@ impl<P> Rule<P> {
     }
 
     /// An integrity rule running a native callback.
-    pub fn integrity(
-        name: impl Into<String>,
-        event: EventPattern,
-        callback: Callback,
-    ) -> Rule<P> {
+    pub fn integrity(name: impl Into<String>, event: EventPattern, callback: Callback) -> Rule<P> {
         Rule {
             name: name.into(),
             event,
@@ -230,9 +226,8 @@ mod tests {
 
     #[test]
     fn guard_is_consulted() {
-        let r: Rule<&str> =
-            Rule::customization("r", EventPattern::Any, ContextPattern::any(), "p")
-                .with_guard(Rc::new(|e, _| matches!(e, Event::Db(_))));
+        let r: Rule<&str> = Rule::customization("r", EventPattern::Any, ContextPattern::any(), "p")
+            .with_guard(Rc::new(|e, _| matches!(e, Event::Db(_))));
         assert!(r.matches(&ev(), &ctx()));
         assert!(!r.matches(&Event::external("tick"), &ctx()));
     }

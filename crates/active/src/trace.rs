@@ -5,8 +5,10 @@
 //! paper lists ("users want to know why and how the system presented a
 //! specific answer to a query") and for the F1 architecture walkthrough.
 
+use serde::{Deserialize, Serialize};
+
 /// One processed event within a dispatch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEntry {
     /// Cascade depth (0 = the event handed to `dispatch`).
     pub depth: usize,
@@ -38,7 +40,7 @@ impl TraceEntry {
 }
 
 /// A dispatch-long trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trace {
     pub entries: Vec<TraceEntry>,
 }
@@ -55,7 +57,15 @@ impl Trace {
 
     /// Did a rule with this name fire anywhere in the cascade?
     pub fn fired(&self, rule: &str) -> bool {
-        self.entries.iter().any(|e| e.fired.iter().any(|f| f == rule))
+        self.entries
+            .iter()
+            .any(|e| e.fired.iter().any(|f| f == rule))
+    }
+
+    /// Machine-readable JSON rendering of the full cascade, for export
+    /// through the observability pipeline.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
     }
 }
 
@@ -89,5 +99,75 @@ mod tests {
         assert!(t.fired("R1"));
         assert!(t.fired("R2"));
         assert!(!t.fired("R0"));
+    }
+
+    #[test]
+    fn cascaded_trace_serializes_with_depths_and_shadowing() {
+        use crate::context::{ContextPattern, SessionContext};
+        use crate::engine::Engine;
+        use crate::event::{Event, EventPattern};
+        use crate::rule::{Action, Rule, RuleGroup};
+        use geodb::query::{DbEvent, DbEventKind};
+
+        // Get_Schema fires one of two competing rules (one shadowed) and
+        // raises Get_Class, which fires a depth-1 rule — the Fig. 6 shape.
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(Rule::customization(
+            "generic",
+            EventPattern::db(DbEventKind::GetSchema),
+            ContextPattern::any(),
+            "generic",
+        ))
+        .unwrap();
+        eng.add_rule(Rule::customization(
+            "specific",
+            EventPattern::db(DbEventKind::GetSchema),
+            ContextPattern::for_user("juliano"),
+            "specific",
+        ))
+        .unwrap();
+        eng.add_rule(Rule {
+            name: "raiser".into(),
+            event: EventPattern::db(DbEventKind::GetSchema),
+            context: ContextPattern::any(),
+            guard: None,
+            action: Action::Raise(vec![Event::Db(DbEvent::GetClass {
+                schema: "phone_net".into(),
+                class: "Pole".into(),
+            })]),
+            group: RuleGroup::Other,
+            coupling: crate::rule::Coupling::Immediate,
+            priority: 0,
+            enabled: true,
+        })
+        .unwrap();
+        eng.add_rule(Rule::customization(
+            "class_rule",
+            EventPattern::db(DbEventKind::GetClass),
+            ContextPattern::any(),
+            "class",
+        ))
+        .unwrap();
+
+        let ctx = SessionContext::new("juliano", "planner", "pole_manager");
+        let out = eng
+            .dispatch(
+                Event::Db(DbEvent::GetSchema {
+                    schema: "phone_net".into(),
+                }),
+                &ctx,
+            )
+            .unwrap();
+
+        let json = out.trace.render_json();
+        let roundtrip: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(roundtrip, out.trace);
+        // Depths survive serialization in cascade order.
+        let depths: Vec<usize> = roundtrip.entries.iter().map(|e| e.depth).collect();
+        assert_eq!(depths, vec![0, 1]);
+        // Shadowing is intact: the generic rule lost to the specific one.
+        assert_eq!(roundtrip.entries[0].shadowed, vec!["generic".to_string()]);
+        assert!(roundtrip.entries[0].fired.contains(&"specific".to_string()));
+        assert_eq!(roundtrip.entries[1].fired, vec!["class_rule".to_string()]);
     }
 }

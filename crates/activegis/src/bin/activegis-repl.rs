@@ -30,6 +30,10 @@ commands:
   select <window> <path> <item>           deliver a list-select gesture
   close <window>                          close a window (and children)
   explain                                 print the rule-firing trace
+  :explain [n]                            structured trace export as JSON (last n)
+  :metrics                                metrics snapshot as JSON
+  :metrics prom                           metrics in Prometheus text format
+  :metrics on|off                         toggle metric collection
   screen                                  tile this session's windows
   windows                                 list open windows
   help                                    this text
@@ -142,6 +146,25 @@ impl Repl {
             ["explain"] => {
                 let resp = self.call(Request::Explain);
                 self.show(resp);
+            }
+            [":explain"] => println!("{}", self.gis.explanation_json()),
+            [":explain", n] => match n.parse::<usize>() {
+                Ok(n) => {
+                    for record in self.gis.explanation_log().recent(n) {
+                        println!("#{} {}", record.seq, record.trace.render_json());
+                    }
+                }
+                Err(_) => println!("error: `{n}` is not a count"),
+            },
+            [":metrics"] => println!("{}", self.gis.metrics().to_json()),
+            [":metrics", "prom"] => print!("{}", self.gis.metrics().to_prometheus()),
+            [":metrics", "on"] => {
+                ActiveGis::set_metrics_enabled(true);
+                println!("metric collection on");
+            }
+            [":metrics", "off"] => {
+                ActiveGis::set_metrics_enabled(false);
+                println!("metric collection off");
             }
             ["screen"] => match self.session {
                 Some(sid) => {

@@ -47,8 +47,7 @@ pub use system::ActiveGis;
 
 // One-stop re-exports so applications can depend on `activegis` alone.
 pub use active::{
-    ContextPattern, Engine, Event, EventPattern, Rule, RuleGroup, SelectionPolicy,
-    SessionContext,
+    ContextPattern, Engine, Event, EventPattern, Rule, RuleGroup, SelectionPolicy, SessionContext,
 };
 pub use builder::{BuiltWindow, Format, InterfaceBuilder, WindowKind};
 pub use custlang::{
@@ -61,6 +60,8 @@ pub use geodb::{
     Rect, SchemaDef, Value,
 };
 pub use gisui::{
-    Dispatcher, InteractionMode, Request, Response, SessionId, UiError, WindowId,
+    Dispatcher, ExplanationLog, InteractionMode, Request, Response, SessionId, TraceRecord,
+    UiError, WindowId,
 };
+pub use obs::MetricsSnapshot;
 pub use uilib::{Library, MapScene, MapShape, Prop, WidgetKind, WidgetTree};

@@ -81,12 +81,7 @@ impl ActiveGis {
     // -- sessions and browsing ----------------------------------------------
 
     /// Start a session for `<user, category, application>`.
-    pub fn login(
-        &mut self,
-        user: &str,
-        category: &str,
-        application: &str,
-    ) -> SessionId {
+    pub fn login(&mut self, user: &str, category: &str, application: &str) -> SessionId {
         self.dispatcher
             .open_session(SessionContext::new(user, category, application))
     }
@@ -108,12 +103,7 @@ impl ActiveGis {
     }
 
     /// Open a Class-set window.
-    pub fn browse_class(
-        &mut self,
-        sid: SessionId,
-        schema: &str,
-        class: &str,
-    ) -> Result<WindowId> {
+    pub fn browse_class(&mut self, sid: SessionId, schema: &str, class: &str) -> Result<WindowId> {
         self.dispatcher.open_class(sid, schema, class, None)
     }
 
@@ -137,9 +127,37 @@ impl ActiveGis {
             .to_svg())
     }
 
-    /// The rule-firing explanation log.
+    /// The rule-firing explanation log (rendered lines).
     pub fn explanation(&self) -> &[String] {
         self.dispatcher.explanation()
+    }
+
+    // -- observability ------------------------------------------------------
+
+    /// Point-in-time snapshot of the process-wide metrics registry:
+    /// counters, latency/size histograms (p50/p95/p99/max) and span
+    /// hierarchy across `engine`, `geodb`, `builder`, `render` and
+    /// `dispatcher`. Export with [`obs::MetricsSnapshot::to_json`] or
+    /// [`obs::MetricsSnapshot::to_prometheus`].
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        obs::snapshot()
+    }
+
+    /// Turn metric collection on or off process-wide. When off every
+    /// instrumentation hook collapses to one atomic load.
+    pub fn set_metrics_enabled(on: bool) {
+        obs::set_enabled(on);
+    }
+
+    /// The structured explanation log: the most recent traces with
+    /// cascade depths and matched/fired/shadowed rule names intact.
+    pub fn explanation_log(&self) -> &gisui::ExplanationLog {
+        self.dispatcher.explanation_log()
+    }
+
+    /// JSON export of the retained structured traces.
+    pub fn explanation_json(&self) -> String {
+        self.dispatcher.explanation_json()
     }
 
     /// Tile a session's visible windows into one text screen (the way the

@@ -81,8 +81,16 @@ fn bench_rule_selection(c: &mut Criterion) {
     // The qualitative difference the latency numbers hide: payload counts.
     let mut most = engine_with_rules(1000, SelectionPolicy::MostSpecific);
     let mut all = engine_with_rules(1000, SelectionPolicy::FireAll);
-    let n_most = most.dispatch(event(), &session).unwrap().customizations.len();
-    let n_all = all.dispatch(event(), &session).unwrap().customizations.len();
+    let n_most = most
+        .dispatch(event(), &session)
+        .unwrap()
+        .customizations
+        .len();
+    let n_all = all
+        .dispatch(event(), &session)
+        .unwrap()
+        .customizations
+        .len();
     eprintln!(
         "\n[c1] at 1000 rules: MostSpecific selects {n_most} customization, \
          FireAll produces {n_all} conflicting customizations\n"

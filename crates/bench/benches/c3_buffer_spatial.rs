@@ -48,15 +48,9 @@ fn bench_spatial(c: &mut Criterion) {
         ] {
             let mut db = db_with_index(n, kind);
             group.throughput(Throughput::Elements(n as u64));
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &window,
-                |b, window| {
-                    b.iter(|| {
-                        black_box(db.window_query("phone_net", "Pole", *window).unwrap())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &window, |b, window| {
+                b.iter(|| black_box(db.window_query("phone_net", "Pole", *window).unwrap()));
+            });
         }
     }
     group.finish();
@@ -120,7 +114,12 @@ fn bench_spatial(c: &mut Criterion) {
             }
             rates.push(db.buffer_stats().hit_rate());
         }
-        eprintln!("{:>8} {:>9.1}% {:>9.1}%", frames, rates[0] * 100.0, rates[1] * 100.0);
+        eprintln!(
+            "{:>8} {:>9.1}% {:>9.1}%",
+            frames,
+            rates[0] * 100.0,
+            rates[1] * 100.0
+        );
     }
     eprintln!();
 

@@ -56,7 +56,8 @@ fn bench_census(c: &mut Criterion) {
     // Print the census once.
     let mut gis = generic_gis(&cfg);
     for i in 0..40 {
-        gis.customize(&census_program(i), &format!("census{i}")).unwrap();
+        gis.customize(&census_program(i), &format!("census{i}"))
+            .unwrap();
     }
     let (total, distinct) = run_census(&mut gis, 40);
     eprintln!(
@@ -70,7 +71,8 @@ fn bench_census(c: &mut Criterion) {
     group.bench_function("40_contexts_120_windows", |b| {
         let mut gis = generic_gis(&cfg);
         for i in 0..40 {
-            gis.customize(&census_program(i), &format!("census{i}")).unwrap();
+            gis.customize(&census_program(i), &format!("census{i}"))
+                .unwrap();
         }
         b.iter(|| black_box(run_census(&mut gis, 40)));
     });

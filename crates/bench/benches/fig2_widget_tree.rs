@@ -28,7 +28,9 @@ fn build_tree(lib: &Library, n: usize) -> WidgetTree {
             if built >= n {
                 break;
             }
-            let id = tree.add(lib, panel, "Button", format!("b{b}")).expect("button");
+            let id = tree
+                .add(lib, panel, "Button", format!("b{b}"))
+                .expect("button");
             tree.get_mut(id).unwrap().set_prop("label", format!("B{b}"));
             built += 1;
         }
@@ -54,7 +56,11 @@ fn bench_widget_tree(c: &mut Criterion) {
     for i in 0..8 {
         let name = format!("spec{i}");
         chained
-            .specialize(&name, &parent, vec![(format!("k{i}"), uilib::Prop::Int(i as i64))])
+            .specialize(
+                &name,
+                &parent,
+                vec![(format!("k{i}"), uilib::Prop::Int(i as i64))],
+            )
             .unwrap();
         parent = name;
     }
@@ -63,7 +69,13 @@ fn bench_widget_tree(c: &mut Criterion) {
         b.iter(|| black_box(lib.instantiate("Button", uilib::WidgetId(1), "x").unwrap()));
     });
     group.bench_function("depth8_specialization", |b| {
-        b.iter(|| black_box(chained.instantiate("spec7", uilib::WidgetId(1), "x").unwrap()));
+        b.iter(|| {
+            black_box(
+                chained
+                    .instantiate("spec7", uilib::WidgetId(1), "x")
+                    .unwrap(),
+            )
+        });
     });
     group.finish();
 

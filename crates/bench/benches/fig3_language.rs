@@ -24,8 +24,7 @@ fn bench_language(c: &mut Criterion) {
     let library = Library::with_kernel();
 
     let sizes = [1usize, 10, 100, 500];
-    let programs: Vec<(usize, String)> =
-        sizes.iter().map(|&n| (n, synthetic_program(n))).collect();
+    let programs: Vec<(usize, String)> = sizes.iter().map(|&n| (n, synthetic_program(n))).collect();
 
     let mut group = c.benchmark_group("fig3_parse");
     for (n, src) in &programs {

@@ -38,9 +38,8 @@ fn bench_fig6(c: &mut Criterion) {
     group.bench_function("replace_among_100_programs", |b| {
         let mut engine: Engine<Customization> = Engine::new();
         for i in 0..100 {
-            let src = format!(
-                "for user u{i} schema phone_net display as default class Pole display"
-            );
+            let src =
+                format!("for user u{i} schema phone_net display as default class Pole display");
             let p = parse(&src).unwrap();
             engine.add_rules(compile(&p, &format!("p{i}"))).unwrap();
         }

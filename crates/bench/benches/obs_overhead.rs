@@ -1,0 +1,69 @@
+//! Observability overhead on the `Engine::dispatch` hot path.
+//!
+//! The instrumentation contract is that the hooks stay within ~10% of
+//! the uninstrumented path: per-dispatch tallies are plain integer adds
+//! flushed once, and with collection disabled every hook collapses to a
+//! single relaxed atomic load. This bench measures dispatch latency with
+//! metrics on, with metrics off, and reports both so regressions in the
+//! hook cost show up as a widening gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use active::{ContextPattern, Engine, EngineConfig, Event, EventPattern, Rule, SessionContext};
+use geodb::query::{DbEvent, DbEventKind};
+
+fn engine_with_rules(n: usize) -> Engine<usize> {
+    let mut engine = Engine::with_config(EngineConfig {
+        tracing: false,
+        ..Default::default()
+    });
+    for i in 0..n {
+        let ctx = match i % 3 {
+            0 => ContextPattern::any(),
+            1 => ContextPattern::for_category(format!("cat{}", i % 7)),
+            _ => ContextPattern::for_user(format!("user{i}")),
+        };
+        engine
+            .add_rule(Rule::customization(
+                format!("r{i}"),
+                EventPattern::db(DbEventKind::GetClass),
+                ctx,
+                i,
+            ))
+            .unwrap();
+    }
+    engine
+}
+
+fn event() -> Event {
+    Event::Db(DbEvent::GetClass {
+        schema: "phone_net".into(),
+        class: "Pole".into(),
+    })
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let session = SessionContext::new("user5", "cat5", "pole_manager");
+
+    for &n in &[100usize, 1000] {
+        let mut group = c.benchmark_group(format!("obs_overhead_{n}_rules"));
+        let mut engine = engine_with_rules(n);
+
+        obs::set_enabled(true);
+        group.bench_function("metrics_on", |b| {
+            b.iter(|| black_box(engine.dispatch(event(), &session).unwrap()));
+        });
+
+        obs::set_enabled(false);
+        group.bench_function("metrics_off", |b| {
+            b.iter(|| black_box(engine.dispatch(event(), &session).unwrap()));
+        });
+        obs::set_enabled(true);
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

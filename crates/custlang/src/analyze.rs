@@ -147,8 +147,7 @@ pub fn analyze(program: &Program, env: &AnalysisEnv<'_>) -> Vec<Diagnostic> {
         }
 
         for c in &d.classes {
-            let class_ok =
-                schema_ok && env.catalog.class(&d.schema.name, &c.name).is_ok();
+            let class_ok = schema_ok && env.catalog.class(&d.schema.name, &c.name).is_ok();
             if schema_ok && !class_ok {
                 out.push(Diagnostic::error(format!(
                     "{where_}: unknown class `{}` in schema `{}`",
@@ -173,8 +172,7 @@ pub fn analyze(program: &Program, env: &AnalysisEnv<'_>) -> Vec<Diagnostic> {
 
             for a in &c.instances {
                 if class_ok {
-                    if let Err(e) =
-                        resolve_path(env.catalog, &d.schema.name, &c.name, &a.attribute)
+                    if let Err(e) = resolve_path(env.catalog, &d.schema.name, &c.name, &a.attribute)
                     {
                         out.push(Diagnostic::error(format!("{where_}: {e}")));
                     }
@@ -220,12 +218,9 @@ pub fn analyze(program: &Program, env: &AnalysisEnv<'_>) -> Vec<Diagnostic> {
                                     }
                                 }
                                 for arg in args {
-                                    if let Err(e) = resolve_path(
-                                        env.catalog,
-                                        &d.schema.name,
-                                        &c.name,
-                                        arg,
-                                    ) {
+                                    if let Err(e) =
+                                        resolve_path(env.catalog, &d.schema.name, &c.name, arg)
+                                    {
                                         out.push(Diagnostic::error(format!("{where_}: {e}")));
                                     }
                                 }
@@ -332,9 +327,19 @@ mod tests {
         )
         .unwrap();
         let diags = analyze(&prog, &env);
-        assert_eq!(diags.iter().filter(|d| d.severity == Severity::Error).count(), 3);
-        assert!(diags.iter().any(|d| d.message.contains("no attribute `nonexistent`")));
-        assert!(diags.iter().any(|d| d.message.contains("no field `bad_field`")));
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count(),
+            3
+        );
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("no attribute `nonexistent`")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("no field `bad_field`")));
         assert!(diags.iter().any(|d| d.message.contains("non-tuple")));
     }
 
@@ -349,8 +354,12 @@ mod tests {
         )
         .unwrap();
         let diags = analyze(&prog, &env);
-        assert!(diags.iter().any(|d| d.message.contains("takes 1 argument(s), got 2")));
-        assert!(diags.iter().any(|d| d.message.contains("no method `no_such_method`")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("takes 1 argument(s), got 2")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("no method `no_such_method`")));
     }
 
     #[test]

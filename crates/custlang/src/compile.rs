@@ -265,10 +265,8 @@ mod tests {
         engine.add_rules(compile(&v1, "prog")).unwrap();
         assert_eq!(engine.len(), 2);
 
-        let v2 = parse(
-            "for user u schema s display as Null class C display class D display",
-        )
-        .unwrap();
+        let v2 =
+            parse("for user u schema s display as Null class C display class D display").unwrap();
         engine.remove_rules_with_prefix("prog/");
         engine.add_rules(compile(&v2, "prog")).unwrap();
         assert_eq!(engine.len(), 3);

@@ -127,19 +127,31 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '(' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
             }
             ')' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
             }
             '.' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Dot, line });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    line,
+                });
             }
             ',' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let mut word = String::new();
@@ -179,7 +191,12 @@ mod tests {
     fn keywords_are_case_insensitive() {
         assert_eq!(
             kinds("For USER Schema"),
-            vec![TokenKind::For, TokenKind::User, TokenKind::Schema, TokenKind::Eof]
+            vec![
+                TokenKind::For,
+                TokenKind::User,
+                TokenKind::Schema,
+                TokenKind::Eof
+            ]
         );
     }
 

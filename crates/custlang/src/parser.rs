@@ -199,9 +199,9 @@ impl Parser {
             TokenKind::Null => SchemaMode::Null,
             other => {
                 return Err(self.error(format!(
-                    "expected a schema display mode (default|hierarchy|user-defined|Null), found {}",
-                    other.describe()
-                )))
+                "expected a schema display mode (default|hierarchy|user-defined|Null), found {}",
+                other.describe()
+            )))
             }
         };
         self.next();
@@ -237,9 +237,7 @@ impl Parser {
                 clause.instances.push(self.attr_clause()?);
             }
             if clause.instances.is_empty() {
-                return Err(
-                    self.error("`instances` needs at least one `display attribute`".into())
-                );
+                return Err(self.error("`instances` needs at least one `display attribute`".into()));
             }
         }
         Ok(clause)
@@ -429,10 +427,7 @@ mod tests {
         let prog = parse(src).unwrap();
         assert_eq!(prog.directives.len(), 2);
         assert_eq!(prog.directives[0].classes.len(), 2);
-        assert_eq!(
-            prog.directives[1].context.category.as_deref(),
-            Some("ops")
-        );
+        assert_eq!(prog.directives[1].context.category.as_deref(), Some("ops"));
     }
 
     #[test]
@@ -454,10 +449,8 @@ mod tests {
 
     #[test]
     fn empty_instances_rejected() {
-        let err = parse(
-            "for user u schema s display as default class C display instances",
-        )
-        .unwrap_err();
+        let err =
+            parse("for user u schema s display as default class C display instances").unwrap_err();
         assert!(err.message.contains("display attribute"));
     }
 
@@ -527,10 +520,8 @@ mod extension_tests {
 
     #[test]
     fn duplicate_scale_rejected() {
-        let err = parse(
-            "for scale 1:10 scale 1:20 schema s display as default class C display",
-        )
-        .unwrap_err();
+        let err = parse("for scale 1:10 scale 1:20 schema s display as default class C display")
+            .unwrap_err();
         assert!(err.message.contains("duplicate `scale`"));
     }
 

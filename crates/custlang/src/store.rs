@@ -110,8 +110,12 @@ mod tests {
     fn save_load_round_trip() {
         let mut db = Database::new("GEO");
         save_program(&mut db, "fig6", FIG6_PROGRAM).unwrap();
-        save_program(&mut db, "other", "for user u schema s display as default class C display")
-            .unwrap();
+        save_program(
+            &mut db,
+            "other",
+            "for user u schema s display as default class C display",
+        )
+        .unwrap();
         let progs = load_programs(&mut db).unwrap();
         assert_eq!(progs.len(), 2);
         assert_eq!(progs[0].0, "fig6");
@@ -123,10 +127,18 @@ mod tests {
     #[test]
     fn save_replaces_same_name() {
         let mut db = Database::new("GEO");
-        save_program(&mut db, "p", "for user a schema s display as default class C display")
-            .unwrap();
-        save_program(&mut db, "p", "for user b schema s display as default class C display")
-            .unwrap();
+        save_program(
+            &mut db,
+            "p",
+            "for user a schema s display as default class C display",
+        )
+        .unwrap();
+        save_program(
+            &mut db,
+            "p",
+            "for user b schema s display as default class C display",
+        )
+        .unwrap();
         let progs = load_programs(&mut db).unwrap();
         assert_eq!(progs.len(), 1);
         assert!(progs[0].1.contains("user b"));

@@ -87,15 +87,14 @@ impl Catalog {
 
     fn validate_type(schema: &SchemaDef, class: &str, attr: &str, ty: &AttrType) -> Result<()> {
         match ty {
-            AttrType::Ref(target)
-                if schema.find_class(target).is_none() => {
-                    return Err(GeoDbError::TypeMismatch {
-                        class: class.into(),
-                        attribute: attr.into(),
-                        expected: "reference to an existing class".into(),
-                        got: format!("unknown class `{target}`"),
-                    });
-                }
+            AttrType::Ref(target) if schema.find_class(target).is_none() => {
+                return Err(GeoDbError::TypeMismatch {
+                    class: class.into(),
+                    attribute: attr.into(),
+                    expected: "reference to an existing class".into(),
+                    got: format!("unknown class `{target}`"),
+                });
+            }
             AttrType::Tuple(fields) => {
                 for (fname, fty) in fields {
                     Self::validate_type(schema, class, &format!("{attr}.{fname}"), fty)?;
@@ -281,8 +280,8 @@ mod tests {
             cat.register(bad_parent),
             Err(GeoDbError::UnknownClass(_))
         ));
-        let bad_ref = SchemaDef::new("s")
-            .class(ClassDef::new("A").attr("r", AttrType::Ref("Ghost".into())));
+        let bad_ref =
+            SchemaDef::new("s").class(ClassDef::new("A").attr("r", AttrType::Ref("Ghost".into())));
         assert!(cat.register(bad_ref).is_err());
     }
 

@@ -30,7 +30,9 @@ pub type MethodFn = Rc<dyn Fn(&mut Database, &Instance, &[Value]) -> Result<Valu
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum IndexKind {
     RTree,
-    Grid { cell: f64 },
+    Grid {
+        cell: f64,
+    },
     /// Sequential scan only (the baseline in experiment C3).
     None,
 }
@@ -109,11 +111,7 @@ impl Database {
     }
 
     /// Open with an explicit buffer-pool configuration.
-    pub fn with_pool(
-        name: impl Into<String>,
-        frames: usize,
-        policy: EvictionPolicy,
-    ) -> Database {
+    pub fn with_pool(name: impl Into<String>, frames: usize, policy: EvictionPolicy) -> Database {
         Database {
             name: name.into(),
             catalog: Catalog::new(),
@@ -320,6 +318,14 @@ impl Database {
         Ok(oid)
     }
 
+    /// Buffer-pool page touches (hits + misses) so far. Read-only: the
+    /// observability hooks report deltas of this without adding pool
+    /// operations of their own.
+    fn pool_touches(&self) -> u64 {
+        let s = self.pool.stats();
+        s.hits + s.misses
+    }
+
     fn fetch(&mut self, schema: &str, class: &str, oid: Oid) -> Result<Instance> {
         let pool = &mut self.pool;
         let extent = self
@@ -337,17 +343,23 @@ impl Database {
 
     /// `Get_Value` primitive: fetch one instance, emitting the event.
     pub fn get_value(&mut self, oid: Oid) -> Result<Instance> {
+        let _span = obs::span("geodb.get_value");
+        let touches0 = self.pool_touches();
         let (schema, class) = self
             .locator
             .get(&oid)
             .cloned()
             .ok_or(GeoDbError::UnknownOid(oid.0))?;
         let inst = self.fetch(&schema, &class, oid)?;
-        self.emit(DbEvent::GetValue {
-            schema,
-            class,
-            oid,
-        });
+        self.emit(DbEvent::GetValue { schema, class, oid });
+        if obs::enabled() {
+            obs::counter_add("geodb.queries", 1);
+            obs::counter_add("geodb.instances_fetched", 1);
+            obs::counter_add(
+                "geodb.pages_touched",
+                self.pool_touches().saturating_sub(touches0),
+            );
+        }
         Ok(inst)
     }
 
@@ -363,10 +375,12 @@ impl Database {
 
     /// `Get_Schema` primitive: schema metadata, emitting the event.
     pub fn get_schema(&mut self, schema: &str) -> Result<SchemaDef> {
+        let _span = obs::span("geodb.get_schema");
         let def = self.catalog.schema(schema)?.clone();
         self.emit(DbEvent::GetSchema {
             schema: schema.into(),
         });
+        obs::counter_add("geodb.queries", 1);
         Ok(def)
     }
 
@@ -378,6 +392,8 @@ impl Database {
         class: &str,
         with_subclasses: bool,
     ) -> Result<Vec<Instance>> {
+        let _span = obs::span("geodb.get_class");
+        let touches0 = self.pool_touches();
         // Validate the class exists even when its extent is empty.
         self.catalog.class(schema, class)?;
         let mut classes = vec![class.to_string()];
@@ -405,16 +421,21 @@ impl Database {
             schema: schema.into(),
             class: class.into(),
         });
+        if obs::enabled() {
+            obs::counter_add("geodb.queries", 1);
+            obs::counter_add("geodb.instances_fetched", out.len() as u64);
+            obs::counter_add(
+                "geodb.pages_touched",
+                self.pool_touches().saturating_sub(touches0),
+            );
+        }
         Ok(out)
     }
 
     /// Selection with optional spatial-index acceleration.
-    pub fn select(
-        &mut self,
-        schema: &str,
-        class: &str,
-        pred: &Predicate,
-    ) -> Result<Vec<Instance>> {
+    pub fn select(&mut self, schema: &str, class: &str, pred: &Predicate) -> Result<Vec<Instance>> {
+        let _span = obs::span("geodb.select");
+        let touches0 = self.pool_touches();
         self.catalog.class(schema, class)?;
         let key = (schema.to_string(), class.to_string());
         let window = pred.index_window();
@@ -449,6 +470,22 @@ impl Database {
             returned: out.len(),
             index_used,
         };
+        if obs::enabled() {
+            obs::counter_add("geodb.queries", 1);
+            obs::counter_add("geodb.instances_fetched", n_candidates as u64);
+            obs::counter_add(
+                "geodb.pages_touched",
+                self.pool_touches().saturating_sub(touches0),
+            );
+            obs::counter_add(
+                if index_used {
+                    "geodb.index_hits"
+                } else {
+                    "geodb.index_scans"
+                },
+                1,
+            );
+        }
         Ok(out)
     }
 
@@ -553,12 +590,7 @@ impl Database {
     }
 
     /// Spatial window shortcut: everything whose geometry intersects `rect`.
-    pub fn window_query(
-        &mut self,
-        schema: &str,
-        class: &str,
-        rect: Rect,
-    ) -> Result<Vec<Instance>> {
+    pub fn window_query(&mut self, schema: &str, class: &str, rect: Rect) -> Result<Vec<Instance>> {
         let attr = {
             let extent = self
                 .extents
@@ -568,11 +600,7 @@ impl Database {
                 GeoDbError::InvalidQuery(format!("class `{class}` has no geometry attribute"))
             })?
         };
-        self.select(
-            schema,
-            class,
-            &Predicate::IntersectsRect { attr, rect },
-        )
+        self.select(schema, class, &Predicate::IntersectsRect { attr, rect })
     }
 
     /// Update named attributes of an instance.
@@ -606,7 +634,10 @@ impl Database {
             .extents
             .get_mut(&(schema.clone(), class.clone()))
             .expect("located extent exists");
-        let rid = *extent.records.get(&oid).ok_or(GeoDbError::UnknownOid(oid.0))?;
+        let rid = *extent
+            .records
+            .get(&oid)
+            .ok_or(GeoDbError::UnknownOid(oid.0))?;
         let new_rid = extent.heap.update(pool, rid, &bytes)?;
         extent.records.insert(oid, new_rid);
         if let Some(idx) = extent.spatial.as_mut() {
@@ -615,11 +646,7 @@ impl Database {
                 idx.insert(oid, bbox);
             }
         }
-        self.emit(DbEvent::Update {
-            schema,
-            class,
-            oid,
-        });
+        self.emit(DbEvent::Update { schema, class, oid });
         Ok(())
     }
 
@@ -643,11 +670,7 @@ impl Database {
         if let Some(idx) = extent.spatial.as_mut() {
             idx.remove(oid);
         }
-        self.emit(DbEvent::Delete {
-            schema,
-            class,
-            oid,
-        });
+        self.emit(DbEvent::Delete { schema, class, oid });
         Ok(())
     }
 
@@ -878,11 +901,7 @@ mod tests {
     fn attribute_predicates_work() {
         let mut db = db_with_poles(10);
         let tall = db
-            .select(
-                "net",
-                "Pole",
-                &Predicate::cmp("height", CmpOp::Ge, 12.0),
-            )
+            .select("net", "Pole", &Predicate::cmp("height", CmpOp::Ge, 12.0))
             .unwrap();
         assert_eq!(tall.len(), 3); // heights 12, 13, 14
     }
@@ -964,9 +983,7 @@ mod tests {
         )
         .unwrap();
         let poles = db.get_class("net", "Pole", false).unwrap();
-        let name = db
-            .call_method(&poles[0], "get_supplier_name", &[])
-            .unwrap();
+        let name = db.call_method(&poles[0], "get_supplier_name", &[]).unwrap();
         assert_eq!(name, Value::Text("Acme".into()));
 
         assert!(db
@@ -1025,7 +1042,11 @@ mod nearest_tests {
 
     #[test]
     fn nearest_matches_brute_force_with_and_without_index() {
-        for kind in [IndexKind::RTree, IndexKind::None, IndexKind::Grid { cell: 2.0 }] {
+        for kind in [
+            IndexKind::RTree,
+            IndexKind::None,
+            IndexKind::Grid { cell: 2.0 },
+        ] {
             let mut db = grid_db(kind);
             let q = Point::new(4.3, 6.8);
             let got = db.nearest("s", "P", q, 5).unwrap();
@@ -1033,12 +1054,7 @@ mod nearest_tests {
             let all = db.get_class("s", "P", false).unwrap();
             let mut ranked: Vec<(f64, &Instance)> = all
                 .iter()
-                .map(|i| {
-                    (
-                        i.get("loc").as_geometry().unwrap().distance_to_point(&q),
-                        i,
-                    )
-                })
+                .map(|i| (i.get("loc").as_geometry().unwrap().distance_to_point(&q), i))
                 .collect();
             ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
             let expect: Vec<Oid> = ranked[..5].iter().map(|(_, i)| i.oid).collect();
@@ -1139,7 +1155,13 @@ mod aggregate_tests {
         let mut db = db();
         let n = db.extent_size("phone_net", "Pole") as i64;
         let count = db
-            .aggregate("phone_net", "Pole", "pole_type", Aggregate::Count, &Predicate::True)
+            .aggregate(
+                "phone_net",
+                "Pole",
+                "pole_type",
+                Aggregate::Count,
+                &Predicate::True,
+            )
             .unwrap();
         assert_eq!(count, Value::Int(n));
 
@@ -1189,7 +1211,13 @@ mod aggregate_tests {
             )
             .unwrap();
         let all = db
-            .aggregate("phone_net", "Pole", "pole_type", Aggregate::Count, &Predicate::True)
+            .aggregate(
+                "phone_net",
+                "Pole",
+                "pole_type",
+                Aggregate::Count,
+                &Predicate::True,
+            )
             .unwrap();
         let (Value::Int(w), Value::Int(a)) = (wood_count, all) else {
             panic!()

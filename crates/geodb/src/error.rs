@@ -64,7 +64,10 @@ impl fmt::Display for GeoDbError {
                 "type mismatch on `{class}.{attribute}`: expected {expected}, got {got}"
             ),
             GeoDbError::MissingAttribute { class, attribute } => {
-                write!(f, "missing required attribute `{attribute}` on class `{class}`")
+                write!(
+                    f,
+                    "missing required attribute `{attribute}` on class `{class}`"
+                )
             }
             GeoDbError::InheritanceCycle(c) => {
                 write!(f, "inheritance cycle through class `{c}`")

@@ -164,10 +164,7 @@ pub fn generate_phone_net(db: &mut Database, cfg: &TelecomConfig) -> Result<Tele
             "Supplier",
             vec![
                 ("supplier_name".into(), format!("Supplier-{i:02}").into()),
-                (
-                    "supplier_city".into(),
-                    CITIES[i % CITIES.len()].into(),
-                ),
+                ("supplier_city".into(), CITIES[i % CITIES.len()].into()),
             ],
         )?;
         suppliers.push(oid);
@@ -221,10 +218,7 @@ pub fn generate_phone_net(db: &mut Database, cfg: &TelecomConfig) -> Result<Tele
                     ]),
                 ),
                 ("pole_supplier".into(), Value::Ref(supplier)),
-                (
-                    "pole_location".into(),
-                    Geometry::Point(loc).into(),
-                ),
+                ("pole_location".into(), Geometry::Point(loc).into()),
                 (
                     "pole_historic".into(),
                     format!("installed 19{}", rng.gen_range(70..97)).into(),
@@ -361,9 +355,7 @@ mod tests {
     fn supplier_method_works_on_generated_data() {
         let (mut db, _) = phone_net_db(&TelecomConfig::small()).unwrap();
         let poles = db.get_class("phone_net", "Pole", false).unwrap();
-        let name = db
-            .call_method(&poles[0], "get_supplier_name", &[])
-            .unwrap();
+        let name = db.call_method(&poles[0], "get_supplier_name", &[]).unwrap();
         assert!(matches!(name, Value::Text(s) if s.starts_with("Supplier-")));
     }
 

@@ -139,6 +139,9 @@ mod tests {
 
     #[test]
     fn translate_moves_point() {
-        assert_eq!(Point::new(1.0, 2.0).translate(2.0, -1.0), Point::new(3.0, 1.0));
+        assert_eq!(
+            Point::new(1.0, 2.0).translate(2.0, -1.0),
+            Point::new(3.0, 1.0)
+        );
     }
 }

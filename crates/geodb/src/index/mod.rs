@@ -72,7 +72,9 @@ mod conformance {
         assert_eq!(hits, expect);
 
         // Empty window.
-        assert!(idx.query_rect(&Rect::new(50.0, 50.0, 60.0, 60.0)).is_empty());
+        assert!(idx
+            .query_rect(&Rect::new(50.0, 50.0, 60.0, 60.0))
+            .is_empty());
 
         // Nearest to (0,0): the corner point itself first.
         let near = idx.nearest(&Point::new(0.1, 0.1), 3);

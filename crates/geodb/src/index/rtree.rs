@@ -359,10 +359,8 @@ impl SpatialIndex for RTree {
                     // Root split: grow the tree.
                     let left_bbox = self.nodes[node_idx].bbox();
                     let right_bbox = self.nodes[sibling].bbox();
-                    let new_root = Node::Internal(vec![
-                        (left_bbox, node_idx),
-                        (right_bbox, sibling),
-                    ]);
+                    let new_root =
+                        Node::Internal(vec![(left_bbox, node_idx), (right_bbox, sibling)]);
                     self.nodes.push(new_root);
                     self.root = self.nodes.len() - 1;
                 } else {
@@ -533,7 +531,12 @@ mod tests {
         for _ in 0..50 {
             let x = rng.gen_range(0.0..900.0);
             let y = rng.gen_range(0.0..900.0);
-            let window = Rect::new(x, y, x + rng.gen_range(1.0..150.0), y + rng.gen_range(1.0..150.0));
+            let window = Rect::new(
+                x,
+                y,
+                x + rng.gen_range(1.0..150.0),
+                y + rng.gen_range(1.0..150.0),
+            );
             let mut got = tree.query_rect(&window);
             got.sort();
             assert_eq!(got, scan(&items, &window));
@@ -649,7 +652,9 @@ mod tests {
             (Oid(1), Rect::from_point(Point::new(9.0, 9.0))),
         ]);
         assert_eq!(dup.len(), 1);
-        assert!(dup.query_rect(&Rect::new(8.0, 8.0, 10.0, 10.0)).contains(&Oid(1)));
+        assert!(dup
+            .query_rect(&Rect::new(8.0, 8.0, 10.0, 10.0))
+            .contains(&Oid(1)));
     }
 
     #[test]

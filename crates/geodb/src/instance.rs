@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::value::Value;
 
 /// Database-wide object identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Oid(pub u64);
 
 impl std::fmt::Display for Oid {

@@ -61,9 +61,15 @@ pub enum Predicate {
         value: Value,
     },
     /// Geometry attribute entirely within a rectangle.
-    Within { attr: String, rect: Rect },
+    Within {
+        attr: String,
+        rect: Rect,
+    },
     /// Geometry attribute intersecting a rectangle (map viewport query).
-    IntersectsRect { attr: String, rect: Rect },
+    IntersectsRect {
+        attr: String,
+        rect: Rect,
+    },
     /// Geometry attribute within `dist` of a point.
     NearPoint {
         attr: String,
@@ -81,10 +87,9 @@ impl Predicate {
         match self {
             Predicate::True => true,
             Predicate::Cmp { path, op, value } => op.eval(inst.get_path(path), value),
-            Predicate::Within { attr, rect } => inst
-                .get(attr)
-                .as_geometry()
-                .is_some_and(|g| g.within(rect)),
+            Predicate::Within { attr, rect } => {
+                inst.get(attr).as_geometry().is_some_and(|g| g.within(rect))
+            }
             Predicate::IntersectsRect { attr, rect } => inst
                 .get(attr)
                 .as_geometry()
@@ -105,10 +110,9 @@ impl Predicate {
         match self {
             Predicate::Within { attr, rect } => Some((attr.clone(), *rect)),
             Predicate::IntersectsRect { attr, rect } => Some((attr.clone(), *rect)),
-            Predicate::NearPoint { attr, point, dist } => Some((
-                attr.clone(),
-                Rect::from_point(*point).inflate(*dist),
-            )),
+            Predicate::NearPoint { attr, point, dist } => {
+                Some((attr.clone(), Rect::from_point(*point).inflate(*dist)))
+            }
             // A conjunction can be prefiltered by either side's window.
             Predicate::And(a, b) => a.index_window().or_else(|| b.index_window()),
             _ => None,

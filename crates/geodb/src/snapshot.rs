@@ -135,7 +135,10 @@ mod tests {
                 "City",
                 vec![
                     ("name".into(), "Bari".into()),
-                    ("center".into(), Geometry::Point(Point::new(5.0, 5.0)).into()),
+                    (
+                        "center".into(),
+                        Geometry::Point(Point::new(5.0, 5.0)).into(),
+                    ),
                 ],
             )
             .unwrap();

@@ -111,11 +111,7 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     /// Write access to a page through the cache; marks the frame dirty.
-    pub fn with_page_mut<R>(
-        &mut self,
-        pid: PageId,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> Result<R> {
+    pub fn with_page_mut<R>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
         let idx = self.fetch(pid)?;
         self.touch(idx);
         self.frames[idx].dirty = true;
@@ -203,17 +199,15 @@ impl<S: PageStore> BufferPool<S> {
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(i, _)| i)
                 .expect("pool is full when evicting"),
-            EvictionPolicy::Clock => {
-                loop {
-                    let i = self.clock_hand;
-                    self.clock_hand = (self.clock_hand + 1) % self.frames.len();
-                    if self.frames[i].referenced {
-                        self.frames[i].referenced = false;
-                    } else {
-                        return i;
-                    }
+            EvictionPolicy::Clock => loop {
+                let i = self.clock_hand;
+                self.clock_hand = (self.clock_hand + 1) % self.frames.len();
+                if self.frames[i].referenced {
+                    self.frames[i].referenced = false;
+                } else {
+                    return i;
                 }
-            }
+            },
         }
     }
 }
@@ -289,7 +283,8 @@ mod tests {
         pool.with_page(pids[4], |_| ()).unwrap();
         pool.with_page(pids[5], |_| ()).unwrap();
         // Read back.
-        pool.with_page(pids[3], |d| assert_eq!(d[100], 0xEE)).unwrap();
+        pool.with_page(pids[3], |d| assert_eq!(d[100], 0xEE))
+            .unwrap();
         assert!(pool.stats().dirty_writebacks >= 1);
     }
 

@@ -175,18 +175,13 @@ impl HeapFile {
     }
 
     /// Read a record's full payload.
-    pub fn get<S: PageStore>(
-        &self,
-        pool: &mut BufferPool<S>,
-        rid: RecordId,
-    ) -> Result<Vec<u8>> {
+    pub fn get<S: PageStore>(&self, pool: &mut BufferPool<S>, rid: RecordId) -> Result<Vec<u8>> {
         let head = pool.with_page(rid.page, |data| {
             SlottedPageRef::new(data)
                 .get(rid.slot as usize)
                 .map(|r| r.to_vec())
         })?;
-        let head =
-            head.ok_or_else(|| GeoDbError::Storage(format!("no record at {rid}")))?;
+        let head = head.ok_or_else(|| GeoDbError::Storage(format!("no record at {rid}")))?;
         match head.first() {
             Some(&TAG_INLINE) => Ok(head[1..].to_vec()),
             Some(&TAG_OVERFLOW) => {
@@ -199,18 +194,13 @@ impl HeapFile {
     }
 
     /// Delete a record; overflow pages return to the free list.
-    pub fn delete<S: PageStore>(
-        &mut self,
-        pool: &mut BufferPool<S>,
-        rid: RecordId,
-    ) -> Result<()> {
+    pub fn delete<S: PageStore>(&mut self, pool: &mut BufferPool<S>, rid: RecordId) -> Result<()> {
         let head = pool.with_page(rid.page, |data| {
             SlottedPageRef::new(data)
                 .get(rid.slot as usize)
                 .map(|r| r.to_vec())
         })?;
-        let head =
-            head.ok_or_else(|| GeoDbError::Storage(format!("no record at {rid}")))?;
+        let head = head.ok_or_else(|| GeoDbError::Storage(format!("no record at {rid}")))?;
         if head.first() == Some(&TAG_OVERFLOW) {
             let mut cur = u64::from_le_bytes(head[5..13].try_into().expect("8 bytes"));
             while cur != NO_PAGE {
@@ -221,8 +211,9 @@ impl HeapFile {
                 cur = next;
             }
         }
-        let deleted =
-            pool.with_page_mut(rid.page, |data| SlottedPage::new(data).delete(rid.slot as usize))?;
+        let deleted = pool.with_page_mut(rid.page, |data| {
+            SlottedPage::new(data).delete(rid.slot as usize)
+        })?;
         if !deleted {
             return Err(GeoDbError::Storage(format!("no record at {rid}")));
         }
@@ -242,10 +233,7 @@ impl HeapFile {
     }
 
     /// Materialize every live record as `(rid, payload)` pairs in scan order.
-    pub fn scan<S: PageStore>(
-        &self,
-        pool: &mut BufferPool<S>,
-    ) -> Result<Vec<(RecordId, Vec<u8>)>> {
+    pub fn scan<S: PageStore>(&self, pool: &mut BufferPool<S>) -> Result<Vec<(RecordId, Vec<u8>)>> {
         let mut out = Vec::with_capacity(self.len);
         for &pid in &self.data_pages {
             let heads: Vec<(u16, Vec<u8>)> = pool.with_page(pid, |data| {
@@ -265,11 +253,7 @@ impl HeapFile {
                             PageId(u64::from_le_bytes(head[5..13].try_into().expect("8 bytes")));
                         self.read_overflow_chain(pool, first, total)?
                     }
-                    _ => {
-                        return Err(GeoDbError::Storage(format!(
-                            "corrupt record head at {rid}"
-                        )))
-                    }
+                    _ => return Err(GeoDbError::Storage(format!("corrupt record head at {rid}"))),
                 };
                 out.push((rid, payload));
             }

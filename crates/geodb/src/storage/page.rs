@@ -47,7 +47,10 @@ impl<'a> SlottedPageRef<'a> {
 
     fn slot(&self, i: usize) -> (usize, usize) {
         let base = HEADER + i * SLOT;
-        (self.read_u16(base) as usize, self.read_u16(base + 2) as usize)
+        (
+            self.read_u16(base) as usize,
+            self.read_u16(base + 2) as usize,
+        )
     }
 
     /// Read a live record.
@@ -105,7 +108,10 @@ impl<'a> SlottedPage<'a> {
 
     fn slot(&self, i: usize) -> (usize, usize) {
         let base = HEADER + i * SLOT;
-        (self.read_u16(base) as usize, self.read_u16(base + 2) as usize)
+        (
+            self.read_u16(base) as usize,
+            self.read_u16(base + 2) as usize,
+        )
     }
 
     fn set_slot(&mut self, i: usize, offset: usize, len: usize) {

@@ -110,7 +110,9 @@ impl FileStore {
 impl PageStore for FileStore {
     fn read_page(&mut self, pid: PageId, buf: &mut [u8]) -> Result<()> {
         if pid.0 >= self.num_pages {
-            return Err(GeoDbError::Storage(format!("read of unallocated page {pid}")));
+            return Err(GeoDbError::Storage(format!(
+                "read of unallocated page {pid}"
+            )));
         }
         self.file
             .seek(SeekFrom::Start(pid.0 * PAGE_SIZE as u64))
@@ -120,7 +122,9 @@ impl PageStore for FileStore {
 
     fn write_page(&mut self, pid: PageId, buf: &[u8]) -> Result<()> {
         if pid.0 >= self.num_pages {
-            return Err(GeoDbError::Storage(format!("write of unallocated page {pid}")));
+            return Err(GeoDbError::Storage(format!(
+                "write of unallocated page {pid}"
+            )));
         }
         self.file
             .seek(SeekFrom::Start(pid.0 * PAGE_SIZE as u64))

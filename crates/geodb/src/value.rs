@@ -108,9 +108,7 @@ impl Value {
                         .zip(fields)
                         .all(|((vn, v), (fn_, ft))| vn == fn_ && v.matches(ft))
             }
-            (Value::List(items), AttrType::List(elem)) => {
-                items.iter().all(|v| v.matches(elem))
-            }
+            (Value::List(items), AttrType::List(elem)) => items.iter().all(|v| v.matches(elem)),
             _ => false,
         }
     }
@@ -255,7 +253,10 @@ mod tests {
             ("pole_material".into(), AttrType::Text),
             ("pole_diameter".into(), AttrType::Float),
         ]);
-        assert_eq!(ty.name(), "tuple(pole_material: text; pole_diameter: float)");
+        assert_eq!(
+            ty.name(),
+            "tuple(pole_material: text; pole_diameter: float)"
+        );
         assert_eq!(AttrType::Ref("Supplier".into()).name(), "Supplier");
         assert_eq!(AttrType::List(Box::new(AttrType::Int)).name(), "list(int)");
     }
@@ -295,7 +296,10 @@ mod tests {
         use std::cmp::Ordering::*;
         assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Less);
         assert_eq!(Value::Float(3.0).compare(&Value::Int(3)), Equal);
-        assert_eq!(Value::Text("b".into()).compare(&Value::Text("a".into())), Greater);
+        assert_eq!(
+            Value::Text("b".into()).compare(&Value::Text("a".into())),
+            Greater
+        );
         assert_eq!(Value::Null.compare(&Value::Int(0)), Less);
     }
 
@@ -314,7 +318,10 @@ mod tests {
     fn display_text_formats() {
         assert_eq!(Value::Null.display_text(), "—");
         assert_eq!(Value::Ref(Oid(42)).display_text(), "→#42");
-        assert_eq!(Value::Bitmap(vec![0; 16]).display_text(), "[bitmap 16 bytes]");
+        assert_eq!(
+            Value::Bitmap(vec![0; 16]).display_text(),
+            "[bitmap 16 bytes]"
+        );
         let t = Value::Tuple(vec![("a".into(), 1i64.into())]);
         assert_eq!(t.display_text(), "a=1");
     }

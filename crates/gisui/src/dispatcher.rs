@@ -26,6 +26,7 @@ use geodb::query::Predicate;
 use geodb::value::Value;
 use uilib::{CallbackTable, Signal, UiEvent};
 
+use crate::explain::{ExplanationLog, TraceRecord};
 use crate::modes::InteractionMode;
 use crate::protocol::{Request, Response, WindowDescriptor};
 use crate::session::{Session, SessionId};
@@ -103,8 +104,8 @@ pub struct Dispatcher {
     registry: WindowRegistry,
     sessions: HashMap<SessionId, Session>,
     next_session: u32,
-    /// Rendered rule traces of recent interactions (explanation mode).
-    trace_log: Vec<String>,
+    /// Structured rule traces of recent interactions (explanation mode).
+    explain: ExplanationLog,
 }
 
 impl Dispatcher {
@@ -151,7 +152,7 @@ impl Dispatcher {
             registry: WindowRegistry::new(),
             sessions: HashMap::new(),
             next_session: 1,
-            trace_log: Vec::new(),
+            explain: ExplanationLog::default(),
         }
     }
 
@@ -184,15 +185,38 @@ impl Dispatcher {
         self.registry.iter()
     }
 
-    /// Rendered rule traces of this dispatcher's interactions so far.
+    /// Rendered rule traces of this dispatcher's interactions so far
+    /// (the most recent ones — the log is a bounded ring).
     pub fn explanation(&self) -> &[String] {
-        &self.trace_log
+        self.explain.rendered()
+    }
+
+    /// The structured explanation log: recent traces with depths,
+    /// matched/fired/shadowed rule names and sequence numbers.
+    pub fn explanation_log(&self) -> &ExplanationLog {
+        &self.explain
+    }
+
+    /// The most recent `n` structured traces, oldest of them first.
+    pub fn recent_traces(&self, n: usize) -> Vec<&TraceRecord> {
+        self.explain.recent(n)
+    }
+
+    /// Change how many traces the explanation log retains.
+    pub fn set_explanation_capacity(&mut self, capacity: usize) {
+        self.explain.set_capacity(capacity);
+    }
+
+    /// JSON export of the retained traces (the `:explain` pipeline).
+    pub fn explanation_json(&self) -> String {
+        self.explain.to_json()
     }
 
     // -- sessions -----------------------------------------------------------
 
     /// Open a session for a user context.
     pub fn open_session(&mut self, context: SessionContext) -> SessionId {
+        obs::counter_add("dispatcher.sessions", 1);
         let id = SessionId(self.next_session);
         self.next_session += 1;
         self.sessions.insert(id, Session::new(id, context));
@@ -276,15 +300,18 @@ impl Dispatcher {
     /// session; returns the first customization selected, if any.
     fn intercept_events(&mut self, ctx: &SessionContext) -> Result<Option<Customization>> {
         let mut selected = None;
+        let mut events = 0u64;
         for db_event in self.db.drain_events() {
+            events += 1;
             let outcome = self.engine.dispatch(Event::Db(db_event), ctx)?;
             if !outcome.trace.entries.is_empty() {
-                self.trace_log.push(outcome.trace.render());
+                self.explain.push(outcome.trace);
             }
             if selected.is_none() {
                 selected = outcome.customizations.into_iter().next();
             }
         }
+        obs::counter_add("dispatcher.events", events);
         Ok(selected)
     }
 
@@ -353,15 +380,22 @@ impl Dispatcher {
         let ctx = self.context_of(sid)?;
         let inst = self.db.get_value(oid)?;
         let cust = self.intercept_events(&ctx)?;
-        let built = self.builder.instance_window(&mut self.db, &inst, cust.as_ref())?;
+        let built = self
+            .builder
+            .instance_window(&mut self.db, &inst, cust.as_ref())?;
         let schema = self
             .db
             .locate(oid)
             .map(|(s, _)| s.to_string())
             .unwrap_or_default();
-        let id = self
-            .registry
-            .insert(built, parent, sid.0, schema, Some(inst.class.clone()), Some(oid));
+        let id = self.registry.insert(
+            built,
+            parent,
+            sid.0,
+            schema,
+            Some(inst.class.clone()),
+            Some(oid),
+        );
         self.sessions
             .get_mut(&sid)
             .expect("checked by context_of")
@@ -377,7 +411,10 @@ impl Dispatcher {
         class: &str,
         predicate: &Predicate,
     ) -> Result<WindowId> {
-        let session = self.sessions.get(&sid).ok_or(UiError::UnknownSession(sid))?;
+        let session = self
+            .sessions
+            .get(&sid)
+            .ok_or(UiError::UnknownSession(sid))?;
         if !session.mode.allows_predicates() {
             return Err(UiError::ModeViolation(format!(
                 "{} mode cannot run predicate queries",
@@ -396,7 +433,7 @@ impl Dispatcher {
             &ctx,
         )?;
         if !outcome.trace.entries.is_empty() {
-            self.trace_log.push(outcome.trace.render());
+            self.explain.push(outcome.trace);
         }
         let cust = outcome.customizations.into_iter().next();
         let mut built = self
@@ -428,7 +465,10 @@ impl Dispatcher {
         class: &str,
         updates: Vec<(Oid, Vec<(String, Value)>)>,
     ) -> Result<WindowId> {
-        let session = self.sessions.get(&sid).ok_or(UiError::UnknownSession(sid))?;
+        let session = self
+            .sessions
+            .get(&sid)
+            .ok_or(UiError::UnknownSession(sid))?;
         if !session.mode.allows_updates() {
             return Err(UiError::ModeViolation(format!(
                 "{} mode cannot issue updates",
@@ -480,6 +520,8 @@ impl Dispatcher {
         gesture: &str,
         detail: Option<String>,
     ) -> Result<Vec<WindowId>> {
+        let _span = obs::span("dispatcher.gesture");
+        obs::counter_add("dispatcher.gestures", 1);
         let managed = self
             .registry
             .get(window)
@@ -562,7 +604,10 @@ impl Dispatcher {
         oid: Oid,
         changes: Vec<(String, Value)>,
     ) -> Result<Vec<WindowId>> {
-        let session = self.sessions.get(&sid).ok_or(UiError::UnknownSession(sid))?;
+        let session = self
+            .sessions
+            .get(&sid)
+            .ok_or(UiError::UnknownSession(sid))?;
         if session.mode == InteractionMode::Exploratory {
             return Err(UiError::ModeViolation(
                 "exploratory mode cannot issue updates".into(),
@@ -648,6 +693,7 @@ impl Dispatcher {
 
     /// ASCII rendering of a window.
     pub fn render(&self, window: WindowId) -> Result<String> {
+        let _span = obs::span("dispatcher.render");
         Ok(self
             .registry
             .get(window)
@@ -671,6 +717,8 @@ impl Dispatcher {
 
     /// Serve one weak-integration protocol request for a session.
     pub fn handle_request(&mut self, sid: SessionId, request: Request) -> Response {
+        let _span = obs::span("dispatcher.request");
+        obs::counter_add("dispatcher.requests", 1);
         let result: Result<Response> = (|| match request {
             Request::OpenSchema { schema } => {
                 let ids = self.open_schema(sid, &schema)?;
@@ -680,15 +728,11 @@ impl Dispatcher {
             }
             Request::OpenClass { schema, class } => {
                 let id = self.open_class(sid, &schema, &class, None)?;
-                Ok(Response::Windows(
-                    self.descriptor(id).into_iter().collect(),
-                ))
+                Ok(Response::Windows(self.descriptor(id).into_iter().collect()))
             }
             Request::OpenInstance { oid } => {
                 let id = self.open_instance(sid, Oid(oid), None)?;
-                Ok(Response::Windows(
-                    self.descriptor(id).into_iter().collect(),
-                ))
+                Ok(Response::Windows(self.descriptor(id).into_iter().collect()))
             }
             Request::UiGesture {
                 window,
@@ -696,8 +740,7 @@ impl Dispatcher {
                 gesture,
                 detail,
             } => {
-                let ids =
-                    self.handle_gesture(sid, WindowId(window), &path, &gesture, detail)?;
+                let ids = self.handle_gesture(sid, WindowId(window), &path, &gesture, detail)?;
                 Ok(Response::Windows(
                     ids.iter().filter_map(|&i| self.descriptor(i)).collect(),
                 ))
@@ -712,11 +755,9 @@ impl Dispatcher {
                 predicate,
             } => {
                 let id = self.analysis_query(sid, &schema, &class, &predicate)?;
-                Ok(Response::Windows(
-                    self.descriptor(id).into_iter().collect(),
-                ))
+                Ok(Response::Windows(self.descriptor(id).into_iter().collect()))
             }
-            Request::Explain => Ok(Response::Explanation(self.trace_log.clone())),
+            Request::Explain => Ok(Response::Explanation(self.explain.rendered().to_vec())),
         })();
         result.unwrap_or_else(|e| Response::Error {
             message: e.to_string(),
@@ -930,12 +971,7 @@ mod tests {
         assert_eq!(wins.len(), 1);
         assert!(wins[0].ascii.contains("Schema: phone_net"));
 
-        let resp = d.handle_request(
-            sid,
-            Request::CloseWindow {
-                window: wins[0].id,
-            },
-        );
+        let resp = d.handle_request(sid, Request::CloseWindow { window: wins[0].id });
         assert!(matches!(resp, Response::Closed(ids) if ids.len() == 1));
 
         let resp = d.handle_request(
@@ -1000,11 +1036,7 @@ mod refresh_tests {
         let sid = d.open_session(SessionContext::new("m", "op", "maint"));
         let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
         d.db().drain_events();
-        let err = d.apply_update(
-            sid,
-            poles[0].oid,
-            vec![("pole_type".into(), Value::Int(9))],
-        );
+        let err = d.apply_update(sid, poles[0].oid, vec![("pole_type".into(), Value::Int(9))]);
         assert!(matches!(err, Err(UiError::ModeViolation(_))));
     }
 
@@ -1051,9 +1083,7 @@ mod refresh_tests {
     fn refresh_preserves_per_session_customization() {
         let mut d = dispatcher();
         d.install_program(FIG6_PROGRAM, "fig6").unwrap();
-        let juliano = d.open_session(SessionContext::new(
-            "juliano", "planner", "pole_manager",
-        ));
+        let juliano = d.open_session(SessionContext::new("juliano", "planner", "pole_manager"));
         let maint = d.open_session(SessionContext::new("m", "op", "maint"));
         d.set_mode(maint, InteractionMode::Analysis).unwrap();
 
@@ -1121,25 +1151,11 @@ mod zoom_tests {
         assert_ne!(before, after, "zoom must change the rendered map");
 
         // The viewport halves each click.
-        let scene = d
-            .window(win)
-            .unwrap()
-            .built
-            .scenes
-            .values()
-            .next()
-            .unwrap();
+        let scene = d.window(win).unwrap().built.scenes.values().next().unwrap();
         let v1 = scene.effective_viewport();
         d.handle_gesture(sid, win, "class_window/body/control/zoom", "click", None)
             .unwrap();
-        let scene = d
-            .window(win)
-            .unwrap()
-            .built
-            .scenes
-            .values()
-            .next()
-            .unwrap();
+        let scene = d.window(win).unwrap().built.scenes.values().next().unwrap();
         let v2 = scene.effective_viewport();
         assert!((v2.width() - v1.width() / 2.0).abs() < 1e-9);
         // Centers are preserved.
@@ -1180,9 +1196,7 @@ mod stored_program_tests {
         assert!(skipped.is_empty());
 
         // And the customization is live again.
-        let sid = d2.open_session(SessionContext::new(
-            "juliano", "planner", "pole_manager",
-        ));
+        let sid = d2.open_session(SessionContext::new("juliano", "planner", "pole_manager"));
         let windows = d2.open_schema(sid, "phone_net").unwrap();
         assert_eq!(windows.len(), 2);
     }

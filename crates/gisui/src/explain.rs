@@ -1,0 +1,201 @@
+//! The explanation log: a bounded ring buffer of structured traces.
+//!
+//! The paper's explanation mode says "users want to know why and how the
+//! system presented a specific answer to a query". The dispatcher keeps
+//! the rule trace of every interaction here — as structured
+//! [`active::Trace`] values, not pre-flattened text — so the answer can
+//! be exported (JSON), filtered, or rendered. The buffer is bounded and
+//! the capacity is configurable: long-lived sessions keep the most
+//! recent traces instead of growing without limit.
+
+use std::collections::VecDeque;
+
+use active::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Default number of traces retained.
+pub const DEFAULT_EXPLANATION_CAPACITY: usize = 128;
+
+/// One recorded interaction: the structured cascade plus its rendered
+/// explanation text and a monotonic sequence number (stable even after
+/// older records are evicted).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Position in the dispatcher's lifetime stream of traces (0-based).
+    pub seq: u64,
+    /// The structured cascade, entry depths and shadowing intact.
+    pub trace: Trace,
+    /// Human-readable rendering, as served by `Dispatcher::explanation`.
+    pub rendered: String,
+}
+
+/// Bounded ring of [`TraceRecord`]s. Keeps a parallel vector of rendered
+/// lines so the legacy `&[String]` explanation view stays a contiguous
+/// borrow.
+#[derive(Debug)]
+pub struct ExplanationLog {
+    capacity: usize,
+    next_seq: u64,
+    records: VecDeque<TraceRecord>,
+    rendered: Vec<String>,
+}
+
+impl Default for ExplanationLog {
+    fn default() -> Self {
+        ExplanationLog::new(DEFAULT_EXPLANATION_CAPACITY)
+    }
+}
+
+impl ExplanationLog {
+    /// A log retaining at most `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> ExplanationLog {
+        ExplanationLog {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            records: VecDeque::new(),
+            rendered: Vec::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resize the ring; shrinking evicts the oldest records.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.records.len() > self.capacity {
+            self.records.pop_front();
+            self.rendered.remove(0);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Traces recorded over the log's lifetime, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Record a trace, evicting the oldest record when full.
+    pub fn push(&mut self, trace: Trace) {
+        let record = TraceRecord {
+            seq: self.next_seq,
+            rendered: trace.render(),
+            trace,
+        };
+        self.next_seq += 1;
+        self.rendered.push(record.rendered.clone());
+        self.records.push_back(record);
+        if self.records.len() > self.capacity {
+            self.records.pop_front();
+            self.rendered.remove(0);
+        }
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// The most recent `n` records, oldest of them first.
+    pub fn recent(&self, n: usize) -> Vec<&TraceRecord> {
+        let skip = self.records.len().saturating_sub(n);
+        self.records.iter().skip(skip).collect()
+    }
+
+    /// Rendered explanation lines, in lockstep with [`Self::records`].
+    pub fn rendered(&self) -> &[String] {
+        &self.rendered
+    }
+
+    /// JSON export of the retained records (oldest first).
+    pub fn to_json(&self) -> String {
+        let records: Vec<&TraceRecord> = self.records.iter().collect();
+        serde_json::to_string_pretty(&records).expect("trace records serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use active::trace::TraceEntry;
+
+    fn trace(event: &str) -> Trace {
+        Trace {
+            entries: vec![TraceEntry {
+                depth: 0,
+                event: event.to_string(),
+                matched: vec!["r".into()],
+                fired: vec!["r".into()],
+                shadowed: vec!["s".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_sequence_numbers() {
+        let mut log = ExplanationLog::new(3);
+        for i in 0..5 {
+            log.push(trace(&format!("E{i}")));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_recorded(), 5);
+        let seqs: Vec<u64> = log.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        // Rendered lines stay in lockstep with the records.
+        assert_eq!(log.rendered().len(), 3);
+        assert!(log.rendered()[0].contains("E2"));
+        assert!(log.rendered()[2].contains("E4"));
+    }
+
+    #[test]
+    fn recent_returns_the_tail() {
+        let mut log = ExplanationLog::new(10);
+        for i in 0..4 {
+            log.push(trace(&format!("E{i}")));
+        }
+        let recent: Vec<u64> = log.recent(2).iter().map(|r| r.seq).collect();
+        assert_eq!(recent, vec![2, 3]);
+        assert_eq!(log.recent(99).len(), 4);
+    }
+
+    #[test]
+    fn shrinking_capacity_trims_the_front() {
+        let mut log = ExplanationLog::new(8);
+        for i in 0..6 {
+            log.push(trace(&format!("E{i}")));
+        }
+        log.set_capacity(2);
+        let seqs: Vec<u64> = log.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![4, 5]);
+        assert_eq!(log.rendered().len(), 2);
+    }
+
+    #[test]
+    fn json_export_preserves_structure() {
+        let mut log = ExplanationLog::new(4);
+        log.push(trace("Get_Schema(phone_net)"));
+        let json = log.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v[0]["seq"].as_u64(), Some(0));
+        assert_eq!(
+            v[0]["trace"]["entries"][0]["event"].as_str(),
+            Some("Get_Schema(phone_net)")
+        );
+        assert_eq!(
+            v[0]["trace"]["entries"][0]["shadowed"][0].as_str(),
+            Some("s")
+        );
+        // Round-trips back into structured records.
+        let records: Vec<TraceRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].trace.entries[0].fired, vec!["r".to_string()]);
+    }
+}

@@ -19,6 +19,7 @@
 //! whatever payload the active engine selected to the builder.
 
 pub mod dispatcher;
+pub mod explain;
 pub mod modes;
 pub mod protocol;
 pub mod screen;
@@ -26,6 +27,7 @@ pub mod session;
 pub mod windows;
 
 pub use dispatcher::{paper_dispatcher, Dispatcher, Result, UiError};
+pub use explain::{ExplanationLog, TraceRecord, DEFAULT_EXPLANATION_CAPACITY};
 pub use modes::InteractionMode;
 pub use protocol::{decode, encode, Request, Response, WindowDescriptor, PROTOCOL_VERSION};
 pub use screen::{beside, session_screen};

@@ -91,9 +91,7 @@ mod tests {
     fn hidden_windows_are_skipped() {
         let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
         d.install_program(custlang::FIG6_PROGRAM, "fig6").unwrap();
-        let sid = d.open_session(SessionContext::new(
-            "juliano", "planner", "pole_manager",
-        ));
+        let sid = d.open_session(SessionContext::new("juliano", "planner", "pole_manager"));
         d.open_schema(sid, "phone_net").unwrap();
         let screen = session_screen(&d, sid);
         assert!(!screen.contains("Schema: phone_net"));

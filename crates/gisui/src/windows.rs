@@ -77,6 +77,10 @@ impl WindowRegistry {
                 oid,
             },
         );
+        if obs::enabled() {
+            obs::counter_add("dispatcher.windows_opened", 1);
+            obs::record_value("dispatcher.open_windows", self.windows.len() as u64);
+        }
         id
     }
 
@@ -116,6 +120,10 @@ impl WindowRegistry {
             }
         }
         closed.sort();
+        if obs::enabled() && !closed.is_empty() {
+            obs::counter_add("dispatcher.windows_closed", closed.len() as u64);
+            obs::record_value("dispatcher.open_windows", self.windows.len() as u64);
+        }
         closed
     }
 
@@ -150,11 +158,19 @@ mod tests {
     fn hierarchy_tracks_parents_and_children() {
         let mut reg = WindowRegistry::new();
         let schema = reg.insert(dummy(WindowKind::Schema), None, 0, "s", None, None);
-        let class = reg.insert(dummy(WindowKind::ClassSet), Some(schema), 0, "s",
+        let class = reg.insert(
+            dummy(WindowKind::ClassSet),
+            Some(schema),
+            0,
+            "s",
             Some("Pole".into()),
             None,
         );
-        let inst = reg.insert(dummy(WindowKind::Instance), Some(class), 0, "s",
+        let inst = reg.insert(
+            dummy(WindowKind::Instance),
+            Some(class),
+            0,
+            "s",
             Some("Pole".into()),
             Some(Oid(1)),
         );
@@ -168,7 +184,14 @@ mod tests {
     fn close_cascades_to_descendants() {
         let mut reg = WindowRegistry::new();
         let schema = reg.insert(dummy(WindowKind::Schema), None, 0, "s", None, None);
-        let class = reg.insert(dummy(WindowKind::ClassSet), Some(schema), 0, "s", None, None);
+        let class = reg.insert(
+            dummy(WindowKind::ClassSet),
+            Some(schema),
+            0,
+            "s",
+            None,
+            None,
+        );
         let inst = reg.insert(dummy(WindowKind::Instance), Some(class), 0, "s", None, None);
         let other = reg.insert(dummy(WindowKind::Schema), None, 0, "s2", None, None);
 

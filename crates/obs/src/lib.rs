@@ -1,0 +1,530 @@
+//! Observability: spans, metrics and exporters.
+//!
+//! The paper's *explanation* interaction mode ("users want to know why
+//! and how the system presented a specific answer to a query") is an
+//! observability requirement, and the performance roadmap needs to know
+//! where dispatch time goes. This crate is the shared substrate: a
+//! process-wide registry of named counters and log-scale latency
+//! histograms, a lightweight hierarchical span API, and two exporters
+//! (a serde JSON snapshot and Prometheus text exposition).
+//!
+//! Metric names are dotted paths whose first segment is the subsystem:
+//! `engine.rules_fired`, `geodb.queries`, `builder.windows_built`,
+//! `render.ascii_frames`, `dispatcher.events`. Span names follow the
+//! same scheme; every span doubles as a latency histogram under its own
+//! name, and the registry remembers each span's observed parents so the
+//! hierarchy survives into the snapshot.
+//!
+//! Everything is gated on a single process-wide switch
+//! ([`set_enabled`]); when off, every hook collapses to one relaxed
+//! atomic load, so instrumented code stays within noise of the
+//! uninstrumented path.
+//!
+//! No external tracing dependency: `std::time::Instant` + `parking_lot`.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+use serde::Serialize;
+
+/// Number of power-of-two histogram buckets. Bucket `i` covers values
+/// in `[2^i, 2^(i+1))`; 40 buckets span 1 ns .. ~18 minutes.
+const BUCKETS: usize = 40;
+
+/// Unit of the values a histogram records, carried into the exporters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Unit {
+    /// Durations in nanoseconds (spans, timers).
+    Nanos,
+    /// Dimensionless values (cascade depth, queue length, …).
+    Count,
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Fixed log-scale bucket histogram: cheap to record, good enough for
+/// p50/p95/p99 at the ~2x resolution the roadmap needs.
+#[derive(Debug)]
+struct Histogram {
+    unit: Unit,
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    fn new(unit: Unit) -> Histogram {
+        Histogram {
+            unit,
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        // 0 and 1 land in bucket 0; otherwise floor(log2(v)).
+        (63 - v.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Representative value of a bucket (geometric midpoint).
+    fn bucket_mid(i: usize) -> f64 {
+        let lo = (1u64 << i) as f64;
+        lo * 1.5
+    }
+
+    fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Estimated value at quantile `q` (0..=1).
+    fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_mid(i).min(self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            unit: self.unit,
+            count: self.count,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max as f64,
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.count as f64
+            },
+            sum: self.sum as f64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SpanStat {
+    count: u64,
+    parents: BTreeSet<String>,
+}
+
+struct Registry {
+    enabled: AtomicBool,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+    spans: RwLock<BTreeMap<String, SpanStat>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        enabled: AtomicBool::new(true),
+        counters: RwLock::new(BTreeMap::new()),
+        histograms: RwLock::new(BTreeMap::new()),
+        spans: RwLock::new(BTreeMap::new()),
+    })
+}
+
+thread_local! {
+    /// Stack of currently open span names on this thread — the source
+    /// of the parent links reported in the snapshot.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Is metric collection on? One relaxed atomic load — the whole cost of
+/// every hook when collection is off.
+#[inline]
+pub fn enabled() -> bool {
+    registry().enabled.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    registry().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Drop every recorded metric and span (tests, bench warm-up).
+pub fn reset() {
+    let r = registry();
+    r.counters.write().clear();
+    r.histograms.write().clear();
+    r.spans.write().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// A registered counter handle. Cloning is cheap; hot paths should
+/// resolve the handle once and call [`Counter::add`] thereafter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Resolve (registering on first use) a counter handle by name.
+pub fn counter(name: &str) -> Counter {
+    let r = registry();
+    if let Some(c) = r.counters.read().get(name) {
+        return Counter(c.clone());
+    }
+    let mut w = r.counters.write();
+    Counter(w.entry(name.to_string()).or_default().clone())
+}
+
+/// One-shot counter increment for cold call sites.
+pub fn counter_add(name: &str, delta: u64) {
+    if enabled() {
+        counter(name).0.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms & spans
+// ---------------------------------------------------------------------------
+
+/// A registered histogram handle.
+#[derive(Clone)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.0.lock().record(v);
+        }
+    }
+}
+
+/// Resolve (registering on first use) a histogram handle by name.
+pub fn histogram(name: &str, unit: Unit) -> HistogramHandle {
+    let r = registry();
+    if let Some(h) = r.histograms.read().get(name) {
+        return HistogramHandle(h.clone());
+    }
+    let mut w = r.histograms.write();
+    HistogramHandle(
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(Histogram::new(unit))))
+            .clone(),
+    )
+}
+
+/// One-shot dimensionless observation (cascade depth, queue length…).
+pub fn record_value(name: &str, v: u64) {
+    if enabled() {
+        histogram(name, Unit::Count).0.lock().record(v);
+    }
+}
+
+/// One-shot duration observation in nanoseconds.
+pub fn record_nanos(name: &str, ns: u64) {
+    if enabled() {
+        histogram(name, Unit::Nanos).0.lock().record(ns);
+    }
+}
+
+/// An open span: times the enclosed region and records it as a latency
+/// histogram under the span's name when dropped. Spans nest — while
+/// open, the span sits on a thread-local stack and the parent link is
+/// remembered in the registry.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Open a span. When collection is disabled the guard is inert.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name, start: None };
+    }
+    let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    {
+        let r = registry();
+        let mut spans = r.spans.write();
+        let stat = spans.entry(name.to_string()).or_default();
+        stat.count += 1;
+        if let Some(p) = parent {
+            stat.parents.insert(p.to_string());
+        }
+    }
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            SPAN_STACK.with(|s| {
+                let mut st = s.borrow_mut();
+                if let Some(pos) = st.iter().rposition(|&n| n == self.name) {
+                    st.remove(pos);
+                }
+            });
+            record_nanos(self.name, ns);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot & exporters
+// ---------------------------------------------------------------------------
+
+/// Percentile summary of one histogram, in the histogram's own unit.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSummary {
+    pub unit: Unit,
+    pub count: u64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub sum: f64,
+}
+
+/// One span's registry entry: how often it opened and under which
+/// parent spans it was observed.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanSummary {
+    pub count: u64,
+    pub parents: Vec<String>,
+}
+
+/// Point-in-time copy of the whole registry, `serde::Serialize`.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    pub enabled: bool,
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    pub spans: BTreeMap<String, SpanSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 when never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Does any counter or histogram under `subsystem.` have activity?
+    pub fn subsystem_active(&self, subsystem: &str) -> bool {
+        let prefix = format!("{subsystem}.");
+        self.counters
+            .iter()
+            .any(|(k, &v)| k.starts_with(&prefix) && v > 0)
+            || self
+                .histograms
+                .iter()
+                .any(|(k, h)| k.starts_with(&prefix) && h.count > 0)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Prometheus text exposition format (version 0.0.4). Counters
+    /// export as `_total` counters, nanosecond histograms as
+    /// `_seconds` summaries, dimensionless ones as plain summaries.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, &v) in &self.counters {
+            let n = format!("activegis_{}_total", sanitize(name));
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let (n, scale) = match h.unit {
+                Unit::Nanos => (format!("activegis_{}_seconds", sanitize(name)), 1e-9),
+                Unit::Count => (format!("activegis_{}", sanitize(name)), 1.0),
+            };
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", v * scale));
+            }
+            out.push_str(&format!("{n}_sum {}\n", h.sum * scale));
+            out.push_str(&format!("{n}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Copy the registry into an exportable snapshot.
+pub fn snapshot() -> MetricsSnapshot {
+    let r = registry();
+    let counters = r
+        .counters
+        .read()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let histograms = r
+        .histograms
+        .read()
+        .iter()
+        .map(|(k, h)| (k.clone(), h.lock().summary()))
+        .collect();
+    let spans = r
+        .spans
+        .read()
+        .iter()
+        .map(|(k, s)| {
+            (
+                k.clone(),
+                SpanSummary {
+                    count: s.count,
+                    parents: s.parents.iter().cloned().collect(),
+                },
+            )
+        })
+        .collect();
+    MetricsSnapshot {
+        enabled: enabled(),
+        counters,
+        histograms,
+        spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry (and the enabled switch) is process-global, so the
+    /// tests serialize on one lock and each uses its own metric names.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let _g = TEST_LOCK.lock();
+        let c = counter("test.hits");
+        c.add(2);
+        c.incr();
+        counter_add("test.hits", 1);
+        let snap = snapshot();
+        assert!(snap.counter("test.hits") >= 4);
+        assert_eq!(snap.counter("test.never"), 0);
+        assert!(snap.subsystem_active("test"));
+        assert!(!snap.subsystem_active("no_such_subsystem"));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered() {
+        let _g = TEST_LOCK.lock();
+        let h = histogram("test.latency", Unit::Nanos);
+        for i in 1..=1000u64 {
+            h.record(i * 100);
+        }
+        let snap = snapshot();
+        let s = &snap.histograms["test.latency"];
+        assert_eq!(s.count, 1000);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!((s.max - 100_000.0).abs() < 1.0);
+        assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    fn spans_record_latency_and_hierarchy() {
+        let _g = TEST_LOCK.lock();
+        {
+            let _outer = span("test_span.outer");
+            let _inner = span("test_span.inner");
+        }
+        let snap = snapshot();
+        assert!(snap.histograms["test_span.outer"].count >= 1);
+        assert!(snap.histograms["test_span.inner"].count >= 1);
+        assert!(snap.spans["test_span.inner"]
+            .parents
+            .contains(&"test_span.outer".to_string()));
+    }
+
+    #[test]
+    fn disabled_hooks_are_inert() {
+        let _g = TEST_LOCK.lock();
+        let c = counter("test.gated");
+        set_enabled(false);
+        c.add(10);
+        record_value("test.gated_hist", 5);
+        {
+            let _s = span("test.gated_span");
+        }
+        set_enabled(true);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.gated"), 0);
+        assert!(snap
+            .histograms
+            .get("test.gated_hist")
+            .is_none_or(|h| h.count == 0));
+    }
+
+    #[test]
+    fn prometheus_export_is_line_parseable() {
+        let _g = TEST_LOCK.lock();
+        counter_add("test.prom_hits", 3);
+        record_nanos("test.prom_latency", 1500);
+        let text = snapshot().to_prometheus();
+        assert!(text.contains("activegis_test_prom_hits_total 3"));
+        assert!(text.contains("activegis_test_prom_latency_seconds{quantile=\"0.5\"}"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value pair");
+            assert!(!name.is_empty());
+            value.parse::<f64>().expect("numeric sample value");
+        }
+    }
+
+    #[test]
+    fn json_snapshot_round_trips() {
+        let _g = TEST_LOCK.lock();
+        counter_add("test.json_hits", 1);
+        let json = snapshot().to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v["counters"]["test.json_hits"].as_u64().unwrap() >= 1);
+    }
+}

@@ -164,7 +164,9 @@ mod tests {
         let (tree, button) = tree_with_button();
         let table = CallbackTable::new();
         // Bound name not registered in the table.
-        assert!(table.fire(&tree, &UiEvent::new(button, "w/p/schema", "click")).is_empty());
+        assert!(table
+            .fire(&tree, &UiEvent::new(button, "w/p/schema", "click"))
+            .is_empty());
         // Gesture with no binding at all.
         let mut table = CallbackTable::new();
         table.register("open_schema", Rc::new(|_, _| vec![Signal::new("x")]));

@@ -179,8 +179,12 @@ mod tests {
     #[test]
     fn class_change_is_a_replace_not_prop_noise() {
         let (mut lib, a) = base();
-        lib.specialize("fancyButton", "Button", vec![("style".into(), "fancy".into())])
-            .unwrap();
+        lib.specialize(
+            "fancyButton",
+            "Button",
+            vec![("style".into(), "fancy".into())],
+        )
+        .unwrap();
         let mut b = WidgetTree::new(&lib, "Window", "w").unwrap();
         let p = b.add(&lib, b.root(), "Panel", "body").unwrap();
         b.add(&lib, p, "fancyButton", "go").unwrap();

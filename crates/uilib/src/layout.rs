@@ -44,7 +44,12 @@ enum Dir {
 }
 
 fn dir_of(tree: &WidgetTree, id: WidgetId) -> Dir {
-    match tree.get(id).ok().and_then(|w| w.prop("layout")).and_then(Prop::as_str) {
+    match tree
+        .get(id)
+        .ok()
+        .and_then(|w| w.prop("layout"))
+        .and_then(Prop::as_str)
+    {
         Some("h") => Dir::H,
         _ => Dir::V,
     }
@@ -74,11 +79,7 @@ fn leaf_size(tree: &WidgetTree, id: WidgetId) -> (i32, i32) {
         WidgetKind::MenuItem => (w.text("label").chars().count() as i32 + 2, 1),
         WidgetKind::Menu => {
             // Horizontal bar of its items.
-            let total: i32 = w
-                .children
-                .iter()
-                .map(|&c| leaf_size(tree, c).0 + 1)
-                .sum();
+            let total: i32 = w.children.iter().map(|&c| leaf_size(tree, c).0 + 1).sum();
             (total.max(10), 3)
         }
         // Containers are measured by `measure`, not here.
@@ -87,7 +88,11 @@ fn leaf_size(tree: &WidgetTree, id: WidgetId) -> (i32, i32) {
 }
 
 /// Bottom-up preferred sizes, honouring explicit width/height props.
-fn measure(tree: &WidgetTree, id: WidgetId, sizes: &mut HashMap<WidgetId, (i32, i32)>) -> (i32, i32) {
+fn measure(
+    tree: &WidgetTree,
+    id: WidgetId,
+    sizes: &mut HashMap<WidgetId, (i32, i32)>,
+) -> (i32, i32) {
     let widget = tree.get(id).expect("walked id");
     let mut size = match widget.kind {
         WidgetKind::Window | WidgetKind::Panel => {
@@ -115,10 +120,7 @@ fn measure(tree: &WidgetTree, id: WidgetId, sizes: &mut HashMap<WidgetId, (i32, 
                 widget.text("title")
             };
             let title = title_text.chars().count() as i32;
-            (
-                (w + 2).max(title + 4).max(12),
-                h + 2,
-            )
+            ((w + 2).max(title + 4).max(12), h + 2)
         }
         WidgetKind::Menu => {
             for &c in &widget.children {
@@ -262,7 +264,11 @@ mod tests {
         let l = t.add(&lib, p, "List", "classes").unwrap();
         t.get_mut(l).unwrap().set_prop(
             "items",
-            vec!["Pole".to_string(), "Duct".to_string(), "District".to_string()],
+            vec![
+                "Pole".to_string(),
+                "Duct".to_string(),
+                "District".to_string(),
+            ],
         );
         let map = layout(&t).unwrap();
         assert_eq!(map[&l].h, 5); // 3 items + border rows

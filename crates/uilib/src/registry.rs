@@ -19,7 +19,10 @@ pub enum LibraryError {
     UnknownClass(String),
     DuplicateClass(String),
     /// Specialization parent does not exist.
-    UnknownParent { class: String, parent: String },
+    UnknownParent {
+        class: String,
+        parent: String,
+    },
 }
 
 impl std::fmt::Display for LibraryError {
@@ -234,20 +237,14 @@ mod tests {
         let mut lib = Library::with_kernel();
         // The paper's poleWidget, "defined as a slider": a specialized
         // Panel rendered as a slider control.
-        lib.specialize(
-            "slider",
-            "Panel",
-            vec![("style".into(), "slider".into())],
-        )
-        .unwrap();
-        lib.specialize(
-            "poleWidget",
-            "slider",
-            vec![("range".into(), Prop::Int(4))],
-        )
-        .unwrap();
+        lib.specialize("slider", "Panel", vec![("style".into(), "slider".into())])
+            .unwrap();
+        lib.specialize("poleWidget", "slider", vec![("range".into(), Prop::Int(4))])
+            .unwrap();
 
-        let w = lib.instantiate("poleWidget", WidgetId(1), "pole_ctl").unwrap();
+        let w = lib
+            .instantiate("poleWidget", WidgetId(1), "pole_ctl")
+            .unwrap();
         assert_eq!(w.kind, WidgetKind::Panel);
         assert_eq!(w.class, "poleWidget");
         // Inherited default from `slider` plus its own.
@@ -333,6 +330,9 @@ mod tests {
         class.callbacks.insert("click".into(), "do_action".into());
         lib.define(class).unwrap();
         let w = lib.instantiate("actionButton", WidgetId(9), "go").unwrap();
-        assert_eq!(w.callbacks.get("click").map(String::as_str), Some("do_action"));
+        assert_eq!(
+            w.callbacks.get("click").map(String::as_str),
+            Some("do_action")
+        );
     }
 }

@@ -192,7 +192,11 @@ fn draw_widget(canvas: &mut Canvas, w: &Widget, b: &Bounds, scenes: &SceneMap) {
         WidgetKind::Button => {
             let label = format!("[ {} ]", w.text("label"));
             let y = b.y + b.h / 2;
-            canvas.text(b.x + (b.w - label.chars().count() as i32).max(0) / 2, y, &label);
+            canvas.text(
+                b.x + (b.w - label.chars().count() as i32).max(0) / 2,
+                y,
+                &label,
+            );
         }
         WidgetKind::Text => {
             let label = w.text("label");
@@ -277,7 +281,9 @@ mod tests {
     fn window_renders_border_and_title() {
         let lib = lib();
         let mut t = WidgetTree::new(&lib, "Window", "schema_window").unwrap();
-        t.get_mut(t.root()).unwrap().set_prop("title", "Schema: phone_net");
+        t.get_mut(t.root())
+            .unwrap()
+            .set_prop("title", "Schema: phone_net");
         let out = render(&t, &SceneMap::new()).unwrap();
         assert!(out.contains("Schema: phone_net"));
         assert!(out.contains("+--"));
@@ -292,10 +298,9 @@ mod tests {
         let b = t.add(&lib, p, "Button", "ok").unwrap();
         t.get_mut(b).unwrap().set_prop("label", "Show");
         let l = t.add(&lib, p, "List", "classes").unwrap();
-        t.get_mut(l).unwrap().set_prop(
-            "items",
-            vec!["Pole".to_string(), "Duct".to_string()],
-        );
+        t.get_mut(l)
+            .unwrap()
+            .set_prop("items", vec!["Pole".to_string(), "Duct".to_string()]);
         t.get_mut(l).unwrap().set_prop("selected", 0i64);
         let txt = t.add(&lib, p, "Text", "region").unwrap();
         t.get_mut(txt).unwrap().set_prop("label", "Region");

@@ -17,7 +17,9 @@ fn px(b: &Bounds) -> (i32, i32, i32, i32) {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn rect_el(b: &Bounds, fill: &str, stroke: &str, out: &mut String) {
@@ -199,7 +201,9 @@ mod tests {
     fn produces_valid_looking_svg() {
         let lib = Library::with_kernel();
         let mut t = WidgetTree::new(&lib, "Window", "w").unwrap();
-        t.get_mut(t.root()).unwrap().set_prop("title", "Map & Tools");
+        t.get_mut(t.root())
+            .unwrap()
+            .set_prop("title", "Map & Tools");
         let p = t.add(&lib, t.root(), "Panel", "p").unwrap();
         let b = t.add(&lib, p, "Button", "ok").unwrap();
         t.get_mut(b).unwrap().set_prop("label", "OK");
@@ -219,9 +223,7 @@ mod tests {
         let d = t.add(&lib, p, "DrawingArea", "map").unwrap();
         let mut scenes = SceneMap::new();
         let mut scene = MapScene::new();
-        scene.add(
-            MapShape::new(Geometry::Point(Point::new(1.0, 1.0))).with_label("P-1"),
-        );
+        scene.add(MapShape::new(Geometry::Point(Point::new(1.0, 1.0))).with_label("P-1"));
         scenes.insert(d, scene);
         let out = render(&t, &scenes).unwrap();
         assert!(out.contains("<circle"));

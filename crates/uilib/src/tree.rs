@@ -22,7 +22,10 @@ pub enum TreeError {
     /// The root must be a Window.
     BadRoot(WidgetKind),
     /// Sibling names must be unique for paths to be unambiguous.
-    DuplicateName { parent: WidgetId, name: String },
+    DuplicateName {
+        parent: WidgetId,
+        name: String,
+    },
     Library(LibraryError),
 }
 
@@ -177,10 +180,7 @@ impl WidgetTree {
         let mut cur = id;
         while cur != self.root {
             parts.push(self.nodes[&cur].name.clone());
-            cur = *self
-                .parent
-                .get(&cur)
-                .ok_or(TreeError::UnknownWidget(cur))?;
+            cur = *self.parent.get(&cur).ok_or(TreeError::UnknownWidget(cur))?;
         }
         parts.push(self.nodes[&self.root].name.clone());
         parts.reverse();

@@ -5,9 +5,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a widget within one [`crate::tree::WidgetTree`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct WidgetId(pub u32);
 
 impl std::fmt::Display for WidgetId {
@@ -222,7 +220,16 @@ mod tests {
         let names: Vec<&str> = WidgetKind::ALL.iter().map(|k| k.class_name()).collect();
         assert_eq!(
             names,
-            vec!["Window", "Panel", "Text", "DrawingArea", "List", "Button", "Menu", "MenuItem"]
+            vec![
+                "Window",
+                "Panel",
+                "Text",
+                "DrawingArea",
+                "List",
+                "Button",
+                "Menu",
+                "MenuItem"
+            ]
         );
     }
 
@@ -261,6 +268,9 @@ mod tests {
             children: vec![],
         };
         w.on("click", "open_schema");
-        assert_eq!(w.callbacks.get("click").map(String::as_str), Some("open_schema"));
+        assert_eq!(
+            w.callbacks.get("click").map(String::as_str),
+            Some("open_schema")
+        );
     }
 }

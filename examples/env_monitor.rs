@@ -104,10 +104,7 @@ fn build_database() -> Database {
             vec![
                 ("station_code".into(), code.into()),
                 ("pollutant_ppm".into(), Value::Float(ppm)),
-                (
-                    "position".into(),
-                    Geometry::Point(Point::new(x, y)).into(),
-                ),
+                ("position".into(), Geometry::Point(Point::new(x, y)).into()),
             ],
         )
         .expect("station inserts");

@@ -23,9 +23,9 @@ use activegis::{
 use geodb::query::DbEventKind;
 
 fn main() {
-    let mut gis =
-        ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo database builds");
-    gis.customize(FIG6_PROGRAM, "fig6").expect("program installs");
+    let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo database builds");
+    gis.customize(FIG6_PROGRAM, "fig6")
+        .expect("program installs");
 
     // An audit rule on update events (integrity rule family).
     let audit: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));

@@ -35,8 +35,7 @@ For user juliano application pole_manager
 ";
 
 fn main() {
-    let mut gis =
-        ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo database builds");
+    let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo database builds");
     let rules = gis
         .customize(LADDER_PROGRAM, "ladder")
         .expect("ladder program installs");
@@ -45,7 +44,11 @@ fn main() {
     // Same application, three users of increasing specificity.
     let users = [
         ("guest", "visitor", "matches only the generic rule"),
-        ("paula", "planner", "matches generic + category; category wins"),
+        (
+            "paula",
+            "planner",
+            "matches generic + category; category wins",
+        ),
         ("juliano", "planner", "matches all three; user rule wins"),
     ];
     for (user, category, note) in users {

@@ -33,7 +33,8 @@ fn print_fig5(gis: &mut ActiveGis) {
 
 fn print_fig6_rules(gis: &mut ActiveGis) {
     println!("--- Fig. 6: customization program ---\n{FIG6_PROGRAM}");
-    gis.customize(FIG6_PROGRAM, "fig6").expect("program installs");
+    gis.customize(FIG6_PROGRAM, "fig6")
+        .expect("program installs");
     println!("--- generated customization rules ---\n");
     let engine = gis.dispatcher().engine();
     for rule in engine.rules() {
@@ -62,8 +63,7 @@ fn first_pole(gis: &mut ActiveGis) -> Oid {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut gis =
-        ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo database builds");
+    let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo database builds");
 
     if args.first().map(String::as_str) == Some("--rules") {
         print_fig6_rules(&mut gis);

@@ -10,8 +10,7 @@
 use activegis::{ActiveGis, TelecomConfig, FIG6_PROGRAM};
 
 fn main() {
-    let mut gis =
-        ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo database builds");
+    let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).expect("demo database builds");
 
     // --- 1. The generic (default) interface -----------------------------
     println!("=== generic interface: user `guest` ===\n");

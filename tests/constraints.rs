@@ -13,10 +13,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use activegis::{
-    Engine, Event, EventPattern, Geometry, Point, Rect, Rule, SessionContext,
-    Value,
-};
+use activegis::{Engine, Event, EventPattern, Geometry, Point, Rect, Rule, SessionContext, Value};
 use custlang::Customization;
 use geodb::db::Database;
 use geodb::gen::{phone_net_db, TelecomConfig};
@@ -42,8 +39,7 @@ fn install_duct_constraint(
         let Ok(duct) = db.peek(*oid) else {
             return vec![];
         };
-        let Some(Geometry::Polyline(path)) = duct.get("duct_path").as_geometry().cloned()
-        else {
+        let Some(Geometry::Polyline(path)) = duct.get("duct_path").as_geometry().cloned() else {
             return vec![];
         };
         let endpoints = [
@@ -53,11 +49,7 @@ fn install_duct_constraint(
         let mut raised = Vec::new();
         for p in endpoints {
             let near = db
-                .window_query(
-                    "phone_net",
-                    "Pole",
-                    Rect::from_point(p).inflate(EPS),
-                )
+                .window_query("phone_net", "Pole", Rect::from_point(p).inflate(EPS))
                 .unwrap_or_default();
             let touches = near.iter().any(|pole| {
                 pole.get("pole_location")
@@ -132,8 +124,18 @@ fn nearest_pole_points(db: &Rc<RefCell<Database>>) -> (Point, Point, geodb::Oid)
     let mut db = db.borrow_mut();
     let poles = db.get_class("phone_net", "Pole", false).unwrap();
     db.drain_events();
-    let a = poles[0].get("pole_location").as_geometry().unwrap().bbox().center();
-    let b = poles[1].get("pole_location").as_geometry().unwrap().bbox().center();
+    let a = poles[0]
+        .get("pole_location")
+        .as_geometry()
+        .unwrap()
+        .bbox()
+        .center();
+    let b = poles[1]
+        .get("pole_location")
+        .as_geometry()
+        .unwrap()
+        .bbox()
+        .center();
     let supplier_oid = match poles[0].get("pole_supplier") {
         Value::Ref(o) => *o,
         _ => panic!("pole has a supplier"),
@@ -197,8 +199,7 @@ fn updates_are_rechecked() {
             vec![(
                 "duct_path".into(),
                 Geometry::Polyline(
-                    Polyline::new(vec![Point::new(-100.0, 0.0), Point::new(-200.0, 0.0)])
-                        .unwrap(),
+                    Polyline::new(vec![Point::new(-100.0, 0.0), Point::new(-200.0, 0.0)]).unwrap(),
                 )
                 .into(),
             )],

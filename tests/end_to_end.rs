@@ -154,7 +154,13 @@ fn analysis_mode_respects_customization() {
     let art = gis.render(win).unwrap();
     // Customized control (slider) even on a filtered window.
     assert!(art.contains("O="));
-    assert!(gis.dispatcher().window(win).unwrap().built.title.contains("filtered"));
+    assert!(gis
+        .dispatcher()
+        .window(win)
+        .unwrap()
+        .built
+        .title
+        .contains("filtered"));
 }
 
 /// Updates outside simulation mode are refused; inside it, they are

@@ -1,0 +1,210 @@
+//! End-to-end observability: the Fig. 6 flow must light up counters in
+//! every subsystem, the exporters must produce parseable output, and the
+//! structured explanation ring buffer must retain shadowing decisions.
+
+use activegis::{ActiveGis, TelecomConfig, FIG6_PROGRAM};
+
+/// The metrics registry is process-global; tests that touch it (or its
+/// enabled switch) serialize on this lock.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A second customization program whose context (`category planner`)
+/// overlaps Fig. 6's (`user juliano application pole_manager`): both
+/// match Juliano's sessions, so the less specific one is shadowed.
+const PLANNER_PROGRAM: &str = "\
+For category planner
+  schema phone_net display as default
+  class Pole display
+";
+
+fn fig6_flow() -> ActiveGis {
+    let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+    let sid = gis.login("juliano", "planner", "pole_manager");
+    let windows = gis.browse_schema(sid, "phone_net").unwrap();
+    assert_eq!(windows.len(), 2, "Null schema + auto-opened Pole window");
+    gis.render(windows[1]).unwrap();
+    gis
+}
+
+#[test]
+fn fig6_flow_populates_every_subsystem() {
+    let _g = lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let gis = fig6_flow();
+    let snap = gis.metrics();
+
+    for subsystem in ["engine", "geodb", "builder", "render", "dispatcher"] {
+        assert!(
+            snap.subsystem_active(subsystem),
+            "subsystem `{subsystem}` recorded nothing:\n{}",
+            snap.to_json()
+        );
+    }
+
+    // Engine: the schema open dispatches Get_Schema and Get_Class events
+    // and the Fig. 6 rules fire.
+    assert!(snap.counter("engine.dispatches") >= 2);
+    assert!(snap.counter("engine.rules_considered") > 0);
+    assert!(snap.counter("engine.rules_matched") > 0);
+    assert!(snap.counter("engine.rules_fired") > 0);
+
+    // Geodb: schema + class queries, instances fetched from pages.
+    assert!(snap.counter("geodb.queries") >= 2);
+    assert!(snap.counter("geodb.instances_fetched") > 0);
+    assert!(snap.counter("geodb.pages_touched") > 0);
+
+    // Builder and dispatcher: two windows built and registered.
+    assert!(snap.counter("builder.windows_built") >= 2);
+    assert!(snap.counter("builder.widgets_instantiated") > 0);
+    assert!(snap.counter("dispatcher.events") >= 2);
+    assert!(snap.counter("dispatcher.windows_opened") >= 2);
+    assert!(snap.counter("dispatcher.sessions") >= 1);
+
+    // Latency histograms carry ordered quantiles.
+    for span in ["engine.dispatch", "geodb.get_class", "render.ascii"] {
+        let h = snap
+            .histograms
+            .get(span)
+            .unwrap_or_else(|| panic!("histogram `{span}` missing"));
+        assert!(h.count > 0, "`{span}` never recorded");
+        assert!(h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max);
+    }
+
+    // Span hierarchy: the builder ran inside the dispatcher's request
+    // path, so geodb spans nest under the facade-level calls.
+    assert!(snap.spans.contains_key("engine.dispatch"));
+    assert!(snap.spans.contains_key("builder.class_window"));
+}
+
+#[test]
+fn exporters_are_parseable() {
+    let _g = lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let gis = fig6_flow();
+    let snap = gis.metrics();
+
+    // JSON snapshot round-trips and reports quantiles per subsystem.
+    let v: serde_json::Value = serde_json::from_str(&snap.to_json()).unwrap();
+    assert!(v["counters"]["engine.dispatches"].as_u64().unwrap() >= 2);
+    for name in ["engine.dispatch", "geodb.get_schema", "dispatcher.render"] {
+        let h = &v["histograms"][name];
+        for q in ["p50", "p95", "p99", "max"] {
+            assert!(
+                h[q].as_f64().is_some(),
+                "histograms.{name}.{q} missing in JSON export"
+            );
+        }
+    }
+
+    // Prometheus text: every sample line is `name value` with a numeric
+    // value; counters appear as `_total`.
+    let text = snap.to_prometheus();
+    assert!(text.contains("activegis_engine_dispatches_total"));
+    assert!(text.contains("activegis_engine_dispatch_seconds{quantile=\"0.5\"}"));
+    let mut samples = 0;
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("`name value` pair");
+        assert!(!name.is_empty());
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric sample: {line}"));
+        samples += 1;
+    }
+    assert!(samples > 10, "suspiciously small export:\n{text}");
+}
+
+#[test]
+fn shadowing_survives_into_the_structured_explanation() {
+    let _g = lock();
+    let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+    gis.customize(PLANNER_PROGRAM, "planner").unwrap();
+    let sid = gis.login("juliano", "planner", "pole_manager");
+    gis.browse_schema(sid, "phone_net").unwrap();
+
+    let log = gis.explanation_log();
+    assert!(!log.is_empty());
+    // The Get_Schema trace shows the planner-wide rule losing to the
+    // more specific Fig. 6 rule.
+    let schema_trace = log
+        .records()
+        .find(|r| r.trace.entries[0].event.contains("Get_Schema"))
+        .expect("Get_Schema trace retained");
+    let entry = &schema_trace.trace.entries[0];
+    assert!(
+        entry.fired.iter().any(|r| r.starts_with("fig6/")),
+        "fig6 rule fired: {entry:?}"
+    );
+    assert!(
+        entry.shadowed.iter().any(|r| r.starts_with("planner/")),
+        "planner rule shadowed: {entry:?}"
+    );
+
+    // The JSON export carries the same structure.
+    let v: serde_json::Value = serde_json::from_str(&gis.explanation_json()).unwrap();
+    let mut saw_shadowed = false;
+    let mut i = 0;
+    while !v[i].is_null() {
+        let mut j = 0;
+        while !v[i]["trace"]["entries"][j].is_null() {
+            if v[i]["trace"]["entries"][j]["shadowed"][0]
+                .as_str()
+                .is_some()
+            {
+                saw_shadowed = true;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    assert!(saw_shadowed, "no shadowed rule in JSON export");
+}
+
+#[test]
+fn explanation_ring_is_bounded_and_configurable() {
+    let _g = lock();
+    let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+    gis.dispatcher().set_explanation_capacity(3);
+    let sid = gis.login("juliano", "planner", "pole_manager");
+    for _ in 0..4 {
+        gis.browse_schema(sid, "phone_net").unwrap();
+    }
+
+    let log = gis.explanation_log();
+    // Each schema open records two traces (Get_Schema + Get_Class), so
+    // the ring evicted well past its capacity.
+    assert_eq!(log.len(), 3);
+    assert_eq!(log.capacity(), 3);
+    assert!(log.total_recorded() >= 8);
+    // The retained records are the most recent, consecutively numbered.
+    let seqs: Vec<u64> = log.records().map(|r| r.seq).collect();
+    assert_eq!(seqs.len(), 3);
+    assert_eq!(seqs[2], log.total_recorded() - 1);
+    assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    // Legacy rendered view stays in lockstep.
+    assert_eq!(gis.explanation().len(), 3);
+}
+
+#[test]
+fn disabling_metrics_makes_hooks_inert() {
+    let _g = lock();
+    obs::reset();
+    ActiveGis::set_metrics_enabled(false);
+    let gis = fig6_flow();
+    let snap = gis.metrics();
+    ActiveGis::set_metrics_enabled(true);
+    assert_eq!(snap.counter("engine.dispatches"), 0);
+    assert_eq!(snap.counter("geodb.queries"), 0);
+    assert_eq!(snap.counter("builder.windows_built"), 0);
+    assert!(!snap.subsystem_active("dispatcher"));
+    // The explanation pipeline is independent of the metrics switch.
+    assert!(!gis.explanation().is_empty());
+}

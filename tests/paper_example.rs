@@ -45,7 +45,10 @@ fn fig5_pole_schema_matches_paper() {
         pole.own_attr("pole_supplier").unwrap().ty,
         AttrType::Ref("Supplier".into())
     );
-    assert_eq!(pole.own_attr("pole_location").unwrap().ty, AttrType::Geometry);
+    assert_eq!(
+        pole.own_attr("pole_location").unwrap().ty,
+        AttrType::Geometry
+    );
     assert_eq!(pole.own_attr("pole_picture").unwrap().ty, AttrType::Bitmap);
     assert_eq!(pole.own_attr("pole_historic").unwrap().ty, AttrType::Text);
 
@@ -76,7 +79,11 @@ fn fig6_rules_fire_like_r1_r2() {
             &juliano,
         )
         .unwrap();
-    let Customization::SchemaWindow { schema, mode, classes } = out.customization().unwrap()
+    let Customization::SchemaWindow {
+        schema,
+        mode,
+        classes,
+    } = out.customization().unwrap()
     else {
         panic!("R1 must customize the Schema window");
     };
@@ -141,7 +148,12 @@ fn fig4_default_windows() {
     gis.dispatcher().db().drain_events();
     let inst_win = gis.inspect(sid, poles[0].oid).unwrap();
     let inst_art = gis.render(inst_win).unwrap();
-    for attr in ["pole_type", "pole_composition", "pole_supplier", "pole_historic"] {
+    for attr in [
+        "pole_type",
+        "pole_composition",
+        "pole_supplier",
+        "pole_historic",
+    ] {
         assert!(inst_art.contains(attr), "missing {attr}");
     }
     assert!(inst_art.contains("[bitmap"), "bitmap placeholder shown");

@@ -24,9 +24,13 @@ fn phone_net_snapshot_round_trip() {
     // Methods are native code and must be re-registered after load; the
     // schema still declares them.
     let poles = restored.get_class("phone_net", "Pole", false).unwrap();
-    assert!(restored.call_method(&poles[0], "get_supplier_name", &[]).is_err());
+    assert!(restored
+        .call_method(&poles[0], "get_supplier_name", &[])
+        .is_err());
     geodb::gen::register_phone_net_methods(&mut restored).unwrap();
-    assert!(restored.call_method(&poles[0], "get_supplier_name", &[]).is_ok());
+    assert!(restored
+        .call_method(&poles[0], "get_supplier_name", &[])
+        .is_ok());
 }
 
 /// A complete system — data, stored library, customization program —

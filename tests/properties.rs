@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use activegis::{
-    ContextPattern, Engine, Event, EventPattern, Rule, SessionContext,
-};
+use activegis::{ContextPattern, Engine, Event, EventPattern, Rule, SessionContext};
 use geodb::geometry::{wkt, Geometry, Point, Polygon, Polyline, Rect};
 use geodb::index::{GridIndex, RTree, SpatialIndex};
 use geodb::instance::Oid;
@@ -199,9 +197,23 @@ proptest! {
 fn arb_ident() -> impl Strategy<Value = String> {
     "[a-zA-Z][a-zA-Z0-9_]{0,10}".prop_filter("not a keyword", |s| {
         ![
-            "for", "user", "category", "application", "schema", "class", "display", "as",
-            "control", "presentation", "instances", "attribute", "from", "using", "default",
-            "hierarchy", "null",
+            "for",
+            "user",
+            "category",
+            "application",
+            "schema",
+            "class",
+            "display",
+            "as",
+            "control",
+            "presentation",
+            "instances",
+            "attribute",
+            "from",
+            "using",
+            "default",
+            "hierarchy",
+            "null",
         ]
         .contains(&s.to_ascii_lowercase().as_str())
     })
@@ -228,16 +240,24 @@ fn arb_program() -> impl Strategy<Value = activegis::Program> {
         (arb_ident(), prop::collection::vec(arb_ident(), 0..3))
             .prop_map(|(method, args)| Source::MethodCall { method, args }),
     ];
-    let attr = (arb_ident(), display, prop::collection::vec(source, 0..3),
-                prop::option::of(arb_ident()))
+    let attr = (
+        arb_ident(),
+        display,
+        prop::collection::vec(source, 0..3),
+        prop::option::of(arb_ident()),
+    )
         .prop_map(|(attribute, display, from, using)| AttrClause {
             attribute,
             display,
             from,
             using,
         });
-    let class = (arb_ident(), prop::option::of(arb_ident()),
-                 prop::option::of(arb_ident()), prop::collection::vec(attr, 0..3))
+    let class = (
+        arb_ident(),
+        prop::option::of(arb_ident()),
+        prop::option::of(arb_ident()),
+        prop::collection::vec(attr, 0..3),
+    )
         .prop_map(|(name, control, presentation, instances)| ClassClause {
             name,
             control,
@@ -252,18 +272,19 @@ fn arb_program() -> impl Strategy<Value = activegis::Program> {
         mode,
         prop::collection::vec(class, 1..3),
     )
-        .prop_map(|(user, category, application, schema, mode, classes)| Directive {
-            context: ContextClause {
-                user,
-                category,
-                application,
-                extras: vec![],
+        .prop_map(
+            |(user, category, application, schema, mode, classes)| Directive {
+                context: ContextClause {
+                    user,
+                    category,
+                    application,
+                    extras: vec![],
+                },
+                schema: SchemaClause { name: schema, mode },
+                classes,
             },
-            schema: SchemaClause { name: schema, mode },
-            classes,
-        });
-    prop::collection::vec(directive, 0..3)
-        .prop_map(|directives| custlang::Program { directives })
+        );
+    prop::collection::vec(directive, 0..3).prop_map(|directives| custlang::Program { directives })
 }
 
 proptest! {

@@ -85,9 +85,16 @@ fn svg_and_ascii_stay_structurally_in_sync() {
 #[test]
 fn every_window_kind_renders_under_every_builtin_format() {
     let mut gis = demo();
-    for (i, fmt) in ["default", "pointFormat", "lineFormat", "polygonFormat", "tableFormat", "symbolFormat"]
-        .iter()
-        .enumerate()
+    for (i, fmt) in [
+        "default",
+        "pointFormat",
+        "lineFormat",
+        "polygonFormat",
+        "tableFormat",
+        "symbolFormat",
+    ]
+    .iter()
+    .enumerate()
     {
         let program = format!(
             "for user u{i} application fmt_check \

@@ -41,20 +41,26 @@ fn over_one_hundred_distinct_windows() {
     // 40 user contexts × (schema + class + instance windows), plus the
     // four default class windows, quickly exceeds 100 distinct windows.
     for i in 0..40 {
-        gis.customize(&program_for(i), &format!("census{i}")).unwrap();
+        gis.customize(&program_for(i), &format!("census{i}"))
+            .unwrap();
         let sid = gis.login(&format!("user{i}"), "surveyor", "census");
         let opened = gis.browse_schema(sid, "phone_net").unwrap();
         total_windows += opened.len();
         for w in &opened {
-            fingerprints.insert(
-                format!("u{i}|{}", gis.dispatcher().window(*w).unwrap().built.fingerprint()),
-            );
+            fingerprints.insert(format!(
+                "u{i}|{}",
+                gis.dispatcher().window(*w).unwrap().built.fingerprint()
+            ));
         }
         let class_win = gis.browse_class(sid, "phone_net", "Pole").unwrap();
         total_windows += 1;
         fingerprints.insert(format!(
             "u{i}|{}",
-            gis.dispatcher().window(class_win).unwrap().built.fingerprint()
+            gis.dispatcher()
+                .window(class_win)
+                .unwrap()
+                .built
+                .fingerprint()
         ));
 
         let poles = gis

@@ -1,0 +1,473 @@
+//! Minimal vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no crates registry, so the workspace vendors a
+//! small self-describing serialization facade. Instead of serde's
+//! visitor-based zero-copy model, values convert to and from a generic
+//! [`content::Content`] tree; format crates (here, the vendored
+//! `serde_json`) serialize that tree. The derive macros in the companion
+//! `serde_derive` crate generate the same external representation real serde
+//! would for the plain structs and enums this workspace defines:
+//!
+//! * named struct      -> map of field name to value
+//! * newtype struct    -> the inner value, transparently
+//! * tuple struct      -> sequence
+//! * unit enum variant -> the variant name as a string
+//! * data-carrying variant -> single-entry map `{ "Variant": payload }`
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod content {
+    /// A self-describing value tree: the data model every serializable type
+    /// converts through.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        Null,
+        Bool(bool),
+        I64(i64),
+        U64(u64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Content>),
+        Map(Vec<(Content, Content)>),
+    }
+}
+
+pub mod de {
+    /// Deserialization error: a human-readable description of the mismatch.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl Error {
+        pub fn custom(msg: impl std::fmt::Display) -> Error {
+            Error(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use content::Content;
+use de::Error;
+
+/// A value that can render itself as a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can reconstruct itself from a [`Content`] tree.
+pub trait Deserialize<'de>: Sized {
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// -- primitive impls ---------------------------------------------------------
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: &Content) -> Result<$t, Error> {
+                let n: i64 = match content {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Content::F64(f) if f.fract() == 0.0 => *f as i64,
+                    // Map keys arrive stringified from JSON.
+                    Content::Str(s) => s.parse::<i64>()
+                        .map_err(|_| Error::custom(format!("expected integer, got {s:?}")))?,
+                    other => return Err(Error::custom(format!(
+                        "expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: &Content) -> Result<$t, Error> {
+                let n: u64 = match content {
+                    Content::U64(n) => *n,
+                    Content::I64(n) => u64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Content::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    Content::Str(s) => s.parse::<u64>()
+                        .map_err(|_| Error::custom(format!("expected integer, got {s:?}")))?,
+                    other => return Err(Error::custom(format!(
+                        "expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        match u64::try_from(*self) {
+            Ok(n) => Content::U64(n),
+            Err(_) => Content::Str(self.to_string()),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn from_content(content: &Content) -> Result<u128, Error> {
+        match content {
+            Content::U64(n) => Ok(*n as u128),
+            Content::I64(n) if *n >= 0 => Ok(*n as u128),
+            Content::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| Error::custom(format!("expected integer, got {s:?}"))),
+            other => Err(Error::custom(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: &Content) -> Result<$t, Error> {
+                match content {
+                    Content::F64(f) => Ok(*f as $t),
+                    Content::I64(n) => Ok(*n as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    Content::Str(s) => s.parse::<$t>()
+                        .map_err(|_| Error::custom(format!("expected number, got {s:?}"))),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(content: &Content) -> Result<bool, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            Content::Str(s) if s == "true" => Ok(true),
+            Content::Str(s) if s == "false" => Ok(false),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_content(content: &Content) -> Result<String, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_content(content: &Content) -> Result<char, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_content(content: &Content) -> Result<(), Error> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+// -- reference / container impls ---------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(content: &Content) -> Result<Box<T>, Error> {
+        Ok(Box::new(T::from_content(content)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(content: &Content) -> Result<Option<T>, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(content: &Content) -> Result<Vec<T>, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<($($t,)+), Error> {
+                match content {
+                    Content::Seq(items) => {
+                        let expected = [$($n),+].len();
+                        if items.len() != expected {
+                            return Err(Error::custom(format!(
+                                "expected tuple of {expected}, got {} elements", items.len())));
+                        }
+                        Ok(($($t::from_content(&items[$n])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected sequence, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+/// Support code invoked from `serde_derive` expansions. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::content::Content;
+    pub use crate::de::Error;
+    use crate::Deserialize;
+
+    pub fn get_field<'a>(content: &'a Content, name: &str) -> Option<&'a Content> {
+        match content {
+            Content::Map(entries) => entries.iter().find_map(|(k, v)| match k {
+                Content::Str(s) if s == name => Some(v),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Look up and deserialize a named struct field. A missing key is
+    /// retried against `Null` so optional fields tolerate omission.
+    pub fn field<'de, T: Deserialize<'de>>(content: &Content, name: &str) -> Result<T, Error> {
+        match get_field(content, name) {
+            Some(v) => {
+                T::from_content(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            None => T::from_content(&Content::Null)
+                .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    pub fn seq(content: &Content, expected: usize) -> Result<&[Content], Error> {
+        match content {
+            Content::Seq(items) if items.len() == expected => Ok(items),
+            Content::Seq(items) => Err(Error::custom(format!(
+                "expected {expected} elements, got {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+
+    /// Split an enum representation into `(variant_name, payload)`.
+    pub fn variant(content: &Content) -> Result<(&str, Option<&Content>), Error> {
+        match content {
+            Content::Str(name) => Ok((name, None)),
+            Content::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Content::Str(name), payload) => Ok((name, Some(payload))),
+                _ => Err(Error::custom("enum variant key must be a string")),
+            },
+            other => Err(Error::custom(format!("expected enum, got {other:?}"))),
+        }
+    }
+
+    pub fn payload<'a>(payload: Option<&'a Content>, variant: &str) -> Result<&'a Content, Error> {
+        payload.ok_or_else(|| Error::custom(format!("variant `{variant}` expects data")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::content::Content;
+    use super::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_content(&42i32.to_content()).unwrap(), 42);
+        assert_eq!(u64::from_content(&7u64.to_content()).unwrap(), 7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&String::from("hi").to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<i64>::from_content(&Content::Null).unwrap(),
+            None::<i64>
+        );
+    }
+
+    #[test]
+    fn maps_accept_stringified_integer_keys() {
+        let m = Content::Map(vec![(Content::Str("3".into()), Content::Str("x".into()))]);
+        let got: BTreeMap<u64, String> = BTreeMap::from_content(&m).unwrap();
+        assert_eq!(got.get(&3).map(String::as_str), Some("x"));
+    }
+}

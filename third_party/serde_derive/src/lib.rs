@@ -1,0 +1,505 @@
+//! Minimal vendored stand-in for the `serde_derive` crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually defines: non-generic structs (named,
+//! tuple/newtype, unit) and enums whose variants are unit, tuple, or
+//! struct-like. Field attributes are ignored; `#[serde(...)]` attributes are
+//! accepted but not interpreted. Parsing is done directly over
+//! `proc_macro::TokenStream` — no `syn`/`quote`, since the build
+//! environment cannot fetch crates.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// -- item model ---------------------------------------------------------------
+
+enum Body {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Plain type parameter names (`Envelope<T>` -> `["T"]`). Bounds,
+    /// lifetimes, and const parameters are not supported.
+    generics: Vec<String>,
+    body: Body,
+}
+
+impl Item {
+    /// `<T, U>` (or empty) for use after the type name.
+    fn type_args(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics.join(", "))
+        }
+    }
+
+    /// Impl-generics list with the given bound applied to each parameter,
+    /// plus optional extra leading params (for the `'de` lifetime).
+    fn impl_generics(&self, extra: &str, bound: &str) -> String {
+        let mut params: Vec<String> = Vec::new();
+        if !extra.is_empty() {
+            params.push(extra.to_string());
+        }
+        for g in &self.generics {
+            params.push(format!("{g}: {bound}"));
+        }
+        if params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", params.join(", "))
+        }
+    }
+}
+
+// -- token cursor -------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip any number of outer attributes (`#[...]`), including doc
+    /// comments, which reach the macro as `#[doc = "..."]`.
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => panic!("serde_derive: malformed attribute"),
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`, etc.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+/// Count top-level comma-separated segments in a field list, tracking
+/// generic-angle depth so `BTreeMap<K, V>` does not split.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    let mut count = 0usize;
+    let mut segment_nonempty = false;
+    for tok in group {
+        match &tok {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    if prev_dash {
+                        // `->` in a function-pointer type: not a closer.
+                    } else {
+                        depth -= 1;
+                    }
+                } else if c == ',' && depth == 0 {
+                    if segment_nonempty {
+                        count += 1;
+                    }
+                    segment_nonempty = false;
+                    prev_dash = false;
+                    continue;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        segment_nonempty = true;
+    }
+    if segment_nonempty {
+        count += 1;
+    }
+    count
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names in
+/// declaration order.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        while let Some(tok) = cur.peek() {
+            if let TokenTree::Punct(p) = tok {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' && !prev_dash {
+                    depth -= 1;
+                } else if c == ',' && depth == 0 {
+                    cur.pos += 1;
+                    break;
+                }
+                prev_dash = c == '-';
+            } else {
+                prev_dash = false;
+            }
+            cur.pos += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.pos += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.pos += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip a discriminant (`= expr`) and the separating comma.
+        while let Some(tok) = cur.peek() {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    cur.pos += 1;
+                    break;
+                }
+            }
+            cur.pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("item name");
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            cur.pos += 1;
+            loop {
+                match cur.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(TokenTree::Ident(id)) => generics.push(id.to_string()),
+                    other => panic!(
+                        "serde_derive: only plain type parameters are supported on \
+                         `{name}`, found {other:?}"
+                    ),
+                }
+            }
+        }
+    }
+    let body = match keyword.as_str() {
+        "struct" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+// -- code generation ----------------------------------------------------------
+
+const CONTENT: &str = "::serde::__private::Content";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("{CONTENT}::Null"),
+        Body::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("{CONTENT}::Seq(vec![{}])", elems.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({CONTENT}::Str(::std::string::String::from(\"{f}\")), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("{CONTENT}::Map(vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => {CONTENT}::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_content(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!("{CONTENT}::Seq(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => {CONTENT}::Map(vec![({CONTENT}::Str(\
+                                 ::std::string::String::from(\"{vn}\")), {payload})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({CONTENT}::Str(::std::string::String::from(\"{f}\")), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {CONTENT}::Map(vec![({CONTENT}::Str(\
+                                 ::std::string::String::from(\"{vn}\")), {CONTENT}::Map(vec![{e}]))]),",
+                                binds = fields.join(", "),
+                                e = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Serialize for {name}{args} {{\n\
+         fn to_content(&self) -> {CONTENT} {{ {body} }}\n\
+         }}",
+        generics = item.impl_generics("", "::serde::Serialize"),
+        args = item.type_args(),
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__content)?))"
+        ),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = ::serde::__private::seq(__content, {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__content, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                        }
+                        Shape::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(\
+                             ::serde::__private::payload(__payload, \"{vn}\")?)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&__seq[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                 let __seq = ::serde::__private::seq(\
+                                 ::serde::__private::payload(__payload, \"{vn}\")?, {n})?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__private::field(__payload_map, \"{f}\")?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                 let __payload_map = \
+                                 ::serde::__private::payload(__payload, \"{vn}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__variant, __payload) = ::serde::__private::variant(__content)?;\n\
+                 match __variant {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::__private::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Deserialize<'de> for {name}{args} {{\n\
+         fn from_content(__content: &{CONTENT}) \
+         -> ::std::result::Result<Self, ::serde::__private::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}",
+        generics = item.impl_generics("'de", "::serde::Deserialize<'de>"),
+        args = item.type_args(),
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
