@@ -206,6 +206,7 @@ mod tests {
     use crate::context::ContextPattern;
     use crate::event::Event;
     use geodb::query::DbEventKind;
+    use std::rc::Rc;
 
     fn cust(name: &str, event: EventPattern, ctx: ContextPattern) -> Rule<&'static str> {
         Rule::customization(name, event, ctx, "p")
@@ -293,7 +294,7 @@ mod tests {
                 },
                 context: ContextPattern::any(),
                 guard: None,
-                action: Action::Raise(vec![Event::external("b")]),
+                action: Rc::new(Action::Raise(vec![Event::external("b")])),
                 group: RuleGroup::Other,
                 coupling: crate::rule::Coupling::Immediate,
                 priority: 0,
@@ -306,7 +307,7 @@ mod tests {
                 },
                 context: ContextPattern::any(),
                 guard: None,
-                action: Action::Raise(vec![Event::external("a")]),
+                action: Rc::new(Action::Raise(vec![Event::external("a")])),
                 group: RuleGroup::Other,
                 coupling: crate::rule::Coupling::Immediate,
                 priority: 0,
@@ -329,7 +330,7 @@ mod tests {
                 },
                 context: ContextPattern::any(),
                 guard: None,
-                action: Action::Raise(vec![Event::external("b")]),
+                action: Rc::new(Action::Raise(vec![Event::external("b")])),
                 group: RuleGroup::Other,
                 coupling: crate::rule::Coupling::Immediate,
                 priority: 0,

@@ -7,11 +7,34 @@
 //! most specific rule." Non-customization rules (integrity maintenance
 //! etc.) all fire, in priority order. Actions may raise further events;
 //! cascades are bounded by a configurable depth.
+//!
+//! Dispatch runs one of two strategies (see [`DispatchStrategy`]):
+//!
+//! * **Indexed** (the default): a discrimination index buckets rule
+//!   indices by event-pattern discriminant (per [`DbEventKind`],
+//!   interface/external by name, wildcard), so matching consults only the
+//!   buckets that can possibly match; a winner cache keyed on
+//!   `(event discriminant, user, category, application)` turns repeat
+//!   interactions — the same user clicking through the same windows,
+//!   paper Figs. 4–7 — into a hash lookup. The cache is invalidated by a
+//!   generation counter on any rule mutation and is bypassed entirely
+//!   while any enabled customization rule carries a guard or extension
+//!   dimensions (those must re-evaluate every time).
+//! * **Linear**: the original scan over every registered rule, kept as
+//!   the differential-testing oracle.
+//!
+//! Both strategies produce identical [`Outcome`]s; `tests` and the
+//! `dispatch_differential` property suite enforce this.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use geodb::query::DbEventKind;
 
 use crate::context::SessionContext;
-use crate::event::Event;
+use crate::event::{Event, EventPattern};
 use crate::rule::{Action, Coupling, Rule, RuleGroup};
 use crate::trace::{Trace, TraceEntry};
 
@@ -24,10 +47,22 @@ pub enum SelectionPolicy {
     FireAll,
 }
 
+/// How dispatch finds the matching rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchStrategy {
+    /// Discrimination index + winner cache (the default).
+    #[default]
+    Indexed,
+    /// Scan every registered rule — the differential-testing oracle.
+    Linear,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     pub selection: SelectionPolicy,
+    /// How matching rules are found per event.
+    pub strategy: DispatchStrategy,
     /// Maximum cascade depth before the engine aborts the dispatch.
     pub max_cascade_depth: usize,
     /// Record traces (disable in tight benchmark loops).
@@ -38,6 +73,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             selection: SelectionPolicy::MostSpecific,
+            strategy: DispatchStrategy::Indexed,
             max_cascade_depth: 16,
             tracing: true,
         }
@@ -78,8 +114,9 @@ impl std::error::Error for ActiveError {}
 pub struct Outcome<P> {
     /// Customization payloads, in firing order.
     pub customizations: Vec<P>,
-    /// Names of every rule that fired.
-    pub fired: Vec<String>,
+    /// Names of every rule that fired (interned — cloning is a pointer
+    /// bump; see [`Outcome::fired_names`] for a `&str` view).
+    pub fired: Vec<Rc<str>>,
     /// Total events processed (1 + cascaded).
     pub events_processed: usize,
     /// The execution trace (empty when tracing is off).
@@ -92,17 +129,367 @@ impl<P> Outcome<P> {
     pub fn customization(&self) -> Option<&P> {
         self.customizations.first()
     }
+
+    /// The fired rule names as plain string slices.
+    pub fn fired_names(&self) -> Vec<&str> {
+        self.fired.iter().map(|n| &**n).collect()
+    }
+
+    fn empty() -> Outcome<P> {
+        Outcome {
+            customizations: Vec::new(),
+            fired: Vec::new(),
+            events_processed: 0,
+            trace: Trace::default(),
+        }
+    }
 }
+
+/// Winner-cache statistics (see `:metrics` and `docs/dispatch.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Dispatched events answered from the cache.
+    pub hits: u64,
+    /// Cacheable events that had to run customization matching.
+    pub misses: u64,
+    /// Times a rule mutation flushed a non-empty cache.
+    pub invalidations: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Discrimination index
+// ---------------------------------------------------------------------------
+
+/// Rule indices bucketed by event-pattern discriminant. An event only
+/// consults the buckets that can possibly match it, so wildcard-free rule
+/// populations dispatch in time proportional to the matching candidates,
+/// not the rule count.
+#[derive(Debug, Default)]
+struct Buckets {
+    db_by_kind: HashMap<DbEventKind, Vec<usize>>,
+    /// `Db` patterns with `kind: None` — match any database event.
+    db_any: Vec<usize>,
+    iface_by_name: HashMap<String, Vec<usize>>,
+    /// `Interface` patterns with `name: None` (e.g. source-prefix only).
+    iface_any: Vec<usize>,
+    ext_by_name: HashMap<String, Vec<usize>>,
+    ext_any: Vec<usize>,
+    /// `EventPattern::Any` — consulted for every event.
+    wildcard: Vec<usize>,
+}
+
+impl Buckets {
+    fn insert(&mut self, idx: usize, pattern: &EventPattern) {
+        match pattern {
+            EventPattern::Any => self.wildcard.push(idx),
+            EventPattern::Db { kind: Some(k), .. } => {
+                self.db_by_kind.entry(*k).or_default().push(idx)
+            }
+            EventPattern::Db { kind: None, .. } => self.db_any.push(idx),
+            EventPattern::Interface { name: Some(n), .. } => {
+                self.iface_by_name.entry(n.clone()).or_default().push(idx)
+            }
+            EventPattern::Interface { name: None, .. } => self.iface_any.push(idx),
+            EventPattern::External { name: Some(n) } => {
+                self.ext_by_name.entry(n.clone()).or_default().push(idx)
+            }
+            EventPattern::External { name: None } => self.ext_any.push(idx),
+        }
+    }
+
+    /// Append every candidate index for `event` (unsorted across buckets;
+    /// each bucket is internally ascending).
+    fn collect(&self, event: &Event, out: &mut Vec<usize>) {
+        match event {
+            Event::Db(e) => {
+                if let Some(b) = self.db_by_kind.get(&e.kind()) {
+                    out.extend_from_slice(b);
+                }
+                out.extend_from_slice(&self.db_any);
+            }
+            Event::Interface { name, .. } => {
+                if let Some(b) = self.iface_by_name.get(name) {
+                    out.extend_from_slice(b);
+                }
+                out.extend_from_slice(&self.iface_any);
+            }
+            Event::External { name } => {
+                if let Some(b) = self.ext_by_name.get(name) {
+                    out.extend_from_slice(b);
+                }
+                out.extend_from_slice(&self.ext_any);
+            }
+        }
+        out.extend_from_slice(&self.wildcard);
+    }
+
+    fn buckets_mut(&mut self) -> impl Iterator<Item = &mut Vec<usize>> {
+        self.db_by_kind
+            .values_mut()
+            .chain(self.iface_by_name.values_mut())
+            .chain(self.ext_by_name.values_mut())
+            .chain([
+                &mut self.db_any,
+                &mut self.iface_any,
+                &mut self.ext_any,
+                &mut self.wildcard,
+            ])
+    }
+
+    /// Drop `removed` and shift every later index down by one.
+    fn remove_index(&mut self, removed: usize) {
+        for b in self.buckets_mut() {
+            b.retain_mut(|v| {
+                if *v == removed {
+                    return false;
+                }
+                if *v > removed {
+                    *v -= 1;
+                }
+                true
+            });
+        }
+    }
+
+    /// Drop a sorted batch of removed indices and remap the survivors.
+    fn remap_removed(&mut self, removed: &[usize]) {
+        for b in self.buckets_mut() {
+            b.retain_mut(|v| match removed.binary_search(v) {
+                Ok(_) => false,
+                Err(shift) => {
+                    *v -= shift;
+                    true
+                }
+            });
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RuleIndex {
+    cust: Buckets,
+    other: Buckets,
+    /// Enabled customization rules the winner cache cannot represent
+    /// (guard or extension-dimension conditions). While non-zero the
+    /// cache is bypassed entirely.
+    uncacheable_cust: usize,
+}
+
+impl RuleIndex {
+    fn insert(&mut self, idx: usize, group: RuleGroup, pattern: &EventPattern) {
+        if group == RuleGroup::Customization {
+            self.cust.insert(idx, pattern);
+        } else {
+            self.other.insert(idx, pattern);
+        }
+    }
+
+    fn remove_index(&mut self, removed: usize) {
+        self.cust.remove_index(removed);
+        self.other.remove_index(removed);
+    }
+
+    fn remap_removed(&mut self, removed: &[usize]) {
+        self.cust.remap_removed(removed);
+        self.other.remap_removed(removed);
+    }
+}
+
+/// A customization rule whose match cannot be keyed by the winner cache:
+/// guards see arbitrary state, and extension dimensions are outside the
+/// cache key. Such rules must re-evaluate on every dispatch.
+fn rule_uncacheable<P>(r: &Rule<P>) -> bool {
+    r.group == RuleGroup::Customization
+        && r.enabled
+        && (r.guard.is_some() || !r.context.extras.is_empty())
+}
+
+// ---------------------------------------------------------------------------
+// Winner cache
+// ---------------------------------------------------------------------------
+
+/// The event fields that rule patterns can observe, owned for storage in
+/// a cache slot. Two events with equal keys match exactly the same
+/// pattern set.
+#[derive(Debug, Clone, PartialEq)]
+enum EventKey {
+    Db {
+        kind: DbEventKind,
+        schema: String,
+        class: Option<String>,
+    },
+    Interface {
+        name: String,
+        source: String,
+    },
+    External {
+        name: String,
+    },
+}
+
+impl EventKey {
+    fn of(event: &Event) -> EventKey {
+        match event {
+            Event::Db(e) => EventKey::Db {
+                kind: e.kind(),
+                schema: e.schema().to_string(),
+                class: e.class().map(str::to_string),
+            },
+            Event::Interface { name, source } => EventKey::Interface {
+                name: name.clone(),
+                source: source.clone(),
+            },
+            Event::External { name } => EventKey::External { name: name.clone() },
+        }
+    }
+
+    /// Borrow-compare against a live event (no allocation on the hit path).
+    fn matches(&self, event: &Event) -> bool {
+        match (self, event) {
+            (
+                EventKey::Db {
+                    kind,
+                    schema,
+                    class,
+                },
+                Event::Db(e),
+            ) => {
+                *kind == e.kind() && schema.as_str() == e.schema() && class.as_deref() == e.class()
+            }
+            (
+                EventKey::Interface { name, source },
+                Event::Interface {
+                    name: en,
+                    source: es,
+                },
+            ) => name == en && source == es,
+            (EventKey::External { name }, Event::External { name: en }) => name == en,
+            _ => false,
+        }
+    }
+}
+
+/// Hash of the cache key `(event discriminant, user, category,
+/// application)`, computed without allocating.
+fn cache_key_hash(event: &Event, ctx: &SessionContext) -> u64 {
+    let mut h = DefaultHasher::new();
+    match event {
+        Event::Db(e) => {
+            0u8.hash(&mut h);
+            e.kind().hash(&mut h);
+            e.schema().hash(&mut h);
+            e.class().hash(&mut h);
+        }
+        Event::Interface { name, source } => {
+            1u8.hash(&mut h);
+            name.hash(&mut h);
+            source.hash(&mut h);
+        }
+        Event::External { name } => {
+            2u8.hash(&mut h);
+            name.hash(&mut h);
+        }
+    }
+    ctx.user.hash(&mut h);
+    ctx.category.hash(&mut h);
+    ctx.application.hash(&mut h);
+    h.finish()
+}
+
+/// A cached customization-matching result. Selection is cached in a
+/// policy-independent form: the full matched set (ascending registration
+/// order, what `FireAll` needs) plus the most-specific winner.
+#[derive(Debug)]
+struct CacheSlot {
+    event: EventKey,
+    user: String,
+    category: String,
+    application: String,
+    matched_cust: Vec<usize>,
+    winner: Option<usize>,
+}
+
+impl CacheSlot {
+    fn matches(&self, event: &Event, ctx: &SessionContext) -> bool {
+        self.user == ctx.user
+            && self.category == ctx.category
+            && self.application == ctx.application
+            && self.event.matches(event)
+    }
+}
+
+/// Slots the winner cache holds before it flushes itself wholesale.
+const WINNER_CACHE_CAPACITY: usize = 8192;
+
+#[derive(Debug, Default)]
+struct WinnerCache {
+    slots: HashMap<u64, Vec<CacheSlot>>,
+    len: usize,
+    /// `rules_generation` the contents were computed under.
+    generation: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl WinnerCache {
+    fn lookup(&self, hash: u64, event: &Event, ctx: &SessionContext) -> Option<&CacheSlot> {
+        self.slots
+            .get(&hash)?
+            .iter()
+            .find(|s| s.matches(event, ctx))
+    }
+
+    fn insert(&mut self, hash: u64, slot: CacheSlot) {
+        if self.len >= WINNER_CACHE_CAPACITY {
+            self.slots.clear();
+            self.len = 0;
+        }
+        self.slots.entry(hash).or_default().push(slot);
+        self.len += 1;
+    }
+}
+
+/// Reusable per-dispatch buffers. Taken out of the engine for the
+/// duration of a dispatch and put back afterwards, so the hot loop
+/// allocates nothing once the buffers have warmed up.
+#[derive(Debug, Default)]
+struct Scratch {
+    queue: VecDeque<(usize, Event)>,
+    candidates: Vec<usize>,
+    matched_cust: Vec<usize>,
+    matched_other: Vec<usize>,
+    to_fire: Vec<usize>,
+    shadowed: Vec<usize>,
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// A rule firing queued for [`Engine::flush_deferred`]: the rule's
+/// interned name, its action, and the triggering event and context.
+type DeferredFiring<P> = (Rc<str>, Rc<Action<P>>, Event, SessionContext);
 
 /// The active mechanism.
 pub struct Engine<P> {
     rules: Vec<Rule<P>>,
+    /// Interned rule names, parallel to `rules`; firing clones a pointer.
+    names: Vec<Rc<str>>,
     by_name: HashMap<String, usize>,
     config: EngineConfig,
-    /// Monotonic registration counter used as the final tiebreaker.
+    /// Dispatches served (telemetry for benches).
     dispatch_count: u64,
+    /// Bumped on every rule mutation; the winner cache invalidates
+    /// lazily when its generation falls behind.
+    rules_generation: u64,
+    index: RuleIndex,
+    cache: WinnerCache,
     /// Firings queued by rules with deferred coupling.
-    deferred: Vec<(String, Action<P>, Event, SessionContext)>,
+    deferred: Vec<DeferredFiring<P>>,
+    scratch: Scratch,
 }
 
 impl<P: Clone> Default for Engine<P> {
@@ -119,10 +506,15 @@ impl<P: Clone> Engine<P> {
     pub fn with_config(config: EngineConfig) -> Engine<P> {
         Engine {
             rules: Vec::new(),
+            names: Vec::new(),
             by_name: HashMap::new(),
             config,
             dispatch_count: 0,
+            rules_generation: 0,
+            index: RuleIndex::default(),
+            cache: WinnerCache::default(),
             deferred: Vec::new(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -134,9 +526,32 @@ impl<P: Clone> Engine<P> {
         self.config.selection = policy;
     }
 
+    pub fn strategy(&self) -> DispatchStrategy {
+        self.config.strategy
+    }
+
+    pub fn set_strategy(&mut self, strategy: DispatchStrategy) {
+        self.config.strategy = strategy;
+    }
+
     /// Number of dispatches served (telemetry for benches).
     pub fn dispatches(&self) -> u64 {
         self.dispatch_count
+    }
+
+    /// Generation counter bumped on every rule mutation.
+    pub fn rules_generation(&self) -> u64 {
+        self.rules_generation
+    }
+
+    /// Winner-cache counters and current size.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache.hits,
+            misses: self.cache.misses,
+            invalidations: self.cache.invalidations,
+            entries: self.cache.len,
+        }
     }
 
     // -- rule management ----------------------------------------------------
@@ -146,8 +561,15 @@ impl<P: Clone> Engine<P> {
         if self.by_name.contains_key(&rule.name) {
             return Err(ActiveError::DuplicateRule(rule.name.clone()));
         }
-        self.by_name.insert(rule.name.clone(), self.rules.len());
+        let idx = self.rules.len();
+        self.by_name.insert(rule.name.clone(), idx);
+        self.names.push(Rc::from(rule.name.as_str()));
+        self.index.insert(idx, rule.group, &rule.event);
+        if rule_uncacheable(&rule) {
+            self.index.uncacheable_cust += 1;
+        }
         self.rules.push(rule);
+        self.rules_generation += 1;
         Ok(())
     }
 
@@ -162,18 +584,25 @@ impl<P: Clone> Engine<P> {
         Ok(())
     }
 
-    /// Remove a rule by name.
+    /// Remove a rule by name. Later rules shift down one slot; the name
+    /// map and index buckets are adjusted in place (no rebuild).
     pub fn remove_rule(&mut self, name: &str) -> Result<Rule<P>, ActiveError> {
-        let idx = *self
+        let idx = self
             .by_name
-            .get(name)
+            .remove(name)
             .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
         let rule = self.rules.remove(idx);
-        self.by_name.remove(name);
-        // Reindex.
-        for (i, r) in self.rules.iter().enumerate() {
-            self.by_name.insert(r.name.clone(), i);
+        self.names.remove(idx);
+        if rule_uncacheable(&rule) {
+            self.index.uncacheable_cust -= 1;
         }
+        self.index.remove_index(idx);
+        for v in self.by_name.values_mut() {
+            if *v > idx {
+                *v -= 1;
+            }
+        }
+        self.rules_generation += 1;
         Ok(rule)
     }
 
@@ -183,7 +612,15 @@ impl<P: Clone> Engine<P> {
             .by_name
             .get(name)
             .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
+        let was = rule_uncacheable(&self.rules[idx]);
         self.rules[idx].enabled = enabled;
+        let now = rule_uncacheable(&self.rules[idx]);
+        if now && !was {
+            self.index.uncacheable_cust += 1;
+        } else if was && !now {
+            self.index.uncacheable_cust -= 1;
+        }
+        self.rules_generation += 1;
         Ok(())
     }
 
@@ -205,15 +642,37 @@ impl<P: Clone> Engine<P> {
 
     /// Drop every rule whose name starts with `prefix`; returns how many
     /// were removed. (Recompiling a customization program replaces its
-    /// rule family this way.)
+    /// rule family this way.) Surviving entries are remapped in place.
     pub fn remove_rules_with_prefix(&mut self, prefix: &str) -> usize {
-        let before = self.rules.len();
-        self.rules.retain(|r| !r.name.starts_with(prefix));
-        self.by_name.clear();
-        for (i, r) in self.rules.iter().enumerate() {
-            self.by_name.insert(r.name.clone(), i);
+        let removed: Vec<usize> = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.name.starts_with(prefix))
+            .map(|(i, _)| i)
+            .collect();
+        if removed.is_empty() {
+            return 0;
         }
-        before - self.rules.len()
+        for &i in &removed {
+            if rule_uncacheable(&self.rules[i]) {
+                self.index.uncacheable_cust -= 1;
+            }
+        }
+        self.rules.retain(|r| !r.name.starts_with(prefix));
+        let mut i = 0;
+        self.names.retain(|_| {
+            let keep = removed.binary_search(&i).is_err();
+            i += 1;
+            keep
+        });
+        self.by_name.retain(|n, _| !n.starts_with(prefix));
+        for v in self.by_name.values_mut() {
+            *v -= removed.partition_point(|&r| r < *v);
+        }
+        self.index.remap_removed(&removed);
+        self.rules_generation += 1;
+        removed.len()
     }
 
     // -- dispatch -----------------------------------------------------------
@@ -224,6 +683,18 @@ impl<P: Clone> Engine<P> {
         event: Event,
         ctx: &SessionContext,
     ) -> Result<Outcome<P>, ActiveError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.dispatch_inner(event, ctx, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    fn dispatch_inner(
+        &mut self,
+        event: Event,
+        ctx: &SessionContext,
+        s: &mut Scratch,
+    ) -> Result<Outcome<P>, ActiveError> {
         let _span = obs::span("engine.dispatch");
         self.dispatch_count += 1;
         // Per-dispatch tallies, flushed to the metrics registry once at
@@ -232,17 +703,31 @@ impl<P: Clone> Engine<P> {
         let mut m_matched = 0u64;
         let mut m_fired = 0u64;
         let mut m_shadowed = 0u64;
+        let mut m_hits = 0u64;
+        let mut m_misses = 0u64;
         let mut m_max_depth = 0usize;
-        let mut outcome = Outcome {
-            customizations: Vec::new(),
-            fired: Vec::new(),
-            events_processed: 0,
-            trace: Trace::default(),
-        };
-        let mut queue: VecDeque<(usize, Event)> = VecDeque::new();
-        queue.push_back((0, event));
 
-        while let Some((depth, event)) = queue.pop_front() {
+        let indexed = self.config.strategy == DispatchStrategy::Indexed;
+        // The cache is only sound while every enabled customization rule
+        // is a pure function of the cache key.
+        let cache_ok = indexed && self.index.uncacheable_cust == 0;
+        if cache_ok && self.cache.generation != self.rules_generation {
+            if self.cache.len > 0 {
+                self.cache.slots.clear();
+                self.cache.len = 0;
+                self.cache.invalidations += 1;
+                if obs::enabled() {
+                    obs::counter_add("engine.winner_cache_invalidations", 1);
+                }
+            }
+            self.cache.generation = self.rules_generation;
+        }
+
+        let mut outcome = Outcome::empty();
+        s.queue.clear();
+        s.queue.push_back((0, event));
+
+        while let Some((depth, event)) = s.queue.pop_front() {
             if depth > self.config.max_cascade_depth {
                 return Err(ActiveError::CascadeOverflow {
                     depth,
@@ -250,97 +735,180 @@ impl<P: Clone> Engine<P> {
                 });
             }
             outcome.events_processed += 1;
-            m_considered += self.rules.len() as u64;
             m_max_depth = m_max_depth.max(depth);
 
-            // Collect matching rule indexes.
-            let matched: Vec<usize> = self
-                .rules
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.matches(&event, ctx))
-                .map(|(i, _)| i)
-                .collect();
+            s.matched_cust.clear();
+            s.matched_other.clear();
+            // `Some(winner)` when the cache answered customization
+            // matching for this event; the winner itself may be `None`
+            // (negative results are cached too).
+            let mut cached_winner: Option<Option<usize>> = None;
+            let mut hash = None;
 
-            // Partition by group.
-            let (cust, other): (Vec<usize>, Vec<usize>) = matched
-                .iter()
-                .partition(|&&i| self.rules[i].group == RuleGroup::Customization);
-
-            // Customization selection.
-            let mut to_fire: Vec<usize> = Vec::new();
-            let mut shadowed: Vec<usize> = Vec::new();
-            match self.config.selection {
-                SelectionPolicy::MostSpecific => {
-                    if let Some(&winner) = cust.iter().max_by_key(|&&i| {
-                        let r = &self.rules[i];
-                        // Specificity, then designer priority, then
-                        // registration order (later wins: redefinitions
-                        // override).
-                        (r.specificity(), r.priority, i)
-                    }) {
-                        to_fire.push(winner);
-                        shadowed.extend(cust.iter().copied().filter(|&i| i != winner));
+            if indexed {
+                if cache_ok {
+                    let h = cache_key_hash(&event, ctx);
+                    hash = Some(h);
+                    if let Some(slot) = self.cache.lookup(h, &event, ctx) {
+                        s.matched_cust.extend_from_slice(&slot.matched_cust);
+                        cached_winner = Some(slot.winner);
+                        m_hits += 1;
+                    } else {
+                        m_misses += 1;
                     }
                 }
-                SelectionPolicy::FireAll => to_fire.extend(cust.iter().copied()),
+                if cached_winner.is_none() {
+                    s.candidates.clear();
+                    self.index.cust.collect(&event, &mut s.candidates);
+                    // Ascending registration order, like the linear scan.
+                    s.candidates.sort_unstable();
+                    m_considered += s.candidates.len() as u64;
+                    for &i in &s.candidates {
+                        if self.rules[i].matches(&event, ctx) {
+                            s.matched_cust.push(i);
+                        }
+                    }
+                }
+                s.candidates.clear();
+                self.index.other.collect(&event, &mut s.candidates);
+                s.candidates.sort_unstable();
+                m_considered += s.candidates.len() as u64;
+                for &i in &s.candidates {
+                    if self.rules[i].matches(&event, ctx) {
+                        s.matched_other.push(i);
+                    }
+                }
+            } else {
+                m_considered += self.rules.len() as u64;
+                for (i, r) in self.rules.iter().enumerate() {
+                    if r.matches(&event, ctx) {
+                        if r.group == RuleGroup::Customization {
+                            s.matched_cust.push(i);
+                        } else {
+                            s.matched_other.push(i);
+                        }
+                    }
+                }
+            }
+
+            // Customization selection: specificity, then designer
+            // priority, then registration order (later wins:
+            // redefinitions override).
+            let winner = match cached_winner {
+                Some(w) => w,
+                None => {
+                    let rules = &self.rules;
+                    let w = s.matched_cust.iter().copied().max_by_key(|&i| {
+                        let r = &rules[i];
+                        (r.specificity(), r.priority, i)
+                    });
+                    if let Some(h) = hash {
+                        self.cache.insert(
+                            h,
+                            CacheSlot {
+                                event: EventKey::of(&event),
+                                user: ctx.user.clone(),
+                                category: ctx.category.clone(),
+                                application: ctx.application.clone(),
+                                matched_cust: s.matched_cust.clone(),
+                                winner: w,
+                            },
+                        );
+                    }
+                    w
+                }
+            };
+
+            s.to_fire.clear();
+            s.shadowed.clear();
+            match self.config.selection {
+                SelectionPolicy::MostSpecific => {
+                    if let Some(w) = winner {
+                        s.to_fire.push(w);
+                        s.shadowed
+                            .extend(s.matched_cust.iter().copied().filter(|&i| i != w));
+                    }
+                }
+                SelectionPolicy::FireAll => s.to_fire.extend_from_slice(&s.matched_cust),
             }
             // Non-customization rules all fire, highest priority first.
-            let mut others = other;
-            others.sort_by_key(|&i| (-self.rules[i].priority, i));
-            to_fire.extend(others);
+            let cust_fired = s.to_fire.len();
+            s.to_fire.extend_from_slice(&s.matched_other);
+            let rules = &self.rules;
+            s.to_fire[cust_fired..].sort_by_key(|&i| (std::cmp::Reverse(rules[i].priority), i));
 
-            m_matched += matched.len() as u64;
-            m_shadowed += shadowed.len() as u64;
-            m_fired += to_fire.len() as u64;
+            m_matched += (s.matched_cust.len() + s.matched_other.len()) as u64;
+            m_shadowed += s.shadowed.len() as u64;
+            m_fired += s.to_fire.len() as u64;
 
-            // Execute (or queue, for deferred-coupling rules).
-            let mut fired_names = Vec::with_capacity(to_fire.len());
-            for i in to_fire {
-                let action = self.rules[i].action.clone();
-                let name = self.rules[i].name.clone();
-                let coupling = self.rules[i].coupling;
-                fired_names.push(name.clone());
-                match coupling {
+            // Execute (or queue, for deferred-coupling rules). Indexed by
+            // position because actions push into `s.queue`.
+            let fired_start = outcome.fired.len();
+            for k in 0..s.to_fire.len() {
+                let i = s.to_fire[k];
+                outcome.fired.push(Rc::clone(&self.names[i]));
+                match self.rules[i].coupling {
                     Coupling::Immediate => Self::run_action(
-                        &action,
+                        &self.rules[i].action,
                         &event,
                         ctx,
                         depth,
-                        &mut queue,
+                        &mut s.queue,
                         &mut outcome.customizations,
                     ),
-                    Coupling::Deferred => {
-                        self.deferred
-                            .push((name, action, event.clone(), ctx.clone()));
-                    }
+                    Coupling::Deferred => self.deferred.push((
+                        Rc::clone(&self.names[i]),
+                        Rc::clone(&self.rules[i].action),
+                        event.clone(),
+                        ctx.clone(),
+                    )),
                 }
             }
 
             if self.config.tracing {
+                // Merge the two ascending matched lists back into
+                // registration order, as the linear scan reports them.
+                let mut matched = Vec::with_capacity(s.matched_cust.len() + s.matched_other.len());
+                let (mut a, mut b) = (0, 0);
+                while a < s.matched_cust.len() || b < s.matched_other.len() {
+                    let i = if b == s.matched_other.len()
+                        || (a < s.matched_cust.len() && s.matched_cust[a] < s.matched_other[b])
+                    {
+                        a += 1;
+                        s.matched_cust[a - 1]
+                    } else {
+                        b += 1;
+                        s.matched_other[b - 1]
+                    };
+                    matched.push(self.rules[i].name.clone());
+                }
                 outcome.trace.entries.push(TraceEntry {
                     depth,
                     event: event.describe(),
-                    matched: matched
+                    matched,
+                    fired: outcome.fired[fired_start..]
                         .iter()
-                        .map(|&i| self.rules[i].name.clone())
+                        .map(|n| n.to_string())
                         .collect(),
-                    fired: fired_names.clone(),
-                    shadowed: shadowed
+                    shadowed: s
+                        .shadowed
                         .iter()
                         .map(|&i| self.rules[i].name.clone())
                         .collect(),
                 });
             }
-            outcome.fired.extend(fired_names);
         }
 
+        self.cache.hits += m_hits;
+        self.cache.misses += m_misses;
         if obs::enabled() {
             obs::counter_add("engine.dispatches", 1);
             obs::counter_add("engine.rules_considered", m_considered);
             obs::counter_add("engine.rules_matched", m_matched);
             obs::counter_add("engine.rules_fired", m_fired);
             obs::counter_add("engine.rules_shadowed", m_shadowed);
+            obs::counter_add("engine.winner_cache_hits", m_hits);
+            obs::counter_add("engine.winner_cache_misses", m_misses);
             obs::record_value("engine.cascade_depth", m_max_depth as u64);
             obs::record_value("engine.deferred_queue_depth", self.deferred.len() as u64);
         }
@@ -361,13 +929,13 @@ impl<P: Clone> Engine<P> {
     /// point). Events raised by deferred actions dispatch normally —
     /// immediate rules run inline, deferred ones re-queue.
     pub fn flush_deferred(&mut self) -> Result<Outcome<P>, ActiveError> {
-        let mut outcome = Outcome {
-            customizations: Vec::new(),
-            fired: Vec::new(),
-            events_processed: 0,
-            trace: Trace::default(),
-        };
-        for (name, action, event, ctx) in std::mem::take(&mut self.deferred) {
+        let _span = obs::span("engine.flush_deferred");
+        let drained = std::mem::take(&mut self.deferred);
+        if obs::enabled() {
+            obs::counter_add("engine.deferred_flushed", drained.len() as u64);
+        }
+        let mut outcome = Outcome::empty();
+        for (name, action, event, ctx) in drained {
             outcome.fired.push(name);
             let mut queue: VecDeque<(usize, Event)> = VecDeque::new();
             Self::run_action(
@@ -422,8 +990,7 @@ impl<P: Clone> Engine<P> {
 mod tests {
     use super::*;
     use crate::context::ContextPattern;
-    use crate::event::EventPattern;
-    use geodb::query::{DbEvent, DbEventKind};
+    use geodb::query::DbEvent;
     use std::rc::Rc;
 
     fn get_schema() -> Event {
@@ -456,7 +1023,7 @@ mod tests {
 
         let out = eng.dispatch(get_schema(), &session()).unwrap();
         assert_eq!(out.customizations, vec!["user"]);
-        assert_eq!(out.fired, vec!["by_user"]);
+        assert_eq!(out.fired_names(), vec!["by_user"]);
         // The shadowed rules are visible in the trace.
         assert_eq!(out.trace.entries[0].shadowed.len(), 2);
 
@@ -477,6 +1044,10 @@ mod tests {
             .unwrap();
         let out = eng.dispatch(get_schema(), &session()).unwrap();
         assert_eq!(out.customizations.len(), 2);
+        // Repeat from the cache: `FireAll` still gets the full set.
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations.len(), 2);
+        assert_eq!(eng.cache_stats().hits, 1);
     }
 
     #[test]
@@ -544,10 +1115,10 @@ mod tests {
             event: EventPattern::db(DbEventKind::GetSchema),
             context: ContextPattern::any(),
             guard: None,
-            action: Action::Raise(vec![Event::Db(DbEvent::GetClass {
+            action: Rc::new(Action::Raise(vec![Event::Db(DbEvent::GetClass {
                 schema: "phone_net".into(),
                 class: "Pole".into(),
-            })]),
+            })])),
             group: RuleGroup::Other,
             coupling: crate::rule::Coupling::Immediate,
             priority: 0,
@@ -579,7 +1150,7 @@ mod tests {
             },
             context: ContextPattern::any(),
             guard: None,
-            action: Action::Raise(vec![Event::external("ping")]),
+            action: Rc::new(Action::Raise(vec![Event::external("ping")])),
             group: RuleGroup::Other,
             coupling: crate::rule::Coupling::Immediate,
             priority: 0,
@@ -590,6 +1161,9 @@ mod tests {
             .dispatch(Event::external("ping"), &session())
             .unwrap_err();
         assert!(matches!(err, ActiveError::CascadeOverflow { .. }));
+        // The aborted dispatch leaves no debris: the next one is clean.
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.events_processed, 1);
     }
 
     #[test]
@@ -628,6 +1202,224 @@ mod tests {
     }
 
     #[test]
+    fn removal_keeps_name_map_and_buckets_consistent() {
+        // Regression: removals used to rebuild `by_name` from scratch;
+        // the in-place remap must leave every surviving name resolving
+        // to its own rule, across single and batch removal, for every
+        // bucket family.
+        let mut eng: Engine<&str> = Engine::new();
+        let mk = |name: &str, event: EventPattern| {
+            Rule::customization(name, event, ContextPattern::any(), "p")
+        };
+        eng.add_rule(mk(
+            "db/get_schema",
+            EventPattern::db(DbEventKind::GetSchema),
+        ))
+        .unwrap();
+        eng.add_rule(mk("wild/any", EventPattern::Any)).unwrap();
+        eng.add_rule(mk(
+            "ext/tick",
+            EventPattern::External {
+                name: Some("tick".into()),
+            },
+        ))
+        .unwrap();
+        eng.add_rule(mk("db/get_class", EventPattern::db(DbEventKind::GetClass)))
+            .unwrap();
+        eng.add_rule(mk(
+            "iface/click",
+            EventPattern::Interface {
+                name: Some("click".into()),
+                source_prefix: None,
+            },
+        ))
+        .unwrap();
+        eng.add_rule(mk("ext/any", EventPattern::External { name: None }))
+            .unwrap();
+
+        eng.remove_rule("wild/any").unwrap();
+        eng.remove_rule("db/get_schema").unwrap();
+        assert_eq!(eng.remove_rules_with_prefix("ext/"), 2);
+
+        // Every survivor's name still maps to the rule bearing it.
+        assert_eq!(eng.len(), 2);
+        for name in ["db/get_class", "iface/click"] {
+            assert_eq!(eng.rule(name).unwrap().name, name);
+        }
+        // And the buckets still dispatch the right rules.
+        let out = eng
+            .dispatch(
+                Event::Db(DbEvent::GetClass {
+                    schema: "s".into(),
+                    class: "C".into(),
+                }),
+                &session(),
+            )
+            .unwrap();
+        assert_eq!(out.fired_names(), vec!["db/get_class"]);
+        let out = eng
+            .dispatch(Event::interface("click", "w/b1"), &session())
+            .unwrap();
+        assert_eq!(out.fired_names(), vec!["iface/click"]);
+        let out = eng.dispatch(Event::external("tick"), &session()).unwrap();
+        assert!(out.fired.is_empty());
+    }
+
+    #[test]
+    fn winner_cache_counts_hits_misses_and_invalidations() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(cust("a", ContextPattern::any(), "a")).unwrap();
+
+        eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(eng.cache_stats().hits, 0);
+        assert_eq!(eng.cache_stats().misses, 1);
+        assert_eq!(eng.cache_stats().entries, 1);
+
+        eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(eng.cache_stats().hits, 1);
+        assert_eq!(eng.cache_stats().misses, 1);
+
+        // Negative results are cached too.
+        let stranger = SessionContext::new("x", "y", "z");
+        eng.dispatch(Event::external("nope"), &stranger).unwrap();
+        eng.dispatch(Event::external("nope"), &stranger).unwrap();
+        assert_eq!(eng.cache_stats().hits, 2);
+
+        // Any rule mutation flushes the cache on the next dispatch.
+        eng.add_rule(cust("b", ContextPattern::for_user("juliano"), "b"))
+            .unwrap();
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["b"]);
+        let stats = eng.cache_stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn guarded_rules_bypass_the_cache() {
+        let flag = Rc::new(std::cell::Cell::new(true));
+        let f = flag.clone();
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(
+            cust("guarded", ContextPattern::any(), "guarded")
+                .with_guard(Rc::new(move |_, _| f.get())),
+        )
+        .unwrap();
+
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["guarded"]);
+        // Flip the guard's state: a cached winner would go stale here.
+        flag.set(false);
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert!(out.customizations.is_empty());
+        let stats = eng.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn extras_bearing_rules_bypass_the_cache() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.add_rule(cust(
+            "scaled",
+            ContextPattern::any().extra("scale", "1:1000"),
+            "coarse",
+        ))
+        .unwrap();
+        // Same <user, category, application> triple, different extras —
+        // the cache key cannot tell these sessions apart.
+        let zoomed = session().with_extra("scale", "1:1000");
+        let out = eng.dispatch(get_schema(), &zoomed).unwrap();
+        assert_eq!(out.customizations, vec!["coarse"]);
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert!(out.customizations.is_empty());
+        assert_eq!(eng.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn linear_strategy_skips_the_cache() {
+        let mut eng: Engine<&str> = Engine::with_config(EngineConfig {
+            strategy: DispatchStrategy::Linear,
+            ..Default::default()
+        });
+        eng.add_rule(cust("a", ContextPattern::any(), "a")).unwrap();
+        eng.dispatch(get_schema(), &session()).unwrap();
+        eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(eng.cache_stats(), CacheStats::default());
+        assert_eq!(eng.strategy(), DispatchStrategy::Linear);
+    }
+
+    #[test]
+    fn indexed_and_linear_agree_on_a_mixed_rule_set() {
+        let build = |strategy: DispatchStrategy| {
+            let mut eng: Engine<&str> = Engine::with_config(EngineConfig {
+                strategy,
+                ..Default::default()
+            });
+            eng.add_rule(cust("generic", ContextPattern::any(), "generic"))
+                .unwrap();
+            eng.add_rule(cust("by_user", ContextPattern::for_user("juliano"), "user"))
+                .unwrap();
+            eng.add_rule(Rule::customization(
+                "wild",
+                EventPattern::Any,
+                ContextPattern::for_category("planner"),
+                "wild",
+            ))
+            .unwrap();
+            eng.add_rule(
+                Rule::customization(
+                    "ext",
+                    EventPattern::External {
+                        name: Some("refresh".into()),
+                    },
+                    ContextPattern::any(),
+                    "ext",
+                )
+                .with_priority(3),
+            )
+            .unwrap();
+            eng.add_rule(
+                Rule::integrity("audit", EventPattern::Any, Rc::new(|_, _| vec![]))
+                    .with_priority(-1),
+            )
+            .unwrap();
+            eng
+        };
+        let mut indexed = build(DispatchStrategy::Indexed);
+        let mut linear = build(DispatchStrategy::Linear);
+
+        let events = [
+            get_schema(),
+            Event::external("refresh"),
+            Event::interface("click", "schema_window/list"),
+            Event::Db(DbEvent::GetClass {
+                schema: "phone_net".into(),
+                class: "Pole".into(),
+            }),
+        ];
+        for event in &events {
+            for ctx in [session(), SessionContext::new("guest", "visitor", "x")] {
+                // Twice per pair so the second round hits the cache.
+                for _ in 0..2 {
+                    let a = indexed.dispatch(event.clone(), &ctx).unwrap();
+                    let b = linear.dispatch(event.clone(), &ctx).unwrap();
+                    assert_eq!(a.customizations, b.customizations);
+                    assert_eq!(a.fired_names(), b.fired_names());
+                    assert_eq!(a.events_processed, b.events_processed);
+                    assert_eq!(a.trace.entries.len(), b.trace.entries.len());
+                    for (ta, tb) in a.trace.entries.iter().zip(&b.trace.entries) {
+                        assert_eq!(ta.matched, tb.matched);
+                        assert_eq!(ta.fired, tb.fired);
+                        assert_eq!(ta.shadowed, tb.shadowed);
+                    }
+                }
+            }
+        }
+        assert!(indexed.cache_stats().hits > 0);
+    }
+
+    #[test]
     fn no_matching_rule_yields_empty_outcome() {
         let mut eng: Engine<&str> = Engine::new();
         let out = eng.dispatch(get_schema(), &session()).unwrap();
@@ -653,9 +1445,8 @@ mod tests {
 mod coupling_tests {
     use super::*;
     use crate::context::ContextPattern;
-    use crate::event::EventPattern;
     use crate::rule::Coupling;
-    use geodb::query::{DbEvent, DbEventKind};
+    use geodb::query::DbEvent;
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -741,7 +1532,7 @@ mod coupling_tests {
             event: EventPattern::db(DbEventKind::Insert),
             context: ContextPattern::any(),
             guard: None,
-            action: Action::Raise(vec![Event::external("recheck")]),
+            action: Rc::new(Action::Raise(vec![Event::external("recheck")])),
             group: RuleGroup::Other,
             coupling: Coupling::Deferred,
             priority: 0,
@@ -762,7 +1553,7 @@ mod coupling_tests {
         assert!(out.customizations.is_empty());
         let out = eng.flush_deferred().unwrap();
         assert_eq!(out.customizations, vec!["payload"]);
-        assert!(out.fired.contains(&"answer".to_string()));
+        assert!(out.fired_names().contains(&"answer"));
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub mod trace;
 
 pub use conflict::{analyze, Finding};
 pub use context::{ContextPattern, SessionContext};
-pub use engine::{ActiveError, Engine, EngineConfig, Outcome, SelectionPolicy};
+pub use engine::{
+    ActiveError, CacheStats, DispatchStrategy, Engine, EngineConfig, Outcome, SelectionPolicy,
+};
 pub use event::{Event, EventPattern};
 pub use rule::{Action, Callback, Coupling, Guard, Rule, RuleGroup};
 pub use trace::{Trace, TraceEntry};

@@ -86,7 +86,8 @@ pub struct Rule<P> {
     pub context: ContextPattern,
     /// Optional extra guard beyond the context check.
     pub guard: Option<Guard>,
-    pub action: Action<P>,
+    /// Shared so firing clones a pointer, not an action tree.
+    pub action: Rc<Action<P>>,
     pub group: RuleGroup,
     pub coupling: Coupling,
     /// Designer-assigned tiebreaker among equally specific rules.
@@ -107,7 +108,7 @@ impl<P> Rule<P> {
             event,
             context,
             guard: None,
-            action: Action::Customize(payload),
+            action: Rc::new(Action::Customize(payload)),
             group: RuleGroup::Customization,
             coupling: Coupling::Immediate,
             priority: 0,
@@ -122,7 +123,7 @@ impl<P> Rule<P> {
             event,
             context: ContextPattern::any(),
             guard: None,
-            action: Action::Callback(callback),
+            action: Rc::new(Action::Callback(callback)),
             group: RuleGroup::Integrity,
             coupling: Coupling::Immediate,
             priority: 0,

@@ -131,10 +131,10 @@ mod tests {
             event: EventPattern::db(DbEventKind::GetSchema),
             context: ContextPattern::any(),
             guard: None,
-            action: Action::Raise(vec![Event::Db(DbEvent::GetClass {
+            action: std::rc::Rc::new(Action::Raise(vec![Event::Db(DbEvent::GetClass {
                 schema: "phone_net".into(),
                 class: "Pole".into(),
-            })]),
+            })])),
             group: RuleGroup::Other,
             coupling: crate::rule::Coupling::Immediate,
             priority: 0,

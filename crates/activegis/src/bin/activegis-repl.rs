@@ -34,6 +34,8 @@ commands:
   :metrics                                metrics snapshot as JSON
   :metrics prom                           metrics in Prometheus text format
   :metrics on|off                         toggle metric collection
+  :strategy [indexed|linear]              show or switch rule dispatch strategy
+  :cache                                  winner-cache hit/miss/invalidation stats
   screen                                  tile this session's windows
   windows                                 list open windows
   help                                    this text
@@ -165,6 +167,24 @@ impl Repl {
             [":metrics", "off"] => {
                 ActiveGis::set_metrics_enabled(false);
                 println!("metric collection off");
+            }
+            [":strategy"] => println!("{:?}", self.gis.dispatch_strategy()),
+            [":strategy", "indexed"] => {
+                self.gis
+                    .set_dispatch_strategy(activegis::DispatchStrategy::Indexed);
+                println!("dispatch strategy: Indexed");
+            }
+            [":strategy", "linear"] => {
+                self.gis
+                    .set_dispatch_strategy(activegis::DispatchStrategy::Linear);
+                println!("dispatch strategy: Linear");
+            }
+            [":cache"] => {
+                let s = self.gis.dispatch_cache_stats();
+                println!(
+                    "winner cache: {} hits, {} misses, {} invalidations, {} entries",
+                    s.hits, s.misses, s.invalidations, s.entries
+                );
             }
             ["screen"] => match self.session {
                 Some(sid) => {

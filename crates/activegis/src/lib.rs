@@ -47,7 +47,8 @@ pub use system::ActiveGis;
 
 // One-stop re-exports so applications can depend on `activegis` alone.
 pub use active::{
-    ContextPattern, Engine, Event, EventPattern, Rule, RuleGroup, SelectionPolicy, SessionContext,
+    CacheStats, ContextPattern, DispatchStrategy, Engine, Event, EventPattern, Rule, RuleGroup,
+    SelectionPolicy, SessionContext,
 };
 pub use builder::{BuiltWindow, Format, InterfaceBuilder, WindowKind};
 pub use custlang::{

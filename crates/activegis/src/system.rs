@@ -149,6 +149,24 @@ impl ActiveGis {
         obs::set_enabled(on);
     }
 
+    /// How the rule engine finds matching rules per event: the default
+    /// discrimination index + winner cache, or the linear-scan oracle.
+    pub fn dispatch_strategy(&mut self) -> active::DispatchStrategy {
+        self.dispatcher.engine().strategy()
+    }
+
+    /// Switch dispatch strategy (e.g. to `Linear` when differential
+    /// testing against the indexed path).
+    pub fn set_dispatch_strategy(&mut self, strategy: active::DispatchStrategy) {
+        self.dispatcher.engine().set_strategy(strategy);
+    }
+
+    /// Winner-cache hit/miss/invalidation counters and current size
+    /// (see `docs/dispatch.md`).
+    pub fn dispatch_cache_stats(&mut self) -> active::CacheStats {
+        self.dispatcher.engine().cache_stats()
+    }
+
     /// The structured explanation log: the most recent traces with
     /// cascade depths and matched/fired/shadowed rule names intact.
     pub fn explanation_log(&self) -> &gisui::ExplanationLog {
@@ -190,6 +208,27 @@ mod tests {
         assert!(art.contains("Class: Pole"));
         assert!(gis.render_svg(windows[1]).unwrap().starts_with("<svg"));
         assert!(!gis.explanation().is_empty());
+    }
+
+    #[test]
+    fn dispatch_strategy_and_cache_stats_are_exposed() {
+        use active::DispatchStrategy;
+        let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+        gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+        assert_eq!(gis.dispatch_strategy(), DispatchStrategy::Indexed);
+
+        let sid = gis.login("juliano", "planner", "pole_manager");
+        gis.browse_schema(sid, "phone_net").unwrap();
+        let cold = gis.dispatch_cache_stats();
+        gis.browse_schema(sid, "phone_net").unwrap();
+        let warm = gis.dispatch_cache_stats();
+        assert!(
+            warm.hits > cold.hits,
+            "repeat browse hits the cache: {warm:?}"
+        );
+
+        gis.set_dispatch_strategy(DispatchStrategy::Linear);
+        assert_eq!(gis.dispatch_strategy(), DispatchStrategy::Linear);
     }
 
     #[test]

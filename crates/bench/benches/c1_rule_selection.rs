@@ -1,32 +1,42 @@
-//! C1 — rule selection scaling and the most-specific-wins ablation.
+//! C1 — rule selection scaling, dispatch-strategy comparison, and the
+//! most-specific-wins ablation.
 //!
 //! The paper's execution model fires exactly one customization rule per
 //! event, the most specific. This bench measures dispatch latency as the
 //! rule population grows (10 → 10 000 rules across a user/category/
-//! application lattice) and compares the paper's `MostSpecific` policy
-//! against the `FireAll` ablation.
+//! application lattice), compares the paper's `MostSpecific` policy
+//! against the `FireAll` ablation, and — since PR 2 — pits the indexed
+//! dispatch path (discrimination index + winner cache) against the
+//! `Linear` full-scan oracle it replaced.
 //!
-//! Expected shape: dispatch linear in matching-candidate count for both
-//! policies (every rule's pattern must be tested), but `FireAll` also
-//! pays per-firing action costs and produces conflicting payloads —
-//! the qualitative argument for the paper's policy is output size:
-//! 1 payload vs. hundreds.
+//! Expected shape: linear dispatch is O(rules) (every rule's pattern must
+//! be tested); the discrimination index is O(candidates in the event's
+//! bucket); the winner cache answers repeat dispatches in O(1). The
+//! machine-readable comparison lands in `BENCH_dispatch.json` at the
+//! repo root. Set `BENCH_QUICK=1` to run a reduced smoke version (CI).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Instant;
 
 use active::{
-    ContextPattern, Engine, EngineConfig, Event, EventPattern, Rule, SelectionPolicy,
-    SessionContext,
+    ContextPattern, DispatchStrategy, Engine, EngineConfig, Event, EventPattern, Rule,
+    SelectionPolicy, SessionContext,
 };
 use geodb::query::{DbEvent, DbEventKind};
 
 /// Build an engine with `n` customization rules over a context lattice:
 /// one third generic-application, one third per-category, one third
 /// per-user.
-fn engine_with_rules(n: usize, policy: SelectionPolicy) -> Engine<usize> {
+fn engine_with_rules(
+    n: usize,
+    policy: SelectionPolicy,
+    strategy: DispatchStrategy,
+) -> Engine<usize> {
     let mut engine = Engine::with_config(EngineConfig {
         selection: policy,
+        strategy,
         tracing: false,
         ..Default::default()
     });
@@ -48,6 +58,42 @@ fn engine_with_rules(n: usize, policy: SelectionPolicy) -> Engine<usize> {
     engine
 }
 
+/// Like [`engine_with_rules`], but the event patterns rotate over five
+/// event families (three db kinds, interface gestures, external events),
+/// so only ~1/5 of the rules share the dispatched event's bucket — the
+/// shape the discrimination index is built for.
+fn mixed_engine(n: usize, strategy: DispatchStrategy) -> Engine<usize> {
+    let mut engine = Engine::with_config(EngineConfig {
+        selection: SelectionPolicy::MostSpecific,
+        strategy,
+        tracing: false,
+        ..Default::default()
+    });
+    for i in 0..n {
+        let pattern = match i % 5 {
+            0 => EventPattern::db(DbEventKind::GetClass),
+            1 => EventPattern::db(DbEventKind::GetSchema),
+            2 => EventPattern::db(DbEventKind::Insert),
+            3 => EventPattern::Interface {
+                name: Some("click".into()),
+                source_prefix: None,
+            },
+            _ => EventPattern::External {
+                name: Some(format!("ext{}", i % 7)),
+            },
+        };
+        let ctx = match i % 3 {
+            0 => ContextPattern::for_application("pole_manager"),
+            1 => ContextPattern::for_category(format!("cat{}", i % 7)).application("pole_manager"),
+            _ => ContextPattern::for_user(format!("user{i}")).application("pole_manager"),
+        };
+        engine
+            .add_rule(Rule::customization(format!("r{i}"), pattern, ctx, i))
+            .unwrap();
+    }
+    engine
+}
+
 fn event() -> Event {
     Event::Db(DbEvent::GetClass {
         schema: "phone_net".into(),
@@ -55,12 +101,188 @@ fn event() -> Event {
     })
 }
 
-fn bench_rule_selection(c: &mut Criterion) {
+/// Mean ns/call of `f`, measured with a warm-up and a wall-clock target.
+fn measure_ns<F: FnMut()>(mut f: F, quick: bool) -> f64 {
+    let warmup = if quick { 5 } else { 50 };
+    for _ in 0..warmup {
+        f();
+    }
+    let target_ns: u128 = if quick { 2_000_000 } else { 200_000_000 };
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        // Check the clock only every 64 calls so the probe cost does not
+        // distort sub-microsecond measurements.
+        if iters & 63 == 0 {
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= target_ns {
+                return elapsed as f64 / iters as f64;
+            }
+        }
+    }
+}
+
+/// Dispatch-strategy comparison rows, written to `BENCH_dispatch.json`.
+///
+/// Three variants per rule-set size, all repeat-dispatching the same
+/// `Get_Class` event under the same session:
+/// - `linear`: the full-scan oracle (`DispatchStrategy::Linear`);
+/// - `indexed`: the discrimination index with the winner cache forced
+///   off (a guard-bearing rule makes the set uncacheable), i.e. the
+///   index-walk cost alone;
+/// - `indexed_hot`: index + winner cache, where every dispatch after the
+///   first is a cache hit — the steady state of an interactive session
+///   replaying the same gesture.
+fn dispatch_strategy_comparison(quick: bool) -> serde_json::Value {
+    let mut rows = Vec::new();
+    rows.extend(scenario_rows(
+        "uniform",
+        &|n, s| engine_with_rules(n, SelectionPolicy::MostSpecific, s),
+        quick,
+    ));
+    rows.extend(scenario_rows("mixed_kinds", &mixed_engine, quick));
+
+    serde_json::Value::Object(vec![
+        (
+            "bench".into(),
+            serde_json::Value::String("c1_dispatch_strategy".into()),
+        ),
+        ("quick".into(), serde_json::Value::Bool(quick)),
+        (
+            "event".into(),
+            serde_json::Value::String("Db::Get_Class phone_net/Pole (repeat-dispatch)".into()),
+        ),
+        (
+            "session".into(),
+            serde_json::Value::String("user5/cat5/pole_manager".into()),
+        ),
+        ("rows".into(), serde_json::Value::Array(rows)),
+    ])
+}
+
+/// One scenario's worth of comparison rows. `uniform` puts every rule in
+/// the dispatched event's bucket (the index cannot prune; the cache does
+/// all the work); `mixed_kinds` spreads rules over five event families
+/// (the index prunes ~80% of candidates before pattern matching).
+fn scenario_rows(
+    scenario: &str,
+    build: &dyn Fn(usize, DispatchStrategy) -> Engine<usize>,
+    quick: bool,
+) -> Vec<serde_json::Value> {
     let session = SessionContext::new("user5", "cat5", "pole_manager");
+    let sizes: &[usize] = if quick {
+        &[10, 100]
+    } else {
+        &[10, 100, 1000, 10_000]
+    };
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut linear = build(n, DispatchStrategy::Linear);
+        let mut indexed = build(n, DispatchStrategy::Indexed);
+        let mut hot = build(n, DispatchStrategy::Indexed);
+        // A guarded rule (never matching: external pattern) disables the
+        // winner cache for the whole set, isolating the index walk.
+        indexed
+            .add_rule(
+                Rule::customization(
+                    "cache_off_sentinel",
+                    EventPattern::External {
+                        name: Some("never".into()),
+                    },
+                    ContextPattern::any(),
+                    usize::MAX,
+                )
+                .with_guard(Rc::new(|_, _| false)),
+            )
+            .unwrap();
+
+        // The strategies must agree before we time them.
+        let a = linear.dispatch(event(), &session).unwrap();
+        let b = indexed.dispatch(event(), &session).unwrap();
+        let c = hot.dispatch(event(), &session).unwrap();
+        assert_eq!(a.customization(), b.customization());
+        assert_eq!(a.customization(), c.customization());
+
+        let linear_ns = measure_ns(
+            || {
+                black_box(linear.dispatch(event(), &session).unwrap());
+            },
+            quick,
+        );
+        let indexed_ns = measure_ns(
+            || {
+                black_box(indexed.dispatch(event(), &session).unwrap());
+            },
+            quick,
+        );
+        let hot_ns = measure_ns(
+            || {
+                black_box(hot.dispatch(event(), &session).unwrap());
+            },
+            quick,
+        );
+        let stats = hot.cache_stats();
+        assert!(
+            stats.hits > stats.misses,
+            "hot variant was not cache-hot: {stats:?}"
+        );
+
+        eprintln!(
+            "[c1 strategy/{scenario}] {n:>6} rules: linear {linear_ns:>12.1} ns, indexed \
+             {indexed_ns:>12.1} ns ({:>6.1}x), cache-hot {hot_ns:>10.1} ns ({:>6.1}x)",
+            linear_ns / indexed_ns,
+            linear_ns / hot_ns,
+        );
+
+        rows.push(serde_json::Value::Object(vec![
+            (
+                "scenario".into(),
+                serde_json::Value::String(scenario.into()),
+            ),
+            ("rules".into(), serde_json::Value::U64(n as u64)),
+            ("linear_ns".into(), serde_json::Value::F64(linear_ns)),
+            ("indexed_ns".into(), serde_json::Value::F64(indexed_ns)),
+            ("indexed_hot_ns".into(), serde_json::Value::F64(hot_ns)),
+            (
+                "speedup_indexed".into(),
+                serde_json::Value::F64(linear_ns / indexed_ns),
+            ),
+            (
+                "speedup_hot".into(),
+                serde_json::Value::F64(linear_ns / hot_ns),
+            ),
+        ]));
+    }
+    rows
+}
+
+fn bench_rule_selection(c: &mut Criterion) {
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let session = SessionContext::new("user5", "cat5", "pole_manager");
+    let sizes: &[usize] = if quick {
+        &[10, 100]
+    } else {
+        &[10, 100, 1000, 10_000]
+    };
 
     let mut group = c.benchmark_group("c1_most_specific");
-    for &n in &[10usize, 100, 1000, 10_000] {
-        let mut engine = engine_with_rules(n, SelectionPolicy::MostSpecific);
+    for &n in sizes {
+        let mut engine =
+            engine_with_rules(n, SelectionPolicy::MostSpecific, DispatchStrategy::Indexed);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(engine.dispatch(event(), &session).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("c1_linear_oracle");
+    for &n in sizes {
+        let mut engine =
+            engine_with_rules(n, SelectionPolicy::MostSpecific, DispatchStrategy::Linear);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(engine.dispatch(event(), &session).unwrap()));
@@ -69,8 +291,8 @@ fn bench_rule_selection(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("c1_fire_all_ablation");
-    for &n in &[10usize, 100, 1000, 10_000] {
-        let mut engine = engine_with_rules(n, SelectionPolicy::FireAll);
+    for &n in sizes {
+        let mut engine = engine_with_rules(n, SelectionPolicy::FireAll, DispatchStrategy::Indexed);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(engine.dispatch(event(), &session).unwrap()));
@@ -79,8 +301,12 @@ fn bench_rule_selection(c: &mut Criterion) {
     group.finish();
 
     // The qualitative difference the latency numbers hide: payload counts.
-    let mut most = engine_with_rules(1000, SelectionPolicy::MostSpecific);
-    let mut all = engine_with_rules(1000, SelectionPolicy::FireAll);
+    let mut most = engine_with_rules(
+        1000,
+        SelectionPolicy::MostSpecific,
+        DispatchStrategy::Indexed,
+    );
+    let mut all = engine_with_rules(1000, SelectionPolicy::FireAll, DispatchStrategy::Indexed);
     let n_most = most
         .dispatch(event(), &session)
         .unwrap()
@@ -100,11 +326,23 @@ fn bench_rule_selection(c: &mut Criterion) {
     // a multi-application deployment.
     let mut group = c.benchmark_group("c1_no_match");
     let other = SessionContext::new("user5", "cat5", "other_app");
-    let mut engine = engine_with_rules(1000, SelectionPolicy::MostSpecific);
+    let mut engine = engine_with_rules(
+        1000,
+        SelectionPolicy::MostSpecific,
+        DispatchStrategy::Indexed,
+    );
     group.bench_function("1000_rules_no_context_match", |b| {
         b.iter(|| black_box(engine.dispatch(event(), &other).unwrap()));
     });
     group.finish();
+
+    // Machine-readable strategy comparison: indexed vs the linear oracle,
+    // written to the repo root for the perf acceptance gate.
+    let summary = dispatch_strategy_comparison(quick);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    std::fs::write(path, json + "\n").expect("BENCH_dispatch.json is writable");
+    eprintln!("[c1 strategy] wrote {path}");
 }
 
 criterion_group!(benches, bench_rule_selection);

@@ -580,8 +580,8 @@ mod tests {
         let prog = parse(custlang::FIG6_PROGRAM).unwrap();
         compile(&prog, "fig6")
             .into_iter()
-            .map(|r| match r.action {
-                active::Action::Customize(c) => c,
+            .map(|r| match &*r.action {
+                active::Action::Customize(c) => c.clone(),
                 _ => panic!("fig6 compiles to customizations"),
             })
             .collect()

@@ -152,7 +152,7 @@ mod tests {
             ]
         );
         assert!(matches!(
-            rules[0].action,
+            *rules[0].action,
             active::Action::Customize(Customization::SchemaWindow {
                 mode: SchemaMode::Null,
                 ..

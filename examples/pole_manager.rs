@@ -43,7 +43,7 @@ fn print_fig6_rules(gis: &mut ActiveGis) {
             rule.name,
             rule.event,
             rule.context,
-            match &rule.action {
+            match &*rule.action {
                 active::Action::Customize(c) => c.window_kind(),
                 _ => "other",
             }

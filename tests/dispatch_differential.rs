@@ -1,0 +1,318 @@
+//! Differential testing: the indexed dispatch path (discrimination index
+//! plus winner cache) must produce exactly the same `Outcome` as the linear
+//! scan it replaced, for random rule sets, session contexts and event
+//! sequences — including after interleaved add/remove/enable mutations,
+//! which must invalidate the winner cache.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use active::{
+    Action, ContextPattern, DispatchStrategy, Engine, EngineConfig, Event, EventPattern, Rule,
+    RuleGroup, SessionContext,
+};
+use geodb::instance::Oid;
+use geodb::query::{DbEvent, DbEventKind};
+
+const SCHEMAS: [&str; 2] = ["phone_net", "water_net"];
+const CLASSES: [&str; 2] = ["Pole", "Duct"];
+const GESTURES: [&str; 2] = ["click", "key"];
+const SOURCES: [&str; 2] = ["schema_window/list", "class_window/panel"];
+const EXTERNALS: [&str; 2] = ["tick", "refresh"];
+const FAMILIES: [&str; 2] = ["fa", "fb"];
+
+/// Everything needed to build the *same* rule twice, once per engine.
+#[derive(Debug, Clone)]
+struct RuleSpec {
+    event: EventPattern,
+    context: ContextPattern,
+    family: usize,
+    group: RuleGroup,
+    priority: i32,
+    /// Deterministic guard (`only Db events pass`) — exercises the
+    /// engine's cache bypass for guard-bearing rules.
+    guarded: bool,
+    /// Non-customization rules may raise a follow-up event (cascades;
+    /// wildcard raisers even cycle, which both strategies must report
+    /// with the same `CascadeOverflow`).
+    raises: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Dispatch an event twice (the second run exercises the cache-hit
+    /// path) under the `usize`-th session context.
+    Dispatch(Event, usize),
+    Add(Box<RuleSpec>),
+    Remove(usize),
+    Toggle(usize, bool),
+    /// Drop the whole `fa/` rule family, as program reinstallation does.
+    RemovePrefix,
+}
+
+fn sessions() -> Vec<SessionContext> {
+    vec![
+        SessionContext::new("juliano", "planner", "pole_manager"),
+        SessionContext::new("claudia", "planner", "env_monitor"),
+        SessionContext::new("guest", "visitor", "browser"),
+        SessionContext::new("juliano", "planner", "pole_manager").with_extra("scale", "1:1000"),
+    ]
+}
+
+fn arb_event_pattern() -> impl Strategy<Value = EventPattern> {
+    let opt_kind = prop::option::of(prop_oneof![
+        Just(DbEventKind::GetSchema),
+        Just(DbEventKind::GetClass),
+        Just(DbEventKind::Insert),
+    ]);
+    let opt_schema = prop::option::of((0usize..2).prop_map(|i| SCHEMAS[i].to_string()));
+    let opt_class = prop::option::of((0usize..2).prop_map(|i| CLASSES[i].to_string()));
+    let opt_gesture = prop::option::of((0usize..2).prop_map(|i| GESTURES[i].to_string()));
+    let opt_prefix = prop::option::of(prop_oneof![
+        Just("schema_window".to_string()),
+        Just("class_window".to_string()),
+    ]);
+    let opt_ext = prop::option::of((0usize..2).prop_map(|i| EXTERNALS[i].to_string()));
+    prop_oneof![
+        Just(EventPattern::Any),
+        (opt_kind, opt_schema, opt_class).prop_map(|(kind, schema, class)| EventPattern::Db {
+            kind,
+            schema,
+            class
+        }),
+        (opt_gesture, opt_prefix).prop_map(|(name, source_prefix)| EventPattern::Interface {
+            name,
+            source_prefix
+        }),
+        opt_ext.prop_map(|name| EventPattern::External { name }),
+    ]
+}
+
+fn arb_context_pattern() -> impl Strategy<Value = ContextPattern> {
+    (
+        prop::option::of(prop_oneof![
+            Just("juliano".to_string()),
+            Just("claudia".to_string())
+        ]),
+        prop::option::of(Just("planner".to_string())),
+        prop::option::of(prop_oneof![
+            Just("pole_manager".to_string()),
+            Just("env_monitor".to_string())
+        ]),
+        any::<bool>(),
+    )
+        .prop_map(|(user, category, application, scaled)| {
+            let mut p = ContextPattern {
+                user,
+                category,
+                application,
+                extras: Default::default(),
+            };
+            if scaled {
+                p = p.extra("scale", "1:1000");
+            }
+            p
+        })
+}
+
+fn arb_rule_spec() -> impl Strategy<Value = RuleSpec> {
+    (
+        (arb_event_pattern(), arb_context_pattern(), 0usize..2),
+        (
+            prop_oneof![
+                Just(RuleGroup::Customization),
+                Just(RuleGroup::Integrity),
+                Just(RuleGroup::Other),
+            ],
+            -3i32..4,
+            any::<bool>(),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |((event, context, family), (group, priority, guarded, raises))| RuleSpec {
+                event,
+                context,
+                family,
+                group,
+                priority,
+                guarded,
+                raises,
+            },
+        )
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0usize..2).prop_map(|i| Event::Db(DbEvent::GetSchema {
+            schema: SCHEMAS[i].to_string()
+        })),
+        (0usize..2, 0usize..2).prop_map(|(s, c)| Event::Db(DbEvent::GetClass {
+            schema: SCHEMAS[s].to_string(),
+            class: CLASSES[c].to_string()
+        })),
+        (0usize..2, 0u64..4).prop_map(|(s, oid)| Event::Db(DbEvent::Insert {
+            schema: SCHEMAS[s].to_string(),
+            class: CLASSES[0].to_string(),
+            oid: Oid(oid)
+        })),
+        (0usize..2, 0usize..2)
+            .prop_map(|(g, s)| Event::interface(GESTURES[g], SOURCES[s].to_string())),
+        (0usize..2).prop_map(|i| Event::external(EXTERNALS[i])),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored proptest has no weighted `prop_oneof`; repeating the
+    // dispatch arm biases runs toward dispatches between mutations.
+    prop_oneof![
+        (arb_event(), 0usize..4).prop_map(|(e, c)| Op::Dispatch(e, c)),
+        (arb_event(), 0usize..4).prop_map(|(e, c)| Op::Dispatch(e, c)),
+        (arb_event(), 0usize..4).prop_map(|(e, c)| Op::Dispatch(e, c)),
+        arb_rule_spec().prop_map(|s| Op::Add(Box::new(s))),
+        arb_rule_spec().prop_map(|s| Op::Add(Box::new(s))),
+        (0usize..32).prop_map(Op::Remove),
+        (0usize..32, any::<bool>()).prop_map(|(i, on)| Op::Toggle(i, on)),
+        Just(Op::RemovePrefix),
+    ]
+}
+
+fn make_rule(name: &str, spec: &RuleSpec, payload: usize) -> Rule<usize> {
+    let mut r = Rule::customization(name, spec.event.clone(), spec.context.clone(), payload)
+        .with_group(spec.group)
+        .with_priority(spec.priority);
+    if spec.group != RuleGroup::Customization && spec.raises {
+        r.action = Rc::new(Action::Raise(vec![Event::external("chain")]));
+    }
+    if spec.guarded {
+        r = r.with_guard(Rc::new(|e, _| matches!(e, Event::Db(_))));
+    }
+    r
+}
+
+struct Harness {
+    indexed: Engine<usize>,
+    linear: Engine<usize>,
+    names: Vec<String>,
+    serial: usize,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        let cfg = |strategy| EngineConfig {
+            strategy,
+            ..Default::default()
+        };
+        Harness {
+            indexed: Engine::with_config(cfg(DispatchStrategy::Indexed)),
+            linear: Engine::with_config(cfg(DispatchStrategy::Linear)),
+            names: Vec::new(),
+            serial: 0,
+        }
+    }
+
+    fn add(&mut self, spec: &RuleSpec) -> Result<(), TestCaseError> {
+        let name = format!("{}/{}", FAMILIES[spec.family], self.serial);
+        let a = self.indexed.add_rule(make_rule(&name, spec, self.serial));
+        let b = self.linear.add_rule(make_rule(&name, spec, self.serial));
+        prop_assert_eq!(&a, &b);
+        if a.is_ok() {
+            self.names.push(name);
+        }
+        self.serial += 1;
+        Ok(())
+    }
+
+    fn dispatch(&mut self, event: &Event, ctx: &SessionContext) -> Result<(), TestCaseError> {
+        match (
+            self.indexed.dispatch(event.clone(), ctx),
+            self.linear.dispatch(event.clone(), ctx),
+        ) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.customizations, &b.customizations, "on {:?}", event);
+                prop_assert_eq!(a.fired_names(), b.fired_names(), "on {:?}", event);
+                prop_assert_eq!(a.events_processed, b.events_processed);
+                prop_assert_eq!(&a.trace.entries, &b.trace.entries, "on {:?}", event);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "strategies disagree on {event:?}: indexed {a:?} vs linear {b:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, op: &Op, sessions: &[SessionContext]) -> Result<(), TestCaseError> {
+        match op {
+            Op::Dispatch(event, c) => {
+                // Twice: the repeat exercises the winner-cache hit path.
+                self.dispatch(event, &sessions[*c])?;
+                self.dispatch(event, &sessions[*c])?;
+            }
+            Op::Add(spec) => self.add(spec)?,
+            Op::Remove(i) => {
+                if self.names.is_empty() {
+                    return Ok(());
+                }
+                let name = self.names[i % self.names.len()].clone();
+                let a = self.indexed.remove_rule(&name);
+                let b = self.linear.remove_rule(&name);
+                prop_assert_eq!(a.is_ok(), b.is_ok());
+                if a.is_ok() {
+                    self.names.retain(|n| n != &name);
+                }
+            }
+            Op::Toggle(i, on) => {
+                if self.names.is_empty() {
+                    return Ok(());
+                }
+                let name = self.names[i % self.names.len()].clone();
+                let a = self.indexed.set_enabled(&name, *on);
+                let b = self.linear.set_enabled(&name, *on);
+                prop_assert_eq!(a, b);
+            }
+            Op::RemovePrefix => {
+                let a = self.indexed.remove_rules_with_prefix("fa/");
+                let b = self.linear.remove_rules_with_prefix("fa/");
+                prop_assert_eq!(a, b);
+                self.names.retain(|n| !n.starts_with("fa/"));
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn indexed_dispatch_matches_the_linear_oracle(
+        initial in prop::collection::vec(arb_rule_spec(), 0..12),
+        ops in prop::collection::vec(arb_op(), 1..40),
+        finale in prop::collection::vec(arb_event(), 1..6),
+    ) {
+        let sessions = sessions();
+        let mut h = Harness::new();
+        for spec in &initial {
+            h.add(spec)?;
+        }
+        for op in &ops {
+            h.apply(op, &sessions)?;
+        }
+        // Sweep every context with a final event batch so each run ends
+        // on a dense round of comparisons over the mutated rule set.
+        for event in &finale {
+            for ctx in &sessions {
+                h.dispatch(event, ctx)?;
+            }
+        }
+        // The engines' rule books stayed in lockstep.
+        prop_assert_eq!(h.indexed.len(), h.linear.len());
+        for name in &h.names {
+            prop_assert_eq!(h.indexed.rule(name).is_some(), h.linear.rule(name).is_some());
+        }
+    }
+}

@@ -83,6 +83,69 @@ fn fig6_flow_populates_every_subsystem() {
 }
 
 #[test]
+fn winner_cache_counters_reach_the_metrics_export() {
+    let _g = lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+    gis.customize(FIG6_PROGRAM, "fig6").unwrap();
+    let sid = gis.login("juliano", "planner", "pole_manager");
+
+    // Cold: every event misses and populates the cache.
+    gis.browse_schema(sid, "phone_net").unwrap();
+    let snap = gis.metrics();
+    assert!(snap.counter("engine.winner_cache_misses") > 0);
+    assert_eq!(snap.counter("engine.winner_cache_hits"), 0);
+
+    // Warm: the repeat interaction is answered from the cache.
+    gis.browse_schema(sid, "phone_net").unwrap();
+    assert!(gis.metrics().counter("engine.winner_cache_hits") > 0);
+
+    // Installing another program mutates the rule set; the next dispatch
+    // flushes the cache and records an invalidation.
+    gis.customize(PLANNER_PROGRAM, "planner").unwrap();
+    gis.browse_schema(sid, "phone_net").unwrap();
+    let snap = gis.metrics();
+    assert!(snap.counter("engine.winner_cache_invalidations") >= 1);
+
+    // The `:metrics` JSON view carries all three counters, and they agree
+    // with the engine's own statistics.
+    let v: serde_json::Value = serde_json::from_str(&snap.to_json()).unwrap();
+    for name in [
+        "engine.winner_cache_hits",
+        "engine.winner_cache_misses",
+        "engine.winner_cache_invalidations",
+    ] {
+        assert!(v["counters"][name].as_u64().is_some(), "{name} missing");
+    }
+    let stats = gis.dispatch_cache_stats();
+    assert_eq!(stats.hits, snap.counter("engine.winner_cache_hits"));
+    assert_eq!(stats.misses, snap.counter("engine.winner_cache_misses"));
+    assert_eq!(
+        stats.invalidations,
+        snap.counter("engine.winner_cache_invalidations")
+    );
+}
+
+#[test]
+fn flush_deferred_records_span_and_counter() {
+    let _g = lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let mut gis = ActiveGis::phone_net_demo(&TelecomConfig::small()).unwrap();
+    gis.dispatcher().engine().flush_deferred().unwrap();
+    let snap = gis.metrics();
+    // Even an empty flush registers its instrumentation: the span's
+    // latency histogram and the flushed-firings counter.
+    let h = snap
+        .histograms
+        .get("engine.flush_deferred")
+        .expect("flush span records a histogram");
+    assert!(h.count > 0);
+    assert_eq!(snap.counter("engine.deferred_flushed"), 0);
+}
+
+#[test]
 fn exporters_are_parseable() {
     let _g = lock();
     obs::reset();
