@@ -57,6 +57,21 @@ pub enum DispatchStrategy {
     Linear,
 }
 
+/// What the engine does when a rule's action faults (panics or trips an
+/// injected failpoint) during dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Contain the fault: record it, skip the faulting rule, and keep
+    /// the cascade going (the default — customization must never take
+    /// the generic interface down with it).
+    #[default]
+    FailOpen,
+    /// Abort the dispatch with [`ActiveError::RuleFault`]. The abort is
+    /// transactional: deferred firings queued by the aborted dispatch
+    /// are rolled back.
+    FailClosed,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -67,6 +82,12 @@ pub struct EngineConfig {
     pub max_cascade_depth: usize,
     /// Record traces (disable in tight benchmark loops).
     pub tracing: bool,
+    /// What a rule fault does to the dispatch in progress.
+    pub fault_policy: FaultPolicy,
+    /// Consecutive faults before a rule is quarantined (circuit-broken:
+    /// skipped by matching until [`Engine::clear_quarantine`]). `0`
+    /// disables quarantining.
+    pub quarantine_threshold: u32,
 }
 
 impl Default for EngineConfig {
@@ -76,9 +97,17 @@ impl Default for EngineConfig {
             strategy: DispatchStrategy::Indexed,
             max_cascade_depth: 16,
             tracing: true,
+            fault_policy: FaultPolicy::FailOpen,
+            quarantine_threshold: 3,
         }
     }
 }
+
+/// The pseudo-rule name faults are attributed to when the
+/// `engine.cascade` failpoint trips while dequeuing a cascaded event
+/// (there is no single rule to blame — any fired rule may have raised
+/// it).
+pub const CASCADE_PSEUDO_RULE: &str = "<cascade>";
 
 /// Errors from rule registration and dispatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +118,13 @@ pub enum ActiveError {
     CascadeOverflow {
         depth: usize,
         event: String,
+    },
+    /// A rule's action panicked or tripped an injected failpoint and the
+    /// engine runs [`FaultPolicy::FailClosed`].
+    RuleFault {
+        rule: String,
+        depth: usize,
+        cause: String,
     },
 }
 
@@ -103,11 +139,50 @@ impl std::fmt::Display for ActiveError {
                     "cascade overflow at depth {depth} on {event} (rule cycle?)"
                 )
             }
+            ActiveError::RuleFault { rule, depth, cause } => {
+                write!(f, "rule `{rule}` faulted at depth {depth}: {cause}")
+            }
         }
     }
 }
 
 impl std::error::Error for ActiveError {}
+
+/// One contained rule fault, reported in [`Outcome::faults`] under
+/// [`FaultPolicy::FailOpen`] (under `FailClosed` the first fault aborts
+/// the dispatch instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The faulting rule, or [`CASCADE_PSEUDO_RULE`].
+    pub rule: String,
+    /// Cascade depth at which the fault occurred.
+    pub depth: usize,
+    /// Panic message or injected-fault description.
+    pub cause: String,
+}
+
+/// Per-rule fault bookkeeping for the circuit breaker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleHealth {
+    /// Faults since the rule last executed cleanly.
+    pub consecutive_faults: u32,
+    /// Faults over the rule's lifetime.
+    pub total_faults: u64,
+    /// Quarantined rules are skipped by matching until
+    /// [`Engine::clear_quarantine`] restores them.
+    pub quarantined: bool,
+}
+
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
 
 /// Everything a dispatch produced.
 #[derive(Debug, Clone)]
@@ -121,6 +196,10 @@ pub struct Outcome<P> {
     pub events_processed: usize,
     /// The execution trace (empty when tracing is off).
     pub trace: Trace,
+    /// Rule faults contained by [`FaultPolicy::FailOpen`], in order of
+    /// occurrence (always empty under `FailClosed` — the first fault
+    /// aborts).
+    pub faults: Vec<FaultRecord>,
 }
 
 impl<P> Outcome<P> {
@@ -141,6 +220,7 @@ impl<P> Outcome<P> {
             fired: Vec::new(),
             events_processed: 0,
             trace: Trace::default(),
+            faults: Vec::new(),
         }
     }
 }
@@ -490,6 +570,12 @@ pub struct Engine<P> {
     /// Firings queued by rules with deferred coupling.
     deferred: Vec<DeferredFiring<P>>,
     scratch: Scratch,
+    /// Per-rule fault bookkeeping, parallel to `rules`.
+    health: Vec<RuleHealth>,
+    /// Rule faults contained or surfaced over the engine's lifetime.
+    rule_fault_count: u64,
+    /// Rules currently quarantined.
+    quarantined_count: usize,
 }
 
 impl<P: Clone> Default for Engine<P> {
@@ -515,6 +601,9 @@ impl<P: Clone> Engine<P> {
             cache: WinnerCache::default(),
             deferred: Vec::new(),
             scratch: Scratch::default(),
+            health: Vec::new(),
+            rule_fault_count: 0,
+            quarantined_count: 0,
         }
     }
 
@@ -532,6 +621,50 @@ impl<P: Clone> Engine<P> {
 
     pub fn set_strategy(&mut self, strategy: DispatchStrategy) {
         self.config.strategy = strategy;
+    }
+
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.config.fault_policy
+    }
+
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.config.fault_policy = policy;
+    }
+
+    /// Rule faults contained or surfaced since the engine was built
+    /// (including `engine.cascade` pseudo-rule faults).
+    pub fn rule_faults(&self) -> u64 {
+        self.rule_fault_count
+    }
+
+    /// Names of every quarantined rule, in registration order.
+    pub fn quarantined(&self) -> Vec<&str> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.quarantined)
+            .map(|(i, _)| &*self.names[i])
+            .collect()
+    }
+
+    /// Fault bookkeeping for one rule.
+    pub fn rule_health(&self, name: &str) -> Option<RuleHealth> {
+        self.by_name.get(name).map(|&i| self.health[i])
+    }
+
+    /// Lift a rule's quarantine and reset its fault counters. The rule
+    /// participates in matching again from the next dispatch.
+    pub fn clear_quarantine(&mut self, name: &str) -> Result<(), ActiveError> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
+        if self.health[idx].quarantined {
+            self.quarantined_count -= 1;
+        }
+        self.health[idx] = RuleHealth::default();
+        self.rules_generation += 1;
+        Ok(())
     }
 
     /// Number of dispatches served (telemetry for benches).
@@ -569,6 +702,7 @@ impl<P: Clone> Engine<P> {
             self.index.uncacheable_cust += 1;
         }
         self.rules.push(rule);
+        self.health.push(RuleHealth::default());
         self.rules_generation += 1;
         Ok(())
     }
@@ -593,6 +727,9 @@ impl<P: Clone> Engine<P> {
             .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
         let rule = self.rules.remove(idx);
         self.names.remove(idx);
+        if self.health.remove(idx).quarantined {
+            self.quarantined_count -= 1;
+        }
         if rule_uncacheable(&rule) {
             self.index.uncacheable_cust -= 1;
         }
@@ -659,9 +796,20 @@ impl<P: Clone> Engine<P> {
                 self.index.uncacheable_cust -= 1;
             }
         }
+        for &i in &removed {
+            if self.health[i].quarantined {
+                self.quarantined_count -= 1;
+            }
+        }
         self.rules.retain(|r| !r.name.starts_with(prefix));
         let mut i = 0;
         self.names.retain(|_| {
+            let keep = removed.binary_search(&i).is_err();
+            i += 1;
+            keep
+        });
+        let mut i = 0;
+        self.health.retain(|_| {
             let keep = removed.binary_search(&i).is_err();
             i += 1;
             keep
@@ -678,15 +826,65 @@ impl<P: Clone> Engine<P> {
     // -- dispatch -----------------------------------------------------------
 
     /// Feed one event through the rule set for a session context.
+    ///
+    /// Dispatch is transactional with respect to the deferred queue: an
+    /// aborted dispatch (`CascadeOverflow`, or `RuleFault` under
+    /// [`FaultPolicy::FailClosed`]) rolls back every deferred firing it
+    /// queued, so no partial transaction state survives the error.
     pub fn dispatch(
         &mut self,
         event: Event,
         ctx: &SessionContext,
     ) -> Result<Outcome<P>, ActiveError> {
         let mut scratch = std::mem::take(&mut self.scratch);
+        let deferred_mark = self.deferred.len();
         let result = self.dispatch_inner(event, ctx, &mut scratch);
         self.scratch = scratch;
+        if result.is_err() {
+            self.deferred.truncate(deferred_mark);
+        }
         result
+    }
+
+    /// Record a fault against rule `idx`; returns `true` if this fault
+    /// tripped the circuit breaker (quarantined the rule).
+    fn note_fault(&mut self, idx: usize) -> bool {
+        self.rule_fault_count += 1;
+        if obs::enabled() {
+            obs::counter_add("engine.rule_faults", 1);
+        }
+        let threshold = self.config.quarantine_threshold;
+        let h = &mut self.health[idx];
+        h.total_faults += 1;
+        h.consecutive_faults += 1;
+        if threshold == 0 || h.quarantined || h.consecutive_faults < threshold {
+            return false;
+        }
+        h.quarantined = true;
+        self.quarantined_count += 1;
+        if obs::enabled() {
+            obs::counter_add("engine.quarantined_rules", 1);
+        }
+        // Quarantine is a rule mutation. Flush the winner cache eagerly
+        // (not lazily at the next dispatch) so no stale slot naming the
+        // quarantined rule can answer later events of this same cascade.
+        self.rules_generation += 1;
+        if self.cache.len > 0 {
+            self.cache.slots.clear();
+            self.cache.len = 0;
+            self.cache.invalidations += 1;
+        }
+        self.cache.generation = self.rules_generation;
+        true
+    }
+
+    /// Record a fault not attributable to one rule (the `engine.cascade`
+    /// failpoint).
+    fn note_anonymous_fault(&mut self) {
+        self.rule_fault_count += 1;
+        if obs::enabled() {
+            obs::counter_add("engine.rule_faults", 1);
+        }
     }
 
     fn dispatch_inner(
@@ -737,6 +935,38 @@ impl<P: Clone> Engine<P> {
             outcome.events_processed += 1;
             m_max_depth = m_max_depth.max(depth);
 
+            // Cascade-step failpoint: a fault in the cascade machinery
+            // itself, not attributable to any one rule. Fail-open drops
+            // the cascaded event; fail-closed aborts the dispatch.
+            if depth > 0 && faultsim::any_armed() {
+                let fired = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    faultsim::fire("engine.cascade")
+                }));
+                let cause = match fired {
+                    Ok(Ok(())) => None,
+                    Ok(Err(fault)) => Some(fault.to_string()),
+                    Err(payload) => Some(panic_message(&*payload)),
+                };
+                if let Some(cause) = cause {
+                    self.note_anonymous_fault();
+                    outcome.faults.push(FaultRecord {
+                        rule: CASCADE_PSEUDO_RULE.to_string(),
+                        depth,
+                        cause: cause.clone(),
+                    });
+                    match self.config.fault_policy {
+                        FaultPolicy::FailOpen => continue,
+                        FaultPolicy::FailClosed => {
+                            return Err(ActiveError::RuleFault {
+                                rule: CASCADE_PSEUDO_RULE.to_string(),
+                                depth,
+                                cause,
+                            });
+                        }
+                    }
+                }
+            }
+
             s.matched_cust.clear();
             s.matched_other.clear();
             // `Some(winner)` when the cache answered customization
@@ -764,7 +994,7 @@ impl<P: Clone> Engine<P> {
                     s.candidates.sort_unstable();
                     m_considered += s.candidates.len() as u64;
                     for &i in &s.candidates {
-                        if self.rules[i].matches(&event, ctx) {
+                        if !self.health[i].quarantined && self.rules[i].matches(&event, ctx) {
                             s.matched_cust.push(i);
                         }
                     }
@@ -774,14 +1004,14 @@ impl<P: Clone> Engine<P> {
                 s.candidates.sort_unstable();
                 m_considered += s.candidates.len() as u64;
                 for &i in &s.candidates {
-                    if self.rules[i].matches(&event, ctx) {
+                    if !self.health[i].quarantined && self.rules[i].matches(&event, ctx) {
                         s.matched_other.push(i);
                     }
                 }
             } else {
                 m_considered += self.rules.len() as u64;
                 for (i, r) in self.rules.iter().enumerate() {
-                    if r.matches(&event, ctx) {
+                    if !self.health[i].quarantined && r.matches(&event, ctx) {
                         if r.group == RuleGroup::Customization {
                             s.matched_cust.push(i);
                         } else {
@@ -848,14 +1078,34 @@ impl<P: Clone> Engine<P> {
                 let i = s.to_fire[k];
                 outcome.fired.push(Rc::clone(&self.names[i]));
                 match self.rules[i].coupling {
-                    Coupling::Immediate => Self::run_action(
-                        &self.rules[i].action,
-                        &event,
-                        ctx,
-                        depth,
-                        &mut s.queue,
-                        &mut outcome.customizations,
-                    ),
+                    Coupling::Immediate => {
+                        let result = Self::run_action(
+                            &self.rules[i].action,
+                            &event,
+                            ctx,
+                            depth,
+                            &mut s.queue,
+                            &mut outcome.customizations,
+                        );
+                        match result {
+                            Ok(()) => self.health[i].consecutive_faults = 0,
+                            Err(cause) => {
+                                outcome.faults.push(FaultRecord {
+                                    rule: self.rules[i].name.clone(),
+                                    depth,
+                                    cause: cause.clone(),
+                                });
+                                self.note_fault(i);
+                                if self.config.fault_policy == FaultPolicy::FailClosed {
+                                    return Err(ActiveError::RuleFault {
+                                        rule: self.rules[i].name.clone(),
+                                        depth,
+                                        cause,
+                                    });
+                                }
+                            }
+                        }
+                    }
                     Coupling::Deferred => self.deferred.push((
                         Rc::clone(&self.names[i]),
                         Rc::clone(&self.rules[i].action),
@@ -936,16 +1186,39 @@ impl<P: Clone> Engine<P> {
         }
         let mut outcome = Outcome::empty();
         for (name, action, event, ctx) in drained {
-            outcome.fired.push(name);
+            outcome.fired.push(Rc::clone(&name));
             let mut queue: VecDeque<(usize, Event)> = VecDeque::new();
-            Self::run_action(
+            if let Err(cause) = Self::run_action(
                 &action,
                 &event,
                 &ctx,
                 0,
                 &mut queue,
                 &mut outcome.customizations,
-            );
+            ) {
+                outcome.faults.push(FaultRecord {
+                    rule: name.to_string(),
+                    depth: 0,
+                    cause: cause.clone(),
+                });
+                // The rule may have been removed since it was deferred.
+                if let Some(&idx) = self.by_name.get(&*name) {
+                    self.note_fault(idx);
+                } else {
+                    self.note_anonymous_fault();
+                }
+                if self.config.fault_policy == FaultPolicy::FailClosed {
+                    return Err(ActiveError::RuleFault {
+                        rule: name.to_string(),
+                        depth: 0,
+                        cause,
+                    });
+                }
+                continue;
+            }
+            if let Some(&idx) = self.by_name.get(&*name) {
+                self.health[idx].consecutive_faults = 0;
+            }
             while let Some((_, raised)) = queue.pop_front() {
                 let sub = self.dispatch(raised, &ctx)?;
                 outcome.customizations.extend(sub.customizations);
@@ -957,6 +1230,11 @@ impl<P: Clone> Engine<P> {
         Ok(outcome)
     }
 
+    /// Run one action. Callbacks are the only fallible arm: they are
+    /// executed behind a panic boundary (a panicking callback becomes an
+    /// `Err`, never unwinds into the engine) and consult the
+    /// `engine.callback` failpoint first. `Err` carries a human-readable
+    /// cause; the caller decides between fail-open and fail-closed.
     fn run_action(
         action: &Action<P>,
         event: &Event,
@@ -964,23 +1242,38 @@ impl<P: Clone> Engine<P> {
         depth: usize,
         queue: &mut VecDeque<(usize, Event)>,
         customizations: &mut Vec<P>,
-    ) {
+    ) -> Result<(), String> {
         match action {
-            Action::Customize(p) => customizations.push(p.clone()),
+            Action::Customize(p) => {
+                customizations.push(p.clone());
+                Ok(())
+            }
             Action::Callback(f) => {
-                for e in f(event, ctx) {
-                    queue.push_back((depth + 1, e));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    faultsim::fire("engine.callback").map(|()| f(event, ctx))
+                }));
+                match result {
+                    Ok(Ok(events)) => {
+                        for e in events {
+                            queue.push_back((depth + 1, e));
+                        }
+                        Ok(())
+                    }
+                    Ok(Err(fault)) => Err(fault.to_string()),
+                    Err(payload) => Err(panic_message(&*payload)),
                 }
             }
             Action::Raise(events) => {
                 for e in events {
                     queue.push_back((depth + 1, e.clone()));
                 }
+                Ok(())
             }
             Action::Compound(actions) => {
                 for a in actions {
-                    Self::run_action(a, event, ctx, depth, queue, customizations);
+                    Self::run_action(a, event, ctx, depth, queue, customizations)?;
                 }
+                Ok(())
             }
         }
     }

@@ -60,7 +60,8 @@ pub mod trace;
 pub use conflict::{analyze, Finding};
 pub use context::{ContextPattern, SessionContext};
 pub use engine::{
-    ActiveError, CacheStats, DispatchStrategy, Engine, EngineConfig, Outcome, SelectionPolicy,
+    ActiveError, CacheStats, DispatchStrategy, Engine, EngineConfig, FaultPolicy, FaultRecord,
+    Outcome, RuleHealth, SelectionPolicy, CASCADE_PSEUDO_RULE,
 };
 pub use event::{Event, EventPattern};
 pub use rule::{Action, Callback, Coupling, Guard, Rule, RuleGroup};

@@ -36,6 +36,13 @@ commands:
   :metrics on|off                         toggle metric collection
   :strategy [indexed|linear]              show or switch rule dispatch strategy
   :cache                                  winner-cache hit/miss/invalidation stats
+  :faults                                 failpoint status (hits / times triggered)
+  :faults arm <name> [panic]              arm a failpoint: always error (or panic)
+  :faults arm <name> p <prob> <seed>      arm with seeded probability
+  :faults arm <name> nth <n>              arm to trigger every n-th hit
+  :faults disarm <name>|reset             disarm one failpoint / all of them
+  :quarantine [clear <rule>]              list circuit-broken rules / restore one
+  :policy [open|closed]                   show or set the engine fault policy
   screen                                  tile this session's windows
   windows                                 list open windows
   help                                    this text
@@ -185,6 +192,92 @@ impl Repl {
                     "winner cache: {} hits, {} misses, {} invalidations, {} entries",
                     s.hits, s.misses, s.invalidations, s.entries
                 );
+            }
+            [":faults"] => {
+                for s in self.gis.failpoints() {
+                    let state = s.armed.as_deref().unwrap_or("disarmed").to_string();
+                    println!(
+                        "{:<16} {:<24} {} hits, {} triggered",
+                        s.name, state, s.hits, s.triggered
+                    );
+                }
+                println!("rule faults contained: {}", self.gis.rule_faults());
+            }
+            [":faults", "arm", name] => {
+                self.gis.arm_failpoint(
+                    name,
+                    faultsim::Trigger::Always,
+                    faultsim::FaultAction::Error,
+                );
+                println!("armed {name}: always -> error");
+            }
+            [":faults", "arm", name, "panic"] => {
+                self.gis.arm_failpoint(
+                    name,
+                    faultsim::Trigger::Always,
+                    faultsim::FaultAction::Panic,
+                );
+                println!("armed {name}: always -> panic");
+            }
+            [":faults", "arm", name, "p", p, seed] => {
+                match (p.parse::<f64>(), seed.parse::<u64>()) {
+                    (Ok(p), Ok(seed)) => {
+                        self.gis.arm_failpoint(
+                            name,
+                            faultsim::Trigger::Probability { p, seed },
+                            faultsim::FaultAction::Error,
+                        );
+                        println!("armed {name}: p={p} seed={seed} -> error");
+                    }
+                    _ => println!("error: usage `:faults arm <name> p <prob> <seed>`"),
+                }
+            }
+            [":faults", "arm", name, "nth", n] => match n.parse::<u64>() {
+                Ok(n) => {
+                    self.gis.arm_failpoint(
+                        name,
+                        faultsim::Trigger::Nth(n),
+                        faultsim::FaultAction::Error,
+                    );
+                    println!("armed {name}: every {n}th hit -> error");
+                }
+                Err(_) => println!("error: `{n}` is not a count"),
+            },
+            [":faults", "disarm", name] => {
+                self.gis.disarm_failpoint(name);
+                println!("disarmed {name}");
+            }
+            [":faults", "reset"] => {
+                self.gis.reset_failpoints();
+                println!("all failpoints disarmed");
+            }
+            [":quarantine"] => {
+                let rules = self.gis.quarantined_rules();
+                if rules.is_empty() {
+                    println!("no rules quarantined");
+                }
+                for rule in rules {
+                    if let Some(h) = self.gis.rule_health(&rule) {
+                        println!(
+                            "{rule}: {} consecutive faults ({} total)",
+                            h.consecutive_faults, h.total_faults
+                        );
+                    }
+                }
+            }
+            [":quarantine", "clear", rule] => match self.gis.clear_quarantine(rule) {
+                Ok(()) => println!("quarantine lifted for {rule}"),
+                Err(e) => println!("error: {e}"),
+            },
+            [":policy"] => println!("{:?}", self.gis.fault_policy()),
+            [":policy", "open"] => {
+                self.gis.set_fault_policy(activegis::FaultPolicy::FailOpen);
+                println!("fault policy: FailOpen (faulty rules are skipped)");
+            }
+            [":policy", "closed"] => {
+                self.gis
+                    .set_fault_policy(activegis::FaultPolicy::FailClosed);
+                println!("fault policy: FailClosed (faults abort the dispatch)");
             }
             ["screen"] => match self.session {
                 Some(sid) => {

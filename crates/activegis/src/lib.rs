@@ -47,13 +47,14 @@ pub use system::ActiveGis;
 
 // One-stop re-exports so applications can depend on `activegis` alone.
 pub use active::{
-    CacheStats, ContextPattern, DispatchStrategy, Engine, Event, EventPattern, Rule, RuleGroup,
-    SelectionPolicy, SessionContext,
+    CacheStats, ContextPattern, DispatchStrategy, Engine, Event, EventPattern, FaultPolicy,
+    FaultRecord, Rule, RuleGroup, RuleHealth, SelectionPolicy, SessionContext,
 };
 pub use builder::{BuiltWindow, Format, InterfaceBuilder, WindowKind};
 pub use custlang::{
     analyze, compile, parse, AnalysisEnv, Customization, Program, SchemaMode, FIG6_PROGRAM,
 };
+pub use faultsim::{FailpointStats, FaultAction, Trigger, FAILPOINTS};
 pub use geodb::db::{Database, IndexKind};
 pub use geodb::gen::{phone_net_db, phone_net_schema, TelecomConfig, TelecomStats};
 pub use geodb::{
@@ -61,8 +62,8 @@ pub use geodb::{
     Rect, SchemaDef, Value,
 };
 pub use gisui::{
-    Dispatcher, ExplanationLog, InteractionMode, Request, Response, SessionId, TraceRecord,
-    UiError, WindowId,
+    Dispatcher, ExplanationLog, InteractionMode, Request, Response, SessionId, StoredProgramReport,
+    TraceRecord, UiError, WindowId,
 };
 pub use obs::MetricsSnapshot;
 pub use uilib::{Library, MapScene, MapShape, Prop, WidgetKind, WidgetTree};

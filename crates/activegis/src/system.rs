@@ -59,8 +59,9 @@ impl ActiveGis {
     }
 
     /// Install every program stored in the database (the boot path after
-    /// reopening a snapshot); returns `(programs, rules, skipped names)`.
-    pub fn load_stored_customizations(&mut self) -> Result<(usize, usize, Vec<String>)> {
+    /// reopening a snapshot); returns `(programs, rules, skipped)` where
+    /// each skipped entry is `(program name, reason)`.
+    pub fn load_stored_customizations(&mut self) -> Result<gisui::StoredProgramReport> {
         self.dispatcher.load_stored_programs()
     }
 
@@ -176,6 +177,76 @@ impl ActiveGis {
     /// JSON export of the retained structured traces.
     pub fn explanation_json(&self) -> String {
         self.dispatcher.explanation_json()
+    }
+
+    // -- robustness ---------------------------------------------------------
+
+    /// How the rule engine reacts to a faulting rule: skip it and keep
+    /// serving the interface (`FailOpen`, the default) or abort the
+    /// dispatch (`FailClosed`). See `docs/robustness.md`.
+    pub fn fault_policy(&mut self) -> active::FaultPolicy {
+        self.dispatcher.engine().fault_policy()
+    }
+
+    /// Switch the engine's fault policy.
+    pub fn set_fault_policy(&mut self, policy: active::FaultPolicy) {
+        self.dispatcher.engine().set_fault_policy(policy);
+    }
+
+    /// Rules currently quarantined by the circuit breaker (too many
+    /// consecutive faults); they no longer match events.
+    pub fn quarantined_rules(&mut self) -> Vec<String> {
+        self.dispatcher
+            .engine()
+            .quarantined()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Per-rule fault health, if the rule exists.
+    pub fn rule_health(&mut self, rule: &str) -> Option<active::RuleHealth> {
+        self.dispatcher.engine().rule_health(rule)
+    }
+
+    /// Lift a rule's quarantine, giving it a clean slate.
+    pub fn clear_quarantine(&mut self, rule: &str) -> Result<()> {
+        self.dispatcher
+            .engine()
+            .clear_quarantine(rule)
+            .map_err(UiError::Active)
+    }
+
+    /// Total rule faults the engine has contained so far.
+    pub fn rule_faults(&mut self) -> u64 {
+        self.dispatcher.engine().rule_faults()
+    }
+
+    /// Current state of every registered failpoint (the deterministic
+    /// fault-injection harness).
+    pub fn failpoints(&self) -> Vec<faultsim::FailpointStats> {
+        faultsim::stats()
+    }
+
+    /// Arm a named failpoint; see [`faultsim::FAILPOINTS`] for the
+    /// registered names.
+    pub fn arm_failpoint(
+        &self,
+        name: &str,
+        trigger: faultsim::Trigger,
+        action: faultsim::FaultAction,
+    ) {
+        faultsim::arm(name, trigger, action);
+    }
+
+    /// Disarm a named failpoint.
+    pub fn disarm_failpoint(&self, name: &str) {
+        faultsim::disarm(name);
+    }
+
+    /// Disarm every failpoint and clear hit statistics.
+    pub fn reset_failpoints(&self) {
+        faultsim::reset();
     }
 
     /// Tile a session's visible windows into one text screen (the way the

@@ -35,6 +35,10 @@ pub enum BuildError {
     Db(GeoDbError),
     /// A customization referenced a widget class the library lacks.
     UnknownWidget(String),
+    /// An injected fault (the `builder.build` failpoint) aborted a
+    /// *customized* build. Default builds never take this path, so the
+    /// generic interface stays available for degradation.
+    Fault(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -44,11 +48,21 @@ impl std::fmt::Display for BuildError {
             BuildError::Tree(e) => write!(f, "tree: {e}"),
             BuildError::Db(e) => write!(f, "database: {e}"),
             BuildError::UnknownWidget(w) => write!(f, "unknown widget class `{w}`"),
+            BuildError::Fault(cause) => write!(f, "injected build fault: {cause}"),
         }
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Library(e) => Some(e),
+            BuildError::Tree(e) => Some(e),
+            BuildError::Db(e) => Some(e),
+            BuildError::UnknownWidget(_) | BuildError::Fault(_) => None,
+        }
+    }
+}
 
 impl From<LibraryError> for BuildError {
     fn from(e: LibraryError) -> Self {
@@ -257,7 +271,20 @@ impl InterfaceBuilder {
         cust: Option<&Customization>,
     ) -> Result<BuiltWindow, BuildError> {
         let _span = obs::span("builder.schema_window");
+        if let Err(e) = Self::build_failpoint(cust.is_some()) {
+            return self.count(Err(e));
+        }
         self.count(self.schema_window_inner(schema, catalog, cust))
+    }
+
+    /// The `builder.build` failpoint, consulted only for *customized*
+    /// builds: it models "applying the customization failed", so the
+    /// default build path — the degradation target — never faults here.
+    fn build_failpoint(customized: bool) -> Result<(), BuildError> {
+        if !customized {
+            return Ok(());
+        }
+        faultsim::fire("builder.build").map_err(|f| BuildError::Fault(f.to_string()))
     }
 
     fn schema_window_inner(
@@ -317,6 +344,9 @@ impl InterfaceBuilder {
         cust: Option<&Customization>,
     ) -> Result<BuiltWindow, BuildError> {
         let _span = obs::span("builder.class_window");
+        if let Err(e) = Self::build_failpoint(cust.is_some()) {
+            return self.count(Err(e));
+        }
         self.count(self.class_window_inner(schema, class, instances, cust))
     }
 
@@ -447,6 +477,9 @@ impl InterfaceBuilder {
         cust: Option<&Customization>,
     ) -> Result<BuiltWindow, BuildError> {
         let _span = obs::span("builder.instance_window");
+        if let Err(e) = Self::build_failpoint(cust.is_some()) {
+            return self.count(Err(e));
+        }
         self.count(self.instance_window_inner(db, inst, cust))
     }
 

@@ -1,0 +1,420 @@
+//! # faultsim — deterministic fault injection
+//!
+//! A dependency-free registry of named *failpoints*: places in the code
+//! that ask, at run time, "should I fail here?". In production nothing
+//! is armed and every check collapses to one relaxed atomic load. In
+//! tests (and chaos drills) a failpoint can be armed to
+//!
+//! * return an injected error ([`FaultAction::Error`]),
+//! * panic ([`FaultAction::Panic`]) — exercising the `catch_unwind`
+//!   containment boundaries of the callers, or
+//! * do either **with a seeded probability** ([`Trigger::Probability`])
+//!   or on an exact hit number ([`Trigger::Nth`]) — deterministic, so a
+//!   failing schedule replays bit-for-bit from its seed.
+//!
+//! The well-known failpoints of this workspace are listed in
+//! [`FAILPOINTS`]; the registry itself accepts any name, so tests can
+//! invent private ones.
+//!
+//! ```
+//! use faultsim::{FaultAction, Trigger};
+//!
+//! let _guard = faultsim::scoped("engine.callback", Trigger::Always, FaultAction::Error);
+//! assert!(faultsim::fire("engine.callback").is_err());
+//! drop(_guard); // restores the previous (disarmed) state
+//! assert!(faultsim::fire("engine.callback").is_ok());
+//! ```
+//!
+//! The registry is process-global (like a metrics registry): tests that
+//! arm failpoints must serialize against each other within one test
+//! binary.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The failpoints wired into the workspace. The registry accepts any
+/// name; these are the ones production code consults.
+///
+/// * `engine.callback` — before every native rule-callback execution;
+///   a triggered fault is contained as a rule fault (see
+///   `active::FaultPolicy`).
+/// * `engine.cascade` — when the engine dequeues a *cascaded* (depth>0)
+///   event; a triggered fault aborts or skips that event per policy.
+/// * `builder.build` — at the start of every **customized** window
+///   build (the generic default build never consults it, mirroring the
+///   paper's claim that the default presentation is always available).
+/// * `geodb.query` — at the start of `get_schema` / `get_class` /
+///   `get_value` / `select`; a triggered error surfaces as a storage
+///   error.
+pub const FAILPOINTS: [&str; 4] = [
+    "engine.callback",
+    "engine.cascade",
+    "builder.build",
+    "geodb.query",
+];
+
+/// What a triggered failpoint does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// `fire` returns `Err(Fault)`.
+    Error,
+    /// `fire` panics (message: `injected panic at <failpoint>`).
+    Panic,
+}
+
+/// When an armed failpoint triggers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// Every hit triggers.
+    Always,
+    /// Each hit triggers with probability `p`, drawn from a
+    /// deterministic generator seeded with `seed` — the whole fault
+    /// schedule replays identically for the same seed and hit sequence.
+    Probability { p: f64, seed: u64 },
+    /// Only the `n`-th hit (1-based) after arming triggers.
+    Nth(u64),
+}
+
+/// The injected error returned by a triggered failpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Name of the failpoint that fired.
+    pub failpoint: String,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {}", self.failpoint)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Point-in-time counters for one failpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailpointStats {
+    pub name: String,
+    /// Human-readable description of the armed mode, `None` if disarmed.
+    pub armed: Option<String>,
+    /// Evaluations while armed (disarmed hits are not counted — the
+    /// fast path never reaches the registry).
+    pub hits: u64,
+    /// Hits that actually triggered the fault.
+    pub triggered: u64,
+}
+
+struct Arming {
+    trigger: Trigger,
+    action: FaultAction,
+    /// splitmix64 state for `Trigger::Probability`.
+    rng: u64,
+    hits: u64,
+    triggered: u64,
+}
+
+struct Registry {
+    /// Number of currently armed failpoints — the whole cost of `fire`
+    /// when zero.
+    armed: AtomicUsize,
+    points: Mutex<BTreeMap<String, Arming>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        armed: AtomicUsize::new(0),
+        points: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// splitmix64 step — tiny, seedable, good enough for fault schedules.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Arming {
+    fn describe(&self) -> String {
+        let action = match self.action {
+            FaultAction::Error => "error",
+            FaultAction::Panic => "panic",
+        };
+        match &self.trigger {
+            Trigger::Always => action.to_string(),
+            Trigger::Probability { p, seed } => format!("{action} p={p} seed={seed}"),
+            Trigger::Nth(n) => format!("{action} on hit {n}"),
+        }
+    }
+
+    /// Evaluate one hit; `Some(action)` when the fault triggers.
+    fn evaluate(&mut self) -> Option<FaultAction> {
+        self.hits += 1;
+        let fire = match &self.trigger {
+            Trigger::Always => true,
+            Trigger::Probability { p, .. } => {
+                let draw = splitmix64(&mut self.rng) as f64 / u64::MAX as f64;
+                draw < *p
+            }
+            Trigger::Nth(n) => self.hits == *n,
+        };
+        if fire {
+            self.triggered += 1;
+            Some(self.action)
+        } else {
+            None
+        }
+    }
+}
+
+/// Arm a failpoint. Re-arming replaces the previous mode and resets the
+/// failpoint's hit counters and probability stream.
+pub fn arm(name: &str, trigger: Trigger, action: FaultAction) {
+    let r = registry();
+    let seed = match &trigger {
+        Trigger::Probability { seed, .. } => *seed,
+        _ => 0,
+    };
+    let mut points = r.points.lock().expect("faultsim registry poisoned");
+    let prev = points.insert(
+        name.to_string(),
+        Arming {
+            trigger,
+            action,
+            rng: seed,
+            hits: 0,
+            triggered: 0,
+        },
+    );
+    if prev.is_none() {
+        r.armed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm a failpoint (no-op if it was not armed).
+pub fn disarm(name: &str) {
+    let r = registry();
+    let mut points = r.points.lock().expect("faultsim registry poisoned");
+    if points.remove(name).is_some() {
+        r.armed.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm every failpoint and drop all counters.
+pub fn reset() {
+    let r = registry();
+    let mut points = r.points.lock().expect("faultsim registry poisoned");
+    let n = points.len();
+    points.clear();
+    r.armed.fetch_sub(n, Ordering::SeqCst);
+}
+
+/// Is anything armed at all? One relaxed atomic load.
+#[inline]
+pub fn any_armed() -> bool {
+    registry().armed.load(Ordering::Relaxed) != 0
+}
+
+/// Evaluate a failpoint. Disarmed (the production case): one atomic
+/// load, `Ok(())`. Armed: may return the injected [`Fault`] or panic,
+/// per the armed [`FaultAction`].
+#[inline]
+pub fn fire(name: &str) -> Result<(), Fault> {
+    if !any_armed() {
+        return Ok(());
+    }
+    fire_slow(name)
+}
+
+#[cold]
+fn fire_slow(name: &str) -> Result<(), Fault> {
+    let action = {
+        let mut points = registry()
+            .points
+            .lock()
+            .expect("faultsim registry poisoned");
+        match points.get_mut(name) {
+            Some(arming) => arming.evaluate(),
+            None => None,
+        }
+    };
+    match action {
+        None => Ok(()),
+        Some(FaultAction::Error) => Err(Fault {
+            failpoint: name.to_string(),
+        }),
+        Some(FaultAction::Panic) => panic!("injected panic at {name}"),
+    }
+}
+
+/// Status of every well-known failpoint ([`FAILPOINTS`]) plus any other
+/// currently armed one, in name order. Disarmed entries report zero
+/// counters: disarming drops a failpoint's counters with its arming.
+pub fn stats() -> Vec<FailpointStats> {
+    let points = registry()
+        .points
+        .lock()
+        .expect("faultsim registry poisoned");
+    let mut names: Vec<&str> = FAILPOINTS.to_vec();
+    names.extend(points.keys().map(String::as_str));
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| match points.get(name) {
+            Some(a) => FailpointStats {
+                name: name.to_string(),
+                armed: Some(a.describe()),
+                hits: a.hits,
+                triggered: a.triggered,
+            },
+            None => FailpointStats {
+                name: name.to_string(),
+                armed: None,
+                hits: 0,
+                triggered: 0,
+            },
+        })
+        .collect()
+}
+
+/// RAII guard from [`scoped`]: disarms (restoring nothing — scoped
+/// arming replaces, dropping restores the *disarmed* state or the
+/// previous arming) when dropped.
+pub struct ScopedFault {
+    name: String,
+    previous: Option<(Trigger, FaultAction)>,
+}
+
+/// Arm a failpoint for the lifetime of the returned guard. Dropping the
+/// guard restores the failpoint's previous arming (or disarms it).
+#[must_use = "the failpoint disarms as soon as the guard drops"]
+pub fn scoped(name: &str, trigger: Trigger, action: FaultAction) -> ScopedFault {
+    let previous = {
+        let points = registry()
+            .points
+            .lock()
+            .expect("faultsim registry poisoned");
+        points.get(name).map(|a| (a.trigger.clone(), a.action))
+    };
+    arm(name, trigger, action);
+    ScopedFault {
+        name: name.to_string(),
+        previous,
+    }
+}
+
+impl Drop for ScopedFault {
+    fn drop(&mut self) {
+        match self.previous.take() {
+            Some((trigger, action)) => arm(&self.name, trigger, action),
+            None => disarm(&self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; these tests serialize on one lock
+    /// and reset the registry as they go.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        g
+    }
+
+    #[test]
+    fn disarmed_failpoints_are_free_and_ok() {
+        let _g = locked();
+        assert!(!any_armed());
+        assert!(fire("engine.callback").is_ok());
+        // The well-known failpoints are always listed, all disarmed.
+        let s = stats();
+        assert_eq!(s.len(), FAILPOINTS.len());
+        assert!(s.iter().all(|p| p.armed.is_none() && p.hits == 0));
+    }
+
+    #[test]
+    fn always_error_fires_every_hit() {
+        let _g = locked();
+        arm("t.point", Trigger::Always, FaultAction::Error);
+        for _ in 0..3 {
+            let err = fire("t.point").unwrap_err();
+            assert_eq!(err.failpoint, "t.point");
+            assert!(err.to_string().contains("t.point"));
+        }
+        let all = stats();
+        let s = all.iter().find(|s| s.name == "t.point").unwrap();
+        assert_eq!((s.hits, s.triggered), (3, 3));
+        disarm("t.point");
+        assert!(fire("t.point").is_ok());
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let _g = locked();
+        arm("t.nth", Trigger::Nth(3), FaultAction::Error);
+        let results: Vec<bool> = (0..5).map(|_| fire("t.nth").is_err()).collect();
+        assert_eq!(results, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_per_seed() {
+        let _g = locked();
+        let run = |seed: u64| -> Vec<bool> {
+            arm(
+                "t.prob",
+                Trigger::Probability { p: 0.5, seed },
+                FaultAction::Error,
+            );
+            (0..64).map(|_| fire("t.prob").is_err()).collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+        reset();
+        assert!(!any_armed());
+    }
+
+    #[test]
+    fn panic_action_panics_with_failpoint_name() {
+        let _g = locked();
+        arm("t.panic", Trigger::Always, FaultAction::Panic);
+        let caught = std::panic::catch_unwind(|| {
+            let _ = fire("t.panic");
+        });
+        disarm("t.panic");
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("injected panic at t.panic"));
+    }
+
+    #[test]
+    fn scoped_guard_restores_previous_arming() {
+        let _g = locked();
+        arm("t.scope", Trigger::Nth(9), FaultAction::Error);
+        {
+            let _s = scoped("t.scope", Trigger::Always, FaultAction::Error);
+            assert!(fire("t.scope").is_err());
+        }
+        // Back to the Nth(9) arming (counters reset by re-arming).
+        assert!(fire("t.scope").is_ok());
+        {
+            let _s = scoped("t.fresh", Trigger::Always, FaultAction::Error);
+            assert!(fire("t.fresh").is_err());
+        }
+        // t.fresh had no previous arming: fully disarmed again.
+        assert!(fire("t.fresh").is_ok());
+        assert!(stats().iter().all(|s| s.name != "t.fresh"));
+    }
+}

@@ -341,9 +341,17 @@ impl Database {
             .map_err(|e| GeoDbError::Storage(format!("deserialize {oid}: {e}")))
     }
 
+    /// The `geodb.query` failpoint, consulted by every query primitive:
+    /// lets the fault harness make queries fail (as a storage error) or
+    /// panic without touching real storage.
+    fn query_failpoint() -> Result<()> {
+        faultsim::fire("geodb.query").map_err(|f| GeoDbError::Storage(f.to_string()))
+    }
+
     /// `Get_Value` primitive: fetch one instance, emitting the event.
     pub fn get_value(&mut self, oid: Oid) -> Result<Instance> {
         let _span = obs::span("geodb.get_value");
+        Self::query_failpoint()?;
         let touches0 = self.pool_touches();
         let (schema, class) = self
             .locator
@@ -376,6 +384,7 @@ impl Database {
     /// `Get_Schema` primitive: schema metadata, emitting the event.
     pub fn get_schema(&mut self, schema: &str) -> Result<SchemaDef> {
         let _span = obs::span("geodb.get_schema");
+        Self::query_failpoint()?;
         let def = self.catalog.schema(schema)?.clone();
         self.emit(DbEvent::GetSchema {
             schema: schema.into(),
@@ -393,6 +402,7 @@ impl Database {
         with_subclasses: bool,
     ) -> Result<Vec<Instance>> {
         let _span = obs::span("geodb.get_class");
+        Self::query_failpoint()?;
         let touches0 = self.pool_touches();
         // Validate the class exists even when its extent is empty.
         self.catalog.class(schema, class)?;
@@ -435,6 +445,7 @@ impl Database {
     /// Selection with optional spatial-index acceleration.
     pub fn select(&mut self, schema: &str, class: &str, pred: &Predicate) -> Result<Vec<Instance>> {
         let _span = obs::span("geodb.select");
+        Self::query_failpoint()?;
         let touches0 = self.pool_touches();
         self.catalog.class(schema, class)?;
         let key = (schema.to_string(), class.to_string());

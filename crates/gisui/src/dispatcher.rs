@@ -32,6 +32,11 @@ use crate::protocol::{Request, Response, WindowDescriptor};
 use crate::session::{Session, SessionId};
 use crate::windows::{ManagedWindow, WindowId, WindowRegistry};
 
+/// Report from loading the stored customization programs at boot:
+/// `(programs installed, rules installed, skipped)` where each skipped
+/// entry is `(program name, reason)`.
+pub type StoredProgramReport = (usize, usize, Vec<(String, String)>);
+
 /// Errors surfaced by the UI layer.
 #[derive(Debug)]
 pub enum UiError {
@@ -68,7 +73,31 @@ impl std::fmt::Display for UiError {
     }
 }
 
-impl std::error::Error for UiError {}
+impl std::error::Error for UiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UiError::Db(e) => Some(e),
+            UiError::Build(e) => Some(e),
+            UiError::Active(e) => Some(e),
+            UiError::Parse(e) => Some(e),
+            UiError::Analysis(_)
+            | UiError::UnknownSession(_)
+            | UiError::UnknownWindow(_)
+            | UiError::ModeViolation(_) => None,
+        }
+    }
+}
+
+/// Render a caught panic payload for error reporting.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
 
 impl From<GeoDbError> for UiError {
     fn from(e: GeoDbError) -> Self {
@@ -275,9 +304,11 @@ impl Dispatcher {
 
     /// Compile and install every program stored in the database (the
     /// boot path after reopening a snapshot). Returns `(programs, rules)`
-    /// counts. Programs that no longer analyze cleanly are skipped and
-    /// reported by name.
-    pub fn load_stored_programs(&mut self) -> Result<(usize, usize, Vec<String>)> {
+    /// counts. Programs that no longer analyze cleanly are skipped, each
+    /// reported as `(name, error)` — the skip is also counted
+    /// (`ui.programs_skipped`) and recorded in the explanation log, so a
+    /// silently-missing customization can be diagnosed after the fact.
+    pub fn load_stored_programs(&mut self) -> Result<StoredProgramReport> {
         let programs = custlang::load_programs(&mut self.db)?;
         let mut installed = 0;
         let mut rules = 0;
@@ -288,13 +319,53 @@ impl Dispatcher {
                     installed += 1;
                     rules += n;
                 }
-                Err(_) => skipped.push(name),
+                Err(e) => {
+                    let cause = e.to_string();
+                    obs::counter_add("ui.programs_skipped", 1);
+                    self.explain
+                        .push_degraded("stored_program", &format!("{name}: {cause}"));
+                    skipped.push((name, cause));
+                }
             }
         }
         Ok((installed, rules, skipped))
     }
 
     // -- the Fig. 1 event loop ------------------------------------------------
+
+    /// Build a window, degrading gracefully: when the *customized* build
+    /// fails (or panics — the builder runs behind a panic boundary), fall
+    /// back to the generic default presentation, which is always
+    /// available (paper Section 3.2: customization is transparent to the
+    /// generic interface). The incident is counted (`ui.degraded_builds`)
+    /// and recorded in the explanation log. Default builds take the
+    /// direct path: with no customization there is nothing to degrade to,
+    /// so their errors propagate.
+    fn build_degradable<F>(
+        &mut self,
+        stage: &str,
+        cust: Option<&Customization>,
+        mut build: F,
+    ) -> Result<builder::BuiltWindow>
+    where
+        F: FnMut(
+            &mut Dispatcher,
+            Option<&Customization>,
+        ) -> std::result::Result<builder::BuiltWindow, BuildError>,
+    {
+        if cust.is_none() {
+            return Ok(build(self, None)?);
+        }
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| build(self, cust)));
+        let cause = match attempt {
+            Ok(Ok(built)) => return Ok(built),
+            Ok(Err(e)) => e.to_string(),
+            Err(payload) => panic_message(&*payload),
+        };
+        obs::counter_add("ui.degraded_builds", 1);
+        self.explain.push_degraded(stage, &cause);
+        Ok(build(self, None)?)
+    }
 
     /// Drain pending database events through the active engine for a
     /// session; returns the first customization selected, if any.
@@ -323,9 +394,9 @@ impl Dispatcher {
         let ctx = self.context_of(sid)?;
         let schema_def = self.db.get_schema(schema)?;
         let cust = self.intercept_events(&ctx)?;
-        let built = self
-            .builder
-            .schema_window(&schema_def, self.db.catalog(), cust.as_ref())?;
+        let built = self.build_degradable("schema_window", cust.as_ref(), |d, c| {
+            d.builder.schema_window(&schema_def, d.db.catalog(), c)
+        })?;
         let auto_open = built.auto_open.clone();
         let id = self
             .registry
@@ -352,9 +423,9 @@ impl Dispatcher {
         let ctx = self.context_of(sid)?;
         let instances = self.db.get_class(schema, class, false)?;
         let cust = self.intercept_events(&ctx)?;
-        let built = self
-            .builder
-            .class_window(schema, class, &instances, cust.as_ref())?;
+        let built = self.build_degradable("class_window", cust.as_ref(), |d, c| {
+            d.builder.class_window(schema, class, &instances, c)
+        })?;
         let id = self.registry.insert(
             built,
             parent,
@@ -380,9 +451,9 @@ impl Dispatcher {
         let ctx = self.context_of(sid)?;
         let inst = self.db.get_value(oid)?;
         let cust = self.intercept_events(&ctx)?;
-        let built = self
-            .builder
-            .instance_window(&mut self.db, &inst, cust.as_ref())?;
+        let built = self.build_degradable("instance_window", cust.as_ref(), |d, c| {
+            d.builder.instance_window(&mut d.db, &inst, c)
+        })?;
         let schema = self
             .db
             .locate(oid)
@@ -436,9 +507,9 @@ impl Dispatcher {
             self.explain.push(outcome.trace);
         }
         let cust = outcome.customizations.into_iter().next();
-        let mut built = self
-            .builder
-            .class_window(schema, class, &instances, cust.as_ref())?;
+        let mut built = self.build_degradable("class_window", cust.as_ref(), |d, c| {
+            d.builder.class_window(schema, class, &instances, c)
+        })?;
         built.title = format!("{} [filtered: {} hits]", built.title, instances.len());
         let id = self.registry.insert(
             built,
@@ -491,9 +562,9 @@ impl Dispatcher {
             &ctx,
         )?;
         let cust = outcome.customizations.into_iter().next();
-        let mut built = self
-            .builder
-            .class_window(schema, class, &instances, cust.as_ref())?;
+        let mut built = self.build_degradable("class_window", cust.as_ref(), |d, c| {
+            d.builder.class_window(schema, class, &instances, c)
+        })?;
         built.title = format!("{} [simulation]", built.title);
         let id = self.registry.insert(
             built,
@@ -662,15 +733,17 @@ impl Dispatcher {
                 WindowKind::ClassSet => {
                     let instances = self.db.get_class(schema, class, false)?;
                     let cust = self.intercept_events(&ctx)?;
-                    self.builder
-                        .class_window(schema, class, &instances, cust.as_ref())?
+                    self.build_degradable("class_window", cust.as_ref(), |d, c| {
+                        d.builder.class_window(schema, class, &instances, c)
+                    })?
                 }
                 WindowKind::Instance => {
                     let target = win_oid.expect("instance windows record their oid");
                     let inst = self.db.get_value(target)?;
                     let cust = self.intercept_events(&ctx)?;
-                    self.builder
-                        .instance_window(&mut self.db, &inst, cust.as_ref())?
+                    self.build_degradable("instance_window", cust.as_ref(), |d, c| {
+                        d.builder.instance_window(&mut d.db, &inst, c)
+                    })?
                 }
                 WindowKind::Schema => continue,
             };
@@ -716,9 +789,28 @@ impl Dispatcher {
     }
 
     /// Serve one weak-integration protocol request for a session.
+    ///
+    /// This is the outermost containment boundary of the UI: a panic
+    /// escaping any lower layer is caught here and reported as a normal
+    /// [`Response::Error`], so one faulty interaction can never take the
+    /// whole interface down.
     pub fn handle_request(&mut self, sid: SessionId, request: Request) -> Response {
         let _span = obs::span("dispatcher.request");
         obs::counter_add("dispatcher.requests", 1);
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.handle_request_inner(sid, request)
+        })) {
+            Ok(response) => response,
+            Err(payload) => {
+                let cause = panic_message(&*payload);
+                obs::counter_add("ui.request_panics", 1);
+                self.explain.push_degraded("request", &cause);
+                Response::Error { message: cause }
+            }
+        }
+    }
+
+    fn handle_request_inner(&mut self, sid: SessionId, request: Request) -> Response {
         let result: Result<Response> = (|| match request {
             Request::OpenSchema { schema } => {
                 let ids = self.open_schema(sid, &schema)?;
@@ -874,6 +966,47 @@ mod tests {
         let opened = d.open_schema(other, "phone_net").unwrap();
         assert_eq!(opened.len(), 1);
         assert!(d.window(opened[0]).unwrap().built.visible);
+    }
+
+    #[test]
+    fn failed_customized_build_degrades_to_default_window() {
+        let mut d = dispatcher();
+        // A payload referencing a widget the library lacks, installed
+        // straight into the engine (bypassing custlang analysis, the way
+        // a stale stored rule could after a library change).
+        d.engine()
+            .add_rule(active::Rule::customization(
+                "bad_widget",
+                active::EventPattern::db(geodb::query::DbEventKind::GetClass),
+                active::ContextPattern::any(),
+                Customization::ClassWindow {
+                    schema: "phone_net".into(),
+                    class: "Pole".into(),
+                    control: Some("no_such_widget".into()),
+                    presentation: None,
+                },
+            ))
+            .unwrap();
+        let sid = d.open_session(juliano());
+        let win = d.open_class(sid, "phone_net", "Pole", None).unwrap();
+        // The window still opened — with the generic default controls.
+        let art = d.render(win).unwrap();
+        assert!(art.contains("[ Zoom ]"), "default control area:\n{art}");
+        let degradations: Vec<_> = d.explanation_log().degradations().collect();
+        assert_eq!(degradations.len(), 1);
+        assert!(degradations[0].rendered.contains("no_such_widget"));
+    }
+
+    #[test]
+    fn ui_error_chain_exposes_sources() {
+        use std::error::Error as _;
+        let e = UiError::Build(BuildError::Db(GeoDbError::UnknownSchema("ghost".into())));
+        let build = e.source().expect("UiError -> BuildError");
+        assert!(build.to_string().contains("ghost"));
+        let db = build.source().expect("BuildError -> GeoDbError");
+        assert!(db.to_string().contains("ghost"));
+        assert!(db.source().is_none());
+        assert!(UiError::UnknownWindow(WindowId(3)).source().is_none());
     }
 
     #[test]
@@ -1215,7 +1348,18 @@ mod stored_program_tests {
         .unwrap();
         let (programs, _, skipped) = d.load_stored_programs().unwrap();
         assert_eq!(programs, 1);
-        assert_eq!(skipped, vec!["stale".to_string()]);
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].0, "stale");
+        // The reason the program was skipped is preserved...
+        assert!(
+            skipped[0].1.contains("ghost"),
+            "error should name the missing schema: {}",
+            skipped[0].1
+        );
+        // ...and the skip is visible in the explanation stream.
+        let degradations: Vec<_> = d.explanation_log().degradations().collect();
+        assert_eq!(degradations.len(), 1);
+        assert!(degradations[0].rendered.contains("stale"));
     }
 
     #[test]

@@ -16,6 +16,11 @@ use serde::{Deserialize, Serialize};
 /// Default number of traces retained.
 pub const DEFAULT_EXPLANATION_CAPACITY: usize = 128;
 
+/// Event-string prefix of the synthetic trace entries recorded by
+/// [`ExplanationLog::push_degraded`]. Degradations share the trace
+/// stream (and its JSON export) instead of widening `TraceRecord`.
+pub const DEGRADED_EVENT_PREFIX: &str = "degraded";
+
 /// One recorded interaction: the structured cascade plus its rendered
 /// explanation text and a monotonic sequence number (stable even after
 /// older records are evicted).
@@ -97,6 +102,34 @@ impl ExplanationLog {
             self.records.pop_front();
             self.rendered.remove(0);
         }
+    }
+
+    /// Record a graceful-degradation incident — a customized build that
+    /// fell back to the default presentation, a stored program that was
+    /// skipped at boot, a contained panic — as a synthetic single-entry
+    /// trace, so degradations appear in the same explanation stream the
+    /// user already consults to ask "why does my window look like this?".
+    pub fn push_degraded(&mut self, stage: &str, detail: &str) {
+        self.push(Trace {
+            entries: vec![active::TraceEntry {
+                depth: 0,
+                event: format!("{DEGRADED_EVENT_PREFIX}({stage}): {detail}"),
+                matched: Vec::new(),
+                fired: Vec::new(),
+                shadowed: Vec::new(),
+            }],
+        });
+    }
+
+    /// Retained degradation records (see [`Self::push_degraded`]),
+    /// oldest first.
+    pub fn degradations(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(|r| {
+            r.trace.entries.first().is_some_and(|e| {
+                e.event.starts_with(DEGRADED_EVENT_PREFIX)
+                    && e.event[DEGRADED_EVENT_PREFIX.len()..].starts_with('(')
+            })
+        })
     }
 
     /// Retained records, oldest first.

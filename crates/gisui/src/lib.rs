@@ -26,7 +26,7 @@ pub mod screen;
 pub mod session;
 pub mod windows;
 
-pub use dispatcher::{paper_dispatcher, Dispatcher, Result, UiError};
+pub use dispatcher::{paper_dispatcher, Dispatcher, Result, StoredProgramReport, UiError};
 pub use explain::{ExplanationLog, TraceRecord, DEFAULT_EXPLANATION_CAPACITY};
 pub use modes::InteractionMode;
 pub use protocol::{decode, encode, Request, Response, WindowDescriptor, PROTOCOL_VERSION};
