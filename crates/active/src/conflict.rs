@@ -206,7 +206,7 @@ mod tests {
     use crate::context::ContextPattern;
     use crate::event::Event;
     use geodb::query::DbEventKind;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn cust(name: &str, event: EventPattern, ctx: ContextPattern) -> Rule<&'static str> {
         Rule::customization(name, event, ctx, "p")
@@ -294,7 +294,7 @@ mod tests {
                 },
                 context: ContextPattern::any(),
                 guard: None,
-                action: Rc::new(Action::Raise(vec![Event::external("b")])),
+                action: Arc::new(Action::Raise(vec![Event::external("b")])),
                 group: RuleGroup::Other,
                 coupling: crate::rule::Coupling::Immediate,
                 priority: 0,
@@ -307,7 +307,7 @@ mod tests {
                 },
                 context: ContextPattern::any(),
                 guard: None,
-                action: Rc::new(Action::Raise(vec![Event::external("a")])),
+                action: Arc::new(Action::Raise(vec![Event::external("a")])),
                 group: RuleGroup::Other,
                 coupling: crate::rule::Coupling::Immediate,
                 priority: 0,
@@ -330,7 +330,7 @@ mod tests {
                 },
                 context: ContextPattern::any(),
                 guard: None,
-                action: Rc::new(Action::Raise(vec![Event::external("b")])),
+                action: Arc::new(Action::Raise(vec![Event::external("b")])),
                 group: RuleGroup::Other,
                 coupling: crate::rule::Coupling::Immediate,
                 priority: 0,

@@ -16,20 +16,42 @@
 //!   buckets that can possibly match; a winner cache keyed on
 //!   `(event discriminant, user, category, application)` turns repeat
 //!   interactions — the same user clicking through the same windows,
-//!   paper Figs. 4–7 — into a hash lookup. The cache is invalidated by a
-//!   generation counter on any rule mutation and is bypassed entirely
-//!   while any enabled customization rule carries a guard or extension
-//!   dimensions (those must re-evaluate every time).
+//!   paper Figs. 4–7 — into a hash lookup. Below
+//!   [`EngineConfig::hybrid_linear_threshold`] rules the index is skipped
+//!   and matching scans the rule vector directly (the index only pays
+//!   for itself once there is something to prune), but the winner cache
+//!   stays on. The cache is bounded
+//!   ([`EngineConfig::winner_cache_capacity`], two-segment generational
+//!   eviction), invalidated by the rule-base epoch on any rule mutation,
+//!   and bypassed entirely while any enabled customization rule carries
+//!   a guard or extension dimensions (those must re-evaluate every time).
 //! * **Linear**: the original scan over every registered rule, kept as
 //!   the differential-testing oracle.
 //!
 //! Both strategies produce identical [`Outcome`]s; `tests` and the
 //! `dispatch_differential` property suite enforce this.
+//!
+//! # Concurrency model
+//!
+//! Since the concurrent-serving work (`docs/scaling.md`) the engine is a
+//! *session handle* over a shared, immutable [`RuleBase`]. Rule data
+//! (rules, interned names, discrimination index) lives in a
+//! generation-tagged snapshot published copy-on-write behind
+//! `Mutex<Arc<RuleSnapshot>>` plus an atomic epoch. Readers keep a cached
+//! `Arc` to the snapshot and re-check the epoch with one atomic load per
+//! dispatch — the steady-state read path takes no lock and performs no
+//! atomic refcount traffic. Mutations lock, clone the snapshot only when
+//! another session still holds it (`Arc::make_mut`), and bump the epoch.
+//! Everything mutable per dispatch — scratch buffers, the deferred queue,
+//! the winner cache — is private to the handle, so distinct sessions
+//! dispatch fully in parallel. Fault health lives in shared atomic cells
+//! so quarantine decisions are global and exactly counted.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use geodb::query::DbEventKind;
 
@@ -50,7 +72,10 @@ pub enum SelectionPolicy {
 /// How dispatch finds the matching rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DispatchStrategy {
-    /// Discrimination index + winner cache (the default).
+    /// Discrimination index + winner cache (the default). Small rule
+    /// populations (≤ [`EngineConfig::hybrid_linear_threshold`]) are
+    /// scanned directly instead of through the index — the hybrid that
+    /// keeps cold dispatch no slower than [`DispatchStrategy::Linear`].
     #[default]
     Indexed,
     /// Scan every registered rule — the differential-testing oracle.
@@ -72,7 +97,9 @@ pub enum FaultPolicy {
     FailClosed,
 }
 
-/// Engine configuration.
+/// Engine configuration. Per session handle: two sessions of the same
+/// [`RuleBase`] may run different strategies, selection policies or
+/// fault policies over the identical rule snapshot.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     pub selection: SelectionPolicy,
@@ -88,6 +115,14 @@ pub struct EngineConfig {
     /// skipped by matching until [`Engine::clear_quarantine`]). `0`
     /// disables quarantining.
     pub quarantine_threshold: u32,
+    /// Rule populations at or below this size are matched by scanning
+    /// the rule vector directly under [`DispatchStrategy::Indexed`]
+    /// (the winner cache stays active). `0` forces the discrimination
+    /// index for every population size.
+    pub hybrid_linear_threshold: usize,
+    /// Winner-cache entries retained before generational eviction kicks
+    /// in (see [`CacheStats::evictions`]).
+    pub winner_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +134,8 @@ impl Default for EngineConfig {
             tracing: true,
             fault_policy: FaultPolicy::FailOpen,
             quarantine_threshold: 3,
+            hybrid_linear_threshold: 16,
+            winner_cache_capacity: 8192,
         }
     }
 }
@@ -161,7 +198,8 @@ pub struct FaultRecord {
     pub cause: String,
 }
 
-/// Per-rule fault bookkeeping for the circuit breaker.
+/// Per-rule fault bookkeeping for the circuit breaker (a point-in-time
+/// view of the shared health cell).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuleHealth {
     /// Faults since the rule last executed cleanly.
@@ -171,6 +209,32 @@ pub struct RuleHealth {
     /// Quarantined rules are skipped by matching until
     /// [`Engine::clear_quarantine`] restores them.
     pub quarantined: bool,
+}
+
+/// Shared, atomically-updated fault state for one rule. The cells live in
+/// `Arc`s that survive copy-on-write snapshot clones, so every session
+/// observes the same counters and quarantine transitions happen exactly
+/// once (compare-and-swap) no matter how many sessions fault the rule
+/// concurrently.
+#[derive(Debug, Default)]
+struct HealthCell {
+    consecutive: AtomicU32,
+    total: AtomicU64,
+    quarantined: AtomicBool,
+}
+
+impl HealthCell {
+    fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    fn view(&self) -> RuleHealth {
+        RuleHealth {
+            consecutive_faults: self.consecutive.load(Ordering::Relaxed),
+            total_faults: self.total.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Extract a printable message from a caught panic payload.
@@ -191,7 +255,7 @@ pub struct Outcome<P> {
     pub customizations: Vec<P>,
     /// Names of every rule that fired (interned — cloning is a pointer
     /// bump; see [`Outcome::fired_names`] for a `&str` view).
-    pub fired: Vec<Rc<str>>,
+    pub fired: Vec<Arc<str>>,
     /// Total events processed (1 + cascaded).
     pub events_processed: usize,
     /// The execution trace (empty when tracing is off).
@@ -234,6 +298,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Times a rule mutation flushed a non-empty cache.
     pub invalidations: u64,
+    /// Entries dropped by the capacity bound (generational eviction).
+    pub evictions: u64,
     /// Entries currently cached.
     pub entries: usize,
 }
@@ -246,7 +312,7 @@ pub struct CacheStats {
 /// consults the buckets that can possibly match it, so wildcard-free rule
 /// populations dispatch in time proportional to the matching candidates,
 /// not the rule count.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Buckets {
     db_by_kind: HashMap<DbEventKind, Vec<usize>>,
     /// `Db` patterns with `kind: None` — match any database event.
@@ -258,6 +324,39 @@ struct Buckets {
     ext_any: Vec<usize>,
     /// `EventPattern::Any` — consulted for every event.
     wildcard: Vec<usize>,
+}
+
+/// Visit the union of up to three ascending, disjoint index runs in
+/// ascending order — the allocation-free replacement for the old
+/// collect-into-scratch-then-sort candidate path, which dominated
+/// cold-dispatch cost (`BENCH_dispatch.json` regression).
+fn merge_runs(a: &[usize], b: &[usize], c: &[usize], f: &mut impl FnMut(usize)) {
+    // Overwhelmingly common: at most one run is non-empty.
+    match (a.is_empty(), b.is_empty(), c.is_empty()) {
+        (false, true, true) => return a.iter().for_each(|&i| f(i)),
+        (true, false, true) => return b.iter().for_each(|&i| f(i)),
+        (true, true, false) => return c.iter().for_each(|&i| f(i)),
+        (true, true, true) => return,
+        _ => {}
+    }
+    let (mut ia, mut ib, mut ic) = (0, 0, 0);
+    loop {
+        let na = a.get(ia).copied().unwrap_or(usize::MAX);
+        let nb = b.get(ib).copied().unwrap_or(usize::MAX);
+        let nc = c.get(ic).copied().unwrap_or(usize::MAX);
+        let m = na.min(nb).min(nc);
+        if m == usize::MAX {
+            return;
+        }
+        if m == na {
+            ia += 1;
+        } else if m == nb {
+            ib += 1;
+        } else {
+            ic += 1;
+        }
+        f(m);
+    }
 }
 
 impl Buckets {
@@ -279,30 +378,25 @@ impl Buckets {
         }
     }
 
-    /// Append every candidate index for `event` (unsorted across buckets;
-    /// each bucket is internally ascending).
-    fn collect(&self, event: &Event, out: &mut Vec<usize>) {
-        match event {
-            Event::Db(e) => {
-                if let Some(b) = self.db_by_kind.get(&e.kind()) {
-                    out.extend_from_slice(b);
-                }
-                out.extend_from_slice(&self.db_any);
-            }
-            Event::Interface { name, .. } => {
-                if let Some(b) = self.iface_by_name.get(name) {
-                    out.extend_from_slice(b);
-                }
-                out.extend_from_slice(&self.iface_any);
-            }
-            Event::External { name } => {
-                if let Some(b) = self.ext_by_name.get(name) {
-                    out.extend_from_slice(b);
-                }
-                out.extend_from_slice(&self.ext_any);
-            }
-        }
-        out.extend_from_slice(&self.wildcard);
+    /// Visit every candidate index for `event` in ascending registration
+    /// order (the order the linear scan uses), without allocating.
+    fn for_each_candidate(&self, event: &Event, f: &mut impl FnMut(usize)) {
+        let empty: &[usize] = &[];
+        let (keyed, any): (&[usize], &[usize]) = match event {
+            Event::Db(e) => (
+                self.db_by_kind.get(&e.kind()).map_or(empty, |v| v),
+                &self.db_any,
+            ),
+            Event::Interface { name, .. } => (
+                self.iface_by_name.get(name).map_or(empty, |v| v),
+                &self.iface_any,
+            ),
+            Event::External { name } => (
+                self.ext_by_name.get(name).map_or(empty, |v| v),
+                &self.ext_any,
+            ),
+        };
+        merge_runs(keyed, any, &self.wildcard, f);
     }
 
     fn buckets_mut(&mut self) -> impl Iterator<Item = &mut Vec<usize>> {
@@ -347,7 +441,7 @@ impl Buckets {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct RuleIndex {
     cust: Buckets,
     other: Buckets,
@@ -500,45 +594,87 @@ impl CacheSlot {
     }
 }
 
-/// Slots the winner cache holds before it flushes itself wholesale.
-const WINNER_CACHE_CAPACITY: usize = 8192;
-
+/// Bounded winner cache: two generational segments (`hot`, `cold`).
+/// Inserts land in `hot`; when `hot` reaches half the configured
+/// capacity the `cold` segment is discarded (counted in `evictions`)
+/// and `hot` is demoted wholesale — a scan-resistant approximation of
+/// LRU that costs O(1) per insert and never holds more than
+/// `winner_cache_capacity` entries. Lookups probe `hot` then `cold`,
+/// promoting cold hits back into `hot`, so a working set that fits in
+/// capacity keeps hitting across demotions. Millions of distinct
+/// `(event, user, category, application)` contexts therefore recycle a
+/// fixed footprint instead of growing without bound.
 #[derive(Debug, Default)]
 struct WinnerCache {
-    slots: HashMap<u64, Vec<CacheSlot>>,
-    len: usize,
-    /// `rules_generation` the contents were computed under.
+    hot: HashMap<u64, Vec<CacheSlot>>,
+    cold: HashMap<u64, Vec<CacheSlot>>,
+    hot_len: usize,
+    cold_len: usize,
+    /// Rule-base epoch the contents were computed under.
     generation: u64,
     hits: u64,
     misses: u64,
     invalidations: u64,
+    evictions: u64,
 }
 
 impl WinnerCache {
-    fn lookup(&self, hash: u64, event: &Event, ctx: &SessionContext) -> Option<&CacheSlot> {
-        self.slots
-            .get(&hash)?
-            .iter()
-            .find(|s| s.matches(event, ctx))
+    fn len(&self) -> usize {
+        self.hot_len + self.cold_len
     }
 
-    fn insert(&mut self, hash: u64, slot: CacheSlot) {
-        if self.len >= WINNER_CACHE_CAPACITY {
-            self.slots.clear();
-            self.len = 0;
+    fn flush(&mut self) {
+        self.hot.clear();
+        self.cold.clear();
+        self.hot_len = 0;
+        self.cold_len = 0;
+    }
+
+    fn lookup(&mut self, hash: u64, event: &Event, ctx: &SessionContext) -> Option<&CacheSlot> {
+        let hot_pos = self
+            .hot
+            .get(&hash)
+            .and_then(|v| v.iter().position(|s| s.matches(event, ctx)));
+        if let Some(pos) = hot_pos {
+            return self.hot.get(&hash).map(|v| &v[pos]);
         }
-        self.slots.entry(hash).or_default().push(slot);
-        self.len += 1;
+        // Cold hit: promote the slot into the hot segment so the live
+        // working set survives the next demotion.
+        let slot = {
+            let v = self.cold.get_mut(&hash)?;
+            let pos = v.iter().position(|s| s.matches(event, ctx))?;
+            let s = v.swap_remove(pos);
+            if v.is_empty() {
+                self.cold.remove(&hash);
+            }
+            s
+        };
+        self.cold_len -= 1;
+        self.hot_len += 1;
+        let v = self.hot.entry(hash).or_default();
+        v.push(slot);
+        v.last()
+    }
+
+    fn insert(&mut self, hash: u64, slot: CacheSlot, capacity: usize) {
+        let segment = (capacity / 2).max(1);
+        if self.hot_len >= segment {
+            let dropped = self.cold_len;
+            self.cold = std::mem::take(&mut self.hot);
+            self.cold_len = std::mem::replace(&mut self.hot_len, 0);
+            self.evictions += dropped as u64;
+        }
+        self.hot.entry(hash).or_default().push(slot);
+        self.hot_len += 1;
     }
 }
 
-/// Reusable per-dispatch buffers. Taken out of the engine for the
-/// duration of a dispatch and put back afterwards, so the hot loop
-/// allocates nothing once the buffers have warmed up.
+/// Reusable per-dispatch buffers. Private to the session handle, so the
+/// hot loop allocates nothing once the buffers have warmed up — and no
+/// other session ever contends on them.
 #[derive(Debug, Default)]
 struct Scratch {
     queue: VecDeque<(usize, Event)>,
-    candidates: Vec<usize>,
     matched_cust: Vec<usize>,
     matched_other: Vec<usize>,
     to_fire: Vec<usize>,
@@ -546,36 +682,310 @@ struct Scratch {
 }
 
 // ---------------------------------------------------------------------------
-// Engine
+// Shared rule base and published snapshots
 // ---------------------------------------------------------------------------
 
 /// A rule firing queued for [`Engine::flush_deferred`]: the rule's
 /// interned name, its action, and the triggering event and context.
-type DeferredFiring<P> = (Rc<str>, Rc<Action<P>>, Event, SessionContext);
+type DeferredFiring<P> = (Arc<str>, Arc<Action<P>>, Event, SessionContext);
 
-/// The active mechanism.
-pub struct Engine<P> {
+/// The immutable rule data a dispatch reads: rules, interned names, the
+/// name map, the discrimination index and the shared health cells.
+/// Published copy-on-write — a snapshot is never mutated after another
+/// session can observe it.
+struct RuleSnapshot<P> {
     rules: Vec<Rule<P>>,
     /// Interned rule names, parallel to `rules`; firing clones a pointer.
-    names: Vec<Rc<str>>,
+    names: Vec<Arc<str>>,
     by_name: HashMap<String, usize>,
-    config: EngineConfig,
-    /// Dispatches served (telemetry for benches).
-    dispatch_count: u64,
-    /// Bumped on every rule mutation; the winner cache invalidates
-    /// lazily when its generation falls behind.
-    rules_generation: u64,
     index: RuleIndex,
+    /// Shared fault-health cells, parallel to `rules`. The `Arc`s
+    /// survive copy-on-write clones, so every session sees the same
+    /// counters.
+    health: Vec<Arc<HealthCell>>,
+    /// Epoch at which this snapshot was published.
+    generation: u64,
+}
+
+impl<P> RuleSnapshot<P> {
+    fn empty() -> RuleSnapshot<P> {
+        RuleSnapshot {
+            rules: Vec::new(),
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            index: RuleIndex::default(),
+            health: Vec::new(),
+            generation: 0,
+        }
+    }
+}
+
+impl<P: Clone> Clone for RuleSnapshot<P> {
+    fn clone(&self) -> Self {
+        RuleSnapshot {
+            rules: self.rules.clone(),
+            names: self.names.clone(),
+            by_name: self.by_name.clone(),
+            index: self.index.clone(),
+            health: self.health.clone(),
+            generation: self.generation,
+        }
+    }
+}
+
+impl<P: Clone> RuleSnapshot<P> {
+    fn add(&mut self, rule: Rule<P>) -> Result<(), ActiveError> {
+        if self.by_name.contains_key(&rule.name) {
+            return Err(ActiveError::DuplicateRule(rule.name.clone()));
+        }
+        let idx = self.rules.len();
+        self.by_name.insert(rule.name.clone(), idx);
+        self.names.push(Arc::from(rule.name.as_str()));
+        self.index.insert(idx, rule.group, &rule.event);
+        if rule_uncacheable(&rule) {
+            self.index.uncacheable_cust += 1;
+        }
+        self.rules.push(rule);
+        self.health.push(Arc::new(HealthCell::default()));
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str, quarantined: &AtomicUsize) -> Result<Rule<P>, ActiveError> {
+        let idx = self
+            .by_name
+            .remove(name)
+            .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
+        let rule = self.rules.remove(idx);
+        self.names.remove(idx);
+        if self.health.remove(idx).is_quarantined() {
+            quarantined.fetch_sub(1, Ordering::Relaxed);
+        }
+        if rule_uncacheable(&rule) {
+            self.index.uncacheable_cust -= 1;
+        }
+        self.index.remove_index(idx);
+        for v in self.by_name.values_mut() {
+            if *v > idx {
+                *v -= 1;
+            }
+        }
+        Ok(rule)
+    }
+
+    fn set_enabled(&mut self, name: &str, enabled: bool) -> Result<(), ActiveError> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
+        let was = rule_uncacheable(&self.rules[idx]);
+        self.rules[idx].enabled = enabled;
+        let now = rule_uncacheable(&self.rules[idx]);
+        if now && !was {
+            self.index.uncacheable_cust += 1;
+        } else if was && !now {
+            self.index.uncacheable_cust -= 1;
+        }
+        Ok(())
+    }
+
+    fn remove_prefix(&mut self, prefix: &str, quarantined: &AtomicUsize) -> usize {
+        let removed: Vec<usize> = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.name.starts_with(prefix))
+            .map(|(i, _)| i)
+            .collect();
+        if removed.is_empty() {
+            return 0;
+        }
+        for &i in &removed {
+            if rule_uncacheable(&self.rules[i]) {
+                self.index.uncacheable_cust -= 1;
+            }
+        }
+        for &i in &removed {
+            if self.health[i].is_quarantined() {
+                quarantined.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        self.rules.retain(|r| !r.name.starts_with(prefix));
+        let mut i = 0;
+        self.names.retain(|_| {
+            let keep = removed.binary_search(&i).is_err();
+            i += 1;
+            keep
+        });
+        let mut i = 0;
+        self.health.retain(|_| {
+            let keep = removed.binary_search(&i).is_err();
+            i += 1;
+            keep
+        });
+        self.by_name.retain(|n, _| !n.starts_with(prefix));
+        for v in self.by_name.values_mut() {
+            *v -= removed.partition_point(|&r| r < *v);
+        }
+        self.index.remap_removed(&removed);
+        removed.len()
+    }
+}
+
+/// State shared by every session handle of one rule base.
+struct EngineShared<P> {
+    /// The current snapshot. Writers lock, mutate copy-on-write
+    /// (`Arc::make_mut` — in place when no reader still holds the old
+    /// `Arc`), and bump `epoch` before unlocking.
+    published: Mutex<Arc<RuleSnapshot<P>>>,
+    /// Monotonic rule-base epoch: bumped by every rule mutation and by
+    /// quarantine transitions (which invalidate winner caches without
+    /// republishing the snapshot). Readers compare against their cached
+    /// value — one atomic load per dispatch in the steady state.
+    epoch: AtomicU64,
+    /// A permanently-empty snapshot handles park their `Arc` on while
+    /// mutating, so the published refcount can drop to one and
+    /// `Arc::make_mut` avoids the deep clone.
+    empty: Arc<RuleSnapshot<P>>,
+    /// Dispatches served across every session (telemetry).
+    dispatch_count: AtomicU64,
+    /// Rule faults contained or surfaced across every session.
+    rule_fault_count: AtomicU64,
+    /// Rules currently quarantined (exact: transitions use
+    /// compare-and-swap on the health cells).
+    quarantined_count: AtomicUsize,
+}
+
+impl<P> EngineShared<P> {
+    fn new() -> EngineShared<P> {
+        let empty = Arc::new(RuleSnapshot::empty());
+        EngineShared {
+            published: Mutex::new(Arc::clone(&empty)),
+            epoch: AtomicU64::new(0),
+            empty,
+            dispatch_count: AtomicU64::new(0),
+            rule_fault_count: AtomicU64::new(0),
+            quarantined_count: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A cloneable, `Send + Sync` handle to a shared rule base. Each call to
+/// [`RuleBase::session`] yields an independent [`Engine`] handle — same
+/// rules, private winner cache / scratch / deferred queue — that can be
+/// moved to another thread and dispatched in parallel with every other
+/// session.
+pub struct RuleBase<P> {
+    shared: Arc<EngineShared<P>>,
+    config: EngineConfig,
+}
+
+impl<P> Clone for RuleBase<P> {
+    fn clone(&self) -> Self {
+        RuleBase {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+        }
+    }
+}
+
+impl<P: Clone> Default for RuleBase<P> {
+    fn default() -> Self {
+        RuleBase::new()
+    }
+}
+
+impl<P: Clone> RuleBase<P> {
+    pub fn new() -> RuleBase<P> {
+        RuleBase::with_config(EngineConfig::default())
+    }
+
+    pub fn with_config(config: EngineConfig) -> RuleBase<P> {
+        RuleBase {
+            shared: Arc::new(EngineShared::new()),
+            config,
+        }
+    }
+
+    /// Open a new session handle with the base's default configuration.
+    pub fn session(&self) -> Engine<P> {
+        Engine::from_shared(Arc::clone(&self.shared), self.config)
+    }
+
+    /// Open a session with its own configuration (strategy, selection,
+    /// fault policy… are all per session).
+    pub fn session_with(&self, config: EngineConfig) -> Engine<P> {
+        Engine::from_shared(Arc::clone(&self.shared), config)
+    }
+
+    /// Current rule-base epoch (bumped by every mutation and quarantine
+    /// transition).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Dispatches served across every session of this base.
+    pub fn total_dispatches(&self) -> u64 {
+        self.shared.dispatch_count.load(Ordering::Relaxed)
+    }
+
+    /// Rule faults contained or surfaced across every session.
+    pub fn rule_faults(&self) -> u64 {
+        self.shared.rule_fault_count.load(Ordering::Relaxed)
+    }
+
+    /// Rules currently quarantined across the base.
+    pub fn quarantined_count(&self) -> usize {
+        self.shared.quarantined_count.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-session mutable state: nothing in here is ever observed by
+/// another session.
+struct SessionState<P> {
     cache: WinnerCache,
     /// Firings queued by rules with deferred coupling.
     deferred: Vec<DeferredFiring<P>>,
     scratch: Scratch,
-    /// Per-rule fault bookkeeping, parallel to `rules`.
-    health: Vec<RuleHealth>,
-    /// Rule faults contained or surfaced over the engine's lifetime.
-    rule_fault_count: u64,
-    /// Rules currently quarantined.
-    quarantined_count: usize,
+    /// Dispatches served by this handle.
+    dispatch_count: u64,
+}
+
+impl<P> Default for SessionState<P> {
+    fn default() -> Self {
+        SessionState {
+            cache: WinnerCache::default(),
+            deferred: Vec::new(),
+            scratch: Scratch::default(),
+            dispatch_count: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine (session handle)
+// ---------------------------------------------------------------------------
+
+/// The active mechanism: a session handle over a shared [`RuleBase`].
+///
+/// A freshly constructed `Engine` owns a brand-new rule base; additional
+/// sessions over the same rules come from [`Engine::session`] /
+/// [`Engine::rule_base`]. All rule-management and dispatch methods keep
+/// their single-threaded signatures — a lone handle behaves exactly like
+/// the historical single-threaded engine.
+pub struct Engine<P> {
+    shared: Arc<EngineShared<P>>,
+    /// Cached snapshot; revalidated against `shared.epoch` with one
+    /// atomic load per dispatch (no lock, no refcount traffic while the
+    /// rule base is quiescent).
+    snap: Arc<RuleSnapshot<P>>,
+    /// `shared.epoch` value `snap` was cached at.
+    snap_epoch: u64,
+    /// Refresh `snap` automatically at each dispatch (default). Turn
+    /// off to pin a snapshot for deterministic comparisons, then call
+    /// [`Engine::sync`] / [`Engine::sync_with`] explicitly.
+    auto_sync: bool,
+    config: EngineConfig,
+    state: SessionState<P>,
 }
 
 impl<P: Clone> Default for Engine<P> {
@@ -590,21 +1000,35 @@ impl<P: Clone> Engine<P> {
     }
 
     pub fn with_config(config: EngineConfig) -> Engine<P> {
+        Engine::from_shared(Arc::new(EngineShared::new()), config)
+    }
+
+    fn from_shared(shared: Arc<EngineShared<P>>, config: EngineConfig) -> Engine<P> {
+        let snap = Arc::clone(&shared.published.lock().unwrap());
+        let snap_epoch = shared.epoch.load(Ordering::Acquire);
         Engine {
-            rules: Vec::new(),
-            names: Vec::new(),
-            by_name: HashMap::new(),
+            shared,
+            snap,
+            snap_epoch,
+            auto_sync: true,
             config,
-            dispatch_count: 0,
-            rules_generation: 0,
-            index: RuleIndex::default(),
-            cache: WinnerCache::default(),
-            deferred: Vec::new(),
-            scratch: Scratch::default(),
-            health: Vec::new(),
-            rule_fault_count: 0,
-            quarantined_count: 0,
+            state: SessionState::default(),
         }
+    }
+
+    /// A cloneable handle to this engine's shared rule base; hand it to
+    /// other threads and open [`RuleBase::session`]s there.
+    pub fn rule_base(&self) -> RuleBase<P> {
+        RuleBase {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+        }
+    }
+
+    /// Open another session over the same rule base (same configuration
+    /// as this handle; private cache/scratch/deferred state).
+    pub fn session(&self) -> Engine<P> {
+        Engine::from_shared(Arc::clone(&self.shared), self.config)
     }
 
     pub fn config(&self) -> EngineConfig {
@@ -631,80 +1055,152 @@ impl<P: Clone> Engine<P> {
         self.config.fault_policy = policy;
     }
 
-    /// Rule faults contained or surfaced since the engine was built
-    /// (including `engine.cascade` pseudo-rule faults).
-    pub fn rule_faults(&self) -> u64 {
-        self.rule_fault_count
+    /// Whether dispatch refreshes the cached snapshot automatically.
+    pub fn auto_sync(&self) -> bool {
+        self.auto_sync
     }
 
-    /// Names of every quarantined rule, in registration order.
+    /// Pin (`false`) or auto-refresh (`true`) the cached rule snapshot.
+    pub fn set_auto_sync(&mut self, on: bool) {
+        self.auto_sync = on;
+    }
+
+    /// Refresh the cached snapshot to the latest published epoch.
+    pub fn sync(&mut self) {
+        self.sync_snapshot();
+    }
+
+    /// Adopt `other`'s exact snapshot (both handles must come from the
+    /// same rule base) — the tool differential tests use to compare two
+    /// strategies over a bitwise-identical rule view while a writer
+    /// mutates concurrently.
+    pub fn sync_with(&mut self, other: &Engine<P>) {
+        assert!(
+            Arc::ptr_eq(&self.shared, &other.shared),
+            "sync_with requires sessions of the same rule base"
+        );
+        self.snap = Arc::clone(&other.snap);
+        self.snap_epoch = other.snap_epoch;
+    }
+
+    /// Rule faults contained or surfaced across every session of the
+    /// rule base (including `engine.cascade` pseudo-rule faults).
+    pub fn rule_faults(&self) -> u64 {
+        self.shared.rule_fault_count.load(Ordering::Relaxed)
+    }
+
+    /// Names of every quarantined rule, in registration order (as seen
+    /// by this handle's snapshot).
     pub fn quarantined(&self) -> Vec<&str> {
-        self.health
+        self.snap
+            .health
             .iter()
             .enumerate()
-            .filter(|(_, h)| h.quarantined)
-            .map(|(i, _)| &*self.names[i])
+            .filter(|(_, h)| h.is_quarantined())
+            .map(|(i, _)| &*self.snap.names[i])
             .collect()
     }
 
     /// Fault bookkeeping for one rule.
     pub fn rule_health(&self, name: &str) -> Option<RuleHealth> {
-        self.by_name.get(name).map(|&i| self.health[i])
+        self.snap
+            .by_name
+            .get(name)
+            .map(|&i| self.snap.health[i].view())
     }
 
     /// Lift a rule's quarantine and reset its fault counters. The rule
-    /// participates in matching again from the next dispatch.
+    /// participates in matching again from the next dispatch, in every
+    /// session.
     pub fn clear_quarantine(&mut self, name: &str) -> Result<(), ActiveError> {
+        self.sync_snapshot();
         let idx = *self
+            .snap
             .by_name
             .get(name)
             .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
-        if self.health[idx].quarantined {
-            self.quarantined_count -= 1;
+        let cell = &self.snap.health[idx];
+        if cell.quarantined.swap(false, Ordering::AcqRel) {
+            self.shared
+                .quarantined_count
+                .fetch_sub(1, Ordering::Relaxed);
         }
-        self.health[idx] = RuleHealth::default();
-        self.rules_generation += 1;
+        cell.consecutive.store(0, Ordering::Relaxed);
+        cell.total.store(0, Ordering::Relaxed);
+        // Quarantine state feeds cached winners: bump the epoch so every
+        // session flushes its winner cache before trusting them again.
+        self.snap_epoch = self.shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         Ok(())
     }
 
-    /// Number of dispatches served (telemetry for benches).
+    /// Number of dispatches served by this session handle.
     pub fn dispatches(&self) -> u64 {
-        self.dispatch_count
+        self.state.dispatch_count
     }
 
-    /// Generation counter bumped on every rule mutation.
+    /// Rule-base epoch: bumped on every rule mutation (and quarantine
+    /// transition).
     pub fn rules_generation(&self) -> u64 {
-        self.rules_generation
+        self.shared.epoch.load(Ordering::Acquire)
     }
 
-    /// Winner-cache counters and current size.
+    /// Winner-cache counters and current size (this session's cache —
+    /// each session caches independently).
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.cache.hits,
-            misses: self.cache.misses,
-            invalidations: self.cache.invalidations,
-            entries: self.cache.len,
+            hits: self.state.cache.hits,
+            misses: self.state.cache.misses,
+            invalidations: self.state.cache.invalidations,
+            evictions: self.state.cache.evictions,
+            entries: self.state.cache.len(),
         }
+    }
+
+    fn sync_snapshot(&mut self) {
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        if epoch == self.snap_epoch {
+            return;
+        }
+        let guard = self.shared.published.lock().unwrap();
+        self.snap = Arc::clone(&guard);
+        // Re-read under the lock: mutations bump the epoch before they
+        // unlock, so this value is consistent with the snapshot we took.
+        self.snap_epoch = self.shared.epoch.load(Ordering::Acquire);
+    }
+
+    /// Run a mutation against the published snapshot copy-on-write and
+    /// (on success, if `changed`) bump the epoch. The handle's own cached
+    /// snapshot is parked on the shared empty sentinel for the duration
+    /// so a lone session mutates in place instead of deep-cloning.
+    fn try_mutate<R>(
+        &mut self,
+        f: impl FnOnce(&mut RuleSnapshot<P>, &EngineShared<P>) -> Result<(R, bool), ActiveError>,
+    ) -> Result<R, ActiveError> {
+        let shared = Arc::clone(&self.shared);
+        let mut guard = shared.published.lock().unwrap();
+        self.snap = Arc::clone(&shared.empty);
+        let result = {
+            let snap = Arc::make_mut(&mut *guard);
+            match f(snap, &shared) {
+                Ok((r, changed)) => {
+                    if changed {
+                        snap.generation = shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                    }
+                    Ok(r)
+                }
+                Err(e) => Err(e),
+            }
+        };
+        self.snap = Arc::clone(&guard);
+        self.snap_epoch = shared.epoch.load(Ordering::Acquire);
+        result
     }
 
     // -- rule management ----------------------------------------------------
 
-    /// Register a rule; names must be unique.
+    /// Register a rule; names must be unique across the rule base.
     pub fn add_rule(&mut self, rule: Rule<P>) -> Result<(), ActiveError> {
-        if self.by_name.contains_key(&rule.name) {
-            return Err(ActiveError::DuplicateRule(rule.name.clone()));
-        }
-        let idx = self.rules.len();
-        self.by_name.insert(rule.name.clone(), idx);
-        self.names.push(Rc::from(rule.name.as_str()));
-        self.index.insert(idx, rule.group, &rule.event);
-        if rule_uncacheable(&rule) {
-            self.index.uncacheable_cust += 1;
-        }
-        self.rules.push(rule);
-        self.health.push(RuleHealth::default());
-        self.rules_generation += 1;
-        Ok(())
+        self.try_mutate(|snap, _| snap.add(rule).map(|()| ((), true)))
     }
 
     /// Register many rules (e.g. the output of the customization compiler).
@@ -721,106 +1217,42 @@ impl<P: Clone> Engine<P> {
     /// Remove a rule by name. Later rules shift down one slot; the name
     /// map and index buckets are adjusted in place (no rebuild).
     pub fn remove_rule(&mut self, name: &str) -> Result<Rule<P>, ActiveError> {
-        let idx = self
-            .by_name
-            .remove(name)
-            .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
-        let rule = self.rules.remove(idx);
-        self.names.remove(idx);
-        if self.health.remove(idx).quarantined {
-            self.quarantined_count -= 1;
-        }
-        if rule_uncacheable(&rule) {
-            self.index.uncacheable_cust -= 1;
-        }
-        self.index.remove_index(idx);
-        for v in self.by_name.values_mut() {
-            if *v > idx {
-                *v -= 1;
-            }
-        }
-        self.rules_generation += 1;
-        Ok(rule)
+        self.try_mutate(|snap, shared| {
+            snap.remove(name, &shared.quarantined_count)
+                .map(|r| (r, true))
+        })
     }
 
     /// Enable or disable a rule in place.
     pub fn set_enabled(&mut self, name: &str, enabled: bool) -> Result<(), ActiveError> {
-        let idx = *self
-            .by_name
-            .get(name)
-            .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
-        let was = rule_uncacheable(&self.rules[idx]);
-        self.rules[idx].enabled = enabled;
-        let now = rule_uncacheable(&self.rules[idx]);
-        if now && !was {
-            self.index.uncacheable_cust += 1;
-        } else if was && !now {
-            self.index.uncacheable_cust -= 1;
-        }
-        self.rules_generation += 1;
-        Ok(())
+        self.try_mutate(|snap, _| snap.set_enabled(name, enabled).map(|()| ((), true)))
     }
 
     pub fn rule(&self, name: &str) -> Option<&Rule<P>> {
-        self.by_name.get(name).map(|&i| &self.rules[i])
+        self.snap.by_name.get(name).map(|&i| &self.snap.rules[i])
     }
 
     pub fn rules(&self) -> &[Rule<P>] {
-        &self.rules
+        &self.snap.rules
     }
 
     pub fn len(&self) -> usize {
-        self.rules.len()
+        self.snap.rules.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.snap.rules.is_empty()
     }
 
     /// Drop every rule whose name starts with `prefix`; returns how many
     /// were removed. (Recompiling a customization program replaces its
     /// rule family this way.) Surviving entries are remapped in place.
     pub fn remove_rules_with_prefix(&mut self, prefix: &str) -> usize {
-        let removed: Vec<usize> = self
-            .rules
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.name.starts_with(prefix))
-            .map(|(i, _)| i)
-            .collect();
-        if removed.is_empty() {
-            return 0;
-        }
-        for &i in &removed {
-            if rule_uncacheable(&self.rules[i]) {
-                self.index.uncacheable_cust -= 1;
-            }
-        }
-        for &i in &removed {
-            if self.health[i].quarantined {
-                self.quarantined_count -= 1;
-            }
-        }
-        self.rules.retain(|r| !r.name.starts_with(prefix));
-        let mut i = 0;
-        self.names.retain(|_| {
-            let keep = removed.binary_search(&i).is_err();
-            i += 1;
-            keep
-        });
-        let mut i = 0;
-        self.health.retain(|_| {
-            let keep = removed.binary_search(&i).is_err();
-            i += 1;
-            keep
-        });
-        self.by_name.retain(|n, _| !n.starts_with(prefix));
-        for v in self.by_name.values_mut() {
-            *v -= removed.partition_point(|&r| r < *v);
-        }
-        self.index.remap_removed(&removed);
-        self.rules_generation += 1;
-        removed.len()
+        self.try_mutate(|snap, shared| {
+            let n = snap.remove_prefix(prefix, &shared.quarantined_count);
+            Ok((n, n > 0))
+        })
+        .expect("prefix removal is infallible")
     }
 
     // -- dispatch -----------------------------------------------------------
@@ -836,343 +1268,33 @@ impl<P: Clone> Engine<P> {
         event: Event,
         ctx: &SessionContext,
     ) -> Result<Outcome<P>, ActiveError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let deferred_mark = self.deferred.len();
-        let result = self.dispatch_inner(event, ctx, &mut scratch);
-        self.scratch = scratch;
+        if self.auto_sync {
+            self.sync_snapshot();
+        }
+        let deferred_mark = self.state.deferred.len();
+        let Engine {
+            shared,
+            snap,
+            snap_epoch,
+            config,
+            state,
+            ..
+        } = self;
+        let result = dispatch_inner(shared, snap, snap_epoch, config, state, event, ctx);
         if result.is_err() {
-            self.deferred.truncate(deferred_mark);
+            self.state.deferred.truncate(deferred_mark);
         }
         result
     }
 
-    /// Record a fault against rule `idx`; returns `true` if this fault
-    /// tripped the circuit breaker (quarantined the rule).
-    fn note_fault(&mut self, idx: usize) -> bool {
-        self.rule_fault_count += 1;
-        if obs::enabled() {
-            obs::counter_add("engine.rule_faults", 1);
-        }
-        let threshold = self.config.quarantine_threshold;
-        let h = &mut self.health[idx];
-        h.total_faults += 1;
-        h.consecutive_faults += 1;
-        if threshold == 0 || h.quarantined || h.consecutive_faults < threshold {
-            return false;
-        }
-        h.quarantined = true;
-        self.quarantined_count += 1;
-        if obs::enabled() {
-            obs::counter_add("engine.quarantined_rules", 1);
-        }
-        // Quarantine is a rule mutation. Flush the winner cache eagerly
-        // (not lazily at the next dispatch) so no stale slot naming the
-        // quarantined rule can answer later events of this same cascade.
-        self.rules_generation += 1;
-        if self.cache.len > 0 {
-            self.cache.slots.clear();
-            self.cache.len = 0;
-            self.cache.invalidations += 1;
-        }
-        self.cache.generation = self.rules_generation;
-        true
-    }
-
-    /// Record a fault not attributable to one rule (the `engine.cascade`
-    /// failpoint).
-    fn note_anonymous_fault(&mut self) {
-        self.rule_fault_count += 1;
-        if obs::enabled() {
-            obs::counter_add("engine.rule_faults", 1);
-        }
-    }
-
-    fn dispatch_inner(
-        &mut self,
-        event: Event,
-        ctx: &SessionContext,
-        s: &mut Scratch,
-    ) -> Result<Outcome<P>, ActiveError> {
-        let _span = obs::span("engine.dispatch");
-        self.dispatch_count += 1;
-        // Per-dispatch tallies, flushed to the metrics registry once at
-        // the end so the hot loop costs plain integer adds.
-        let mut m_considered = 0u64;
-        let mut m_matched = 0u64;
-        let mut m_fired = 0u64;
-        let mut m_shadowed = 0u64;
-        let mut m_hits = 0u64;
-        let mut m_misses = 0u64;
-        let mut m_max_depth = 0usize;
-
-        let indexed = self.config.strategy == DispatchStrategy::Indexed;
-        // The cache is only sound while every enabled customization rule
-        // is a pure function of the cache key.
-        let cache_ok = indexed && self.index.uncacheable_cust == 0;
-        if cache_ok && self.cache.generation != self.rules_generation {
-            if self.cache.len > 0 {
-                self.cache.slots.clear();
-                self.cache.len = 0;
-                self.cache.invalidations += 1;
-                if obs::enabled() {
-                    obs::counter_add("engine.winner_cache_invalidations", 1);
-                }
-            }
-            self.cache.generation = self.rules_generation;
-        }
-
-        let mut outcome = Outcome::empty();
-        s.queue.clear();
-        s.queue.push_back((0, event));
-
-        while let Some((depth, event)) = s.queue.pop_front() {
-            if depth > self.config.max_cascade_depth {
-                return Err(ActiveError::CascadeOverflow {
-                    depth,
-                    event: event.describe(),
-                });
-            }
-            outcome.events_processed += 1;
-            m_max_depth = m_max_depth.max(depth);
-
-            // Cascade-step failpoint: a fault in the cascade machinery
-            // itself, not attributable to any one rule. Fail-open drops
-            // the cascaded event; fail-closed aborts the dispatch.
-            if depth > 0 && faultsim::any_armed() {
-                let fired = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    faultsim::fire("engine.cascade")
-                }));
-                let cause = match fired {
-                    Ok(Ok(())) => None,
-                    Ok(Err(fault)) => Some(fault.to_string()),
-                    Err(payload) => Some(panic_message(&*payload)),
-                };
-                if let Some(cause) = cause {
-                    self.note_anonymous_fault();
-                    outcome.faults.push(FaultRecord {
-                        rule: CASCADE_PSEUDO_RULE.to_string(),
-                        depth,
-                        cause: cause.clone(),
-                    });
-                    match self.config.fault_policy {
-                        FaultPolicy::FailOpen => continue,
-                        FaultPolicy::FailClosed => {
-                            return Err(ActiveError::RuleFault {
-                                rule: CASCADE_PSEUDO_RULE.to_string(),
-                                depth,
-                                cause,
-                            });
-                        }
-                    }
-                }
-            }
-
-            s.matched_cust.clear();
-            s.matched_other.clear();
-            // `Some(winner)` when the cache answered customization
-            // matching for this event; the winner itself may be `None`
-            // (negative results are cached too).
-            let mut cached_winner: Option<Option<usize>> = None;
-            let mut hash = None;
-
-            if indexed {
-                if cache_ok {
-                    let h = cache_key_hash(&event, ctx);
-                    hash = Some(h);
-                    if let Some(slot) = self.cache.lookup(h, &event, ctx) {
-                        s.matched_cust.extend_from_slice(&slot.matched_cust);
-                        cached_winner = Some(slot.winner);
-                        m_hits += 1;
-                    } else {
-                        m_misses += 1;
-                    }
-                }
-                if cached_winner.is_none() {
-                    s.candidates.clear();
-                    self.index.cust.collect(&event, &mut s.candidates);
-                    // Ascending registration order, like the linear scan.
-                    s.candidates.sort_unstable();
-                    m_considered += s.candidates.len() as u64;
-                    for &i in &s.candidates {
-                        if !self.health[i].quarantined && self.rules[i].matches(&event, ctx) {
-                            s.matched_cust.push(i);
-                        }
-                    }
-                }
-                s.candidates.clear();
-                self.index.other.collect(&event, &mut s.candidates);
-                s.candidates.sort_unstable();
-                m_considered += s.candidates.len() as u64;
-                for &i in &s.candidates {
-                    if !self.health[i].quarantined && self.rules[i].matches(&event, ctx) {
-                        s.matched_other.push(i);
-                    }
-                }
-            } else {
-                m_considered += self.rules.len() as u64;
-                for (i, r) in self.rules.iter().enumerate() {
-                    if !self.health[i].quarantined && r.matches(&event, ctx) {
-                        if r.group == RuleGroup::Customization {
-                            s.matched_cust.push(i);
-                        } else {
-                            s.matched_other.push(i);
-                        }
-                    }
-                }
-            }
-
-            // Customization selection: specificity, then designer
-            // priority, then registration order (later wins:
-            // redefinitions override).
-            let winner = match cached_winner {
-                Some(w) => w,
-                None => {
-                    let rules = &self.rules;
-                    let w = s.matched_cust.iter().copied().max_by_key(|&i| {
-                        let r = &rules[i];
-                        (r.specificity(), r.priority, i)
-                    });
-                    if let Some(h) = hash {
-                        self.cache.insert(
-                            h,
-                            CacheSlot {
-                                event: EventKey::of(&event),
-                                user: ctx.user.clone(),
-                                category: ctx.category.clone(),
-                                application: ctx.application.clone(),
-                                matched_cust: s.matched_cust.clone(),
-                                winner: w,
-                            },
-                        );
-                    }
-                    w
-                }
-            };
-
-            s.to_fire.clear();
-            s.shadowed.clear();
-            match self.config.selection {
-                SelectionPolicy::MostSpecific => {
-                    if let Some(w) = winner {
-                        s.to_fire.push(w);
-                        s.shadowed
-                            .extend(s.matched_cust.iter().copied().filter(|&i| i != w));
-                    }
-                }
-                SelectionPolicy::FireAll => s.to_fire.extend_from_slice(&s.matched_cust),
-            }
-            // Non-customization rules all fire, highest priority first.
-            let cust_fired = s.to_fire.len();
-            s.to_fire.extend_from_slice(&s.matched_other);
-            let rules = &self.rules;
-            s.to_fire[cust_fired..].sort_by_key(|&i| (std::cmp::Reverse(rules[i].priority), i));
-
-            m_matched += (s.matched_cust.len() + s.matched_other.len()) as u64;
-            m_shadowed += s.shadowed.len() as u64;
-            m_fired += s.to_fire.len() as u64;
-
-            // Execute (or queue, for deferred-coupling rules). Indexed by
-            // position because actions push into `s.queue`.
-            let fired_start = outcome.fired.len();
-            for k in 0..s.to_fire.len() {
-                let i = s.to_fire[k];
-                outcome.fired.push(Rc::clone(&self.names[i]));
-                match self.rules[i].coupling {
-                    Coupling::Immediate => {
-                        let result = Self::run_action(
-                            &self.rules[i].action,
-                            &event,
-                            ctx,
-                            depth,
-                            &mut s.queue,
-                            &mut outcome.customizations,
-                        );
-                        match result {
-                            Ok(()) => self.health[i].consecutive_faults = 0,
-                            Err(cause) => {
-                                outcome.faults.push(FaultRecord {
-                                    rule: self.rules[i].name.clone(),
-                                    depth,
-                                    cause: cause.clone(),
-                                });
-                                self.note_fault(i);
-                                if self.config.fault_policy == FaultPolicy::FailClosed {
-                                    return Err(ActiveError::RuleFault {
-                                        rule: self.rules[i].name.clone(),
-                                        depth,
-                                        cause,
-                                    });
-                                }
-                            }
-                        }
-                    }
-                    Coupling::Deferred => self.deferred.push((
-                        Rc::clone(&self.names[i]),
-                        Rc::clone(&self.rules[i].action),
-                        event.clone(),
-                        ctx.clone(),
-                    )),
-                }
-            }
-
-            if self.config.tracing {
-                // Merge the two ascending matched lists back into
-                // registration order, as the linear scan reports them.
-                let mut matched = Vec::with_capacity(s.matched_cust.len() + s.matched_other.len());
-                let (mut a, mut b) = (0, 0);
-                while a < s.matched_cust.len() || b < s.matched_other.len() {
-                    let i = if b == s.matched_other.len()
-                        || (a < s.matched_cust.len() && s.matched_cust[a] < s.matched_other[b])
-                    {
-                        a += 1;
-                        s.matched_cust[a - 1]
-                    } else {
-                        b += 1;
-                        s.matched_other[b - 1]
-                    };
-                    matched.push(self.rules[i].name.clone());
-                }
-                outcome.trace.entries.push(TraceEntry {
-                    depth,
-                    event: event.describe(),
-                    matched,
-                    fired: outcome.fired[fired_start..]
-                        .iter()
-                        .map(|n| n.to_string())
-                        .collect(),
-                    shadowed: s
-                        .shadowed
-                        .iter()
-                        .map(|&i| self.rules[i].name.clone())
-                        .collect(),
-                });
-            }
-        }
-
-        self.cache.hits += m_hits;
-        self.cache.misses += m_misses;
-        if obs::enabled() {
-            obs::counter_add("engine.dispatches", 1);
-            obs::counter_add("engine.rules_considered", m_considered);
-            obs::counter_add("engine.rules_matched", m_matched);
-            obs::counter_add("engine.rules_fired", m_fired);
-            obs::counter_add("engine.rules_shadowed", m_shadowed);
-            obs::counter_add("engine.winner_cache_hits", m_hits);
-            obs::counter_add("engine.winner_cache_misses", m_misses);
-            obs::record_value("engine.cascade_depth", m_max_depth as u64);
-            obs::record_value("engine.deferred_queue_depth", self.deferred.len() as u64);
-        }
-        Ok(outcome)
-    }
-
     /// Number of deferred firings awaiting [`Self::flush_deferred`].
     pub fn pending_deferred(&self) -> usize {
-        self.deferred.len()
+        self.state.deferred.len()
     }
 
     /// Drop queued deferred firings without running them (rollback).
     pub fn clear_deferred(&mut self) {
-        self.deferred.clear();
+        self.state.deferred.clear();
     }
 
     /// Execute every queued deferred firing (the "end of transaction"
@@ -1180,15 +1302,18 @@ impl<P: Clone> Engine<P> {
     /// immediate rules run inline, deferred ones re-queue.
     pub fn flush_deferred(&mut self) -> Result<Outcome<P>, ActiveError> {
         let _span = obs::span("engine.flush_deferred");
-        let drained = std::mem::take(&mut self.deferred);
+        if self.auto_sync {
+            self.sync_snapshot();
+        }
+        let drained = std::mem::take(&mut self.state.deferred);
         if obs::enabled() {
             obs::counter_add("engine.deferred_flushed", drained.len() as u64);
         }
         let mut outcome = Outcome::empty();
         for (name, action, event, ctx) in drained {
-            outcome.fired.push(Rc::clone(&name));
+            outcome.fired.push(Arc::clone(&name));
             let mut queue: VecDeque<(usize, Event)> = VecDeque::new();
-            if let Err(cause) = Self::run_action(
+            if let Err(cause) = run_action(
                 &action,
                 &event,
                 &ctx,
@@ -1202,10 +1327,19 @@ impl<P: Clone> Engine<P> {
                     cause: cause.clone(),
                 });
                 // The rule may have been removed since it was deferred.
-                if let Some(&idx) = self.by_name.get(&*name) {
-                    self.note_fault(idx);
+                if self.snap.by_name.contains_key(&*name) {
+                    let idx = self.snap.by_name[&*name];
+                    let Engine {
+                        shared,
+                        snap,
+                        snap_epoch,
+                        config,
+                        state,
+                        ..
+                    } = self;
+                    note_fault(shared, snap, snap_epoch, config, &mut state.cache, idx);
                 } else {
-                    self.note_anonymous_fault();
+                    note_anonymous_fault(&self.shared);
                 }
                 if self.config.fault_policy == FaultPolicy::FailClosed {
                     return Err(ActiveError::RuleFault {
@@ -1216,8 +1350,10 @@ impl<P: Clone> Engine<P> {
                 }
                 continue;
             }
-            if let Some(&idx) = self.by_name.get(&*name) {
-                self.health[idx].consecutive_faults = 0;
+            if let Some(&idx) = self.snap.by_name.get(&*name) {
+                self.snap.health[idx]
+                    .consecutive
+                    .store(0, Ordering::Relaxed);
             }
             while let Some((_, raised)) = queue.pop_front() {
                 let sub = self.dispatch(raised, &ctx)?;
@@ -1229,52 +1365,403 @@ impl<P: Clone> Engine<P> {
         }
         Ok(outcome)
     }
+}
 
-    /// Run one action. Callbacks are the only fallible arm: they are
-    /// executed behind a panic boundary (a panicking callback becomes an
-    /// `Err`, never unwinds into the engine) and consult the
-    /// `engine.callback` failpoint first. `Err` carries a human-readable
-    /// cause; the caller decides between fail-open and fail-closed.
-    fn run_action(
-        action: &Action<P>,
-        event: &Event,
-        ctx: &SessionContext,
-        depth: usize,
-        queue: &mut VecDeque<(usize, Event)>,
-        customizations: &mut Vec<P>,
-    ) -> Result<(), String> {
-        match action {
-            Action::Customize(p) => {
-                customizations.push(p.clone());
-                Ok(())
+/// Record a fault against rule `idx`; returns `true` if this fault
+/// tripped the circuit breaker (quarantined the rule). Quarantine is a
+/// global transition: the compare-and-swap guarantees exactly one
+/// session wins it and increments the shared count, no matter how many
+/// sessions fault the rule concurrently.
+fn note_fault<P>(
+    shared: &EngineShared<P>,
+    snap: &RuleSnapshot<P>,
+    snap_epoch: &mut u64,
+    config: &EngineConfig,
+    cache: &mut WinnerCache,
+    idx: usize,
+) -> bool {
+    shared.rule_fault_count.fetch_add(1, Ordering::Relaxed);
+    if obs::enabled() {
+        obs::counter_add("engine.rule_faults", 1);
+    }
+    let cell = &snap.health[idx];
+    cell.total.fetch_add(1, Ordering::Relaxed);
+    let consecutive = cell.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+    let threshold = config.quarantine_threshold;
+    if threshold == 0 || consecutive < threshold {
+        return false;
+    }
+    if cell.quarantined.swap(true, Ordering::AcqRel) {
+        return false;
+    }
+    shared.quarantined_count.fetch_add(1, Ordering::Relaxed);
+    if obs::enabled() {
+        obs::counter_add("engine.quarantined_rules", 1);
+    }
+    // Quarantine is a rule-visibility mutation. Bump the epoch so every
+    // session flushes its winner cache, and flush our own eagerly (not
+    // lazily at the next dispatch) so no stale slot naming the
+    // quarantined rule can answer later events of this same cascade.
+    *snap_epoch = shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+    if cache.len() > 0 {
+        cache.flush();
+        cache.invalidations += 1;
+    }
+    cache.generation = *snap_epoch;
+    true
+}
+
+/// Record a fault not attributable to one rule (the `engine.cascade`
+/// failpoint).
+fn note_anonymous_fault<P>(shared: &EngineShared<P>) {
+    shared.rule_fault_count.fetch_add(1, Ordering::Relaxed);
+    if obs::enabled() {
+        obs::counter_add("engine.rule_faults", 1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_inner<P: Clone>(
+    shared: &EngineShared<P>,
+    snap: &RuleSnapshot<P>,
+    snap_epoch: &mut u64,
+    config: &EngineConfig,
+    state: &mut SessionState<P>,
+    event: Event,
+    ctx: &SessionContext,
+) -> Result<Outcome<P>, ActiveError> {
+    let _span = obs::span("engine.dispatch");
+    state.dispatch_count += 1;
+    shared.dispatch_count.fetch_add(1, Ordering::Relaxed);
+    let SessionState {
+        cache,
+        deferred,
+        scratch: s,
+        ..
+    } = state;
+    // Per-dispatch tallies, flushed to the metrics registry once at
+    // the end so the hot loop costs plain integer adds.
+    let mut m_considered = 0u64;
+    let mut m_matched = 0u64;
+    let mut m_fired = 0u64;
+    let mut m_shadowed = 0u64;
+    let mut m_hits = 0u64;
+    let mut m_misses = 0u64;
+    let mut m_max_depth = 0usize;
+    let evictions_before = cache.evictions;
+
+    let indexed = config.strategy == DispatchStrategy::Indexed;
+    // Below the hybrid threshold the discrimination index cannot beat a
+    // straight scan of the rule vector; the winner cache stays active
+    // either way.
+    let scan_all = !indexed || snap.rules.len() <= config.hybrid_linear_threshold;
+    // The cache is only sound while every enabled customization rule
+    // is a pure function of the cache key.
+    let cache_ok = indexed && snap.index.uncacheable_cust == 0;
+    if cache_ok && cache.generation != *snap_epoch {
+        if cache.len() > 0 {
+            cache.flush();
+            cache.invalidations += 1;
+            if obs::enabled() {
+                obs::counter_add("engine.winner_cache_invalidations", 1);
             }
-            Action::Callback(f) => {
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    faultsim::fire("engine.callback").map(|()| f(event, ctx))
-                }));
-                match result {
-                    Ok(Ok(events)) => {
-                        for e in events {
-                            queue.push_back((depth + 1, e));
-                        }
-                        Ok(())
+        }
+        cache.generation = *snap_epoch;
+    }
+
+    let mut outcome = Outcome::empty();
+    s.queue.clear();
+    s.queue.push_back((0, event));
+
+    while let Some((depth, event)) = s.queue.pop_front() {
+        if depth > config.max_cascade_depth {
+            return Err(ActiveError::CascadeOverflow {
+                depth,
+                event: event.describe(),
+            });
+        }
+        outcome.events_processed += 1;
+        m_max_depth = m_max_depth.max(depth);
+
+        // Cascade-step failpoint: a fault in the cascade machinery
+        // itself, not attributable to any one rule. Fail-open drops
+        // the cascaded event; fail-closed aborts the dispatch.
+        if depth > 0 && faultsim::any_armed() {
+            let fired = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                faultsim::fire("engine.cascade")
+            }));
+            let cause = match fired {
+                Ok(Ok(())) => None,
+                Ok(Err(fault)) => Some(fault.to_string()),
+                Err(payload) => Some(panic_message(&*payload)),
+            };
+            if let Some(cause) = cause {
+                note_anonymous_fault(shared);
+                outcome.faults.push(FaultRecord {
+                    rule: CASCADE_PSEUDO_RULE.to_string(),
+                    depth,
+                    cause: cause.clone(),
+                });
+                match config.fault_policy {
+                    FaultPolicy::FailOpen => continue,
+                    FaultPolicy::FailClosed => {
+                        return Err(ActiveError::RuleFault {
+                            rule: CASCADE_PSEUDO_RULE.to_string(),
+                            depth,
+                            cause,
+                        });
                     }
-                    Ok(Err(fault)) => Err(fault.to_string()),
-                    Err(payload) => Err(panic_message(&*payload)),
                 }
             }
-            Action::Raise(events) => {
-                for e in events {
-                    queue.push_back((depth + 1, e.clone()));
-                }
-                Ok(())
+        }
+
+        s.matched_cust.clear();
+        s.matched_other.clear();
+        // `Some(winner)` when the cache answered customization
+        // matching for this event; the winner itself may be `None`
+        // (negative results are cached too).
+        let mut cached_winner: Option<Option<usize>> = None;
+        let mut hash = None;
+
+        if cache_ok {
+            let h = cache_key_hash(&event, ctx);
+            hash = Some(h);
+            if let Some(slot) = cache.lookup(h, &event, ctx) {
+                s.matched_cust.extend_from_slice(&slot.matched_cust);
+                cached_winner = Some(slot.winner);
+                m_hits += 1;
+            } else {
+                m_misses += 1;
             }
-            Action::Compound(actions) => {
-                for a in actions {
-                    Self::run_action(a, event, ctx, depth, queue, customizations)?;
+        }
+        if scan_all {
+            m_considered += snap.rules.len() as u64;
+            let cust_cached = cached_winner.is_some();
+            for (i, r) in snap.rules.iter().enumerate() {
+                if (cust_cached && r.group == RuleGroup::Customization)
+                    || snap.health[i].is_quarantined()
+                    || !r.matches(&event, ctx)
+                {
+                    continue;
                 }
-                Ok(())
+                if r.group == RuleGroup::Customization {
+                    s.matched_cust.push(i);
+                } else {
+                    s.matched_other.push(i);
+                }
             }
+        } else {
+            if cached_winner.is_none() {
+                let matched_cust = &mut s.matched_cust;
+                snap.index.cust.for_each_candidate(&event, &mut |i| {
+                    m_considered += 1;
+                    if !snap.health[i].is_quarantined() && snap.rules[i].matches(&event, ctx) {
+                        matched_cust.push(i);
+                    }
+                });
+            }
+            let matched_other = &mut s.matched_other;
+            snap.index.other.for_each_candidate(&event, &mut |i| {
+                m_considered += 1;
+                if !snap.health[i].is_quarantined() && snap.rules[i].matches(&event, ctx) {
+                    matched_other.push(i);
+                }
+            });
+        }
+
+        // Customization selection: specificity, then designer
+        // priority, then registration order (later wins:
+        // redefinitions override).
+        let winner = match cached_winner {
+            Some(w) => w,
+            None => {
+                let rules = &snap.rules;
+                let w = s.matched_cust.iter().copied().max_by_key(|&i| {
+                    let r = &rules[i];
+                    (r.specificity(), r.priority, i)
+                });
+                if let Some(h) = hash {
+                    cache.insert(
+                        h,
+                        CacheSlot {
+                            event: EventKey::of(&event),
+                            user: ctx.user.clone(),
+                            category: ctx.category.clone(),
+                            application: ctx.application.clone(),
+                            matched_cust: s.matched_cust.clone(),
+                            winner: w,
+                        },
+                        config.winner_cache_capacity,
+                    );
+                }
+                w
+            }
+        };
+
+        s.to_fire.clear();
+        s.shadowed.clear();
+        match config.selection {
+            SelectionPolicy::MostSpecific => {
+                if let Some(w) = winner {
+                    s.to_fire.push(w);
+                    s.shadowed
+                        .extend(s.matched_cust.iter().copied().filter(|&i| i != w));
+                }
+            }
+            SelectionPolicy::FireAll => s.to_fire.extend_from_slice(&s.matched_cust),
+        }
+        // Non-customization rules all fire, highest priority first.
+        let cust_fired = s.to_fire.len();
+        s.to_fire.extend_from_slice(&s.matched_other);
+        let rules = &snap.rules;
+        s.to_fire[cust_fired..].sort_by_key(|&i| (std::cmp::Reverse(rules[i].priority), i));
+
+        m_matched += (s.matched_cust.len() + s.matched_other.len()) as u64;
+        m_shadowed += s.shadowed.len() as u64;
+        m_fired += s.to_fire.len() as u64;
+
+        // Execute (or queue, for deferred-coupling rules). Indexed by
+        // position because actions push into `s.queue`.
+        let fired_start = outcome.fired.len();
+        for k in 0..s.to_fire.len() {
+            let i = s.to_fire[k];
+            outcome.fired.push(Arc::clone(&snap.names[i]));
+            match snap.rules[i].coupling {
+                Coupling::Immediate => {
+                    let result = run_action(
+                        &snap.rules[i].action,
+                        &event,
+                        ctx,
+                        depth,
+                        &mut s.queue,
+                        &mut outcome.customizations,
+                    );
+                    match result {
+                        Ok(()) => snap.health[i].consecutive.store(0, Ordering::Relaxed),
+                        Err(cause) => {
+                            outcome.faults.push(FaultRecord {
+                                rule: snap.rules[i].name.clone(),
+                                depth,
+                                cause: cause.clone(),
+                            });
+                            note_fault(shared, snap, snap_epoch, config, cache, i);
+                            if config.fault_policy == FaultPolicy::FailClosed {
+                                return Err(ActiveError::RuleFault {
+                                    rule: snap.rules[i].name.clone(),
+                                    depth,
+                                    cause,
+                                });
+                            }
+                        }
+                    }
+                }
+                Coupling::Deferred => deferred.push((
+                    Arc::clone(&snap.names[i]),
+                    Arc::clone(&snap.rules[i].action),
+                    event.clone(),
+                    ctx.clone(),
+                )),
+            }
+        }
+
+        if config.tracing {
+            // Merge the two ascending matched lists back into
+            // registration order, as the linear scan reports them.
+            let mut matched = Vec::with_capacity(s.matched_cust.len() + s.matched_other.len());
+            let (mut a, mut b) = (0, 0);
+            while a < s.matched_cust.len() || b < s.matched_other.len() {
+                let i = if b == s.matched_other.len()
+                    || (a < s.matched_cust.len() && s.matched_cust[a] < s.matched_other[b])
+                {
+                    a += 1;
+                    s.matched_cust[a - 1]
+                } else {
+                    b += 1;
+                    s.matched_other[b - 1]
+                };
+                matched.push(snap.rules[i].name.clone());
+            }
+            outcome.trace.entries.push(TraceEntry {
+                depth,
+                event: event.describe(),
+                matched,
+                fired: outcome.fired[fired_start..]
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect(),
+                shadowed: s
+                    .shadowed
+                    .iter()
+                    .map(|&i| snap.rules[i].name.clone())
+                    .collect(),
+            });
+        }
+    }
+
+    cache.hits += m_hits;
+    cache.misses += m_misses;
+    if obs::enabled() {
+        obs::counter_add("engine.dispatches", 1);
+        obs::counter_add("engine.rules_considered", m_considered);
+        obs::counter_add("engine.rules_matched", m_matched);
+        obs::counter_add("engine.rules_fired", m_fired);
+        obs::counter_add("engine.rules_shadowed", m_shadowed);
+        obs::counter_add("engine.winner_cache_hits", m_hits);
+        obs::counter_add("engine.winner_cache_misses", m_misses);
+        obs::counter_add(
+            "engine.winner_cache_evictions",
+            cache.evictions - evictions_before,
+        );
+        obs::record_value("engine.cascade_depth", m_max_depth as u64);
+        obs::record_value("engine.deferred_queue_depth", deferred.len() as u64);
+    }
+    Ok(outcome)
+}
+
+/// Run one action. Callbacks are the only fallible arm: they are
+/// executed behind a panic boundary (a panicking callback becomes an
+/// `Err`, never unwinds into the engine) and consult the
+/// `engine.callback` failpoint first. `Err` carries a human-readable
+/// cause; the caller decides between fail-open and fail-closed.
+fn run_action<P: Clone>(
+    action: &Action<P>,
+    event: &Event,
+    ctx: &SessionContext,
+    depth: usize,
+    queue: &mut VecDeque<(usize, Event)>,
+    customizations: &mut Vec<P>,
+) -> Result<(), String> {
+    match action {
+        Action::Customize(p) => {
+            customizations.push(p.clone());
+            Ok(())
+        }
+        Action::Callback(f) => {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                faultsim::fire("engine.callback").map(|()| f(event, ctx))
+            }));
+            match result {
+                Ok(Ok(events)) => {
+                    for e in events {
+                        queue.push_back((depth + 1, e));
+                    }
+                    Ok(())
+                }
+                Ok(Err(fault)) => Err(fault.to_string()),
+                Err(payload) => Err(panic_message(&*payload)),
+            }
+        }
+        Action::Raise(events) => {
+            for e in events {
+                queue.push_back((depth + 1, e.clone()));
+            }
+            Ok(())
+        }
+        Action::Compound(actions) => {
+            for a in actions {
+                run_action(a, event, ctx, depth, queue, customizations)?;
+            }
+            Ok(())
         }
     }
 }
@@ -1284,7 +1771,6 @@ mod tests {
     use super::*;
     use crate::context::ContextPattern;
     use geodb::query::DbEvent;
-    use std::rc::Rc;
 
     fn get_schema() -> Event {
         Event::Db(DbEvent::GetSchema {
@@ -1370,21 +1856,21 @@ mod tests {
         let mut eng: Engine<&str> = Engine::new();
         eng.add_rule(cust("c", ContextPattern::any(), "payload"))
             .unwrap();
-        let hits = Rc::new(std::cell::RefCell::new(0));
+        let hits = Arc::new(AtomicUsize::new(0));
         for name in ["i1", "i2"] {
             let hits = hits.clone();
             eng.add_rule(Rule::integrity(
                 name,
                 EventPattern::db(DbEventKind::GetSchema),
-                Rc::new(move |_, _| {
-                    *hits.borrow_mut() += 1;
+                Arc::new(move |_, _| {
+                    hits.fetch_add(1, Ordering::Relaxed);
                     vec![]
                 }),
             ))
             .unwrap();
         }
         let out = eng.dispatch(get_schema(), &session()).unwrap();
-        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
         assert_eq!(out.customizations, vec!["payload"]);
         assert_eq!(out.fired.len(), 3);
     }
@@ -1408,7 +1894,7 @@ mod tests {
             event: EventPattern::db(DbEventKind::GetSchema),
             context: ContextPattern::any(),
             guard: None,
-            action: Rc::new(Action::Raise(vec![Event::Db(DbEvent::GetClass {
+            action: Arc::new(Action::Raise(vec![Event::Db(DbEvent::GetClass {
                 schema: "phone_net".into(),
                 class: "Pole".into(),
             })])),
@@ -1443,7 +1929,7 @@ mod tests {
             },
             context: ContextPattern::any(),
             guard: None,
-            action: Rc::new(Action::Raise(vec![Event::external("ping")])),
+            action: Arc::new(Action::Raise(vec![Event::external("ping")])),
             group: RuleGroup::Other,
             coupling: crate::rule::Coupling::Immediate,
             priority: 0,
@@ -1590,20 +2076,103 @@ mod tests {
     }
 
     #[test]
+    fn bounded_cache_evicts_generationally() {
+        let mut eng: Engine<&str> = Engine::with_config(EngineConfig {
+            winner_cache_capacity: 8,
+            ..Default::default()
+        });
+        eng.add_rule(cust("a", ContextPattern::any(), "a")).unwrap();
+
+        // 20 distinct users: the cache must stay bounded at capacity.
+        for i in 0..20 {
+            let ctx = SessionContext::new(format!("u{i}"), "c", "app");
+            eng.dispatch(get_schema(), &ctx).unwrap();
+        }
+        let stats = eng.cache_stats();
+        assert_eq!(stats.misses, 20);
+        assert_eq!(stats.entries, 8, "hot + cold segments hold capacity");
+        // Segment rotations: inserts 5, 9, 13 and 17 rotate; the last
+        // three each drop a full 4-entry cold segment.
+        assert_eq!(stats.evictions, 12);
+
+        // The most recent user sits in the hot segment.
+        let recent = SessionContext::new("u19", "c", "app");
+        eng.dispatch(get_schema(), &recent).unwrap();
+        assert_eq!(eng.cache_stats().hits, 1);
+        // A mid-age user sits in the cold segment: hit + promotion, the
+        // total entry count does not change.
+        let mid = SessionContext::new("u13", "c", "app");
+        eng.dispatch(get_schema(), &mid).unwrap();
+        let stats = eng.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 8);
+    }
+
+    #[test]
+    fn hybrid_threshold_matches_pure_index() {
+        // 24 rules (> default threshold) dispatched under a forced-index
+        // configuration and a forced-scan configuration must agree, and
+        // the winner cache works in both.
+        let build = |threshold: usize| {
+            let mut eng: Engine<String> = Engine::with_config(EngineConfig {
+                hybrid_linear_threshold: threshold,
+                ..Default::default()
+            });
+            for i in 0..12 {
+                eng.add_rule(Rule::customization(
+                    format!("ext{i}"),
+                    EventPattern::External {
+                        name: Some(format!("e{i}")),
+                    },
+                    ContextPattern::any(),
+                    format!("p{i}"),
+                ))
+                .unwrap();
+                eng.add_rule(Rule::customization(
+                    format!("user{i}"),
+                    EventPattern::db(DbEventKind::GetSchema),
+                    ContextPattern::for_user(format!("u{i}")),
+                    format!("q{i}"),
+                ))
+                .unwrap();
+            }
+            eng
+        };
+        let mut indexed = build(0);
+        let mut scanned = build(1000);
+        assert!(indexed.len() > 16);
+
+        for round in 0..2 {
+            for i in 0..12 {
+                let ctx = SessionContext::new(format!("u{i}"), "c", "app");
+                for event in [get_schema(), Event::external(format!("e{i}"))] {
+                    let a = indexed.dispatch(event.clone(), &ctx).unwrap();
+                    let b = scanned.dispatch(event.clone(), &ctx).unwrap();
+                    assert_eq!(a.customizations, b.customizations, "round {round}");
+                    assert_eq!(a.fired_names(), b.fired_names());
+                }
+            }
+        }
+        // Both variants served round 2 from their winner caches.
+        assert!(indexed.cache_stats().hits >= 24);
+        assert!(scanned.cache_stats().hits >= 24);
+    }
+
+    #[test]
     fn guarded_rules_bypass_the_cache() {
-        let flag = Rc::new(std::cell::Cell::new(true));
+        let flag = Arc::new(AtomicBool::new(true));
         let f = flag.clone();
         let mut eng: Engine<&str> = Engine::new();
         eng.add_rule(
             cust("guarded", ContextPattern::any(), "guarded")
-                .with_guard(Rc::new(move |_, _| f.get())),
+                .with_guard(Arc::new(move |_, _| f.load(Ordering::Relaxed))),
         )
         .unwrap();
 
         let out = eng.dispatch(get_schema(), &session()).unwrap();
         assert_eq!(out.customizations, vec!["guarded"]);
         // Flip the guard's state: a cached winner would go stale here.
-        flag.set(false);
+        flag.store(false, Ordering::Relaxed);
         let out = eng.dispatch(get_schema(), &session()).unwrap();
         assert!(out.customizations.is_empty());
         let stats = eng.cache_stats();
@@ -1673,7 +2242,7 @@ mod tests {
             )
             .unwrap();
             eng.add_rule(
-                Rule::integrity("audit", EventPattern::Any, Rc::new(|_, _| vec![]))
+                Rule::integrity("audit", EventPattern::Any, Arc::new(|_, _| vec![]))
                     .with_priority(-1),
             )
             .unwrap();
@@ -1735,13 +2304,182 @@ mod tests {
 }
 
 #[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use crate::context::ContextPattern;
+    use geodb::query::DbEvent;
+
+    fn get_schema() -> Event {
+        Event::Db(DbEvent::GetSchema {
+            schema: "phone_net".into(),
+        })
+    }
+
+    fn session() -> SessionContext {
+        SessionContext::new("juliano", "planner", "pole_manager")
+    }
+
+    fn cust(name: &str, ctx: ContextPattern, payload: &'static str) -> Rule<&'static str> {
+        Rule::customization(name, EventPattern::db(DbEventKind::GetSchema), ctx, payload)
+    }
+
+    #[test]
+    fn engine_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuleBase<&'static str>>();
+        assert_send_sync::<Engine<&'static str>>();
+        assert_send_sync::<Rule<&'static str>>();
+        assert_send_sync::<Outcome<&'static str>>();
+        assert_send_sync::<ActiveError>();
+    }
+
+    #[test]
+    fn sessions_share_the_rule_base() {
+        let mut writer: Engine<&str> = Engine::new();
+        writer
+            .add_rule(cust("a", ContextPattern::any(), "a"))
+            .unwrap();
+        let mut reader = writer.session();
+        let out = reader.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["a"]);
+
+        // A mutation in one session is visible to the other at its next
+        // dispatch (auto-sync).
+        writer
+            .add_rule(cust("b", ContextPattern::for_user("juliano"), "b"))
+            .unwrap();
+        let out = reader.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["b"]);
+        assert_eq!(reader.len(), 2);
+    }
+
+    #[test]
+    fn pinned_sessions_resync_explicitly() {
+        let mut writer: Engine<&str> = Engine::new();
+        writer
+            .add_rule(cust("a", ContextPattern::any(), "a"))
+            .unwrap();
+        let mut reader = writer.session();
+        reader.set_auto_sync(false);
+        reader.dispatch(get_schema(), &session()).unwrap();
+
+        writer
+            .add_rule(cust("b", ContextPattern::for_user("juliano"), "b"))
+            .unwrap();
+        // Pinned: the reader still dispatches against its old snapshot.
+        let out = reader.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["a"]);
+        assert_eq!(reader.len(), 1);
+        // Until it syncs.
+        reader.sync();
+        let out = reader.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["b"]);
+
+        // sync_with adopts another handle's exact snapshot.
+        let mut twin = writer.session();
+        twin.set_auto_sync(false);
+        twin.sync_with(&reader);
+        assert_eq!(twin.len(), reader.len());
+        let out = twin.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["b"]);
+    }
+
+    #[test]
+    fn parallel_sessions_dispatch_concurrently() {
+        let mut seed: Engine<&str> = Engine::new();
+        seed.add_rule(cust("generic", ContextPattern::any(), "generic"))
+            .unwrap();
+        seed.add_rule(cust("by_user", ContextPattern::for_user("u3"), "u3"))
+            .unwrap();
+        let base = seed.rule_base();
+
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let base = base.clone();
+                std::thread::spawn(move || {
+                    let mut eng = base.session();
+                    let ctx = SessionContext::new(format!("u{t}"), "c", "app");
+                    let mut firsts = Vec::new();
+                    for _ in 0..50 {
+                        let out = eng.dispatch(get_schema(), &ctx).unwrap();
+                        firsts.push(out.customizations[0]);
+                    }
+                    (t, firsts, eng.dispatches())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (t, firsts, dispatches) = h.join().unwrap();
+            let want = if t == 3 { "u3" } else { "generic" };
+            assert!(firsts.iter().all(|&p| p == want), "thread {t}");
+            assert_eq!(dispatches, 50);
+        }
+        assert_eq!(base.total_dispatches(), 200);
+    }
+
+    #[test]
+    fn quarantine_is_shared_across_sessions() {
+        let mut victim: Engine<&str> = Engine::new();
+        victim
+            .add_rule(Rule::integrity(
+                "bomb",
+                EventPattern::db(DbEventKind::GetSchema),
+                Arc::new(|_, _| panic!("boom")),
+            ))
+            .unwrap();
+        victim
+            .add_rule(cust("ok", ContextPattern::any(), "ok"))
+            .unwrap();
+        let mut bystander = victim.session();
+
+        // Three consecutive faults trip the breaker (default threshold).
+        for _ in 0..3 {
+            let out = victim.dispatch(get_schema(), &session()).unwrap();
+            assert_eq!(out.faults.len(), 1);
+        }
+        assert_eq!(victim.quarantined(), vec!["bomb"]);
+        assert_eq!(victim.rule_faults(), 3);
+
+        // The other session observes the quarantine: clean dispatch.
+        let out = bystander.dispatch(get_schema(), &session()).unwrap();
+        assert!(out.faults.is_empty());
+        assert_eq!(out.customizations, vec!["ok"]);
+        assert_eq!(bystander.quarantined(), vec!["bomb"]);
+        assert_eq!(bystander.rule_base().quarantined_count(), 1);
+
+        // Clearing from either session restores the rule everywhere.
+        bystander.clear_quarantine("bomb").unwrap();
+        assert!(
+            victim.quarantined().is_empty() || {
+                victim.sync();
+                victim.quarantined().is_empty()
+            }
+        );
+        let out = victim.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.faults.len(), 1, "rule participates again");
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let mut eng: Engine<&str> = Engine::new();
+        let g0 = eng.rules_generation();
+        eng.add_rule(cust("a", ContextPattern::any(), "a")).unwrap();
+        let g1 = eng.rules_generation();
+        assert!(g1 > g0);
+        // A no-op prefix removal does not bump the epoch.
+        assert_eq!(eng.remove_rules_with_prefix("nope/"), 0);
+        assert_eq!(eng.rules_generation(), g1);
+        eng.set_enabled("a", false).unwrap();
+        assert!(eng.rules_generation() > g1);
+    }
+}
+
+#[cfg(test)]
 mod coupling_tests {
     use super::*;
     use crate::context::ContextPattern;
     use crate::rule::Coupling;
     use geodb::query::DbEvent;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     fn insert_event(n: u64) -> Event {
         Event::Db(DbEvent::Insert {
@@ -1758,14 +2496,14 @@ mod coupling_tests {
     #[test]
     fn deferred_rules_queue_until_flush() {
         let mut eng: Engine<&str> = Engine::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let log2 = log.clone();
         eng.add_rule(
             Rule::integrity(
                 "batch_check",
                 EventPattern::db(DbEventKind::Insert),
-                Rc::new(move |e, _| {
-                    log2.borrow_mut().push(e.describe());
+                Arc::new(move |e, _| {
+                    log2.lock().unwrap().push(e.describe());
                     vec![]
                 }),
             )
@@ -1779,13 +2517,13 @@ mod coupling_tests {
             let out = eng.dispatch(insert_event(i), &ctx()).unwrap();
             assert_eq!(out.fired.len(), 1);
         }
-        assert!(log.borrow().is_empty());
+        assert!(log.lock().unwrap().is_empty());
         assert_eq!(eng.pending_deferred(), 3);
 
         // Flush = "end of transaction": all three checks run.
         let out = eng.flush_deferred().unwrap();
         assert_eq!(out.fired.len(), 3);
-        assert_eq!(log.borrow().len(), 3);
+        assert_eq!(log.lock().unwrap().len(), 3);
         assert_eq!(eng.pending_deferred(), 0);
         // Flushing again is a no-op.
         assert!(eng.flush_deferred().unwrap().fired.is_empty());
@@ -1794,14 +2532,14 @@ mod coupling_tests {
     #[test]
     fn clear_deferred_discards_queued_work() {
         let mut eng: Engine<&str> = Engine::new();
-        let hits = Rc::new(RefCell::new(0));
+        let hits = Arc::new(AtomicUsize::new(0));
         let hits2 = hits.clone();
         eng.add_rule(
             Rule::integrity(
                 "check",
                 EventPattern::db(DbEventKind::Insert),
-                Rc::new(move |_, _| {
-                    *hits2.borrow_mut() += 1;
+                Arc::new(move |_, _| {
+                    hits2.fetch_add(1, Ordering::Relaxed);
                     vec![]
                 }),
             )
@@ -1812,7 +2550,7 @@ mod coupling_tests {
         assert_eq!(eng.pending_deferred(), 1);
         eng.clear_deferred();
         eng.flush_deferred().unwrap();
-        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -1825,7 +2563,7 @@ mod coupling_tests {
             event: EventPattern::db(DbEventKind::Insert),
             context: ContextPattern::any(),
             guard: None,
-            action: Rc::new(Action::Raise(vec![Event::external("recheck")])),
+            action: Arc::new(Action::Raise(vec![Event::external("recheck")])),
             group: RuleGroup::Other,
             coupling: Coupling::Deferred,
             priority: 0,

@@ -61,7 +61,7 @@ pub use conflict::{analyze, Finding};
 pub use context::{ContextPattern, SessionContext};
 pub use engine::{
     ActiveError, CacheStats, DispatchStrategy, Engine, EngineConfig, FaultPolicy, FaultRecord,
-    Outcome, RuleHealth, SelectionPolicy, CASCADE_PSEUDO_RULE,
+    Outcome, RuleBase, RuleHealth, SelectionPolicy, CASCADE_PSEUDO_RULE,
 };
 pub use event::{Event, EventPattern};
 pub use rule::{Action, Callback, Coupling, Guard, Rule, RuleGroup};

@@ -14,17 +14,19 @@
 //! not require a special purpose active mechanism, but have only
 //! introduced a new type of rules and events".
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::context::{ContextPattern, SessionContext};
 use crate::event::{Event, EventPattern};
 
 /// Native guard evaluated after event/context matching (the paper's
-/// database-state conditions for non-customization rules).
-pub type Guard = Rc<dyn Fn(&Event, &SessionContext) -> bool>;
+/// database-state conditions for non-customization rules). `Send + Sync`
+/// so rules can live in a shared snapshot dispatched from many sessions
+/// concurrently (see `docs/scaling.md`).
+pub type Guard = Arc<dyn Fn(&Event, &SessionContext) -> bool + Send + Sync>;
 
 /// Native callback action; may raise follow-up events.
-pub type Callback = Rc<dyn Fn(&Event, &SessionContext) -> Vec<Event>>;
+pub type Callback = Arc<dyn Fn(&Event, &SessionContext) -> Vec<Event> + Send + Sync>;
 
 /// The Action part of a rule.
 #[derive(Clone)]
@@ -87,7 +89,7 @@ pub struct Rule<P> {
     /// Optional extra guard beyond the context check.
     pub guard: Option<Guard>,
     /// Shared so firing clones a pointer, not an action tree.
-    pub action: Rc<Action<P>>,
+    pub action: Arc<Action<P>>,
     pub group: RuleGroup,
     pub coupling: Coupling,
     /// Designer-assigned tiebreaker among equally specific rules.
@@ -108,7 +110,7 @@ impl<P> Rule<P> {
             event,
             context,
             guard: None,
-            action: Rc::new(Action::Customize(payload)),
+            action: Arc::new(Action::Customize(payload)),
             group: RuleGroup::Customization,
             coupling: Coupling::Immediate,
             priority: 0,
@@ -123,7 +125,7 @@ impl<P> Rule<P> {
             event,
             context: ContextPattern::any(),
             guard: None,
-            action: Rc::new(Action::Callback(callback)),
+            action: Arc::new(Action::Callback(callback)),
             group: RuleGroup::Integrity,
             coupling: Coupling::Immediate,
             priority: 0,
@@ -228,7 +230,7 @@ mod tests {
     #[test]
     fn guard_is_consulted() {
         let r: Rule<&str> = Rule::customization("r", EventPattern::Any, ContextPattern::any(), "p")
-            .with_guard(Rc::new(|e, _| matches!(e, Event::Db(_))));
+            .with_guard(Arc::new(|e, _| matches!(e, Event::Db(_))));
         assert!(r.matches(&ev(), &ctx()));
         assert!(!r.matches(&Event::external("tick"), &ctx()));
     }

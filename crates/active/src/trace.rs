@@ -131,7 +131,7 @@ mod tests {
             event: EventPattern::db(DbEventKind::GetSchema),
             context: ContextPattern::any(),
             guard: None,
-            action: std::rc::Rc::new(Action::Raise(vec![Event::Db(DbEvent::GetClass {
+            action: std::sync::Arc::new(Action::Raise(vec![Event::Db(DbEvent::GetClass {
                 schema: "phone_net".into(),
                 class: "Pole".into(),
             })])),

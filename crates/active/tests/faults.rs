@@ -12,7 +12,7 @@ use active::{
     EventPattern, FaultPolicy, Rule, RuleGroup, SessionContext,
 };
 use geodb::query::{DbEvent, DbEventKind};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Serialize tests (global failpoint registry) and silence the default
@@ -53,7 +53,7 @@ fn panicking_rule(name: &str) -> Rule<&'static str> {
     Rule::integrity(
         name,
         EventPattern::db(DbEventKind::GetSchema),
-        Rc::new(|_, _| panic!("boom in callback")),
+        Arc::new(|_, _| panic!("boom in callback")),
     )
 }
 
@@ -87,7 +87,7 @@ fn injected_callback_error_is_reported_with_failpoint_name() {
     eng.add_rule(Rule::integrity(
         "probe",
         EventPattern::db(DbEventKind::GetSchema),
-        Rc::new(|_, _| vec![]),
+        Arc::new(|_, _| vec![]),
     ))
     .unwrap();
 
@@ -111,7 +111,7 @@ fn fail_closed_aborts_and_rolls_back_deferred_queue() {
         Rule::integrity(
             "audit",
             EventPattern::db(DbEventKind::GetSchema),
-            Rc::new(|_, _| vec![]),
+            Arc::new(|_, _| vec![]),
         )
         .with_coupling(Coupling::Deferred)
         .with_priority(10),
@@ -141,13 +141,13 @@ fn quarantine_trips_after_threshold_and_can_be_cleared() {
     };
     let mut eng: Engine<&str> = Engine::with_config(cfg);
     eng.add_rule(cust_rule("c", "payload")).unwrap();
-    let calls = Rc::new(std::cell::Cell::new(0u32));
+    let calls = Arc::new(std::sync::atomic::AtomicU32::new(0));
     let seen = calls.clone();
     eng.add_rule(Rule::integrity(
         "flaky",
         EventPattern::db(DbEventKind::GetSchema),
-        Rc::new(move |_, _| {
-            seen.set(seen.get() + 1);
+        Arc::new(move |_, _| {
+            seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             panic!("flaky fault")
         }),
     ))
@@ -158,7 +158,7 @@ fn quarantine_trips_after_threshold_and_can_be_cleared() {
         let out = eng.dispatch(get_schema(), &session()).unwrap();
         assert_eq!(out.customizations, vec!["payload"]);
     }
-    assert_eq!(calls.get(), 3);
+    assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 3);
     assert_eq!(eng.quarantined(), vec!["flaky"]);
     assert!(eng.rule_health("flaky").unwrap().quarantined);
     assert_eq!(eng.rule_faults(), 3);
@@ -166,14 +166,14 @@ fn quarantine_trips_after_threshold_and_can_be_cleared() {
     // Quarantined: the rule no longer matches; the callback stays cold
     // and the customized interface keeps working.
     let out = eng.dispatch(get_schema(), &session()).unwrap();
-    assert_eq!(calls.get(), 3);
+    assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 3);
     assert!(out.faults.is_empty());
     assert_eq!(out.customizations, vec!["payload"]);
 
     eng.clear_quarantine("flaky").unwrap();
     assert!(eng.quarantined().is_empty());
     let out = eng.dispatch(get_schema(), &session()).unwrap();
-    assert_eq!(calls.get(), 4);
+    assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 4);
     assert_eq!(out.faults.len(), 1);
     assert_eq!(out.customizations, vec!["payload"]);
 }
@@ -186,7 +186,7 @@ fn cascade_failpoint_fail_open_drops_event_fail_closed_aborts() {
         event: EventPattern::db(DbEventKind::GetSchema),
         context: ContextPattern::any(),
         guard: None,
-        action: Rc::new(Action::Raise(vec![Event::Db(DbEvent::GetClass {
+        action: Arc::new(Action::Raise(vec![Event::Db(DbEvent::GetClass {
             schema: "phone_net".into(),
             class: "Pole".into(),
         })])),
@@ -249,7 +249,7 @@ fn deferred_fault_is_contained_at_flush() {
         Rule::integrity(
             "deferred_bad",
             EventPattern::db(DbEventKind::GetSchema),
-            Rc::new(|_, _| panic!("deferred boom")),
+            Arc::new(|_, _| panic!("deferred boom")),
         )
         .with_coupling(Coupling::Deferred),
     )
@@ -285,7 +285,7 @@ fn cascade_overflow_leaves_consistent_state() {
             },
             context: ContextPattern::any(),
             guard: None,
-            action: Rc::new(Action::Raise(vec![Event::external("ping")])),
+            action: Arc::new(Action::Raise(vec![Event::external("ping")])),
             group: RuleGroup::Other,
             coupling: Coupling::Immediate,
             priority: 0,
@@ -300,7 +300,7 @@ fn cascade_overflow_leaves_consistent_state() {
                 EventPattern::External {
                     name: Some("ping".into()),
                 },
-                Rc::new(|_, _| vec![]),
+                Arc::new(|_, _| vec![]),
             )
             .with_coupling(Coupling::Deferred),
         )

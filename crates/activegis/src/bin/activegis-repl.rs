@@ -189,8 +189,8 @@ impl Repl {
             [":cache"] => {
                 let s = self.gis.dispatch_cache_stats();
                 println!(
-                    "winner cache: {} hits, {} misses, {} invalidations, {} entries",
-                    s.hits, s.misses, s.invalidations, s.entries
+                    "winner cache: {} hits, {} misses, {} invalidations, {} evictions, {} entries",
+                    s.hits, s.misses, s.invalidations, s.evictions, s.entries
                 );
             }
             [":faults"] => {

@@ -41,14 +41,16 @@
 //! assert_eq!(windows.len(), 1);
 //! ```
 
+pub mod server;
 pub mod system;
 
+pub use server::{ServerSession, SessionServer};
 pub use system::ActiveGis;
 
 // One-stop re-exports so applications can depend on `activegis` alone.
 pub use active::{
     CacheStats, ContextPattern, DispatchStrategy, Engine, Event, EventPattern, FaultPolicy,
-    FaultRecord, Rule, RuleGroup, RuleHealth, SelectionPolicy, SessionContext,
+    FaultRecord, Rule, RuleBase, RuleGroup, RuleHealth, SelectionPolicy, SessionContext,
 };
 pub use builder::{BuiltWindow, Format, InterfaceBuilder, WindowKind};
 pub use custlang::{

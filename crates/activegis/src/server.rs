@@ -1,0 +1,392 @@
+//! Concurrent multi-session serving.
+//!
+//! The paper interposes the active mechanism between *every* user
+//! interaction and the DBMS; the ROADMAP north star is a deployment that
+//! serves heavy traffic from many users at once. [`SessionServer`] is
+//! that serving layer: a dependency-free worker pool that shards user
+//! sessions across N OS threads and dispatches requests for distinct
+//! sessions in parallel.
+//!
+//! # Shard model
+//!
+//! Each worker thread owns a full [`Dispatcher`] — its own [`Database`]
+//! copy (read workloads; built by the caller's factory) and its own
+//! engine *session* opened from one shared [`RuleBase`]. Rules therefore
+//! exist once, published as immutable copy-on-write snapshots; everything
+//! mutable per dispatch (winner cache, scratch buffers, deferred queue,
+//! window registry) is shard-private, so workers never contend on a lock
+//! in the steady state. Sessions are pinned to a shard round-robin at
+//! open time: all requests of one session execute on one thread in
+//! arrival order, while requests of different sessions proceed in
+//! parallel. See `docs/scaling.md` for the full protocol.
+//!
+//! Rule mutations go through any engine handle of the same rule base
+//! (e.g. the one inside another `Dispatcher`, or a plain
+//! [`RuleBase::session`]); every shard picks the new snapshot up with one
+//! atomic epoch check at its next dispatch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use active::{ActiveError, Outcome, RuleBase, SessionContext};
+use custlang::Customization;
+use geodb::db::Database;
+use geodb::query::DbEvent;
+use gisui::{Dispatcher, SessionId, UiError};
+
+/// A session opened on a [`SessionServer`]: which shard owns it and its
+/// dispatcher-local id there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServerSession {
+    pub shard: usize,
+    pub sid: SessionId,
+}
+
+/// One request unit executed on a shard's worker thread.
+enum Job {
+    Open {
+        context: SessionContext,
+        reply: Sender<SessionId>,
+    },
+    /// Dispatch a batch of database events for one session, replying
+    /// with per-event outcomes. Batching amortizes the queue round-trip
+    /// so the per-request cost is the dispatch itself.
+    Dispatch {
+        sid: SessionId,
+        events: Vec<DbEvent>,
+        reply: Sender<Result<Vec<Outcome<Customization>>, ActiveError>>,
+    },
+    /// Run an arbitrary closure against the shard's dispatcher (window
+    /// operations, program installs, introspection).
+    Exec(Box<dyn FnOnce(&mut Dispatcher) + Send>),
+    Shutdown,
+}
+
+/// A shard's work queue: jobs execute on the owning worker in FIFO
+/// order.
+#[derive(Default)]
+struct ShardQueue {
+    jobs: Mutex<Vec<Job>>,
+    ready: Condvar,
+}
+
+impl ShardQueue {
+    fn push(&self, job: Job) {
+        self.jobs.lock().unwrap().push(job);
+        self.ready.notify_one();
+    }
+
+    fn pop_all(&self) -> Vec<Job> {
+        let mut jobs = self.jobs.lock().unwrap();
+        while jobs.is_empty() {
+            jobs = self.ready.wait(jobs).unwrap();
+        }
+        std::mem::take(&mut *jobs)
+    }
+}
+
+/// The concurrent serving layer: N worker threads, one dispatcher and
+/// one work queue per shard, sessions pinned to shards round-robin.
+pub struct SessionServer {
+    queues: Vec<Arc<ShardQueue>>,
+    workers: Vec<JoinHandle<()>>,
+    rule_base: RuleBase<Customization>,
+    sessions: Mutex<HashMap<u64, ServerSession>>,
+    next_session: AtomicU64,
+    next_shard: AtomicU64,
+}
+
+impl SessionServer {
+    /// Start `workers` shard threads. `make_db` builds each shard's
+    /// database copy (called once per shard, on the caller's thread);
+    /// every shard opens an engine session over `rule_base`.
+    pub fn start(
+        workers: usize,
+        rule_base: RuleBase<Customization>,
+        mut make_db: impl FnMut(usize) -> Database,
+    ) -> SessionServer {
+        let workers_n = workers.max(1);
+        let mut queues = Vec::with_capacity(workers_n);
+        let mut handles = Vec::with_capacity(workers_n);
+        for shard in 0..workers_n {
+            let queue = Arc::new(ShardQueue::default());
+            let mut dispatcher = Dispatcher::with_engine(
+                make_db(shard),
+                builder::InterfaceBuilder::with_paper_library(),
+                rule_base.session(),
+            );
+            let worker_queue = Arc::clone(&queue);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gis-shard-{shard}"))
+                    .spawn(move || worker_loop(&worker_queue, &mut dispatcher))
+                    .expect("spawn shard worker"),
+            );
+            queues.push(queue);
+        }
+        SessionServer {
+            queues,
+            workers: handles,
+            rule_base,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            next_shard: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shard threads.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The shared rule base every shard dispatches against.
+    pub fn rule_base(&self) -> &RuleBase<Customization> {
+        &self.rule_base
+    }
+
+    /// Open a session for a user context; it is pinned to a shard
+    /// round-robin and all its requests run there, in order.
+    pub fn open_session(&self, context: SessionContext) -> ServerSession {
+        let shard = (self.next_shard.fetch_add(1, Ordering::Relaxed) as usize) % self.queues.len();
+        let (tx, rx) = channel();
+        self.queues[shard].push(Job::Open { context, reply: tx });
+        let sid = rx.recv().expect("shard worker alive");
+        let session = ServerSession { shard, sid };
+        let key = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().unwrap().insert(key, session);
+        session
+    }
+
+    /// Dispatch one database event for a session and wait for the
+    /// outcome.
+    pub fn dispatch(
+        &self,
+        session: ServerSession,
+        event: DbEvent,
+    ) -> Result<Outcome<Customization>, ActiveError> {
+        Ok(self
+            .dispatch_batch(session, vec![event])?
+            .pop()
+            .expect("one outcome per event"))
+    }
+
+    /// Dispatch a batch of database events for one session (one queue
+    /// round-trip, outcomes in order). The batch is the serving layer's
+    /// unit of work; `c5_throughput` drives these.
+    pub fn dispatch_batch(
+        &self,
+        session: ServerSession,
+        events: Vec<DbEvent>,
+    ) -> Result<Vec<Outcome<Customization>>, ActiveError> {
+        let (tx, rx) = channel();
+        self.queues[session.shard].push(Job::Dispatch {
+            sid: session.sid,
+            events,
+            reply: tx,
+        });
+        rx.recv().expect("shard worker alive")
+    }
+
+    /// Run a closure on a session's shard against its dispatcher and
+    /// wait for the result — the escape hatch for full-UI requests
+    /// (window opens, renders, program installs on that shard).
+    pub fn with_dispatcher<R: Send + 'static>(
+        &self,
+        session: ServerSession,
+        f: impl FnOnce(&mut Dispatcher) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = channel();
+        self.queues[session.shard].push(Job::Exec(Box::new(move |d| {
+            let _ = tx.send(f(d));
+        })));
+        rx.recv().expect("shard worker alive")
+    }
+
+    /// Install a customization program on every shard's dispatcher.
+    /// Rules land in the shared rule base once per distinct name; the
+    /// per-shard install also primes shard-local compiler state. Returns
+    /// the rule count reported by the first shard.
+    pub fn install_program(&self, source: &str, prefix: &str) -> Result<usize, UiError> {
+        let mut first: Option<usize> = None;
+        for shard in 0..self.queues.len() {
+            let (tx, rx) = channel();
+            let src = source.to_string();
+            let pfx = prefix.to_string();
+            self.queues[shard].push(Job::Exec(Box::new(move |d| {
+                let _ = tx.send(d.install_program(&src, &pfx));
+            })));
+            let n = rx.recv().expect("shard worker alive")?;
+            first.get_or_insert(n);
+        }
+        Ok(first.unwrap_or(0))
+    }
+}
+
+impl Drop for SessionServer {
+    fn drop(&mut self) {
+        for q in &self.queues {
+            q.push(Job::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &ShardQueue, dispatcher: &mut Dispatcher) {
+    loop {
+        for job in queue.pop_all() {
+            match job {
+                Job::Open { context, reply } => {
+                    let _ = reply.send(dispatcher.open_session(context));
+                }
+                Job::Dispatch { sid, events, reply } => {
+                    let mut outcomes = Vec::with_capacity(events.len());
+                    let mut failed = None;
+                    for event in events {
+                        match dispatcher.dispatch_db(sid, event) {
+                            Ok(o) => outcomes.push(o),
+                            Err(UiError::Active(e)) => {
+                                failed = Some(e);
+                                break;
+                            }
+                            Err(other) => {
+                                failed = Some(ActiveError::UnknownRule(other.to_string()));
+                                break;
+                            }
+                        }
+                    }
+                    let _ = reply.send(match failed {
+                        Some(e) => Err(e),
+                        None => Ok(outcomes),
+                    });
+                }
+                Job::Exec(f) => f(dispatcher),
+                Job::Shutdown => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use active::Engine;
+    use custlang::FIG6_PROGRAM;
+    use geodb::gen::TelecomConfig;
+
+    fn server(workers: usize) -> SessionServer {
+        let engine: Engine<Customization> = Engine::new();
+        let base = engine.rule_base();
+        SessionServer::start(workers, base, |_| {
+            geodb::gen::phone_net_db(&TelecomConfig::small()).unwrap().0
+        })
+    }
+
+    #[test]
+    fn server_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SessionServer>();
+        fn assert_send<T: Send>() {}
+        assert_send::<Dispatcher>();
+    }
+
+    #[test]
+    fn sessions_shard_round_robin_and_dispatch() {
+        let server = server(2);
+        server.install_program(FIG6_PROGRAM, "fig6").unwrap();
+
+        let a = server.open_session(SessionContext::new("juliano", "planner", "pole_manager"));
+        let b = server.open_session(SessionContext::new("guest", "visitor", "browse"));
+        assert_ne!(a.shard, b.shard, "round-robin placement");
+
+        let event = DbEvent::GetClass {
+            schema: "phone_net".into(),
+            class: "Pole".into(),
+        };
+        // Juliano's Fig. 6 rules customize Pole; the guest gets generic.
+        let out = server.dispatch(a, event.clone()).unwrap();
+        assert!(!out.customizations.is_empty());
+        let out = server.dispatch(b, event).unwrap();
+        assert!(out.customizations.is_empty());
+    }
+
+    #[test]
+    fn rule_mutations_propagate_to_every_shard() {
+        let server = server(2);
+        let mut writer = server.rule_base().session();
+        let a = server.open_session(SessionContext::new("u1", "c", "app"));
+        let b = server.open_session(SessionContext::new("u2", "c", "app"));
+        let event = DbEvent::GetSchema {
+            schema: "phone_net".into(),
+        };
+
+        assert!(server.dispatch(a, event.clone()).unwrap().fired.is_empty());
+        writer
+            .add_rule(active::Rule::customization(
+                "everywhere",
+                active::EventPattern::db(geodb::query::DbEventKind::GetSchema),
+                active::ContextPattern::any(),
+                Customization::SchemaWindow {
+                    schema: "phone_net".into(),
+                    mode: custlang::SchemaMode::Default,
+                    classes: vec![],
+                },
+            ))
+            .unwrap();
+        // Both shards see the new snapshot at their next dispatch.
+        assert_eq!(
+            server.dispatch(a, event.clone()).unwrap().fired_names(),
+            vec!["everywhere"]
+        );
+        assert_eq!(
+            server.dispatch(b, event).unwrap().fired_names(),
+            vec!["everywhere"]
+        );
+    }
+
+    #[test]
+    fn parallel_clients_on_distinct_sessions() {
+        let server = Arc::new(server(4));
+        server.install_program(FIG6_PROGRAM, "fig6").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let session = server.open_session(SessionContext::new(
+                        format!("user{t}"),
+                        "planner",
+                        "pole_manager",
+                    ));
+                    let events: Vec<DbEvent> = (0..50)
+                        .map(|_| DbEvent::GetClass {
+                            schema: "phone_net".into(),
+                            class: "Pole".into(),
+                        })
+                        .collect();
+                    let outcomes = server.dispatch_batch(session, events).unwrap();
+                    assert_eq!(outcomes.len(), 50);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.rule_base().total_dispatches(), 200);
+    }
+
+    #[test]
+    fn full_ui_requests_run_on_the_owning_shard() {
+        let server = server(2);
+        server.install_program(FIG6_PROGRAM, "fig6").unwrap();
+        let s = server.open_session(SessionContext::new("juliano", "planner", "pole_manager"));
+        let rendered = server.with_dispatcher(s, move |d| {
+            let windows = d.open_schema(s.sid, "phone_net").unwrap();
+            d.render(*windows.last().unwrap()).unwrap()
+        });
+        assert!(rendered.contains("Class: Pole"));
+    }
+}

@@ -17,7 +17,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use active::{
@@ -195,7 +195,7 @@ fn scenario_rows(
                     ContextPattern::any(),
                     usize::MAX,
                 )
-                .with_guard(Rc::new(|_, _| false)),
+                .with_guard(Arc::new(|_, _| false)),
             )
             .unwrap();
 
@@ -230,9 +230,17 @@ fn scenario_rows(
             "hot variant was not cache-hot: {stats:?}"
         );
 
+        // Which matching arm the hybrid picks for this population size
+        // (sentinel included): at or below the threshold the index is
+        // skipped and the cold path IS the linear scan.
+        let arm = if n < EngineConfig::default().hybrid_linear_threshold {
+            "scan"
+        } else {
+            "index"
+        };
         eprintln!(
-            "[c1 strategy/{scenario}] {n:>6} rules: linear {linear_ns:>12.1} ns, indexed \
-             {indexed_ns:>12.1} ns ({:>6.1}x), cache-hot {hot_ns:>10.1} ns ({:>6.1}x)",
+            "[c1 strategy/{scenario}] {n:>6} rules: linear {linear_ns:>12.1} ns, cold indexed \
+             ({arm}) {indexed_ns:>12.1} ns ({:>6.2}x), cache-hot {hot_ns:>10.1} ns ({:>6.1}x)",
             linear_ns / indexed_ns,
             linear_ns / hot_ns,
         );
@@ -243,6 +251,7 @@ fn scenario_rows(
                 serde_json::Value::String(scenario.into()),
             ),
             ("rules".into(), serde_json::Value::U64(n as u64)),
+            ("arm".into(), serde_json::Value::String(arm.into())),
             ("linear_ns".into(), serde_json::Value::F64(linear_ns)),
             ("indexed_ns".into(), serde_json::Value::F64(indexed_ns)),
             ("indexed_hot_ns".into(), serde_json::Value::F64(hot_ns)),

@@ -1,0 +1,213 @@
+//! # c5 — concurrent serving throughput
+//!
+//! The scaling claim behind the `SessionServer` tentpole: M concurrent
+//! sessions each replay a cache-hot Get_Class / Get_Value interaction
+//! loop against the paper's phone_net database, and we measure aggregate
+//! requests/sec as the shard-thread count grows (1, 2, 4, 8).
+//!
+//! Sessions are pinned round-robin, so with T shards the M client
+//! threads fan their batches out over T independent dispatchers that
+//! share one copy-on-write rule snapshot. Steady state does no locking
+//! on the read path; scaling is bounded only by the hardware parallelism
+//! actually available, which the summary records honestly as
+//! `available_parallelism` (CI containers are often single-core, where
+//! every thread count necessarily converges to the same requests/sec).
+//!
+//! Writes `BENCH_throughput.json` at the repo root:
+//! requests/sec per thread count, speedup vs 1 thread, and scaling
+//! efficiency (speedup / threads).
+//!
+//! `BENCH_QUICK=1` shrinks the workload for CI smoke runs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use active::{Engine, EngineConfig, SessionContext};
+use activegis::SessionServer;
+use custlang::{Customization, FIG6_PROGRAM};
+use geodb::gen::TelecomConfig;
+use geodb::query::DbEvent;
+use geodb::Oid;
+
+/// Concurrent sessions driven by the client side.
+const SESSIONS: usize = 16;
+
+/// The per-batch interaction loop: alternating Get_Class / Get_Value on
+/// the Pole class — the same touch-a-class, inspect-an-instance rhythm
+/// as the paper's Fig. 7 walkthrough.
+fn batch_events(len: usize) -> Vec<DbEvent> {
+    (0..len)
+        .map(|i| {
+            if i % 2 == 0 {
+                DbEvent::GetClass {
+                    schema: "phone_net".into(),
+                    class: "Pole".into(),
+                }
+            } else {
+                DbEvent::GetValue {
+                    schema: "phone_net".into(),
+                    class: "Pole".into(),
+                    oid: Oid(1 + (i as u64 % 8)),
+                }
+            }
+        })
+        .collect()
+}
+
+struct RunResult {
+    threads: usize,
+    requests: u64,
+    elapsed_s: f64,
+    requests_per_sec: f64,
+}
+
+/// One full measurement at a given shard-thread count.
+fn run(threads: usize, batches_per_session: usize, batch_len: usize) -> RunResult {
+    let engine: Engine<Customization> = Engine::with_config(EngineConfig {
+        tracing: false,
+        ..EngineConfig::default()
+    });
+    let base = engine.rule_base();
+    let cfg = TelecomConfig::small();
+    let server = SessionServer::start(threads, base, |_| {
+        geodb::gen::phone_net_db(&cfg)
+            .expect("demo database builds")
+            .0
+    });
+    server
+        .install_program(FIG6_PROGRAM, "fig6")
+        .expect("Fig. 6 program installs");
+
+    let sessions: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            server.open_session(SessionContext::new(
+                format!("user{i}"),
+                "planner",
+                "pole_manager",
+            ))
+        })
+        .collect();
+
+    // Warm every shard's winner cache so the measurement is cache-hot.
+    for &s in &sessions {
+        server
+            .dispatch_batch(s, batch_events(batch_len.min(16)))
+            .expect("warmup dispatch succeeds");
+    }
+
+    let server = Arc::new(server);
+    let start = Instant::now();
+    let clients: Vec<_> = sessions
+        .into_iter()
+        .map(|session| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                for _ in 0..batches_per_session {
+                    let outcomes = server
+                        .dispatch_batch(session, batch_events(batch_len))
+                        .expect("measured dispatch succeeds");
+                    assert_eq!(outcomes.len(), batch_len);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let requests = (SESSIONS * batches_per_session * batch_len) as u64;
+    RunResult {
+        threads,
+        requests,
+        elapsed_s,
+        requests_per_sec: requests as f64 / elapsed_s,
+    }
+}
+
+fn main() {
+    // Metrics and tracing off: measure the serving layer, not the probes.
+    obs::set_enabled(false);
+
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let (batches_per_session, batch_len) = if quick { (4, 32) } else { (64, 256) };
+    let thread_counts: &[usize] = &[1, 2, 4, 8];
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut results = Vec::new();
+    for &t in thread_counts {
+        let r = run(t, batches_per_session, batch_len);
+        eprintln!(
+            "[c5 throughput] {:>2} threads: {:>9} requests in {:>7.3} s = {:>12.0} req/s",
+            r.threads, r.requests, r.elapsed_s, r.requests_per_sec
+        );
+        results.push(r);
+    }
+
+    let base_rps = results[0].requests_per_sec;
+    let rows: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            let speedup = r.requests_per_sec / base_rps;
+            serde_json::Value::Object(vec![
+                ("threads".into(), serde_json::Value::U64(r.threads as u64)),
+                ("requests".into(), serde_json::Value::U64(r.requests)),
+                ("elapsed_s".into(), serde_json::Value::F64(r.elapsed_s)),
+                (
+                    "requests_per_sec".into(),
+                    serde_json::Value::F64(r.requests_per_sec),
+                ),
+                (
+                    "speedup_vs_1_thread".into(),
+                    serde_json::Value::F64(speedup),
+                ),
+                (
+                    "scaling_efficiency".into(),
+                    serde_json::Value::F64(speedup / r.threads as f64),
+                ),
+            ])
+        })
+        .collect();
+
+    let summary = serde_json::Value::Object(vec![
+        (
+            "benchmark".into(),
+            serde_json::Value::String("c5_throughput".into()),
+        ),
+        (
+            "workload".into(),
+            serde_json::Value::String(
+                "M concurrent sessions, cache-hot Get_Class/Get_Value batches over \
+                 the shared Fig. 6 rule base"
+                    .into(),
+            ),
+        ),
+        ("sessions".into(), serde_json::Value::U64(SESSIONS as u64)),
+        ("batch_len".into(), serde_json::Value::U64(batch_len as u64)),
+        (
+            "batches_per_session".into(),
+            serde_json::Value::U64(batches_per_session as u64),
+        ),
+        ("quick".into(), serde_json::Value::Bool(quick)),
+        (
+            "available_parallelism".into(),
+            serde_json::Value::U64(cores as u64),
+        ),
+        (
+            "note".into(),
+            serde_json::Value::String(
+                "speedup_vs_1_thread is bounded above by available_parallelism; \
+                 on a single-core host all thread counts converge to ~1.0x"
+                    .into(),
+            ),
+        ),
+        ("rows".into(), serde_json::Value::Array(rows)),
+    ]);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    std::fs::write(path, json + "\n").expect("BENCH_throughput.json is writable");
+    eprintln!("[c5 throughput] wrote {path}");
+}

@@ -2,7 +2,7 @@
 //! with the event stream the active mechanism intercepts.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -24,7 +24,7 @@ use crate::value::Value;
 /// instances through the buffer pool), the receiver instance, and
 /// positional arguments — mirroring the paper's
 /// `get_supplier_name(pole_supplier)`.
-pub type MethodFn = Rc<dyn Fn(&mut Database, &Instance, &[Value]) -> Result<Value>>;
+pub type MethodFn = Arc<dyn Fn(&mut Database, &Instance, &[Value]) -> Result<Value> + Send + Sync>;
 
 /// Which spatial access method an extent uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -983,7 +983,7 @@ mod tests {
             "net",
             "Pole",
             "get_supplier_name",
-            Rc::new(|db, inst, _args| {
+            Arc::new(|db, inst, _args| {
                 // The method body navigates the reference through the db.
                 let Value::Ref(supplier_oid) = inst.get("supplier") else {
                     return Ok(Value::Null);
@@ -998,7 +998,12 @@ mod tests {
         assert_eq!(name, Value::Text("Acme".into()));
 
         assert!(db
-            .register_method("net", "Pole", "no_such", Rc::new(|_, _, _| Ok(Value::Null)))
+            .register_method(
+                "net",
+                "Pole",
+                "no_such",
+                Arc::new(|_, _, _| Ok(Value::Null))
+            )
             .is_err());
         assert!(db.call_method(&poles[0], "unregistered", &[]).is_err());
     }

@@ -128,7 +128,7 @@ pub fn register_phone_net_methods(db: &mut Database) -> Result<()> {
         "phone_net",
         "Pole",
         "get_supplier_name",
-        std::rc::Rc::new(|db, inst, _args| {
+        std::sync::Arc::new(|db, inst, _args| {
             let Value::Ref(oid) = inst.get("pole_supplier") else {
                 return Ok(Value::Null);
             };

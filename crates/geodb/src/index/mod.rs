@@ -20,7 +20,7 @@ use crate::geometry::{Point, Rect};
 use crate::instance::Oid;
 
 /// Common interface of the spatial access methods.
-pub trait SpatialIndex {
+pub trait SpatialIndex: Send + Sync {
     /// Insert an object with its bounding rectangle.
     fn insert(&mut self, oid: Oid, bbox: Rect);
 

@@ -14,7 +14,7 @@
 //! built window returns to the screen.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use active::{ActiveError, Engine, Event, SessionContext};
 use builder::{BuildError, InterfaceBuilder, WindowKind};
@@ -141,41 +141,52 @@ impl Dispatcher {
     /// Create a dispatcher over a database, with the generic callbacks
     /// pre-registered.
     pub fn new(db: Database, builder: InterfaceBuilder) -> Dispatcher {
+        Dispatcher::with_engine(db, builder, Engine::new())
+    }
+
+    /// Create a dispatcher around an existing engine handle — the hook
+    /// the concurrent serving layer uses to give every shard its own
+    /// session over one shared rule base (see `docs/scaling.md`).
+    pub fn with_engine(
+        db: Database,
+        builder: InterfaceBuilder,
+        engine: Engine<Customization>,
+    ) -> Dispatcher {
         let mut callbacks = CallbackTable::new();
         // The generic (default) behaviors of the interface: every signal
         // is a request the dispatcher knows how to serve.
         callbacks.register(
             "open_class",
-            Rc::new(|_, ev: &UiEvent| {
+            Arc::new(|_, ev: &UiEvent| {
                 let class = ev.detail.clone().unwrap_or_default();
                 vec![Signal::new("open_class").arg("class", class.trim())]
             }),
         );
         callbacks.register(
             "open_schema",
-            Rc::new(|_, _| vec![Signal::new("open_schema")]),
+            Arc::new(|_, _| vec![Signal::new("open_schema")]),
         );
         callbacks.register(
             "pick_instance",
-            Rc::new(|_, ev: &UiEvent| {
+            Arc::new(|_, ev: &UiEvent| {
                 vec![Signal::new("pick_instance")
                     .arg("detail", ev.detail.clone().unwrap_or_default())]
             }),
         );
         callbacks.register(
             "close_window",
-            Rc::new(|_, _| vec![Signal::new("close_window")]),
+            Arc::new(|_, _| vec![Signal::new("close_window")]),
         );
         for noop in ["zoom", "select_mode", "control_changed"] {
             let name = noop.to_string();
             callbacks.register(
                 noop,
-                Rc::new(move |_, _| vec![Signal::new("status").arg("action", name.clone())]),
+                Arc::new(move |_, _| vec![Signal::new("status").arg("action", name.clone())]),
             );
         }
         Dispatcher {
             db,
-            engine: Engine::new(),
+            engine,
             builder,
             callbacks,
             registry: WindowRegistry::new(),
@@ -384,6 +395,25 @@ impl Dispatcher {
         }
         obs::counter_add("dispatcher.events", events);
         Ok(selected)
+    }
+
+    /// Feed one database event through the active engine for a session
+    /// — the raw request primitive of the concurrent serving layer
+    /// (`Get_Class` / `Get_Value` lookups that need rule selection but
+    /// no window construction). Traces land in the explanation log like
+    /// every other interaction.
+    pub fn dispatch_db(
+        &mut self,
+        sid: SessionId,
+        event: geodb::query::DbEvent,
+    ) -> Result<active::Outcome<Customization>> {
+        let ctx = self.context_of(sid)?;
+        let outcome = self.engine.dispatch(Event::Db(event), &ctx)?;
+        if !outcome.trace.entries.is_empty() {
+            self.explain.push(outcome.trace.clone());
+        }
+        obs::counter_add("dispatcher.events", 1);
+        Ok(outcome)
     }
 
     /// Open the Schema window of a schema (the user "activates the
@@ -1239,17 +1269,16 @@ mod refresh_tests {
 
     #[test]
     fn update_events_reach_integrity_rules() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Mutex;
         let mut d = dispatcher();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let log2 = log.clone();
         d.engine()
             .add_rule(active::Rule::integrity(
                 "audit_updates",
                 active::EventPattern::db(geodb::query::DbEventKind::Update),
-                Rc::new(move |e, _| {
-                    log2.borrow_mut().push(e.describe());
+                Arc::new(move |e, _| {
+                    log2.lock().unwrap().push(e.describe());
                     vec![]
                 }),
             ))
@@ -1260,8 +1289,8 @@ mod refresh_tests {
         d.db().drain_events();
         d.apply_update(sid, poles[0].oid, vec![("pole_type".into(), Value::Int(3))])
             .unwrap();
-        assert_eq!(log.borrow().len(), 1);
-        assert!(log.borrow()[0].contains("Update"));
+        assert_eq!(log.lock().unwrap().len(), 1);
+        assert!(log.lock().unwrap()[0].contains("Update"));
     }
 }
 

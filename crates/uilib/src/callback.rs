@@ -8,7 +8,7 @@
 //! (`using composed_text.notify()`) without compiling code into the tree.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::tree::WidgetTree;
 use crate::widget::WidgetId;
@@ -70,7 +70,7 @@ impl Signal {
 }
 
 /// A callback body: read-only view of the tree plus the triggering event.
-pub type CallbackFn = Rc<dyn Fn(&WidgetTree, &UiEvent) -> Vec<Signal>>;
+pub type CallbackFn = Arc<dyn Fn(&WidgetTree, &UiEvent) -> Vec<Signal> + Send + Sync>;
 
 /// Named callback registry.
 #[derive(Default, Clone)]
@@ -145,7 +145,7 @@ mod tests {
         let mut table = CallbackTable::new();
         table.register(
             "open_schema",
-            Rc::new(|_, ev| {
+            Arc::new(|_, ev| {
                 vec![Signal::new("get_schema")
                     .arg("schema", "GEO")
                     .arg("source", ev.path.clone())]
@@ -169,7 +169,7 @@ mod tests {
             .is_empty());
         // Gesture with no binding at all.
         let mut table = CallbackTable::new();
-        table.register("open_schema", Rc::new(|_, _| vec![Signal::new("x")]));
+        table.register("open_schema", Arc::new(|_, _| vec![Signal::new("x")]));
         assert!(table
             .fire(&tree, &UiEvent::new(button, "w/p/schema", "hover"))
             .is_empty());
@@ -179,8 +179,8 @@ mod tests {
     fn override_replaces_behavior() {
         let (tree, button) = tree_with_button();
         let mut table = CallbackTable::new();
-        table.register("open_schema", Rc::new(|_, _| vec![Signal::new("old")]));
-        table.register("open_schema", Rc::new(|_, _| vec![Signal::new("new")]));
+        table.register("open_schema", Arc::new(|_, _| vec![Signal::new("old")]));
+        table.register("open_schema", Arc::new(|_, _| vec![Signal::new("new")]));
         let out = table.fire(&tree, &UiEvent::new(button, "w/p/schema", "click"));
         assert_eq!(out[0].name, "new");
         assert_eq!(table.len(), 1);
@@ -193,7 +193,7 @@ mod tests {
         let mut table = CallbackTable::new();
         table.register(
             "open_schema",
-            Rc::new(|tree, ev| {
+            Arc::new(|tree, ev| {
                 let label = tree.get(ev.widget).map(|w| w.text("label").to_string());
                 vec![Signal::new("echo").arg("label", label.unwrap_or_default())]
             }),

@@ -13,8 +13,7 @@
 //!
 //! Run with: `cargo run --example maintenance`
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use activegis::{
     ActiveGis, EventPattern, Geometry, InteractionMode, Point, Rule, TelecomConfig, Value,
@@ -28,16 +27,17 @@ fn main() {
         .expect("program installs");
 
     // An audit rule on update events (integrity rule family).
-    let audit: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let audit: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let audit2 = audit.clone();
     gis.dispatcher()
         .engine()
         .add_rule(Rule::integrity(
             "audit_pole_updates",
             EventPattern::db(DbEventKind::Update),
-            Rc::new(move |event, ctx| {
+            Arc::new(move |event, ctx| {
                 audit2
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .push(format!("{} by {}", event.describe(), ctx.user));
                 vec![]
             }),
@@ -84,7 +84,7 @@ fn main() {
     println!("{}", gis.render(pole_window).unwrap());
 
     println!("=== audit log (integrity rules) ===\n");
-    for line in audit.borrow().iter() {
+    for line in audit.lock().unwrap().iter() {
         println!("{line}");
     }
 }

@@ -10,8 +10,8 @@
 //! a pole* — and both rule families coexist, exactly as the paper's
 //! partitioned rule set prescribes.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use activegis::{Engine, Event, EventPattern, Geometry, Point, Rect, Rule, SessionContext, Value};
 use custlang::Customization;
@@ -28,14 +28,14 @@ const EPS: f64 = 2.0;
 /// logged and raise an external repair event.
 fn install_duct_constraint(
     engine: &mut Engine<Customization>,
-    db: Rc<RefCell<Database>>,
-    violations: Rc<RefCell<Vec<String>>>,
+    db: Arc<Mutex<Database>>,
+    violations: Arc<Mutex<Vec<String>>>,
 ) {
     let checker = move |event: &Event, _ctx: &SessionContext| -> Vec<Event> {
         let Event::Db(DbEvent::Insert { oid, .. } | DbEvent::Update { oid, .. }) = event else {
             return vec![];
         };
-        let mut db = db.borrow_mut();
+        let mut db = db.lock().unwrap();
         let Ok(duct) = db.peek(*oid) else {
             return vec![];
         };
@@ -58,7 +58,8 @@ fn install_duct_constraint(
             });
             if !touches {
                 violations
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .push(format!("duct {oid} endpoint {p} touches no pole"));
                 raised.push(Event::external("topology_violation"));
             }
@@ -73,22 +74,22 @@ fn install_duct_constraint(
                 schema: Some("phone_net".into()),
                 class: Some("Duct".into()),
             },
-            Rc::new(checker),
+            Arc::new(checker),
         ))
         .unwrap();
 }
 
 #[allow(clippy::type_complexity)]
 fn setup() -> (
-    Rc<RefCell<Database>>,
+    Arc<Mutex<Database>>,
     Engine<Customization>,
-    Rc<RefCell<Vec<String>>>,
-    Rc<RefCell<u32>>,
+    Arc<Mutex<Vec<String>>>,
+    Arc<Mutex<u32>>,
 ) {
     let (db, _) = phone_net_db(&TelecomConfig::small()).unwrap();
-    let db = Rc::new(RefCell::new(db));
-    let violations = Rc::new(RefCell::new(Vec::new()));
-    let repairs = Rc::new(RefCell::new(0u32));
+    let db = Arc::new(Mutex::new(db));
+    let violations = Arc::new(Mutex::new(Vec::new()));
+    let repairs = Arc::new(Mutex::new(0u32));
 
     let mut engine: Engine<Customization> = Engine::new();
     install_duct_constraint(&mut engine, db.clone(), violations.clone());
@@ -101,8 +102,8 @@ fn setup() -> (
             EventPattern::External {
                 name: Some("topology_violation".into()),
             },
-            Rc::new(move |_, _| {
-                *repairs2.borrow_mut() += 1;
+            Arc::new(move |_, _| {
+                *repairs2.lock().unwrap() += 1;
                 vec![]
             }),
         ))
@@ -112,16 +113,16 @@ fn setup() -> (
 
 /// Feed pending database events through the engine, as the dispatcher
 /// does after each database operation.
-fn pump(db: &Rc<RefCell<Database>>, engine: &mut Engine<Customization>) {
-    let events = db.borrow_mut().drain_events();
+fn pump(db: &Arc<Mutex<Database>>, engine: &mut Engine<Customization>) {
+    let events = db.lock().unwrap().drain_events();
     let ctx = SessionContext::new("editor", "maintenance", "data_entry");
     for e in events {
         engine.dispatch(Event::Db(e), &ctx).unwrap();
     }
 }
 
-fn nearest_pole_points(db: &Rc<RefCell<Database>>) -> (Point, Point, geodb::Oid) {
-    let mut db = db.borrow_mut();
+fn nearest_pole_points(db: &Arc<Mutex<Database>>) -> (Point, Point, geodb::Oid) {
+    let mut db = db.lock().unwrap();
     let poles = db.get_class("phone_net", "Pole", false).unwrap();
     db.drain_events();
     let a = poles[0]
@@ -143,8 +144,9 @@ fn nearest_pole_points(db: &Rc<RefCell<Database>>) -> (Point, Point, geodb::Oid)
     (a, b, supplier_oid)
 }
 
-fn insert_duct(db: &Rc<RefCell<Database>>, a: Point, b: Point, supplier: geodb::Oid) -> geodb::Oid {
-    db.borrow_mut()
+fn insert_duct(db: &Arc<Mutex<Database>>, a: Point, b: Point, supplier: geodb::Oid) -> geodb::Oid {
+    db.lock()
+        .unwrap()
         .insert(
             "phone_net",
             "Duct",
@@ -167,8 +169,12 @@ fn valid_ducts_pass_the_constraint() {
     let (a, b, supplier) = nearest_pole_points(&db);
     insert_duct(&db, a, b, supplier);
     pump(&db, &mut engine);
-    assert!(violations.borrow().is_empty(), "{:?}", violations.borrow());
-    assert_eq!(*repairs.borrow(), 0);
+    assert!(
+        violations.lock().unwrap().is_empty(),
+        "{:?}",
+        violations.lock().unwrap()
+    );
+    assert_eq!(*repairs.lock().unwrap(), 0);
 }
 
 #[test]
@@ -178,10 +184,10 @@ fn dangling_ducts_are_flagged_and_repairs_scheduled() {
     // One endpoint floats in the void.
     let oid = insert_duct(&db, a, Point::new(-500.0, -500.0), supplier);
     pump(&db, &mut engine);
-    assert_eq!(violations.borrow().len(), 1);
-    assert!(violations.borrow()[0].contains(&format!("duct {oid}")));
+    assert_eq!(violations.lock().unwrap().len(), 1);
+    assert!(violations.lock().unwrap()[0].contains(&format!("duct {oid}")));
     // The violation cascaded into a repair request.
-    assert_eq!(*repairs.borrow(), 1);
+    assert_eq!(*repairs.lock().unwrap(), 1);
 }
 
 #[test]
@@ -190,10 +196,11 @@ fn updates_are_rechecked() {
     let (a, b, supplier) = nearest_pole_points(&db);
     let oid = insert_duct(&db, a, b, supplier);
     pump(&db, &mut engine);
-    assert!(violations.borrow().is_empty());
+    assert!(violations.lock().unwrap().is_empty());
 
     // Drag the duct away from its poles.
-    db.borrow_mut()
+    db.lock()
+        .unwrap()
         .update(
             oid,
             vec![(
@@ -206,8 +213,8 @@ fn updates_are_rechecked() {
         )
         .unwrap();
     pump(&db, &mut engine);
-    assert_eq!(violations.borrow().len(), 2, "both endpoints dangle");
-    assert_eq!(*repairs.borrow(), 2);
+    assert_eq!(violations.lock().unwrap().len(), 2, "both endpoints dangle");
+    assert_eq!(*repairs.lock().unwrap(), 2);
 }
 
 /// Integrity rules and customization rules share one engine without
@@ -235,17 +242,17 @@ fn integrity_and_customization_rules_coexist() {
         )
         .unwrap();
     assert!(out.customization().is_some());
-    assert!(violations.borrow().is_empty());
+    assert!(violations.lock().unwrap().is_empty());
 
     // A bad insert under any context fires only the integrity rule.
     let (a, _, supplier) = nearest_pole_points(&db);
     insert_duct(&db, a, Point::new(-999.0, -999.0), supplier);
-    let events = db.borrow_mut().drain_events();
+    let events = db.lock().unwrap().drain_events();
     for e in events {
         let out = engine.dispatch(Event::Db(e), &juliano).unwrap();
         assert!(out.customization().is_none());
     }
-    assert_eq!(violations.borrow().len(), 1);
+    assert_eq!(violations.lock().unwrap().len(), 1);
 
     // Static analysis finds no conflicts in the combined rule set.
     let findings = active::analyze(engine.rules());

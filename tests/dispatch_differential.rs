@@ -4,7 +4,7 @@
 //! sequences — including after interleaved add/remove/enable mutations,
 //! which must invalidate the winner cache.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -183,10 +183,10 @@ fn make_rule(name: &str, spec: &RuleSpec, payload: usize) -> Rule<usize> {
         .with_group(spec.group)
         .with_priority(spec.priority);
     if spec.group != RuleGroup::Customization && spec.raises {
-        r.action = Rc::new(Action::Raise(vec![Event::external("chain")]));
+        r.action = Arc::new(Action::Raise(vec![Event::external("chain")]));
     }
     if spec.guarded {
-        r = r.with_guard(Rc::new(|e, _| matches!(e, Event::Db(_))));
+        r = r.with_guard(Arc::new(|e, _| matches!(e, Event::Db(_))));
     }
     r
 }
@@ -314,5 +314,183 @@ proptest! {
         for name in &h.names {
             prop_assert_eq!(h.indexed.rule(name).is_some(), h.linear.rule(name).is_some());
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded stress: the differential property must also hold while a
+// writer thread mutates the shared rule base under concurrent readers.
+
+mod threaded {
+    use super::*;
+    use active::RuleBase;
+    use geodb::query::DbEvent;
+
+    /// The concurrency contract, enforced at compile time: every handle
+    /// the serving layer moves across threads is `Send`, and everything
+    /// shared between sessions is `Sync`.
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn send_sync<T: Send + Sync>() {}
+        fn send<T: Send>() {}
+        send_sync::<RuleBase<usize>>();
+        send_sync::<Engine<usize>>();
+        send::<gisui::Dispatcher>();
+        send_sync::<activegis::SessionServer>();
+    }
+
+    /// A deterministic pool of rules the writer cycles through: varied
+    /// patterns, groups, priorities and guards, mirroring the property
+    /// test's generator without its RNG.
+    fn stress_rule(serial: usize) -> Rule<usize> {
+        let event = match serial % 4 {
+            0 => EventPattern::db(DbEventKind::GetSchema),
+            1 => EventPattern::Db {
+                kind: Some(DbEventKind::GetClass),
+                schema: Some(SCHEMAS[serial % 2].into()),
+                class: Some(CLASSES[serial / 2 % 2].into()),
+            },
+            2 => EventPattern::Interface {
+                name: Some(GESTURES[serial % 2].into()),
+                source_prefix: None,
+            },
+            _ => EventPattern::Any,
+        };
+        let context = match serial % 3 {
+            0 => ContextPattern::any(),
+            1 => ContextPattern::for_user("juliano"),
+            _ => ContextPattern::for_application("pole_manager"),
+        };
+        let mut rule = Rule::customization(format!("stress/{serial}"), event, context, serial)
+            .with_priority((serial % 7) as i32 - 3);
+        if serial.is_multiple_of(5) {
+            rule = rule.with_guard(Arc::new(|e, _| matches!(e, Event::Db(_))));
+        }
+        rule
+    }
+
+    fn stress_events() -> Vec<Event> {
+        vec![
+            Event::Db(DbEvent::GetSchema {
+                schema: "phone_net".into(),
+            }),
+            Event::Db(DbEvent::GetClass {
+                schema: "phone_net".into(),
+                class: "Pole".into(),
+            }),
+            Event::interface("click", SOURCES[0].to_string()),
+            Event::external("tick"),
+        ]
+    }
+
+    /// One writer thread adds/removes/toggles rules in the shared base
+    /// while reader threads continuously compare three sessions — pure
+    /// index, hybrid (default threshold) and the linear oracle — over
+    /// bitwise-identical pinned snapshots. Any divergence between the
+    /// strategies, or any torn snapshot observation, fails the test.
+    #[test]
+    fn strategies_agree_under_concurrent_mutation() {
+        const READERS: usize = 3;
+        const READER_ROUNDS: usize = 120;
+        const WRITER_ROUNDS: usize = 300;
+
+        let base = Engine::<usize>::new().rule_base();
+        let mut writer = base.session();
+        for serial in 0..16 {
+            writer.add_rule(stress_rule(serial)).expect("unique names");
+        }
+
+        let writer_base = base.clone();
+        let writer_thread = std::thread::spawn(move || {
+            let mut writer = writer_base.session();
+            for round in 0..WRITER_ROUNDS {
+                let serial = 16 + round;
+                match round % 4 {
+                    0 | 1 => {
+                        writer.add_rule(stress_rule(serial)).expect("unique names");
+                    }
+                    2 => {
+                        // Remove the oldest rule still alive; ignore a
+                        // miss if an earlier round already removed it.
+                        let _ = writer.remove_rule(&format!("stress/{}", serial - 8));
+                    }
+                    _ => {
+                        let name = format!("stress/{}", serial - 4);
+                        let _ = writer.set_enabled(&name, round % 8 < 4);
+                    }
+                }
+            }
+        });
+
+        let sessions = sessions();
+        let events = stress_events();
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let base = base.clone();
+                let sessions = sessions.clone();
+                let events = events.clone();
+                std::thread::spawn(move || {
+                    let mut indexed = base.session_with(EngineConfig {
+                        strategy: DispatchStrategy::Indexed,
+                        hybrid_linear_threshold: 0,
+                        ..Default::default()
+                    });
+                    let mut hybrid = base.session_with(EngineConfig {
+                        strategy: DispatchStrategy::Indexed,
+                        ..Default::default()
+                    });
+                    let mut linear = base.session_with(EngineConfig {
+                        strategy: DispatchStrategy::Linear,
+                        ..Default::default()
+                    });
+                    // Pin the snapshots: each round refreshes the indexed
+                    // session, then clones its exact view into the other
+                    // two so all three dispatch over the same rule set no
+                    // matter what the writer publishes meanwhile.
+                    for handle in [&mut indexed, &mut hybrid, &mut linear] {
+                        handle.set_auto_sync(false);
+                    }
+                    for round in 0..READER_ROUNDS {
+                        indexed.sync();
+                        hybrid.sync_with(&indexed);
+                        linear.sync_with(&indexed);
+                        let ctx = &sessions[(r + round) % sessions.len()];
+                        for event in &events {
+                            // Twice per handle: the repeat hits each
+                            // session's private winner cache.
+                            for _ in 0..2 {
+                                let a = indexed.dispatch(event.clone(), ctx);
+                                let b = hybrid.dispatch(event.clone(), ctx);
+                                let c = linear.dispatch(event.clone(), ctx);
+                                let (Ok(a), Ok(b), Ok(c)) = (a, b, c) else {
+                                    panic!("stress dispatch failed on {event:?}");
+                                };
+                                assert_eq!(
+                                    a.customizations, b.customizations,
+                                    "index vs hybrid on {event:?}"
+                                );
+                                assert_eq!(
+                                    a.customizations, c.customizations,
+                                    "index vs linear on {event:?}"
+                                );
+                                assert_eq!(a.fired_names(), b.fired_names());
+                                assert_eq!(a.fired_names(), c.fired_names());
+                                assert_eq!(a.trace.entries, c.trace.entries);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        writer_thread.join().expect("writer thread");
+        for reader in readers {
+            reader.join().expect("reader thread");
+        }
+
+        // Every session of the base sees the writer's final rule book.
+        let mut check = base.session();
+        check.sync();
+        assert_eq!(check.rules_generation(), base.epoch());
     }
 }

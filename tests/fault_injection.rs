@@ -23,7 +23,7 @@
 //! Everything here serializes on one mutex: the failpoint registry and
 //! the metrics registry are process-global.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use proptest::prelude::*;
@@ -75,7 +75,7 @@ fn fault_dispatcher() -> (Dispatcher, Vec<u64>) {
         .add_rule(Rule::integrity(
             "probe",
             EventPattern::Any,
-            Rc::new(|e, _| match e {
+            Arc::new(|e, _| match e {
                 Event::Db(_) => vec![Event::external("audit")],
                 _ => vec![],
             }),
@@ -347,7 +347,7 @@ fn agreement_engine(strategy: DispatchStrategy, specs: &[AgreementRule]) -> Engi
             Rule::integrity(
                 format!("r{i}"),
                 event,
-                Rc::new(move |e, _| {
+                Arc::new(move |e, _| {
                     if raises && matches!(e, Event::Db(_)) {
                         vec![Event::external("chain")]
                     } else {
@@ -630,4 +630,235 @@ fn seeded_fault_sweep() {
         matches!(resp, Response::Windows(ws) if !ws.is_empty()),
         "seed {seed}: no recovery"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Threaded containment: faults in one session never poison another
+
+/// A panicking rule scoped to one victim session, with concurrent
+/// bystander sessions on the same rule base: every victim dispatch is
+/// contained (fail-open), every bystander dispatch is clean, and the
+/// shared quarantine counts are exact — the rule trips once, after
+/// precisely `quarantine_threshold` consecutive faults.
+#[test]
+fn threaded_fault_is_contained_to_the_victim_session() {
+    use active::ContextPattern;
+
+    let _g = serialized();
+    const BYSTANDERS: usize = 3;
+    const VICTIM_DISPATCHES: usize = 10;
+    const THRESHOLD: u32 = 3;
+
+    let base = Engine::<usize>::with_config(EngineConfig {
+        quarantine_threshold: THRESHOLD,
+        ..Default::default()
+    })
+    .rule_base();
+    let mut seed = base.session();
+    // The panicking rule matches only the victim's event stream, so the
+    // bystanders' clean dispatches never run it (a successful run would
+    // reset its consecutive-fault counter and blur the exact counts).
+    seed.add_rule(Rule::integrity(
+        "boom",
+        EventPattern::External {
+            name: Some("victim_tick".into()),
+        },
+        Arc::new(|_, _| panic!("injected rule fault")),
+    ))
+    .expect("boom installs");
+    seed.add_rule(Rule::customization(
+        "good",
+        EventPattern::Any,
+        ContextPattern::any(),
+        7usize,
+    ))
+    .expect("good installs");
+
+    let victim_base = base.clone();
+    let victim = std::thread::spawn(move || {
+        let mut session = victim_base.session();
+        let ctx = SessionContext::new("victim", "planner", "pole_manager");
+        let mut faults_seen = 0u32;
+        for _ in 0..VICTIM_DISPATCHES {
+            let out = session
+                .dispatch(Event::external("victim_tick"), &ctx)
+                .expect("fail-open");
+            // Fail-open still delivers the surviving customization.
+            assert_eq!(out.customizations, vec![7usize]);
+            for fault in &out.faults {
+                assert_eq!(fault.rule, "boom");
+                faults_seen += 1;
+            }
+        }
+        faults_seen
+    });
+
+    let bystanders: Vec<_> = (0..BYSTANDERS)
+        .map(|b| {
+            let base = base.clone();
+            std::thread::spawn(move || {
+                let mut session = base.session();
+                let ctx = SessionContext::new(format!("user{b}"), "planner", "pole_manager");
+                for _ in 0..50 {
+                    let out = session
+                        .dispatch(Event::external("tick"), &ctx)
+                        .expect("clean dispatch");
+                    assert!(
+                        out.faults.is_empty(),
+                        "bystander saw a fault: {:?}",
+                        out.faults
+                    );
+                    assert_eq!(out.customizations, vec![7usize]);
+                }
+            })
+        })
+        .collect();
+
+    let victim_faults = victim.join().expect("victim thread completes");
+    for b in bystanders {
+        b.join().expect("bystander thread completes");
+    }
+
+    // Exact accounting: the victim faulted `THRESHOLD` times, the
+    // circuit breaker tripped exactly once, and the shared base shows
+    // the quarantine to every session.
+    assert_eq!(victim_faults, THRESHOLD);
+    assert_eq!(base.rule_faults(), THRESHOLD as u64);
+    assert_eq!(base.quarantined_count(), 1);
+    let mut check = base.session();
+    check.sync();
+    assert_eq!(check.quarantined(), vec!["boom"]);
+    let health = check.rule_health("boom").expect("boom exists");
+    assert_eq!(health.total_faults, THRESHOLD as u64);
+    assert!(health.quarantined);
+
+    // Recovery is shared too: lift the quarantine and the victim's
+    // context dispatches cleanly again (the callback still panics, so
+    // the breaker re-arms from zero — one more contained fault).
+    check.clear_quarantine("boom").expect("boom exists");
+    let out = check
+        .dispatch(
+            Event::external("victim_tick"),
+            &SessionContext::new("victim", "planner", "pole_manager"),
+        )
+        .expect("fail-open after recovery");
+    assert_eq!(out.faults.len(), 1);
+    assert_eq!(base.rule_faults(), THRESHOLD as u64 + 1);
+}
+
+/// CI sweep entry point, threaded edition: the `seeded_fault_sweep`
+/// schedule (seed from `FAULT_SEED`) over a `SessionServer`, with every
+/// interaction fanned out across shard threads. No panic may escape a
+/// shard, and after the storm every session serves windows again.
+#[test]
+fn threaded_fault_sweep() {
+    let _g = serialized();
+    let seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    const SHARDS: usize = 4;
+    const CLIENTS: usize = 8;
+
+    let base = Engine::<custlang::Customization>::new().rule_base();
+    let server = Arc::new(activegis::SessionServer::start(SHARDS, base, |_| {
+        geodb::gen::phone_net_db(&TelecomConfig::small())
+            .expect("demo db builds")
+            .0
+    }));
+    server
+        .install_program(FIG6_PROGRAM, "fig6")
+        .expect("fig6 installs");
+    // A cascading integrity rule gives `engine.callback` and
+    // `engine.cascade` hosts to hit on every shard.
+    server
+        .rule_base()
+        .session()
+        .add_rule(Rule::integrity(
+            "probe",
+            EventPattern::Any,
+            Arc::new(|e, _| match e {
+                Event::Db(_) => vec![Event::external("audit")],
+                _ => vec![],
+            }),
+        ))
+        .expect("probe installs");
+
+    // The engine-path failpoints fire on the shard threads themselves;
+    // alternating error/panic actions exercise both containment paths.
+    for (i, name) in ["engine.callback", "engine.cascade"].iter().enumerate() {
+        let action = if i % 2 == 0 {
+            faultsim::FaultAction::Error
+        } else {
+            faultsim::FaultAction::Panic
+        };
+        faultsim::arm(
+            name,
+            faultsim::Trigger::Probability {
+                p: 0.3,
+                seed: seed.wrapping_add(i as u64),
+            },
+            action,
+        );
+    }
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let session = server.open_session(SessionContext::new(
+                    format!("user{c}"),
+                    "planner",
+                    "pole_manager",
+                ));
+                let events: Vec<geodb::query::DbEvent> = (0..25)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            geodb::query::DbEvent::GetSchema {
+                                schema: "phone_net".into(),
+                            }
+                        } else {
+                            geodb::query::DbEvent::GetClass {
+                                schema: "phone_net".into(),
+                                class: CLASSES[i / 2 % 2].into(),
+                            }
+                        }
+                    })
+                    .collect();
+                // Fail-open: a faulted rule degrades the outcome, it
+                // never errors the batch or kills the shard.
+                let outcomes = server
+                    .dispatch_batch(session, events)
+                    .expect("fail-open batch");
+                assert_eq!(outcomes.len(), 25);
+                session
+            })
+        })
+        .collect();
+    let sessions: Vec<_> = clients
+        .into_iter()
+        .map(|c| c.join().expect("seed {seed}: client thread survived"))
+        .collect();
+    faultsim::reset();
+
+    // Recovery after the storm: quarantines lifted, every session —
+    // whatever shard it lives on — dispatches cleanly again.
+    let mut writer = server.rule_base().session();
+    writer.sync();
+    let quarantined: Vec<String> = writer.quarantined().iter().map(|s| s.to_string()).collect();
+    for rule in &quarantined {
+        writer.clear_quarantine(rule).expect("rule exists");
+    }
+    for session in sessions {
+        let out = server
+            .dispatch(
+                session,
+                geodb::query::DbEvent::GetClass {
+                    schema: "phone_net".into(),
+                    class: "Pole".into(),
+                },
+            )
+            .expect("clean after recovery");
+        assert!(out.faults.is_empty(), "seed {seed}: fault after recovery");
+    }
 }
