@@ -1144,6 +1144,22 @@ impl<P: Clone> Engine<P> {
         self.shared.epoch.load(Ordering::Acquire)
     }
 
+    /// Flush this session's winner cache because an input *outside* the
+    /// rule base changed — e.g. the serving layer published a new
+    /// database epoch. Cached winners are keyed by (event, user,
+    /// category, application) and invalidated lazily on rule-generation
+    /// changes; a db-epoch change is an orthogonal axis the generation
+    /// cannot see, so callers invalidate explicitly through this hook.
+    pub fn invalidate_winner_cache(&mut self) {
+        if self.state.cache.len() > 0 {
+            self.state.cache.flush();
+            self.state.cache.invalidations += 1;
+            if obs::enabled() {
+                obs::counter_add("engine.winner_cache_invalidations", 1);
+            }
+        }
+    }
+
     /// Winner-cache counters and current size (this session's cache —
     /// each session caches independently).
     pub fn cache_stats(&self) -> CacheStats {

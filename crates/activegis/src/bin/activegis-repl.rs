@@ -34,6 +34,7 @@ commands:
   :metrics                                metrics snapshot as JSON
   :metrics prom                           metrics in Prometheus text format
   :metrics on|off                         toggle metric collection
+  :db                                     database epoch + live snapshot pins
   :strategy [indexed|linear]              show or switch rule dispatch strategy
   :cache                                  winner-cache hit/miss/invalidation stats
   :faults                                 failpoint status (hits / times triggered)
@@ -174,6 +175,20 @@ impl Repl {
             [":metrics", "off"] => {
                 ActiveGis::set_metrics_enabled(false);
                 println!("metric collection off");
+            }
+            [":db"] => {
+                let store = self.gis.db_store();
+                let snap = store.snapshot();
+                println!(
+                    "db `{}`: epoch {} published, dispatcher serving epoch {}, \
+                     {} snapshot(s) pinned, {} objects, ~{} KiB shared data",
+                    snap.name(),
+                    store.epoch(),
+                    self.gis.db_epoch(),
+                    store.pinned_snapshots(),
+                    snap.object_count(),
+                    snap.approx_data_bytes() / 1024
+                );
             }
             [":strategy"] => println!("{:?}", self.gis.dispatch_strategy()),
             [":strategy", "indexed"] => {

@@ -9,10 +9,10 @@
 //!
 //! # Shard model
 //!
-//! Each worker thread owns a full [`Dispatcher`] — its own [`Database`]
-//! copy (read workloads; built by the caller's factory) and its own
-//! engine *session* opened from one shared [`RuleBase`]. Rules therefore
-//! exist once, published as immutable copy-on-write snapshots; everything
+//! Each worker thread owns a full [`Dispatcher`] — a private reader pin
+//! over *one shared* [`DbStore`] and its own engine *session* opened
+//! from one shared [`RuleBase`]. Both data and rules therefore exist
+//! once, published as immutable copy-on-write snapshots; everything
 //! mutable per dispatch (winner cache, scratch buffers, deferred queue,
 //! window registry) is shard-private, so workers never contend on a lock
 //! in the steady state. Sessions are pinned to a shard round-robin at
@@ -22,8 +22,13 @@
 //!
 //! Rule mutations go through any engine handle of the same rule base
 //! (e.g. the one inside another `Dispatcher`, or a plain
-//! [`RuleBase::session`]); every shard picks the new snapshot up with one
-//! atomic epoch check at its next dispatch.
+//! [`RuleBase::session`]); database writes go through any handle of the
+//! same store (e.g. [`SessionServer::db_store`], or the dispatcher of
+//! one shard via [`SessionServer::with_dispatcher`]). Every shard picks
+//! up the new rule snapshot and the new database epoch with one atomic
+//! check each at its next dispatch — a write committed through shard A
+//! is visible to a read on shard B immediately after it publishes (see
+//! `docs/storage.md`).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,8 +38,8 @@ use std::thread::JoinHandle;
 
 use active::{ActiveError, Outcome, RuleBase, SessionContext};
 use custlang::Customization;
-use geodb::db::Database;
 use geodb::query::DbEvent;
+use geodb::store::DbStore;
 use gisui::{Dispatcher, SessionId, UiError};
 
 /// A session opened on a [`SessionServer`]: which shard owns it and its
@@ -94,27 +99,29 @@ pub struct SessionServer {
     queues: Vec<Arc<ShardQueue>>,
     workers: Vec<JoinHandle<()>>,
     rule_base: RuleBase<Customization>,
+    store: DbStore,
     sessions: Mutex<HashMap<u64, ServerSession>>,
     next_session: AtomicU64,
     next_shard: AtomicU64,
 }
 
 impl SessionServer {
-    /// Start `workers` shard threads. `make_db` builds each shard's
-    /// database copy (called once per shard, on the caller's thread);
-    /// every shard opens an engine session over `rule_base`.
+    /// Start `workers` shard threads, all serving `store` — one shared
+    /// versioned database, not a copy per shard. Every shard opens an
+    /// engine session over `rule_base` and a reader pin over the store's
+    /// current epoch.
     pub fn start(
         workers: usize,
         rule_base: RuleBase<Customization>,
-        mut make_db: impl FnMut(usize) -> Database,
+        store: DbStore,
     ) -> SessionServer {
         let workers_n = workers.max(1);
         let mut queues = Vec::with_capacity(workers_n);
         let mut handles = Vec::with_capacity(workers_n);
         for shard in 0..workers_n {
             let queue = Arc::new(ShardQueue::default());
-            let mut dispatcher = Dispatcher::with_engine(
-                make_db(shard),
+            let mut dispatcher = Dispatcher::with_store(
+                store.clone(),
                 builder::InterfaceBuilder::with_paper_library(),
                 rule_base.session(),
             );
@@ -131,6 +138,7 @@ impl SessionServer {
             queues,
             workers: handles,
             rule_base,
+            store,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             next_shard: AtomicU64::new(0),
@@ -145,6 +153,19 @@ impl SessionServer {
     /// The shared rule base every shard dispatches against.
     pub fn rule_base(&self) -> &RuleBase<Customization> {
         &self.rule_base
+    }
+
+    /// The shared versioned store every shard serves. Clone it to read
+    /// (`snapshot`/`reader`) or write (`write`) from any thread; commits
+    /// publish a new epoch that every shard observes at its next
+    /// dispatch.
+    pub fn db_store(&self) -> DbStore {
+        self.store.clone()
+    }
+
+    /// The database epoch currently published to every shard.
+    pub fn db_epoch(&self) -> u64 {
+        self.store.epoch()
     }
 
     /// Open a session for a user context; it is pinned to a shard
@@ -281,9 +302,8 @@ mod tests {
     fn server(workers: usize) -> SessionServer {
         let engine: Engine<Customization> = Engine::new();
         let base = engine.rule_base();
-        SessionServer::start(workers, base, |_| {
-            geodb::gen::phone_net_db(&TelecomConfig::small()).unwrap().0
-        })
+        let db = geodb::gen::phone_net_db(&TelecomConfig::small()).unwrap().0;
+        SessionServer::start(workers, base, DbStore::new(db))
     }
 
     #[test]
@@ -376,6 +396,51 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.rule_base().total_dispatches(), 200);
+    }
+
+    #[test]
+    fn cross_shard_read_your_writes() {
+        let server = server(2);
+        let a = server.open_session(SessionContext::new("writer", "planner", "pole_manager"));
+        let b = server.open_session(SessionContext::new("reader", "visitor", "browse"));
+        assert_ne!(a.shard, b.shard, "write and read land on distinct shards");
+
+        // Pick any pole through shard B's pinned snapshot.
+        let oid = server.with_dispatcher(b, |d| {
+            d.snapshot().get_class("phone_net", "Pole", false).unwrap()[0].oid
+        });
+        let epoch_before = server.db_epoch();
+
+        // Commit an update through shard A's full UI path (exploratory
+        // sessions cannot issue updates).
+        server.with_dispatcher(a, move |d| {
+            d.set_mode(a.sid, gisui::InteractionMode::Analysis).unwrap();
+            d.apply_update(
+                a.sid,
+                oid,
+                vec![("pole_type".into(), geodb::value::Value::Int(99))],
+            )
+            .unwrap();
+        });
+        assert!(
+            server.db_epoch() > epoch_before,
+            "commit published an epoch"
+        );
+
+        // Shard B (and a plain store handle) observe the write at once.
+        let seen = server.with_dispatcher(b, move |d| {
+            d.snapshot().peek(oid).unwrap().get("pole_type").clone()
+        });
+        assert_eq!(seen, geodb::value::Value::Int(99));
+        assert_eq!(
+            *server
+                .db_store()
+                .snapshot()
+                .peek(oid)
+                .unwrap()
+                .get("pole_type"),
+            geodb::value::Value::Int(99)
+        );
     }
 
     #[test]

@@ -150,6 +150,25 @@ impl ActiveGis {
         obs::set_enabled(on);
     }
 
+    /// Handle to the shared versioned store behind the dispatcher: read
+    /// through `snapshot()`/`reader()`, write through `write()`; commits
+    /// publish a new epoch (see `docs/storage.md`).
+    pub fn db_store(&mut self) -> geodb::store::DbStore {
+        self.dispatcher.store()
+    }
+
+    /// The database epoch the dispatcher last served.
+    pub fn db_epoch(&self) -> u64 {
+        self.dispatcher.db_epoch()
+    }
+
+    /// How many snapshot versions are currently kept alive by readers
+    /// (1 = only the published epoch; more means pinned readers are
+    /// holding older epochs).
+    pub fn pinned_snapshots(&mut self) -> usize {
+        self.dispatcher.store().pinned_snapshots()
+    }
+
     /// How the rule engine finds matching rules per event: the default
     /// discrimination index + winner cache, or the linear-scan oracle.
     pub fn dispatch_strategy(&mut self) -> active::DispatchStrategy {

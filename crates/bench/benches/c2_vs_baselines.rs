@@ -33,10 +33,9 @@ fn bench_vs_baselines(c: &mut Criterion) {
         let mut gis = generic_gis(&cfg);
         let poles = gis
             .dispatcher()
-            .db()
+            .snapshot()
             .get_class("phone_net", "Pole", false)
             .unwrap();
-        gis.dispatcher().db().drain_events();
         let lib = Library::with_kernel();
         b.iter(|| black_box(hardwired_class_window(&lib, "Pole", &poles).unwrap()));
     });

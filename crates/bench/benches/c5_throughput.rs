@@ -7,15 +7,19 @@
 //!
 //! Sessions are pinned round-robin, so with T shards the M client
 //! threads fan their batches out over T independent dispatchers that
-//! share one copy-on-write rule snapshot. Steady state does no locking
-//! on the read path; scaling is bounded only by the hardware parallelism
-//! actually available, which the summary records honestly as
+//! share one copy-on-write rule snapshot *and one versioned database*
+//! (`geodb::store::DbStore`). Steady state does no locking on the read
+//! path; scaling is bounded only by the hardware parallelism actually
+//! available, which the summary records honestly as
 //! `available_parallelism` (CI containers are often single-core, where
 //! every thread count necessarily converges to the same requests/sec).
 //!
 //! Writes `BENCH_throughput.json` at the repo root:
-//! requests/sec per thread count, speedup vs 1 thread, and scaling
-//! efficiency (speedup / threads).
+//! requests/sec per thread count, speedup vs 1 thread, scaling
+//! efficiency (speedup / threads), the shared-vs-copied database memory
+//! footprint (`db_bytes_shared` stays flat as shards grow; the copied
+//! model multiplies), and publish-latency quantiles for epoch commits
+//! through `DbStore::write`.
 //!
 //! `BENCH_QUICK=1` shrinks the workload for CI smoke runs.
 
@@ -27,6 +31,8 @@ use activegis::SessionServer;
 use custlang::{Customization, FIG6_PROGRAM};
 use geodb::gen::TelecomConfig;
 use geodb::query::DbEvent;
+use geodb::store::DbStore;
+use geodb::value::Value;
 use geodb::Oid;
 
 /// Concurrent sessions driven by the client side.
@@ -59,6 +65,7 @@ struct RunResult {
     requests: u64,
     elapsed_s: f64,
     requests_per_sec: f64,
+    db_bytes_shared: u64,
 }
 
 /// One full measurement at a given shard-thread count.
@@ -69,11 +76,13 @@ fn run(threads: usize, batches_per_session: usize, batch_len: usize) -> RunResul
     });
     let base = engine.rule_base();
     let cfg = TelecomConfig::small();
-    let server = SessionServer::start(threads, base, |_| {
+    let store = DbStore::new(
         geodb::gen::phone_net_db(&cfg)
             .expect("demo database builds")
-            .0
-    });
+            .0,
+    );
+    let db_bytes_shared = store.snapshot().approx_data_bytes() as u64;
+    let server = SessionServer::start(threads, base, store);
     server
         .install_program(FIG6_PROGRAM, "fig6")
         .expect("Fig. 6 program installs");
@@ -122,7 +131,37 @@ fn run(threads: usize, batches_per_session: usize, batch_len: usize) -> RunResul
         requests,
         elapsed_s,
         requests_per_sec: requests as f64 / elapsed_s,
+        db_bytes_shared,
     }
+}
+
+/// Epoch-publish latency: time `samples` single-attribute updates
+/// committed through `DbStore::write`, each one an incremental partition
+/// sync plus an atomic epoch publish, and report microsecond quantiles.
+fn publish_latency_us(samples: usize) -> (f64, f64, f64) {
+    let store = DbStore::new(
+        geodb::gen::phone_net_db(&TelecomConfig::small())
+            .expect("demo database builds")
+            .0,
+    );
+    let oid = store
+        .snapshot()
+        .get_class("phone_net", "Pole", false)
+        .expect("poles exist")[0]
+        .oid;
+    let mut lat: Vec<f64> = (0..samples)
+        .map(|i| {
+            let pole_type = 1 + (i as i64 % 4);
+            let t0 = Instant::now();
+            store
+                .write(|db| db.update(oid, vec![("pole_type".into(), Value::Int(pole_type))]))
+                .expect("update commits");
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| lat[((lat.len() - 1) as f64 * p).round() as usize];
+    (q(0.5), q(0.95), lat[lat.len() - 1])
 }
 
 fn main() {
@@ -140,11 +179,23 @@ fn main() {
     for &t in thread_counts {
         let r = run(t, batches_per_session, batch_len);
         eprintln!(
-            "[c5 throughput] {:>2} threads: {:>9} requests in {:>7.3} s = {:>12.0} req/s",
-            r.threads, r.requests, r.elapsed_s, r.requests_per_sec
+            "[c5 throughput] {:>2} threads: {:>9} requests in {:>7.3} s = {:>12.0} req/s \
+             ({} KiB shared db)",
+            r.threads,
+            r.requests,
+            r.elapsed_s,
+            r.requests_per_sec,
+            r.db_bytes_shared / 1024
         );
         results.push(r);
     }
+
+    let publish_samples = if quick { 8 } else { 32 };
+    let (pub_p50, pub_p95, pub_max) = publish_latency_us(publish_samples);
+    eprintln!(
+        "[c5 throughput] epoch publish latency over {publish_samples} writes: \
+         p50 {pub_p50:.1} us, p95 {pub_p95:.1} us, max {pub_max:.1} us"
+    );
 
     let base_rps = results[0].requests_per_sec;
     let rows: Vec<serde_json::Value> = results
@@ -166,6 +217,14 @@ fn main() {
                 (
                     "scaling_efficiency".into(),
                     serde_json::Value::F64(speedup / r.threads as f64),
+                ),
+                (
+                    "db_bytes_shared".into(),
+                    serde_json::Value::U64(r.db_bytes_shared),
+                ),
+                (
+                    "db_bytes_copied_model".into(),
+                    serde_json::Value::U64(r.db_bytes_shared * r.threads as u64),
                 ),
             ])
         })
@@ -199,9 +258,24 @@ fn main() {
             "note".into(),
             serde_json::Value::String(
                 "speedup_vs_1_thread is bounded above by available_parallelism; \
-                 on a single-core host all thread counts converge to ~1.0x"
+                 on a single-core host all thread counts converge to ~1.0x. \
+                 db_bytes_shared is flat across thread counts because every shard \
+                 serves one DbStore; db_bytes_copied_model is what the retired \
+                 copy-per-shard design would have cost"
                     .into(),
             ),
+        ),
+        (
+            "db_epoch_publish_latency_us".into(),
+            serde_json::Value::Object(vec![
+                (
+                    "samples".into(),
+                    serde_json::Value::U64(publish_samples as u64),
+                ),
+                ("p50".into(), serde_json::Value::F64(pub_p50)),
+                ("p95".into(), serde_json::Value::F64(pub_p95)),
+                ("max".into(), serde_json::Value::F64(pub_max)),
+            ]),
         ),
         ("rows".into(), serde_json::Value::Array(rows)),
     ]);

@@ -52,10 +52,9 @@ fn bench_event_flow(c: &mut Criterion) {
         let mut gis = generic_gis(&cfg);
         let poles = gis
             .dispatcher()
-            .db()
+            .snapshot()
             .get_class("phone_net", "Pole", false)
             .unwrap();
-        gis.dispatcher().db().drain_events();
         let lib = Library::with_kernel();
         b.iter(|| black_box(hardwired_class_window(&lib, "Pole", &poles).unwrap()));
     });
@@ -93,10 +92,9 @@ fn bench_event_flow(c: &mut Criterion) {
             let class = gis.browse_class(sid, "phone_net", "Pole").unwrap();
             let poles = gis
                 .dispatcher()
-                .db()
+                .snapshot()
                 .get_class("phone_net", "Pole", false)
                 .unwrap();
-            gis.dispatcher().db().drain_events();
             let inst = gis.inspect(sid, poles[0].oid).unwrap();
             for w in windows.into_iter().chain([class, inst]) {
                 gis.dispatcher().close_window(sid, w).unwrap();

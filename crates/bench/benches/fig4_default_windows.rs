@@ -67,15 +67,15 @@ fn bench_default_windows(c: &mut Criterion) {
     group.finish();
 
     // Instance window (fixed: the 6-attribute Pole of Fig. 5) and its
-    // ASCII rendering.
+    // ASCII rendering. Instance windows build against a pinned snapshot
+    // since the shared-storage refactor.
     let mut group = c.benchmark_group("fig4_instance_window");
-    let mut db = db_with_poles(100);
-    let poles = db.get_class("phone_net", "Pole", false).unwrap();
-    db.drain_events();
+    let snap = geodb::store::DbStore::new(db_with_poles(100)).snapshot();
+    let poles = snap.get_class("phone_net", "Pole", false).unwrap();
     group.bench_function("build", |b| {
-        b.iter(|| black_box(builder.instance_window(&mut db, &poles[0], None).unwrap()));
+        b.iter(|| black_box(builder.instance_window(&snap, &poles[0], None).unwrap()));
     });
-    let win = builder.instance_window(&mut db, &poles[0], None).unwrap();
+    let win = builder.instance_window(&snap, &poles[0], None).unwrap();
     group.bench_function("render_ascii", |b| {
         b.iter(|| black_box(win.to_ascii()));
     });

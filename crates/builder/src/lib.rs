@@ -23,7 +23,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use custlang::{AttrClause, AttrDisplay, Customization, SchemaMode, Source};
-use geodb::{Catalog, Database, GeoDbError, GeometryKind, Instance, SchemaDef, Value};
+use geodb::{Catalog, DbSnapshot, GeoDbError, GeometryKind, Instance, SchemaDef, Value};
 use uilib::render::{ascii, svg};
 use uilib::{Library, LibraryError, MapScene, MapShape, Prop, SceneMap, TreeError, WidgetTree};
 
@@ -467,12 +467,12 @@ impl InterfaceBuilder {
     // -- instance window ----------------------------------------------------
 
     /// Build the Instance window for one instance, honouring a
-    /// [`Customization::InstanceWindow`] payload when present. Needs the
-    /// database (not just the catalog) because `from` clauses may call
-    /// schema methods.
+    /// [`Customization::InstanceWindow`] payload when present. Needs a
+    /// pinned database snapshot (not just the catalog) because `from`
+    /// clauses may call schema methods that navigate references.
     pub fn instance_window(
         &self,
-        db: &mut Database,
+        snap: &DbSnapshot,
         inst: &Instance,
         cust: Option<&Customization>,
     ) -> Result<BuiltWindow, BuildError> {
@@ -480,26 +480,26 @@ impl InterfaceBuilder {
         if let Err(e) = Self::build_failpoint(cust.is_some()) {
             return self.count(Err(e));
         }
-        self.count(self.instance_window_inner(db, inst, cust))
+        self.count(self.instance_window_inner(snap, inst, cust))
     }
 
     fn instance_window_inner(
         &self,
-        db: &mut Database,
+        snap: &DbSnapshot,
         inst: &Instance,
         cust: Option<&Customization>,
     ) -> Result<BuiltWindow, BuildError> {
-        let schema = db
+        let schema = snap
             .locate(inst.oid)
             .map(|(s, _)| s.to_string())
             .or_else(|| {
-                db.schemas()
+                snap.schemas()
                     .into_iter()
                     .find(|s| s.find_class(&inst.class).is_some())
                     .map(|s| s.name)
             })
             .ok_or_else(|| GeoDbError::UnknownClass(inst.class.clone()))?;
-        let attrs = db.catalog().effective_attrs(&schema, &inst.class)?;
+        let attrs = snap.catalog().effective_attrs(&schema, &inst.class)?;
         let clauses: &[AttrClause] = match cust {
             Some(Customization::InstanceWindow { attrs, .. }) => attrs,
             _ => &[],
@@ -523,7 +523,7 @@ impl InterfaceBuilder {
                 _ => "Text",
             };
             let value = match clause {
-                Some(c) => clause_value(db, inst, c)?,
+                Some(c) => clause_value(snap, inst, c)?,
                 None => inst.get(&attr.name).display_text(),
             };
             let row = tree.add(&self.library, body, widget_class, &attr.name)?;
@@ -575,10 +575,10 @@ fn hierarchy_items(schema: &SchemaDef) -> Vec<String> {
 }
 
 /// Resolve an attribute clause's displayed value: `from` sources joined
-/// with " / " (paths read through the instance; method calls go to the
-/// database), falling back to the raw attribute value.
+/// with " / " (paths read through the instance; method calls run against
+/// the pinned snapshot), falling back to the raw attribute value.
 fn clause_value(
-    db: &mut Database,
+    snap: &DbSnapshot,
     inst: &Instance,
     clause: &AttrClause,
 ) -> Result<String, BuildError> {
@@ -591,7 +591,7 @@ fn clause_value(
             Source::Path(p) => parts.push(inst.get_path(p).display_text()),
             Source::MethodCall { method, args } => {
                 let argv: Vec<Value> = args.iter().map(|a| inst.get_path(a).clone()).collect();
-                parts.push(db.call_method(inst, method, &argv)?.display_text());
+                parts.push(snap.call_method(inst, method, &argv)?.display_text());
             }
         }
     }
@@ -604,7 +604,7 @@ mod tests {
     use custlang::{compile, parse};
     use geodb::gen::{phone_net_db, TelecomConfig};
 
-    fn db() -> Database {
+    fn db() -> geodb::Database {
         let (db, _) = phone_net_db(&TelecomConfig::small()).expect("demo db builds");
         db
     }
@@ -688,14 +688,14 @@ mod tests {
 
     #[test]
     fn fig6_instance_window_applies_attr_clauses() {
-        let mut db = db();
-        let poles = db.get_class("phone_net", "Pole", false).unwrap();
+        let snap = geodb::DbStore::new(db()).snapshot();
+        let poles = snap.get_class("phone_net", "Pole", false).unwrap();
         let b = InterfaceBuilder::with_paper_library();
         let cust = fig6_customizations()
             .into_iter()
             .find(|c| matches!(c, Customization::InstanceWindow { .. }))
             .unwrap();
-        let w = b.instance_window(&mut db, &poles[0], Some(&cust)).unwrap();
+        let w = b.instance_window(&snap, &poles[0], Some(&cust)).unwrap();
         let art = w.to_ascii();
         assert!(
             !art.contains("pole_location"),

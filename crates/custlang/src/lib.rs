@@ -41,4 +41,4 @@ pub use ast::{
 pub use compile::{compile, Customization};
 pub use parser::{parse, ParseError, FIG6_PROGRAM};
 pub use pretty::pretty;
-pub use store::{delete_program, load_programs, save_program, RULES_SCHEMA};
+pub use store::{delete_program, load_programs, load_programs_snap, save_program, RULES_SCHEMA};

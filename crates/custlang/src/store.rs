@@ -9,7 +9,9 @@
 use geodb::db::Database;
 use geodb::error::{GeoDbError, Result};
 use geodb::schema::{ClassDef, SchemaDef};
+use geodb::store::DbSnapshot;
 use geodb::value::{AttrType, Value};
+use geodb::Instance;
 
 /// Schema holding stored customization programs.
 pub const RULES_SCHEMA: &str = "ui_rules";
@@ -55,13 +57,8 @@ pub fn save_program(db: &mut Database, name: &str, source: &str) -> Result<()> {
     Ok(())
 }
 
-/// All stored programs as `(name, source)` pairs, name order.
-pub fn load_programs(db: &mut Database) -> Result<Vec<(String, String)>> {
-    if db.catalog().schema(RULES_SCHEMA).is_err() {
-        return Ok(Vec::new());
-    }
-    let mut out: Vec<(String, String)> = db
-        .get_class(RULES_SCHEMA, CLASS, false)?
+fn program_pairs(rows: Vec<Instance>) -> Result<Vec<(String, String)>> {
+    let mut out: Vec<(String, String)> = rows
         .into_iter()
         .map(|inst| {
             let name = match inst.get("name") {
@@ -79,9 +76,27 @@ pub fn load_programs(db: &mut Database) -> Result<Vec<(String, String)>> {
             Ok((name, source))
         })
         .collect::<Result<_>>()?;
-    db.drain_events();
     out.sort();
     Ok(out)
+}
+
+/// All stored programs as `(name, source)` pairs, name order.
+pub fn load_programs(db: &mut Database) -> Result<Vec<(String, String)>> {
+    if db.catalog().schema(RULES_SCHEMA).is_err() {
+        return Ok(Vec::new());
+    }
+    let rows = db.get_class(RULES_SCHEMA, CLASS, false)?;
+    db.drain_events();
+    program_pairs(rows)
+}
+
+/// All stored programs from a pinned snapshot — the lock-free read-path
+/// twin of [`load_programs`].
+pub fn load_programs_snap(snap: &DbSnapshot) -> Result<Vec<(String, String)>> {
+    if snap.catalog().schema(RULES_SCHEMA).is_err() {
+        return Ok(Vec::new());
+    }
+    program_pairs(snap.get_class(RULES_SCHEMA, CLASS, false)?)
 }
 
 /// Delete a stored program; returns whether it existed.
@@ -157,5 +172,24 @@ mod tests {
     fn empty_database_loads_nothing() {
         let mut db = Database::new("GEO");
         assert!(load_programs(&mut db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_load_matches_database_load() {
+        let mut db = Database::new("GEO");
+        save_program(&mut db, "fig6", FIG6_PROGRAM).unwrap();
+        save_program(
+            &mut db,
+            "z",
+            "for user u schema s display as default class C display",
+        )
+        .unwrap();
+        let via_db = load_programs(&mut db).unwrap();
+        let store = geodb::DbStore::new(db);
+        let via_snap = load_programs_snap(&store.snapshot()).unwrap();
+        assert_eq!(via_db, via_snap);
+
+        let empty = geodb::DbStore::new(Database::new("GEO"));
+        assert!(load_programs_snap(&empty.snapshot()).unwrap().is_empty());
     }
 }

@@ -18,13 +18,35 @@ use crate::storage::{
 };
 use crate::value::Value;
 
+/// How a method body fetches the instances its receiver references.
+///
+/// Method bodies navigate `Ref` attributes (the paper's
+/// `get_supplier_name(pole_supplier)`), so they need *some* way to turn
+/// an [`Oid`] into an [`Instance`]. Abstracting that behind a trait lets
+/// one registered body serve both the mutable write-path [`Database`]
+/// (which resolves through the buffer pool) and the immutable
+/// [`crate::store::DbSnapshot`] read path (which resolves against the
+/// pinned snapshot, lock-free).
+pub trait RefResolver {
+    /// Fetch an instance by OID without emitting a query event.
+    fn resolve(&mut self, oid: Oid) -> Result<Instance>;
+}
+
+impl RefResolver for Database {
+    fn resolve(&mut self, oid: Oid) -> Result<Instance> {
+        self.peek(oid)
+    }
+}
+
 /// Native implementation of a schema-declared method.
 ///
-/// Methods receive the database (mutably, so bodies can fetch referenced
-/// instances through the buffer pool), the receiver instance, and
+/// Methods receive a [`RefResolver`] (so bodies can fetch referenced
+/// instances — through the buffer pool on the write path, or from a
+/// pinned snapshot on the read path), the receiver instance, and
 /// positional arguments — mirroring the paper's
 /// `get_supplier_name(pole_supplier)`.
-pub type MethodFn = Arc<dyn Fn(&mut Database, &Instance, &[Value]) -> Result<Value> + Send + Sync>;
+pub type MethodFn =
+    Arc<dyn Fn(&mut dyn RefResolver, &Instance, &[Value]) -> Result<Value> + Send + Sync>;
 
 /// Which spatial access method an extent uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +87,8 @@ struct Extent {
     order: Vec<Oid>,
     spatial: Option<Box<dyn SpatialIndex>>,
     geom_attr: Option<String>,
+    /// Index kind chosen at creation; snapshot capture mirrors it.
+    kind: IndexKind,
 }
 
 impl Extent {
@@ -84,8 +108,18 @@ impl Extent {
             order: Vec::new(),
             spatial,
             geom_attr,
+            kind,
         }
     }
+}
+
+/// Per-class capture handed to the versioned store when it (re)builds a
+/// [`crate::store::ClassPartition`]: the instances in insertion order
+/// plus what the partition needs to mirror the extent's spatial setup.
+pub(crate) struct ExtentCapture {
+    pub instances: Vec<Instance>,
+    pub geom_attr: Option<String>,
+    pub kind: IndexKind,
 }
 
 /// An object-oriented geographic database.
@@ -513,53 +547,7 @@ impl Database {
         pred: &Predicate,
     ) -> Result<Value> {
         let rows = self.select(schema, class, pred)?;
-        let values: Vec<&Value> = rows
-            .iter()
-            .map(|i| i.get_path(path))
-            .filter(|v| !matches!(v, Value::Null))
-            .collect();
-        match agg {
-            Aggregate::Count => Ok(Value::Int(values.len() as i64)),
-            Aggregate::Min => Ok(values
-                .iter()
-                .min_by(|a, b| a.compare(b))
-                .map(|v| (*v).clone())
-                .unwrap_or(Value::Null)),
-            Aggregate::Max => Ok(values
-                .iter()
-                .max_by(|a, b| a.compare(b))
-                .map(|v| (*v).clone())
-                .unwrap_or(Value::Null)),
-            Aggregate::Sum | Aggregate::Avg => {
-                let mut total = 0.0f64;
-                let mut n = 0usize;
-                for v in &values {
-                    match v {
-                        Value::Int(i) => {
-                            total += *i as f64;
-                            n += 1;
-                        }
-                        Value::Float(x) => {
-                            total += x;
-                            n += 1;
-                        }
-                        other => {
-                            return Err(GeoDbError::InvalidQuery(format!(
-                                "cannot sum non-numeric value {} at `{path}`",
-                                other.type_name()
-                            )))
-                        }
-                    }
-                }
-                if agg == Aggregate::Sum {
-                    Ok(Value::Float(total))
-                } else if n == 0 {
-                    Ok(Value::Null)
-                } else {
-                    Ok(Value::Float(total / n as f64))
-                }
-            }
-        }
+        aggregate_rows(&rows, path, agg)
     }
 
     /// k-nearest-neighbour query: the `k` instances of `class` whose
@@ -762,6 +750,109 @@ impl Database {
             .get(&(schema.to_string(), class.to_string()))
             .map(|e| e.records.len())
             .unwrap_or(0)
+    }
+
+    // -- versioned-store capture hooks ------------------------------------
+    //
+    // The COW snapshot layer (`crate::store`) maintains an immutable
+    // per-class mirror of this database. These pub(crate) accessors are
+    // the only surface it needs: enumerate extents, capture one class,
+    // fetch one instance, and clone the method registry.
+
+    /// Keys of every extent, in deterministic order.
+    pub(crate) fn extent_keys(&self) -> Vec<(String, String)> {
+        let mut keys: Vec<_> = self.extents.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Capture a whole class extent (instances in insertion order plus
+    /// the spatial configuration a partition must mirror).
+    pub(crate) fn capture_extent(&mut self, schema: &str, class: &str) -> Result<ExtentCapture> {
+        let key = (schema.to_string(), class.to_string());
+        let (order, geom_attr, kind) = {
+            let extent = self
+                .extents
+                .get(&key)
+                .ok_or_else(|| GeoDbError::UnknownClass(class.to_string()))?;
+            (extent.order.clone(), extent.geom_attr.clone(), extent.kind)
+        };
+        let mut instances = Vec::with_capacity(order.len());
+        for oid in order {
+            instances.push(self.fetch(schema, class, oid)?);
+        }
+        Ok(ExtentCapture {
+            instances,
+            geom_attr,
+            kind,
+        })
+    }
+
+    /// Fetch one instance without emitting an event (store sync path).
+    pub(crate) fn fetch_instance(
+        &mut self,
+        schema: &str,
+        class: &str,
+        oid: Oid,
+    ) -> Result<Instance> {
+        self.fetch(schema, class, oid)
+    }
+
+    /// Clone of the method registry (snapshots share the same bodies).
+    pub(crate) fn methods_map(&self) -> HashMap<(String, String), MethodFn> {
+        self.methods.clone()
+    }
+}
+
+/// The aggregation reducer shared by [`Database::aggregate`] and the
+/// versioned store's snapshot-side aggregate.
+pub(crate) fn aggregate_rows(rows: &[Instance], path: &str, agg: Aggregate) -> Result<Value> {
+    let values: Vec<&Value> = rows
+        .iter()
+        .map(|i| i.get_path(path))
+        .filter(|v| !matches!(v, Value::Null))
+        .collect();
+    match agg {
+        Aggregate::Count => Ok(Value::Int(values.len() as i64)),
+        Aggregate::Min => Ok(values
+            .iter()
+            .min_by(|a, b| a.compare(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null)),
+        Aggregate::Max => Ok(values
+            .iter()
+            .max_by(|a, b| a.compare(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null)),
+        Aggregate::Sum | Aggregate::Avg => {
+            let mut total = 0.0f64;
+            let mut n = 0usize;
+            for v in &values {
+                match v {
+                    Value::Int(i) => {
+                        total += *i as f64;
+                        n += 1;
+                    }
+                    Value::Float(x) => {
+                        total += x;
+                        n += 1;
+                    }
+                    other => {
+                        return Err(GeoDbError::InvalidQuery(format!(
+                            "cannot sum non-numeric value {} at `{path}`",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            if agg == Aggregate::Sum {
+                Ok(Value::Float(total))
+            } else if n == 0 {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Float(total / n as f64))
+            }
+        }
     }
 }
 
@@ -988,7 +1079,7 @@ mod tests {
                 let Value::Ref(supplier_oid) = inst.get("supplier") else {
                     return Ok(Value::Null);
                 };
-                let supplier = db.peek(*supplier_oid)?;
+                let supplier = db.resolve(*supplier_oid)?;
                 Ok(supplier.get("name").clone())
             }),
         )

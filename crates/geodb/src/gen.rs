@@ -132,7 +132,7 @@ pub fn register_phone_net_methods(db: &mut Database) -> Result<()> {
             let Value::Ref(oid) = inst.get("pole_supplier") else {
                 return Ok(Value::Null);
             };
-            let supplier = db.peek(*oid)?;
+            let supplier = db.resolve(*oid)?;
             Ok(supplier.get("supplier_name").clone())
         }),
     )

@@ -164,6 +164,10 @@ impl SpatialIndex for GridIndex {
     fn len(&self) -> usize {
         self.entries.len()
     }
+
+    fn clone_box(&self) -> Box<dyn SpatialIndex> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

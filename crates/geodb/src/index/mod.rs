@@ -38,6 +38,11 @@ pub trait SpatialIndex: Send + Sync {
     /// Number of indexed objects.
     fn len(&self) -> usize;
 
+    /// Deep copy behind the trait object — the versioned store clones a
+    /// class partition's index before applying an incremental change, so
+    /// published snapshots stay immutable.
+    fn clone_box(&self) -> Box<dyn SpatialIndex>;
+
     /// True when no objects are indexed.
     fn is_empty(&self) -> bool {
         self.len() == 0

@@ -491,6 +491,10 @@ impl SpatialIndex for RTree {
     fn len(&self) -> usize {
         self.entries.len()
     }
+
+    fn clone_box(&self) -> Box<dyn SpatialIndex> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -44,13 +44,15 @@ pub mod query;
 pub mod schema;
 pub mod snapshot;
 pub mod storage;
+pub mod store;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use db::{Aggregate, Database, IndexKind, MethodFn, QueryStats};
+pub use db::{Aggregate, Database, IndexKind, MethodFn, QueryStats, RefResolver};
 pub use error::{GeoDbError, Result};
 pub use geometry::{Geometry, GeometryKind, Point, Polygon, Polyline, Rect};
 pub use instance::{Instance, Oid};
 pub use query::{CmpOp, DbEvent, DbEventKind, Predicate};
 pub use schema::{AttrDef, ClassDef, MethodDef, SchemaDef};
+pub use store::{Committed, DbReader, DbSnapshot, DbStore};
 pub use value::{AttrType, Value};

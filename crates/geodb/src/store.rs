@@ -1,0 +1,1126 @@
+//! Versioned storage: copy-on-write epoch snapshots over [`Database`].
+//!
+//! The paper puts customization *inside the DBMS*, so the database — not
+//! the UI layer — is the component every concurrent session shares. This
+//! module applies the same COW/epoch pattern the rule engine uses for its
+//! `RuleBase` one layer down, to the data itself:
+//!
+//! * [`DbSnapshot`] — an immutable point-in-time view (catalog + class
+//!   partitions + spatial indexes + locator), structurally shared via
+//!   `Arc` per class so a write clones only the touched class, never the
+//!   world. All query primitives (`get_schema` / `get_class` /
+//!   `get_value` / `select` / `aggregate` / `nearest` / `window_query`)
+//!   run against it without locks or `&mut`.
+//! * [`DbStore`] — the shared handle: a serialized writer (the one
+//!   mutable [`Database`] lives inside it) that watches the database's
+//!   own event stream through a subscription, rebuilds exactly the
+//!   dirty partitions after each write, and publishes the next snapshot
+//!   under a new epoch (`Mutex<Arc<DbSnapshot>>` slot + `AtomicU64`
+//!   epoch).
+//! * [`DbReader`] — a per-session pin: one `Acquire` epoch load per
+//!   request; the published slot's lock is taken only when the epoch
+//!   actually moved.
+//!
+//! Readers therefore never block on writers: a reader pinned to epoch N
+//! keeps serving N (its `Arc` keeps the partitions alive) while the
+//! writer publishes N+1.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crossbeam::channel::Receiver;
+
+use crate::catalog::Catalog;
+use crate::db::{
+    aggregate_rows, Aggregate, Database, IndexKind, MethodFn, QueryStats, RefResolver,
+};
+use crate::error::{GeoDbError, Result};
+use crate::geometry::{Point, Rect};
+use crate::index::{GridIndex, RTree, SpatialIndex};
+use crate::instance::{Instance, Oid};
+use crate::query::{DbEvent, Predicate};
+use crate::schema::SchemaDef;
+use crate::value::Value;
+
+/// The `geodb.query` failpoint — snapshot reads honour the same fault
+/// hook as the mutable query primitives so the fault harness covers both
+/// paths.
+fn query_failpoint() -> Result<()> {
+    faultsim::fire("geodb.query").map_err(|f| GeoDbError::Storage(f.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// ClassPartition
+// ---------------------------------------------------------------------------
+
+/// Immutable per-class slice of a snapshot: the extent's instances (in
+/// insertion order) plus a mirror of its spatial index. Snapshots share
+/// partitions via `Arc`; the writer clones-and-patches only the
+/// partitions a write actually touched.
+pub struct ClassPartition {
+    instances: HashMap<Oid, Arc<Instance>>,
+    /// Insertion order, so extensions list deterministically.
+    order: Vec<Oid>,
+    spatial: Option<Box<dyn SpatialIndex>>,
+    geom_attr: Option<String>,
+    kind: IndexKind,
+}
+
+impl Clone for ClassPartition {
+    fn clone(&self) -> ClassPartition {
+        ClassPartition {
+            instances: self.instances.clone(),
+            order: self.order.clone(),
+            spatial: self.spatial.as_ref().map(|s| s.clone_box()),
+            geom_attr: self.geom_attr.clone(),
+            kind: self.kind,
+        }
+    }
+}
+
+impl ClassPartition {
+    /// Build from a full extent capture (initial snapshot, new schema,
+    /// store restore).
+    fn from_capture(cap: crate::db::ExtentCapture) -> ClassPartition {
+        let spatial: Option<Box<dyn SpatialIndex>> = match (&cap.geom_attr, cap.kind) {
+            (Some(_), IndexKind::RTree) => Some(Box::new(RTree::new())),
+            (Some(_), IndexKind::Grid { cell }) => Some(Box::new(GridIndex::new(cell))),
+            _ => None,
+        };
+        let mut part = ClassPartition {
+            instances: HashMap::with_capacity(cap.instances.len()),
+            order: Vec::with_capacity(cap.instances.len()),
+            spatial,
+            geom_attr: cap.geom_attr,
+            kind: cap.kind,
+        };
+        for inst in cap.instances {
+            part.upsert(inst);
+        }
+        part
+    }
+
+    /// Insert or replace one instance, keeping order and index in step.
+    fn upsert(&mut self, inst: Instance) {
+        let oid = inst.oid;
+        let bbox = self
+            .geom_attr
+            .as_ref()
+            .and_then(|a| inst.get(a).as_geometry())
+            .map(|g| g.bbox());
+        if self.instances.insert(oid, Arc::new(inst)).is_none() {
+            self.order.push(oid);
+        }
+        if let Some(idx) = self.spatial.as_mut() {
+            idx.remove(oid);
+            if let Some(bbox) = bbox {
+                idx.insert(oid, bbox);
+            }
+        }
+    }
+
+    /// Remove one instance if present.
+    fn remove(&mut self, oid: Oid) {
+        if self.instances.remove(&oid).is_some() {
+            self.order.retain(|o| *o != oid);
+        }
+        if let Some(idx) = self.spatial.as_mut() {
+            idx.remove(oid);
+        }
+    }
+
+    fn get(&self, oid: Oid) -> Option<&Arc<Instance>> {
+        self.instances.get(&oid)
+    }
+
+    fn len(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OidMap — sharded locator
+// ---------------------------------------------------------------------------
+
+const OID_BUCKETS: u64 = 64;
+
+/// One locator bucket: oid → interned (schema, class).
+type OidBucket = HashMap<Oid, (Arc<str>, Arc<str>)>;
+
+/// oid → (schema, class), sharded into `Arc` buckets so a publish clones
+/// 1/64th of the map (the touched bucket) instead of every entry.
+#[derive(Clone)]
+struct OidMap {
+    buckets: Vec<Arc<OidBucket>>,
+}
+
+impl OidMap {
+    fn new() -> OidMap {
+        OidMap {
+            buckets: (0..OID_BUCKETS).map(|_| Arc::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn bucket(oid: Oid) -> usize {
+        (oid.0 % OID_BUCKETS) as usize
+    }
+
+    fn get(&self, oid: Oid) -> Option<&(Arc<str>, Arc<str>)> {
+        self.buckets[Self::bucket(oid)].get(&oid)
+    }
+
+    fn insert(&mut self, oid: Oid, schema: Arc<str>, class: Arc<str>) {
+        Arc::make_mut(&mut self.buckets[Self::bucket(oid)]).insert(oid, (schema, class));
+    }
+
+    fn remove(&mut self, oid: Oid) {
+        Arc::make_mut(&mut self.buckets[Self::bucket(oid)]).remove(&oid);
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// Every (oid, schema, class), in OID order.
+    fn entries_sorted(&self) -> Vec<(Oid, Arc<str>, Arc<str>)> {
+        let mut out: Vec<_> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|(o, (s, c))| (*o, s.clone(), c.clone())))
+            .collect();
+        out.sort_by_key(|(o, _, _)| *o);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DbSnapshot
+// ---------------------------------------------------------------------------
+
+/// An immutable point-in-time view of the database, safe to read from
+/// any thread without locks. Obtained from [`DbStore::snapshot`] or a
+/// pinned [`DbReader`].
+pub struct DbSnapshot {
+    epoch: u64,
+    name: Arc<str>,
+    catalog: Arc<Catalog>,
+    partitions: HashMap<(String, String), Arc<ClassPartition>>,
+    locator: OidMap,
+    methods: Arc<HashMap<(String, String), MethodFn>>,
+}
+
+/// Resolves `Ref` attributes against a pinned snapshot so registered
+/// method bodies run on the lock-free read path.
+struct SnapshotResolver<'a> {
+    snap: &'a DbSnapshot,
+}
+
+impl RefResolver for SnapshotResolver<'_> {
+    fn resolve(&mut self, oid: Oid) -> Result<Instance> {
+        self.snap.peek(oid)
+    }
+}
+
+impl DbSnapshot {
+    /// The epoch this snapshot was published under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// All schema definitions (snapshot dumps, weak integration).
+    pub fn schemas(&self) -> Vec<SchemaDef> {
+        self.catalog
+            .schema_names()
+            .into_iter()
+            .map(|n| self.catalog.schema(n).expect("listed schema").clone())
+            .collect()
+    }
+
+    /// Schema and class of a stored object.
+    pub fn locate(&self, oid: Oid) -> Option<(&str, &str)> {
+        self.locator.get(oid).map(|(s, c)| (&**s, &**c))
+    }
+
+    /// Total stored objects.
+    pub fn object_count(&self) -> usize {
+        self.locator.len()
+    }
+
+    /// Number of stored instances of a class (own extent only).
+    pub fn extent_size(&self, schema: &str, class: &str) -> usize {
+        self.partitions
+            .get(&(schema.to_string(), class.to_string()))
+            .map(|p| p.len())
+            .unwrap_or(0)
+    }
+
+    fn partition(&self, schema: &str, class: &str) -> Result<&Arc<ClassPartition>> {
+        self.partitions
+            .get(&(schema.to_string(), class.to_string()))
+            .ok_or_else(|| GeoDbError::UnknownClass(class.to_string()))
+    }
+
+    /// `Get_Schema` primitive against the pinned view.
+    pub fn get_schema(&self, schema: &str) -> Result<SchemaDef> {
+        let _span = obs::span("geodb.get_schema");
+        query_failpoint()?;
+        let def = self.catalog.schema(schema)?.clone();
+        obs::counter_add("geodb.queries", 1);
+        Ok(def)
+    }
+
+    /// `Get_Class` primitive: the class extension (pass `with_subclasses`
+    /// for the polymorphic extension), in insertion order per class.
+    pub fn get_class(
+        &self,
+        schema: &str,
+        class: &str,
+        with_subclasses: bool,
+    ) -> Result<Vec<Instance>> {
+        let _span = obs::span("geodb.get_class");
+        query_failpoint()?;
+        self.catalog.class(schema, class)?;
+        let mut classes = vec![class.to_string()];
+        if with_subclasses {
+            let mut queue = vec![class.to_string()];
+            while let Some(c) = queue.pop() {
+                for sub in self.catalog.subclasses(schema, &c)? {
+                    classes.push(sub.name.clone());
+                    queue.push(sub.name.clone());
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for c in &classes {
+            if let Some(part) = self.partitions.get(&(schema.to_string(), c.clone())) {
+                for oid in &part.order {
+                    out.push((**part.get(*oid).expect("ordered oid present")).clone());
+                }
+            }
+        }
+        if obs::enabled() {
+            obs::counter_add("geodb.queries", 1);
+            obs::counter_add("geodb.instances_fetched", out.len() as u64);
+        }
+        Ok(out)
+    }
+
+    /// `Get_Value` primitive: fetch one instance.
+    pub fn get_value(&self, oid: Oid) -> Result<Instance> {
+        let _span = obs::span("geodb.get_value");
+        query_failpoint()?;
+        let inst = self.peek(oid)?;
+        if obs::enabled() {
+            obs::counter_add("geodb.queries", 1);
+            obs::counter_add("geodb.instances_fetched", 1);
+        }
+        Ok(inst)
+    }
+
+    /// Fetch without counters (internal plumbing, rendering).
+    pub fn peek(&self, oid: Oid) -> Result<Instance> {
+        let (schema, class) = self.locator.get(oid).ok_or(GeoDbError::UnknownOid(oid.0))?;
+        let part = self
+            .partitions
+            .get(&(schema.to_string(), class.to_string()))
+            .ok_or(GeoDbError::UnknownOid(oid.0))?;
+        part.get(oid)
+            .map(|i| (**i).clone())
+            .ok_or(GeoDbError::UnknownOid(oid.0))
+    }
+
+    /// Selection with optional spatial-index acceleration; returns the
+    /// rows plus the stats [`Database::last_query_stats`] would report.
+    pub fn select_with_stats(
+        &self,
+        schema: &str,
+        class: &str,
+        pred: &Predicate,
+    ) -> Result<(Vec<Instance>, QueryStats)> {
+        let _span = obs::span("geodb.select");
+        query_failpoint()?;
+        self.catalog.class(schema, class)?;
+        let part = self.partition(schema, class)?;
+        let window = pred.index_window();
+        let (candidates, index_used): (Vec<Oid>, bool) = match (&part.spatial, &window) {
+            (Some(idx), Some((attr, rect))) if Some(attr.as_str()) == part.geom_attr.as_deref() => {
+                (idx.query_rect(rect), true)
+            }
+            _ => (part.order.clone(), false),
+        };
+        let n_candidates = candidates.len();
+        let mut out = Vec::new();
+        for oid in candidates {
+            let inst = part.get(oid).expect("candidate oid present");
+            if pred.eval(inst) {
+                out.push((**inst).clone());
+            }
+        }
+        out.sort_by_key(|i| i.oid);
+        let stats = QueryStats {
+            candidates: n_candidates,
+            returned: out.len(),
+            index_used,
+        };
+        if obs::enabled() {
+            obs::counter_add("geodb.queries", 1);
+            obs::counter_add("geodb.instances_fetched", n_candidates as u64);
+            obs::counter_add(
+                if index_used {
+                    "geodb.index_hits"
+                } else {
+                    "geodb.index_scans"
+                },
+                1,
+            );
+        }
+        Ok((out, stats))
+    }
+
+    /// Selection without the stats.
+    pub fn select(&self, schema: &str, class: &str, pred: &Predicate) -> Result<Vec<Instance>> {
+        self.select_with_stats(schema, class, pred).map(|(r, _)| r)
+    }
+
+    /// Aggregate an attribute over the (optionally filtered) extension.
+    pub fn aggregate(
+        &self,
+        schema: &str,
+        class: &str,
+        path: &str,
+        agg: Aggregate,
+        pred: &Predicate,
+    ) -> Result<Value> {
+        let rows = self.select(schema, class, pred)?;
+        aggregate_rows(&rows, path, agg)
+    }
+
+    /// k-nearest-neighbour query (exact re-rank of index candidates).
+    pub fn nearest(&self, schema: &str, class: &str, p: Point, k: usize) -> Result<Vec<Instance>> {
+        self.catalog.class(schema, class)?;
+        let part = self.partition(schema, class)?;
+        let geom_attr = part.geom_attr.clone().ok_or_else(|| {
+            GeoDbError::InvalidQuery(format!("class `{class}` has no geometry attribute"))
+        })?;
+        let candidates: Vec<Oid> = match &part.spatial {
+            Some(idx) => idx.nearest(&p, (2 * k).max(8)),
+            None => part.order.clone(),
+        };
+        let mut ranked: Vec<(f64, Instance)> = Vec::with_capacity(candidates.len());
+        for oid in candidates {
+            let inst = part.get(oid).expect("candidate oid present");
+            if let Some(g) = inst.get(&geom_attr).as_geometry() {
+                ranked.push((g.distance_to_point(&p), (**inst).clone()));
+            }
+        }
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        ranked.truncate(k);
+        Ok(ranked.into_iter().map(|(_, i)| i).collect())
+    }
+
+    /// Spatial window shortcut: everything intersecting `rect`.
+    pub fn window_query(&self, schema: &str, class: &str, rect: Rect) -> Result<Vec<Instance>> {
+        let part = self.partition(schema, class)?;
+        let attr = part.geom_attr.clone().ok_or_else(|| {
+            GeoDbError::InvalidQuery(format!("class `{class}` has no geometry attribute"))
+        })?;
+        self.select(schema, class, &Predicate::IntersectsRect { attr, rect })
+    }
+
+    /// Invoke a registered method body against the pinned view.
+    pub fn call_method(&self, inst: &Instance, method: &str, args: &[Value]) -> Result<Value> {
+        let f = self
+            .methods
+            .get(&(inst.class.clone(), method.to_string()))
+            .cloned()
+            .ok_or_else(|| GeoDbError::UnknownMethod {
+                class: inst.class.clone(),
+                method: method.to_string(),
+            })?;
+        let mut resolver = SnapshotResolver { snap: self };
+        f(&mut resolver, inst, args)
+    }
+
+    /// Every stored object with its schema, in OID order (snapshot dump).
+    pub fn dump_objects(&self) -> Vec<(String, Instance)> {
+        self.locator
+            .entries_sorted()
+            .into_iter()
+            .map(|(oid, schema, class)| {
+                let inst = self
+                    .partitions
+                    .get(&(schema.to_string(), class.to_string()))
+                    .and_then(|p| p.get(oid))
+                    .expect("located instance present in partition");
+                (schema.to_string(), (**inst).clone())
+            })
+            .collect()
+    }
+
+    /// Approximate logical data footprint: serialized bytes of every
+    /// stored instance. One snapshot's worth is what *all* shards share;
+    /// the per-copy model of the old serving layer paid this per shard.
+    pub fn approx_data_bytes(&self) -> usize {
+        self.locator
+            .entries_sorted()
+            .iter()
+            .filter_map(|(oid, schema, class)| {
+                self.partitions
+                    .get(&(schema.to_string(), class.to_string()))
+                    .and_then(|p| p.get(*oid))
+                    .and_then(|i| serde_json::to_vec(&**i).ok())
+                    .map(|b| b.len())
+            })
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for DbSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbSnapshot")
+            .field("epoch", &self.epoch)
+            .field("name", &self.name)
+            .field("objects", &self.locator.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DbStore
+// ---------------------------------------------------------------------------
+
+/// Result of a committed write: the closure's value, the database events
+/// it produced (for the active mechanism), and the epoch the resulting
+/// snapshot was published under.
+#[derive(Debug)]
+pub struct Committed<R> {
+    pub value: R,
+    pub events: Vec<DbEvent>,
+    pub epoch: u64,
+}
+
+struct WriterState {
+    db: Database,
+    /// Subscription to the database's live event stream. The writer syncs
+    /// partitions from here — not from `drain_events` — so a write closure
+    /// that drains the queue itself (several `custlang` helpers do) cannot
+    /// starve the incremental sync.
+    events_rx: Receiver<DbEvent>,
+    name: Arc<str>,
+    catalog: Arc<Catalog>,
+    parts: HashMap<(String, String), Arc<ClassPartition>>,
+    locator: OidMap,
+    /// Interned schema/class names for locator entries.
+    interned: HashMap<String, Arc<str>>,
+}
+
+impl WriterState {
+    /// Drop events already emitted (pre-wrap activity, reads by an
+    /// earlier failed write) from both the queue and the subscription.
+    fn discard_pending_events(&mut self) {
+        self.db.drain_events();
+        while self.events_rx.try_recv().is_ok() {}
+    }
+
+    /// Collect everything the last closure emitted, regardless of
+    /// whether it drained the database's own queue along the way.
+    fn take_events(&mut self) -> Vec<DbEvent> {
+        self.db.drain_events();
+        let mut events = Vec::new();
+        while let Ok(e) = self.events_rx.try_recv() {
+            events.push(e);
+        }
+        events
+    }
+
+    fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some(a) = self.interned.get(s) {
+            return a.clone();
+        }
+        let a: Arc<str> = Arc::from(s);
+        self.interned.insert(s.to_string(), a.clone());
+        a
+    }
+
+    /// Full capture of the writer database (initial snapshot, restore).
+    fn capture_all(&mut self) -> Result<()> {
+        self.name = Arc::from(self.db.name());
+        self.catalog = Arc::new(self.db.catalog().clone());
+        self.parts.clear();
+        self.locator = OidMap::new();
+        for key in self.db.extent_keys() {
+            let cap = self.db.capture_extent(&key.0, &key.1)?;
+            let part = ClassPartition::from_capture(cap);
+            let (schema_a, class_a) = (self.intern(&key.0), self.intern(&key.1));
+            for oid in &part.order {
+                self.locator.insert(*oid, schema_a.clone(), class_a.clone());
+            }
+            self.parts.insert(key, Arc::new(part));
+        }
+        Ok(())
+    }
+
+    /// Incremental sync: fold the drained events into the partition map,
+    /// rebuilding only what changed.
+    fn sync_events(&mut self, events: &[DbEvent]) -> Result<()> {
+        // New schemas first: refresh the catalog and capture any extents
+        // we have no partition for yet. Captures taken here already
+        // reflect every event of this write, so data events against
+        // freshly captured classes must not be re-applied.
+        let mut fresh: HashSet<(String, String)> = HashSet::new();
+        if events
+            .iter()
+            .any(|e| matches!(e, DbEvent::SchemaRegistered { .. }))
+        {
+            self.catalog = Arc::new(self.db.catalog().clone());
+            for key in self.db.extent_keys() {
+                if !self.parts.contains_key(&key) {
+                    let cap = self.db.capture_extent(&key.0, &key.1)?;
+                    self.parts
+                        .insert(key.clone(), Arc::new(ClassPartition::from_capture(cap)));
+                    fresh.insert(key);
+                }
+            }
+        }
+
+        // Locator maintenance in event order; group data events per
+        // class as `(oid, removed)` pairs.
+        type ClassChanges = Vec<(Oid, bool)>;
+        let mut per_class: Vec<((String, String), ClassChanges)> = Vec::new();
+        for e in events {
+            let (schema, class, oid, removed) = match e {
+                DbEvent::Insert { schema, class, oid } | DbEvent::Update { schema, class, oid } => {
+                    (schema, class, *oid, false)
+                }
+                DbEvent::Delete { schema, class, oid } => (schema, class, *oid, true),
+                _ => continue,
+            };
+            if removed {
+                self.locator.remove(oid);
+            } else {
+                let (s, c) = (self.intern(schema), self.intern(class));
+                self.locator.insert(oid, s, c);
+            }
+            let key = (schema.clone(), class.clone());
+            match per_class.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, evs)) => evs.push((oid, removed)),
+                None => per_class.push((key, vec![(oid, removed)])),
+            }
+        }
+
+        for (key, evs) in per_class {
+            if fresh.contains(&key) {
+                continue;
+            }
+            let base = self
+                .parts
+                .get(&key)
+                .ok_or_else(|| GeoDbError::UnknownClass(key.1.clone()))?;
+            let mut part = (**base).clone();
+            for (oid, removed) in evs {
+                if removed {
+                    part.remove(oid);
+                    continue;
+                }
+                // An instance inserted and deleted within the same write
+                // is already gone from the database; treat it as removed.
+                match self.db.fetch_instance(&key.0, &key.1, oid) {
+                    Ok(inst) => part.upsert(inst),
+                    Err(GeoDbError::UnknownOid(_)) => part.remove(oid),
+                    Err(e) => return Err(e),
+                }
+            }
+            self.parts.insert(key, Arc::new(part));
+        }
+        Ok(())
+    }
+
+    fn build_snapshot(&self, epoch: u64) -> DbSnapshot {
+        DbSnapshot {
+            epoch,
+            name: self.name.clone(),
+            catalog: self.catalog.clone(),
+            partitions: self.parts.clone(),
+            locator: self.locator.clone(),
+            methods: Arc::new(self.db.methods_map()),
+        }
+    }
+}
+
+struct StoreShared {
+    writer: Mutex<WriterState>,
+    published: Mutex<Arc<DbSnapshot>>,
+    epoch: AtomicU64,
+}
+
+/// Shared handle to the versioned store. Cheap to clone; all clones see
+/// the same data and epochs. Writes are serialized through the handle;
+/// reads go through [`DbStore::snapshot`] or a [`DbReader`] pin and
+/// never take the writer lock.
+#[derive(Clone)]
+pub struct DbStore {
+    shared: Arc<StoreShared>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic inside a write closure is contained by the serving layer;
+    // the store itself stays usable (partial mutations were already
+    // synced on the next publish).
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl DbStore {
+    /// Wrap a database into a shared versioned store, publishing epoch 1.
+    ///
+    /// # Panics
+    /// Panics if the initial capture fails, which requires the backing
+    /// storage to be corrupt (in-memory databases cannot fail here).
+    pub fn new(mut db: Database) -> DbStore {
+        let events_rx = db.subscribe();
+        let mut w = WriterState {
+            db,
+            events_rx,
+            name: Arc::from(""),
+            catalog: Arc::new(Catalog::new()),
+            parts: HashMap::new(),
+            locator: OidMap::new(),
+            interned: HashMap::new(),
+        };
+        w.discard_pending_events();
+        w.capture_all().expect("initial snapshot capture");
+        let snap = Arc::new(w.build_snapshot(1));
+        if obs::enabled() {
+            obs::counter_add("db.snapshot_publishes", 1);
+            obs::counter_add("db.epoch", 1);
+        }
+        DbStore {
+            shared: Arc::new(StoreShared {
+                writer: Mutex::new(w),
+                published: Mutex::new(snap),
+                epoch: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The current published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current published snapshot (one lock on the published slot;
+    /// use a [`DbReader`] on hot paths to avoid even that).
+    pub fn snapshot(&self) -> Arc<DbSnapshot> {
+        Arc::clone(&lock(&self.shared.published))
+    }
+
+    /// A pinned reader starting at the current snapshot.
+    pub fn reader(&self) -> DbReader {
+        let snap = self.snapshot();
+        let epoch = snap.epoch();
+        DbReader {
+            shared: Arc::clone(&self.shared),
+            snap,
+            epoch,
+        }
+    }
+
+    /// Snapshot handles currently held outside the store (pinned readers
+    /// plus explicit `snapshot()` clones).
+    pub fn pinned_snapshots(&self) -> usize {
+        Arc::strong_count(&lock(&self.shared.published)).saturating_sub(1)
+    }
+
+    /// Execute a write against the one mutable [`Database`], then sync
+    /// the touched partitions and publish the next epoch. The snapshot
+    /// is republished even when the closure errors partway (the database
+    /// may have partially mutated), so published state never diverges
+    /// from the writer database.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> Result<R>) -> Result<Committed<R>> {
+        let mut w = lock(&self.shared.writer);
+        let t0 = Instant::now();
+        w.discard_pending_events();
+        let value = f(&mut w.db);
+        let events = w.take_events();
+        w.sync_events(&events)?;
+        let epoch = self.publish(&w, t0);
+        let value = value?;
+        Ok(Committed {
+            value,
+            events,
+            epoch,
+        })
+    }
+
+    /// Replace the store's entire contents from a freshly loaded
+    /// database (snapshot restore), publishing a fresh epoch.
+    pub fn replace(&self, db: Database) -> Result<u64> {
+        let mut w = lock(&self.shared.writer);
+        let t0 = Instant::now();
+        w.db = db;
+        w.events_rx = w.db.subscribe();
+        w.discard_pending_events();
+        w.interned.clear();
+        w.capture_all()?;
+        Ok(self.publish(&w, t0))
+    }
+
+    fn publish(&self, w: &WriterState, t0: Instant) -> u64 {
+        let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
+        let snap = Arc::new(w.build_snapshot(epoch));
+        {
+            let mut slot = lock(&self.shared.published);
+            *slot = snap;
+            self.shared.epoch.store(epoch, Ordering::Release);
+        }
+        if obs::enabled() {
+            obs::counter_add("db.snapshot_publishes", 1);
+            obs::counter_add("db.epoch", 1);
+            obs::record_nanos("db.publish_latency", t0.elapsed().as_nanos() as u64);
+        }
+        epoch
+    }
+}
+
+impl std::fmt::Debug for DbStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbStore")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DbReader
+// ---------------------------------------------------------------------------
+
+/// A per-session pin on the published snapshot. `pin()` performs exactly
+/// one `Acquire` epoch load in steady state; the published slot's lock
+/// is taken only when the epoch moved since the last pin.
+#[derive(Clone)]
+pub struct DbReader {
+    shared: Arc<StoreShared>,
+    snap: Arc<DbSnapshot>,
+    epoch: u64,
+}
+
+impl DbReader {
+    /// Revalidate against the current epoch and return the pinned
+    /// snapshot.
+    pub fn pin(&mut self) -> &Arc<DbSnapshot> {
+        let current = self.shared.epoch.load(Ordering::Acquire);
+        if current != self.epoch {
+            self.snap = Arc::clone(&lock(&self.shared.published));
+            self.epoch = self.snap.epoch();
+        }
+        if obs::enabled() {
+            obs::counter_add("db.reads_pinned", 1);
+        }
+        &self.snap
+    }
+
+    /// The snapshot from the last `pin()`, without revalidating.
+    pub fn pinned(&self) -> &Arc<DbSnapshot> {
+        &self.snap
+    }
+
+    /// Epoch of the pinned snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A store handle back onto the same shared state.
+    pub fn store(&self) -> DbStore {
+        DbStore {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+    use crate::query::CmpOp;
+    use crate::schema::ClassDef;
+    use crate::value::AttrType;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("store-test");
+        db.register_schema(
+            SchemaDef::new("net")
+                .class(ClassDef::new("Supplier").attr("name", AttrType::Text))
+                .class(
+                    ClassDef::new("Pole")
+                        .attr("height", AttrType::Float)
+                        .attr("supplier", AttrType::Ref("Supplier".into()))
+                        .attr("location", AttrType::Geometry),
+                ),
+        )
+        .unwrap();
+        let s = db
+            .insert("net", "Supplier", vec![("name".into(), "Acme".into())])
+            .unwrap();
+        for i in 0..8 {
+            db.insert(
+                "net",
+                "Pole",
+                vec![
+                    ("height".into(), (5.0 + i as f64).into()),
+                    ("supplier".into(), Value::Ref(s)),
+                    (
+                        "location".into(),
+                        Geometry::Point(Point::new(i as f64, 0.0)).into(),
+                    ),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn snapshot_reads_match_database() {
+        let store = DbStore::new(sample_db());
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.extent_size("net", "Pole"), 8);
+        let poles = snap.get_class("net", "Pole", false).unwrap();
+        assert_eq!(poles.len(), 8);
+        assert_eq!(poles[0].get("height"), &Value::Float(5.0));
+        let one = snap.get_value(poles[3].oid).unwrap();
+        assert_eq!(one, poles[3]);
+        assert_eq!(snap.locate(poles[0].oid), Some(("net", "Pole")));
+        assert_eq!(snap.object_count(), 9);
+    }
+
+    #[test]
+    fn write_publishes_new_epoch_and_readers_stay_pinned() {
+        let store = DbStore::new(sample_db());
+        let mut reader = store.reader();
+        let before = Arc::clone(reader.pin());
+        let oid = before.get_class("net", "Pole", false).unwrap()[0].oid;
+
+        let committed = store
+            .write(|db| db.update(oid, vec![("height".into(), Value::Float(99.0))]))
+            .unwrap();
+        assert_eq!(committed.epoch, 2);
+        assert_eq!(committed.events.len(), 1);
+
+        // The old pin still serves the old value.
+        assert_eq!(before.peek(oid).unwrap().get("height"), &Value::Float(5.0));
+        // Re-pinning observes the write.
+        let after = reader.pin();
+        assert_eq!(after.epoch(), 2);
+        assert_eq!(after.peek(oid).unwrap().get("height"), &Value::Float(99.0));
+    }
+
+    #[test]
+    fn write_clones_only_touched_partition() {
+        let store = DbStore::new(sample_db());
+        let before = store.snapshot();
+        let oid = before.get_class("net", "Pole", false).unwrap()[0].oid;
+        store
+            .write(|db| db.update(oid, vec![("height".into(), Value::Float(50.0))]))
+            .unwrap();
+        let after = store.snapshot();
+        let key_pole = ("net".to_string(), "Pole".to_string());
+        let key_sup = ("net".to_string(), "Supplier".to_string());
+        assert!(
+            !Arc::ptr_eq(&before.partitions[&key_pole], &after.partitions[&key_pole]),
+            "touched partition is rebuilt"
+        );
+        assert!(
+            Arc::ptr_eq(&before.partitions[&key_sup], &after.partitions[&key_sup]),
+            "untouched partition is structurally shared"
+        );
+    }
+
+    #[test]
+    fn snapshot_spatial_queries_work() {
+        let store = DbStore::new(sample_db());
+        let snap = store.snapshot();
+        let (hits, stats) = snap
+            .select_with_stats(
+                "net",
+                "Pole",
+                &Predicate::IntersectsRect {
+                    attr: "location".into(),
+                    rect: Rect::new(-0.5, -0.5, 2.5, 0.5),
+                },
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 3);
+        assert!(stats.index_used);
+        let near = snap
+            .nearest("net", "Pole", Point::new(7.2, 0.0), 2)
+            .unwrap();
+        assert_eq!(near.len(), 2);
+        assert_eq!(near[0].get("height"), &Value::Float(12.0));
+        let win = snap
+            .window_query("net", "Pole", Rect::new(2.5, -1.0, 4.5, 1.0))
+            .unwrap();
+        assert_eq!(win.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_aggregate_and_predicates() {
+        let store = DbStore::new(sample_db());
+        let snap = store.snapshot();
+        let n = snap
+            .aggregate("net", "Pole", "height", Aggregate::Count, &Predicate::True)
+            .unwrap();
+        assert_eq!(n, Value::Int(8));
+        let tall = snap
+            .select("net", "Pole", &Predicate::cmp("height", CmpOp::Ge, 10.0))
+            .unwrap();
+        assert_eq!(tall.len(), 3);
+    }
+
+    #[test]
+    fn insert_delete_and_schema_registration_sync() {
+        let store = DbStore::new(sample_db());
+        let committed = store
+            .write(|db| {
+                db.register_schema(
+                    SchemaDef::new("admin")
+                        .class(ClassDef::new("District").attr("name", AttrType::Text)),
+                )?;
+                db.insert("admin", "District", vec![("name".into(), "centro".into())])
+            })
+            .unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.extent_size("admin", "District"), 1);
+        let d = snap.get_class("admin", "District", false).unwrap();
+        assert_eq!(d[0].get("name"), &Value::Text("centro".into()));
+        assert_eq!(snap.locate(committed.value), Some(("admin", "District")));
+
+        store.write(|db| db.delete(committed.value)).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.extent_size("admin", "District"), 0);
+        assert!(snap.peek(committed.value).is_err());
+    }
+
+    #[test]
+    fn insert_then_delete_in_one_write_leaves_no_trace() {
+        let store = DbStore::new(sample_db());
+        store
+            .write(|db| {
+                let oid = db.insert("net", "Supplier", vec![("name".into(), "Ghost".into())])?;
+                db.delete(oid)
+            })
+            .unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.extent_size("net", "Supplier"), 1);
+        assert_eq!(snap.object_count(), 9);
+    }
+
+    #[test]
+    fn write_closure_draining_events_still_syncs() {
+        // Helpers like `custlang::save_program` drain the database's own
+        // event queue; the writer's subscription must see the mutations
+        // anyway or the published snapshot would silently diverge.
+        let store = DbStore::new(sample_db());
+        let committed = store
+            .write(|db| {
+                let oid = db.insert("net", "Supplier", vec![("name".into(), "Sneaky".into())])?;
+                db.drain_events();
+                Ok(oid)
+            })
+            .unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.extent_size("net", "Supplier"), 2);
+        assert!(snap.get_value(committed.value).is_ok());
+        assert!(
+            committed
+                .events
+                .iter()
+                .any(|e| matches!(e, DbEvent::Insert { .. })),
+            "committed events survive an internal drain: {:?}",
+            committed.events
+        );
+    }
+
+    #[test]
+    fn failed_write_still_publishes_partial_state() {
+        let store = DbStore::new(sample_db());
+        let err = store.write(|db| {
+            db.insert("net", "Supplier", vec![("name".into(), "Early".into())])?;
+            Err::<(), _>(GeoDbError::InvalidQuery("boom".into()))
+        });
+        assert!(err.is_err());
+        // The insert happened before the failure; the published snapshot
+        // reflects the database as it actually is.
+        assert_eq!(store.snapshot().extent_size("net", "Supplier"), 2);
+        assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    fn methods_run_against_snapshots() {
+        let mut db = sample_db();
+        db.register_schema(
+            SchemaDef::new("m").class(
+                ClassDef::new("Named")
+                    .optional_attr("target", AttrType::Ref("Named".into()))
+                    .method(crate::schema::MethodDef::new(
+                        "target_class",
+                        vec![AttrType::Ref("Named".into())],
+                        AttrType::Text,
+                    )),
+            ),
+        )
+        .unwrap();
+        let a = db.insert("m", "Named", vec![]).unwrap();
+        let b = db
+            .insert("m", "Named", vec![("target".into(), Value::Ref(a))])
+            .unwrap();
+        db.register_method(
+            "m",
+            "Named",
+            "target_class",
+            Arc::new(|r, inst, _| {
+                let Value::Ref(oid) = inst.get("target") else {
+                    return Ok(Value::Null);
+                };
+                Ok(Value::Text(r.resolve(*oid)?.class))
+            }),
+        )
+        .unwrap();
+        let store = DbStore::new(db);
+        let snap = store.snapshot();
+        let inst = snap.peek(b).unwrap();
+        assert_eq!(
+            snap.call_method(&inst, "target_class", &[]).unwrap(),
+            Value::Text("Named".into())
+        );
+    }
+
+    #[test]
+    fn pinned_snapshot_count_tracks_handles() {
+        let store = DbStore::new(sample_db());
+        assert_eq!(store.pinned_snapshots(), 0);
+        let r1 = store.reader();
+        let s1 = store.snapshot();
+        assert_eq!(store.pinned_snapshots(), 2);
+        drop(r1);
+        drop(s1);
+        assert_eq!(store.pinned_snapshots(), 0);
+    }
+
+    #[test]
+    fn store_and_snapshot_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DbStore>();
+        assert_send_sync::<DbSnapshot>();
+        assert_send_sync::<DbReader>();
+    }
+}

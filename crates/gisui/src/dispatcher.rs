@@ -22,7 +22,8 @@ use custlang::{AnalysisEnv, Customization, Diagnostic, ParseError};
 use geodb::db::Database;
 use geodb::error::GeoDbError;
 use geodb::instance::Oid;
-use geodb::query::Predicate;
+use geodb::query::{DbEvent, Predicate};
+use geodb::store::{DbReader, DbSnapshot, DbStore};
 use geodb::value::Value;
 use uilib::{CallbackTable, Signal, UiEvent};
 
@@ -125,8 +126,18 @@ pub type Result<T> = std::result::Result<T, UiError>;
 
 /// The central controller tying database, active engine, builder,
 /// callbacks and window registry together.
+///
+/// Since the shared-storage refactor the dispatcher owns no database:
+/// it holds a [`DbReader`] pin on a shared [`DbStore`]. Reads execute
+/// against the pinned immutable snapshot (one `Acquire` epoch load per
+/// interaction, no locks); writes go through the store's serialized
+/// writer and publish a new epoch that every other dispatcher over the
+/// same store observes on its next pin.
 pub struct Dispatcher {
-    db: Database,
+    reader: DbReader,
+    /// Epoch this dispatcher last served; when the pin observes a newer
+    /// one, per-session caches keyed on database state are flushed.
+    last_db_epoch: u64,
     engine: Engine<Customization>,
     builder: InterfaceBuilder,
     callbacks: CallbackTable,
@@ -139,16 +150,29 @@ pub struct Dispatcher {
 
 impl Dispatcher {
     /// Create a dispatcher over a database, with the generic callbacks
-    /// pre-registered.
+    /// pre-registered. The database moves into a private [`DbStore`];
+    /// use [`Dispatcher::with_store`] to share one store across
+    /// dispatchers.
     pub fn new(db: Database, builder: InterfaceBuilder) -> Dispatcher {
         Dispatcher::with_engine(db, builder, Engine::new())
     }
 
-    /// Create a dispatcher around an existing engine handle — the hook
-    /// the concurrent serving layer uses to give every shard its own
-    /// session over one shared rule base (see `docs/scaling.md`).
+    /// Create a dispatcher around an existing engine handle (see
+    /// `docs/scaling.md`), wrapping the database into a private store.
     pub fn with_engine(
         db: Database,
+        builder: InterfaceBuilder,
+        engine: Engine<Customization>,
+    ) -> Dispatcher {
+        Dispatcher::with_store(DbStore::new(db), builder, engine)
+    }
+
+    /// Create a dispatcher serving a *shared* versioned store — the hook
+    /// the concurrent serving layer uses to give every shard its own
+    /// session and windows over one database and one rule base
+    /// (see `docs/storage.md`).
+    pub fn with_store(
+        store: DbStore,
         builder: InterfaceBuilder,
         engine: Engine<Customization>,
     ) -> Dispatcher {
@@ -184,22 +208,57 @@ impl Dispatcher {
                 Arc::new(move |_, _| vec![Signal::new("status").arg("action", name.clone())]),
             );
         }
+        let reader = store.reader();
+        let last_db_epoch = reader.epoch();
+        let mut explain = ExplanationLog::default();
+        explain.note_db_epoch(last_db_epoch);
         Dispatcher {
-            db,
+            reader,
+            last_db_epoch,
             engine,
             builder,
             callbacks,
             registry: WindowRegistry::new(),
             sessions: HashMap::new(),
             next_session: 1,
-            explain: ExplanationLog::default(),
+            explain,
         }
     }
 
     // -- accessors ----------------------------------------------------------
 
-    pub fn db(&mut self) -> &mut Database {
-        &mut self.db
+    /// A handle to the shared versioned store this dispatcher serves
+    /// (cheap to clone; writes through it are visible to every
+    /// dispatcher over the same store).
+    pub fn store(&self) -> DbStore {
+        self.reader.store()
+    }
+
+    /// The database epoch this dispatcher last served.
+    pub fn db_epoch(&self) -> u64 {
+        self.last_db_epoch
+    }
+
+    /// Revalidate the reader pin — exactly one `Acquire` epoch load in
+    /// steady state. When the epoch moved (some session committed a
+    /// write), flush the winner cache (its entries were computed against
+    /// the old data version) and stamp the new epoch into the
+    /// explanation log.
+    fn revalidate(&mut self) {
+        let epoch = self.reader.pin().epoch();
+        if epoch != self.last_db_epoch {
+            self.last_db_epoch = epoch;
+            self.engine.invalidate_winner_cache();
+            self.explain.note_db_epoch(epoch);
+        }
+    }
+
+    /// Pin the current database snapshot. All reads of one interaction
+    /// run against the returned snapshot, so they see a single
+    /// consistent epoch even while writers publish newer ones.
+    pub fn snapshot(&mut self) -> Arc<DbSnapshot> {
+        self.revalidate();
+        Arc::clone(self.reader.pinned())
     }
 
     pub fn engine(&mut self) -> &mut Engine<Customization> {
@@ -291,7 +350,8 @@ impl Dispatcher {
     /// `prefix` replaces the previous program.
     pub fn install_program(&mut self, source: &str, prefix: &str) -> Result<usize> {
         let program = custlang::parse(source)?;
-        let env = AnalysisEnv::new(self.db.catalog(), &self.builder.library);
+        let snap = self.snapshot();
+        let env = AnalysisEnv::new(snap.catalog(), &self.builder.library);
         let diags = custlang::analyze(&program, &env);
         if !custlang::is_clean(&diags) {
             return Err(UiError::Analysis(diags));
@@ -309,7 +369,8 @@ impl Dispatcher {
     /// in this language".
     pub fn store_program(&mut self, source: &str, name: &str) -> Result<usize> {
         let n = self.install_program(source, name)?;
-        custlang::save_program(&mut self.db, name, source)?;
+        self.store()
+            .write(|db| custlang::save_program(db, name, source))?;
         Ok(n)
     }
 
@@ -320,7 +381,7 @@ impl Dispatcher {
     /// (`ui.programs_skipped`) and recorded in the explanation log, so a
     /// silently-missing customization can be diagnosed after the fact.
     pub fn load_stored_programs(&mut self) -> Result<StoredProgramReport> {
-        let programs = custlang::load_programs(&mut self.db)?;
+        let programs = custlang::load_programs_snap(&self.snapshot())?;
         let mut installed = 0;
         let mut rules = 0;
         let mut skipped = Vec::new();
@@ -378,13 +439,23 @@ impl Dispatcher {
         Ok(build(self, None)?)
     }
 
-    /// Drain pending database events through the active engine for a
-    /// session; returns the first customization selected, if any.
-    fn intercept_events(&mut self, ctx: &SessionContext) -> Result<Option<Customization>> {
+    /// Feed database events through the active engine for a session;
+    /// returns the first customization selected, if any.
+    ///
+    /// Reads no longer drain a queue out of the database: snapshot
+    /// queries are side-effect free, so the dispatcher synthesizes the
+    /// paper's primitive events (`Get_Schema` / `Get_Class` /
+    /// `Get_Value`) itself, and writes hand back the events their
+    /// [`geodb::store::Committed`] batch produced.
+    fn dispatch_events(
+        &mut self,
+        ctx: &SessionContext,
+        events: Vec<DbEvent>,
+    ) -> Result<Option<Customization>> {
         let mut selected = None;
-        let mut events = 0u64;
-        for db_event in self.db.drain_events() {
-            events += 1;
+        let mut count = 0u64;
+        for db_event in events {
+            count += 1;
             let outcome = self.engine.dispatch(Event::Db(db_event), ctx)?;
             if !outcome.trace.entries.is_empty() {
                 self.explain.push(outcome.trace);
@@ -393,7 +464,7 @@ impl Dispatcher {
                 selected = outcome.customizations.into_iter().next();
             }
         }
-        obs::counter_add("dispatcher.events", events);
+        obs::counter_add("dispatcher.events", count);
         Ok(selected)
     }
 
@@ -408,6 +479,9 @@ impl Dispatcher {
         event: geodb::query::DbEvent,
     ) -> Result<active::Outcome<Customization>> {
         let ctx = self.context_of(sid)?;
+        // One atomic epoch load: the hot path notices concurrent commits
+        // (and flushes the winner cache) without ever taking a lock.
+        self.revalidate();
         let outcome = self.engine.dispatch(Event::Db(event), &ctx)?;
         if !outcome.trace.entries.is_empty() {
             self.explain.push(outcome.trace.clone());
@@ -422,10 +496,16 @@ impl Dispatcher {
     /// customization auto-opens class windows.
     pub fn open_schema(&mut self, sid: SessionId, schema: &str) -> Result<Vec<WindowId>> {
         let ctx = self.context_of(sid)?;
-        let schema_def = self.db.get_schema(schema)?;
-        let cust = self.intercept_events(&ctx)?;
+        let snap = self.snapshot();
+        let schema_def = snap.get_schema(schema)?;
+        let cust = self.dispatch_events(
+            &ctx,
+            vec![DbEvent::GetSchema {
+                schema: schema.to_string(),
+            }],
+        )?;
         let built = self.build_degradable("schema_window", cust.as_ref(), |d, c| {
-            d.builder.schema_window(&schema_def, d.db.catalog(), c)
+            d.builder.schema_window(&schema_def, snap.catalog(), c)
         })?;
         let auto_open = built.auto_open.clone();
         let id = self
@@ -451,8 +531,14 @@ impl Dispatcher {
         parent: Option<WindowId>,
     ) -> Result<WindowId> {
         let ctx = self.context_of(sid)?;
-        let instances = self.db.get_class(schema, class, false)?;
-        let cust = self.intercept_events(&ctx)?;
+        let instances = self.snapshot().get_class(schema, class, false)?;
+        let cust = self.dispatch_events(
+            &ctx,
+            vec![DbEvent::GetClass {
+                schema: schema.to_string(),
+                class: class.to_string(),
+            }],
+        )?;
         let built = self.build_degradable("class_window", cust.as_ref(), |d, c| {
             d.builder.class_window(schema, class, &instances, c)
         })?;
@@ -479,16 +565,23 @@ impl Dispatcher {
         parent: Option<WindowId>,
     ) -> Result<WindowId> {
         let ctx = self.context_of(sid)?;
-        let inst = self.db.get_value(oid)?;
-        let cust = self.intercept_events(&ctx)?;
-        let built = self.build_degradable("instance_window", cust.as_ref(), |d, c| {
-            d.builder.instance_window(&mut d.db, &inst, c)
-        })?;
-        let schema = self
-            .db
+        let snap = self.snapshot();
+        let inst = snap.get_value(oid)?;
+        let schema = snap
             .locate(oid)
             .map(|(s, _)| s.to_string())
             .unwrap_or_default();
+        let cust = self.dispatch_events(
+            &ctx,
+            vec![DbEvent::GetValue {
+                schema: schema.clone(),
+                class: inst.class.clone(),
+                oid,
+            }],
+        )?;
+        let built = self.build_degradable("instance_window", cust.as_ref(), |d, c| {
+            d.builder.instance_window(&snap, &inst, c)
+        })?;
         let id = self.registry.insert(
             built,
             parent,
@@ -523,20 +616,16 @@ impl Dispatcher {
             )));
         }
         let ctx = self.context_of(sid)?;
-        let instances = self.db.select(schema, class, predicate)?;
+        let instances = self.snapshot().select(schema, class, predicate)?;
         // Selection is a Get_Class at the event level: rules customize the
         // resulting Class-set window identically.
-        let outcome = self.engine.dispatch(
-            Event::Db(geodb::query::DbEvent::GetClass {
+        let cust = self.dispatch_events(
+            &ctx,
+            vec![DbEvent::GetClass {
                 schema: schema.to_string(),
                 class: class.to_string(),
-            }),
-            &ctx,
+            }],
         )?;
-        if !outcome.trace.entries.is_empty() {
-            self.explain.push(outcome.trace);
-        }
-        let cust = outcome.customizations.into_iter().next();
         let mut built = self.build_degradable("class_window", cust.as_ref(), |d, c| {
             d.builder.class_window(schema, class, &instances, c)
         })?;
@@ -577,21 +666,22 @@ impl Dispatcher {
             )));
         }
         let ctx = self.context_of(sid)?;
-        // Sandbox: snapshot + reload is a deep copy through stable state.
-        let snapshot = geodb::snapshot::save(&mut self.db)?;
-        let mut sandbox = geodb::snapshot::load(&snapshot)?;
+        // Sandbox: serialize the pinned epoch and reload it as a private
+        // mutable database — a deep copy through stable state that never
+        // touches the shared store.
+        let json = geodb::snapshot::save_snapshot(&self.snapshot())?;
+        let mut sandbox = geodb::snapshot::load(&json)?;
         for (oid, changes) in updates {
             sandbox.update(oid, changes)?;
         }
         let instances = sandbox.get_class(schema, class, false)?;
-        let outcome = self.engine.dispatch(
-            Event::Db(geodb::query::DbEvent::GetClass {
+        let cust = self.dispatch_events(
+            &ctx,
+            vec![DbEvent::GetClass {
                 schema: schema.to_string(),
                 class: class.to_string(),
-            }),
-            &ctx,
+            }],
         )?;
-        let cust = outcome.customizations.into_iter().next();
         let mut built = self.build_degradable("class_window", cust.as_ref(), |d, c| {
             d.builder.class_window(schema, class, &instances, c)
         })?;
@@ -715,14 +805,18 @@ impl Dispatcher {
             ));
         }
         let ctx = self.context_of(sid)?;
-        let (schema, class) = self
-            .db
-            .locate(oid)
-            .map(|(s, c)| (s.to_string(), c.to_string()))
-            .ok_or(UiError::Db(GeoDbError::UnknownOid(oid.0)))?;
-        self.db.update(oid, changes)?;
+        let committed = self.store().write(|db| {
+            let located = db
+                .locate(oid)
+                .map(|(s, c)| (s.to_string(), c.to_string()))
+                .ok_or(GeoDbError::UnknownOid(oid.0))?;
+            db.update(oid, changes)?;
+            Ok(located)
+        })?;
+        let (schema, class) = committed.value;
         // The Update event flows through the rules (integrity group).
-        self.intercept_events(&ctx)?;
+        let events = committed.events;
+        self.dispatch_events(&ctx, events)?;
         self.refresh_windows(&schema, &class, Some(oid))
     }
 
@@ -752,6 +846,7 @@ impl Dispatcher {
             .map(|w| (w.id, w.session, w.built.kind, w.oid))
             .collect();
 
+        let snap = self.snapshot();
         let mut refreshed = Vec::with_capacity(targets.len());
         for (id, session, kind, win_oid) in targets {
             let ctx = self
@@ -761,18 +856,31 @@ impl Dispatcher {
                 .unwrap_or_default();
             let built = match kind {
                 WindowKind::ClassSet => {
-                    let instances = self.db.get_class(schema, class, false)?;
-                    let cust = self.intercept_events(&ctx)?;
+                    let instances = snap.get_class(schema, class, false)?;
+                    let cust = self.dispatch_events(
+                        &ctx,
+                        vec![DbEvent::GetClass {
+                            schema: schema.to_string(),
+                            class: class.to_string(),
+                        }],
+                    )?;
                     self.build_degradable("class_window", cust.as_ref(), |d, c| {
                         d.builder.class_window(schema, class, &instances, c)
                     })?
                 }
                 WindowKind::Instance => {
                     let target = win_oid.expect("instance windows record their oid");
-                    let inst = self.db.get_value(target)?;
-                    let cust = self.intercept_events(&ctx)?;
+                    let inst = snap.get_value(target)?;
+                    let cust = self.dispatch_events(
+                        &ctx,
+                        vec![DbEvent::GetValue {
+                            schema: schema.to_string(),
+                            class: class.to_string(),
+                            oid: target,
+                        }],
+                    )?;
                     self.build_degradable("instance_window", cust.as_ref(), |d, c| {
-                        d.builder.instance_window(&mut d.db, &inst, c)
+                        d.builder.instance_window(&snap, &inst, c)
                     })?
                 }
                 WindowKind::Schema => continue,
@@ -953,8 +1061,7 @@ mod tests {
         assert!(art.contains("[ Zoom ]"));
 
         // 3. Pick an instance in the display area.
-        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
-        d.db().drain_events();
+        let poles = d.snapshot().get_class("phone_net", "Pole", false).unwrap();
         let oid = poles[0].oid;
         let opened = d
             .handle_gesture(
@@ -1090,8 +1197,7 @@ mod tests {
         let mut d = dispatcher();
         let sid = d.open_session(juliano());
         d.set_mode(sid, InteractionMode::Simulation).unwrap();
-        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
-        d.db().drain_events();
+        let poles = d.snapshot().get_class("phone_net", "Pole", false).unwrap();
         let oid = poles[0].oid;
         let win = d
             .simulate(
@@ -1103,7 +1209,7 @@ mod tests {
             .unwrap();
         assert!(d.window(win).unwrap().built.title.contains("simulation"));
         // The real database is untouched.
-        let pole = d.db().peek(oid).unwrap();
+        let pole = d.snapshot().peek(oid).unwrap();
         assert_ne!(pole.get("pole_type"), &Value::Int(99));
     }
 
@@ -1197,8 +1303,7 @@ mod refresh_tests {
     fn exploratory_sessions_cannot_update() {
         let mut d = dispatcher();
         let sid = d.open_session(SessionContext::new("m", "op", "maint"));
-        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
-        d.db().drain_events();
+        let poles = d.snapshot().get_class("phone_net", "Pole", false).unwrap();
         let err = d.apply_update(sid, poles[0].oid, vec![("pole_type".into(), Value::Int(9))]);
         assert!(matches!(err, Err(UiError::ModeViolation(_))));
     }
@@ -1211,8 +1316,7 @@ mod refresh_tests {
         let viewer = d.open_session(SessionContext::new("v", "op", "browse"));
 
         let class_win = d.open_class(viewer, "phone_net", "Pole", None).unwrap();
-        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
-        d.db().drain_events();
+        let poles = d.snapshot().get_class("phone_net", "Pole", false).unwrap();
         let oid = poles[0].oid;
         let inst_win = d.open_instance(viewer, oid, None).unwrap();
         let before_class = d.render(class_win).unwrap();
@@ -1254,8 +1358,7 @@ mod refresh_tests {
         // through a refresh triggered by a third party.
         let jwin = d.open_class(juliano, "phone_net", "Pole", None).unwrap();
         let gwin = d.open_class(maint, "phone_net", "Pole", None).unwrap();
-        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
-        d.db().drain_events();
+        let poles = d.snapshot().get_class("phone_net", "Pole", false).unwrap();
         d.apply_update(
             maint,
             poles[0].oid,
@@ -1285,8 +1388,7 @@ mod refresh_tests {
             .unwrap();
         let sid = d.open_session(SessionContext::new("m", "op", "maint"));
         d.set_mode(sid, InteractionMode::Analysis).unwrap();
-        let poles = d.db().get_class("phone_net", "Pole", false).unwrap();
-        d.db().drain_events();
+        let poles = d.snapshot().get_class("phone_net", "Pole", false).unwrap();
         d.apply_update(sid, poles[0].oid, vec![("pole_type".into(), Value::Int(3))])
             .unwrap();
         assert_eq!(log.lock().unwrap().len(), 1);
@@ -1346,7 +1448,7 @@ mod stored_program_tests {
         let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
         let n = d.store_program(FIG6_PROGRAM, "fig6").unwrap();
         assert_eq!(n, 3);
-        let snapshot = geodb::snapshot::save(d.db()).unwrap();
+        let snapshot = geodb::snapshot::save_snapshot(&d.snapshot()).unwrap();
 
         // Session 2: fresh dispatcher over the restored database.
         let mut db = geodb::snapshot::load(&snapshot).unwrap();
@@ -1369,12 +1471,15 @@ mod stored_program_tests {
         d.store_program(FIG6_PROGRAM, "good").unwrap();
         // Sneak an invalid program into storage directly (e.g. the schema
         // it references was dropped later).
-        custlang::save_program(
-            d.db(),
-            "stale",
-            "for user u schema ghost display as default class C display",
-        )
-        .unwrap();
+        d.store()
+            .write(|db| {
+                custlang::save_program(
+                    db,
+                    "stale",
+                    "for user u schema ghost display as default class C display",
+                )
+            })
+            .unwrap();
         let (programs, _, skipped) = d.load_stored_programs().unwrap();
         assert_eq!(programs, 1);
         assert_eq!(skipped.len(), 1);
@@ -1396,6 +1501,105 @@ mod stored_program_tests {
         let mut d = paper_dispatcher(&TelecomConfig::small()).unwrap();
         assert!(d.store_program("not a program", "bad").is_err());
         // Nothing was persisted.
-        assert!(custlang::load_programs(d.db()).unwrap().is_empty());
+        assert!(custlang::load_programs_snap(&d.snapshot())
+            .unwrap()
+            .is_empty());
+    }
+}
+
+#[cfg(test)]
+mod shared_store_tests {
+    use super::*;
+    use geodb::gen::TelecomConfig;
+
+    /// Two dispatchers over one store: what one commits, the other reads.
+    fn pair() -> (Dispatcher, Dispatcher) {
+        let (db, _) = geodb::gen::phone_net_db(&TelecomConfig::small()).unwrap();
+        let store = DbStore::new(db);
+        let a = Dispatcher::with_store(
+            store.clone(),
+            InterfaceBuilder::with_paper_library(),
+            Engine::new(),
+        );
+        let b =
+            Dispatcher::with_store(store, InterfaceBuilder::with_paper_library(), Engine::new());
+        (a, b)
+    }
+
+    #[test]
+    fn writes_are_visible_across_dispatchers() {
+        let (mut a, mut b) = pair();
+        let writer = a.open_session(SessionContext::new("w", "op", "maint"));
+        a.set_mode(writer, InteractionMode::Analysis).unwrap();
+        let reader = b.open_session(SessionContext::new("r", "op", "browse"));
+
+        let oid = b.snapshot().get_class("phone_net", "Pole", false).unwrap()[0].oid;
+        let epoch_before = b.db_epoch();
+        a.apply_update(writer, oid, vec![("pole_type".into(), Value::Int(42))])
+            .unwrap();
+
+        // B's next interaction pins the new epoch and serves the write.
+        let win = b.open_instance(reader, oid, None).unwrap();
+        assert!(b.render(win).unwrap().contains("pole_type: 42"));
+        assert!(b.db_epoch() > epoch_before, "epoch advanced for b");
+        assert_eq!(a.db_epoch(), b.db_epoch());
+    }
+
+    #[test]
+    fn epoch_change_stamps_explanation_records() {
+        let (mut a, mut b) = pair();
+        a.install_program(custlang::FIG6_PROGRAM, "fig6").unwrap();
+        let writer = b.open_session(SessionContext::new("w", "op", "maint"));
+        b.set_mode(writer, InteractionMode::Analysis).unwrap();
+        let juliano = a.open_session(SessionContext::new("juliano", "planner", "pole_manager"));
+
+        a.open_schema(juliano, "phone_net").unwrap();
+        let first_epoch = a.db_epoch();
+        let oid = a.snapshot().get_class("phone_net", "Pole", false).unwrap()[0].oid;
+        b.apply_update(writer, oid, vec![("pole_type".into(), Value::Int(7))])
+            .unwrap();
+        a.open_schema(juliano, "phone_net").unwrap();
+
+        let epochs: Vec<u64> = a.explanation_log().records().map(|r| r.db_epoch).collect();
+        assert!(epochs.contains(&first_epoch));
+        assert!(
+            epochs.iter().any(|&e| e > first_epoch),
+            "later traces carry the newer epoch: {epochs:?}"
+        );
+    }
+
+    #[test]
+    fn stored_programs_round_trip_through_the_shared_store() {
+        let (mut a, mut b) = pair();
+        a.store_program(custlang::FIG6_PROGRAM, "fig6").unwrap();
+        // B loads the program straight out of the shared database.
+        let (programs, rules, skipped) = b.load_stored_programs().unwrap();
+        assert_eq!((programs, rules), (1, 3));
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn commits_flush_the_winner_cache() {
+        let (mut a, mut b) = pair();
+        a.install_program(custlang::FIG6_PROGRAM, "fig6").unwrap();
+        let juliano = a.open_session(SessionContext::new("juliano", "planner", "pole_manager"));
+        // Prime the winner cache.
+        a.open_schema(juliano, "phone_net").unwrap();
+        a.open_schema(juliano, "phone_net").unwrap();
+        let before = a.engine().cache_stats();
+
+        let writer = b.open_session(SessionContext::new("w", "op", "maint"));
+        b.set_mode(writer, InteractionMode::Analysis).unwrap();
+        let oid = b.snapshot().get_class("phone_net", "Pole", false).unwrap()[0].oid;
+        b.apply_update(writer, oid, vec![("pole_type".into(), Value::Int(5))])
+            .unwrap();
+
+        // A's next pin observes the commit and flushes its cache.
+        a.snapshot();
+        let after = a.engine().cache_stats();
+        assert!(
+            after.invalidations > before.invalidations,
+            "winner cache invalidated on epoch change: {before:?} -> {after:?}"
+        );
     }
 }

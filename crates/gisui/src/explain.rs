@@ -28,6 +28,11 @@ pub const DEGRADED_EVENT_PREFIX: &str = "degraded";
 pub struct TraceRecord {
     /// Position in the dispatcher's lifetime stream of traces (0-based).
     pub seq: u64,
+    /// The database epoch the interaction was served against (0 when the
+    /// dispatcher predates versioned storage — e.g. records deserialized
+    /// from an older export).
+    #[serde(default)]
+    pub db_epoch: u64,
     /// The structured cascade, entry depths and shadowing intact.
     pub trace: Trace,
     /// Human-readable rendering, as served by `Dispatcher::explanation`.
@@ -41,6 +46,9 @@ pub struct TraceRecord {
 pub struct ExplanationLog {
     capacity: usize,
     next_seq: u64,
+    /// Epoch stamped into records pushed from here on (see
+    /// [`Self::note_db_epoch`]).
+    db_epoch: u64,
     records: VecDeque<TraceRecord>,
     rendered: Vec<String>,
 }
@@ -57,6 +65,7 @@ impl ExplanationLog {
         ExplanationLog {
             capacity: capacity.max(1),
             next_seq: 0,
+            db_epoch: 0,
             records: VecDeque::new(),
             rendered: Vec::new(),
         }
@@ -88,10 +97,24 @@ impl ExplanationLog {
         self.next_seq
     }
 
+    /// The dispatcher pinned a new database epoch: stamp it into every
+    /// trace recorded from here on, so an exported explanation says not
+    /// just *which rules* fired but *which version of the data* the
+    /// interaction saw.
+    pub fn note_db_epoch(&mut self, epoch: u64) {
+        self.db_epoch = epoch;
+    }
+
+    /// The epoch currently stamped into new records.
+    pub fn db_epoch(&self) -> u64 {
+        self.db_epoch
+    }
+
     /// Record a trace, evicting the oldest record when full.
     pub fn push(&mut self, trace: Trace) {
         let record = TraceRecord {
             seq: self.next_seq,
+            db_epoch: self.db_epoch,
             rendered: trace.render(),
             trace,
         };
@@ -209,6 +232,24 @@ mod tests {
         let seqs: Vec<u64> = log.records().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![4, 5]);
         assert_eq!(log.rendered().len(), 2);
+    }
+
+    #[test]
+    fn db_epoch_stamps_records_from_the_note_onward() {
+        let mut log = ExplanationLog::new(8);
+        log.push(trace("E0"));
+        log.note_db_epoch(3);
+        log.push(trace("E1"));
+        log.push(trace("E2"));
+        log.note_db_epoch(4);
+        log.push(trace("E3"));
+        let epochs: Vec<u64> = log.records().map(|r| r.db_epoch).collect();
+        assert_eq!(epochs, vec![0, 3, 3, 4]);
+        assert_eq!(log.db_epoch(), 4);
+        // Old exports (no db_epoch field) still deserialize.
+        let legacy = r#"{"seq":9,"trace":{"entries":[]},"rendered":""}"#;
+        let rec: TraceRecord = serde_json::from_str(legacy).unwrap();
+        assert_eq!(rec.db_epoch, 0);
     }
 
     #[test]

@@ -56,10 +56,9 @@ fn main() {
     gis.set_mode(maint, InteractionMode::Analysis).unwrap();
     let poles = gis
         .dispatcher()
-        .db()
+        .snapshot()
         .get_class("phone_net", "Pole", false)
         .unwrap();
-    gis.dispatcher().db().drain_events();
     let oid = poles[0].oid;
     let refreshed = gis
         .dispatcher()

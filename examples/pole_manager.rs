@@ -18,8 +18,11 @@ use activegis::{ActiveGis, Oid, TelecomConfig, FIG6_PROGRAM};
 
 fn print_fig5(gis: &mut ActiveGis) {
     println!("--- Fig. 5: database schema for class Pole ---\n");
-    let catalog = gis.dispatcher().db().catalog();
-    let pole = catalog.class("phone_net", "Pole").expect("Pole exists");
+    let snap = gis.dispatcher().snapshot();
+    let pole = snap
+        .catalog()
+        .class("phone_net", "Pole")
+        .expect("Pole exists");
     println!("Class Pole {{");
     for attr in &pole.attrs {
         println!("  {}: {};", attr.name, attr.ty.name());
@@ -54,10 +57,9 @@ fn print_fig6_rules(gis: &mut ActiveGis) {
 fn first_pole(gis: &mut ActiveGis) -> Oid {
     let poles = gis
         .dispatcher()
-        .db()
+        .snapshot()
         .get_class("phone_net", "Pole", false)
         .expect("poles exist");
-    gis.dispatcher().db().drain_events();
     poles[0].oid
 }
 

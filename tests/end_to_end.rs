@@ -36,8 +36,7 @@ fn gesture_driven_three_level_browse() {
     assert!(d.render(class_win).unwrap().contains('-'));
 
     // Pick the first duct by oid via the map gesture.
-    let ducts = d.db().get_class("phone_net", "Duct", false).unwrap();
-    d.db().drain_events();
+    let ducts = d.snapshot().get_class("phone_net", "Duct", false).unwrap();
     let opened = d
         .handle_gesture(
             sid,
@@ -172,10 +171,9 @@ fn update_isolation_between_modes() {
 
     let poles = gis
         .dispatcher()
-        .db()
+        .snapshot()
         .get_class("phone_net", "Pole", false)
         .unwrap();
-    gis.dispatcher().db().drain_events();
     let oid = poles[0].oid;
     let updates = vec![(oid, vec![("pole_type".to_string(), Value::Int(42))])];
 
@@ -192,7 +190,7 @@ fn update_isolation_between_modes() {
         .simulate(sid, "phone_net", "Pole", updates)
         .unwrap();
     assert!(gis.render(win).unwrap().contains("Class: Pole"));
-    let real = gis.dispatcher().db().peek(oid).unwrap();
+    let real = gis.dispatcher().snapshot().peek(oid).unwrap();
     assert_ne!(real.get("pole_type"), &Value::Int(42));
 }
 
@@ -238,10 +236,12 @@ fn library_lives_in_the_database() {
     // Persist the library into the geographic database itself.
     let d = gis.dispatcher();
     let lib = d.builder_library_mut().clone();
-    uilib::persist::save_library(d.db(), &lib).unwrap();
+    d.store()
+        .write(|db| uilib::persist::save_library(db, &lib))
+        .unwrap();
 
     // Snapshot the whole database (data + stored library)…
-    let json = geodb::snapshot::save(d.db()).unwrap();
+    let json = geodb::snapshot::save_snapshot(&d.snapshot()).unwrap();
     let mut restored_db = geodb::snapshot::load(&json).unwrap();
 
     // …and reload the library from the restored database.
@@ -292,10 +292,9 @@ fn control_area_selection_opens_instance_window() {
     let class_win = gis.browse_class(sid, "phone_net", "Pole").unwrap();
     let poles = gis
         .dispatcher()
-        .db()
+        .snapshot()
         .get_class("phone_net", "Pole", false)
         .unwrap();
-    gis.dispatcher().db().drain_events();
     let first = poles[0].oid;
     let opened = gis
         .dispatcher()

@@ -82,13 +82,12 @@ fn fault_dispatcher() -> (Dispatcher, Vec<u64>) {
         ))
         .expect("probe rule installs");
     let oids: Vec<u64> = d
-        .db()
+        .snapshot()
         .get_class("phone_net", "Pole", false)
         .expect("poles exist")
         .iter()
         .map(|i| i.oid.0)
         .collect();
-    d.db().drain_events();
     (d, oids)
 }
 
@@ -761,11 +760,14 @@ fn threaded_fault_sweep() {
     const CLIENTS: usize = 8;
 
     let base = Engine::<custlang::Customization>::new().rule_base();
-    let server = Arc::new(activegis::SessionServer::start(SHARDS, base, |_| {
-        geodb::gen::phone_net_db(&TelecomConfig::small())
-            .expect("demo db builds")
-            .0
-    }));
+    let db = geodb::gen::phone_net_db(&TelecomConfig::small())
+        .expect("demo db builds")
+        .0;
+    let server = Arc::new(activegis::SessionServer::start(
+        SHARDS,
+        base,
+        geodb::store::DbStore::new(db),
+    ));
     server
         .install_program(FIG6_PROGRAM, "fig6")
         .expect("fig6 installs");

@@ -17,8 +17,8 @@ fn demo() -> ActiveGis {
 #[test]
 fn fig5_pole_schema_matches_paper() {
     let mut gis = demo();
-    let db = gis.dispatcher().db();
-    let pole = db.catalog().class("phone_net", "Pole").unwrap().clone();
+    let snap = gis.dispatcher().snapshot();
+    let pole = snap.catalog().class("phone_net", "Pole").unwrap().clone();
 
     let attr_names: Vec<&str> = pole.attrs.iter().map(|a| a.name.as_str()).collect();
     assert_eq!(
@@ -142,10 +142,9 @@ fn fig4_default_windows() {
     // Instance window: every attribute with its default presentation.
     let poles = gis
         .dispatcher()
-        .db()
+        .snapshot()
         .get_class("phone_net", "Pole", false)
         .unwrap();
-    gis.dispatcher().db().drain_events();
     let inst_win = gis.inspect(sid, poles[0].oid).unwrap();
     let inst_art = gis.render(inst_win).unwrap();
     for attr in [
@@ -181,10 +180,9 @@ fn fig7_customized_windows() {
     // Right of Fig. 7: the customized Instance window.
     let poles = gis
         .dispatcher()
-        .db()
+        .snapshot()
         .get_class("phone_net", "Pole", false)
         .unwrap();
-    gis.dispatcher().db().drain_events();
     let inst_win = gis.inspect(sid, poles[0].oid).unwrap();
     let inst_art = gis.render(inst_win).unwrap();
 

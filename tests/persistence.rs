@@ -43,8 +43,10 @@ fn full_system_rebuild_from_snapshot() {
         gis.customize(FIG6_PROGRAM, "fig6").unwrap();
         let d = gis.dispatcher();
         let lib = d.builder_library_mut().clone();
-        uilib::persist::save_library(d.db(), &lib).unwrap();
-        geodb::snapshot::save(d.db()).unwrap()
+        d.store()
+            .write(|db| uilib::persist::save_library(db, &lib))
+            .unwrap();
+        geodb::snapshot::save_snapshot(&d.snapshot()).unwrap()
     };
 
     // Phase 2: rebuild from the snapshot.

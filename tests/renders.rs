@@ -17,10 +17,9 @@ fn fig4_renders(gis: &mut ActiveGis) -> Vec<String> {
     let class = gis.browse_class(sid, "phone_net", "Pole").unwrap();
     let poles = gis
         .dispatcher()
-        .db()
+        .snapshot()
         .get_class("phone_net", "Pole", false)
         .unwrap();
-    gis.dispatcher().db().drain_events();
     let inst = gis.inspect(sid, poles[0].oid).unwrap();
     vec![
         gis.render(schema).unwrap(),
@@ -76,7 +75,7 @@ fn svg_and_ascii_stay_structurally_in_sync() {
         assert!(svg.contains(label), "{label} missing from SVG");
     }
     // The pole count shown in ASCII matches the number of SVG circles.
-    let poles = gis.dispatcher().db().extent_size("phone_net", "Pole");
+    let poles = gis.dispatcher().snapshot().extent_size("phone_net", "Pole");
     let circles = svg.matches("<circle").count();
     assert_eq!(circles, poles);
     assert!(ascii.contains(&format!("instances: {poles}")));

@@ -65,10 +65,9 @@ fn over_one_hundred_distinct_windows() {
 
         let poles = gis
             .dispatcher()
-            .db()
+            .snapshot()
             .get_class("phone_net", "Pole", false)
             .unwrap();
-        gis.dispatcher().db().drain_events();
         let inst = gis.inspect(sid, poles[i % poles.len()].oid).unwrap();
         total_windows += 1;
         fingerprints.insert(format!(

@@ -415,6 +415,20 @@ pub mod __private {
         }
     }
 
+    /// Like [`field`], but a missing key falls back to `T::default()` —
+    /// the behavior of a `#[serde(default)]` field attribute.
+    pub fn field_or_default<'de, T: Deserialize<'de> + Default>(
+        content: &Content,
+        name: &str,
+    ) -> Result<T, Error> {
+        match get_field(content, name) {
+            Some(v) => {
+                T::from_content(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
     pub fn seq(content: &Content, expected: usize) -> Result<&[Content], Error> {
         match content {
             Content::Seq(items) if items.len() == expected => Ok(items),

@@ -3,8 +3,9 @@
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
 //! shapes this workspace actually defines: non-generic structs (named,
 //! tuple/newtype, unit) and enums whose variants are unit, tuple, or
-//! struct-like. Field attributes are ignored; `#[serde(...)]` attributes are
-//! accepted but not interpreted. Parsing is done directly over
+//! struct-like. `#[serde(default)]` on a named field is honored (a missing
+//! key deserializes to `Default::default()`); all other `#[serde(...)]`
+//! attributes are accepted but not interpreted. Parsing is done directly over
 //! `proc_macro::TokenStream` — no `syn`/`quote`, since the build
 //! environment cannot fetch crates.
 
@@ -15,8 +16,15 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Body {
     UnitStruct,
     TupleStruct(usize),
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// The field carried `#[serde(default)]`: a missing key
+    /// deserializes to `Default::default()` instead of erroring.
+    default: bool,
 }
 
 struct Variant {
@@ -27,7 +35,7 @@ struct Variant {
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Item {
@@ -100,6 +108,14 @@ impl Cursor {
     /// Skip any number of outer attributes (`#[...]`), including doc
     /// comments, which reach the macro as `#[doc = "..."]`.
     fn skip_attributes(&mut self) {
+        self.take_serde_default();
+    }
+
+    /// Skip outer attributes, reporting whether any was
+    /// `#[serde(default)]` (possibly among other comma-separated
+    /// options inside the parentheses).
+    fn take_serde_default(&mut self) -> bool {
+        let mut has_default = false;
         while let Some(TokenTree::Punct(p)) = self.peek() {
             if p.as_char() != '#' {
                 break;
@@ -107,11 +123,13 @@ impl Cursor {
             self.pos += 1; // '#'
             match self.peek() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    has_default |= attr_is_serde_default(g.stream());
                     self.pos += 1;
                 }
                 _ => panic!("serde_derive: malformed attribute"),
             }
         }
+        has_default
     }
 
     /// Skip `pub`, `pub(crate)`, `pub(in ...)`, etc.
@@ -133,6 +151,23 @@ impl Cursor {
             Some(TokenTree::Ident(id)) => id.to_string(),
             other => panic!("serde_derive: expected {what}, found {other:?}"),
         }
+    }
+}
+
+/// Whether an attribute body (the tokens inside `#[...]`) is
+/// `serde(...)` with a bare `default` among its options.
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
     }
 }
 
@@ -175,13 +210,13 @@ fn count_tuple_fields(group: TokenStream) -> usize {
     count
 }
 
-/// Parse `name: Type, ...` field lists, returning the field names in
-/// declaration order.
-fn parse_named_fields(group: TokenStream) -> Vec<String> {
+/// Parse `name: Type, ...` field lists, returning the fields (name plus
+/// `#[serde(default)]` flag) in declaration order.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let mut cur = Cursor::new(group);
     let mut fields = Vec::new();
     loop {
-        cur.skip_attributes();
+        let default = cur.take_serde_default();
         if cur.at_end() {
             break;
         }
@@ -191,7 +226,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
         }
-        fields.push(name);
+        fields.push(Field { name, default });
         // Consume the type up to the next top-level comma.
         let mut depth = 0i32;
         let mut prev_dash = false;
@@ -321,6 +356,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "({CONTENT}::Str(::std::string::String::from(\"{f}\")), \
                          ::serde::Serialize::to_content(&self.{f}))"
@@ -360,16 +396,19 @@ fn gen_serialize(item: &Item) -> String {
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "({CONTENT}::Str(::std::string::String::from(\"{f}\")), \
                                          ::serde::Serialize::to_content({f}))"
                                     )
                                 })
                                 .collect();
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
                             format!(
                                 "{name}::{vn} {{ {binds} }} => {CONTENT}::Map(vec![({CONTENT}::Str(\
                                  ::std::string::String::from(\"{vn}\")), {CONTENT}::Map(vec![{e}]))]),",
-                                binds = fields.join(", "),
+                                binds = binders.join(", "),
                                 e = entries.join(", ")
                             )
                         }
@@ -386,6 +425,16 @@ fn gen_serialize(item: &Item) -> String {
         generics = item.impl_generics("", "::serde::Serialize"),
         args = item.type_args(),
     )
+}
+
+/// One named-field initializer for a generated `Deserialize` impl.
+fn field_init(f: &Field, source: &str) -> String {
+    let n = &f.name;
+    if f.default {
+        format!("{n}: ::serde::__private::field_or_default({source}, \"{n}\")?")
+    } else {
+        format!("{n}: ::serde::__private::field({source}, \"{n}\")?")
+    }
 }
 
 fn gen_deserialize(item: &Item) -> String {
@@ -406,10 +455,7 @@ fn gen_deserialize(item: &Item) -> String {
             )
         }
         Body::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__private::field(__content, \"{f}\")?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "__content")).collect();
             format!(
                 "::std::result::Result::Ok({name} {{ {} }})",
                 inits.join(", ")
@@ -447,11 +493,7 @@ fn gen_deserialize(item: &Item) -> String {
                         Shape::Named(fields) => {
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::__private::field(__payload_map, \"{f}\")?"
-                                    )
-                                })
+                                .map(|f| field_init(f, "__payload_map"))
                                 .collect();
                             format!(
                                 "\"{vn}\" => {{\n\
