@@ -674,7 +674,7 @@ impl WinnerCache {
 /// other session ever contends on them.
 #[derive(Debug, Default)]
 struct Scratch {
-    queue: VecDeque<(usize, Event)>,
+    queue: VecDeque<QueuedEvent>,
     matched_cust: Vec<usize>,
     matched_other: Vec<usize>,
     to_fire: Vec<usize>,
@@ -688,6 +688,12 @@ struct Scratch {
 /// A rule firing queued for [`Engine::flush_deferred`]: the rule's
 /// interned name, its action, and the triggering event and context.
 type DeferredFiring<P> = (Arc<str>, Arc<Action<P>>, Event, SessionContext);
+
+/// One cascade-queue entry: depth, the event, and the interned name of
+/// the rule whose action raised it (`None` for the root event). The
+/// raiser is what lets a request trace link each cascade step back to
+/// its cause.
+type QueuedEvent = (usize, Event, Option<Arc<str>>);
 
 /// The immutable rule data a dispatch reads: rules, interned names, the
 /// name map, the discrimination index and the shared health cells.
@@ -1328,12 +1334,24 @@ impl<P: Clone> Engine<P> {
         let mut outcome = Outcome::empty();
         for (name, action, event, ctx) in drained {
             outcome.fired.push(Arc::clone(&name));
-            let mut queue: VecDeque<(usize, Event)> = VecDeque::new();
+            // Each deferred firing joins the active request trace (if
+            // any) as a child span naming the rule whose firing was
+            // deferred — deferred causality survives the flush.
+            let _firing_span = if obs::trace_recording() {
+                let guard = obs::trace_child("engine.deferred_fire");
+                obs::trace_annotate("rule", name.to_string());
+                obs::trace_annotate("event", event.describe());
+                Some(guard)
+            } else {
+                None
+            };
+            let mut queue: VecDeque<QueuedEvent> = VecDeque::new();
             if let Err(cause) = run_action(
                 &action,
                 &event,
                 &ctx,
                 0,
+                Some(&name),
                 &mut queue,
                 &mut outcome.customizations,
             ) {
@@ -1371,7 +1389,7 @@ impl<P: Clone> Engine<P> {
                     .consecutive
                     .store(0, Ordering::Relaxed);
             }
-            while let Some((_, raised)) = queue.pop_front() {
+            while let Some((_, raised, _)) = queue.pop_front() {
                 let sub = self.dispatch(raised, &ctx)?;
                 outcome.customizations.extend(sub.customizations);
                 outcome.fired.extend(sub.fired);
@@ -1397,6 +1415,7 @@ fn note_fault<P>(
     idx: usize,
 ) -> bool {
     shared.rule_fault_count.fetch_add(1, Ordering::Relaxed);
+    obs::trace_mark_fault();
     if obs::enabled() {
         obs::counter_add("engine.rule_faults", 1);
     }
@@ -1431,6 +1450,7 @@ fn note_fault<P>(
 /// failpoint).
 fn note_anonymous_fault<P>(shared: &EngineShared<P>) {
     shared.rule_fault_count.fetch_add(1, Ordering::Relaxed);
+    obs::trace_mark_fault();
     if obs::enabled() {
         obs::counter_add("engine.rule_faults", 1);
     }
@@ -1487,9 +1507,9 @@ fn dispatch_inner<P: Clone>(
 
     let mut outcome = Outcome::empty();
     s.queue.clear();
-    s.queue.push_back((0, event));
+    s.queue.push_back((0, event, None));
 
-    while let Some((depth, event)) = s.queue.pop_front() {
+    while let Some((depth, event, raised_by)) = s.queue.pop_front() {
         if depth > config.max_cascade_depth {
             return Err(ActiveError::CascadeOverflow {
                 depth,
@@ -1498,6 +1518,21 @@ fn dispatch_inner<P: Clone>(
         }
         outcome.events_processed += 1;
         m_max_depth = m_max_depth.max(depth);
+
+        // While a request trace records on this thread, every cascade
+        // step becomes a child span linking back to the rule that
+        // raised its event — the causal chain the trace tree exposes.
+        let _cascade_span = if depth > 0 && obs::trace_recording() {
+            let guard = obs::trace_child("engine.cascade");
+            obs::trace_annotate("depth", depth.to_string());
+            obs::trace_annotate("event", event.describe());
+            if let Some(r) = &raised_by {
+                obs::trace_annotate("raised_by", r.to_string());
+            }
+            Some(guard)
+        } else {
+            None
+        };
 
         // Cascade-step failpoint: a fault in the cascade machinery
         // itself, not attributable to any one rule. Fail-open drops
@@ -1649,6 +1684,7 @@ fn dispatch_inner<P: Clone>(
                         &event,
                         ctx,
                         depth,
+                        Some(&snap.names[i]),
                         &mut s.queue,
                         &mut outcome.customizations,
                     );
@@ -1717,6 +1753,27 @@ fn dispatch_inner<P: Clone>(
     cache.hits += m_hits;
     cache.misses += m_misses;
     if obs::enabled() {
+        // Which dispatch arm answered this request: the winner cache,
+        // the discrimination index, or the straight linear scan.
+        let arm = if cache_ok && m_hits > 0 && m_misses == 0 {
+            "cached"
+        } else if scan_all {
+            "linear"
+        } else {
+            "indexed"
+        };
+        let shard = obs::current_shard().to_string();
+        obs::counter_add_labeled("engine.dispatches_by_arm", &[("arm", arm)], 1);
+        obs::counter_add_labeled(
+            "engine.winner_cache_hits_by_shard",
+            &[("shard", &shard)],
+            m_hits,
+        );
+        obs::counter_add_labeled(
+            "engine.winner_cache_misses_by_shard",
+            &[("shard", &shard)],
+            m_misses,
+        );
         obs::counter_add("engine.dispatches", 1);
         obs::counter_add("engine.rules_considered", m_considered);
         obs::counter_add("engine.rules_matched", m_matched);
@@ -1744,7 +1801,8 @@ fn run_action<P: Clone>(
     event: &Event,
     ctx: &SessionContext,
     depth: usize,
-    queue: &mut VecDeque<(usize, Event)>,
+    raiser: Option<&Arc<str>>,
+    queue: &mut VecDeque<QueuedEvent>,
     customizations: &mut Vec<P>,
 ) -> Result<(), String> {
     match action {
@@ -1759,7 +1817,7 @@ fn run_action<P: Clone>(
             match result {
                 Ok(Ok(events)) => {
                     for e in events {
-                        queue.push_back((depth + 1, e));
+                        queue.push_back((depth + 1, e, raiser.cloned()));
                     }
                     Ok(())
                 }
@@ -1769,13 +1827,13 @@ fn run_action<P: Clone>(
         }
         Action::Raise(events) => {
             for e in events {
-                queue.push_back((depth + 1, e.clone()));
+                queue.push_back((depth + 1, e.clone(), raiser.cloned()));
             }
             Ok(())
         }
         Action::Compound(actions) => {
             for a in actions {
-                run_action(a, event, ctx, depth, queue, customizations)?;
+                run_action(a, event, ctx, depth, raiser, queue, customizations)?;
             }
             Ok(())
         }

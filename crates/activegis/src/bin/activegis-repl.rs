@@ -34,6 +34,10 @@ commands:
   :metrics                                metrics snapshot as JSON
   :metrics prom                           metrics in Prometheus text format
   :metrics on|off                         toggle metric collection
+  :traces [n]                             summarize recent request traces
+  :trace <id>                             render one trace tree (hex id)
+  :trace sample <n>                       trace 1 in n requests (0 = off)
+  :slo                                    SLO burn-rate report
   :db                                     database epoch + live snapshot pins
   :strategy [indexed|linear]              show or switch rule dispatch strategy
   :cache                                  winner-cache hit/miss/invalidation stats
@@ -89,6 +93,25 @@ impl Repl {
                 }
             }
             Response::Error { message } => println!("error: {message}"),
+        }
+    }
+
+    fn show_traces(&self, n: usize) {
+        let traces = ActiveGis::traces(n);
+        if traces.is_empty() {
+            println!("no traces recorded (arm sampling with `:trace sample 1`)");
+            return;
+        }
+        for t in traces {
+            println!(
+                "{} shard={} spans={} {:.1}us{}{}",
+                t.trace_id_hex,
+                t.shard,
+                t.spans.len(),
+                t.total_ns as f64 / 1e3,
+                if t.fault { " FAULT" } else { "" },
+                if t.sampled { "" } else { " (fault-retained)" },
+            );
         }
     }
 
@@ -168,6 +191,37 @@ impl Repl {
             },
             [":metrics"] => println!("{}", self.gis.metrics().to_json()),
             [":metrics", "prom"] => print!("{}", self.gis.metrics().to_prometheus()),
+            [":traces"] => self.show_traces(8),
+            [":traces", n] => match n.parse::<usize>() {
+                Ok(n) => self.show_traces(n),
+                Err(_) => println!("error: usage: :traces [n]"),
+            },
+            [":trace", "sample", n] => match n.parse::<u64>() {
+                Ok(n) => {
+                    ActiveGis::set_trace_sampling(n);
+                    match n {
+                        0 => println!("trace sampling off"),
+                        1 => println!("tracing every request"),
+                        _ => println!("tracing 1 in {n} requests (faults always)"),
+                    }
+                }
+                Err(_) => println!("error: usage: :trace sample <n>  (0 = off)"),
+            },
+            [":trace", id] => match obs::parse_trace_id(id) {
+                Some(id) => match ActiveGis::trace(id) {
+                    Some(t) => print!("{}", t.render()),
+                    None => println!("no trace {} in the rings", obs::trace_id_hex(id)),
+                },
+                None => println!("error: bad trace id: {id}"),
+            },
+            [":slo"] => match ActiveGis::slo_report() {
+                Some(r) => print!("{}", r.render()),
+                None => {
+                    obs::slo::install_default();
+                    let r = ActiveGis::slo_report().expect("just installed");
+                    print!("{}", r.render());
+                }
+            },
             [":metrics", "on"] => {
                 ActiveGis::set_metrics_enabled(true);
                 println!("metric collection on");

@@ -129,7 +129,7 @@ impl SessionServer {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("gis-shard-{shard}"))
-                    .spawn(move || worker_loop(&worker_queue, &mut dispatcher))
+                    .spawn(move || worker_loop(&worker_queue, &mut dispatcher, shard))
                     .expect("spawn shard worker"),
             );
             queues.push(queue);
@@ -257,7 +257,11 @@ impl Drop for SessionServer {
     }
 }
 
-fn worker_loop(queue: &ShardQueue, dispatcher: &mut Dispatcher) {
+fn worker_loop(queue: &ShardQueue, dispatcher: &mut Dispatcher, shard: usize) {
+    // Pin the worker thread to its shard: request traces commit to this
+    // shard's ring and shard-labeled counters attribute to it.
+    obs::set_shard(shard as u64);
+    let shard_label = shard.to_string();
     loop {
         for job in queue.pop_all() {
             match job {
@@ -265,25 +269,79 @@ fn worker_loop(queue: &ShardQueue, dispatcher: &mut Dispatcher) {
                     let _ = reply.send(dispatcher.open_session(context));
                 }
                 Job::Dispatch { sid, events, reply } => {
-                    let mut outcomes = Vec::with_capacity(events.len());
-                    let mut failed = None;
-                    for event in events {
-                        match dispatcher.dispatch_db(sid, event) {
-                            Ok(o) => outcomes.push(o),
-                            Err(UiError::Active(e)) => {
-                                failed = Some(e);
-                                break;
-                            }
-                            Err(other) => {
-                                failed = Some(ActiveError::UnknownRule(other.to_string()));
-                                break;
+                    // The reply is sent only after the trace guard has
+                    // dropped, so a client that reads the trace ring
+                    // right after `recv` always sees its own trace.
+                    let result = {
+                        let _root = obs::trace_root("server.dispatch_batch");
+                        let batch_len = events.len();
+                        if obs::trace_recording() {
+                            obs::trace_annotate("shard", shard_label.clone());
+                            obs::trace_annotate("batch_len", batch_len.to_string());
+                        }
+                        let t0 = std::time::Instant::now();
+                        let mut outcomes = Vec::with_capacity(events.len());
+                        let mut failed = None;
+                        for event in events {
+                            match dispatcher.dispatch_db(sid, event) {
+                                Ok(o) => outcomes.push(o),
+                                Err(UiError::Active(e)) => {
+                                    failed = Some(e);
+                                    break;
+                                }
+                                Err(other) => {
+                                    failed = Some(ActiveError::UnknownRule(other.to_string()));
+                                    break;
+                                }
                             }
                         }
-                    }
-                    let _ = reply.send(match failed {
-                        Some(e) => Err(e),
-                        None => Ok(outcomes),
-                    });
+                        if obs::enabled() {
+                            // SLO accounting: every event in the batch
+                            // is a request; an error fails the events
+                            // it prevented from dispatching, and
+                            // fault-degraded outcomes count separately.
+                            let degraded =
+                                outcomes.iter().filter(|o| !o.faults.is_empty()).count() as u64;
+                            let ok = outcomes.len() as u64 - degraded;
+                            let shard_lbl: &[(&str, &str)] = &[("shard", &shard_label)];
+                            if ok > 0 {
+                                obs::counter_add_labeled(
+                                    "server.requests",
+                                    &[("degraded", "false"), ("shard", &shard_label)],
+                                    ok,
+                                );
+                            }
+                            if degraded > 0 {
+                                obs::counter_add_labeled(
+                                    "server.requests",
+                                    &[("degraded", "true"), ("shard", &shard_label)],
+                                    degraded,
+                                );
+                            }
+                            if failed.is_some() {
+                                let missed = (batch_len - outcomes.len()).max(1) as u64;
+                                obs::counter_add_labeled("server.requests", shard_lbl, missed);
+                                obs::counter_add_labeled(
+                                    "server.request_errors",
+                                    shard_lbl,
+                                    missed,
+                                );
+                            }
+                            obs::record_nanos_labeled(
+                                "server.batch_latency",
+                                shard_lbl,
+                                t0.elapsed().as_nanos() as u64,
+                            );
+                        }
+                        if failed.is_some() {
+                            obs::trace_mark_fault();
+                        }
+                        match failed {
+                            Some(e) => Err(e),
+                            None => Ok(outcomes),
+                        }
+                    };
+                    let _ = reply.send(result);
                 }
                 Job::Exec(f) => f(dispatcher),
                 Job::Shutdown => return,

@@ -150,6 +150,37 @@ impl ActiveGis {
         obs::set_enabled(on);
     }
 
+    /// Arm request-trace sampling process-wide: record 1 in `n`
+    /// requests (`1` = every request, `0` = off). Requests that fault
+    /// or degrade are always retained. Completed trace trees land in
+    /// bounded per-shard rings; see [`Self::traces`].
+    pub fn set_trace_sampling(n: u64) {
+        obs::set_trace_sampling(n);
+    }
+
+    /// The most recent `n` completed request traces, newest first.
+    pub fn traces(n: usize) -> Vec<obs::TraceTree> {
+        obs::recent_traces(n)
+    }
+
+    /// Look up one completed request trace by id (the id stamped into
+    /// `TraceRecord::trace_id` and Prometheus exemplars).
+    pub fn trace(id: u64) -> Option<obs::TraceTree> {
+        obs::find_trace(id)
+    }
+
+    /// JSON export of the most recent `n` completed traces.
+    pub fn traces_json(n: usize) -> String {
+        obs::traces_json(n)
+    }
+
+    /// Tick the global SLO engine against the live registry and report
+    /// burn rates. `None` until [`obs::slo::install`] (or
+    /// `install_default`) has run.
+    pub fn slo_report() -> Option<obs::slo::SloReport> {
+        obs::slo::tick_and_report()
+    }
+
     /// Handle to the shared versioned store behind the dispatcher: read
     /// through `snapshot()`/`reader()`, write through `write()`; commits
     /// publish a new epoch (see `docs/storage.md`).

@@ -22,6 +22,15 @@
 //! through `DbStore::write`.
 //!
 //! `BENCH_QUICK=1` shrinks the workload for CI smoke runs.
+//!
+//! Two observability sections ride along (measured after the headline
+//! rows, with metrics on): `tracing` compares cache-hot req/s with
+//! trace sampling off vs `trace_sample=1` (the acceptance bound is
+//! ≤ 10% overhead at full sampling), and `slo` evaluates the default
+//! dispatch SLO over the clean run via multi-window burn rates — also
+//! written to `BENCH_slo.json`. `SLO_SMOKE=1` makes the bench exit
+//! non-zero if the clean run breaches the availability SLO, which is
+//! how `scripts/check.sh` gates on it.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -280,8 +289,130 @@ fn main() {
         ("rows".into(), serde_json::Value::Array(rows)),
     ]);
 
+    // -- observability riders: tracing overhead + SLO -------------------
+
+    // Tracing overhead on the cache-hot row: same workload, metrics on,
+    // sampling off vs every request sampled. The obs registry is reset
+    // so the SLO section below sees only this run's counters.
+    obs::reset();
+    obs::set_enabled(true);
+    obs::slo::install_default();
+    let trace_threads = 2.min(cores);
+    let (trace_batches, trace_batch_len) = if quick { (8, 64) } else { (16, 256) };
+    // On a contended (often single-core) host, a single short run is
+    // scheduler roulette; best-of-N interleaved repetitions converge
+    // both modes toward true capacity.
+    let trace_reps = if quick { 4 } else { 9 };
+
+    // The SLO engine samples the registry from a background thread
+    // while the runs execute, so the burn-rate windows see live deltas.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                obs::slo::tick();
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        })
+    };
+
+    // Warm up both paths (thread spawn, allocator, registry names), then
+    // measure *paired* back-to-back runs. Ambient host load drifts on a
+    // scale of seconds, so comparing two maxima taken at different times
+    // confounds drift with instrumentation cost; within one pair the
+    // regime is the same, and the median of per-pair overheads is robust
+    // to outlier pairs.
+    obs::set_trace_sampling(0);
+    run(trace_threads, trace_batches, trace_batch_len);
+    obs::set_trace_sampling(1);
+    run(trace_threads, trace_batches, trace_batch_len);
+    let mut clean_rs: Vec<f64> = Vec::with_capacity(trace_reps);
+    let mut traced_rs: Vec<f64> = Vec::with_capacity(trace_reps);
+    let mut pair_overheads: Vec<f64> = Vec::with_capacity(trace_reps);
+    for _ in 0..trace_reps {
+        obs::set_trace_sampling(0);
+        let c = run(trace_threads, trace_batches, trace_batch_len);
+        obs::set_trace_sampling(1);
+        let t = run(trace_threads, trace_batches, trace_batch_len);
+        pair_overheads.push((1.0 - t.requests_per_sec / c.requests_per_sec) * 100.0);
+        clean_rs.push(c.requests_per_sec);
+        traced_rs.push(t.requests_per_sec);
+    }
+    obs::set_trace_sampling(0);
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    sampler.join().expect("slo sampler thread");
+    let slo_report = obs::slo::tick_and_report().expect("slo engine installed");
+    obs::slo::uninstall();
+
+    fn median(xs: &mut [f64]) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = xs.len();
+        if n % 2 == 1 {
+            xs[n / 2]
+        } else {
+            (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+        }
+    }
+    let overhead_pct = median(&mut pair_overheads);
+    let clean_rps = median(&mut clean_rs);
+    let traced_rps = median(&mut traced_rs);
+    eprintln!(
+        "[c5 throughput] tracing overhead @ sample=1: {:.0} -> {:.0} req/s \
+         (median of {} pairs: {:+.1}%)",
+        clean_rps, traced_rps, trace_reps, overhead_pct
+    );
+    let tracing_section = serde_json::Value::Object(vec![
+        (
+            "threads".into(),
+            serde_json::Value::U64(trace_threads as u64),
+        ),
+        (
+            "requests_per_sec_untraced".into(),
+            serde_json::Value::F64(clean_rps),
+        ),
+        (
+            "requests_per_sec_sampled_1_in_1".into(),
+            serde_json::Value::F64(traced_rps),
+        ),
+        ("overhead_pct".into(), serde_json::Value::F64(overhead_pct)),
+        (
+            "traces_retained".into(),
+            serde_json::Value::U64(
+                obs::shard_trace_counts()
+                    .iter()
+                    .map(|&(_, n)| n as u64)
+                    .sum(),
+            ),
+        ),
+    ]);
+
+    let slo_json = slo_report.to_json();
+    let slo_section: serde_json::Value =
+        serde_json::from_str(&slo_json).expect("slo report reparses");
+    eprint!("[c5 throughput] {}", slo_report.render());
+
+    let mut summary = summary;
+    if let serde_json::Value::Object(fields) = &mut summary {
+        fields.push(("tracing".into(), tracing_section));
+        fields.push(("slo".into(), slo_section));
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
     std::fs::write(path, json + "\n").expect("BENCH_throughput.json is writable");
     eprintln!("[c5 throughput] wrote {path}");
+
+    // The SLO section also lands next to the other BENCH artifacts.
+    let slo_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slo.json");
+    std::fs::write(slo_path, slo_json + "\n").expect("BENCH_slo.json is writable");
+    eprintln!("[c5 throughput] wrote {slo_path}");
+
+    // Smoke gate: a clean (fault-free) run must not breach the
+    // availability SLO. Latency is advisory — CI containers are slow.
+    if std::env::var("SLO_SMOKE").is_ok() && slo_report.availability_breached() {
+        eprintln!("[c5 throughput] SLO_SMOKE: availability SLO breached on a clean run");
+        std::process::exit(1);
+    }
 }

@@ -61,6 +61,29 @@ fn bench_obs_overhead(c: &mut Criterion) {
         });
         obs::set_enabled(true);
 
+        // Tracing armed and every request sampled: the full cost of
+        // recording a trace tree per dispatch.
+        obs::set_trace_sampling(1);
+        group.bench_function("tracing_sampled", |b| {
+            b.iter(|| {
+                let _root = obs::trace_root("bench.request");
+                black_box(engine.dispatch(event(), &session).unwrap())
+            });
+        });
+
+        // Tracing armed but the sampler declines (1-in-2^64): spans
+        // still join the thread-local trace, which is then discarded —
+        // the price paid by un-sampled requests while sampling is on.
+        obs::set_trace_sampling(u64::MAX);
+        group.bench_function("tracing_unsampled", |b| {
+            b.iter(|| {
+                let _root = obs::trace_root("bench.request");
+                black_box(engine.dispatch(event(), &session).unwrap())
+            });
+        });
+        obs::set_trace_sampling(0);
+        obs::clear_traces();
+
         group.finish();
     }
 }

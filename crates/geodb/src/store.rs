@@ -775,7 +775,11 @@ impl DbStore {
     }
 
     fn publish(&self, w: &WriterState, t0: Instant) -> u64 {
+        let _span = obs::span("db.publish");
         let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
+        if obs::trace_recording() {
+            obs::trace_annotate("epoch", epoch.to_string());
+        }
         let snap = Arc::new(w.build_snapshot(epoch));
         {
             let mut slot = lock(&self.shared.published);
@@ -818,9 +822,19 @@ impl DbReader {
     /// snapshot.
     pub fn pin(&mut self) -> &Arc<DbSnapshot> {
         let current = self.shared.epoch.load(Ordering::Acquire);
-        if current != self.epoch {
+        let moved = current != self.epoch;
+        if moved {
             self.snap = Arc::clone(&lock(&self.shared.published));
             self.epoch = self.snap.epoch();
+        }
+        if obs::trace_recording() {
+            // Annotate the epoch only when the pin actually moved: the
+            // steady-state fast path stays allocation-free.
+            if moved {
+                obs::trace_event("db.pin", &[("epoch", &self.epoch.to_string())]);
+            } else {
+                obs::trace_event("db.pin", &[]);
+            }
         }
         if obs::enabled() {
             obs::counter_add("db.reads_pinned", 1);

@@ -478,6 +478,8 @@ impl Dispatcher {
         sid: SessionId,
         event: geodb::query::DbEvent,
     ) -> Result<active::Outcome<Customization>> {
+        let _span = obs::span("dispatcher.dispatch_db");
+        let event_kind = event.kind();
         let ctx = self.context_of(sid)?;
         // One atomic epoch load: the hot path notices concurrent commits
         // (and flushes the winner cache) without ever taking a lock.
@@ -487,6 +489,13 @@ impl Dispatcher {
             self.explain.push(outcome.trace.clone());
         }
         obs::counter_add("dispatcher.events", 1);
+        if obs::enabled() {
+            obs::counter_add_labeled(
+                "dispatcher.events_by_kind",
+                &[("event_kind", &event_kind.to_string())],
+                1,
+            );
+        }
         Ok(outcome)
     }
 
@@ -933,7 +942,10 @@ impl Dispatcher {
     /// [`Response::Error`], so one faulty interaction can never take the
     /// whole interface down.
     pub fn handle_request(&mut self, sid: SessionId, request: Request) -> Response {
-        let _span = obs::span("dispatcher.request");
+        // A protocol request is a request boundary: when trace sampling
+        // is armed and no outer trace exists (the embedded single-user
+        // path), start one here.
+        let _span = obs::trace_root("dispatcher.request");
         obs::counter_add("dispatcher.requests", 1);
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.handle_request_inner(sid, request)

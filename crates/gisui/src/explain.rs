@@ -33,6 +33,13 @@ pub struct TraceRecord {
     /// from an older export).
     #[serde(default)]
     pub db_epoch: u64,
+    /// The obs request-trace id the interaction ran under (0 when no
+    /// trace was being recorded, or for records from older exports).
+    /// Cross-links explanation entries with `obs::find_trace` both
+    /// ways: `:trace <id>` answers "what did the system do", this
+    /// record answers "which rules decided it".
+    #[serde(default)]
+    pub trace_id: u64,
     /// The structured cascade, entry depths and shadowing intact.
     pub trace: Trace,
     /// Human-readable rendering, as served by `Dispatcher::explanation`.
@@ -115,6 +122,7 @@ impl ExplanationLog {
         let record = TraceRecord {
             seq: self.next_seq,
             db_epoch: self.db_epoch,
+            trace_id: obs::current_trace_id(),
             rendered: trace.render(),
             trace,
         };
@@ -133,6 +141,9 @@ impl ExplanationLog {
     /// trace, so degradations appear in the same explanation stream the
     /// user already consults to ask "why does my window look like this?".
     pub fn push_degraded(&mut self, stage: &str, detail: &str) {
+        // A degradation retains the surrounding request trace even when
+        // the sampler did not pick it.
+        obs::trace_mark_fault();
         self.push(Trace {
             entries: vec![active::TraceEntry {
                 depth: 0,
@@ -246,10 +257,11 @@ mod tests {
         let epochs: Vec<u64> = log.records().map(|r| r.db_epoch).collect();
         assert_eq!(epochs, vec![0, 3, 3, 4]);
         assert_eq!(log.db_epoch(), 4);
-        // Old exports (no db_epoch field) still deserialize.
+        // Old exports (no db_epoch / trace_id fields) still deserialize.
         let legacy = r#"{"seq":9,"trace":{"entries":[]},"rendered":""}"#;
         let rec: TraceRecord = serde_json::from_str(legacy).unwrap();
         assert_eq!(rec.db_epoch, 0);
+        assert_eq!(rec.trace_id, 0);
     }
 
     #[test]

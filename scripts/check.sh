@@ -17,4 +17,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> SLO smoke (c5_throughput, quick)"
+# Fails if the clean serving run breaches the availability SLO; writes
+# BENCH_throughput.json (with tracing + slo sections) and BENCH_slo.json.
+BENCH_QUICK=1 SLO_SMOKE=1 cargo bench -p bench --bench c5_throughput
+
 echo "All checks passed."

@@ -1,0 +1,81 @@
+//! Disabled-path overhead guard: when metric collection is off and
+//! trace sampling is disarmed, every obs hook must collapse to one
+//! relaxed atomic load — in particular, it must never allocate. A
+//! counting global allocator proves it: the fully-disarmed hot path
+//! performs zero allocations across thousands of hook invocations.
+//!
+//! This test binary must stay single-test: the counting allocator is
+//! process-global, and a parallel test allocating on another thread
+//! would poison the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disarmed_hooks_never_allocate() {
+    // Warm up: registering the names (and the registry itself) is
+    // allowed to allocate — the claim is about the steady-state hot
+    // path, not first use.
+    obs::set_enabled(true);
+    obs::counter_add("alloc_test.hits", 1);
+    obs::record_nanos("alloc_test.lat", 100);
+    {
+        let _root = obs::trace_root("alloc_test.request");
+        let _inner = obs::span("alloc_test.inner");
+    }
+
+    // Fully disarm: metrics off, sampling off.
+    obs::set_enabled(false);
+    obs::set_trace_sampling(0);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        obs::counter_add("alloc_test.hits", 1);
+        obs::record_nanos("alloc_test.lat", 100);
+        obs::counter_add_labeled("alloc_test.labeled", &[("shard", "0")], 1);
+        {
+            let _root = obs::trace_root("alloc_test.request");
+            let _inner = obs::span("alloc_test.inner");
+            obs::trace_annotate("k", "v");
+            obs::trace_event("alloc_test.leaf", &[]);
+            obs::trace_mark_fault();
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    obs::set_enabled(true);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disarmed obs hooks allocated {} times over 10k iterations",
+        after - before
+    );
+
+    // Sanity: the hooks come back to life when re-armed.
+    let snap_before = obs::snapshot().counter("alloc_test.hits");
+    obs::counter_add("alloc_test.hits", 1);
+    assert_eq!(obs::snapshot().counter("alloc_test.hits"), snap_before + 1);
+}

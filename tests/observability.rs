@@ -170,13 +170,15 @@ fn exporters_are_parseable() {
     }
 
     // Prometheus text: every sample line is `name value` with a numeric
-    // value; counters appear as `_total`.
+    // value (exemplar suffixes, `… # {trace_id="…"} v`, stripped first);
+    // counters appear as `_total`.
     let text = snap.to_prometheus();
     assert!(text.contains("activegis_engine_dispatches_total"));
     assert!(text.contains("activegis_engine_dispatch_seconds{quantile=\"0.5\"}"));
     let mut samples = 0;
     for line in text.lines().filter(|l| !l.starts_with('#')) {
-        let (name, value) = line.rsplit_once(' ').expect("`name value` pair");
+        let sample = line.split(" # ").next().unwrap();
+        let (name, value) = sample.rsplit_once(' ').expect("`name value` pair");
         assert!(!name.is_empty());
         value
             .parse::<f64>()
@@ -273,4 +275,339 @@ fn disabling_metrics_makes_hooks_inert() {
     assert!(!snap.subsystem_active("dispatcher"));
     // The explanation pipeline is independent of the metrics switch.
     assert!(!gis.explanation().is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Request traces, sampling, and the SLO engine
+// ---------------------------------------------------------------------------
+
+use active::{Engine, EngineConfig, EventPattern, FaultPolicy, Rule, SessionContext};
+use activegis::{Customization, SessionServer};
+use geodb::query::{DbEvent, DbEventKind};
+use geodb::store::DbStore;
+use proptest::prelude::*;
+
+fn demo_server(shards: usize, config: EngineConfig) -> SessionServer {
+    let engine: Engine<Customization> = Engine::with_config(config);
+    let base = engine.rule_base();
+    let db = activegis::phone_net_db(&TelecomConfig::small()).unwrap().0;
+    SessionServer::start(shards, base, DbStore::new(db))
+}
+
+fn get_class() -> DbEvent {
+    DbEvent::GetClass {
+        schema: "phone_net".into(),
+        class: "Pole".into(),
+    }
+}
+
+/// The tentpole acceptance scenario: one `dispatch_batch` under
+/// `trace_sample=1` yields a causal trace tree spanning
+/// server→dispatcher→engine→db, cross-linked from the ExplanationLog
+/// record and a Prometheus exemplar.
+#[test]
+fn dispatch_batch_yields_a_causal_trace_tree() {
+    let _g = lock();
+    obs::reset();
+    obs::set_enabled(true);
+    obs::set_trace_sampling(1);
+
+    let server = demo_server(1, EngineConfig::default());
+    server.install_program(FIG6_PROGRAM, "fig6").unwrap();
+    let s = server.open_session(SessionContext::new("juliano", "planner", "pole_manager"));
+    let outcomes = server.dispatch_batch(s, vec![get_class()]).unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert!(!outcomes[0].customizations.is_empty(), "Fig. 6 rules fired");
+
+    // The reply only arrives after the worker committed the trace.
+    let traces = obs::recent_traces(4);
+    let trace = traces.first().expect("trace committed before the reply");
+    assert!(trace.sampled);
+    assert_eq!(trace.shard, 0);
+
+    // ≥4 causally linked spans across all four serving layers.
+    assert!(trace.spans.len() >= 4, "spans: {:?}", trace.spans);
+    let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
+    for required in [
+        "server.dispatch_batch",
+        "dispatcher.dispatch_db",
+        "engine.dispatch",
+        "db.pin",
+    ] {
+        assert!(
+            names.contains(&required),
+            "missing span {required}: {names:?}"
+        );
+    }
+    let ids: std::collections::BTreeSet<u64> = trace.spans.iter().map(|s| s.id).collect();
+    assert_eq!(
+        trace.spans.iter().filter(|s| s.parent == 0).count(),
+        1,
+        "exactly one root span"
+    );
+    for span in trace.spans.iter().filter(|s| s.parent != 0) {
+        assert!(ids.contains(&span.parent), "dangling parent: {span:?}");
+    }
+
+    // JSON export carries the whole tree.
+    let v: serde_json::Value = serde_json::from_str(&trace.to_json()).unwrap();
+    assert_eq!(
+        v["spans"][0]["name"].as_str(),
+        Some("server.dispatch_batch")
+    );
+
+    // Cross-link 1: the ExplanationLog record carries the trace id.
+    let record_trace_id = server.with_dispatcher(s, |d| {
+        d.explanation_log()
+            .records()
+            .last()
+            .map(|r| r.trace_id)
+            .unwrap_or(0)
+    });
+    assert_eq!(record_trace_id, trace.trace_id, "explanation cross-link");
+
+    // Cross-link 2: the id rides a Prometheus exemplar.
+    let prom = obs::snapshot().to_prometheus();
+    assert!(
+        prom.contains(&format!("trace_id=\"{}\"", trace.trace_id_hex)),
+        "exemplar missing from export"
+    );
+    obs::set_trace_sampling(0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cascade causality: every `engine.cascade` child span names the
+    /// rule that raised its event, and every span's parent id exists in
+    /// the same trace — for arbitrary Raise-chain lengths and request
+    /// counts.
+    #[test]
+    fn cascade_child_spans_stay_causally_linked(
+        chain_len in 1usize..6,
+        requests in 1usize..4,
+    ) {
+        let _g = lock();
+        obs::reset();
+        obs::set_enabled(true);
+        obs::set_trace_sampling(1);
+
+        let mut engine: Engine<Customization> = Engine::new();
+        for i in 0..chain_len {
+            engine
+                .add_rule(Rule {
+                    name: format!("chain{i}"),
+                    event: EventPattern::External { name: Some(format!("ev{i}")) },
+                    context: active::ContextPattern::any(),
+                    guard: None,
+                    action: std::sync::Arc::new(active::Action::Raise(vec![
+                        active::Event::external(format!("ev{}", i + 1)),
+                    ])),
+                    group: activegis::RuleGroup::Other,
+                    coupling: active::Coupling::Immediate,
+                    priority: 0,
+                    enabled: true,
+                })
+                .unwrap();
+        }
+        let ctx = SessionContext::new("u", "c", "a");
+        for _ in 0..requests {
+            let _root = obs::trace_root("test.request");
+            engine.dispatch(active::Event::external("ev0"), &ctx).unwrap();
+        }
+
+        let traces = obs::recent_traces(requests);
+        prop_assert_eq!(traces.len(), requests);
+        for t in traces {
+            let ids: std::collections::BTreeSet<u64> = t.spans.iter().map(|s| s.id).collect();
+            for span in t.spans.iter().filter(|s| s.parent != 0) {
+                prop_assert!(ids.contains(&span.parent), "dangling parent: {:?}", span);
+            }
+            // One cascade child per raised event, each naming its raiser.
+            let cascades: Vec<_> =
+                t.spans.iter().filter(|s| s.name == "engine.cascade").collect();
+            prop_assert_eq!(cascades.len(), chain_len, "one cascade span per raise");
+            for c in &cascades {
+                prop_assert!(
+                    c.annotations
+                        .iter()
+                        .any(|a| a.key == "raised_by" && a.value.starts_with("chain")),
+                    "cascade span missing raised_by: {:?}",
+                    c
+                );
+            }
+        }
+        obs::set_trace_sampling(0);
+    }
+
+    /// Per-shard trace rings never exceed their configured bound, and
+    /// sampling never drops fault traces: with a 1-in-N sampler that
+    /// cannot realistically pick anything, degraded interactions are
+    /// still retained.
+    #[test]
+    fn rings_stay_bounded_and_faults_are_never_dropped(
+        cap in 1usize..5,
+        total in 1usize..12,
+    ) {
+        let _g = lock();
+        obs::reset();
+        obs::set_enabled(true);
+        obs::set_trace_ring_capacity(cap);
+
+        // Fault traces survive an effectively-zero sampling rate.
+        obs::set_trace_sampling(u64::MAX);
+        for i in 0..total {
+            let _root = obs::trace_root("test.request");
+            if i % 2 == 0 {
+                obs::trace_mark_fault();
+            }
+        }
+        let retained = obs::recent_traces(64);
+        prop_assert_eq!(
+            retained.len(),
+            total.div_ceil(2).min(cap),
+            "every fault trace retained, up to the ring bound"
+        );
+        prop_assert!(retained.iter().all(|t| t.fault && !t.sampled));
+
+        // Full sampling across shards still respects the bound.
+        obs::set_trace_sampling(1);
+        for shard in 0..3u64 {
+            obs::set_shard(shard);
+            for _ in 0..total {
+                let _root = obs::trace_root("test.request");
+            }
+        }
+        obs::set_shard(0);
+        for (shard, len) in obs::shard_trace_counts() {
+            prop_assert!(len <= cap, "shard {} ring over bound: {}", shard, len);
+        }
+        obs::set_trace_sampling(0);
+    }
+}
+
+/// A faultsim storm through the real serving stack spikes the SLO burn
+/// rate; quarantine ends the storm and the fast window recovers while
+/// the slow window still remembers it.
+#[test]
+fn burn_rate_spikes_during_fault_storm_and_recovers_after_quarantine() {
+    let _g = lock();
+    obs::reset();
+    obs::set_enabled(true);
+    faultsim::reset();
+
+    let server = demo_server(
+        1,
+        EngineConfig {
+            fault_policy: FaultPolicy::FailClosed,
+            quarantine_threshold: 3,
+            ..EngineConfig::default()
+        },
+    );
+    // An integrity rule whose callback trips the armed failpoint.
+    {
+        let mut writer = server.rule_base().session();
+        writer
+            .add_rule(Rule::integrity(
+                "storm",
+                EventPattern::db(DbEventKind::GetClass),
+                std::sync::Arc::new(|_, _| Vec::new()),
+            ))
+            .unwrap();
+    }
+    let s = server.open_session(SessionContext::new("op", "planner", "pole_manager"));
+
+    let mut slo = obs::slo::SloEngine::new(vec![obs::slo::SloSpec::dispatch_default()]);
+    slo.observe(obs::snapshot(), 0.0);
+
+    // Storm: every callback faults until the third consecutive fault
+    // quarantines the rule.
+    faultsim::arm(
+        "engine.callback",
+        activegis::Trigger::Always,
+        activegis::FaultAction::Error,
+    );
+    let mut failures = 0;
+    for _ in 0..5 {
+        if server.dispatch_batch(s, vec![get_class()]).is_err() {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 3, "quarantine stops the storm after 3 faults");
+    slo.observe(obs::snapshot(), 1.0);
+    let storm = slo.report();
+    assert!(
+        storm.slos[0].fast.burn_rate > 1.0 && storm.slos[0].slow.burn_rate > 1.0,
+        "storm burns both windows: {}",
+        storm.to_json()
+    );
+    assert!(storm.burning());
+    assert!(storm.availability_breached());
+
+    // Recovery: the rule is quarantined, traffic is clean again. The
+    // 1s fast window (measured from the post-storm baseline) drains;
+    // the 60s slow window still carries the storm.
+    for _ in 0..20 {
+        server.dispatch_batch(s, vec![get_class()]).unwrap();
+    }
+    slo.observe(obs::snapshot(), 2.5);
+    let recovered = slo.report();
+    assert!(
+        recovered.slos[0].fast.burn_rate < 1.0,
+        "fast window recovered after quarantine: {}",
+        recovered.to_json()
+    );
+    assert!(
+        recovered.slos[0].slow.burn_rate > 1.0,
+        "slow window remembers the storm"
+    );
+    assert!(!recovered.burning(), "multi-window alert cleared");
+    faultsim::reset();
+}
+
+/// Faulting requests are always traced, even when the sampler is
+/// effectively off — through the real server path, not just the obs
+/// unit API.
+#[test]
+fn fault_traces_survive_sampling_through_the_server() {
+    let _g = lock();
+    obs::reset();
+    obs::set_enabled(true);
+    faultsim::reset();
+    obs::set_trace_sampling(u64::MAX);
+
+    let server = demo_server(1, EngineConfig::default());
+    {
+        let mut writer = server.rule_base().session();
+        writer
+            .add_rule(Rule::integrity(
+                "fragile",
+                EventPattern::db(DbEventKind::GetClass),
+                std::sync::Arc::new(|_, _| Vec::new()),
+            ))
+            .unwrap();
+    }
+    let s = server.open_session(SessionContext::new("op", "planner", "pole_manager"));
+
+    // Clean request: unsampled, dropped.
+    server.dispatch_batch(s, vec![get_class()]).unwrap();
+    assert!(
+        obs::recent_traces(8).is_empty(),
+        "clean request not sampled"
+    );
+
+    // Faulting request (fail-open: outcome carries the fault record):
+    // retained despite the sampler.
+    faultsim::arm(
+        "engine.callback",
+        activegis::Trigger::Nth(1),
+        activegis::FaultAction::Error,
+    );
+    let outcomes = server.dispatch_batch(s, vec![get_class()]).unwrap();
+    assert!(!outcomes[0].faults.is_empty(), "fault recorded fail-open");
+    let traces = obs::recent_traces(8);
+    assert_eq!(traces.len(), 1, "fault trace retained");
+    assert!(traces[0].fault && !traces[0].sampled);
+    faultsim::reset();
+    obs::set_trace_sampling(0);
 }
