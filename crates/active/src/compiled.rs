@@ -1,0 +1,507 @@
+//! The compiled dispatch tier: per-epoch flat decision tables.
+//!
+//! The discrimination index (see `engine.rs`) made *cache-hot* dispatch
+//! cheap, but a cold dispatch still interprets every candidate: string
+//! compares for schema/class/name, `Option` walks for the context
+//! pattern, and a full `max_by_key` specificity resolution per event.
+//! [`compile`] removes all of that from the hot path by lowering a
+//! published rule snapshot — once per content generation, off the
+//! dispatch path — into [`CompiledRules`]:
+//!
+//! * **Dense jump tables.** One [`CompiledTable`] per `DbEventKind`
+//!   (a 7-slot array — no hash lookup for database events), plus one per
+//!   interface gesture name and external event name, plus fallback
+//!   tables for names no rule mentions. Each table is the *pre-merged*
+//!   union of the keyed, any-of-kind and wildcard buckets, so dispatch
+//!   walks exactly one flat vector with no run-merging.
+//! * **Interning.** Every string a pattern can test — users, categories,
+//!   applications, schemas, classes — is interned to a small integer at
+//!   compile time. The rule's context condition collapses to one masked
+//!   compare of a packed `u64` (20 bits per field); event fields are
+//!   interned once per cascade step and compared as integers. A string
+//!   the tables never saw interns to `0`, which no pattern requirement
+//!   can equal — exactly the semantics of equality matching.
+//! * **Pre-resolved specificity.** Customization candidates are sorted
+//!   at compile time by descending `(specificity, priority,
+//!   registration)` — the engine's selection key. Under `MostSpecific`
+//!   with tracing off, the first matching candidate *is* the winner and
+//!   the walk stops there.
+//! * **Guard partitioning.** Guard-free rules are fully decided by the
+//!   integer checks; rules carrying native guards or extension-dimension
+//!   requirements are flagged [`slow`](CompiledCand::slow) and fall back
+//!   to the interpreted `Rule::matches` — pre-partitioned, so the common
+//!   case never tests for the rare one.
+//!
+//! Interface `source_prefix` conditions are not equality matches; they
+//! compile to a bitmask over the (few) distinct prefixes, computed once
+//! per event and tested with one AND per candidate.
+//!
+//! The structure is independent of the payload type `P`: it stores rule
+//! *indices* into the snapshot it was compiled from, keyed by the
+//! snapshot's content `generation` (quarantine flips bump the epoch but
+//! not the generation — health is re-checked per dispatch, so compiled
+//! tables survive quarantine transitions unchanged).
+
+use std::collections::HashMap;
+
+use geodb::query::DbEventKind;
+
+use crate::context::SessionContext;
+use crate::event::{Event, EventPattern};
+use crate::rule::{Rule, RuleGroup};
+
+/// Bits per interned context field in the packed `u64` key
+/// (`user | category | application`, most-specific field highest).
+const FIELD_BITS: u32 = 20;
+const FIELD_MAX: u32 = (1 << FIELD_BITS) - 1;
+const USER_SHIFT: u32 = 2 * FIELD_BITS;
+const CAT_SHIFT: u32 = FIELD_BITS;
+
+/// Distinct interface source prefixes representable in the per-event
+/// bitmask; rules referencing prefixes beyond this fall back to the
+/// interpreted path (and the packed cache is disabled — the mask no
+/// longer separates all distinguishable events).
+const MAX_PREFIXES: usize = 32;
+
+/// Number of dense database-event tables (one per [`DbEventKind`]).
+pub(crate) const DB_KIND_TABLES: usize = 7;
+
+/// Dense slot for a database event kind.
+pub(crate) fn kind_slot(kind: DbEventKind) -> usize {
+    match kind {
+        DbEventKind::GetSchema => 0,
+        DbEventKind::GetClass => 1,
+        DbEventKind::GetValue => 2,
+        DbEventKind::Insert => 3,
+        DbEventKind::Update => 4,
+        DbEventKind::Delete => 5,
+        DbEventKind::SchemaRegistered => 6,
+    }
+}
+
+/// String → small-integer table. Ids are 1-based: `0` is reserved for
+/// "not interned", which can never satisfy a pattern requirement.
+#[derive(Debug, Default)]
+struct Interner {
+    map: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> u32 {
+        let next = self.map.len() as u32 + 1;
+        *self.map.entry(s.to_string()).or_insert(next)
+    }
+
+    fn get(&self, s: &str) -> u32 {
+        self.map.get(s).copied().unwrap_or(0)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn overflows(&self) -> bool {
+        self.map.len() as u32 > FIELD_MAX
+    }
+}
+
+/// One rule in a compiled table: the integer-only residue of its match
+/// condition (everything the table membership has not already decided).
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledCand {
+    /// Index into the snapshot's rule vector.
+    pub(crate) idx: u32,
+    /// Which packed-context bits the rule constrains…
+    ctx_mask: u64,
+    /// …and the interned values they must hold.
+    ctx_want: u64,
+    /// Required interned schema (`0` = unconstrained).
+    schema_req: u32,
+    /// Required interned class (`0` = unconstrained).
+    class_req: u32,
+    /// 1-based bit in the event's prefix mask (`0` = unconstrained).
+    prefix_req: u32,
+    /// Guard- or extras-bearing: integer checks cannot decide the match;
+    /// evaluate the interpreted `Rule::matches` instead.
+    pub(crate) slow: bool,
+}
+
+impl CompiledCand {
+    /// The integer-only match test (sound exactly when `!self.slow`).
+    #[inline]
+    pub(crate) fn matches_fast(&self, ids: &EventIds, ctx_packed: u64) -> bool {
+        (self.schema_req == 0 || self.schema_req == ids.schema)
+            && (self.class_req == 0 || self.class_req == ids.class)
+            && (self.prefix_req == 0 || ids.prefix_mask & (1 << (self.prefix_req - 1)) != 0)
+            && ctx_packed & self.ctx_mask == self.ctx_want
+    }
+}
+
+/// One jump-table entry: all candidates that can possibly match events
+/// routed here, pre-partitioned by rule group.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct CompiledTable {
+    /// Customization candidates in *descending* pre-resolved selection
+    /// order `(specificity, priority, registration index)`.
+    pub(crate) cust: Vec<CompiledCand>,
+    /// Non-customization candidates in ascending registration order
+    /// (firing order is resolved later, per dispatch, by priority).
+    pub(crate) other: Vec<CompiledCand>,
+}
+
+/// The per-cascade-step interned view of an event: computed once, then
+/// compared as integers against every candidate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EventIds {
+    /// Packed event discriminant for the winner-cache key (only
+    /// meaningful while [`CompiledRules::cacheable`]).
+    pub(crate) key: u64,
+    schema: u32,
+    class: u32,
+    prefix_mask: u32,
+}
+
+/// What one epoch compile produced — surfaced through
+/// `Engine::compiled_stats` and the REPL `:compile` command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Content generation the tables were compiled from.
+    pub generation: u64,
+    /// Enabled rules lowered into the tables.
+    pub rules: usize,
+    /// Jump tables emitted (7 db kinds + per-name + 2 fallbacks).
+    pub tables: usize,
+    /// Total candidate slots across every table (a rule with a broad
+    /// pattern occupies several tables).
+    pub candidates: usize,
+    /// Distinct interned users / categories / applications.
+    pub users: usize,
+    pub categories: usize,
+    pub applications: usize,
+    /// Distinct interned event terms (schemas, classes, gesture and
+    /// external names, source prefixes).
+    pub event_terms: usize,
+    /// Whether the packed `u64` winner-cache key is in use (false only
+    /// in degenerate snapshots that overflow the interning widths).
+    pub packed_cache: bool,
+    /// Wall-clock nanoseconds the compile took (off the dispatch path).
+    pub compile_ns: u64,
+}
+
+/// The compiled form of one rule snapshot.
+#[derive(Debug)]
+pub(crate) struct CompiledRules {
+    pub(crate) generation: u64,
+    users: Interner,
+    categories: Interner,
+    applications: Interner,
+    schemas: Interner,
+    classes: Interner,
+    iface_names: Interner,
+    ext_names: Interner,
+    prefixes: Vec<String>,
+    db: [CompiledTable; DB_KIND_TABLES],
+    iface_tables: Vec<CompiledTable>,
+    /// Interface events whose gesture name no rule mentions by name.
+    iface_any: CompiledTable,
+    ext_tables: Vec<CompiledTable>,
+    ext_any: CompiledTable,
+    /// Packed keys are collision-free (every interned id fits its field
+    /// and the prefix mask covers every prefix) — the winner cache may
+    /// key on them.
+    pub(crate) cacheable: bool,
+    pub(crate) stats: CompileStats,
+}
+
+impl CompiledRules {
+    /// Pack a session context into the interned `u64` key. Computed once
+    /// per dispatch (the context is fixed across the cascade).
+    pub(crate) fn pack_ctx(&self, ctx: &SessionContext) -> u64 {
+        ((self.users.get(&ctx.user) as u64) << USER_SHIFT)
+            | ((self.categories.get(&ctx.category) as u64) << CAT_SHIFT)
+            | self.applications.get(&ctx.application) as u64
+    }
+
+    /// Route an event to its jump table and intern its observable fields
+    /// — one hash lookup per string field, once per cascade step.
+    pub(crate) fn lookup(&self, event: &Event) -> (&CompiledTable, EventIds) {
+        match event {
+            Event::Db(e) => {
+                let slot = kind_slot(e.kind());
+                let schema = self.schemas.get(e.schema());
+                let class = e.class().map_or(0, |c| self.classes.get(c));
+                let key = ((slot as u64) << 50) | ((schema as u64) << 25) | class as u64;
+                (
+                    &self.db[slot],
+                    EventIds {
+                        key,
+                        schema,
+                        class,
+                        prefix_mask: 0,
+                    },
+                )
+            }
+            Event::Interface { name, source } => {
+                let id = self.iface_names.get(name);
+                let table = if id > 0 {
+                    &self.iface_tables[id as usize - 1]
+                } else {
+                    &self.iface_any
+                };
+                let mut mask = 0u32;
+                for (bit, p) in self.prefixes.iter().enumerate() {
+                    if source.starts_with(p.as_str()) {
+                        mask |= 1 << bit;
+                    }
+                }
+                let key = (1u64 << 60) | ((id as u64) << 32) | mask as u64;
+                (
+                    table,
+                    EventIds {
+                        key,
+                        schema: 0,
+                        class: 0,
+                        prefix_mask: mask,
+                    },
+                )
+            }
+            Event::External { name } => {
+                let id = self.ext_names.get(name);
+                let table = if id > 0 {
+                    &self.ext_tables[id as usize - 1]
+                } else {
+                    &self.ext_any
+                };
+                let key = (2u64 << 60) | id as u64;
+                (
+                    table,
+                    EventIds {
+                        key,
+                        schema: 0,
+                        class: 0,
+                        prefix_mask: 0,
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// Where a candidate is routed during distribution.
+enum Target {
+    Db(usize),
+    Iface(usize),
+    IfaceAny,
+    Ext(usize),
+    ExtAny,
+}
+
+/// Lower a rule vector into flat dispatch tables. Runs once per content
+/// generation, never on the dispatch path; cost is O(rules × tables a
+/// rule occupies) plus one sort per table.
+pub(crate) fn compile<P>(rules: &[Rule<P>], generation: u64) -> CompiledRules {
+    let mut users = Interner::default();
+    let mut categories = Interner::default();
+    let mut applications = Interner::default();
+    let mut schemas = Interner::default();
+    let mut classes = Interner::default();
+    let mut iface_names = Interner::default();
+    let mut ext_names = Interner::default();
+    let mut prefixes: Vec<String> = Vec::new();
+    let mut prefix_overflow = false;
+
+    // Pass 1: the named tables that must exist (one per distinct
+    // gesture/external name any enabled rule matches by name).
+    for r in rules.iter().filter(|r| r.enabled) {
+        match &r.event {
+            EventPattern::Interface { name: Some(n), .. } => {
+                iface_names.intern(n);
+            }
+            EventPattern::External { name: Some(n) } => {
+                ext_names.intern(n);
+            }
+            _ => {}
+        }
+    }
+    let mut db: [CompiledTable; DB_KIND_TABLES] = Default::default();
+    let mut iface_tables = vec![CompiledTable::default(); iface_names.len()];
+    let mut iface_any = CompiledTable::default();
+    let mut ext_tables = vec![CompiledTable::default(); ext_names.len()];
+    let mut ext_any = CompiledTable::default();
+
+    // Pass 2: distribute every enabled rule into the tables its pattern
+    // can reach, lowering its conditions to integer requirements.
+    let mut targets: Vec<Target> = Vec::new();
+    for (idx, r) in rules.iter().enumerate() {
+        if !r.enabled {
+            continue;
+        }
+        let mut cand = CompiledCand {
+            idx: idx as u32,
+            ctx_mask: 0,
+            ctx_want: 0,
+            schema_req: 0,
+            class_req: 0,
+            prefix_req: 0,
+            slow: r.needs_interpreted_match(),
+        };
+        for (field, interner, shift) in [
+            (&r.context.user, &mut users, USER_SHIFT),
+            (&r.context.category, &mut categories, CAT_SHIFT),
+            (&r.context.application, &mut applications, 0),
+        ] {
+            if let Some(v) = field {
+                cand.ctx_mask |= (FIELD_MAX as u64) << shift;
+                cand.ctx_want |= (interner.intern(v) as u64) << shift;
+            }
+        }
+
+        targets.clear();
+        match &r.event {
+            EventPattern::Any => {
+                targets.extend((0..DB_KIND_TABLES).map(Target::Db));
+                targets.extend((0..iface_tables.len()).map(Target::Iface));
+                targets.push(Target::IfaceAny);
+                targets.extend((0..ext_tables.len()).map(Target::Ext));
+                targets.push(Target::ExtAny);
+            }
+            EventPattern::Db {
+                kind,
+                schema,
+                class,
+            } => {
+                if let Some(s) = schema {
+                    cand.schema_req = schemas.intern(s);
+                }
+                if let Some(c) = class {
+                    cand.class_req = classes.intern(c);
+                }
+                match kind {
+                    Some(k) => targets.push(Target::Db(kind_slot(*k))),
+                    None => targets.extend((0..DB_KIND_TABLES).map(Target::Db)),
+                }
+            }
+            EventPattern::Interface {
+                name,
+                source_prefix,
+            } => {
+                if let Some(p) = source_prefix {
+                    let bit = prefixes.iter().position(|q| q == p).unwrap_or_else(|| {
+                        prefixes.push(p.clone());
+                        prefixes.len() - 1
+                    });
+                    if bit < MAX_PREFIXES {
+                        cand.prefix_req = bit as u32 + 1;
+                    } else {
+                        // No mask bit left for this prefix: evaluate the
+                        // pattern on the interpreted path instead.
+                        prefix_overflow = true;
+                        cand.slow = true;
+                    }
+                }
+                match name {
+                    Some(n) => targets.push(Target::Iface(iface_names.get(n) as usize - 1)),
+                    None => {
+                        targets.extend((0..iface_tables.len()).map(Target::Iface));
+                        targets.push(Target::IfaceAny);
+                    }
+                }
+            }
+            EventPattern::External { name } => match name {
+                Some(n) => targets.push(Target::Ext(ext_names.get(n) as usize - 1)),
+                None => {
+                    targets.extend((0..ext_tables.len()).map(Target::Ext));
+                    targets.push(Target::ExtAny);
+                }
+            },
+        }
+
+        let cust = r.group == RuleGroup::Customization;
+        for t in &targets {
+            let table = match t {
+                Target::Db(i) => &mut db[*i],
+                Target::Iface(i) => &mut iface_tables[*i],
+                Target::IfaceAny => &mut iface_any,
+                Target::Ext(i) => &mut ext_tables[*i],
+                Target::ExtAny => &mut ext_any,
+            };
+            if cust {
+                table.cust.push(cand.clone());
+            } else {
+                table.other.push(cand.clone());
+            }
+        }
+    }
+
+    // An interning width overflow would corrupt the packed compares;
+    // degrade the whole epoch to interpreted matching (still pruned by
+    // the tables) rather than match incorrectly. Unreachable for any
+    // realistic rule set (> 2^20 distinct pattern strings per field).
+    let ctx_overflow = users.overflows() || categories.overflows() || applications.overflows();
+    let cacheable = !ctx_overflow
+        && !prefix_overflow
+        && !schemas.overflows()
+        && !classes.overflows()
+        && !iface_names.overflows()
+        && !ext_names.overflows();
+
+    // Pre-resolve selection order: descending (specificity, priority,
+    // registration index), so the first matching customization candidate
+    // is the `MostSpecific` winner.
+    let mut candidates = 0usize;
+    let all_tables = db
+        .iter_mut()
+        .chain(iface_tables.iter_mut())
+        .chain(std::iter::once(&mut iface_any))
+        .chain(ext_tables.iter_mut())
+        .chain(std::iter::once(&mut ext_any));
+    let mut tables = 0usize;
+    for table in all_tables {
+        table.cust.sort_unstable_by_key(|c| {
+            let r = &rules[c.idx as usize];
+            std::cmp::Reverse((r.specificity(), r.priority, c.idx))
+        });
+        if ctx_overflow {
+            for c in table.cust.iter_mut().chain(table.other.iter_mut()) {
+                c.slow = true;
+            }
+        }
+        candidates += table.cust.len() + table.other.len();
+        tables += 1;
+    }
+
+    let stats = CompileStats {
+        generation,
+        rules: rules.iter().filter(|r| r.enabled).count(),
+        tables,
+        candidates,
+        users: users.len(),
+        categories: categories.len(),
+        applications: applications.len(),
+        event_terms: schemas.len()
+            + classes.len()
+            + iface_names.len()
+            + ext_names.len()
+            + prefixes.len(),
+        packed_cache: cacheable,
+        compile_ns: 0,
+    };
+    CompiledRules {
+        generation,
+        users,
+        categories,
+        applications,
+        schemas,
+        classes,
+        iface_names,
+        ext_names,
+        prefixes,
+        db,
+        iface_tables,
+        iface_any,
+        ext_tables,
+        ext_any,
+        cacheable,
+        stats,
+    }
+}

@@ -55,6 +55,7 @@ use std::sync::{Arc, Mutex};
 
 use geodb::query::DbEventKind;
 
+use crate::compiled::{compile, CompileStats, CompiledRules};
 use crate::context::SessionContext;
 use crate::event::{Event, EventPattern};
 use crate::rule::{Action, Coupling, Rule, RuleGroup};
@@ -80,6 +81,14 @@ pub enum DispatchStrategy {
     Indexed,
     /// Scan every registered rule — the differential-testing oracle.
     Linear,
+    /// Flat decision tables compiled once per published snapshot
+    /// generation (see the `compiled` module): dense per-kind jump
+    /// tables, interned contexts packed into a `u64` cache key, and
+    /// pre-resolved specificity order so a cold most-specific dispatch
+    /// stops at the first matching candidate. Falls back to the direct
+    /// scan below [`EngineConfig::hybrid_linear_threshold`] like
+    /// [`DispatchStrategy::Indexed`] does.
+    Compiled,
 }
 
 /// What the engine does when a rule's action faults (panics or trips an
@@ -475,9 +484,7 @@ impl RuleIndex {
 /// guards see arbitrary state, and extension dimensions are outside the
 /// cache key. Such rules must re-evaluate on every dispatch.
 fn rule_uncacheable<P>(r: &Rule<P>) -> bool {
-    r.group == RuleGroup::Customization
-        && r.enabled
-        && (r.guard.is_some() || !r.context.extras.is_empty())
+    r.group == RuleGroup::Customization && r.enabled && r.needs_interpreted_match()
 }
 
 // ---------------------------------------------------------------------------
@@ -608,6 +615,11 @@ impl CacheSlot {
 struct WinnerCache {
     hot: HashMap<u64, Vec<CacheSlot>>,
     cold: HashMap<u64, Vec<CacheSlot>>,
+    /// Packed-key segments used by the compiled tier: the key is the
+    /// interned `(event discriminant, packed context)` pair, exact by
+    /// construction — no slot verification, no string storage.
+    phot: HashMap<(u64, u64), PackedSlot>,
+    pcold: HashMap<(u64, u64), PackedSlot>,
     hot_len: usize,
     cold_len: usize,
     /// Rule-base epoch the contents were computed under.
@@ -626,6 +638,8 @@ impl WinnerCache {
     fn flush(&mut self) {
         self.hot.clear();
         self.cold.clear();
+        self.phot.clear();
+        self.pcold.clear();
         self.hot_len = 0;
         self.cold_len = 0;
     }
@@ -657,16 +671,51 @@ impl WinnerCache {
     }
 
     fn insert(&mut self, hash: u64, slot: CacheSlot, capacity: usize) {
+        self.demote_if_full(capacity);
+        self.hot.entry(hash).or_default().push(slot);
+        self.hot_len += 1;
+    }
+
+    /// Generational demotion shared by both key spaces: `hot_len` /
+    /// `cold_len` count string- and packed-keyed slots together, so one
+    /// demotion rotates both segment pairs and the configured capacity
+    /// bounds the combined footprint.
+    fn demote_if_full(&mut self, capacity: usize) {
         let segment = (capacity / 2).max(1);
         if self.hot_len >= segment {
             let dropped = self.cold_len;
             self.cold = std::mem::take(&mut self.hot);
+            self.pcold = std::mem::take(&mut self.phot);
             self.cold_len = std::mem::replace(&mut self.hot_len, 0);
             self.evictions += dropped as u64;
         }
-        self.hot.entry(hash).or_default().push(slot);
-        self.hot_len += 1;
     }
+
+    fn lookup_packed(&mut self, key: (u64, u64)) -> Option<&PackedSlot> {
+        if self.phot.contains_key(&key) {
+            return self.phot.get(&key);
+        }
+        let slot = self.pcold.remove(&key)?;
+        self.cold_len -= 1;
+        self.hot_len += 1;
+        Some(self.phot.entry(key).or_insert(slot))
+    }
+
+    fn insert_packed(&mut self, key: (u64, u64), slot: PackedSlot, capacity: usize) {
+        self.demote_if_full(capacity);
+        if self.phot.insert(key, slot).is_none() {
+            self.hot_len += 1;
+        }
+    }
+}
+
+/// A packed-key cached matching result (compiled tier): same payload as
+/// [`CacheSlot`] minus the verification strings — the interned key is
+/// collision-free while [`CompiledRules::cacheable`] holds.
+#[derive(Debug)]
+struct PackedSlot {
+    matched_cust: Vec<usize>,
+    winner: Option<usize>,
 }
 
 /// Reusable per-dispatch buffers. Private to the session handle, so the
@@ -859,6 +908,13 @@ struct EngineShared<P> {
     /// Rules currently quarantined (exact: transitions use
     /// compare-and-swap on the health cells).
     quarantined_count: AtomicUsize,
+    /// The compiled-tier artifact for the current snapshot *content*
+    /// generation, built lazily (or via [`RuleBase::precompile`]) and
+    /// shared by every `Compiled` session. Keyed on
+    /// `RuleSnapshot::generation`, not the epoch: quarantine flips bump
+    /// the epoch only, and compiled tables are quarantine-agnostic
+    /// (health is re-checked per candidate at dispatch).
+    compiled: Mutex<Option<Arc<CompiledRules>>>,
 }
 
 impl<P> EngineShared<P> {
@@ -871,8 +927,34 @@ impl<P> EngineShared<P> {
             dispatch_count: AtomicU64::new(0),
             rule_fault_count: AtomicU64::new(0),
             quarantined_count: AtomicUsize::new(0),
+            compiled: Mutex::new(None),
         }
     }
+}
+
+/// Fetch (or build) the compiled artifact for `snap`'s content
+/// generation. The compile itself runs at most once per generation per
+/// base — concurrent sessions serialize on the artifact lock, and
+/// whoever arrives first pays the (measured, reported) compile cost;
+/// everyone else clones an `Arc`.
+fn ensure_compiled<P>(shared: &EngineShared<P>, snap: &RuleSnapshot<P>) -> Arc<CompiledRules> {
+    let mut slot = shared.compiled.lock().unwrap();
+    if let Some(c) = slot.as_ref() {
+        if c.generation == snap.generation {
+            return Arc::clone(c);
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let mut built = compile(&snap.rules, snap.generation);
+    let ns = t0.elapsed().as_nanos() as u64;
+    built.stats.compile_ns = ns;
+    if obs::enabled() {
+        obs::counter_add("engine.compiles", 1);
+        obs::record_nanos("engine.compile_latency", ns);
+    }
+    let built = Arc::new(built);
+    *slot = Some(Arc::clone(&built));
+    built
 }
 
 /// A cloneable, `Send + Sync` handle to a shared rule base. Each call to
@@ -943,6 +1025,31 @@ impl<P: Clone> RuleBase<P> {
     pub fn quarantined_count(&self) -> usize {
         self.shared.quarantined_count.load(Ordering::Relaxed)
     }
+
+    /// The configuration sessions opened via [`RuleBase::session`] get.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Compile the current snapshot eagerly (idempotent per content
+    /// generation). Call after a batch of rule mutations to take the
+    /// one-time compile cost here instead of on the first compiled
+    /// dispatch that follows the epoch flip.
+    pub fn precompile(&self) -> CompileStats {
+        let snap = Arc::clone(&self.shared.published.lock().unwrap());
+        ensure_compiled(&self.shared, &snap).stats
+    }
+
+    /// Stats of the most recent compile, if any session (or
+    /// [`RuleBase::precompile`]) has compiled yet.
+    pub fn compiled_stats(&self) -> Option<CompileStats> {
+        self.shared
+            .compiled
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|c| c.stats)
+    }
 }
 
 /// Per-session mutable state: nothing in here is ever observed by
@@ -954,6 +1061,10 @@ struct SessionState<P> {
     scratch: Scratch,
     /// Dispatches served by this handle.
     dispatch_count: u64,
+    /// Session memo of the shared compiled artifact, refreshed when the
+    /// snapshot's content generation moves — steady-state compiled
+    /// dispatch touches no lock.
+    compiled: Option<Arc<CompiledRules>>,
 }
 
 impl<P> Default for SessionState<P> {
@@ -963,6 +1074,7 @@ impl<P> Default for SessionState<P> {
             deferred: Vec::new(),
             scratch: Scratch::default(),
             dispatch_count: 0,
+            compiled: None,
         }
     }
 }
@@ -1042,6 +1154,12 @@ impl<P: Clone> Engine<P> {
     }
 
     pub fn set_selection(&mut self, policy: SelectionPolicy) {
+        if self.config.selection != policy {
+            // Compiled-tier cache slots recorded under MostSpecific with
+            // tracing off carry only the winner (early-exit); they are
+            // not valid under FireAll. Policy changes are rare — flush.
+            self.state.cache.flush();
+        }
         self.config.selection = policy;
     }
 
@@ -1050,6 +1168,11 @@ impl<P: Clone> Engine<P> {
     }
 
     pub fn set_strategy(&mut self, strategy: DispatchStrategy) {
+        if self.config.strategy != strategy {
+            // String- and packed-key slots don't carry over between
+            // strategies; start the new arm cold.
+            self.state.cache.flush();
+        }
         self.config.strategy = strategy;
     }
 
@@ -1178,6 +1301,30 @@ impl<P: Clone> Engine<P> {
         }
     }
 
+    /// Compile the current snapshot eagerly and memoize the artifact on
+    /// this session (idempotent per content generation). Returns the
+    /// compile stats — of the fresh compile, or of the shared artifact
+    /// when another session already paid for this generation.
+    pub fn precompile(&mut self) -> CompileStats {
+        self.sync_snapshot();
+        let built = ensure_compiled(&self.shared, &self.snap);
+        let stats = built.stats;
+        self.state.compiled = Some(built);
+        stats
+    }
+
+    /// Stats of the most recent compile of this rule base, if any
+    /// session has compiled yet (`None` before the first compiled
+    /// dispatch / [`Engine::precompile`]).
+    pub fn compiled_stats(&self) -> Option<CompileStats> {
+        self.shared
+            .compiled
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|c| c.stats)
+    }
+
     fn sync_snapshot(&mut self) {
         let epoch = self.shared.epoch.load(Ordering::Acquire);
         if epoch == self.snap_epoch {
@@ -1292,6 +1439,20 @@ impl<P: Clone> Engine<P> {
     ) -> Result<Outcome<P>, ActiveError> {
         if self.auto_sync {
             self.sync_snapshot();
+        }
+        if self.config.strategy == DispatchStrategy::Compiled
+            && self.snap.rules.len() > self.config.hybrid_linear_threshold
+            && self
+                .state
+                .compiled
+                .as_ref()
+                .is_none_or(|c| c.generation != self.snap.generation)
+        {
+            // Content generation moved (or first compiled dispatch):
+            // refresh the session memo from the shared artifact cache.
+            // This — not the per-event hot loop — is where compile cost
+            // lands, once per generation per base.
+            self.state.compiled = Some(ensure_compiled(&self.shared, &self.snap));
         }
         let deferred_mark = self.state.deferred.len();
         let Engine {
@@ -1473,6 +1634,7 @@ fn dispatch_inner<P: Clone>(
         cache,
         deferred,
         scratch: s,
+        compiled: compiled_memo,
         ..
     } = state;
     // Per-dispatch tallies, flushed to the metrics registry once at
@@ -1486,14 +1648,31 @@ fn dispatch_inner<P: Clone>(
     let mut m_max_depth = 0usize;
     let evictions_before = cache.evictions;
 
-    let indexed = config.strategy == DispatchStrategy::Indexed;
-    // Below the hybrid threshold the discrimination index cannot beat a
-    // straight scan of the rule vector; the winner cache stays active
-    // either way.
-    let scan_all = !indexed || snap.rules.len() <= config.hybrid_linear_threshold;
+    // Below the hybrid threshold neither the discrimination index nor
+    // the compiled tables can beat a straight scan of the rule vector;
+    // the winner cache stays active either way.
+    let small = snap.rules.len() <= config.hybrid_linear_threshold;
+    let scan_all = config.strategy == DispatchStrategy::Linear || small;
+    // The compiled tables for this snapshot generation, when this
+    // session runs the compiled tier above the threshold. `dispatch()`
+    // refreshes the memo before calling in; a `None` here (direct
+    // `dispatch_inner` reentry after an unseen generation flip) falls
+    // back to the discrimination index for this dispatch.
+    let compiled: Option<&CompiledRules> =
+        if config.strategy == DispatchStrategy::Compiled && !small {
+            compiled_memo
+                .as_deref()
+                .filter(|c| c.generation == snap.generation)
+        } else {
+            None
+        };
     // The cache is only sound while every enabled customization rule
     // is a pure function of the cache key.
-    let cache_ok = indexed && snap.index.uncacheable_cust == 0;
+    let cache_ok = config.strategy != DispatchStrategy::Linear && snap.index.uncacheable_cust == 0;
+    // The compiled tier upgrades the cache key to the interned packed
+    // form: no hashing of strings, no slot verification on hit.
+    let packed_ok = cache_ok && compiled.is_some_and(|c| c.cacheable);
+    let ctx_packed = compiled.map_or(0, |c| c.pack_ctx(ctx));
     if cache_ok && cache.generation != *snap_epoch {
         if cache.len() > 0 {
             cache.flush();
@@ -1568,13 +1747,30 @@ fn dispatch_inner<P: Clone>(
 
         s.matched_cust.clear();
         s.matched_other.clear();
+        // Compiled tier: route the event to its jump table and intern
+        // its fields once — every candidate check below is integer-only.
+        let routed = compiled.map(|c| c.lookup(&event));
         // `Some(winner)` when the cache answered customization
         // matching for this event; the winner itself may be `None`
         // (negative results are cached too).
         let mut cached_winner: Option<Option<usize>> = None;
         let mut hash = None;
+        let mut pkey: Option<(u64, u64)> = None;
 
-        if cache_ok {
+        if packed_ok {
+            let key = (
+                routed.as_ref().expect("packed_ok implies routed").1.key,
+                ctx_packed,
+            );
+            pkey = Some(key);
+            if let Some(slot) = cache.lookup_packed(key) {
+                s.matched_cust.extend_from_slice(&slot.matched_cust);
+                cached_winner = Some(slot.winner);
+                m_hits += 1;
+            } else {
+                m_misses += 1;
+            }
+        } else if cache_ok {
             let h = cache_key_hash(&event, ctx);
             hash = Some(h);
             if let Some(slot) = cache.lookup(h, &event, ctx) {
@@ -1585,7 +1781,52 @@ fn dispatch_inner<P: Clone>(
                 m_misses += 1;
             }
         }
-        if scan_all {
+        if let Some((table, ids)) = &routed {
+            if cached_winner.is_none() {
+                // Candidates come pre-sorted by descending (specificity,
+                // priority, registration): under MostSpecific with
+                // tracing off the first match *is* the winner and the
+                // walk stops there — the compiled tier's cold-path win.
+                let early = config.selection == SelectionPolicy::MostSpecific && !config.tracing;
+                for c in &table.cust {
+                    m_considered += 1;
+                    let i = c.idx as usize;
+                    if snap.health[i].is_quarantined() {
+                        continue;
+                    }
+                    let hit = if c.slow {
+                        snap.rules[i].matches(&event, ctx)
+                    } else {
+                        c.matches_fast(ids, ctx_packed)
+                    };
+                    if hit {
+                        s.matched_cust.push(i);
+                        if early {
+                            break;
+                        }
+                    }
+                }
+                // Selection, traces and FireAll all consume the matched
+                // set in ascending registration order, like the oracle
+                // reports it.
+                s.matched_cust.sort_unstable();
+            }
+            for c in &table.other {
+                m_considered += 1;
+                let i = c.idx as usize;
+                if snap.health[i].is_quarantined() {
+                    continue;
+                }
+                let hit = if c.slow {
+                    snap.rules[i].matches(&event, ctx)
+                } else {
+                    c.matches_fast(ids, ctx_packed)
+                };
+                if hit {
+                    s.matched_other.push(i);
+                }
+            }
+        } else if scan_all {
             m_considered += snap.rules.len() as u64;
             let cust_cached = cached_winner.is_some();
             for (i, r) in snap.rules.iter().enumerate() {
@@ -1631,7 +1872,16 @@ fn dispatch_inner<P: Clone>(
                     let r = &rules[i];
                     (r.specificity(), r.priority, i)
                 });
-                if let Some(h) = hash {
+                if let Some(key) = pkey {
+                    cache.insert_packed(
+                        key,
+                        PackedSlot {
+                            matched_cust: s.matched_cust.clone(),
+                            winner: w,
+                        },
+                        config.winner_cache_capacity,
+                    );
+                } else if let Some(h) = hash {
                     cache.insert(
                         h,
                         CacheSlot {
@@ -1754,9 +2004,12 @@ fn dispatch_inner<P: Clone>(
     cache.misses += m_misses;
     if obs::enabled() {
         // Which dispatch arm answered this request: the winner cache,
-        // the discrimination index, or the straight linear scan.
+        // the compiled tables, the discrimination index, or the
+        // straight linear scan.
         let arm = if cache_ok && m_hits > 0 && m_misses == 0 {
             "cached"
+        } else if compiled.is_some() {
+            "compiled"
         } else if scan_all {
             "linear"
         } else {
@@ -2374,6 +2627,215 @@ mod tests {
         let out = eng.dispatch(get_schema(), &session()).unwrap();
         assert!(out.trace.entries.is_empty());
         assert_eq!(out.customizations, vec!["a"]);
+    }
+
+    /// A rule population broad enough to exercise every compiled table
+    /// kind: per-kind db rules, named/wildcard interface and external
+    /// rules, context lattice, priorities, integrity rules.
+    fn compiled_fixture(strategy: DispatchStrategy, tracing: bool) -> Engine<&'static str> {
+        let mut eng: Engine<&str> = Engine::with_config(EngineConfig {
+            strategy,
+            tracing,
+            // Force the tiered path even for this small population.
+            hybrid_linear_threshold: 0,
+            ..Default::default()
+        });
+        eng.add_rule(cust("generic", ContextPattern::any(), "generic"))
+            .unwrap();
+        eng.add_rule(cust(
+            "by_cat",
+            ContextPattern::for_category("planner"),
+            "cat",
+        ))
+        .unwrap();
+        eng.add_rule(cust("by_user", ContextPattern::for_user("juliano"), "user"))
+            .unwrap();
+        eng.add_rule(
+            Rule::customization(
+                "click",
+                EventPattern::Interface {
+                    name: Some("click".into()),
+                    source_prefix: Some("schema_window/".into()),
+                },
+                ContextPattern::any(),
+                "click",
+            )
+            .with_priority(2),
+        )
+        .unwrap();
+        eng.add_rule(Rule::customization(
+            "ext",
+            EventPattern::External {
+                name: Some("refresh".into()),
+            },
+            ContextPattern::any(),
+            "refresh",
+        ))
+        .unwrap();
+        eng.add_rule(
+            Rule::integrity("audit", EventPattern::Any, Arc::new(|_, _| vec![])).with_priority(-1),
+        )
+        .unwrap();
+        eng
+    }
+
+    fn compiled_events() -> Vec<Event> {
+        vec![
+            get_schema(),
+            Event::Db(DbEvent::GetClass {
+                schema: "phone_net".into(),
+                class: "Pole".into(),
+            }),
+            Event::interface("click", "schema_window/list"),
+            Event::interface("click", "map/pan"),
+            Event::interface("drag", "schema_window/list"),
+            Event::external("refresh"),
+            Event::external("unseen"),
+        ]
+    }
+
+    #[test]
+    fn compiled_matches_linear_including_traces() {
+        let mut compiled = compiled_fixture(DispatchStrategy::Compiled, true);
+        let mut linear = compiled_fixture(DispatchStrategy::Linear, true);
+        for event in compiled_events() {
+            for ctx in [session(), SessionContext::new("guest", "visitor", "x")] {
+                for _ in 0..2 {
+                    let a = compiled.dispatch(event.clone(), &ctx).unwrap();
+                    let b = linear.dispatch(event.clone(), &ctx).unwrap();
+                    assert_eq!(a.customizations, b.customizations);
+                    assert_eq!(a.fired_names(), b.fired_names());
+                    assert_eq!(a.events_processed, b.events_processed);
+                    assert_eq!(a.trace.entries.len(), b.trace.entries.len());
+                    for (ta, tb) in a.trace.entries.iter().zip(&b.trace.entries) {
+                        assert_eq!(ta.matched, tb.matched);
+                        assert_eq!(ta.fired, tb.fired);
+                        assert_eq!(ta.shadowed, tb.shadowed);
+                    }
+                }
+            }
+        }
+        assert!(compiled.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn compiled_early_exit_matches_linear_outcomes() {
+        // Tracing off + MostSpecific: the compiled walk stops at the
+        // first (highest-ranked) match. Outcomes must be unchanged.
+        let mut compiled = compiled_fixture(DispatchStrategy::Compiled, false);
+        let mut linear = compiled_fixture(DispatchStrategy::Linear, false);
+        for event in compiled_events() {
+            for ctx in [session(), SessionContext::new("guest", "visitor", "x")] {
+                for _ in 0..2 {
+                    let a = compiled.dispatch(event.clone(), &ctx).unwrap();
+                    let b = linear.dispatch(event.clone(), &ctx).unwrap();
+                    assert_eq!(a.customizations, b.customizations);
+                    assert_eq!(a.fired_names(), b.fired_names());
+                    assert_eq!(a.events_processed, b.events_processed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_recompiles_on_mutation_and_packed_cache_hits() {
+        let mut eng = compiled_fixture(DispatchStrategy::Compiled, true);
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["user"]);
+        let stats0 = eng.compiled_stats().expect("compiled after dispatch");
+        assert!(stats0.packed_cache, "fixture interns within width");
+        assert_eq!(eng.cache_stats().misses, 1);
+        // Same event+context again: answered by the packed winner cache.
+        eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(eng.cache_stats().hits, 1);
+
+        // Mutation flips the content generation: recompile + fresh cache.
+        eng.remove_rule("by_user").unwrap();
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["cat"]);
+        let stats1 = eng.compiled_stats().unwrap();
+        assert!(stats1.generation > stats0.generation);
+        assert_eq!(stats1.rules, stats0.rules - 1);
+    }
+
+    #[test]
+    fn precompile_is_idempotent_and_off_the_dispatch_path() {
+        let mut eng = compiled_fixture(DispatchStrategy::Compiled, true);
+        let s1 = eng.precompile();
+        let s2 = eng.precompile();
+        assert_eq!(s1, s2, "same generation compiles once");
+        assert!(s1.tables >= crate::compiled::DB_KIND_TABLES);
+        assert!(s1.candidates >= s1.rules);
+        assert_eq!(s1.users, 1);
+        assert_eq!(s1.categories, 1);
+        // Dispatch after precompile reuses the artifact (stats identical,
+        // including the recorded compile time of the one real compile).
+        eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(eng.compiled_stats().unwrap(), s1);
+    }
+
+    #[test]
+    fn compiled_guarded_rules_take_the_interpreted_path() {
+        let mut compiled = compiled_fixture(DispatchStrategy::Compiled, true);
+        let mut linear = compiled_fixture(DispatchStrategy::Linear, true);
+        for eng in [&mut compiled, &mut linear] {
+            eng.add_rule(
+                Rule::customization(
+                    "guarded",
+                    EventPattern::db(DbEventKind::GetSchema),
+                    ContextPattern::for_user("juliano"),
+                    "guarded",
+                )
+                .with_priority(99)
+                .with_guard(Arc::new(|e, _| {
+                    matches!(e, Event::Db(DbEvent::GetSchema { schema }) if schema == "phone_net")
+                })),
+            )
+            .unwrap();
+        }
+        for event in compiled_events() {
+            let a = compiled.dispatch(event.clone(), &session()).unwrap();
+            let b = linear.dispatch(event.clone(), &session()).unwrap();
+            assert_eq!(a.customizations, b.customizations);
+            assert_eq!(a.fired_names(), b.fired_names());
+        }
+        // Guard present → winner cache bypassed on both arms.
+        assert_eq!(compiled.cache_stats().hits, 0);
+        assert_eq!(compiled.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn strategy_or_selection_change_flushes_the_cache() {
+        let mut eng = compiled_fixture(DispatchStrategy::Compiled, false);
+        eng.dispatch(get_schema(), &session()).unwrap();
+        eng.dispatch(get_schema(), &session()).unwrap();
+        assert!(eng.cache_stats().entries > 0);
+        eng.set_selection(SelectionPolicy::FireAll);
+        assert_eq!(eng.cache_stats().entries, 0);
+        // FireAll over the early-exit-free walk still sees every match.
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations.len(), 3);
+        eng.set_strategy(DispatchStrategy::Indexed);
+        assert_eq!(eng.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn compiled_respects_quarantine_without_recompiling() {
+        let mut eng = compiled_fixture(DispatchStrategy::Compiled, true);
+        eng.precompile();
+        let gen_before = eng.compiled_stats().unwrap().generation;
+        // Quarantine the winner via the health cell the compiled walk
+        // re-checks per candidate; the artifact itself is untouched.
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["user"]);
+        let idx = eng.snap.by_name["by_user"];
+        eng.snap.health[idx]
+            .quarantined
+            .store(true, Ordering::Release);
+        eng.invalidate_winner_cache();
+        let out = eng.dispatch(get_schema(), &session()).unwrap();
+        assert_eq!(out.customizations, vec!["cat"]);
+        assert_eq!(eng.compiled_stats().unwrap().generation, gen_before);
     }
 }
 

@@ -50,6 +50,7 @@
 //! );
 //! ```
 
+pub(crate) mod compiled;
 pub mod conflict;
 pub mod context;
 pub mod engine;
@@ -57,6 +58,7 @@ pub mod event;
 pub mod rule;
 pub mod trace;
 
+pub use compiled::CompileStats;
 pub use conflict::{analyze, Finding};
 pub use context::{ContextPattern, SessionContext};
 pub use engine::{

@@ -161,6 +161,14 @@ impl<P> Rule<P> {
             && self.guard.as_ref().is_none_or(|g| g(event, ctx))
     }
 
+    /// Whether matching this rule requires the interpreted path: native
+    /// guards and extension-dimension requirements cannot be lowered to
+    /// the compiled tier's integer checks (and make winner-cache entries
+    /// unsound — the answer may change between identical dispatches).
+    pub(crate) fn needs_interpreted_match(&self) -> bool {
+        self.guard.is_some() || !self.context.extras.is_empty()
+    }
+
     /// Combined specificity: context dominates, event pattern breaks ties.
     ///
     /// Contexts score in units of 25+ (see [`ContextPattern::specificity`])

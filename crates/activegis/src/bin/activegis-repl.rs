@@ -39,8 +39,9 @@ commands:
   :trace sample <n>                       trace 1 in n requests (0 = off)
   :slo                                    SLO burn-rate report
   :db                                     database epoch + live snapshot pins
-  :strategy [indexed|linear]              show or switch rule dispatch strategy
+  :strategy [indexed|linear|compiled]     show or switch rule dispatch strategy
   :cache                                  winner-cache hit/miss/invalidation stats
+  :compile                                compile rules now; show tables + latency
   :faults                                 failpoint status (hits / times triggered)
   :faults arm <name> [panic]              arm a failpoint: always error (or panic)
   :faults arm <name> p <prob> <seed>      arm with seeded probability
@@ -254,6 +255,29 @@ impl Repl {
                 self.gis
                     .set_dispatch_strategy(activegis::DispatchStrategy::Linear);
                 println!("dispatch strategy: Linear");
+            }
+            [":strategy", "compiled"] => {
+                self.gis
+                    .set_dispatch_strategy(activegis::DispatchStrategy::Compiled);
+                println!("dispatch strategy: Compiled");
+            }
+            [":compile"] => {
+                let s = self.gis.precompile_rules();
+                println!(
+                    "compiled generation {}: {} rules -> {} tables / {} candidates, \
+                     {} users + {} categories + {} applications interned, \
+                     {} event terms, packed cache {}, compile took {:.1} µs",
+                    s.generation,
+                    s.rules,
+                    s.tables,
+                    s.candidates,
+                    s.users,
+                    s.categories,
+                    s.applications,
+                    s.event_terms,
+                    if s.packed_cache { "on" } else { "off" },
+                    s.compile_ns as f64 / 1000.0
+                );
             }
             [":cache"] => {
                 let s = self.gis.dispatch_cache_stats();

@@ -49,8 +49,9 @@ pub use system::ActiveGis;
 
 // One-stop re-exports so applications can depend on `activegis` alone.
 pub use active::{
-    CacheStats, ContextPattern, DispatchStrategy, Engine, Event, EventPattern, FaultPolicy,
-    FaultRecord, Rule, RuleBase, RuleGroup, RuleHealth, SelectionPolicy, SessionContext,
+    CacheStats, CompileStats, ContextPattern, DispatchStrategy, Engine, Event, EventPattern,
+    FaultPolicy, FaultRecord, Rule, RuleBase, RuleGroup, RuleHealth, SelectionPolicy,
+    SessionContext,
 };
 pub use builder::{BuiltWindow, Format, InterfaceBuilder, WindowKind};
 pub use custlang::{

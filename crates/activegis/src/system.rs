@@ -218,6 +218,21 @@ impl ActiveGis {
         self.dispatcher.engine().cache_stats()
     }
 
+    /// Compile the current rule snapshot into the flat dispatch tables
+    /// eagerly (idempotent per rule generation) and return the compile
+    /// stats: table/candidate counts, interned-context counts and the
+    /// compile latency. Used by the compiled dispatch tier; see
+    /// `docs/dispatch.md`.
+    pub fn precompile_rules(&mut self) -> active::CompileStats {
+        self.dispatcher.engine().precompile()
+    }
+
+    /// Stats of the most recent rule compile, or `None` while nothing
+    /// has compiled the current rule base yet.
+    pub fn compile_stats(&mut self) -> Option<active::CompileStats> {
+        self.dispatcher.engine().compiled_stats()
+    }
+
     /// The structured explanation log: the most recent traces with
     /// cascade depths and matched/fired/shadowed rule names intact.
     pub fn explanation_log(&self) -> &gisui::ExplanationLog {

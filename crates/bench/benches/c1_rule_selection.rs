@@ -126,7 +126,7 @@ fn measure_ns<F: FnMut()>(mut f: F, quick: bool) -> f64 {
 
 /// Dispatch-strategy comparison rows, written to `BENCH_dispatch.json`.
 ///
-/// Three variants per rule-set size, all repeat-dispatching the same
+/// Five variants per rule-set size, all repeat-dispatching the same
 /// `Get_Class` event under the same session:
 /// - `linear`: the full-scan oracle (`DispatchStrategy::Linear`);
 /// - `indexed`: the discrimination index with the winner cache forced
@@ -134,7 +134,14 @@ fn measure_ns<F: FnMut()>(mut f: F, quick: bool) -> f64 {
 ///   index-walk cost alone;
 /// - `indexed_hot`: index + winner cache, where every dispatch after the
 ///   first is a cache hit — the steady state of an interactive session
-///   replaying the same gesture.
+///   replaying the same gesture;
+/// - `compiled`: the compiled tier (jump tables + interned contexts)
+///   with the cache forced off the same way — the table-walk cost alone;
+/// - `compiled_hot`: compiled tier + packed winner cache (u64 keys).
+///
+/// With `DISPATCH_GATE=1`, a row of ≥ 1000 rules where the cold compiled
+/// walk is slower than the cold index walk fails the run — the CI
+/// regression gate for the compiled tier.
 fn dispatch_strategy_comparison(quick: bool) -> serde_json::Value {
     let mut rows = Vec::new();
     rows.extend(scenario_rows(
@@ -172,10 +179,27 @@ fn scenario_rows(
     quick: bool,
 ) -> Vec<serde_json::Value> {
     let session = SessionContext::new("user5", "cat5", "pole_manager");
+    // Quick mode keeps the 1000-rule size: it is the population the
+    // compiled-vs-indexed CI gate is defined on.
     let sizes: &[usize] = if quick {
-        &[10, 100]
+        &[10, 100, 1000]
     } else {
         &[10, 100, 1000, 10_000]
+    };
+    let gate = std::env::var("DISPATCH_GATE").is_ok();
+
+    // A guarded rule (never matching: external pattern) disables the
+    // winner cache for the whole set, isolating the cold walk.
+    let cache_off_sentinel = || {
+        Rule::customization(
+            "cache_off_sentinel",
+            EventPattern::External {
+                name: Some("never".into()),
+            },
+            ContextPattern::any(),
+            usize::MAX,
+        )
+        .with_guard(Arc::new(|_, _| false))
     };
 
     let mut rows = Vec::new();
@@ -183,28 +207,25 @@ fn scenario_rows(
         let mut linear = build(n, DispatchStrategy::Linear);
         let mut indexed = build(n, DispatchStrategy::Indexed);
         let mut hot = build(n, DispatchStrategy::Indexed);
-        // A guarded rule (never matching: external pattern) disables the
-        // winner cache for the whole set, isolating the index walk.
-        indexed
-            .add_rule(
-                Rule::customization(
-                    "cache_off_sentinel",
-                    EventPattern::External {
-                        name: Some("never".into()),
-                    },
-                    ContextPattern::any(),
-                    usize::MAX,
-                )
-                .with_guard(Arc::new(|_, _| false)),
-            )
-            .unwrap();
+        let mut compiled = build(n, DispatchStrategy::Compiled);
+        let mut compiled_hot = build(n, DispatchStrategy::Compiled);
+        indexed.add_rule(cache_off_sentinel()).unwrap();
+        compiled.add_rule(cache_off_sentinel()).unwrap();
+
+        // Compile off the timed path, and capture the one-off cost.
+        let compile_ns = compiled.precompile().compile_ns;
+        compiled_hot.precompile();
 
         // The strategies must agree before we time them.
         let a = linear.dispatch(event(), &session).unwrap();
         let b = indexed.dispatch(event(), &session).unwrap();
         let c = hot.dispatch(event(), &session).unwrap();
+        let d = compiled.dispatch(event(), &session).unwrap();
+        let e = compiled_hot.dispatch(event(), &session).unwrap();
         assert_eq!(a.customization(), b.customization());
         assert_eq!(a.customization(), c.customization());
+        assert_eq!(a.customization(), d.customization());
+        assert_eq!(a.customization(), e.customization());
 
         let linear_ns = measure_ns(
             || {
@@ -224,26 +245,59 @@ fn scenario_rows(
             },
             quick,
         );
+        let compiled_ns = measure_ns(
+            || {
+                black_box(compiled.dispatch(event(), &session).unwrap());
+            },
+            quick,
+        );
+        let compiled_hot_ns = measure_ns(
+            || {
+                black_box(compiled_hot.dispatch(event(), &session).unwrap());
+            },
+            quick,
+        );
         let stats = hot.cache_stats();
         assert!(
             stats.hits > stats.misses,
             "hot variant was not cache-hot: {stats:?}"
         );
+        let pstats = compiled_hot.cache_stats();
+        assert!(
+            pstats.hits > pstats.misses,
+            "compiled_hot variant was not cache-hot: {pstats:?}"
+        );
 
         // Which matching arm the hybrid picks for this population size
-        // (sentinel included): at or below the threshold the index is
-        // skipped and the cold path IS the linear scan.
-        let arm = if n < EngineConfig::default().hybrid_linear_threshold {
-            "scan"
-        } else {
-            "index"
-        };
+        // (sentinel included): at or below the threshold the index and
+        // the compiled tables are skipped and the cold path IS the
+        // linear scan.
+        let threshold = EngineConfig::default().hybrid_linear_threshold;
+        let arm = if n < threshold { "scan" } else { "index" };
+        let compiled_arm = if n < threshold { "scan" } else { "compiled" };
         eprintln!(
             "[c1 strategy/{scenario}] {n:>6} rules: linear {linear_ns:>12.1} ns, cold indexed \
-             ({arm}) {indexed_ns:>12.1} ns ({:>6.2}x), cache-hot {hot_ns:>10.1} ns ({:>6.1}x)",
+             ({arm}) {indexed_ns:>12.1} ns ({:>6.2}x), cold compiled ({compiled_arm}) \
+             {compiled_ns:>10.1} ns ({:>6.2}x, {:>6.2}x vs index, compile {:>8.1} µs), \
+             cache-hot {hot_ns:>10.1} ns ({:>6.1}x), packed-hot {compiled_hot_ns:>10.1} ns \
+             ({:>6.1}x)",
             linear_ns / indexed_ns,
+            linear_ns / compiled_ns,
+            indexed_ns / compiled_ns,
+            compile_ns as f64 / 1e3,
             linear_ns / hot_ns,
+            linear_ns / compiled_hot_ns,
         );
+        if n >= 1000 && compiled_ns > indexed_ns {
+            let msg = format!(
+                "[c1 strategy/{scenario}] DISPATCH GATE: cold compiled ({compiled_ns:.1} ns) is \
+                 slower than cold indexed ({indexed_ns:.1} ns) at {n} rules"
+            );
+            if gate {
+                panic!("{msg}");
+            }
+            eprintln!("{msg} (set DISPATCH_GATE=1 to fail)");
+        }
 
         rows.push(serde_json::Value::Object(vec![
             (
@@ -252,9 +306,19 @@ fn scenario_rows(
             ),
             ("rules".into(), serde_json::Value::U64(n as u64)),
             ("arm".into(), serde_json::Value::String(arm.into())),
+            (
+                "compiled_arm".into(),
+                serde_json::Value::String(compiled_arm.into()),
+            ),
             ("linear_ns".into(), serde_json::Value::F64(linear_ns)),
             ("indexed_ns".into(), serde_json::Value::F64(indexed_ns)),
             ("indexed_hot_ns".into(), serde_json::Value::F64(hot_ns)),
+            ("compiled_ns".into(), serde_json::Value::F64(compiled_ns)),
+            (
+                "compiled_hot_ns".into(),
+                serde_json::Value::F64(compiled_hot_ns),
+            ),
+            ("compile_ns".into(), serde_json::Value::U64(compile_ns)),
             (
                 "speedup_indexed".into(),
                 serde_json::Value::F64(linear_ns / indexed_ns),
@@ -262,6 +326,14 @@ fn scenario_rows(
             (
                 "speedup_hot".into(),
                 serde_json::Value::F64(linear_ns / hot_ns),
+            ),
+            (
+                "speedup_compiled".into(),
+                serde_json::Value::F64(linear_ns / compiled_ns),
+            ),
+            (
+                "speedup_compiled_vs_indexed".into(),
+                serde_json::Value::F64(indexed_ns / compiled_ns),
             ),
         ]));
     }

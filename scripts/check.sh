@@ -17,6 +17,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> Dispatch smoke (c1_rule_selection, quick, compiled-tier gate)"
+# Fails if the cold compiled walk is slower than the cold index walk at
+# >= 1000 rules; rewrites BENCH_dispatch.json (quick rows).
+BENCH_QUICK=1 DISPATCH_GATE=1 cargo bench -p bench --bench c1_rule_selection
+
 echo "==> SLO smoke (c5_throughput, quick)"
 # Fails if the clean serving run breaches the availability SLO; writes
 # BENCH_throughput.json (with tracing + slo sections) and BENCH_slo.json.

@@ -1,8 +1,12 @@
 //! Differential testing: the indexed dispatch path (discrimination index
-//! plus winner cache) must produce exactly the same `Outcome` as the linear
-//! scan it replaced, for random rule sets, session contexts and event
+//! plus winner cache) and the compiled dispatch tier (flat per-epoch
+//! jump tables) must produce exactly the same `Outcome` as the linear
+//! scan they replaced, for random rule sets, session contexts and event
 //! sequences — including after interleaved add/remove/enable mutations,
-//! which must invalidate the winner cache.
+//! which must invalidate the winner cache and recompile the tables. The
+//! compiled arm runs twice: traces on (full walk, traces compared
+//! entry-for-entry) and traces off (the early-exit winner walk, outcomes
+//! compared).
 
 use std::sync::Arc;
 
@@ -194,6 +198,12 @@ fn make_rule(name: &str, spec: &RuleSpec, payload: usize) -> Rule<usize> {
 struct Harness {
     indexed: Engine<usize>,
     linear: Engine<usize>,
+    /// Compiled tier, traces on: full table walks, compared
+    /// entry-for-entry against the oracle's traces.
+    compiled: Engine<usize>,
+    /// Compiled tier, traces off: exercises the early-exit
+    /// most-specific walk (no trace to compare, outcomes must agree).
+    compiled_fast: Engine<usize>,
     names: Vec<String>,
     serial: usize,
 }
@@ -207,17 +217,46 @@ impl Harness {
         Harness {
             indexed: Engine::with_config(cfg(DispatchStrategy::Indexed)),
             linear: Engine::with_config(cfg(DispatchStrategy::Linear)),
+            // Threshold 0 forces the compiled tables even for the small
+            // populations the generator produces (the hybrid arm would
+            // otherwise scan and never touch them).
+            compiled: Engine::with_config(EngineConfig {
+                strategy: DispatchStrategy::Compiled,
+                hybrid_linear_threshold: 0,
+                ..Default::default()
+            }),
+            compiled_fast: Engine::with_config(EngineConfig {
+                strategy: DispatchStrategy::Compiled,
+                hybrid_linear_threshold: 0,
+                tracing: false,
+                ..Default::default()
+            }),
             names: Vec::new(),
             serial: 0,
         }
     }
 
+    fn engines(&mut self) -> [&mut Engine<usize>; 4] {
+        [
+            &mut self.indexed,
+            &mut self.linear,
+            &mut self.compiled,
+            &mut self.compiled_fast,
+        ]
+    }
+
     fn add(&mut self, spec: &RuleSpec) -> Result<(), TestCaseError> {
-        let name = format!("{}/{}", FAMILIES[spec.family], self.serial);
-        let a = self.indexed.add_rule(make_rule(&name, spec, self.serial));
-        let b = self.linear.add_rule(make_rule(&name, spec, self.serial));
-        prop_assert_eq!(&a, &b);
-        if a.is_ok() {
+        let serial = self.serial;
+        let name = format!("{}/{}", FAMILIES[spec.family], serial);
+        let results: Vec<_> = self
+            .engines()
+            .map(|e| e.add_rule(make_rule(&name, spec, serial)))
+            .into_iter()
+            .collect();
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[0], &results[2]);
+        prop_assert_eq!(&results[0], &results[3]);
+        if results[0].is_ok() {
             self.names.push(name);
         }
         self.serial += 1;
@@ -225,21 +264,44 @@ impl Harness {
     }
 
     fn dispatch(&mut self, event: &Event, ctx: &SessionContext) -> Result<(), TestCaseError> {
-        match (
-            self.indexed.dispatch(event.clone(), ctx),
-            self.linear.dispatch(event.clone(), ctx),
-        ) {
-            (Ok(a), Ok(b)) => {
-                prop_assert_eq!(&a.customizations, &b.customizations, "on {:?}", event);
-                prop_assert_eq!(a.fired_names(), b.fired_names(), "on {:?}", event);
-                prop_assert_eq!(a.events_processed, b.events_processed);
-                prop_assert_eq!(&a.trace.entries, &b.trace.entries, "on {:?}", event);
-            }
-            (Err(a), Err(b)) => prop_assert_eq!(a, b),
-            (a, b) => {
-                return Err(TestCaseError::fail(format!(
-                    "strategies disagree on {event:?}: indexed {a:?} vs linear {b:?}"
-                )))
+        let oracle = self.linear.dispatch(event.clone(), ctx);
+        for (label, result) in [
+            ("indexed", self.indexed.dispatch(event.clone(), ctx)),
+            ("compiled", self.compiled.dispatch(event.clone(), ctx)),
+            (
+                "compiled_fast",
+                self.compiled_fast.dispatch(event.clone(), ctx),
+            ),
+        ] {
+            match (&result, &oracle) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(
+                        &a.customizations,
+                        &b.customizations,
+                        "{} on {:?}",
+                        label,
+                        event
+                    );
+                    prop_assert_eq!(a.fired_names(), b.fired_names(), "{} on {:?}", label, event);
+                    prop_assert_eq!(a.events_processed, b.events_processed);
+                    // The fast arm runs traces off; everyone else must
+                    // reproduce the oracle's trace exactly.
+                    if label != "compiled_fast" {
+                        prop_assert_eq!(
+                            &a.trace.entries,
+                            &b.trace.entries,
+                            "{} on {:?}",
+                            label,
+                            event
+                        );
+                    }
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "strategies disagree on {event:?}: {label} {a:?} vs linear {b:?}"
+                    )))
+                }
             }
         }
         Ok(())
@@ -248,7 +310,8 @@ impl Harness {
     fn apply(&mut self, op: &Op, sessions: &[SessionContext]) -> Result<(), TestCaseError> {
         match op {
             Op::Dispatch(event, c) => {
-                // Twice: the repeat exercises the winner-cache hit path.
+                // Twice: the repeat exercises the winner-cache hit path
+                // (string-keyed on the indexed arm, packed on compiled).
                 self.dispatch(event, &sessions[*c])?;
                 self.dispatch(event, &sessions[*c])?;
             }
@@ -258,10 +321,11 @@ impl Harness {
                     return Ok(());
                 }
                 let name = self.names[i % self.names.len()].clone();
-                let a = self.indexed.remove_rule(&name);
-                let b = self.linear.remove_rule(&name);
-                prop_assert_eq!(a.is_ok(), b.is_ok());
-                if a.is_ok() {
+                let results = self.engines().map(|e| e.remove_rule(&name).is_ok());
+                prop_assert_eq!(results[0], results[1]);
+                prop_assert_eq!(results[0], results[2]);
+                prop_assert_eq!(results[0], results[3]);
+                if results[0] {
                     self.names.retain(|n| n != &name);
                 }
             }
@@ -270,14 +334,21 @@ impl Harness {
                     return Ok(());
                 }
                 let name = self.names[i % self.names.len()].clone();
-                let a = self.indexed.set_enabled(&name, *on);
-                let b = self.linear.set_enabled(&name, *on);
-                prop_assert_eq!(a, b);
+                let on = *on;
+                let results: Vec<_> = self
+                    .engines()
+                    .map(|e| e.set_enabled(&name, on))
+                    .into_iter()
+                    .collect();
+                prop_assert_eq!(&results[0], &results[1]);
+                prop_assert_eq!(&results[0], &results[2]);
+                prop_assert_eq!(&results[0], &results[3]);
             }
             Op::RemovePrefix => {
-                let a = self.indexed.remove_rules_with_prefix("fa/");
-                let b = self.linear.remove_rules_with_prefix("fa/");
-                prop_assert_eq!(a, b);
+                let results = self.engines().map(|e| e.remove_rules_with_prefix("fa/"));
+                prop_assert_eq!(results[0], results[1]);
+                prop_assert_eq!(results[0], results[2]);
+                prop_assert_eq!(results[0], results[3]);
                 self.names.retain(|n| !n.starts_with("fa/"));
             }
         }
@@ -311,8 +382,11 @@ proptest! {
         }
         // The engines' rule books stayed in lockstep.
         prop_assert_eq!(h.indexed.len(), h.linear.len());
+        prop_assert_eq!(h.compiled.len(), h.linear.len());
+        prop_assert_eq!(h.compiled_fast.len(), h.linear.len());
         for name in &h.names {
             prop_assert_eq!(h.indexed.rule(name).is_some(), h.linear.rule(name).is_some());
+            prop_assert_eq!(h.compiled.rule(name).is_some(), h.linear.rule(name).is_some());
         }
     }
 }
@@ -384,8 +458,9 @@ mod threaded {
     }
 
     /// One writer thread adds/removes/toggles rules in the shared base
-    /// while reader threads continuously compare three sessions — pure
-    /// index, hybrid (default threshold) and the linear oracle — over
+    /// while reader threads continuously compare four sessions — pure
+    /// index, hybrid (default threshold), the compiled tier (recompiling
+    /// on every observed snapshot flip) and the linear oracle — over
     /// bitwise-identical pinned snapshots. Any divergence between the
     /// strategies, or any torn snapshot observation, fails the test.
     #[test]
@@ -443,17 +518,25 @@ mod threaded {
                         strategy: DispatchStrategy::Linear,
                         ..Default::default()
                     });
+                    let mut compiled = base.session_with(EngineConfig {
+                        strategy: DispatchStrategy::Compiled,
+                        hybrid_linear_threshold: 0,
+                        ..Default::default()
+                    });
                     // Pin the snapshots: each round refreshes the indexed
-                    // session, then clones its exact view into the other
-                    // two so all three dispatch over the same rule set no
-                    // matter what the writer publishes meanwhile.
-                    for handle in [&mut indexed, &mut hybrid, &mut linear] {
+                    // session, then clones its exact view into the others
+                    // so all four dispatch over the same rule set no
+                    // matter what the writer publishes meanwhile. The
+                    // compiled session recompiles its tables on every
+                    // snapshot flip it observes.
+                    for handle in [&mut indexed, &mut hybrid, &mut linear, &mut compiled] {
                         handle.set_auto_sync(false);
                     }
                     for round in 0..READER_ROUNDS {
                         indexed.sync();
                         hybrid.sync_with(&indexed);
                         linear.sync_with(&indexed);
+                        compiled.sync_with(&indexed);
                         let ctx = &sessions[(r + round) % sessions.len()];
                         for event in &events {
                             // Twice per handle: the repeat hits each
@@ -462,7 +545,8 @@ mod threaded {
                                 let a = indexed.dispatch(event.clone(), ctx);
                                 let b = hybrid.dispatch(event.clone(), ctx);
                                 let c = linear.dispatch(event.clone(), ctx);
-                                let (Ok(a), Ok(b), Ok(c)) = (a, b, c) else {
+                                let d = compiled.dispatch(event.clone(), ctx);
+                                let (Ok(a), Ok(b), Ok(c), Ok(d)) = (a, b, c, d) else {
                                     panic!("stress dispatch failed on {event:?}");
                                 };
                                 assert_eq!(
@@ -473,9 +557,15 @@ mod threaded {
                                     a.customizations, c.customizations,
                                     "index vs linear on {event:?}"
                                 );
+                                assert_eq!(
+                                    c.customizations, d.customizations,
+                                    "linear vs compiled on {event:?}"
+                                );
                                 assert_eq!(a.fired_names(), b.fired_names());
                                 assert_eq!(a.fired_names(), c.fired_names());
+                                assert_eq!(c.fired_names(), d.fired_names());
                                 assert_eq!(a.trace.entries, c.trace.entries);
+                                assert_eq!(c.trace.entries, d.trace.entries);
                             }
                         }
                     }

@@ -330,6 +330,11 @@ fn arb_agreement_rule() -> impl Strategy<Value = AgreementRule> {
 fn agreement_engine(strategy: DispatchStrategy, specs: &[AgreementRule]) -> Engine<usize> {
     let mut eng = Engine::with_config(EngineConfig {
         strategy,
+        // The generator produces 1..8 rules — under the default hybrid
+        // threshold every strategy would collapse to the direct scan.
+        // Forcing the tiered path keeps the compiled tables (and the
+        // discrimination index) actually under test.
+        hybrid_linear_threshold: 0,
         ..Default::default()
     });
     for (i, spec) in specs.iter().enumerate() {
@@ -411,10 +416,11 @@ fn agreement_run(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// The indexed dispatch path and the linear oracle, fed the same
-    /// seeded fault schedule, produce identical outcomes — fault
-    /// records, quarantines and errors included. The winner cache must
-    /// not let the two paths diverge under faults.
+    /// The indexed dispatch path, the compiled tier and the linear
+    /// oracle, fed the same seeded fault schedule, produce identical
+    /// outcomes — fault records, quarantines and errors included.
+    /// Neither the winner cache nor the compiled tables may let the
+    /// paths diverge under faults (quarantine trips mid-run included).
     #[test]
     fn strategies_agree_under_identical_fault_schedules(
         specs in prop::collection::vec(arb_agreement_rule(), 1..8),
@@ -424,7 +430,9 @@ proptest! {
         let _g = serialized();
         let indexed = agreement_run(DispatchStrategy::Indexed, &specs, &events, &schedule);
         let linear = agreement_run(DispatchStrategy::Linear, &specs, &events, &schedule);
-        prop_assert_eq!(indexed, linear);
+        let compiled = agreement_run(DispatchStrategy::Compiled, &specs, &events, &schedule);
+        prop_assert_eq!(&indexed, &linear);
+        prop_assert_eq!(&compiled, &linear);
     }
 }
 
