@@ -38,7 +38,11 @@ commands:
   :trace <id>                             render one trace tree (hex id)
   :trace sample <n>                       trace 1 in n requests (0 = off)
   :slo                                    SLO burn-rate report
-  :db                                     database epoch + live snapshot pins
+  :db                                     database epoch, pins, retained epochs
+  :wal                                    WAL status (records, bytes, groups, durable epoch)
+  :wal open <dir>                         make the store durable in <dir> (recover or fresh)
+  :wal checkpoint                         checkpoint now and truncate the log
+  :wal window <ms>                        set the group-commit window
   :strategy [indexed|linear|compiled]     show or switch rule dispatch strategy
   :cache                                  winner-cache hit/miss/invalidation stats
   :compile                                compile rules now; show tables + latency
@@ -126,13 +130,13 @@ impl Repl {
                 self.session = Some(self.gis.login(user, category, application));
                 println!("session open for <{user}, {category}, {application}>");
             }
-            ["customize", "fig6"] => match self.gis.customize(FIG6_PROGRAM, "fig6") {
-                Ok(n) => println!("installed {n} rules"),
+            ["customize", "fig6"] => match self.gis.customize_stored(FIG6_PROGRAM, "fig6") {
+                Ok(n) => println!("installed {n} rules (program stored in db)"),
                 Err(e) => println!("error: {e}"),
             },
             ["customize", file] => match std::fs::read_to_string(file) {
-                Ok(src) => match self.gis.customize(&src, file) {
-                    Ok(n) => println!("installed {n} rules from {file}"),
+                Ok(src) => match self.gis.customize_stored(&src, file) {
+                    Ok(n) => println!("installed {n} rules from {file} (program stored in db)"),
                     Err(e) => println!("error: {e}"),
                 },
                 Err(e) => println!("error: cannot read {file}: {e}"),
@@ -236,15 +240,96 @@ impl Repl {
                 let snap = store.snapshot();
                 println!(
                     "db `{}`: epoch {} published, dispatcher serving epoch {}, \
-                     {} snapshot(s) pinned, {} objects, ~{} KiB shared data",
+                     {} reader pin(s) (watermark {}), {} epoch(s) retained, \
+                     {} objects, ~{} KiB shared data",
                     snap.name(),
                     store.epoch(),
                     self.gis.db_epoch(),
-                    store.pinned_snapshots(),
+                    store.pin_count(),
+                    store
+                        .pin_watermark()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    store.epochs_retained(),
                     snap.object_count(),
                     snap.approx_data_bytes() / 1024
                 );
             }
+            [":wal"] => match self.gis.wal_status() {
+                Some((s, durable)) => {
+                    println!(
+                        "wal {:?}: {} records, {}/{} bytes synced, {} fsyncs over \
+                         {} groups (max group {}), checkpoint epoch {}, durable epoch {}",
+                        s.path,
+                        s.records,
+                        s.synced_bytes,
+                        s.bytes,
+                        s.fsyncs,
+                        s.groups,
+                        s.max_group,
+                        s.checkpoint_epoch,
+                        durable
+                    );
+                }
+                None => println!("no WAL attached (volatile store); `:wal open <dir>`"),
+            },
+            [":wal", "open", dir] => {
+                if self.gis.wal_attached() {
+                    println!("error: WAL already attached");
+                } else if std::path::Path::new(dir)
+                    .join(geodb::wal::CHECKPOINT_META_FILE)
+                    .exists()
+                {
+                    // The directory already holds a durable store:
+                    // recover it (disk wins over the in-memory demo db;
+                    // open sessions do not survive the swap).
+                    let seed = geodb::db::Database::new("GEO");
+                    match ActiveGis::open_durable(seed, geodb::WalConfig::new(*dir)) {
+                        Ok((gis, report)) => {
+                            self.gis = gis;
+                            self.session = None;
+                            if let Some(r) = report {
+                                println!(
+                                    "recovered epoch {} from {dir} (checkpoint {}, {} record(s) replayed, {} torn byte(s) cut)",
+                                    r.recovered_epoch,
+                                    r.checkpoint_epoch,
+                                    r.replayed_records,
+                                    r.truncated_bytes
+                                );
+                            }
+                            match self.gis.load_stored_customizations() {
+                                Ok((programs, rules, skipped)) => {
+                                    println!(
+                                        "reinstalled {programs} stored program(s) ({rules} rules); sessions reset — `login` again"
+                                    );
+                                    for (name, why) in skipped {
+                                        println!("  skipped {name}: {why}");
+                                    }
+                                }
+                                Err(e) => println!("error reloading stored programs: {e}"),
+                            }
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                } else {
+                    match self.gis.db_store().attach_wal(geodb::WalConfig::new(*dir)) {
+                        Ok(()) => println!("store is durable in {dir} (checkpointed, fresh log)"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+            }
+            [":wal", "checkpoint"] => match self.gis.checkpoint() {
+                Ok(epoch) => println!("checkpointed epoch {epoch}; log truncated"),
+                Err(e) => println!("error: {e}"),
+            },
+            [":wal", "window", ms] => match ms.parse::<u64>() {
+                Ok(ms) => {
+                    self.gis
+                        .set_group_window(std::time::Duration::from_millis(ms));
+                    println!("group-commit window: {ms} ms");
+                }
+                Err(_) => println!("error: `{ms}` is not a duration in ms"),
+            },
             [":strategy"] => println!("{:?}", self.gis.dispatch_strategy()),
             [":strategy", "indexed"] => {
                 self.gis

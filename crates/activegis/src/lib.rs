@@ -62,7 +62,7 @@ pub use geodb::db::{Database, IndexKind};
 pub use geodb::gen::{phone_net_db, phone_net_schema, TelecomConfig, TelecomStats};
 pub use geodb::{
     AttrType, ClassDef, CmpOp, DbEvent, DbEventKind, Geometry, Instance, Oid, Point, Predicate,
-    Rect, SchemaDef, Value,
+    RecoveryReport, Rect, SchemaDef, Value, WalConfig, WalStatus,
 };
 pub use gisui::{
     Dispatcher, ExplanationLog, InteractionMode, Request, Response, SessionId, StoredProgramReport,

@@ -177,6 +177,18 @@ impl SessionServer {
         self.store.epoch()
     }
 
+    /// The highest epoch known durable, or 0 when the shared store is
+    /// volatile. Under group commit several shards' writes may become
+    /// durable with one fsync.
+    pub fn durable_epoch(&self) -> u64 {
+        self.store.durable_epoch()
+    }
+
+    /// WAL counters of the shared store, or `None` when volatile.
+    pub fn wal_status(&self) -> Option<(geodb::WalStatus, u64)> {
+        self.store.wal_status()
+    }
+
     /// Open a session for a user context; it is pinned to a shard
     /// round-robin and all its requests run there, in order.
     pub fn open_session(&self, context: SessionContext) -> ServerSession {

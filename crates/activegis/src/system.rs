@@ -5,11 +5,14 @@
 //! generic interface builder, and GIS interface layer — behind one small
 //! API that the examples and downstream applications use.
 
+use std::time::Duration;
+
 use active::SessionContext;
 use builder::InterfaceBuilder;
 use geodb::db::Database;
 use geodb::gen::TelecomConfig;
 use geodb::instance::Oid;
+use geodb::wal::{RecoveryReport, WalConfig, WalStatus};
 use gisui::{Dispatcher, InteractionMode, Result, SessionId, UiError, WindowId};
 use uilib::{Library, Prop};
 
@@ -41,6 +44,27 @@ impl ActiveGis {
         Ok(ActiveGis {
             dispatcher: gisui::paper_dispatcher(cfg)?,
         })
+    }
+
+    /// Assemble the system over a *durable* store rooted at
+    /// `config.dir`: if the directory holds a checkpoint, crash-recover
+    /// from it (the seed database is ignored — disk wins) and return the
+    /// [`RecoveryReport`]; otherwise checkpoint the seed and start a
+    /// fresh write-ahead log. Every subsequent committed write is
+    /// fsynced before it is acknowledged (see `docs/storage.md`).
+    pub fn open_durable(
+        seed: Database,
+        config: WalConfig,
+    ) -> Result<(ActiveGis, Option<RecoveryReport>)> {
+        let (store, report) = geodb::wal::open(seed, config).map_err(UiError::Db)?;
+        let gis = ActiveGis {
+            dispatcher: Dispatcher::with_store(
+                store,
+                InterfaceBuilder::with_paper_library(),
+                active::Engine::new(),
+            ),
+        };
+        Ok((gis, report))
     }
 
     // -- customization ----------------------------------------------------
@@ -193,11 +217,44 @@ impl ActiveGis {
         self.dispatcher.db_epoch()
     }
 
-    /// How many snapshot versions are currently kept alive by readers
-    /// (1 = only the published epoch; more means pinned readers are
-    /// holding older epochs).
+    /// Live reader pins on the store (the dispatcher itself holds one).
     pub fn pinned_snapshots(&mut self) -> usize {
-        self.dispatcher.store().pinned_snapshots()
+        self.dispatcher.store().pin_count()
+    }
+
+    /// The oldest epoch any reader still pins (`None` when unpinned).
+    pub fn pin_watermark(&mut self) -> Option<u64> {
+        self.dispatcher.store().pin_watermark()
+    }
+
+    /// Snapshot versions currently retained for pinned readers (the
+    /// `db.epochs_retained` gauge).
+    pub fn epochs_retained(&mut self) -> usize {
+        self.dispatcher.store().epochs_retained()
+    }
+
+    // -- durability ---------------------------------------------------------
+
+    /// Is the store writing through a WAL?
+    pub fn wal_attached(&mut self) -> bool {
+        self.dispatcher.store().wal_attached()
+    }
+
+    /// WAL counters plus the durable epoch, or `None` on a volatile
+    /// store.
+    pub fn wal_status(&mut self) -> Option<(WalStatus, u64)> {
+        self.dispatcher.store().wal_status()
+    }
+
+    /// Checkpoint the durable frontier (snapshot + meta documents,
+    /// truncated log); returns the checkpoint epoch.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        self.dispatcher.store().checkpoint().map_err(UiError::Db)
+    }
+
+    /// Tune the group-commit window of a durable store.
+    pub fn set_group_window(&mut self, window: Duration) {
+        self.dispatcher.store().set_group_window(window);
     }
 
     /// How the rule engine finds matching rules per event: the default

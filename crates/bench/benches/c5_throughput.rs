@@ -31,9 +31,18 @@
 //! written to `BENCH_slo.json`. `SLO_SMOKE=1` makes the bench exit
 //! non-zero if the clean run breaches the availability SLO, which is
 //! how `scripts/check.sh` gates on it.
+//!
+//! A third section measures the **durable write path**: commits/sec and
+//! commit-latency quantiles through a WAL-attached store as the writer
+//! count and group-commit window vary, plus the observed group sizes and
+//! fsyncs-per-commit (group commit amortizes the fsync) and the
+//! retained-epoch gauge under a long-pinned reader. Every durability run
+//! ends with a simulated crash + recovery; `WAL_GATE=1` makes the bench
+//! exit non-zero if any recovered snapshot diverges from the state the
+//! writers acknowledged.
 
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use active::{Engine, EngineConfig, SessionContext};
 use activegis::SessionServer;
@@ -173,6 +182,224 @@ fn publish_latency_us(samples: usize) -> (f64, f64, f64) {
     (q(0.5), q(0.95), lat[lat.len() - 1])
 }
 
+/// One durable write-path measurement: `writers` threads each commit
+/// `commits_each` single-attribute updates through one WAL-attached
+/// store, then the process "crashes" (drop) and recovers. Returns the
+/// row and whether recovery reproduced the acknowledged state
+/// byte-for-byte.
+struct DurabilityRun {
+    writers: usize,
+    window_ms: u64,
+    commits: u64,
+    commits_per_sec: f64,
+    commit_p50_us: f64,
+    commit_p99_us: f64,
+    max_group: u64,
+    fsyncs: u64,
+    epochs_retained: u64,
+    recovery_ok: bool,
+}
+
+fn durability_run(writers: usize, window: Duration, commits_each: usize) -> DurabilityRun {
+    let dir = std::env::temp_dir().join(format!(
+        "c5-durability-{}-w{writers}-g{}",
+        std::process::id(),
+        window.as_millis()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut db = geodb::db::Database::new("c5_dur");
+    db.register_schema(
+        geodb::SchemaDef::new("bench").class(
+            geodb::ClassDef::new("Counter")
+                .attr("name", geodb::AttrType::Text)
+                .attr("n", geodb::AttrType::Int),
+        ),
+    )
+    .expect("bench schema registers");
+    let oids: Vec<_> = (0..writers)
+        .map(|i| {
+            db.insert(
+                "bench",
+                "Counter",
+                vec![
+                    ("name".into(), Value::Text(format!("w{i}"))),
+                    ("n".into(), Value::Int(0)),
+                ],
+            )
+            .expect("seed row inserts")
+        })
+        .collect();
+    db.drain_events();
+
+    let (store, _) = geodb::wal::open(db, geodb::WalConfig::new(&dir).group_window(window))
+        .expect("durable store opens");
+
+    // A reader pinned at the initial epoch for the whole storm: the
+    // retained-epoch ring must stay bounded regardless.
+    let mut pinned = store.reader();
+    pinned.pin();
+
+    let lat_us: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let barrier = Arc::new(std::sync::Barrier::new(writers));
+    let t0 = Instant::now();
+    let threads: Vec<_> = oids
+        .iter()
+        .map(|&oid| {
+            let store = store.clone();
+            let lat_us = Arc::clone(&lat_us);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut local = Vec::with_capacity(commits_each);
+                for i in 0..commits_each {
+                    let c0 = Instant::now();
+                    store
+                        .write(|db| db.update(oid, vec![("n".into(), Value::Int(i as i64))]))
+                        .expect("durable commit acknowledges");
+                    local.push(c0.elapsed().as_secs_f64() * 1e6);
+                }
+                lat_us.lock().unwrap().extend(local);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("writer thread");
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let commits = (writers * commits_each) as u64;
+    let (status, _durable) = store.wal_status().expect("WAL attached");
+    let epochs_retained = store.epochs_retained() as u64;
+    drop(pinned);
+
+    let mut lat = Arc::try_unwrap(lat_us)
+        .expect("writers joined")
+        .into_inner()
+        .unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| lat[((lat.len() - 1) as f64 * p).round() as usize];
+    let (commit_p50_us, commit_p99_us) = (q(0.5), q(0.99));
+
+    // Crash and recover: the acknowledged state must come back intact.
+    let acknowledged =
+        geodb::snapshot::save_snapshot(&store.snapshot()).expect("snapshot serializes");
+    drop(store);
+    let recovery_ok = match geodb::wal::recover(geodb::WalConfig::new(&dir)) {
+        Ok((recovered, _report)) => {
+            geodb::snapshot::save_snapshot(&recovered.snapshot()).expect("snapshot serializes")
+                == acknowledged
+        }
+        Err(e) => {
+            eprintln!("[c5 throughput] durability: recovery FAILED: {e}");
+            false
+        }
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    DurabilityRun {
+        writers,
+        window_ms: window.as_millis() as u64,
+        commits,
+        commits_per_sec: commits as f64 / elapsed_s,
+        commit_p50_us,
+        commit_p99_us,
+        max_group: status.max_group,
+        fsyncs: status.fsyncs,
+        epochs_retained,
+        recovery_ok,
+    }
+}
+
+fn durability_section(quick: bool) -> (serde_json::Value, bool) {
+    let commits_each = if quick { 50 } else { 200 };
+    // Window 0 still batches: followers piggyback while the leader is
+    // inside fsync. A positive window trades commit latency for larger
+    // groups (it only pays off when fsync is slower than the window).
+    let shapes: &[(usize, u64)] = if quick {
+        &[(1, 0), (4, 0), (4, 2)]
+    } else {
+        &[(1, 0), (2, 0), (4, 0), (8, 0), (4, 2)]
+    };
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    let mut baseline = 0.0f64;
+    for &(writers, window_ms) in shapes {
+        let r = durability_run(writers, Duration::from_millis(window_ms), commits_each);
+        if writers == 1 && window_ms == 0 {
+            baseline = r.commits_per_sec;
+        }
+        eprintln!(
+            "[c5 throughput] durable commits: {:>2} writer(s), {:>2} ms window: \
+             {:>8.0} commits/s, p50 {:>7.1} us, p99 {:>8.1} us, \
+             max group {}, {} fsyncs / {} commits, {} epochs retained, recovery {}",
+            r.writers,
+            r.window_ms,
+            r.commits_per_sec,
+            r.commit_p50_us,
+            r.commit_p99_us,
+            r.max_group,
+            r.fsyncs,
+            r.commits,
+            r.epochs_retained,
+            if r.recovery_ok { "ok" } else { "DIVERGED" }
+        );
+        all_ok &= r.recovery_ok;
+        rows.push(serde_json::Value::Object(vec![
+            ("writers".into(), serde_json::Value::U64(r.writers as u64)),
+            (
+                "group_window_ms".into(),
+                serde_json::Value::U64(r.window_ms),
+            ),
+            ("commits".into(), serde_json::Value::U64(r.commits)),
+            (
+                "commits_per_sec".into(),
+                serde_json::Value::F64(r.commits_per_sec),
+            ),
+            (
+                "speedup_vs_single_writer".into(),
+                serde_json::Value::F64(if baseline > 0.0 {
+                    r.commits_per_sec / baseline
+                } else {
+                    1.0
+                }),
+            ),
+            (
+                "commit_latency_p50_us".into(),
+                serde_json::Value::F64(r.commit_p50_us),
+            ),
+            (
+                "commit_latency_p99_us".into(),
+                serde_json::Value::F64(r.commit_p99_us),
+            ),
+            ("max_group".into(), serde_json::Value::U64(r.max_group)),
+            ("fsyncs".into(), serde_json::Value::U64(r.fsyncs)),
+            (
+                "epochs_retained_under_pinned_reader".into(),
+                serde_json::Value::U64(r.epochs_retained),
+            ),
+            ("recovery_ok".into(), serde_json::Value::Bool(r.recovery_ok)),
+        ]));
+    }
+    let section = serde_json::Value::Object(vec![
+        (
+            "workload".into(),
+            serde_json::Value::String(
+                "N writer threads committing single-attribute updates through one \
+                 WAL-attached DbStore (fsync on), then crash + recovery; group \
+                 commit shares fsyncs across concurrent commits"
+                    .into(),
+            ),
+        ),
+        (
+            "commits_per_writer".into(),
+            serde_json::Value::U64(commits_each as u64),
+        ),
+        ("rows".into(), serde_json::Value::Array(rows)),
+    ]);
+    (section, all_ok)
+}
+
 fn main() {
     // Metrics and tracing off: measure the serving layer, not the probes.
     obs::set_enabled(false);
@@ -205,6 +432,8 @@ fn main() {
         "[c5 throughput] epoch publish latency over {publish_samples} writes: \
          p50 {pub_p50:.1} us, p95 {pub_p95:.1} us, max {pub_max:.1} us"
     );
+
+    let (durability, recovery_ok) = durability_section(quick);
 
     let base_rps = results[0].requests_per_sec;
     let rows: Vec<serde_json::Value> = results
@@ -397,6 +626,7 @@ fn main() {
     if let serde_json::Value::Object(fields) = &mut summary {
         fields.push(("tracing".into(), tracing_section));
         fields.push(("slo".into(), slo_section));
+        fields.push(("durability".into(), durability));
     }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
@@ -413,6 +643,14 @@ fn main() {
     // availability SLO. Latency is advisory — CI containers are slow.
     if std::env::var("SLO_SMOKE").is_ok() && slo_report.availability_breached() {
         eprintln!("[c5 throughput] SLO_SMOKE: availability SLO breached on a clean run");
+        std::process::exit(1);
+    }
+
+    // Durability gate: every crash + recovery in the durability section
+    // must reproduce the acknowledged state byte-for-byte. Throughput is
+    // advisory; divergence is a correctness failure.
+    if std::env::var("WAL_GATE").is_ok() && !recovery_ok {
+        eprintln!("[c5 throughput] WAL_GATE: recovery diverged from acknowledged state");
         std::process::exit(1);
     }
 }

@@ -47,11 +47,23 @@ use std::sync::{Mutex, OnceLock};
 /// * `geodb.query` — at the start of `get_schema` / `get_class` /
 ///   `get_value` / `select`; a triggered error surfaces as a storage
 ///   error.
-pub const FAILPOINTS: [&str; 4] = [
+/// * `wal.append` — on every WAL record append, *before* the frame is
+///   fully written; a triggered fault leaves a torn half-frame on disk
+///   (the crash model for a write cut mid-record) and poisons the store.
+/// * `wal.fsync` — on the group-commit fsync; a triggered fault drops
+///   the unsynced tail (bytes that never reached disk) and poisons the
+///   store.
+/// * `db.publish` — between the WAL fsync and the epoch publish; a
+///   triggered fault models a crash where commits are durable but never
+///   became visible — recovery must replay them.
+pub const FAILPOINTS: [&str; 7] = [
     "engine.callback",
     "engine.cascade",
     "builder.build",
     "geodb.query",
+    "wal.append",
+    "wal.fsync",
+    "db.publish",
 ];
 
 /// What a triggered failpoint does.

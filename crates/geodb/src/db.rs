@@ -200,6 +200,20 @@ impl Database {
         &self.catalog
     }
 
+    /// The OID the next `insert` will allocate. Recorded in WAL commit
+    /// records so crash recovery restores the allocator exactly (snapshot
+    /// documents alone cannot: deleting the highest OID and crashing
+    /// would otherwise rewind the counter).
+    pub fn next_oid(&self) -> u64 {
+        self.next_oid
+    }
+
+    /// Restore the OID allocator (crash-recovery path). Never rewinds
+    /// below the highest OID already derived from restored instances.
+    pub fn set_next_oid(&mut self, next: u64) {
+        self.next_oid = self.next_oid.max(next);
+    }
+
     /// Spatial access method used for extents created afterwards.
     pub fn set_index_kind(&mut self, kind: IndexKind) {
         self.index_kind = kind;

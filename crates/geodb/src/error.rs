@@ -1,6 +1,34 @@
 //! Error type shared by every `geodb` module.
 
 use std::fmt;
+use std::sync::Arc;
+
+/// The underlying cause of a snapshot/WAL load failure, preserved so
+/// callers can walk [`std::error::Error::source`] instead of parsing a
+/// flattened message. Kept as owned strings (not the originating error
+/// types) so [`GeoDbError`] stays `Clone + PartialEq + Eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotCause {
+    /// JSON (de)serialization failed — truncated or corrupted document.
+    Json(String),
+    /// Filesystem I/O failed (read/write/rename/fsync).
+    Io(String),
+    /// The bytes parsed but violate the format contract (bad version,
+    /// bad checksum, short frame).
+    Format(String),
+}
+
+impl fmt::Display for SnapshotCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotCause::Json(m) => write!(f, "json: {m}"),
+            SnapshotCause::Io(m) => write!(f, "io: {m}"),
+            SnapshotCause::Format(m) => write!(f, "format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotCause {}
 
 /// Errors produced by the geographic DBMS substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +64,13 @@ pub enum GeoDbError {
     Storage(String),
     /// Snapshot (de)serialization failure.
     Snapshot(String),
+    /// Snapshot/WAL load failure with its structured cause preserved for
+    /// `Error::source()` chains. `context` says what was being loaded;
+    /// `source` says why it failed.
+    SnapshotLoad {
+        context: String,
+        source: Arc<SnapshotCause>,
+    },
     /// A query referenced something inconsistent (e.g. spatial predicate on
     /// a non-geometry attribute).
     InvalidQuery(String),
@@ -76,12 +111,34 @@ impl fmt::Display for GeoDbError {
             GeoDbError::WktParse(m) => write!(f, "WKT parse error: {m}"),
             GeoDbError::Storage(m) => write!(f, "storage error: {m}"),
             GeoDbError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            GeoDbError::SnapshotLoad { context, source } => {
+                write!(f, "snapshot load failed: {context}: {source}")
+            }
             GeoDbError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
         }
     }
 }
 
-impl std::error::Error for GeoDbError {}
+impl std::error::Error for GeoDbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GeoDbError::SnapshotLoad { source, .. } => {
+                Some(source.as_ref() as &(dyn std::error::Error + 'static))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl GeoDbError {
+    /// Build a [`GeoDbError::SnapshotLoad`] with its cause attached.
+    pub fn snapshot_load(context: impl Into<String>, cause: SnapshotCause) -> GeoDbError {
+        GeoDbError::SnapshotLoad {
+            context: context.into(),
+            source: Arc::new(cause),
+        }
+    }
+}
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, GeoDbError>;
@@ -108,5 +165,21 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&GeoDbError::UnknownOid(7));
+    }
+
+    #[test]
+    fn snapshot_load_exposes_a_source_chain() {
+        use std::error::Error;
+        let e = GeoDbError::snapshot_load(
+            "parse snapshot document",
+            SnapshotCause::Json("unexpected end of input".into()),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("parse snapshot document"));
+        let src = e.source().expect("source attached");
+        assert!(src.to_string().contains("unexpected end of input"));
+        assert!(src.source().is_none());
+        // The error stays comparable and cloneable.
+        assert_eq!(e.clone(), e);
     }
 }

@@ -16,7 +16,10 @@
 //!   predicate selection — and the [`query::DbEvent`] stream the active
 //!   mechanism intercepts ([`query`], [`db`]);
 //! * JSON **snapshots** ([`snapshot`]) and a deterministic telephone-network
-//!   **workload generator** ([`gen`]).
+//!   **workload generator** ([`gen`]);
+//! * a **durable write path** — checksummed write-ahead log, group
+//!   commit, checkpoints and crash recovery over the versioned store
+//!   ([`wal`], [`store`]).
 //!
 //! ## Quick example
 //!
@@ -46,13 +49,15 @@ pub mod snapshot;
 pub mod storage;
 pub mod store;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Catalog;
 pub use db::{Aggregate, Database, IndexKind, MethodFn, QueryStats, RefResolver};
-pub use error::{GeoDbError, Result};
+pub use error::{GeoDbError, Result, SnapshotCause};
 pub use geometry::{Geometry, GeometryKind, Point, Polygon, Polyline, Rect};
 pub use instance::{Instance, Oid};
 pub use query::{CmpOp, DbEvent, DbEventKind, Predicate};
 pub use schema::{AttrDef, ClassDef, MethodDef, SchemaDef};
 pub use store::{Committed, DbReader, DbSnapshot, DbStore};
 pub use value::{AttrType, Value};
+pub use wal::{RecoveryReport, WalConfig, WalStatus};

@@ -10,7 +10,7 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 
 use crate::db::Database;
-use crate::error::{GeoDbError, Result};
+use crate::error::{GeoDbError, Result, SnapshotCause};
 use crate::instance::Instance;
 use crate::schema::SchemaDef;
 use crate::store::{DbSnapshot, DbStore};
@@ -66,14 +66,26 @@ pub fn load_store(json: &str) -> Result<DbStore> {
 }
 
 /// Reconstruct a database from a JSON snapshot.
+///
+/// Malformed input never panics: parse failures, format-version
+/// mismatches and file I/O errors all surface as
+/// [`GeoDbError::SnapshotLoad`] carrying a typed [`SnapshotCause`]
+/// reachable through `Error::source()`.
 pub fn load(json: &str) -> Result<Database> {
-    let doc: SnapshotDoc =
-        serde_json::from_str(json).map_err(|e| GeoDbError::Snapshot(e.to_string()))?;
+    let doc: SnapshotDoc = serde_json::from_str(json).map_err(|e| {
+        GeoDbError::snapshot_load(
+            "parse snapshot document",
+            SnapshotCause::Json(e.to_string()),
+        )
+    })?;
     if doc.version != VERSION {
-        return Err(GeoDbError::Snapshot(format!(
-            "unsupported snapshot version {} (expected {VERSION})",
-            doc.version
-        )));
+        return Err(GeoDbError::snapshot_load(
+            "check snapshot version",
+            SnapshotCause::Format(format!(
+                "unsupported snapshot version {} (expected {VERSION})",
+                doc.version
+            )),
+        ));
     }
     let mut db = Database::new(doc.name);
     for schema in doc.schemas {
@@ -89,14 +101,22 @@ pub fn load(json: &str) -> Result<Database> {
 /// Save to a file.
 pub fn save_to_file(db: &mut Database, path: impl AsRef<Path>) -> Result<()> {
     let json = save(db)?;
-    std::fs::write(path.as_ref(), json)
-        .map_err(|e| GeoDbError::Snapshot(format!("write {:?}: {e}", path.as_ref())))
+    std::fs::write(path.as_ref(), json).map_err(|e| {
+        GeoDbError::snapshot_load(
+            format!("write {:?}", path.as_ref()),
+            SnapshotCause::Io(e.to_string()),
+        )
+    })
 }
 
 /// Load from a file.
 pub fn load_from_file(path: impl AsRef<Path>) -> Result<Database> {
-    let json = std::fs::read_to_string(path.as_ref())
-        .map_err(|e| GeoDbError::Snapshot(format!("read {:?}: {e}", path.as_ref())))?;
+    let json = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+        GeoDbError::snapshot_load(
+            format!("read {:?}", path.as_ref()),
+            SnapshotCause::Io(e.to_string()),
+        )
+    })?;
     load(&json)
 }
 
@@ -178,13 +198,29 @@ mod tests {
         let mut db = sample_db();
         let json = save(&mut db).unwrap();
         let bad = json.replace("\"version\": 1", "\"version\": 99");
-        assert!(matches!(load(&bad), Err(GeoDbError::Snapshot(_))));
+        match load(&bad) {
+            Err(GeoDbError::SnapshotLoad { source, .. }) => {
+                assert!(matches!(*source, SnapshotCause::Format(_)));
+            }
+            other => panic!("expected SnapshotLoad, got {other:?}"),
+        }
     }
 
     #[test]
-    fn garbage_input_is_rejected() {
-        assert!(load("not json").is_err());
-        assert!(load("{}").is_err());
+    fn garbage_input_is_rejected_with_a_source_chain() {
+        use std::error::Error as _;
+        for garbage in ["not json", "{}", "[1,2,3]"] {
+            match load(garbage) {
+                Err(err @ GeoDbError::SnapshotLoad { .. }) => {
+                    let source = err.source().expect("load errors carry a source");
+                    assert!(matches!(
+                        source.downcast_ref::<SnapshotCause>(),
+                        Some(SnapshotCause::Json(_))
+                    ));
+                }
+                other => panic!("expected SnapshotLoad, got {other:?}"),
+            }
+        }
     }
 
     #[test]

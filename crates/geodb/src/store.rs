@@ -24,11 +24,40 @@
 //! Readers therefore never block on writers: a reader pinned to epoch N
 //! keeps serving N (its `Arc` keeps the partitions alive) while the
 //! writer publishes N+1.
+//!
+//! ## Durability and group commit
+//!
+//! With a WAL attached ([`DbStore::attach_wal`], [`crate::wal`]), a
+//! write is acknowledged only after its record is on disk *and* its
+//! epoch is published — durability precedes visibility. Writers commit
+//! through a leader/follower queue: each writer serializes its redo
+//! record under the writer lock (preserving WAL epoch order), enqueues
+//! it, and the first writer to find no active leader drains the whole
+//! queue with **one** WAL append run + **one** fsync + **one** epoch
+//! publish (of the batch's newest snapshot). A tunable group window
+//! lets the leader wait for stragglers already inside `write`. A WAL
+//! failure (injected crash) *poisons* the store: every later write
+//! fails fast, reads keep serving the last published epoch, and the
+//! process model recovers from disk via [`crate::wal::recover`].
+//!
+//! ## Pins, retention and GC
+//!
+//! Reader pins are tracked explicitly (epoch → pin count): the *pin
+//! watermark* is the oldest pinned epoch, and the store retains recent
+//! snapshots down to that watermark — bounded by a hard cap
+//! ([`DbStore::set_retention`], default 8) so one long-pinned reader
+//! cannot make the retained ring grow without bound (the reader's own
+//! `Arc` keeps its snapshot alive either way; the store just stops
+//! tracking it). `db.epochs_retained` gauges the ring size.
+//!
+//! Lock order (outermost first): `writer` → `wal` → `commit` →
+//! `published` → `retained` → `pins`. Any code path taking two of
+//! these must respect it.
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::Receiver;
 
@@ -43,6 +72,7 @@ use crate::instance::{Instance, Oid};
 use crate::query::{DbEvent, Predicate};
 use crate::schema::SchemaDef;
 use crate::value::Value;
+use crate::wal::{self, Wal, WalOp, WalRecord, WalStatus};
 
 /// The `geodb.query` failpoint — snapshot reads honour the same fault
 /// hook as the mutable query primitives so the fault harness covers both
@@ -522,6 +552,11 @@ struct WriterState {
     locator: OidMap,
     /// Interned schema/class names for locator entries.
     interned: HashMap<String, Arc<str>>,
+    /// Last epoch *assigned* (not necessarily published yet — with group
+    /// commit the leader publishes a batch's newest epoch after the WAL
+    /// fsync). Assigning under the writer lock keeps WAL records in
+    /// strict epoch order.
+    seq: u64,
 }
 
 impl WriterState {
@@ -645,6 +680,48 @@ impl WriterState {
         Ok(())
     }
 
+    /// Derive the redo operations of one committed write: the final
+    /// image of every touched object (events carry only identities, so
+    /// the post-images come from the freshly synced partition mirror),
+    /// preceded by any schemas registered during the write. Ops are
+    /// post-state, making WAL replay idempotent.
+    fn redo_ops(&self, events: &[DbEvent]) -> Vec<WalOp> {
+        let mut ops = Vec::new();
+        let mut touched: Vec<(String, String, Oid)> = Vec::new();
+        let mut seen: HashSet<Oid> = HashSet::new();
+        for e in events {
+            match e {
+                DbEvent::SchemaRegistered { schema } => {
+                    if let Ok(def) = self.catalog.schema(schema) {
+                        ops.push(WalOp::Schema { def: def.clone() });
+                    }
+                }
+                DbEvent::Insert { schema, class, oid }
+                | DbEvent::Update { schema, class, oid }
+                | DbEvent::Delete { schema, class, oid }
+                    if seen.insert(*oid) =>
+                {
+                    touched.push((schema.clone(), class.clone(), *oid));
+                }
+                _ => {}
+            }
+        }
+        for (schema, class, oid) in touched {
+            match self
+                .parts
+                .get(&(schema.clone(), class))
+                .and_then(|p| p.get(oid))
+            {
+                Some(inst) => ops.push(WalOp::Upsert {
+                    schema,
+                    instance: (**inst).clone(),
+                }),
+                None => ops.push(WalOp::Delete { oid }),
+            }
+        }
+        ops
+    }
+
     fn build_snapshot(&self, epoch: u64) -> DbSnapshot {
         DbSnapshot {
             epoch,
@@ -657,10 +734,116 @@ impl WriterState {
     }
 }
 
+/// One write waiting in the group-commit queue: its assigned epoch and
+/// snapshot, plus the already-encoded WAL frame payload.
+struct PendingCommit {
+    epoch: u64,
+    next_oid: u64,
+    snap: Arc<DbSnapshot>,
+    payload: Vec<u8>,
+}
+
+/// Group-commit coordination: the pending queue (epoch-ordered — writes
+/// enqueue while still holding the writer lock), the single-leader
+/// flag, and the durable frontier.
+#[derive(Default)]
+struct CommitState {
+    queue: Vec<PendingCommit>,
+    leader_active: bool,
+    /// Highest epoch whose WAL record is fsynced and published.
+    durable_epoch: u64,
+    /// The durable frontier's snapshot + OID allocator (checkpoints).
+    durable: Option<(Arc<DbSnapshot>, u64)>,
+    /// Set when a WAL append/fsync/publish failed: the crash model. All
+    /// later writes fail fast; reads keep serving the last epoch.
+    failed: Option<String>,
+}
+
 struct StoreShared {
     writer: Mutex<WriterState>,
     published: Mutex<Arc<DbSnapshot>>,
     epoch: AtomicU64,
+    /// The attached WAL (`None` = volatile store).
+    wal: Mutex<Option<Wal>>,
+    /// Mirror of `wal.is_some()` so the write path can branch without
+    /// touching the WAL lock.
+    wal_attached: AtomicBool,
+    /// Group-commit window in nanoseconds (copied from the WAL config
+    /// at attach; leaders read it without the WAL lock).
+    group_window_nanos: AtomicU64,
+    commit: Mutex<CommitState>,
+    commit_cv: Condvar,
+    /// Writers currently inside `write()` — the leader's heuristic for
+    /// whether waiting the group window can grow the batch.
+    active_writers: AtomicU64,
+    /// Reader pins per epoch; the smallest key is the pin watermark.
+    pins: Mutex<BTreeMap<u64, usize>>,
+    /// Recently published snapshots, oldest first, trimmed to the pin
+    /// watermark and `max_retained`.
+    retained: Mutex<VecDeque<Arc<DbSnapshot>>>,
+    max_retained: AtomicU64,
+}
+
+/// Default bound on the retained-snapshot ring.
+const DEFAULT_MAX_RETAINED: u64 = 8;
+
+impl StoreShared {
+    fn pin_add(&self, epoch: u64) {
+        *lock(&self.pins).entry(epoch).or_insert(0) += 1;
+    }
+
+    /// Atomically move a pin between epochs (reader re-pin) so the
+    /// watermark never transiently drops the reader's coverage.
+    fn pin_move(&self, from: u64, to: u64) {
+        if from == to {
+            return;
+        }
+        let mut pins = lock(&self.pins);
+        if let Some(n) = pins.get_mut(&from) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&from);
+            }
+        }
+        *pins.entry(to).or_insert(0) += 1;
+    }
+
+    /// Release one pin and trim the retained ring (dropping the last
+    /// pin on an old epoch frees its partitions promptly). Lock order:
+    /// retained before pins.
+    fn pin_release(&self, epoch: u64) {
+        let mut ret = lock(&self.retained);
+        {
+            let mut pins = lock(&self.pins);
+            if let Some(n) = pins.get_mut(&epoch) {
+                *n -= 1;
+                if *n == 0 {
+                    pins.remove(&epoch);
+                }
+            }
+        }
+        self.trim_retained(&mut ret);
+    }
+
+    /// Drop retained snapshots below the pin watermark (nothing can
+    /// re-pin them) and enforce the hard cap. Callers hold `retained`.
+    fn trim_retained(&self, ret: &mut VecDeque<Arc<DbSnapshot>>) {
+        let newest = match ret.back() {
+            Some(s) => s.epoch(),
+            None => return,
+        };
+        let floor = lock(&self.pins).keys().next().copied().unwrap_or(newest);
+        while ret.len() > 1 && ret.front().map(|s| s.epoch()) < Some(floor.min(newest)) {
+            ret.pop_front();
+        }
+        let cap = self.max_retained.load(Ordering::Relaxed).max(1) as usize;
+        while ret.len() > cap {
+            ret.pop_front();
+        }
+        if obs::enabled() {
+            obs::gauge_set("db.epochs_retained", ret.len() as u64);
+        }
+    }
 }
 
 /// Shared handle to the versioned store. Cheap to clone; all clones see
@@ -685,7 +868,14 @@ impl DbStore {
     /// # Panics
     /// Panics if the initial capture fails, which requires the backing
     /// storage to be corrupt (in-memory databases cannot fail here).
-    pub fn new(mut db: Database) -> DbStore {
+    pub fn new(db: Database) -> DbStore {
+        Self::new_at(db, 1)
+    }
+
+    /// Wrap a database publishing at an arbitrary starting epoch
+    /// (crash recovery resumes where the durable history ended).
+    fn new_at(mut db: Database, epoch: u64) -> DbStore {
+        let epoch = epoch.max(1);
         let events_rx = db.subscribe();
         let mut w = WriterState {
             db,
@@ -695,10 +885,11 @@ impl DbStore {
             parts: HashMap::new(),
             locator: OidMap::new(),
             interned: HashMap::new(),
+            seq: epoch,
         };
         w.discard_pending_events();
         w.capture_all().expect("initial snapshot capture");
-        let snap = Arc::new(w.build_snapshot(1));
+        let snap = Arc::new(w.build_snapshot(epoch));
         if obs::enabled() {
             obs::counter_add("db.snapshot_publishes", 1);
             obs::counter_add("db.epoch", 1);
@@ -706,10 +897,46 @@ impl DbStore {
         DbStore {
             shared: Arc::new(StoreShared {
                 writer: Mutex::new(w),
-                published: Mutex::new(snap),
-                epoch: AtomicU64::new(1),
+                published: Mutex::new(snap.clone()),
+                epoch: AtomicU64::new(epoch),
+                wal: Mutex::new(None),
+                wal_attached: AtomicBool::new(false),
+                group_window_nanos: AtomicU64::new(0),
+                commit: Mutex::new(CommitState::default()),
+                commit_cv: Condvar::new(),
+                active_writers: AtomicU64::new(0),
+                pins: Mutex::new(BTreeMap::new()),
+                retained: Mutex::new(VecDeque::from([snap])),
+                max_retained: AtomicU64::new(DEFAULT_MAX_RETAINED),
             }),
         }
+    }
+
+    /// Resume a recovered database at its last durable epoch with the
+    /// (truncated, reopened) WAL attached — the [`crate::wal::recover`]
+    /// constructor.
+    pub(crate) fn resume(db: Database, epoch: u64, wal: Wal) -> DbStore {
+        let store = Self::new_at(db, epoch);
+        let snap = store.snapshot();
+        let next_oid = {
+            let w = lock(&store.shared.writer);
+            w.db.next_oid()
+        };
+        let window = wal.config().group_window;
+        {
+            // Lock order: wal before commit.
+            let mut wal_slot = lock(&store.shared.wal);
+            let mut c = lock(&store.shared.commit);
+            c.durable_epoch = snap.epoch();
+            c.durable = Some((snap, next_oid));
+            *wal_slot = Some(wal);
+        }
+        store
+            .shared
+            .group_window_nanos
+            .store(window.as_nanos() as u64, Ordering::Relaxed);
+        store.shared.wal_attached.store(true, Ordering::Relaxed);
+        store
     }
 
     /// The current published epoch.
@@ -723,10 +950,14 @@ impl DbStore {
         Arc::clone(&lock(&self.shared.published))
     }
 
-    /// A pinned reader starting at the current snapshot.
+    /// A pinned reader starting at the current snapshot. The pin is
+    /// registered in the retention watermark: the pinned epoch's
+    /// snapshot stays retained (up to the hard cap) until the reader
+    /// drops or re-pins forward.
     pub fn reader(&self) -> DbReader {
         let snap = self.snapshot();
         let epoch = snap.epoch();
+        self.shared.pin_add(epoch);
         DbReader {
             shared: Arc::clone(&self.shared),
             snap,
@@ -734,25 +965,104 @@ impl DbStore {
         }
     }
 
-    /// Snapshot handles currently held outside the store (pinned readers
-    /// plus explicit `snapshot()` clones).
+    /// Reader pins currently held (see [`DbStore::pin_count`]). Raw
+    /// `snapshot()` `Arc` clones are intentionally *not* counted — only
+    /// [`DbReader`] pins participate in the retention watermark.
     pub fn pinned_snapshots(&self) -> usize {
-        Arc::strong_count(&lock(&self.shared.published)).saturating_sub(1)
+        self.pin_count()
+    }
+
+    /// Number of live [`DbReader`] pins across all epochs.
+    pub fn pin_count(&self) -> usize {
+        lock(&self.shared.pins).values().sum()
+    }
+
+    /// The oldest epoch any reader still pins (`None` when unpinned).
+    /// Retention never trims at or above this watermark (up to the
+    /// hard cap).
+    pub fn pin_watermark(&self) -> Option<u64> {
+        lock(&self.shared.pins).keys().next().copied()
+    }
+
+    /// Snapshots currently retained for pinned readers and epoch reads
+    /// (the `db.epochs_retained` gauge).
+    pub fn epochs_retained(&self) -> usize {
+        lock(&self.shared.retained).len()
+    }
+
+    /// A retained snapshot by epoch, if the ring still holds it.
+    pub fn snapshot_at(&self, epoch: u64) -> Option<Arc<DbSnapshot>> {
+        lock(&self.shared.retained)
+            .iter()
+            .find(|s| s.epoch() == epoch)
+            .cloned()
+    }
+
+    /// Bound the retained-snapshot ring (min 1 = current only).
+    pub fn set_retention(&self, cap: usize) {
+        self.shared
+            .max_retained
+            .store(cap.max(1) as u64, Ordering::Relaxed);
+        let mut ret = lock(&self.shared.retained);
+        self.shared.trim_retained(&mut ret);
     }
 
     /// Execute a write against the one mutable [`Database`], then sync
     /// the touched partitions and publish the next epoch. The snapshot
     /// is republished even when the closure errors partway (the database
     /// may have partially mutated), so published state never diverges
-    /// from the writer database.
+    /// from the writer database — and with a WAL attached the batch is
+    /// logged exactly as published before the error propagates.
+    ///
+    /// Durable stores acknowledge only after the record is fsynced and
+    /// the epoch published (group commit may batch several writers into
+    /// one fsync). `Committed::epoch` is this write's own epoch; the
+    /// published epoch may already be higher if the batch carried later
+    /// writes.
     pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> Result<R>) -> Result<Committed<R>> {
+        self.shared.active_writers.fetch_add(1, Ordering::Relaxed);
+        let out = self.write_inner(f);
+        self.shared.active_writers.fetch_sub(1, Ordering::Relaxed);
+        out
+    }
+
+    fn write_inner<R>(&self, f: impl FnOnce(&mut Database) -> Result<R>) -> Result<Committed<R>> {
         let mut w = lock(&self.shared.writer);
+        self.check_poisoned()?;
         let t0 = Instant::now();
         w.discard_pending_events();
         let value = f(&mut w.db);
         let events = w.take_events();
         w.sync_events(&events)?;
-        let epoch = self.publish(&w, t0);
+        w.seq += 1;
+        let epoch = w.seq;
+        let snap = Arc::new(w.build_snapshot(epoch));
+        if self.shared.wal_attached.load(Ordering::Relaxed) {
+            let record = WalRecord {
+                epoch,
+                next_oid: w.db.next_oid(),
+                events: events.clone(),
+                ops: w.redo_ops(&events),
+            };
+            let payload = wal::encode_payload(&record)?;
+            // Enqueue while still holding the writer lock: the commit
+            // queue (and therefore the WAL) stays in strict epoch order.
+            let c = lock(&self.shared.commit);
+            let mut c = c;
+            c.queue.push(PendingCommit {
+                epoch,
+                next_oid: record.next_oid,
+                snap,
+                payload,
+            });
+            drop(w);
+            self.commit_wait(c, epoch, t0)?;
+        } else {
+            // Volatile path: publish under the writer lock, exactly the
+            // pre-WAL behavior.
+            self.publish_snapshot(snap, t0);
+            drop(w);
+        }
         let value = value?;
         Ok(Committed {
             value,
@@ -761,38 +1071,262 @@ impl DbStore {
         })
     }
 
+    /// Wait until `my_epoch` is durable + published, becoming the
+    /// group-commit leader if no one holds that role. The leader drains
+    /// the queue (optionally waiting the group window for writers still
+    /// in flight), appends every record, fsyncs once, publishes the
+    /// newest snapshot, and wakes the followers.
+    fn commit_wait(
+        &self,
+        mut c: MutexGuard<'_, CommitState>,
+        my_epoch: u64,
+        t0: Instant,
+    ) -> Result<()> {
+        loop {
+            if let Some(reason) = &c.failed {
+                return Err(store_poisoned(reason));
+            }
+            if c.durable_epoch >= my_epoch {
+                return Ok(());
+            }
+            if !c.leader_active {
+                c.leader_active = true;
+                break;
+            }
+            c = self
+                .shared
+                .commit_cv
+                .wait(c)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        // Leader. If writers beyond the queued ones are mid-`write`,
+        // give them one window to join this batch.
+        let window = Duration::from_nanos(self.shared.group_window_nanos.load(Ordering::Relaxed));
+        if !window.is_zero()
+            && (self.shared.active_writers.load(Ordering::Relaxed) as usize) > c.queue.len()
+        {
+            let (c2, _) = self
+                .shared
+                .commit_cv
+                .wait_timeout(c, window)
+                .unwrap_or_else(|e| e.into_inner());
+            c = c2;
+        }
+        let batch = std::mem::take(&mut c.queue);
+        drop(c);
+        let flushed = self.flush_batch(&batch, t0);
+        let mut c = lock(&self.shared.commit);
+        c.leader_active = false;
+        match flushed {
+            Ok(()) => {
+                let last = batch.last().expect("own commit queued");
+                c.durable_epoch = c.durable_epoch.max(last.epoch);
+                c.durable = Some((last.snap.clone(), last.next_oid));
+            }
+            Err(e) => c.failed = Some(e.to_string()),
+        }
+        self.shared.commit_cv.notify_all();
+        if let Some(reason) = &c.failed {
+            return Err(store_poisoned(reason));
+        }
+        debug_assert!(c.durable_epoch >= my_epoch);
+        Ok(())
+    }
+
+    /// Append + fsync + publish one batch. Runs with the WAL lock held
+    /// and the commit lock released, so the next group can form while
+    /// this one is on the disk.
+    fn flush_batch(&self, batch: &[PendingCommit], t0: Instant) -> Result<()> {
+        let mut wal_slot = lock(&self.shared.wal);
+        let w = wal_slot
+            .as_mut()
+            .ok_or_else(|| GeoDbError::Storage("WAL detached mid-commit".into()))?;
+        {
+            let _span = obs::span("db.wal_append");
+            for p in batch {
+                w.append_frame(&p.payload)?;
+            }
+        }
+        {
+            let _span = obs::span("db.wal_fsync");
+            w.sync()?;
+        }
+        w.note_group(batch.len() as u64);
+        if obs::enabled() {
+            obs::counter_add("db.wal_records", batch.len() as u64);
+            obs::counter_add("db.wal_fsyncs", 1);
+            obs::record_value("db.wal_group_size", batch.len() as u64);
+        }
+        // The crash point between durability and visibility.
+        faultsim::fire("db.publish").map_err(|f| GeoDbError::Storage(f.to_string()))?;
+        let last = batch.last().expect("non-empty batch");
+        self.publish_snapshot(last.snap.clone(), t0);
+        if w.should_checkpoint() {
+            let json = crate::snapshot::save_snapshot(&last.snap)?;
+            w.checkpoint(&json, last.epoch, last.next_oid)?;
+        }
+        Ok(())
+    }
+
     /// Replace the store's entire contents from a freshly loaded
-    /// database (snapshot restore), publishing a fresh epoch.
+    /// database (snapshot restore), publishing a fresh epoch. On a
+    /// durable store the restore is checkpointed immediately (the WAL
+    /// history below it is obsolete and truncates with the checkpoint).
     pub fn replace(&self, db: Database) -> Result<u64> {
         let mut w = lock(&self.shared.writer);
+        self.check_poisoned()?;
         let t0 = Instant::now();
         w.db = db;
         w.events_rx = w.db.subscribe();
         w.discard_pending_events();
         w.interned.clear();
         w.capture_all()?;
-        Ok(self.publish(&w, t0))
+        w.seq += 1;
+        let epoch = w.seq;
+        let snap = Arc::new(w.build_snapshot(epoch));
+        if self.shared.wal_attached.load(Ordering::Relaxed) {
+            let json = crate::snapshot::save_snapshot(&snap)?;
+            let next_oid = w.db.next_oid();
+            let mut wal_slot = lock(&self.shared.wal);
+            if let Some(wal) = wal_slot.as_mut() {
+                wal.checkpoint(&json, epoch, next_oid)?;
+            }
+            let mut c = lock(&self.shared.commit);
+            c.durable_epoch = c.durable_epoch.max(epoch);
+            c.durable = Some((snap.clone(), next_oid));
+        }
+        self.publish_snapshot(snap, t0);
+        Ok(epoch)
     }
 
-    fn publish(&self, w: &WriterState, t0: Instant) -> u64 {
+    /// Swap the published slot to `snap` (monotonic — a stale epoch is
+    /// ignored), retain it for pinned readers, and record metrics.
+    fn publish_snapshot(&self, snap: Arc<DbSnapshot>, t0: Instant) {
         let _span = obs::span("db.publish");
-        let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
+        let epoch = snap.epoch();
         if obs::trace_recording() {
             obs::trace_annotate("epoch", epoch.to_string());
         }
-        let snap = Arc::new(w.build_snapshot(epoch));
-        {
+        let prev = {
             let mut slot = lock(&self.shared.published);
-            *slot = snap;
+            let prev = slot.epoch();
+            if prev >= epoch {
+                return;
+            }
+            *slot = snap.clone();
             self.shared.epoch.store(epoch, Ordering::Release);
+            prev
+        };
+        {
+            let mut ret = lock(&self.shared.retained);
+            ret.push_back(snap);
+            self.shared.trim_retained(&mut ret);
         }
         if obs::enabled() {
             obs::counter_add("db.snapshot_publishes", 1);
-            obs::counter_add("db.epoch", 1);
+            // Keep the epoch counter equal to the epoch value even when
+            // a group publish advances it by more than one.
+            obs::counter_add("db.epoch", epoch - prev);
             obs::record_nanos("db.publish_latency", t0.elapsed().as_nanos() as u64);
         }
-        epoch
     }
+
+    // -- durability -------------------------------------------------------
+
+    /// Is a WAL attached to this store?
+    pub fn wal_attached(&self) -> bool {
+        self.shared.wal_attached.load(Ordering::Relaxed)
+    }
+
+    /// The reason writes are refused after a WAL failure, if any.
+    pub fn poisoned(&self) -> Option<String> {
+        lock(&self.shared.commit).failed.clone()
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        match self.poisoned() {
+            Some(reason) => Err(store_poisoned(&reason)),
+            None => Ok(()),
+        }
+    }
+
+    /// Attach a write-ahead log to a live store: checkpoints the current
+    /// state into `config.dir` (fresh log) and makes every subsequent
+    /// write durable. Fails if a WAL is already attached.
+    pub fn attach_wal(&self, config: wal::WalConfig) -> Result<()> {
+        let w = lock(&self.shared.writer);
+        if self.shared.wal_attached.load(Ordering::Relaxed) {
+            return Err(GeoDbError::Storage("WAL already attached".into()));
+        }
+        let snap = self.snapshot();
+        let json = crate::snapshot::save_snapshot(&snap)?;
+        let next_oid = w.db.next_oid();
+        let window = config.group_window;
+        let mut new_wal = Wal::create(config)?;
+        new_wal.checkpoint(&json, snap.epoch(), next_oid)?;
+        {
+            // Lock order: wal before commit.
+            let mut wal_slot = lock(&self.shared.wal);
+            let mut c = lock(&self.shared.commit);
+            c.durable_epoch = snap.epoch();
+            c.durable = Some((snap, next_oid));
+            c.failed = None;
+            *wal_slot = Some(new_wal);
+        }
+        self.shared
+            .group_window_nanos
+            .store(window.as_nanos() as u64, Ordering::Relaxed);
+        self.shared.wal_attached.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Checkpoint the durable frontier: write the snapshot + meta
+    /// documents and truncate the log. Returns the checkpoint epoch.
+    pub fn checkpoint(&self) -> Result<u64> {
+        let mut wal_slot = lock(&self.shared.wal);
+        let w = wal_slot
+            .as_mut()
+            .ok_or_else(|| GeoDbError::Storage("no WAL attached".into()))?;
+        let (snap, next_oid) = {
+            let c = lock(&self.shared.commit);
+            if let Some(reason) = &c.failed {
+                return Err(store_poisoned(reason));
+            }
+            c.durable
+                .clone()
+                .ok_or_else(|| GeoDbError::Storage("no durable state yet".into()))?
+        };
+        let json = crate::snapshot::save_snapshot(&snap)?;
+        w.checkpoint(&json, snap.epoch(), next_oid)?;
+        Ok(snap.epoch())
+    }
+
+    /// Counters of the attached WAL plus the durable epoch, or `None`
+    /// on a volatile store.
+    pub fn wal_status(&self) -> Option<(WalStatus, u64)> {
+        let wal_slot = lock(&self.shared.wal);
+        let status = wal_slot.as_ref()?.status();
+        let durable = lock(&self.shared.commit).durable_epoch;
+        Some((status, durable))
+    }
+
+    /// Highest epoch known durable (0 on a volatile store).
+    pub fn durable_epoch(&self) -> u64 {
+        lock(&self.shared.commit).durable_epoch
+    }
+
+    /// Tune the group-commit window on a live durable store.
+    pub fn set_group_window(&self, window: Duration) {
+        self.shared
+            .group_window_nanos
+            .store(window.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+fn store_poisoned(reason: &str) -> GeoDbError {
+    GeoDbError::Storage(format!(
+        "store unavailable after WAL failure (recover from disk): {reason}"
+    ))
 }
 
 impl std::fmt::Debug for DbStore {
@@ -810,11 +1344,32 @@ impl std::fmt::Debug for DbStore {
 /// A per-session pin on the published snapshot. `pin()` performs exactly
 /// one `Acquire` epoch load in steady state; the published slot's lock
 /// is taken only when the epoch moved since the last pin.
-#[derive(Clone)]
+///
+/// Each reader holds one entry in the store's pin registry: the epoch
+/// it last pinned is the floor for snapshot retention. Cloning a reader
+/// adds a pin at the same epoch; dropping releases it (and may trim the
+/// retained ring).
 pub struct DbReader {
     shared: Arc<StoreShared>,
     snap: Arc<DbSnapshot>,
     epoch: u64,
+}
+
+impl Clone for DbReader {
+    fn clone(&self) -> Self {
+        self.shared.pin_add(self.epoch);
+        DbReader {
+            shared: Arc::clone(&self.shared),
+            snap: Arc::clone(&self.snap),
+            epoch: self.epoch,
+        }
+    }
+}
+
+impl Drop for DbReader {
+    fn drop(&mut self) {
+        self.shared.pin_release(self.epoch);
+    }
 }
 
 impl DbReader {
@@ -825,7 +1380,9 @@ impl DbReader {
         let moved = current != self.epoch;
         if moved {
             self.snap = Arc::clone(&lock(&self.shared.published));
+            let old = self.epoch;
             self.epoch = self.snap.epoch();
+            self.shared.pin_move(old, self.epoch);
         }
         if obs::trace_recording() {
             // Annotate the epoch only when the pin actually moved: the
@@ -1121,13 +1678,63 @@ mod tests {
     #[test]
     fn pinned_snapshot_count_tracks_handles() {
         let store = DbStore::new(sample_db());
-        assert_eq!(store.pinned_snapshots(), 0);
+        assert_eq!(store.pin_count(), 0);
+        assert_eq!(store.pin_watermark(), None);
         let r1 = store.reader();
         let s1 = store.snapshot();
-        assert_eq!(store.pinned_snapshots(), 2);
+        // Raw snapshot() clones are not pins; readers are.
+        assert_eq!(store.pin_count(), 1);
+        assert_eq!(store.pin_watermark(), Some(r1.epoch()));
+        let r2 = r1.clone();
+        assert_eq!(store.pin_count(), 2);
         drop(r1);
+        drop(r2);
         drop(s1);
-        assert_eq!(store.pinned_snapshots(), 0);
+        assert_eq!(store.pin_count(), 0);
+        assert_eq!(store.pin_watermark(), None);
+    }
+
+    fn churn_write(store: &DbStore) {
+        store
+            .write(|db| {
+                let oid = db.insert("net", "Supplier", vec![("name".into(), "churn".into())])?;
+                db.delete(oid)?;
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn retention_trims_behind_the_pin_watermark() {
+        let store = DbStore::new(sample_db());
+        let mut pinned = store.reader();
+        pinned.pin();
+        let pinned_epoch = pinned.epoch();
+        // A few writes within the cap: the pin keeps its epoch retained.
+        for _ in 0..3 {
+            churn_write(&store);
+        }
+        assert!(store.snapshot_at(pinned_epoch).is_some());
+        drop(pinned);
+        // With the pin gone the next publish trims behind the head.
+        churn_write(&store);
+        assert!(store.snapshot_at(pinned_epoch).is_none());
+        assert_eq!(store.epochs_retained(), 1);
+    }
+
+    #[test]
+    fn retention_stays_bounded_under_a_long_pinned_reader() {
+        let store = DbStore::new(sample_db());
+        let mut pinned = store.reader();
+        pinned.pin();
+        for _ in 0..20 {
+            churn_write(&store);
+        }
+        // The hard cap wins over the pin: the ring stays bounded even
+        // though the reader never re-pins (it still reads its own Arc).
+        assert!(store.epochs_retained() <= DEFAULT_MAX_RETAINED as usize);
+        assert_eq!(pinned.pinned().epoch(), 1);
+        drop(pinned);
     }
 
     #[test]

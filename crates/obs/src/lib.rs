@@ -180,6 +180,8 @@ struct Registry {
     /// Commit order of completed traces (newest-first queries sort on it).
     trace_commits: AtomicU64,
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    /// Last-write-wins level metrics (queue depths, retained epochs).
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<String, Arc<Mutex<Histogram>>>>,
     spans: RwLock<BTreeMap<String, SpanStat>>,
     /// Completed trace trees, one bounded ring per shard.
@@ -203,6 +205,7 @@ fn registry() -> &'static Registry {
         next_trace: AtomicU64::new(1),
         trace_commits: AtomicU64::new(0),
         counters: RwLock::new(BTreeMap::new()),
+        gauges: RwLock::new(BTreeMap::new()),
         histograms: RwLock::new(BTreeMap::new()),
         spans: RwLock::new(BTreeMap::new()),
         traces: Mutex::new(BTreeMap::new()),
@@ -253,6 +256,7 @@ pub fn set_enabled(on: bool) {
 pub fn reset() {
     let r = registry();
     r.counters.write().clear();
+    r.gauges.write().clear();
     r.histograms.write().clear();
     r.spans.write().clear();
     r.traces.lock().clear();
@@ -344,6 +348,32 @@ pub fn counter_labeled(name: &str, labels: &[(&str, &str)]) -> Counter {
 }
 
 /// One-shot counter increment for cold call sites.
+/// Set a gauge to an absolute value (last write wins). Gauges model
+/// *levels* — retained epochs, queue depths — where a monotone counter
+/// would be meaningless.
+pub fn gauge_set(name: &str, v: u64) {
+    let r = registry();
+    if let Some(g) = r.gauges.read().get(name) {
+        g.store(v, Ordering::Relaxed);
+        return;
+    }
+    r.gauges
+        .write()
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+        .store(v, Ordering::Relaxed);
+}
+
+/// Current value of a gauge, 0 when never set.
+pub fn gauge_get(name: &str) -> u64 {
+    registry()
+        .gauges
+        .read()
+        .get(name)
+        .map(|g| g.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
 pub fn counter_add(name: &str, delta: u64) {
     if enabled() {
         counter(name).0.fetch_add(delta, Ordering::Relaxed);
@@ -1058,6 +1088,7 @@ pub struct SpanSummary {
 pub struct MetricsSnapshot {
     pub enabled: bool,
     pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
     pub histograms: BTreeMap<String, HistogramSummary>,
     pub spans: BTreeMap<String, SpanSummary>,
 }
@@ -1132,6 +1163,11 @@ impl MetricsSnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Gauge value, 0 when never set.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// Sum of a counter family: the unlabeled series plus every labeled
     /// series sharing the base name.
     pub fn counter_family(&self, name: &str) -> u64 {
@@ -1195,6 +1231,20 @@ impl MetricsSnapshot {
             }
         }
 
+        let mut gauge_families: BTreeMap<&str, Vec<(Option<&str>, u64)>> = BTreeMap::new();
+        for (key, &v) in &self.gauges {
+            let (base, labels) = split_series(key);
+            gauge_families.entry(base).or_default().push((labels, v));
+        }
+        for (base, series) in gauge_families {
+            let n = format!("activegis_{}", sanitize(base));
+            let _ = writeln!(out, "# HELP {n} {} (gauge)", escape_help(base));
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            for (labels, v) in series {
+                let _ = writeln!(out, "{n}{} {v}", render_labels(labels, None));
+            }
+        }
+
         let mut hist_families: BTreeMap<&str, Vec<(Option<&str>, &HistogramSummary)>> =
             BTreeMap::new();
         for (key, h) in &self.histograms {
@@ -1240,6 +1290,12 @@ pub fn snapshot() -> MetricsSnapshot {
         .iter()
         .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
         .collect();
+    let gauges = r
+        .gauges
+        .read()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
     let histograms = r
         .histograms
         .read()
@@ -1263,6 +1319,7 @@ pub fn snapshot() -> MetricsSnapshot {
     MetricsSnapshot {
         enabled: enabled(),
         counters,
+        gauges,
         histograms,
         spans,
     }
@@ -1288,6 +1345,20 @@ mod tests {
         assert_eq!(snap.counter("test.never"), 0);
         assert!(snap.subsystem_active("test"));
         assert!(!snap.subsystem_active("no_such_subsystem"));
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let _g = TEST_LOCK.lock();
+        gauge_set("test.level", 5);
+        gauge_set("test.level", 3);
+        assert_eq!(gauge_get("test.level"), 3);
+        let snap = snapshot();
+        assert_eq!(snap.gauge("test.level"), 3);
+        assert_eq!(snap.gauge("test.unset"), 0);
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE activegis_test_level gauge"));
+        assert!(prom.contains("activegis_test_level 3"));
     }
 
     #[test]
@@ -1408,6 +1479,7 @@ mod tests {
             counters,
             histograms,
             spans: BTreeMap::new(),
+            gauges: BTreeMap::new(),
         };
         let expected = "\
 # HELP activegis_srv_requests_total srv.requests (counter)

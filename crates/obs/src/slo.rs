@@ -364,6 +364,7 @@ mod tests {
             counters,
             histograms: BTreeMap::new(),
             spans: BTreeMap::new(),
+            gauges: BTreeMap::new(),
         }
     }
 

@@ -22,9 +22,18 @@ echo "==> Dispatch smoke (c1_rule_selection, quick, compiled-tier gate)"
 # >= 1000 rules; rewrites BENCH_dispatch.json (quick rows).
 BENCH_QUICK=1 DISPATCH_GATE=1 cargo bench -p bench --bench c1_rule_selection
 
-echo "==> SLO smoke (c5_throughput, quick)"
-# Fails if the clean serving run breaches the availability SLO; writes
-# BENCH_throughput.json (with tracing + slo sections) and BENCH_slo.json.
-BENCH_QUICK=1 SLO_SMOKE=1 cargo bench -p bench --bench c5_throughput
+echo "==> SLO + WAL smoke (c5_throughput, quick)"
+# Fails if the clean serving run breaches the availability SLO or any
+# durable-write crash + recovery diverges from the acknowledged state;
+# writes BENCH_throughput.json (tracing + slo + durability sections)
+# and BENCH_slo.json.
+BENCH_QUICK=1 SLO_SMOKE=1 WAL_GATE=1 cargo bench -p bench --bench c5_throughput
+
+echo "==> Crash recovery (seeded chains, release)"
+# The durable write path: WAL replay, torn tails, kill points between
+# append/fsync/publish. CI sweeps the same seeds.
+for seed in 7 1994 271828; do
+  CRASH_SEED=$seed cargo test -q --release -p activegis --test crash_recovery
+done
 
 echo "All checks passed."

@@ -93,3 +93,47 @@ fn corrupted_snapshots_are_rejected() {
     assert_ne!(broken, json, "corruption must hit something");
     assert!(geodb::snapshot::load(&broken).is_err());
 }
+
+/// Every load failure mode reports a typed cause through
+/// `Error::source()` — never a panic, never a flattened string-only
+/// error.
+#[test]
+fn load_failures_carry_typed_source_chains() {
+    use std::error::Error as _;
+
+    use geodb::{GeoDbError, SnapshotCause};
+
+    fn cause_of(err: &GeoDbError) -> &SnapshotCause {
+        err.source()
+            .expect("load errors carry a source")
+            .downcast_ref::<SnapshotCause>()
+            .expect("the source is a SnapshotCause")
+    }
+
+    // Truncated document -> Json cause.
+    let (mut db, _) = phone_net_db(&Cfg::small()).unwrap();
+    let json = geodb::snapshot::save(&mut db).unwrap();
+    let err = geodb::snapshot::load(&json[..json.len() / 2]).unwrap_err();
+    assert!(matches!(cause_of(&err), SnapshotCause::Json(_)), "{err}");
+
+    // Wrong format version -> Format cause.
+    let bad = json.replace("\"version\": 1", "\"version\": 42");
+    let err = geodb::snapshot::load(&bad).unwrap_err();
+    assert!(matches!(cause_of(&err), SnapshotCause::Format(_)), "{err}");
+
+    // Missing file -> Io cause, with the path in the display chain.
+    let err = geodb::snapshot::load_from_file("/nonexistent/geodb-snap.json").unwrap_err();
+    assert!(matches!(cause_of(&err), SnapshotCause::Io(_)), "{err}");
+    assert!(err.to_string().contains("geodb-snap.json"));
+
+    // The same chains surface through the store-level loaders.
+    let err = geodb::snapshot::load_store("[]").unwrap_err();
+    assert!(matches!(cause_of(&err), SnapshotCause::Json(_)), "{err}");
+    let store = geodb::store::DbStore::new(geodb::db::Database::new("neg"));
+    let err = geodb::snapshot::restore_store(&store, "not json").unwrap_err();
+    assert!(matches!(cause_of(&err), SnapshotCause::Json(_)), "{err}");
+
+    // And through WAL recovery of a missing/garbage directory.
+    let err = geodb::wal::recover(geodb::WalConfig::new("/nonexistent/waldir")).unwrap_err();
+    assert!(matches!(cause_of(&err), SnapshotCause::Io(_)), "{err}");
+}
