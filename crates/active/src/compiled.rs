@@ -43,10 +43,11 @@
 //! tables survive quarantine transitions unchanged).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use geodb::query::DbEventKind;
 
-use crate::context::SessionContext;
+use crate::context::{ContextPattern, SessionContext};
 use crate::event::{Event, EventPattern};
 use crate::rule::{Rule, RuleGroup};
 
@@ -81,7 +82,7 @@ pub(crate) fn kind_slot(kind: DbEventKind) -> usize {
 
 /// String → small-integer table. Ids are 1-based: `0` is reserved for
 /// "not interned", which can never satisfy a pattern requirement.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Interner {
     map: HashMap<String, u32>,
 }
@@ -124,6 +125,10 @@ pub(crate) struct CompiledCand {
     /// Guard- or extras-bearing: integer checks cannot decide the match;
     /// evaluate the interpreted `Rule::matches` instead.
     pub(crate) slow: bool,
+    /// Pre-resolved selection key, copied from the rule at lowering time
+    /// so a patch can re-sort without consulting the snapshot.
+    spec: u32,
+    prio: i32,
 }
 
 impl CompiledCand {
@@ -149,6 +154,19 @@ pub(crate) struct CompiledTable {
     pub(crate) other: Vec<CompiledCand>,
 }
 
+/// Which jump table an event routed to. `Copy`, so a batch lane can
+/// remember the route for a run of identical events and replay it
+/// without re-hashing the event's string fields (the table reference
+/// itself cannot be stored across dispatches — only this tag can).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Route {
+    Db(u8),
+    Iface(u32),
+    IfaceAny,
+    Ext(u32),
+    ExtAny,
+}
+
 /// The per-cascade-step interned view of an event: computed once, then
 /// compared as integers against every candidate.
 #[derive(Debug, Clone, Copy)]
@@ -156,6 +174,9 @@ pub(crate) struct EventIds {
     /// Packed event discriminant for the winner-cache key (only
     /// meaningful while [`CompiledRules::cacheable`]).
     pub(crate) key: u64,
+    /// The jump table `lookup` resolved, replayable via
+    /// [`CompiledRules::table`].
+    pub(crate) route: Route,
     schema: u32,
     class: u32,
     prefix_mask: u32,
@@ -184,21 +205,30 @@ pub struct CompileStats {
     /// Whether the packed `u64` winner-cache key is in use (false only
     /// in degenerate snapshots that overflow the interning widths).
     pub packed_cache: bool,
-    /// Wall-clock nanoseconds the compile took (off the dispatch path).
+    /// Whether this artifact was produced by patching the previous one
+    /// (see [`patch`]) rather than a full compile.
+    pub patched: bool,
+    /// Wall-clock nanoseconds the compile (or patch) took (off the
+    /// dispatch path).
     pub compile_ns: u64,
 }
 
 /// The compiled form of one rule snapshot.
+///
+/// Interners are `Arc`-shared so that [`patch`] can clone an artifact
+/// without rehashing every interned string; a patch that needs to
+/// intern a *new* string copies only the affected interner
+/// (`Arc::make_mut`).
 #[derive(Debug)]
 pub(crate) struct CompiledRules {
     pub(crate) generation: u64,
-    users: Interner,
-    categories: Interner,
-    applications: Interner,
-    schemas: Interner,
-    classes: Interner,
-    iface_names: Interner,
-    ext_names: Interner,
+    users: Arc<Interner>,
+    categories: Arc<Interner>,
+    applications: Arc<Interner>,
+    schemas: Arc<Interner>,
+    classes: Arc<Interner>,
+    iface_names: Arc<Interner>,
+    ext_names: Arc<Interner>,
     prefixes: Vec<String>,
     db: [CompiledTable; DB_KIND_TABLES],
     iface_tables: Vec<CompiledTable>,
@@ -235,6 +265,7 @@ impl CompiledRules {
                     &self.db[slot],
                     EventIds {
                         key,
+                        route: Route::Db(slot as u8),
                         schema,
                         class,
                         prefix_mask: 0,
@@ -243,10 +274,10 @@ impl CompiledRules {
             }
             Event::Interface { name, source } => {
                 let id = self.iface_names.get(name);
-                let table = if id > 0 {
-                    &self.iface_tables[id as usize - 1]
+                let (table, route) = if id > 0 {
+                    (&self.iface_tables[id as usize - 1], Route::Iface(id - 1))
                 } else {
-                    &self.iface_any
+                    (&self.iface_any, Route::IfaceAny)
                 };
                 let mut mask = 0u32;
                 for (bit, p) in self.prefixes.iter().enumerate() {
@@ -259,6 +290,7 @@ impl CompiledRules {
                     table,
                     EventIds {
                         key,
+                        route,
                         schema: 0,
                         class: 0,
                         prefix_mask: mask,
@@ -267,16 +299,17 @@ impl CompiledRules {
             }
             Event::External { name } => {
                 let id = self.ext_names.get(name);
-                let table = if id > 0 {
-                    &self.ext_tables[id as usize - 1]
+                let (table, route) = if id > 0 {
+                    (&self.ext_tables[id as usize - 1], Route::Ext(id - 1))
                 } else {
-                    &self.ext_any
+                    (&self.ext_any, Route::ExtAny)
                 };
                 let key = (2u64 << 60) | id as u64;
                 (
                     table,
                     EventIds {
                         key,
+                        route,
                         schema: 0,
                         class: 0,
                         prefix_mask: 0,
@@ -284,6 +317,341 @@ impl CompiledRules {
                 )
             }
         }
+    }
+
+    /// Replay a route captured by [`lookup`] — no event inspection, no
+    /// hashing. Used by the batch lane for runs of identical events.
+    pub(crate) fn table(&self, route: Route) -> &CompiledTable {
+        match route {
+            Route::Db(slot) => &self.db[slot as usize],
+            Route::Iface(i) => &self.iface_tables[i as usize],
+            Route::IfaceAny => &self.iface_any,
+            Route::Ext(i) => &self.ext_tables[i as usize],
+            Route::ExtAny => &self.ext_any,
+        }
+    }
+}
+
+/// The pattern-level residue of one rule, captured at mutation time so
+/// a later [`patch`] can lower it without access to the typed snapshot
+/// (the payload `P` never crosses into the delta log).
+#[derive(Debug, Clone)]
+pub(crate) struct RuleLite {
+    pub(crate) event: EventPattern,
+    pub(crate) context: ContextPattern,
+    pub(crate) spec: u32,
+    pub(crate) priority: i32,
+    pub(crate) cust: bool,
+    pub(crate) slow: bool,
+}
+
+impl RuleLite {
+    pub(crate) fn of<P>(r: &Rule<P>) -> RuleLite {
+        RuleLite {
+            event: r.event.clone(),
+            context: r.context.clone(),
+            spec: r.specificity(),
+            priority: r.priority,
+            cust: r.group == RuleGroup::Customization,
+            slow: r.needs_interpreted_match(),
+        }
+    }
+}
+
+/// One recorded snapshot mutation, replayable against a compiled
+/// artifact by [`patch`].
+#[derive(Debug, Clone)]
+pub(crate) enum Delta {
+    /// Rule appended at `idx` (`RuleSnapshot::add` always appends).
+    Add { idx: u32, rule: RuleLite },
+    /// Rule removed from `idx`; every later index shifts down by one.
+    /// `was_enabled` tells the patch whether any candidates exist.
+    Remove { idx: u32, was_enabled: bool },
+    /// Disabled rule at `idx` re-enabled (indices unchanged).
+    Enable { idx: u32, rule: RuleLite },
+    /// Enabled rule at `idx` disabled.
+    Disable { idx: u32 },
+    /// Priority changed on the enabled rule at `idx` (`spec` re-captured
+    /// so the full sort key travels with the delta).
+    Priority { idx: u32, priority: i32, spec: u32 },
+    /// Generation advanced with no table effect (e.g. `set_enabled` to
+    /// the state the rule was already in).
+    Noop,
+    /// Bulk mutation (prefix removal, install storms) — always
+    /// recompiled from scratch.
+    Bulk,
+}
+
+/// Splice a chain of single-rule deltas into an existing artifact in
+/// place of a full [`compile`]. Tables are cloned wholesale (a memcpy
+/// per table — no hashing, no sorting), interners are shared until a
+/// delta needs a new string, and candidate order is maintained by
+/// positional insertion into the pre-sorted lists.
+///
+/// Returns `None` — caller falls back to a full compile — when a delta
+/// cannot be spliced soundly:
+///
+/// * any [`Delta::Bulk`] in the chain;
+/// * an added/enabled rule matching an interface or external name the
+///   tables have never seen (needs a new jump table plus redistribution
+///   of every wildcard rule);
+/// * a new `source_prefix` beyond the [`MAX_PREFIXES`] mask width;
+/// * an interner append overflowing its packed-field width;
+/// * a base artifact already degraded to uncacheable (degenerate
+///   snapshots always take the full-compile path).
+pub(crate) fn patch(
+    base: &CompiledRules,
+    deltas: &[Delta],
+    generation: u64,
+) -> Option<CompiledRules> {
+    if !base.cacheable {
+        return None;
+    }
+    let mut out = CompiledRules {
+        generation,
+        users: Arc::clone(&base.users),
+        categories: Arc::clone(&base.categories),
+        applications: Arc::clone(&base.applications),
+        schemas: Arc::clone(&base.schemas),
+        classes: Arc::clone(&base.classes),
+        iface_names: Arc::clone(&base.iface_names),
+        ext_names: Arc::clone(&base.ext_names),
+        prefixes: base.prefixes.clone(),
+        db: base.db.clone(),
+        iface_tables: base.iface_tables.clone(),
+        iface_any: base.iface_any.clone(),
+        ext_tables: base.ext_tables.clone(),
+        ext_any: base.ext_any.clone(),
+        cacheable: true,
+        stats: base.stats,
+    };
+    for d in deltas {
+        match d {
+            Delta::Noop => {}
+            Delta::Bulk => return None,
+            Delta::Remove { idx, was_enabled } => {
+                out.remove_cands(*idx, true);
+                if *was_enabled {
+                    out.stats.rules -= 1;
+                }
+            }
+            Delta::Disable { idx } => {
+                out.remove_cands(*idx, false);
+                out.stats.rules -= 1;
+            }
+            Delta::Add { idx, rule } | Delta::Enable { idx, rule } => {
+                out.insert_cands(*idx, rule)?;
+                out.stats.rules += 1;
+            }
+            Delta::Priority {
+                idx,
+                priority,
+                spec,
+            } => out.reprioritize(*idx, *priority, *spec),
+        }
+    }
+    out.refresh_patched_stats();
+    Some(out)
+}
+
+/// Append-or-get on a shared interner; `None` when the id would no
+/// longer fit its packed field (patch bails to full compile, which
+/// handles overflow by degrading the artifact).
+fn intern_append(interner: &mut Arc<Interner>, s: &str) -> Option<u32> {
+    let id = match interner.get(s) {
+        0 => Arc::make_mut(interner).intern(s),
+        id => id,
+    };
+    (id <= FIELD_MAX).then_some(id)
+}
+
+impl CompiledRules {
+    fn tables_mut(&mut self) -> impl Iterator<Item = &mut CompiledTable> {
+        self.db
+            .iter_mut()
+            .chain(self.iface_tables.iter_mut())
+            .chain(std::iter::once(&mut self.iface_any))
+            .chain(self.ext_tables.iter_mut())
+            .chain(std::iter::once(&mut self.ext_any))
+    }
+
+    /// Drop every candidate for `idx`; with `shift`, renumber the
+    /// indices above it (rule removal compacts the snapshot vector).
+    /// Renumbering a contiguous upper range preserves both sort orders.
+    fn remove_cands(&mut self, idx: u32, shift: bool) {
+        let mut removed = 0usize;
+        for t in self.tables_mut() {
+            for list in [&mut t.cust, &mut t.other] {
+                let before = list.len();
+                list.retain(|c| c.idx != idx);
+                removed += before - list.len();
+                if shift {
+                    for c in list.iter_mut() {
+                        if c.idx > idx {
+                            c.idx -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.candidates -= removed;
+    }
+
+    /// Lower one rule and splice it into every table its pattern
+    /// reaches, at the position the full compile's sort would have put
+    /// it. `None` = not patchable (see [`patch`]).
+    fn insert_cands(&mut self, idx: u32, rule: &RuleLite) -> Option<()> {
+        let mut cand = CompiledCand {
+            idx,
+            ctx_mask: 0,
+            ctx_want: 0,
+            schema_req: 0,
+            class_req: 0,
+            prefix_req: 0,
+            slow: rule.slow,
+            spec: rule.spec,
+            prio: rule.priority,
+        };
+        for (field, interner, shift) in [
+            (&rule.context.user, &mut self.users, USER_SHIFT),
+            (&rule.context.category, &mut self.categories, CAT_SHIFT),
+            (&rule.context.application, &mut self.applications, 0),
+        ] {
+            if let Some(v) = field {
+                let id = intern_append(interner, v)?;
+                cand.ctx_mask |= (FIELD_MAX as u64) << shift;
+                cand.ctx_want |= (id as u64) << shift;
+            }
+        }
+
+        let mut targets: Vec<Target> = Vec::new();
+        match &rule.event {
+            EventPattern::Any => {
+                targets.extend((0..DB_KIND_TABLES).map(Target::Db));
+                targets.extend((0..self.iface_tables.len()).map(Target::Iface));
+                targets.push(Target::IfaceAny);
+                targets.extend((0..self.ext_tables.len()).map(Target::Ext));
+                targets.push(Target::ExtAny);
+            }
+            EventPattern::Db {
+                kind,
+                schema,
+                class,
+            } => {
+                if let Some(s) = schema {
+                    cand.schema_req = intern_append(&mut self.schemas, s)?;
+                }
+                if let Some(c) = class {
+                    cand.class_req = intern_append(&mut self.classes, c)?;
+                }
+                match kind {
+                    Some(k) => targets.push(Target::Db(kind_slot(*k))),
+                    None => targets.extend((0..DB_KIND_TABLES).map(Target::Db)),
+                }
+            }
+            EventPattern::Interface {
+                name,
+                source_prefix,
+            } => {
+                if let Some(p) = source_prefix {
+                    let bit = match self.prefixes.iter().position(|q| q == p) {
+                        Some(bit) => bit,
+                        None if self.prefixes.len() < MAX_PREFIXES => {
+                            self.prefixes.push(p.clone());
+                            self.prefixes.len() - 1
+                        }
+                        // Out of mask bits: the full compile degrades
+                        // this candidate to the interpreted path.
+                        None => return None,
+                    };
+                    cand.prefix_req = bit as u32 + 1;
+                }
+                match name {
+                    Some(n) => match self.iface_names.get(n) {
+                        // A name the tables never saw needs a new jump
+                        // table and redistribution of every wildcard
+                        // rule — that is a compile, not a patch.
+                        0 => return None,
+                        id => targets.push(Target::Iface(id as usize - 1)),
+                    },
+                    None => {
+                        targets.extend((0..self.iface_tables.len()).map(Target::Iface));
+                        targets.push(Target::IfaceAny);
+                    }
+                }
+            }
+            EventPattern::External { name } => match name {
+                Some(n) => match self.ext_names.get(n) {
+                    0 => return None,
+                    id => targets.push(Target::Ext(id as usize - 1)),
+                },
+                None => {
+                    targets.extend((0..self.ext_tables.len()).map(Target::Ext));
+                    targets.push(Target::ExtAny);
+                }
+            },
+        }
+
+        let key = std::cmp::Reverse((cand.spec, cand.prio, cand.idx));
+        for t in &targets {
+            let table = match t {
+                Target::Db(i) => &mut self.db[*i],
+                Target::Iface(i) => &mut self.iface_tables[*i],
+                Target::IfaceAny => &mut self.iface_any,
+                Target::Ext(i) => &mut self.ext_tables[*i],
+                Target::ExtAny => &mut self.ext_any,
+            };
+            if rule.cust {
+                let at = table
+                    .cust
+                    .partition_point(|c| std::cmp::Reverse((c.spec, c.prio, c.idx)) < key);
+                table.cust.insert(at, cand.clone());
+            } else {
+                let at = table.other.partition_point(|c| c.idx < cand.idx);
+                table.other.insert(at, cand.clone());
+            }
+        }
+        self.stats.candidates += targets.len();
+        Some(())
+    }
+
+    /// Re-key the candidates of `idx` after a priority change and move
+    /// them to their new pre-sorted positions.
+    fn reprioritize(&mut self, idx: u32, priority: i32, spec: u32) {
+        for t in self.tables_mut() {
+            if let Some(pos) = t.cust.iter().position(|c| c.idx == idx) {
+                let mut cand = t.cust.remove(pos);
+                cand.prio = priority;
+                cand.spec = spec;
+                let key = std::cmp::Reverse((cand.spec, cand.prio, cand.idx));
+                let at = t
+                    .cust
+                    .partition_point(|c| std::cmp::Reverse((c.spec, c.prio, c.idx)) < key);
+                t.cust.insert(at, cand);
+            }
+            for c in t.other.iter_mut() {
+                if c.idx == idx {
+                    c.prio = priority;
+                    c.spec = spec;
+                }
+            }
+        }
+    }
+
+    /// Refresh the derived stats a patch may have moved (candidate and
+    /// rule counts are maintained incrementally by the splice ops).
+    fn refresh_patched_stats(&mut self) {
+        self.stats.generation = self.generation;
+        self.stats.users = self.users.len();
+        self.stats.categories = self.categories.len();
+        self.stats.applications = self.applications.len();
+        self.stats.event_terms = self.schemas.len()
+            + self.classes.len()
+            + self.iface_names.len()
+            + self.ext_names.len()
+            + self.prefixes.len();
+        self.stats.patched = true;
+        self.stats.compile_ns = 0;
     }
 }
 
@@ -344,6 +712,8 @@ pub(crate) fn compile<P>(rules: &[Rule<P>], generation: u64) -> CompiledRules {
             class_req: 0,
             prefix_req: 0,
             slow: r.needs_interpreted_match(),
+            spec: r.specificity(),
+            prio: r.priority,
         };
         for (field, interner, shift) in [
             (&r.context.user, &mut users, USER_SHIFT),
@@ -457,10 +827,9 @@ pub(crate) fn compile<P>(rules: &[Rule<P>], generation: u64) -> CompiledRules {
         .chain(std::iter::once(&mut ext_any));
     let mut tables = 0usize;
     for table in all_tables {
-        table.cust.sort_unstable_by_key(|c| {
-            let r = &rules[c.idx as usize];
-            std::cmp::Reverse((r.specificity(), r.priority, c.idx))
-        });
+        table
+            .cust
+            .sort_unstable_by_key(|c| std::cmp::Reverse((c.spec, c.prio, c.idx)));
         if ctx_overflow {
             for c in table.cust.iter_mut().chain(table.other.iter_mut()) {
                 c.slow = true;
@@ -484,17 +853,18 @@ pub(crate) fn compile<P>(rules: &[Rule<P>], generation: u64) -> CompiledRules {
             + ext_names.len()
             + prefixes.len(),
         packed_cache: cacheable,
+        patched: false,
         compile_ns: 0,
     };
     CompiledRules {
         generation,
-        users,
-        categories,
-        applications,
-        schemas,
-        classes,
-        iface_names,
-        ext_names,
+        users: Arc::new(users),
+        categories: Arc::new(categories),
+        applications: Arc::new(applications),
+        schemas: Arc::new(schemas),
+        classes: Arc::new(classes),
+        iface_names: Arc::new(iface_names),
+        ext_names: Arc::new(ext_names),
         prefixes,
         db,
         iface_tables,

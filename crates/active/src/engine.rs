@@ -55,7 +55,7 @@ use std::sync::{Arc, Mutex};
 
 use geodb::query::DbEventKind;
 
-use crate::compiled::{compile, CompileStats, CompiledRules};
+use crate::compiled::{compile, patch, CompileStats, CompiledRules, Delta, EventIds, RuleLite};
 use crate::context::SessionContext;
 use crate::event::{Event, EventPattern};
 use crate::rule::{Action, Coupling, Rule, RuleGroup};
@@ -915,6 +915,58 @@ struct EngineShared<P> {
     /// the epoch only, and compiled tables are quarantine-agnostic
     /// (health is re-checked per candidate at dispatch).
     compiled: Mutex<Option<Arc<CompiledRules>>>,
+    /// Recent snapshot deltas, so `ensure_compiled` can patch the
+    /// standing artifact across single-rule mutations instead of
+    /// recompiling (`compiled::patch`).
+    patches: Mutex<PatchLog>,
+}
+
+/// Bounded log of snapshot deltas awaiting incremental application to
+/// the compiled artifact. Entries chain `from_generation →
+/// to_generation` in mutation order; [`PatchLog::chain`] extracts the
+/// contiguous run between two generations, or `None` when part of the
+/// run was evicted. The cap is deliberate: a bulk install floods the
+/// log past it, breaking the chain — exactly the mutations that
+/// *should* take the full-compile path.
+#[derive(Default)]
+struct PatchLog {
+    deltas: VecDeque<(u64, u64, Delta)>,
+}
+
+const PATCH_LOG_CAP: usize = 32;
+
+impl PatchLog {
+    fn record(&mut self, from: u64, to: u64, delta: Delta) {
+        if self.deltas.len() >= PATCH_LOG_CAP {
+            self.deltas.pop_front();
+        }
+        self.deltas.push_back((from, to, delta));
+    }
+
+    fn chain(&self, from: u64, to: u64) -> Option<Vec<Delta>> {
+        let mut cur = from;
+        let mut out = Vec::new();
+        for (f, t, d) in &self.deltas {
+            if *t <= from {
+                continue;
+            }
+            if *f != cur {
+                return None;
+            }
+            out.push(d.clone());
+            cur = *t;
+            if cur == to {
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    /// Deltas at or below `upto` can never be needed again once an
+    /// artifact for that generation exists.
+    fn prune(&mut self, upto: u64) {
+        self.deltas.retain(|(_, t, _)| *t > upto);
+    }
 }
 
 impl<P> EngineShared<P> {
@@ -928,6 +980,7 @@ impl<P> EngineShared<P> {
             rule_fault_count: AtomicU64::new(0),
             quarantined_count: AtomicUsize::new(0),
             compiled: Mutex::new(None),
+            patches: Mutex::new(PatchLog::default()),
         }
     }
 }
@@ -943,6 +996,29 @@ fn ensure_compiled<P>(shared: &EngineShared<P>, snap: &RuleSnapshot<P>) -> Arc<C
         if c.generation == snap.generation {
             return Arc::clone(c);
         }
+        // Single-rule mutations recorded a delta chain: splice it into
+        // the standing artifact (`compiled::patch`) instead of paying a
+        // full recompile. Falls through on any unpatchable delta.
+        let chain = shared
+            .patches
+            .lock()
+            .unwrap()
+            .chain(c.generation, snap.generation);
+        if let Some(chain) = chain {
+            let t0 = std::time::Instant::now();
+            if let Some(mut patched) = patch(c, &chain, snap.generation) {
+                let ns = t0.elapsed().as_nanos() as u64;
+                patched.stats.compile_ns = ns;
+                if obs::enabled() {
+                    obs::counter_add("engine.compile_patches", 1);
+                    obs::record_nanos("engine.patch_latency", ns);
+                }
+                let built = Arc::new(patched);
+                *slot = Some(Arc::clone(&built));
+                shared.patches.lock().unwrap().prune(snap.generation);
+                return built;
+            }
+        }
     }
     let t0 = std::time::Instant::now();
     let mut built = compile(&snap.rules, snap.generation);
@@ -954,6 +1030,7 @@ fn ensure_compiled<P>(shared: &EngineShared<P>, snap: &RuleSnapshot<P>) -> Arc<C
     }
     let built = Arc::new(built);
     *slot = Some(Arc::clone(&built));
+    shared.patches.lock().unwrap().prune(snap.generation);
     built
 }
 
@@ -1049,6 +1126,15 @@ impl<P: Clone> RuleBase<P> {
             .unwrap()
             .as_ref()
             .map(|c| c.stats)
+    }
+
+    /// Drop the cached compiled artifact: the next compiled dispatch
+    /// (or [`RuleBase::precompile`]) pays a full compile, never an
+    /// incremental patch. Reclaims artifact memory on an idle base;
+    /// benchmarks also use it to compare full-compile cost against the
+    /// patch path.
+    pub fn invalidate_compiled(&self) {
+        *self.shared.compiled.lock().unwrap() = None;
     }
 }
 
@@ -1338,12 +1424,16 @@ impl<P: Clone> Engine<P> {
     }
 
     /// Run a mutation against the published snapshot copy-on-write and
-    /// (on success, if `changed`) bump the epoch. The handle's own cached
+    /// (on success, if it yields a [`Delta`]) bump the epoch and record
+    /// the delta for incremental recompilation. The handle's own cached
     /// snapshot is parked on the shared empty sentinel for the duration
     /// so a lone session mutates in place instead of deep-cloning.
     fn try_mutate<R>(
         &mut self,
-        f: impl FnOnce(&mut RuleSnapshot<P>, &EngineShared<P>) -> Result<(R, bool), ActiveError>,
+        f: impl FnOnce(
+            &mut RuleSnapshot<P>,
+            &EngineShared<P>,
+        ) -> Result<(R, Option<Delta>), ActiveError>,
     ) -> Result<R, ActiveError> {
         let shared = Arc::clone(&self.shared);
         let mut guard = shared.published.lock().unwrap();
@@ -1351,9 +1441,15 @@ impl<P: Clone> Engine<P> {
         let result = {
             let snap = Arc::make_mut(&mut *guard);
             match f(snap, &shared) {
-                Ok((r, changed)) => {
-                    if changed {
+                Ok((r, delta)) => {
+                    if let Some(delta) = delta {
+                        let from = snap.generation;
                         snap.generation = shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                        shared
+                            .patches
+                            .lock()
+                            .unwrap()
+                            .record(from, snap.generation, delta);
                     }
                     Ok(r)
                 }
@@ -1369,7 +1465,12 @@ impl<P: Clone> Engine<P> {
 
     /// Register a rule; names must be unique across the rule base.
     pub fn add_rule(&mut self, rule: Rule<P>) -> Result<(), ActiveError> {
-        self.try_mutate(|snap, _| snap.add(rule).map(|()| ((), true)))
+        self.try_mutate(|snap, _| {
+            let idx = snap.rules.len() as u32;
+            let lite = RuleLite::of(&rule);
+            snap.add(rule)?;
+            Ok(((), Some(Delta::Add { idx, rule: lite })))
+        })
     }
 
     /// Register many rules (e.g. the output of the customization compiler).
@@ -1387,14 +1488,60 @@ impl<P: Clone> Engine<P> {
     /// map and index buckets are adjusted in place (no rebuild).
     pub fn remove_rule(&mut self, name: &str) -> Result<Rule<P>, ActiveError> {
         self.try_mutate(|snap, shared| {
-            snap.remove(name, &shared.quarantined_count)
-                .map(|r| (r, true))
+            let idx = snap.by_name.get(name).copied();
+            let rule = snap.remove(name, &shared.quarantined_count)?;
+            let idx = idx.expect("remove succeeded, so the name resolved") as u32;
+            let was_enabled = rule.enabled;
+            Ok((rule, Some(Delta::Remove { idx, was_enabled })))
         })
     }
 
     /// Enable or disable a rule in place.
     pub fn set_enabled(&mut self, name: &str, enabled: bool) -> Result<(), ActiveError> {
-        self.try_mutate(|snap, _| snap.set_enabled(name, enabled).map(|()| ((), true)))
+        self.try_mutate(|snap, _| {
+            let idx = *snap
+                .by_name
+                .get(name)
+                .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
+            let was = snap.rules[idx].enabled;
+            snap.set_enabled(name, enabled)?;
+            let delta = if was == enabled {
+                Delta::Noop
+            } else if enabled {
+                Delta::Enable {
+                    idx: idx as u32,
+                    rule: RuleLite::of(&snap.rules[idx]),
+                }
+            } else {
+                Delta::Disable { idx: idx as u32 }
+            };
+            Ok(((), Some(delta)))
+        })
+    }
+
+    /// Change a rule's designer priority in place. This is the
+    /// hot-reload path: the compiled artifact is patched (candidates
+    /// repositioned in their pre-sorted lists), not recompiled.
+    pub fn set_priority(&mut self, name: &str, priority: i32) -> Result<(), ActiveError> {
+        self.try_mutate(|snap, _| {
+            let idx = *snap
+                .by_name
+                .get(name)
+                .ok_or_else(|| ActiveError::UnknownRule(name.to_string()))?;
+            let rule = &mut snap.rules[idx];
+            let delta = if rule.priority == priority || !rule.enabled {
+                rule.priority = priority;
+                Delta::Noop
+            } else {
+                rule.priority = priority;
+                Delta::Priority {
+                    idx: idx as u32,
+                    priority,
+                    spec: rule.specificity(),
+                }
+            };
+            Ok(((), Some(delta)))
+        })
     }
 
     pub fn rule(&self, name: &str) -> Option<&Rule<P>> {
@@ -1419,7 +1566,7 @@ impl<P: Clone> Engine<P> {
     pub fn remove_rules_with_prefix(&mut self, prefix: &str) -> usize {
         self.try_mutate(|snap, shared| {
             let n = snap.remove_prefix(prefix, &shared.quarantined_count);
-            Ok((n, n > 0))
+            Ok((n, (n > 0).then_some(Delta::Bulk)))
         })
         .expect("prefix removal is infallible")
     }
@@ -1463,11 +1610,81 @@ impl<P: Clone> Engine<P> {
             state,
             ..
         } = self;
-        let result = dispatch_inner(shared, snap, snap_epoch, config, state, event, ctx);
+        let result = dispatch_inner(shared, snap, snap_epoch, config, state, event, ctx, None);
         if result.is_err() {
             self.state.deferred.truncate(deferred_mark);
         }
         result
+    }
+
+    /// Feed a batch of events through the rule set for one session
+    /// context, amortizing per-event dispatch overhead across runs of
+    /// identical events. The server sorts its batches by event
+    /// discriminant, so runs are long: the batch lane resolves the
+    /// packed context key once per batch, and the jump-table route and
+    /// customization selection once per run — later events in the run
+    /// replay them instead of re-hashing. Metric tallies flush once per
+    /// batch.
+    ///
+    /// Semantics are identical to calling [`Engine::dispatch`] per
+    /// event in order, with one pinning difference: the snapshot is
+    /// refreshed once at batch start, not per event. Each event is its
+    /// own transaction (an aborted event rolls back only its own
+    /// deferred firings), later events still run when an earlier one
+    /// errors, and a mid-batch quarantine trip bumps the epoch, which
+    /// invalidates the lane's selection memo — quarantine takes effect
+    /// from the very next event, exactly as in the per-event path.
+    pub fn dispatch_batch(
+        &mut self,
+        events: impl IntoIterator<Item = Event>,
+        ctx: &SessionContext,
+    ) -> Vec<Result<Outcome<P>, ActiveError>> {
+        let _span = obs::span("engine.dispatch_batch");
+        if self.auto_sync {
+            self.sync_snapshot();
+        }
+        if self.config.strategy == DispatchStrategy::Compiled
+            && self.snap.rules.len() > self.config.hybrid_linear_threshold
+            && self
+                .state
+                .compiled
+                .as_ref()
+                .is_none_or(|c| c.generation != self.snap.generation)
+        {
+            self.state.compiled = Some(ensure_compiled(&self.shared, &self.snap));
+        }
+        let mut lane = BatchLane::default();
+        let events = events.into_iter();
+        let mut results = Vec::with_capacity(events.size_hint().0);
+        {
+            let Engine {
+                shared,
+                snap,
+                snap_epoch,
+                config,
+                state,
+                ..
+            } = self;
+            for event in events {
+                let deferred_mark = state.deferred.len();
+                let r = dispatch_inner(
+                    shared,
+                    snap,
+                    snap_epoch,
+                    config,
+                    state,
+                    event,
+                    ctx,
+                    Some(&mut lane),
+                );
+                if r.is_err() {
+                    state.deferred.truncate(deferred_mark);
+                }
+                results.push(r);
+            }
+        }
+        flush_batch_tallies(&lane.tallies, self.state.deferred.len());
+        results
     }
 
     /// Number of deferred firings awaiting [`Self::flush_deferred`].
@@ -1617,6 +1834,86 @@ fn note_anonymous_fault<P>(shared: &EngineShared<P>) {
     }
 }
 
+/// Cross-event memo for [`Engine::dispatch_batch`]: everything the
+/// batch lane amortizes across a run of identical root events under one
+/// context. The compiled artifact is pinned for the whole batch
+/// (`dispatch_batch` refreshes the session memo once, and content
+/// generations cannot move mid-batch — the batch holds `&mut self`), so
+/// the packed context key and route stay valid batch-wide; the
+/// selection memo is additionally keyed on the epoch, which quarantine
+/// trips bump, so health changes invalidate it between events.
+#[derive(Default)]
+struct BatchLane {
+    /// Packed context key, computed on first compiled use.
+    ctx_packed: Option<u64>,
+    /// The last root event and the jump-table route it resolved to.
+    route: Option<(Event, EventIds)>,
+    /// Memoized customization selection (matched set + winner) for the
+    /// memoized route — the packed winner-cache slot, without the probe.
+    selection: Option<(Vec<usize>, Option<usize>)>,
+    /// Epoch `selection` was recorded under.
+    epoch: u64,
+    /// Per-batch metric tallies, flushed to the registry once.
+    tallies: BatchTallies,
+}
+
+/// Dispatch metric tallies accumulated across a batch so the registry
+/// (one hash lookup + atomic per counter) is touched once per batch
+/// instead of once per event.
+#[derive(Default)]
+struct BatchTallies {
+    dispatches: u64,
+    considered: u64,
+    matched: u64,
+    fired: u64,
+    shadowed: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    max_cascade_depth: u64,
+    arm_cached: u64,
+    arm_compiled: u64,
+    arm_indexed: u64,
+    arm_linear: u64,
+}
+
+fn flush_batch_tallies(t: &BatchTallies, deferred_len: usize) {
+    if t.dispatches == 0 || !obs::enabled() {
+        return;
+    }
+    let shard = obs::current_shard().to_string();
+    for (arm, n) in [
+        ("cached", t.arm_cached),
+        ("compiled", t.arm_compiled),
+        ("indexed", t.arm_indexed),
+        ("linear", t.arm_linear),
+    ] {
+        if n > 0 {
+            obs::counter_add_labeled("engine.dispatches_by_arm", &[("arm", arm)], n);
+        }
+    }
+    obs::counter_add_labeled(
+        "engine.winner_cache_hits_by_shard",
+        &[("shard", &shard)],
+        t.hits,
+    );
+    obs::counter_add_labeled(
+        "engine.winner_cache_misses_by_shard",
+        &[("shard", &shard)],
+        t.misses,
+    );
+    obs::counter_add("engine.dispatches", t.dispatches);
+    obs::counter_add("engine.rules_considered", t.considered);
+    obs::counter_add("engine.rules_matched", t.matched);
+    obs::counter_add("engine.rules_fired", t.fired);
+    obs::counter_add("engine.rules_shadowed", t.shadowed);
+    obs::counter_add("engine.winner_cache_hits", t.hits);
+    obs::counter_add("engine.winner_cache_misses", t.misses);
+    obs::counter_add("engine.winner_cache_evictions", t.evictions);
+    obs::record_value("engine.cascade_depth", t.max_cascade_depth);
+    obs::record_value("engine.deferred_queue_depth", deferred_len as u64);
+}
+
 #[allow(clippy::too_many_arguments)]
 fn dispatch_inner<P: Clone>(
     shared: &EngineShared<P>,
@@ -1626,8 +1923,15 @@ fn dispatch_inner<P: Clone>(
     state: &mut SessionState<P>,
     event: Event,
     ctx: &SessionContext,
+    mut lane: Option<&mut BatchLane>,
 ) -> Result<Outcome<P>, ActiveError> {
-    let _span = obs::span("engine.dispatch");
+    // Batched events share one `engine.dispatch_batch` span instead of
+    // a span apiece.
+    let _span = if lane.is_none() {
+        Some(obs::span("engine.dispatch"))
+    } else {
+        None
+    };
     state.dispatch_count += 1;
     shared.dispatch_count.fetch_add(1, Ordering::Relaxed);
     let SessionState {
@@ -1672,7 +1976,13 @@ fn dispatch_inner<P: Clone>(
     // The compiled tier upgrades the cache key to the interned packed
     // form: no hashing of strings, no slot verification on hit.
     let packed_ok = cache_ok && compiled.is_some_and(|c| c.cacheable);
-    let ctx_packed = compiled.map_or(0, |c| c.pack_ctx(ctx));
+    // The context is fixed across a batch, so the lane packs it once.
+    let ctx_packed = if let Some(l) = lane.as_deref_mut() {
+        *l.ctx_packed
+            .get_or_insert_with(|| compiled.map_or(0, |c| c.pack_ctx(ctx)))
+    } else {
+        compiled.map_or(0, |c| c.pack_ctx(ctx))
+    };
     if cache_ok && cache.generation != *snap_epoch {
         if cache.len() > 0 {
             cache.flush();
@@ -1749,7 +2059,24 @@ fn dispatch_inner<P: Clone>(
         s.matched_other.clear();
         // Compiled tier: route the event to its jump table and intern
         // its fields once — every candidate check below is integer-only.
-        let routed = compiled.map(|c| c.lookup(&event));
+        // In a batch, a run of identical root events resolves the route
+        // once and replays it (`CompiledRules::table` — no hashing).
+        let mut route_hit = false;
+        let routed = match (lane.as_deref_mut(), compiled) {
+            (Some(l), Some(c)) if depth == 0 => Some(match &l.route {
+                Some((ev, ids)) if *ev == event => {
+                    route_hit = true;
+                    (c.table(ids.route), *ids)
+                }
+                _ => {
+                    let r = c.lookup(&event);
+                    l.route = Some((event.clone(), r.1));
+                    l.selection = None;
+                    r
+                }
+            }),
+            (_, c) => c.map(|c| c.lookup(&event)),
+        };
         // `Some(winner)` when the cache answered customization
         // matching for this event; the winner itself may be `None`
         // (negative results are cached too).
@@ -1763,12 +2090,35 @@ fn dispatch_inner<P: Clone>(
                 ctx_packed,
             );
             pkey = Some(key);
-            if let Some(slot) = cache.lookup_packed(key) {
-                s.matched_cust.extend_from_slice(&slot.matched_cust);
-                cached_winner = Some(slot.winner);
-                m_hits += 1;
-            } else {
-                m_misses += 1;
+            // Lane selection memo: exactly a packed-cache slot for the
+            // memoized route, minus the probe. Sound under the same
+            // invariant — the epoch check invalidates it whenever
+            // quarantine (or anything else) flips rule visibility.
+            if route_hit {
+                if let Some(l) = lane.as_deref() {
+                    if l.epoch == *snap_epoch {
+                        if let Some((mc, w)) = &l.selection {
+                            s.matched_cust.extend_from_slice(mc);
+                            cached_winner = Some(*w);
+                            m_hits += 1;
+                        }
+                    }
+                }
+            }
+            if cached_winner.is_none() {
+                if let Some(slot) = cache.lookup_packed(key) {
+                    s.matched_cust.extend_from_slice(&slot.matched_cust);
+                    cached_winner = Some(slot.winner);
+                    m_hits += 1;
+                    if depth == 0 {
+                        if let Some(l) = lane.as_deref_mut() {
+                            l.selection = Some((slot.matched_cust.clone(), slot.winner));
+                            l.epoch = *snap_epoch;
+                        }
+                    }
+                } else {
+                    m_misses += 1;
+                }
             }
         } else if cache_ok {
             let h = cache_key_hash(&event, ctx);
@@ -1881,6 +2231,12 @@ fn dispatch_inner<P: Clone>(
                         },
                         config.winner_cache_capacity,
                     );
+                    if depth == 0 {
+                        if let Some(l) = lane.as_deref_mut() {
+                            l.selection = Some((s.matched_cust.clone(), w));
+                            l.epoch = *snap_epoch;
+                        }
+                    }
                 } else if let Some(h) = hash {
                     cache.insert(
                         h,
@@ -2002,19 +2358,37 @@ fn dispatch_inner<P: Clone>(
 
     cache.hits += m_hits;
     cache.misses += m_misses;
-    if obs::enabled() {
-        // Which dispatch arm answered this request: the winner cache,
-        // the compiled tables, the discrimination index, or the
-        // straight linear scan.
-        let arm = if cache_ok && m_hits > 0 && m_misses == 0 {
-            "cached"
-        } else if compiled.is_some() {
-            "compiled"
-        } else if scan_all {
-            "linear"
-        } else {
-            "indexed"
-        };
+    // Which dispatch arm answered this request: the winner cache,
+    // the compiled tables, the discrimination index, or the
+    // straight linear scan.
+    let arm = if cache_ok && m_hits > 0 && m_misses == 0 {
+        "cached"
+    } else if compiled.is_some() {
+        "compiled"
+    } else if scan_all {
+        "linear"
+    } else {
+        "indexed"
+    };
+    if let Some(l) = lane {
+        // Batched: accumulate into the lane and flush once per batch.
+        let t = &mut l.tallies;
+        t.dispatches += 1;
+        t.considered += m_considered;
+        t.matched += m_matched;
+        t.fired += m_fired;
+        t.shadowed += m_shadowed;
+        t.hits += m_hits;
+        t.misses += m_misses;
+        t.evictions += cache.evictions - evictions_before;
+        t.max_cascade_depth = t.max_cascade_depth.max(m_max_depth as u64);
+        match arm {
+            "cached" => t.arm_cached += 1,
+            "compiled" => t.arm_compiled += 1,
+            "linear" => t.arm_linear += 1,
+            _ => t.arm_indexed += 1,
+        }
+    } else if obs::enabled() {
         let shard = obs::current_shard().to_string();
         obs::counter_add_labeled("engine.dispatches_by_arm", &[("arm", arm)], 1);
         obs::counter_add_labeled(

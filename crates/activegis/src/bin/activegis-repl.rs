@@ -258,12 +258,13 @@ impl Repl {
             [":wal"] => match self.gis.wal_status() {
                 Some((s, durable)) => {
                     println!(
-                        "wal {:?}: {} records, {}/{} bytes synced, {} fsyncs over \
-                         {} groups (max group {}), checkpoint epoch {}, durable epoch {}",
+                        "wal {:?}: {} records, {}/{} bytes synced ({} payload), {} fsyncs \
+                         over {} groups (max group {}), checkpoint epoch {}, durable epoch {}",
                         s.path,
                         s.records,
                         s.synced_bytes,
                         s.bytes,
+                        s.payload_bytes,
                         s.fsyncs,
                         s.groups,
                         s.max_group,

@@ -331,35 +331,52 @@ fn worker_loop(queue: &ShardQueue, dispatcher: &mut Dispatcher, shard: usize) {
                         // grouping is invisible to the client.
                         let mut order: Vec<usize> = (0..events.len()).collect();
                         order.sort_by_key(|&i| kind_rank(events[i].kind()));
-                        let mut events: Vec<Option<DbEvent>> =
-                            events.into_iter().map(Some).collect();
+                        let sorted: Vec<DbEvent> = {
+                            let mut events: Vec<Option<DbEvent>> =
+                                events.into_iter().map(Some).collect();
+                            order
+                                .iter()
+                                .map(|&i| events[i].take().expect("each slot dispatched once"))
+                                .collect()
+                        };
                         let mut slots: Vec<Option<Outcome<Customization>>> =
-                            (0..events.len()).map(|_| None).collect();
+                            (0..order.len()).map(|_| None).collect();
                         let mut dispatched = 0usize;
                         let mut degraded = 0u64;
                         let mut failed = None;
-                        for &i in &order {
-                            let event = events[i].take().expect("each slot dispatched once");
-                            match dispatcher.dispatch_db(sid, event) {
-                                Ok(o) => {
-                                    dispatched += 1;
-                                    if !o.faults.is_empty() {
-                                        degraded += 1;
+                        // One batched call: the dispatcher resolves the
+                        // session and revalidates its reader pin once,
+                        // and the engine's batch lane amortizes the
+                        // table walk across each kind-sorted run. Every
+                        // event dispatches (per-event isolation), but
+                        // the batch still fails on the first error in
+                        // *execution* (grouped) order, as before.
+                        match dispatcher.dispatch_db_batch(sid, sorted) {
+                            Ok(outcomes) => {
+                                for (&i, outcome) in order.iter().zip(outcomes) {
+                                    match outcome {
+                                        Ok(o) => {
+                                            dispatched += 1;
+                                            if !o.faults.is_empty() {
+                                                degraded += 1;
+                                            }
+                                            slots[i] = Some(o);
+                                        }
+                                        Err(UiError::Active(e)) => {
+                                            failed = Some(e);
+                                            break;
+                                        }
+                                        Err(other) => {
+                                            failed =
+                                                Some(ActiveError::UnknownRule(other.to_string()));
+                                            break;
+                                        }
                                     }
-                                    slots[i] = Some(o);
                                 }
-                                // The whole batch fails on the first
-                                // error, as before grouping — but "first"
-                                // is now first in *execution* (grouped)
-                                // order, not arrival order.
-                                Err(UiError::Active(e)) => {
-                                    failed = Some(e);
-                                    break;
-                                }
-                                Err(other) => {
-                                    failed = Some(ActiveError::UnknownRule(other.to_string()));
-                                    break;
-                                }
+                            }
+                            Err(UiError::Active(e)) => failed = Some(e),
+                            Err(other) => {
+                                failed = Some(ActiveError::UnknownRule(other.to_string()));
                             }
                         }
                         if obs::enabled() {

@@ -340,6 +340,218 @@ fn scenario_rows(
     rows
 }
 
+/// Batch-lane rows: the same cache-hot `Get_Class` stream dispatched one
+/// event at a time vs through `dispatch_batch`, which packs the context,
+/// classifies the route and resolves the selection memo once per lane
+/// instead of once per event. With `DISPATCH_GATE=1`, a batch of ≥ 16
+/// events dispatching slower per event than the per-event loop fails the
+/// run.
+fn batch_section(quick: bool) -> serde_json::Value {
+    let session = SessionContext::new("user5", "cat5", "pole_manager");
+    let n = 1000;
+    let batch_sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256] };
+    let gate = std::env::var("DISPATCH_GATE").is_ok();
+
+    let mut per_event =
+        engine_with_rules(n, SelectionPolicy::MostSpecific, DispatchStrategy::Compiled);
+    let mut batched =
+        engine_with_rules(n, SelectionPolicy::MostSpecific, DispatchStrategy::Compiled);
+    per_event.precompile();
+    batched.precompile();
+
+    let mut rows = Vec::new();
+    for &len in batch_sizes {
+        let events: Vec<Event> = (0..len).map(|_| event()).collect();
+        // Equivalence before timing.
+        let outs = batched.dispatch_batch(events.iter().cloned(), &session);
+        let want = per_event.dispatch(event(), &session).unwrap();
+        assert_eq!(outs.len(), len);
+        for o in &outs {
+            assert_eq!(o.as_ref().unwrap().customization(), want.customization());
+        }
+
+        let per_event_ns = measure_ns(
+            || {
+                for e in &events {
+                    black_box(per_event.dispatch(e.clone(), &session).unwrap());
+                }
+            },
+            quick,
+        ) / len as f64;
+        let batch_ns = measure_ns(
+            || {
+                black_box(batched.dispatch_batch(events.iter().cloned(), &session));
+            },
+            quick,
+        ) / len as f64;
+        let speedup = per_event_ns / batch_ns;
+        eprintln!(
+            "[c1 batch] {n} rules, batch {len:>4}: per-event {per_event_ns:>8.1} ns/ev, \
+             batch lane {batch_ns:>8.1} ns/ev ({speedup:>5.2}x)"
+        );
+        if batch_ns > per_event_ns {
+            let msg = format!(
+                "[c1 batch] DISPATCH GATE: batch lane ({batch_ns:.1} ns/ev) is slower \
+                 than the per-event loop ({per_event_ns:.1} ns/ev) at batch {len}"
+            );
+            if gate {
+                panic!("{msg}");
+            }
+            eprintln!("{msg} (set DISPATCH_GATE=1 to fail)");
+        }
+        rows.push(serde_json::Value::Object(vec![
+            ("rules".into(), serde_json::Value::U64(n as u64)),
+            ("batch_len".into(), serde_json::Value::U64(len as u64)),
+            (
+                "per_event_ns_per_event".into(),
+                serde_json::Value::F64(per_event_ns),
+            ),
+            (
+                "batch_ns_per_event".into(),
+                serde_json::Value::F64(batch_ns),
+            ),
+            ("speedup_batch".into(), serde_json::Value::F64(speedup)),
+        ]));
+    }
+    serde_json::Value::Object(vec![
+        (
+            "workload".into(),
+            serde_json::Value::String(
+                "uniform 1000-rule set, cache-hot Get_Class stream: per-event \
+                 dispatch loop vs dispatch_batch lane memos (compiled tier)"
+                    .into(),
+            ),
+        ),
+        ("rows".into(), serde_json::Value::Array(rows)),
+    ])
+}
+
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+/// Hot-reload rows: the cost of bringing the compiled artifact back up
+/// after a single-rule mutation — splicing a delta into the previous
+/// tables vs recompiling from scratch — and the dispatch p99 of a
+/// session that keeps dispatching while rules flip under it (every 50th
+/// dispatch is preceded by a priority edit, so the next dispatch pays
+/// the rebuild).
+fn hot_reload_section(quick: bool) -> serde_json::Value {
+    let session = SessionContext::new("user5", "cat5", "pole_manager");
+    let sizes: &[usize] = if quick { &[1000] } else { &[1000, 10_000] };
+    let iters = if quick { 30 } else { 150 };
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        // Patch arm: the artifact stays warm, every precompile splices.
+        let mut patched =
+            engine_with_rules(n, SelectionPolicy::MostSpecific, DispatchStrategy::Compiled);
+        patched.precompile();
+        let mut patch_ns: Vec<f64> = Vec::with_capacity(iters);
+        for i in 0..iters {
+            patched
+                .set_priority(&format!("r{}", i % n), ((i * 13) % 7) as i32 - 3)
+                .unwrap();
+            let t0 = Instant::now();
+            let stats = patched.precompile();
+            patch_ns.push(t0.elapsed().as_nanos() as f64);
+            assert!(stats.patched, "priority edit must splice, not recompile");
+        }
+        // Full arm: the artifact is discarded before every precompile.
+        let mut full =
+            engine_with_rules(n, SelectionPolicy::MostSpecific, DispatchStrategy::Compiled);
+        full.precompile();
+        let mut full_ns: Vec<f64> = Vec::with_capacity(iters);
+        for i in 0..iters {
+            full.set_priority(&format!("r{}", i % n), ((i * 13) % 7) as i32 - 3)
+                .unwrap();
+            full.rule_base().invalidate_compiled();
+            let t0 = Instant::now();
+            let stats = full.precompile();
+            full_ns.push(t0.elapsed().as_nanos() as f64);
+            assert!(!stats.patched);
+        }
+        patch_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        full_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (patch_p50, patch_p99) = (quantile(&patch_ns, 0.5), quantile(&patch_ns, 0.99));
+        let (full_p50, full_p99) = (quantile(&full_ns, 0.5), quantile(&full_ns, 0.99));
+        let speedup = full_p50 / patch_p50;
+
+        // Dispatch latency under live reconfiguration: the engine keeps
+        // serving while priorities flip, lazily rebuilding on the next
+        // dispatch after each flip.
+        let p99_with_flips = |engine: &mut Engine<usize>, invalidate: bool| {
+            let samples = if quick { 400 } else { 2000 };
+            let mut lat: Vec<f64> = Vec::with_capacity(samples);
+            for i in 0..samples {
+                if i > 0 && i % 50 == 0 {
+                    engine
+                        .set_priority(&format!("r{}", i % n), ((i * 31) % 7) as i32 - 3)
+                        .unwrap();
+                    if invalidate {
+                        engine.rule_base().invalidate_compiled();
+                    }
+                }
+                let t0 = Instant::now();
+                black_box(engine.dispatch(event(), &session).unwrap());
+                lat.push(t0.elapsed().as_nanos() as f64);
+            }
+            lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            quantile(&lat, 0.99)
+        };
+        let dispatch_p99_patch = p99_with_flips(&mut patched, false);
+        let dispatch_p99_full = p99_with_flips(&mut full, true);
+
+        eprintln!(
+            "[c1 hot-reload] {n:>6} rules: patch p50 {patch_p50:>10.0} ns (p99 {patch_p99:>10.0}), \
+             full recompile p50 {full_p50:>11.0} ns (p99 {full_p99:>11.0}) — patch {speedup:>6.1}x \
+             faster; dispatch p99 across flips: {dispatch_p99_patch:>9.0} ns patched vs \
+             {dispatch_p99_full:>10.0} ns recompiled"
+        );
+        if n >= 10_000 && speedup < 10.0 {
+            eprintln!(
+                "[c1 hot-reload] WARNING: patch only {speedup:.1}x faster than full \
+                 recompile at {n} rules (target >= 10x)"
+            );
+        }
+        rows.push(serde_json::Value::Object(vec![
+            ("rules".into(), serde_json::Value::U64(n as u64)),
+            ("mutations".into(), serde_json::Value::U64(iters as u64)),
+            ("patch_p50_ns".into(), serde_json::Value::F64(patch_p50)),
+            ("patch_p99_ns".into(), serde_json::Value::F64(patch_p99)),
+            (
+                "full_recompile_p50_ns".into(),
+                serde_json::Value::F64(full_p50),
+            ),
+            (
+                "full_recompile_p99_ns".into(),
+                serde_json::Value::F64(full_p99),
+            ),
+            ("speedup_patch".into(), serde_json::Value::F64(speedup)),
+            (
+                "dispatch_p99_across_flips_patched_ns".into(),
+                serde_json::Value::F64(dispatch_p99_patch),
+            ),
+            (
+                "dispatch_p99_across_flips_recompiled_ns".into(),
+                serde_json::Value::F64(dispatch_p99_full),
+            ),
+        ]));
+    }
+    serde_json::Value::Object(vec![
+        (
+            "workload".into(),
+            serde_json::Value::String(
+                "single-rule priority edits against a compiled rule book: splice \
+                 the delta into the previous artifact (patch) vs recompile from \
+                 scratch; plus dispatch p99 of a session serving across the flips"
+                    .into(),
+            ),
+        ),
+        ("rows".into(), serde_json::Value::Array(rows)),
+    ])
+}
+
 fn bench_rule_selection(c: &mut Criterion) {
     let quick = std::env::var("BENCH_QUICK").is_ok();
     let session = SessionContext::new("user5", "cat5", "pole_manager");
@@ -418,8 +630,13 @@ fn bench_rule_selection(c: &mut Criterion) {
     group.finish();
 
     // Machine-readable strategy comparison: indexed vs the linear oracle,
-    // written to the repo root for the perf acceptance gate.
-    let summary = dispatch_strategy_comparison(quick);
+    // plus the batch-lane and hot-reload sections, written to the repo
+    // root for the perf acceptance gate.
+    let mut summary = dispatch_strategy_comparison(quick);
+    if let serde_json::Value::Object(fields) = &mut summary {
+        fields.push(("batch".into(), batch_section(quick)));
+        fields.push(("hot_reload".into(), hot_reload_section(quick)));
+    }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
     std::fs::write(path, json + "\n").expect("BENCH_dispatch.json is writable");

@@ -196,13 +196,19 @@ struct DurabilityRun {
     commit_p99_us: f64,
     max_group: u64,
     fsyncs: u64,
+    wal_payload_bytes: u64,
     epochs_retained: u64,
     recovery_ok: bool,
 }
 
-fn durability_run(writers: usize, window: Duration, commits_each: usize) -> DurabilityRun {
+fn durability_run(
+    writers: usize,
+    window: Duration,
+    commits_each: usize,
+    format: geodb::wal::WalFormat,
+) -> DurabilityRun {
     let dir = std::env::temp_dir().join(format!(
-        "c5-durability-{}-w{writers}-g{}",
+        "c5-durability-{}-w{writers}-g{}-{format:?}",
         std::process::id(),
         window.as_millis()
     ));
@@ -232,8 +238,13 @@ fn durability_run(writers: usize, window: Duration, commits_each: usize) -> Dura
         .collect();
     db.drain_events();
 
-    let (store, _) = geodb::wal::open(db, geodb::WalConfig::new(&dir).group_window(window))
-        .expect("durable store opens");
+    let (store, _) = geodb::wal::open(
+        db,
+        geodb::WalConfig::new(&dir)
+            .group_window(window)
+            .record_format(format),
+    )
+    .expect("durable store opens");
 
     // A reader pinned at the initial epoch for the whole storm: the
     // retained-epoch ring must stay bounded regardless.
@@ -306,6 +317,7 @@ fn durability_run(writers: usize, window: Duration, commits_each: usize) -> Dura
         commit_p99_us,
         max_group: status.max_group,
         fsyncs: status.fsyncs,
+        wal_payload_bytes: status.payload_bytes,
         epochs_retained,
         recovery_ok,
     }
@@ -325,7 +337,12 @@ fn durability_section(quick: bool) -> (serde_json::Value, bool) {
     let mut all_ok = true;
     let mut baseline = 0.0f64;
     for &(writers, window_ms) in shapes {
-        let r = durability_run(writers, Duration::from_millis(window_ms), commits_each);
+        let r = durability_run(
+            writers,
+            Duration::from_millis(window_ms),
+            commits_each,
+            geodb::wal::WalFormat::Binary,
+        );
         if writers == 1 && window_ms == 0 {
             baseline = r.commits_per_sec;
         }
@@ -375,6 +392,10 @@ fn durability_section(quick: bool) -> (serde_json::Value, bool) {
             ("max_group".into(), serde_json::Value::U64(r.max_group)),
             ("fsyncs".into(), serde_json::Value::U64(r.fsyncs)),
             (
+                "wal_payload_bytes".into(),
+                serde_json::Value::U64(r.wal_payload_bytes),
+            ),
+            (
                 "epochs_retained_under_pinned_reader".into(),
                 serde_json::Value::U64(r.epochs_retained),
             ),
@@ -398,6 +419,85 @@ fn durability_section(quick: bool) -> (serde_json::Value, bool) {
         ("rows".into(), serde_json::Value::Array(rows)),
     ]);
     (section, all_ok)
+}
+
+/// JSON vs binary record encoding under the same 4-writer commit storm:
+/// the payload-byte ratio is the headline (the binary codec's whole
+/// point), commits/sec rides along (smaller frames mean less checksum
+/// and write-syscall work per commit). Both runs end in crash+recovery.
+fn wal_encoding_section(quick: bool) -> (serde_json::Value, bool) {
+    let commits_each = if quick { 50 } else { 200 };
+    let writers = 4;
+    let json = durability_run(
+        writers,
+        Duration::ZERO,
+        commits_each,
+        geodb::wal::WalFormat::Json,
+    );
+    let binary = durability_run(
+        writers,
+        Duration::ZERO,
+        commits_each,
+        geodb::wal::WalFormat::Binary,
+    );
+    let size_ratio = json.wal_payload_bytes as f64 / binary.wal_payload_bytes.max(1) as f64;
+    eprintln!(
+        "[c5 throughput] wal encoding, {writers} writers x {commits_each} commits: \
+         json {} B vs binary {} B payload ({size_ratio:.2}x smaller), \
+         {:.0} vs {:.0} commits/s, recovery {}/{}",
+        json.wal_payload_bytes,
+        binary.wal_payload_bytes,
+        json.commits_per_sec,
+        binary.commits_per_sec,
+        if json.recovery_ok { "ok" } else { "DIVERGED" },
+        if binary.recovery_ok { "ok" } else { "DIVERGED" },
+    );
+    let ok = json.recovery_ok && binary.recovery_ok && size_ratio >= 2.0;
+    if size_ratio < 2.0 {
+        eprintln!(
+            "[c5 throughput] wal encoding: binary frames only {size_ratio:.2}x smaller \
+             than JSON (target >= 2x)"
+        );
+    }
+    let section = serde_json::Value::Object(vec![
+        (
+            "workload".into(),
+            serde_json::Value::String(
+                "identical 4-writer commit storm logged twice: record_format=Json \
+                 vs record_format=Binary (interned-string tree codec); both crash \
+                 and recover"
+                    .into(),
+            ),
+        ),
+        ("writers".into(), serde_json::Value::U64(writers as u64)),
+        ("commits".into(), serde_json::Value::U64(json.commits)),
+        (
+            "json_payload_bytes".into(),
+            serde_json::Value::U64(json.wal_payload_bytes),
+        ),
+        (
+            "binary_payload_bytes".into(),
+            serde_json::Value::U64(binary.wal_payload_bytes),
+        ),
+        ("size_ratio".into(), serde_json::Value::F64(size_ratio)),
+        (
+            "json_commits_per_sec".into(),
+            serde_json::Value::F64(json.commits_per_sec),
+        ),
+        (
+            "binary_commits_per_sec".into(),
+            serde_json::Value::F64(binary.commits_per_sec),
+        ),
+        (
+            "commit_speedup".into(),
+            serde_json::Value::F64(binary.commits_per_sec / json.commits_per_sec.max(1e-9)),
+        ),
+        (
+            "recovery_ok".into(),
+            serde_json::Value::Bool(json.recovery_ok && binary.recovery_ok),
+        ),
+    ]);
+    (section, ok)
 }
 
 fn main() {
@@ -434,6 +534,7 @@ fn main() {
     );
 
     let (durability, recovery_ok) = durability_section(quick);
+    let (wal_encoding, encoding_ok) = wal_encoding_section(quick);
 
     let base_rps = results[0].requests_per_sec;
     let rows: Vec<serde_json::Value> = results
@@ -627,6 +728,7 @@ fn main() {
         fields.push(("tracing".into(), tracing_section));
         fields.push(("slo".into(), slo_section));
         fields.push(("durability".into(), durability));
+        fields.push(("wal_encoding".into(), wal_encoding));
     }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
@@ -647,10 +749,15 @@ fn main() {
     }
 
     // Durability gate: every crash + recovery in the durability section
-    // must reproduce the acknowledged state byte-for-byte. Throughput is
-    // advisory; divergence is a correctness failure.
-    if std::env::var("WAL_GATE").is_ok() && !recovery_ok {
-        eprintln!("[c5 throughput] WAL_GATE: recovery diverged from acknowledged state");
+    // must reproduce the acknowledged state byte-for-byte, and the binary
+    // record codec must hold its >= 2x payload-size win over JSON.
+    // Throughput is advisory; divergence or a size regression is a
+    // correctness failure.
+    if std::env::var("WAL_GATE").is_ok() && !(recovery_ok && encoding_ok) {
+        eprintln!(
+            "[c5 throughput] WAL_GATE: recovery diverged or binary encoding \
+             lost its size win"
+        );
         std::process::exit(1);
     }
 }

@@ -50,6 +50,7 @@ pub mod storage;
 pub mod store;
 pub mod value;
 pub mod wal;
+pub mod walcodec;
 
 pub use catalog::Catalog;
 pub use db::{Aggregate, Database, IndexKind, MethodFn, QueryStats, RefResolver};

@@ -768,6 +768,9 @@ struct StoreShared {
     /// Mirror of `wal.is_some()` so the write path can branch without
     /// touching the WAL lock.
     wal_attached: AtomicBool,
+    /// Mirror of the attached WAL's record format (true = binary
+    /// frames), for the same lock-free reason.
+    wal_binary: AtomicBool,
     /// Group-commit window in nanoseconds (copied from the WAL config
     /// at attach; leaders read it without the WAL lock).
     group_window_nanos: AtomicU64,
@@ -901,6 +904,7 @@ impl DbStore {
                 epoch: AtomicU64::new(epoch),
                 wal: Mutex::new(None),
                 wal_attached: AtomicBool::new(false),
+                wal_binary: AtomicBool::new(true),
                 group_window_nanos: AtomicU64::new(0),
                 commit: Mutex::new(CommitState::default()),
                 commit_cv: Condvar::new(),
@@ -923,6 +927,7 @@ impl DbStore {
             w.db.next_oid()
         };
         let window = wal.config().group_window;
+        let binary = wal.config().record_format == wal::WalFormat::Binary;
         {
             // Lock order: wal before commit.
             let mut wal_slot = lock(&store.shared.wal);
@@ -935,6 +940,7 @@ impl DbStore {
             .shared
             .group_window_nanos
             .store(window.as_nanos() as u64, Ordering::Relaxed);
+        store.shared.wal_binary.store(binary, Ordering::Relaxed);
         store.shared.wal_attached.store(true, Ordering::Relaxed);
         store
     }
@@ -1044,7 +1050,12 @@ impl DbStore {
                 events: events.clone(),
                 ops: w.redo_ops(&events),
             };
-            let payload = wal::encode_payload(&record)?;
+            let format = if self.shared.wal_binary.load(Ordering::Relaxed) {
+                wal::WalFormat::Binary
+            } else {
+                wal::WalFormat::Json
+            };
+            let payload = wal::encode_payload_with(&record, format)?;
             // Enqueue while still holding the writer lock: the commit
             // queue (and therefore the WAL) stays in strict epoch order.
             let c = lock(&self.shared.commit);
@@ -1156,6 +1167,12 @@ impl DbStore {
             obs::counter_add("db.wal_records", batch.len() as u64);
             obs::counter_add("db.wal_fsyncs", 1);
             obs::record_value("db.wal_group_size", batch.len() as u64);
+            let mut bytes = 0u64;
+            for p in batch {
+                obs::record_value("db.wal_commit_bytes", p.payload.len() as u64);
+                bytes += p.payload.len() as u64;
+            }
+            obs::counter_add("db.wal_bytes_written", bytes);
         }
         // The crash point between durability and visibility.
         faultsim::fire("db.publish").map_err(|f| GeoDbError::Storage(f.to_string()))?;
@@ -1262,6 +1279,7 @@ impl DbStore {
         let json = crate::snapshot::save_snapshot(&snap)?;
         let next_oid = w.db.next_oid();
         let window = config.group_window;
+        let binary = config.record_format == wal::WalFormat::Binary;
         let mut new_wal = Wal::create(config)?;
         new_wal.checkpoint(&json, snap.epoch(), next_oid)?;
         {
@@ -1276,6 +1294,7 @@ impl DbStore {
         self.shared
             .group_window_nanos
             .store(window.as_nanos() as u64, Ordering::Relaxed);
+        self.shared.wal_binary.store(binary, Ordering::Relaxed);
         self.shared.wal_attached.store(true, Ordering::Relaxed);
         Ok(())
     }

@@ -43,6 +43,7 @@ use crate::query::DbEvent;
 use crate::schema::SchemaDef;
 use crate::snapshot;
 use crate::store::DbStore;
+use crate::walcodec;
 
 /// Log file name inside a WAL directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -52,7 +53,13 @@ pub const CHECKPOINT_FILE: &str = "checkpoint.json";
 pub const CHECKPOINT_META_FILE: &str = "checkpoint.meta.json";
 
 const WAL_MAGIC: &[u8; 8] = b"GEODBWAL";
-const WAL_VERSION: u32 = 1;
+/// Current on-disk version. Version 1 logs held JSON frames only;
+/// version 2 adds binary frames (`walcodec`). Frames are sniffed per
+/// record, so readers accept both versions and a single log may mix
+/// formats (e.g. a v1 log reopened by a binary-writing store).
+const WAL_VERSION: u32 = 2;
+/// Oldest version this build still reads.
+const WAL_MIN_VERSION: u32 = 1;
 /// Magic + version.
 const FILE_HEADER_LEN: u64 = 12;
 /// Payload length (u32 le) + payload checksum (u64 le).
@@ -104,11 +111,45 @@ pub struct WalRecord {
     pub ops: Vec<WalOp>,
 }
 
+/// Which encoding newly appended records use. Readers never consult
+/// this — each frame's payload is sniffed by its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalFormat {
+    /// Human-greppable JSON, the version-1 format.
+    Json,
+    /// Compact binary frames (`walcodec`): varint integers and an
+    /// interned string table, typically 2-4x smaller than JSON.
+    #[default]
+    Binary,
+}
+
 /// Encode a record into a frame payload (JSON bytes).
 pub fn encode_payload(rec: &WalRecord) -> Result<Vec<u8>> {
     serde_json::to_string(rec)
         .map(String::into_bytes)
         .map_err(|e| GeoDbError::Storage(format!("encode wal record: {e}")))
+}
+
+/// Encode a record into a frame payload in the requested format.
+pub fn encode_payload_with(rec: &WalRecord, format: WalFormat) -> Result<Vec<u8>> {
+    match format {
+        WalFormat::Json => encode_payload(rec),
+        WalFormat::Binary => Ok(walcodec::encode_record(rec)),
+    }
+}
+
+/// Decode one frame payload, sniffing the format from its first byte:
+/// `0x01` is a binary frame, anything else is parsed as JSON. `None`
+/// means the payload is malformed in either format — the scan treats
+/// that as a torn tail.
+pub fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    if payload.first() == Some(&walcodec::BINARY_MARKER) {
+        walcodec::decode_record(payload)
+    } else {
+        std::str::from_utf8(payload)
+            .ok()
+            .and_then(|t| serde_json::from_str::<WalRecord>(t).ok())
+    }
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -136,6 +177,9 @@ pub struct WalConfig {
     pub fsync: bool,
     /// Auto-checkpoint after this many appended records (0 = manual).
     pub checkpoint_every: u64,
+    /// Encoding for newly appended records. Reading always sniffs per
+    /// frame, so changing this mid-log is safe.
+    pub record_format: WalFormat,
 }
 
 impl WalConfig {
@@ -145,6 +189,7 @@ impl WalConfig {
             group_window: Duration::ZERO,
             fsync: true,
             checkpoint_every: 0,
+            record_format: WalFormat::default(),
         }
     }
 
@@ -162,6 +207,11 @@ impl WalConfig {
         self.checkpoint_every = n;
         self
     }
+
+    pub fn record_format(mut self, f: WalFormat) -> WalConfig {
+        self.record_format = f;
+        self
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -174,6 +224,9 @@ pub struct WalStatus {
     pub path: PathBuf,
     /// Records appended since open (not counting replayed history).
     pub records: u64,
+    /// Sum of encoded payload sizes appended since open (frame headers
+    /// excluded) — the number the JSON-vs-binary comparison reads.
+    pub payload_bytes: u64,
     /// Logical file length (end of the last complete frame).
     pub bytes: u64,
     /// Durable prefix length (confirmed by fsync).
@@ -194,6 +247,7 @@ pub struct Wal {
     len: u64,
     synced_len: u64,
     records: u64,
+    payload_bytes: u64,
     records_since_checkpoint: u64,
     fsyncs: u64,
     groups: u64,
@@ -256,6 +310,7 @@ impl Wal {
             len: valid_len,
             synced_len: valid_len,
             records: 0,
+            payload_bytes: 0,
             records_since_checkpoint: 0,
             fsyncs: 0,
             groups: 0,
@@ -288,6 +343,7 @@ impl Wal {
             .map_err(|e| io_error("append", &self.path, &e))?;
         self.len += frame.len() as u64;
         self.records += 1;
+        self.payload_bytes += payload.len() as u64;
         self.records_since_checkpoint += 1;
         Ok(())
     }
@@ -359,6 +415,7 @@ impl Wal {
         WalStatus {
             path: self.path.clone(),
             records: self.records,
+            payload_bytes: self.payload_bytes,
             bytes: self.len,
             synced_bytes: self.synced_len,
             fsyncs: self.fsyncs,
@@ -410,11 +467,11 @@ pub fn read_wal(path: &Path) -> Result<WalReadReport> {
         ));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != WAL_VERSION {
+    if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&version) {
         return Err(GeoDbError::snapshot_load(
             format!("read {path:?}"),
             SnapshotCause::Format(format!(
-                "unsupported WAL version {version} (expected {WAL_VERSION})"
+                "unsupported WAL version {version} (expected {WAL_MIN_VERSION}..={WAL_VERSION})"
             )),
         ));
     }
@@ -442,10 +499,7 @@ pub fn read_wal(path: &Path) -> Result<WalReadReport> {
             torn = Some("frame checksum mismatch".into());
             break;
         }
-        let parsed = std::str::from_utf8(payload)
-            .ok()
-            .and_then(|t| serde_json::from_str::<WalRecord>(t).ok());
-        match parsed {
+        match decode_payload(payload) {
             Some(rec) => records.push(rec),
             None => {
                 torn = Some("frame payload does not parse".into());
@@ -536,11 +590,11 @@ pub fn recover(config: WalConfig) -> Result<(DbStore, RecoveryReport)> {
             SnapshotCause::Json(e.to_string()),
         )
     })?;
-    if meta.version != WAL_VERSION {
+    if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&meta.version) {
         return Err(GeoDbError::snapshot_load(
             format!("parse {meta_path:?}"),
             SnapshotCause::Format(format!(
-                "unsupported checkpoint version {} (expected {WAL_VERSION})",
+                "unsupported checkpoint version {} (expected {WAL_MIN_VERSION}..={WAL_VERSION})",
                 meta.version
             )),
         ));

@@ -499,6 +499,52 @@ impl Dispatcher {
         Ok(outcome)
     }
 
+    /// Feed a batch of database events through the active engine for
+    /// one session — the batched form of [`Dispatcher::dispatch_db`]
+    /// that the session server's shard workers use. The session context
+    /// is resolved and the reader pin revalidated once for the whole
+    /// batch, and the engine's batch lane amortizes table-walk state
+    /// across runs of identical events (the server pre-sorts by event
+    /// discriminant, so runs are long). Returns one result per event,
+    /// in input order; the outer `Err` is session-level (unknown
+    /// session).
+    pub fn dispatch_db_batch(
+        &mut self,
+        sid: SessionId,
+        events: Vec<geodb::query::DbEvent>,
+    ) -> Result<Vec<Result<active::Outcome<Customization>>>> {
+        let _span = obs::span("dispatcher.dispatch_db_batch");
+        let ctx = self.context_of(sid)?;
+        // One atomic epoch load for the whole batch: every event runs
+        // against the same pinned data version, like one interaction.
+        self.revalidate();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        let outcomes = self
+            .engine
+            .dispatch_batch(events.into_iter().map(Event::Db), &ctx);
+        obs::counter_add("dispatcher.events", outcomes.len() as u64);
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (outcome, kind) in outcomes.into_iter().zip(kinds) {
+            if obs::enabled() {
+                obs::counter_add_labeled(
+                    "dispatcher.events_by_kind",
+                    &[("event_kind", &kind.to_string())],
+                    1,
+                );
+            }
+            results.push(match outcome {
+                Ok(o) => {
+                    if !o.trace.entries.is_empty() {
+                        self.explain.push(o.trace.clone());
+                    }
+                    Ok(o)
+                }
+                Err(e) => Err(e.into()),
+            });
+        }
+        Ok(results)
+    }
+
     /// Open the Schema window of a schema (the user "activates the
     /// generic interface, giving a db schema name as a parameter").
     /// Returns every window opened — more than one when a `Null` schema

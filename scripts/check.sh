@@ -1,39 +1,62 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, tests, lints, formatting.
-# Run from anywhere; operates on the repository root.
+# Full verification gate: release build, tests, lints, formatting, and
+# the perf/durability smoke gates. Run from anywhere; operates on the
+# repository root.
+#
+#   scripts/check.sh           full gate (what CI runs)
+#   scripts/check.sh --quick   inner-loop mode: tests + the gated bench
+#                              smokes, skipping clippy/fmt and the
+#                              seeded release crash sweep
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: $0 [--quick]" >&2
+  exit 2
+fi
+
+if [[ "$QUICK" == 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release --workspace
+fi
 
 echo "==> cargo test -q"
 cargo test -q --workspace
 
-echo "==> cargo clippy -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+if [[ "$QUICK" == 0 ]]; then
+  echo "==> cargo clippy -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+  echo "==> cargo fmt --check"
+  cargo fmt --all --check
+fi
 
-echo "==> Dispatch smoke (c1_rule_selection, quick, compiled-tier gate)"
+echo "==> Dispatch smoke (c1_rule_selection, quick, compiled-tier + batch-lane gates)"
 # Fails if the cold compiled walk is slower than the cold index walk at
-# >= 1000 rules; rewrites BENCH_dispatch.json (quick rows).
+# >= 1000 rules, or the batch lane is slower per event than the
+# per-event loop at batch >= 16; rewrites BENCH_dispatch.json (quick
+# rows, incl. the batch and hot_reload sections).
 BENCH_QUICK=1 DISPATCH_GATE=1 cargo bench -p bench --bench c1_rule_selection
 
 echo "==> SLO + WAL smoke (c5_throughput, quick)"
-# Fails if the clean serving run breaches the availability SLO or any
-# durable-write crash + recovery diverges from the acknowledged state;
-# writes BENCH_throughput.json (tracing + slo + durability sections)
-# and BENCH_slo.json.
+# Fails if the clean serving run breaches the availability SLO, any
+# durable-write crash + recovery diverges from the acknowledged state,
+# or the binary WAL codec loses its >= 2x size win over JSON; writes
+# BENCH_throughput.json (tracing + slo + durability + wal_encoding
+# sections) and BENCH_slo.json.
 BENCH_QUICK=1 SLO_SMOKE=1 WAL_GATE=1 cargo bench -p bench --bench c5_throughput
 
-echo "==> Crash recovery (seeded chains, release)"
-# The durable write path: WAL replay, torn tails, kill points between
-# append/fsync/publish. CI sweeps the same seeds.
-for seed in 7 1994 271828; do
-  CRASH_SEED=$seed cargo test -q --release -p activegis --test crash_recovery
-done
+if [[ "$QUICK" == 0 ]]; then
+  echo "==> Crash recovery (seeded chains, release)"
+  # The durable write path: WAL replay, torn tails, kill points between
+  # append/fsync/publish. CI sweeps the same seeds.
+  for seed in 7 1994 271828; do
+    CRASH_SEED=$seed cargo test -q --release -p activegis --test crash_recovery
+  done
+fi
 
 echo "All checks passed."

@@ -392,6 +392,452 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Batch lane: `dispatch_batch` amortizes context packing, route
+// classification and selection lookups across a batch, but it must be
+// observationally identical to dispatching the same events one at a
+// time — against both the per-event compiled walk and the linear
+// oracle, across interleaved rule mutations (including priority edits,
+// which flip the epoch mid-run).
+
+mod batch {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    pub(super) enum Mutation {
+        Add(Box<RuleSpec>),
+        Remove(usize),
+        Toggle(usize, bool),
+        Priority(usize, i32),
+        Quiet,
+    }
+
+    pub(super) fn arb_mutation() -> impl Strategy<Value = Mutation> {
+        prop_oneof![
+            arb_rule_spec().prop_map(|s| Mutation::Add(Box::new(s))),
+            arb_rule_spec().prop_map(|s| Mutation::Add(Box::new(s))),
+            (0usize..32).prop_map(Mutation::Remove),
+            (0usize..32, any::<bool>()).prop_map(|(i, on)| Mutation::Toggle(i, on)),
+            (0usize..32, -3i32..4).prop_map(|(i, p)| Mutation::Priority(i, p)),
+            Just(Mutation::Quiet),
+        ]
+    }
+
+    /// Three engines fed the same rule book: the batch lane under test,
+    /// a per-event compiled arm, and the linear oracle. The batch lane
+    /// runs tracing off (its production configuration), so the arms
+    /// compare payloads, fired names and cascade counts, not traces —
+    /// the main property test already pins traces.
+    struct Tri {
+        batched: Engine<usize>,
+        per_event: Engine<usize>,
+        linear: Engine<usize>,
+        names: Vec<String>,
+        serial: usize,
+    }
+
+    impl Tri {
+        fn new() -> Tri {
+            let compiled = || EngineConfig {
+                strategy: DispatchStrategy::Compiled,
+                hybrid_linear_threshold: 0,
+                tracing: false,
+                ..Default::default()
+            };
+            Tri {
+                batched: Engine::with_config(compiled()),
+                per_event: Engine::with_config(compiled()),
+                linear: Engine::with_config(EngineConfig {
+                    strategy: DispatchStrategy::Linear,
+                    tracing: false,
+                    ..Default::default()
+                }),
+                names: Vec::new(),
+                serial: 0,
+            }
+        }
+
+        fn engines(&mut self) -> [&mut Engine<usize>; 3] {
+            [&mut self.batched, &mut self.per_event, &mut self.linear]
+        }
+
+        fn add(&mut self, spec: &RuleSpec) -> Result<(), TestCaseError> {
+            let serial = self.serial;
+            let name = format!("{}/{}", FAMILIES[spec.family], serial);
+            let results = self
+                .engines()
+                .map(|e| e.add_rule(make_rule(&name, spec, serial)).is_ok());
+            prop_assert_eq!(results[0], results[1]);
+            prop_assert_eq!(results[0], results[2]);
+            if results[0] {
+                self.names.push(name);
+            }
+            self.serial += 1;
+            Ok(())
+        }
+
+        fn mutate(&mut self, m: &Mutation) -> Result<(), TestCaseError> {
+            let name = |names: &[String], i: usize| {
+                (!names.is_empty()).then(|| names[i % names.len()].clone())
+            };
+            match m {
+                Mutation::Add(spec) => self.add(spec)?,
+                Mutation::Remove(i) => {
+                    if let Some(name) = name(&self.names, *i) {
+                        let results = self.engines().map(|e| e.remove_rule(&name).is_ok());
+                        prop_assert_eq!(results[0], results[1]);
+                        prop_assert_eq!(results[0], results[2]);
+                        if results[0] {
+                            self.names.retain(|n| n != &name);
+                        }
+                    }
+                }
+                Mutation::Toggle(i, on) => {
+                    if let Some(name) = name(&self.names, *i) {
+                        let on = *on;
+                        let results = self.engines().map(|e| e.set_enabled(&name, on).is_ok());
+                        prop_assert_eq!(results[0], results[1]);
+                        prop_assert_eq!(results[0], results[2]);
+                    }
+                }
+                Mutation::Priority(i, p) => {
+                    if let Some(name) = name(&self.names, *i) {
+                        let p = *p;
+                        let results = self.engines().map(|e| e.set_priority(&name, p).is_ok());
+                        prop_assert_eq!(results[0], results[1]);
+                        prop_assert_eq!(results[0], results[2]);
+                    }
+                }
+                Mutation::Quiet => {}
+            }
+            Ok(())
+        }
+
+        fn run_batch(
+            &mut self,
+            events: &[Event],
+            ctx: &SessionContext,
+        ) -> Result<(), TestCaseError> {
+            let outs = self.batched.dispatch_batch(events.iter().cloned(), ctx);
+            prop_assert_eq!(outs.len(), events.len());
+            for (event, got) in events.iter().zip(&outs) {
+                let pe = self.per_event.dispatch(event.clone(), ctx);
+                let or = self.linear.dispatch(event.clone(), ctx);
+                match (got, &pe, &or) {
+                    (Ok(a), Ok(b), Ok(c)) => {
+                        prop_assert_eq!(&a.customizations, &b.customizations, "on {:?}", event);
+                        prop_assert_eq!(&a.customizations, &c.customizations, "on {:?}", event);
+                        prop_assert_eq!(a.fired_names(), b.fired_names(), "on {:?}", event);
+                        prop_assert_eq!(a.fired_names(), c.fired_names(), "on {:?}", event);
+                        prop_assert_eq!(a.events_processed, b.events_processed);
+                        prop_assert_eq!(a.events_processed, c.events_processed);
+                    }
+                    (Err(a), Err(b), Err(c)) => {
+                        prop_assert_eq!(a, b);
+                        prop_assert_eq!(a, c);
+                    }
+                    (a, b, c) => {
+                        return Err(TestCaseError::fail(format!(
+                            "arms disagree on {event:?}: batch {a:?} vs per-event {b:?} \
+                             vs linear {c:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn dispatch_batch_matches_per_event_and_linear(
+            initial in prop::collection::vec(arb_rule_spec(), 0..10),
+            rounds in prop::collection::vec(
+                (arb_mutation(), prop::collection::vec(arb_event(), 1..16), 0usize..4),
+                1..6,
+            ),
+        ) {
+            let sessions = sessions();
+            let mut t = Tri::new();
+            for spec in &initial {
+                t.add(spec)?;
+            }
+            for (mutation, events, c) in &rounds {
+                t.mutate(mutation)?;
+                let ctx = &sessions[*c];
+                // Twice: the repeat replays the batch against warm lane
+                // memos and warm winner caches.
+                t.run_batch(events, ctx)?;
+                t.run_batch(events, ctx)?;
+            }
+            prop_assert_eq!(t.batched.len(), t.linear.len());
+            prop_assert_eq!(t.per_event.len(), t.linear.len());
+        }
+    }
+
+    /// A rule quarantined *inside* a batch (circuit breaker trip → epoch
+    /// bump) must invalidate the lane's memoized selections mid-flight:
+    /// the remaining events see the post-quarantine rule book, exactly
+    /// as a per-event loop would.
+    #[test]
+    fn mid_batch_quarantine_trip_matches_per_event() {
+        fn build() -> Engine<usize> {
+            let mut e = Engine::with_config(EngineConfig {
+                strategy: DispatchStrategy::Compiled,
+                hybrid_linear_threshold: 0,
+                tracing: false,
+                quarantine_threshold: 2,
+                ..Default::default()
+            });
+            e.add_rule(Rule::integrity(
+                "boom",
+                EventPattern::External {
+                    name: Some("tick".into()),
+                },
+                Arc::new(|_, _| panic!("injected mid-batch fault")),
+            ))
+            .expect("unique");
+            e.add_rule(Rule::customization(
+                "style",
+                EventPattern::Any,
+                ContextPattern::any(),
+                9usize,
+            ))
+            .expect("unique");
+            e
+        }
+
+        let ctx = SessionContext::new("juliano", "planner", "pole_manager");
+        // Interleave a Db event between the faulting ticks so the lane's
+        // route memos flip while the fault counter climbs: faults on the
+        // first two ticks, quarantine at the threshold, clean ticks after.
+        let batch = [
+            Event::external("tick"),
+            Event::Db(DbEvent::GetSchema {
+                schema: "phone_net".into(),
+            }),
+            Event::external("tick"),
+            Event::external("tick"),
+            Event::Db(DbEvent::GetSchema {
+                schema: "phone_net".into(),
+            }),
+            Event::external("tick"),
+        ];
+
+        let mut batched = build();
+        let outs = batched.dispatch_batch(batch.iter().cloned(), &ctx);
+        assert_eq!(outs.len(), batch.len());
+
+        // Quarantine state is scoped to the rule base, so the per-event
+        // arm gets its own identically-built engine.
+        let mut seq = build();
+        for (i, (event, got)) in batch.iter().zip(&outs).enumerate() {
+            let want = seq.dispatch(event.clone(), &ctx).expect("fail-open");
+            let got = got.as_ref().expect("fail-open");
+            assert_eq!(
+                got.customizations, want.customizations,
+                "event {i} ({event:?})"
+            );
+            assert_eq!(got.fired_names(), want.fired_names(), "event {i}");
+            assert_eq!(
+                got.faults.len(),
+                want.faults.len(),
+                "event {i} fault counts"
+            );
+            // The `Any` customization survives every fault (fail-open).
+            assert_eq!(got.customizations, vec![9], "event {i}");
+        }
+        // Ticks 0 and 2 fault; the threshold trips on the second fault,
+        // so ticks 3 and 5 (and the Db events) are fault-free.
+        let fault_counts: Vec<usize> = outs
+            .iter()
+            .map(|o| o.as_ref().expect("fail-open").faults.len())
+            .collect();
+        assert_eq!(fault_counts, vec![1, 0, 1, 0, 0, 0]);
+        assert_eq!(outs[0].as_ref().unwrap().faults[0].rule, "boom");
+        assert_eq!(batched.quarantined(), vec!["boom"]);
+        assert_eq!(seq.quarantined(), vec!["boom"]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot reload: patching the compiled artifact on a single-rule mutation
+// must yield tables observationally identical to a full recompile of
+// the same rule book.
+
+mod hot_reload {
+    use super::batch::{arb_mutation, Mutation};
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn incremental_patch_matches_full_recompile(
+            initial in prop::collection::vec(arb_rule_spec(), 0..10),
+            muts in prop::collection::vec(arb_mutation(), 1..12),
+            probes in prop::collection::vec(arb_event(), 1..5),
+        ) {
+            let sessions = sessions();
+            let compiled = || EngineConfig {
+                strategy: DispatchStrategy::Compiled,
+                hybrid_linear_threshold: 0,
+                ..Default::default()
+            };
+            // Separate bases: `invalidate_compiled` is base-global, so
+            // the full-recompile arm must not share the patched arm's
+            // artifact cache.
+            let mut pair = MutPair::new(
+                Engine::with_config(compiled()),
+                Engine::with_config(compiled()),
+            );
+            for spec in &initial {
+                pair.add(spec)?;
+            }
+            pair.patched.precompile();
+            pair.full.precompile();
+
+            // A Db-pattern customization with already-wide interners is
+            // always spliceable — this pins the patch path at least once
+            // per case regardless of what the random mutations do.
+            let seed = RuleSpec {
+                event: EventPattern::Db {
+                    kind: Some(DbEventKind::Insert),
+                    schema: Some(SCHEMAS[0].to_string()),
+                    class: Some(CLASSES[0].to_string()),
+                },
+                context: ContextPattern::any(),
+                family: 1,
+                group: RuleGroup::Customization,
+                priority: 2,
+                guarded: false,
+                raises: false,
+            };
+            pair.add(&seed)?;
+            let stats = pair.patched.precompile();
+            prop_assert!(stats.patched, "db-pattern add must splice");
+            pair.full.rule_base().invalidate_compiled();
+            let full_stats = pair.full.precompile();
+            prop_assert!(!full_stats.patched);
+            prop_assert_eq!(stats.rules, full_stats.rules);
+            let mut patched_seen = 1usize;
+
+            for m in &muts {
+                pair.mutate(m)?;
+                let a = pair.patched.precompile();
+                pair.full.rule_base().invalidate_compiled();
+                let b = pair.full.precompile();
+                prop_assert!(!b.patched);
+                if a.patched {
+                    patched_seen += 1;
+                }
+                prop_assert_eq!(a.generation, b.generation);
+                prop_assert_eq!(a.rules, b.rules);
+                for event in &probes {
+                    for ctx in &sessions {
+                        pair.compare(event, ctx)?;
+                    }
+                }
+            }
+            prop_assert!(patched_seen >= 1);
+        }
+    }
+
+    /// Two engines on independent bases receiving the same mutations;
+    /// arm A keeps its artifact warm (patches), arm B throws the
+    /// artifact away before every recompile.
+    struct MutPair {
+        patched: Engine<usize>,
+        full: Engine<usize>,
+        names: Vec<String>,
+        serial: usize,
+    }
+
+    impl MutPair {
+        fn new(patched: Engine<usize>, full: Engine<usize>) -> MutPair {
+            MutPair {
+                patched,
+                full,
+                names: Vec::new(),
+                serial: 0,
+            }
+        }
+
+        fn add(&mut self, spec: &RuleSpec) -> Result<(), TestCaseError> {
+            let serial = self.serial;
+            let name = format!("{}/{}", FAMILIES[spec.family], serial);
+            let a = self
+                .patched
+                .add_rule(make_rule(&name, spec, serial))
+                .is_ok();
+            let b = self.full.add_rule(make_rule(&name, spec, serial)).is_ok();
+            prop_assert_eq!(a, b);
+            if a {
+                self.names.push(name);
+            }
+            self.serial += 1;
+            Ok(())
+        }
+
+        fn mutate(&mut self, m: &Mutation) -> Result<(), TestCaseError> {
+            let pick = |names: &[String], i: usize| {
+                (!names.is_empty()).then(|| names[i % names.len()].clone())
+            };
+            match m {
+                Mutation::Add(spec) => self.add(spec)?,
+                Mutation::Remove(i) => {
+                    if let Some(name) = pick(&self.names, *i) {
+                        let a = self.patched.remove_rule(&name).is_ok();
+                        let b = self.full.remove_rule(&name).is_ok();
+                        prop_assert_eq!(a, b);
+                        if a {
+                            self.names.retain(|n| n != &name);
+                        }
+                    }
+                }
+                Mutation::Toggle(i, on) => {
+                    if let Some(name) = pick(&self.names, *i) {
+                        let a = self.patched.set_enabled(&name, *on).is_ok();
+                        let b = self.full.set_enabled(&name, *on).is_ok();
+                        prop_assert_eq!(a, b);
+                    }
+                }
+                Mutation::Priority(i, p) => {
+                    if let Some(name) = pick(&self.names, *i) {
+                        let a = self.patched.set_priority(&name, *p).is_ok();
+                        let b = self.full.set_priority(&name, *p).is_ok();
+                        prop_assert_eq!(a, b);
+                    }
+                }
+                Mutation::Quiet => {}
+            }
+            Ok(())
+        }
+
+        fn compare(&mut self, event: &Event, ctx: &SessionContext) -> Result<(), TestCaseError> {
+            let a = self.patched.dispatch(event.clone(), ctx);
+            let b = self.full.dispatch(event.clone(), ctx);
+            match (&a, &b) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.customizations, &b.customizations, "on {:?}", event);
+                    prop_assert_eq!(a.fired_names(), b.fired_names(), "on {:?}", event);
+                    prop_assert_eq!(a.events_processed, b.events_processed);
+                    prop_assert_eq!(&a.trace.entries, &b.trace.entries, "on {:?}", event);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "patched vs full recompile disagree on {event:?}: {a:?} vs {b:?}"
+                    )))
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Multi-threaded stress: the differential property must also hold while a
 // writer thread mutates the shared rule base under concurrent readers.
 

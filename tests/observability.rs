@@ -330,8 +330,8 @@ fn dispatch_batch_yields_a_causal_trace_tree() {
     let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
     for required in [
         "server.dispatch_batch",
-        "dispatcher.dispatch_db",
-        "engine.dispatch",
+        "dispatcher.dispatch_db_batch",
+        "engine.dispatch_batch",
         "db.pin",
     ] {
         assert!(
