@@ -43,6 +43,12 @@ commands:
   :wal open <dir>                         make the store durable in <dir> (recover or fresh)
   :wal checkpoint                         checkpoint now and truncate the log
   :wal window <ms>                        set the group-commit window
+  :repl attach <id>                       attach a replica (full sync to current epoch)
+  :repl status                            applied epoch / lag / sync counters per replica
+  :repl sync                              drive every replica to the primary's epoch
+  :repl policy primary|replica            route reads to primary / first replica
+  :repl policy staleness <n>              replica reads within n epochs, else primary
+  :repl promote <id> <dir>                fail over: replay <dir>'s WAL tail onto <id>
   :strategy [indexed|linear|compiled]     show or switch rule dispatch strategy
   :cache                                  winner-cache hit/miss/invalidation stats
   :compile                                compile rules now; show tables + latency
@@ -331,6 +337,99 @@ impl Repl {
                 }
                 Err(_) => println!("error: `{ms}` is not a duration in ms"),
             },
+            [":repl", "attach", id] => match self.gis.attach_replica(id) {
+                Ok(s) => println!(
+                    "replica {} attached at epoch {} ({} full-sync byte(s))",
+                    s.id, s.applied, s.full_bytes
+                ),
+                Err(e) => println!("error: {e}"),
+            },
+            [":repl", "status"] => {
+                let statuses = self.gis.replication_status();
+                if statuses.is_empty() {
+                    println!("no replicas attached; `:repl attach <id>`");
+                }
+                for s in statuses {
+                    println!(
+                        "replica {}: applied epoch {} (primary {}, lag {}), \
+                         {} delta sync(s) / {} byte(s), {} full sync(s) / {} byte(s){}",
+                        s.id,
+                        s.applied,
+                        s.primary_epoch,
+                        s.lag,
+                        s.delta_syncs,
+                        s.delta_bytes,
+                        s.full_syncs,
+                        s.full_bytes,
+                        if s.streaming { ", streaming" } else { "" }
+                    );
+                }
+            }
+            [":repl", "sync"] => match self.gis.sync_replicas() {
+                Ok(()) => {
+                    println!("replicas synced to epoch {}", self.gis.db_store().epoch())
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            [":repl", "policy", "primary"] => {
+                match self.gis.set_read_policy(activegis::ReadRouting::Primary) {
+                    Ok(()) => println!("reads routed to the primary"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            [":repl", "policy", "replica"] => {
+                match self.gis.set_read_policy(activegis::ReadRouting::Replica) {
+                    Ok(()) => println!("reads routed to the first replica (unbounded staleness)"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            [":repl", "policy", "staleness", n] => match n.parse::<u64>() {
+                Ok(n) => {
+                    match self
+                        .gis
+                        .set_read_policy(activegis::ReadRouting::BoundedStaleness(n))
+                    {
+                        Ok(()) => println!(
+                            "reads routed to the first replica within {n} epoch(s) of the primary"
+                        ),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Err(_) => println!("error: `{n}` is not an epoch bound"),
+            },
+            [":repl", "promote", id, dir] => {
+                match self.gis.promote_replica(id, geodb::WalConfig::new(*dir)) {
+                    Ok(r) => {
+                        println!(
+                            "promoted {id} from applied epoch {} to epoch {} \
+                             ({} record(s) replayed, {} torn byte(s) cut{}); \
+                             sessions reset — `login` again",
+                            r.replica_applied,
+                            r.promoted_epoch,
+                            r.replayed_records,
+                            r.truncated_bytes,
+                            if r.via_full_recovery {
+                                ", via full recovery"
+                            } else {
+                                ""
+                            }
+                        );
+                        self.session = None;
+                        match self.gis.load_stored_customizations() {
+                            Ok((programs, rules, skipped)) => {
+                                println!(
+                                    "reinstalled {programs} stored program(s) ({rules} rules)"
+                                );
+                                for (name, why) in skipped {
+                                    println!("  skipped {name}: {why}");
+                                }
+                            }
+                            Err(e) => println!("error reloading stored programs: {e}"),
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
             [":strategy"] => println!("{:?}", self.gis.dispatch_strategy()),
             [":strategy", "indexed"] => {
                 self.gis

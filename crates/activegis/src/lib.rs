@@ -44,7 +44,7 @@
 pub mod server;
 pub mod system;
 
-pub use server::{ServerSession, SessionServer};
+pub use server::{ReadRouting, ServerSession, SessionServer};
 pub use system::ActiveGis;
 
 // One-stop re-exports so applications can depend on `activegis` alone.
@@ -61,8 +61,9 @@ pub use faultsim::{FailpointStats, FaultAction, Trigger, FAILPOINTS};
 pub use geodb::db::{Database, IndexKind};
 pub use geodb::gen::{phone_net_db, phone_net_schema, TelecomConfig, TelecomStats};
 pub use geodb::{
-    AttrType, ClassDef, CmpOp, DbEvent, DbEventKind, Geometry, Instance, Oid, Point, Predicate,
-    RecoveryReport, Rect, SchemaDef, Value, WalConfig, WalStatus,
+    AttrType, ClassDef, CmpOp, DbEvent, DbEventKind, Epoch, Geometry, Instance, Oid, Point,
+    Predicate, PromotionReport, RecoveryReport, Rect, ReplicaStatus, ReplicaStore, SchemaDef,
+    Value, WalConfig, WalStatus,
 };
 pub use gisui::{
     Dispatcher, ExplanationLog, InteractionMode, Request, Response, SessionId, StoredProgramReport,

@@ -39,8 +39,42 @@ use std::thread::JoinHandle;
 use active::{ActiveError, DispatchStrategy, Outcome, RuleBase, SessionContext};
 use custlang::Customization;
 use geodb::query::{DbEvent, DbEventKind};
+use geodb::repl::{ReadRouter, ReplicaStatus, ReplicaStore};
 use geodb::store::DbStore;
+use geodb::Epoch;
 use gisui::{Dispatcher, SessionId, UiError};
+
+/// Where the serving layer routes *reads* (writes always go to the
+/// primary). See `docs/replication.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadRouting {
+    /// Every shard reads the primary (the non-replicated default).
+    Primary,
+    /// Every shard reads its assigned replica unconditionally — reads
+    /// may be arbitrarily stale while the replica lags.
+    Replica,
+    /// Every shard reads its assigned replica while it is within `0`
+    /// epochs of the primary's frontier, falling back to the primary
+    /// per-read otherwise — no routed read ever observes state older
+    /// than the bound.
+    BoundedStaleness(u64),
+}
+
+impl ReadRouting {
+    /// Router for one shard under this policy. `replica` is the shard's
+    /// assigned follower (`None` ⇒ primary-only regardless of policy).
+    fn router(self, store: &DbStore, replica: Option<&ReplicaStore>) -> ReadRouter {
+        match (self, replica) {
+            (ReadRouting::Primary, _) | (_, None) => ReadRouter::primary_only(store.reader()),
+            (ReadRouting::Replica, Some(r)) => {
+                ReadRouter::with_replica(store.reader(), r.reader(), None)
+            }
+            (ReadRouting::BoundedStaleness(bound), Some(r)) => {
+                ReadRouter::with_replica(store.reader(), r.reader(), Some(bound))
+            }
+        }
+    }
+}
 
 /// A session opened on a [`SessionServer`]: which shard owns it and its
 /// dispatcher-local id there.
@@ -100,6 +134,11 @@ pub struct SessionServer {
     workers: Vec<JoinHandle<()>>,
     rule_base: RuleBase<Customization>,
     store: DbStore,
+    /// Attached followers; shard `i` reads from replica `i % N` under a
+    /// replica-routing policy. Holding them here keeps their primary
+    /// pins (and background shippers) alive for the server's lifetime.
+    replicas: Vec<ReplicaStore>,
+    routing: Mutex<ReadRouting>,
     sessions: Mutex<HashMap<u64, ServerSession>>,
     next_session: AtomicU64,
     next_shard: AtomicU64,
@@ -115,6 +154,21 @@ impl SessionServer {
         rule_base: RuleBase<Customization>,
         store: DbStore,
     ) -> SessionServer {
+        SessionServer::start_replicated(workers, rule_base, store, Vec::new(), ReadRouting::Primary)
+    }
+
+    /// Start a *replicated* serving layer: shard `i` routes its reads to
+    /// `replicas[i % N]` under `routing`, while every write still goes
+    /// through the shared primary `store`. With an empty replica set any
+    /// policy degenerates to primary-only. The policy can be changed at
+    /// run time with [`SessionServer::set_read_routing`].
+    pub fn start_replicated(
+        workers: usize,
+        rule_base: RuleBase<Customization>,
+        store: DbStore,
+        replicas: Vec<ReplicaStore>,
+        routing: ReadRouting,
+    ) -> SessionServer {
         let workers_n = workers.max(1);
         let mut queues = Vec::with_capacity(workers_n);
         let mut handles = Vec::with_capacity(workers_n);
@@ -129,8 +183,10 @@ impl SessionServer {
             if session.strategy() != DispatchStrategy::Linear {
                 session.set_strategy(DispatchStrategy::Compiled);
             }
-            let mut dispatcher = Dispatcher::with_store(
+            let router = routing.router(&store, shard_replica(&replicas, shard));
+            let mut dispatcher = Dispatcher::with_router(
                 store.clone(),
+                router,
                 builder::InterfaceBuilder::with_paper_library(),
                 session,
             );
@@ -148,6 +204,8 @@ impl SessionServer {
             workers: handles,
             rule_base,
             store,
+            replicas,
+            routing: Mutex::new(routing),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             next_shard: AtomicU64::new(0),
@@ -173,20 +231,62 @@ impl SessionServer {
     }
 
     /// The database epoch currently published to every shard.
-    pub fn db_epoch(&self) -> u64 {
+    pub fn db_epoch(&self) -> Epoch {
         self.store.epoch()
     }
 
     /// The highest epoch known durable, or 0 when the shared store is
     /// volatile. Under group commit several shards' writes may become
     /// durable with one fsync.
-    pub fn durable_epoch(&self) -> u64 {
+    pub fn durable_epoch(&self) -> Epoch {
         self.store.durable_epoch()
     }
 
     /// WAL counters of the shared store, or `None` when volatile.
-    pub fn wal_status(&self) -> Option<(geodb::WalStatus, u64)> {
+    pub fn wal_status(&self) -> Option<(geodb::WalStatus, Epoch)> {
         self.store.wal_status()
+    }
+
+    /// The read-routing policy shards currently apply.
+    pub fn read_routing(&self) -> ReadRouting {
+        *self.routing.lock().unwrap()
+    }
+
+    /// The attached replicas, in shard-assignment order.
+    pub fn replicas(&self) -> &[ReplicaStore] {
+        &self.replicas
+    }
+
+    /// Health of every attached replica (applied epoch, lag, sync and
+    /// byte counters).
+    pub fn replication_status(&self) -> Vec<ReplicaStatus> {
+        self.replicas.iter().map(ReplicaStore::status).collect()
+    }
+
+    /// Drive every replica to the primary's published epoch once (tests
+    /// and benchmarks; production deployments stream instead — see
+    /// [`geodb::repl::ReplicaStore::start_streaming`]).
+    pub fn sync_replicas(&self) -> Result<(), geodb::GeoDbError> {
+        for r in &self.replicas {
+            r.sync_to_latest()?;
+        }
+        Ok(())
+    }
+
+    /// Swap the read-routing policy on every shard. Synchronous: when
+    /// this returns, the next interaction on any shard pins under the
+    /// new policy.
+    pub fn set_read_routing(&self, routing: ReadRouting) {
+        *self.routing.lock().unwrap() = routing;
+        for shard in 0..self.queues.len() {
+            let router = routing.router(&self.store, shard_replica(&self.replicas, shard));
+            let (tx, rx) = channel();
+            self.queues[shard].push(Job::Exec(Box::new(move |d| {
+                d.route_reads(router);
+                let _ = tx.send(());
+            })));
+            rx.recv().expect("shard worker alive");
+        }
     }
 
     /// Open a session for a user context; it is pinned to a shard
@@ -279,6 +379,16 @@ impl Drop for SessionServer {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+/// The replica assigned to a shard: `shard % N`, `None` with no
+/// replicas attached.
+fn shard_replica(replicas: &[ReplicaStore], shard: usize) -> Option<&ReplicaStore> {
+    if replicas.is_empty() {
+        None
+    } else {
+        Some(&replicas[shard % replicas.len()])
     }
 }
 
@@ -455,6 +565,63 @@ mod tests {
         assert_send_sync::<SessionServer>();
         fn assert_send<T: Send>() {}
         assert_send::<Dispatcher>();
+    }
+
+    #[test]
+    fn replicated_server_serves_follower_reads_and_swaps_policy() {
+        let engine: Engine<Customization> = Engine::new();
+        let base = engine.rule_base();
+        let db = geodb::gen::phone_net_db(&TelecomConfig::small()).unwrap().0;
+        let store = DbStore::new(db);
+        let replicas: Vec<_> = (0..2)
+            .map(|i| ReplicaStore::attach(&store, format!("r{i}")).unwrap())
+            .collect();
+        let server = SessionServer::start_replicated(
+            4,
+            base,
+            store.clone(),
+            replicas,
+            ReadRouting::BoundedStaleness(0),
+        );
+        assert_eq!(server.read_routing(), ReadRouting::BoundedStaleness(0));
+        assert_eq!(server.replicas().len(), 2);
+
+        let session = server.open_session(SessionContext::new("u", "c", "app"));
+        let event = DbEvent::GetClass {
+            schema: "phone_net".into(),
+            class: "Pole".into(),
+        };
+        // Replicas are at the primary's epoch (lag 0): served in-bound.
+        server.dispatch(session, event.clone()).unwrap();
+
+        // A primary write makes both replicas lag; bound 0 forces the
+        // shard onto the primary, which must serve the new value.
+        let oid = store
+            .snapshot()
+            .get_class("phone_net", "Pole", false)
+            .unwrap()[0]
+            .oid;
+        store
+            .write(|db| db.update(oid, vec![("pole_type".into(), geodb::Value::Int(77))]))
+            .unwrap();
+        let fresh = server.with_dispatcher(session, move |d| {
+            let snap = d.snapshot();
+            let epoch = snap.epoch();
+            (snap.peek(oid).unwrap().get("pole_type").clone(), epoch)
+        });
+        assert_eq!(fresh.0, geodb::Value::Int(77));
+        assert_eq!(fresh.1, store.epoch());
+        for s in server.replication_status() {
+            assert!(s.lag >= 1, "replicas lag after the write: {s:?}");
+        }
+
+        // Catch up and swap to unconditional replica reads.
+        server.sync_replicas().unwrap();
+        server.set_read_routing(ReadRouting::Replica);
+        assert_eq!(server.read_routing(), ReadRouting::Replica);
+        server.dispatch(session, event).unwrap();
+        let epoch = server.with_dispatcher(session, |d| d.db_epoch());
+        assert_eq!(epoch, store.epoch(), "synced replica serves the frontier");
     }
 
     #[test]

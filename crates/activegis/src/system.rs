@@ -12,13 +12,19 @@ use builder::InterfaceBuilder;
 use geodb::db::Database;
 use geodb::gen::TelecomConfig;
 use geodb::instance::Oid;
+use geodb::repl::{PromotionReport, ReadRouter, ReplicaStatus, ReplicaStore};
 use geodb::wal::{RecoveryReport, WalConfig, WalStatus};
+use geodb::Epoch;
 use gisui::{Dispatcher, InteractionMode, Result, SessionId, UiError, WindowId};
 use uilib::{Library, Prop};
+
+use crate::server::ReadRouting;
 
 /// The assembled Active-GIS system.
 pub struct ActiveGis {
     dispatcher: Dispatcher,
+    /// Attached followers of the dispatcher's store, in attach order.
+    replicas: Vec<ReplicaStore>,
 }
 
 impl ActiveGis {
@@ -28,6 +34,7 @@ impl ActiveGis {
     pub fn open(db: Database) -> ActiveGis {
         ActiveGis {
             dispatcher: Dispatcher::new(db, InterfaceBuilder::with_paper_library()),
+            replicas: Vec::new(),
         }
     }
 
@@ -35,6 +42,7 @@ impl ActiveGis {
     pub fn with_library(db: Database, library: Library) -> ActiveGis {
         ActiveGis {
             dispatcher: Dispatcher::new(db, InterfaceBuilder::new(library)),
+            replicas: Vec::new(),
         }
     }
 
@@ -43,6 +51,7 @@ impl ActiveGis {
     pub fn phone_net_demo(cfg: &TelecomConfig) -> Result<ActiveGis> {
         Ok(ActiveGis {
             dispatcher: gisui::paper_dispatcher(cfg)?,
+            replicas: Vec::new(),
         })
     }
 
@@ -63,6 +72,7 @@ impl ActiveGis {
                 InterfaceBuilder::with_paper_library(),
                 active::Engine::new(),
             ),
+            replicas: Vec::new(),
         };
         Ok((gis, report))
     }
@@ -213,7 +223,7 @@ impl ActiveGis {
     }
 
     /// The database epoch the dispatcher last served.
-    pub fn db_epoch(&self) -> u64 {
+    pub fn db_epoch(&self) -> Epoch {
         self.dispatcher.db_epoch()
     }
 
@@ -223,7 +233,7 @@ impl ActiveGis {
     }
 
     /// The oldest epoch any reader still pins (`None` when unpinned).
-    pub fn pin_watermark(&mut self) -> Option<u64> {
+    pub fn pin_watermark(&mut self) -> Option<Epoch> {
         self.dispatcher.store().pin_watermark()
     }
 
@@ -242,14 +252,93 @@ impl ActiveGis {
 
     /// WAL counters plus the durable epoch, or `None` on a volatile
     /// store.
-    pub fn wal_status(&mut self) -> Option<(WalStatus, u64)> {
+    pub fn wal_status(&mut self) -> Option<(WalStatus, Epoch)> {
         self.dispatcher.store().wal_status()
     }
 
     /// Checkpoint the durable frontier (snapshot + meta documents,
     /// truncated log); returns the checkpoint epoch.
-    pub fn checkpoint(&mut self) -> Result<u64> {
+    pub fn checkpoint(&mut self) -> Result<Epoch> {
         self.dispatcher.store().checkpoint().map_err(UiError::Db)
+    }
+
+    // -- replication --------------------------------------------------------
+
+    /// Attach a new follower of the system's store: full-sync it to the
+    /// current epoch and keep it under the given id. Returns its status.
+    /// See `docs/replication.md`.
+    pub fn attach_replica(&mut self, id: &str) -> Result<ReplicaStatus> {
+        if self.replicas.iter().any(|r| r.id() == id) {
+            return Err(UiError::Db(geodb::GeoDbError::Storage(format!(
+                "replica {id:?} already attached"
+            ))));
+        }
+        let replica = ReplicaStore::attach(&self.dispatcher.store(), id).map_err(UiError::Db)?;
+        let status = replica.status();
+        self.replicas.push(replica);
+        Ok(status)
+    }
+
+    /// Health of every attached replica, in attach order.
+    pub fn replication_status(&self) -> Vec<ReplicaStatus> {
+        self.replicas.iter().map(ReplicaStore::status).collect()
+    }
+
+    /// Drive every attached replica to the primary's published epoch.
+    pub fn sync_replicas(&mut self) -> Result<()> {
+        for r in &self.replicas {
+            r.sync_to_latest().map_err(UiError::Db)?;
+        }
+        Ok(())
+    }
+
+    /// Route this system's *reads* under `policy`, served from the first
+    /// attached replica (the serving layer shards across many; the
+    /// facade drives one dispatcher). Replica policies error when no
+    /// replica is attached. Writes always go to the primary.
+    pub fn set_read_policy(&mut self, policy: ReadRouting) -> Result<()> {
+        let store = self.dispatcher.store();
+        let router = match policy {
+            ReadRouting::Primary => ReadRouter::primary_only(store.reader()),
+            ReadRouting::Replica | ReadRouting::BoundedStaleness(_) => {
+                let replica = self.replicas.first().ok_or_else(|| {
+                    UiError::Db(geodb::GeoDbError::Storage("no replica attached".into()))
+                })?;
+                let bound = match policy {
+                    ReadRouting::BoundedStaleness(n) => Some(n),
+                    _ => None,
+                };
+                ReadRouter::with_replica(store.reader(), replica.reader(), bound)
+            }
+        };
+        self.dispatcher.route_reads(router);
+        Ok(())
+    }
+
+    /// Fail over to an attached replica: replay the WAL tail in
+    /// `config.dir` past its applied epoch and rebuild the system over
+    /// the promoted store. Every durable commit of the old primary is
+    /// served afterwards (read-your-writes); sessions, windows and
+    /// in-memory rule installs do not survive the failover — reload
+    /// stored customizations with
+    /// [`ActiveGis::load_stored_customizations`].
+    pub fn promote_replica(&mut self, id: &str, config: WalConfig) -> Result<PromotionReport> {
+        let idx = self
+            .replicas
+            .iter()
+            .position(|r| r.id() == id)
+            .ok_or_else(|| UiError::Db(geodb::GeoDbError::Storage(format!("no replica {id:?}"))))?;
+        let replica = self.replicas.remove(idx);
+        let (store, report) = replica.promote(config).map_err(UiError::Db)?;
+        // The remaining replicas followed the old primary; drop them
+        // (their pins die with the old store).
+        self.replicas.clear();
+        self.dispatcher = Dispatcher::with_store(
+            store,
+            InterfaceBuilder::with_paper_library(),
+            active::Engine::new(),
+        );
+        Ok(report)
     }
 
     /// Tune the group-commit window of a durable store.

@@ -56,7 +56,16 @@ use std::sync::{Mutex, OnceLock};
 /// * `db.publish` — between the WAL fsync and the epoch publish; a
 ///   triggered fault models a crash where commits are durable but never
 ///   became visible — recovery must replay them.
-pub const FAILPOINTS: [&str; 7] = [
+/// * `repl.ship` — before a replication frame is built on the primary;
+///   a triggered fault models a broken link: the replica's sync errors
+///   and its applied state is untouched.
+/// * `repl.apply` — before a decoded frame mutates replica state; a
+///   triggered fault forces the replica into a full resync on its next
+///   round (a partial apply cannot be trusted as a delta base).
+/// * `repl.promote` — at the start of replica promotion, before the WAL
+///   tail is read; a triggered fault aborts failover with the replica
+///   still serving its applied epoch.
+pub const FAILPOINTS: [&str; 10] = [
     "engine.callback",
     "engine.cascade",
     "builder.build",
@@ -64,6 +73,9 @@ pub const FAILPOINTS: [&str; 7] = [
     "wal.append",
     "wal.fsync",
     "db.publish",
+    "repl.ship",
+    "repl.apply",
+    "repl.promote",
 ];
 
 /// What a triggered failpoint does.

@@ -1,0 +1,127 @@
+//! The [`Epoch`] newtype: a published snapshot version.
+//!
+//! Epochs used to travel through store/WAL/dispatcher plumbing as raw
+//! `u64`s, which made them interchangeable with OIDs, rule-base
+//! generations and byte counts at type-check time. The newtype keeps
+//! the arithmetic that is actually meaningful — ordering, `+ n` steps,
+//! and `a - b` *lag* — and nothing else.
+//!
+//! Serialization is transparent (an `Epoch` is a bare `u64` on the
+//! wire), so WAL frames, checkpoint metadata and snapshot documents
+//! written before the newtype keep loading unchanged.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot version published by a store. Ordered, steppable,
+/// serialized as a bare `u64`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The pre-history epoch (no snapshot published yet / volatile
+    /// store's durable frontier).
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// The raw value (metrics, atomics, wire formats).
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next epoch in sequence.
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+
+    /// How far `self` is ahead of `behind` (0 if it is not).
+    pub fn lag_from(self, behind: Epoch) -> u64 {
+        self.0.saturating_sub(behind.0)
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<u64> for Epoch {
+    fn from(v: u64) -> Epoch {
+        Epoch(v)
+    }
+}
+
+impl From<Epoch> for u64 {
+    fn from(e: Epoch) -> u64 {
+        e.0
+    }
+}
+
+impl PartialEq<u64> for Epoch {
+    fn eq(&self, other: &u64) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<Epoch> for u64 {
+    fn eq(&self, other: &Epoch) -> bool {
+        *self == other.0
+    }
+}
+
+impl PartialOrd<u64> for Epoch {
+    fn partial_cmp(&self, other: &u64) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl PartialOrd<Epoch> for u64 {
+    fn partial_cmp(&self, other: &Epoch) -> Option<std::cmp::Ordering> {
+        self.partial_cmp(&other.0)
+    }
+}
+
+impl std::ops::Add<u64> for Epoch {
+    type Output = Epoch;
+    fn add(self, steps: u64) -> Epoch {
+        Epoch(self.0 + steps)
+    }
+}
+
+/// `a - b` is the *lag* between two epochs, saturating at zero — the
+/// only subtraction that means anything for versions.
+impl std::ops::Sub for Epoch {
+    type Output = u64;
+    fn sub(self, other: Epoch) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_stepping_and_lag() {
+        let e = Epoch(5);
+        assert_eq!(e.next(), Epoch(6));
+        assert_eq!(e + 3, Epoch(8));
+        assert_eq!(Epoch(8) - e, 3);
+        assert_eq!(e - Epoch(8), 0, "lag saturates");
+        assert!(e > Epoch(4));
+        assert!(e > 4u64);
+        assert!(4u64 < e);
+        assert_eq!(e, 5u64);
+        assert_eq!(5u64, e);
+        assert_eq!(Epoch::default(), Epoch::ZERO);
+    }
+
+    #[test]
+    fn serializes_as_bare_u64() {
+        let json = serde_json::to_string(&Epoch(42)).unwrap();
+        assert_eq!(json, "42");
+        let back: Epoch = serde_json::from_str("42").unwrap();
+        assert_eq!(back, Epoch(42));
+    }
+}

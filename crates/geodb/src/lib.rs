@@ -19,7 +19,10 @@
 //!   **workload generator** ([`gen`]);
 //! * a **durable write path** — checksummed write-ahead log, group
 //!   commit, checkpoints and crash recovery over the versioned store
-//!   ([`wal`], [`store`]).
+//!   ([`wal`], [`store`]);
+//! * **epoch replication** — delta shipping to follower stores, routed
+//!   follower reads with bounded staleness, and WAL-tail failover
+//!   ([`repl`]).
 //!
 //! ## Quick example
 //!
@@ -38,12 +41,14 @@
 
 pub mod catalog;
 pub mod db;
+pub mod epoch;
 pub mod error;
 pub mod gen;
 pub mod geometry;
 pub mod index;
 pub mod instance;
 pub mod query;
+pub mod repl;
 pub mod schema;
 pub mod snapshot;
 pub mod storage;
@@ -54,10 +59,12 @@ pub mod walcodec;
 
 pub use catalog::Catalog;
 pub use db::{Aggregate, Database, IndexKind, MethodFn, QueryStats, RefResolver};
+pub use epoch::Epoch;
 pub use error::{GeoDbError, Result, SnapshotCause};
 pub use geometry::{Geometry, GeometryKind, Point, Polygon, Polyline, Rect};
 pub use instance::{Instance, Oid};
 pub use query::{CmpOp, DbEvent, DbEventKind, Predicate};
+pub use repl::{PromotionReport, ReadRouter, ReadSource, ReplicaStatus, ReplicaStore, SyncOutcome};
 pub use schema::{AttrDef, ClassDef, MethodDef, SchemaDef};
 pub use store::{Committed, DbReader, DbSnapshot, DbStore};
 pub use value::{AttrType, Value};

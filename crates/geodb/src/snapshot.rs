@@ -10,6 +10,7 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 
 use crate::db::Database;
+use crate::epoch::Epoch;
 use crate::error::{GeoDbError, Result, SnapshotCause};
 use crate::instance::Instance;
 use crate::schema::SchemaDef;
@@ -18,8 +19,12 @@ use crate::store::{DbSnapshot, DbStore};
 /// Format version stamped into every snapshot.
 const VERSION: u32 = 1;
 
+/// The one full-state document: every save path (database save, pinned
+/// snapshot save, WAL checkpoint, replication full sync) builds this
+/// struct and every load path decodes it, so the encodings can never
+/// drift apart.
 #[derive(Debug, Serialize, Deserialize)]
-struct SnapshotDoc {
+pub(crate) struct SnapshotDoc {
     version: u32,
     name: String,
     schemas: Vec<SchemaDef>,
@@ -27,15 +32,57 @@ struct SnapshotDoc {
     objects: Vec<(String, Instance)>,
 }
 
-/// Serialize a database to a JSON string.
-pub fn save(db: &mut Database) -> Result<String> {
-    let doc = SnapshotDoc {
+/// Build the document from a mutable database (write-side state).
+pub(crate) fn doc_from_db(db: &mut Database) -> Result<SnapshotDoc> {
+    Ok(SnapshotDoc {
         version: VERSION,
         name: db.name().to_string(),
         schemas: db.schemas(),
         objects: db.dump_objects()?,
-    };
-    serde_json::to_string_pretty(&doc).map_err(|e| GeoDbError::Snapshot(e.to_string()))
+    })
+}
+
+/// Build the document from a pinned snapshot (read-side state).
+pub(crate) fn doc_from_snapshot(snap: &DbSnapshot) -> SnapshotDoc {
+    SnapshotDoc {
+        version: VERSION,
+        name: snap.name().to_string(),
+        schemas: snap.schemas(),
+        objects: snap.dump_objects(),
+    }
+}
+
+/// The shared encoder: one JSON shape for every save path.
+pub(crate) fn doc_to_json(doc: &SnapshotDoc) -> Result<String> {
+    serde_json::to_string_pretty(doc).map_err(|e| GeoDbError::Snapshot(e.to_string()))
+}
+
+/// The shared decoder: version-check the document and rebuild a
+/// database from it (extents, indexes and the OID allocator included).
+pub(crate) fn db_from_doc(doc: SnapshotDoc) -> Result<Database> {
+    if doc.version != VERSION {
+        return Err(GeoDbError::snapshot_load(
+            "check snapshot version",
+            SnapshotCause::Format(format!(
+                "unsupported snapshot version {} (expected {VERSION})",
+                doc.version
+            )),
+        ));
+    }
+    let mut db = Database::new(doc.name);
+    for schema in doc.schemas {
+        db.register_schema(schema)?;
+    }
+    for (schema, inst) in doc.objects {
+        db.restore_instance(&schema, inst)?;
+    }
+    db.drain_events();
+    Ok(db)
+}
+
+/// Serialize a database to a JSON string.
+pub fn save(db: &mut Database) -> Result<String> {
+    doc_to_json(&doc_from_db(db)?)
 }
 
 /// Serialize a pinned in-memory snapshot to a JSON string.
@@ -44,19 +91,13 @@ pub fn save(db: &mut Database) -> Result<String> {
 /// the caller holds, without touching the store's writer — concurrent
 /// writers publishing newer epochs cannot leak into the output.
 pub fn save_snapshot(snap: &DbSnapshot) -> Result<String> {
-    let doc = SnapshotDoc {
-        version: VERSION,
-        name: snap.name().to_string(),
-        schemas: snap.schemas(),
-        objects: snap.dump_objects(),
-    };
-    serde_json::to_string_pretty(&doc).map_err(|e| GeoDbError::Snapshot(e.to_string()))
+    doc_to_json(&doc_from_snapshot(snap))
 }
 
 /// Load a JSON snapshot into an existing store, replacing its contents
 /// and publishing a fresh epoch. Returns the new epoch; readers pinned
 /// to older epochs keep their view until they re-pin.
-pub fn restore_store(store: &DbStore, json: &str) -> Result<u64> {
+pub fn restore_store(store: &DbStore, json: &str) -> Result<Epoch> {
     store.replace(load(json)?)
 }
 
@@ -78,24 +119,7 @@ pub fn load(json: &str) -> Result<Database> {
             SnapshotCause::Json(e.to_string()),
         )
     })?;
-    if doc.version != VERSION {
-        return Err(GeoDbError::snapshot_load(
-            "check snapshot version",
-            SnapshotCause::Format(format!(
-                "unsupported snapshot version {} (expected {VERSION})",
-                doc.version
-            )),
-        ));
-    }
-    let mut db = Database::new(doc.name);
-    for schema in doc.schemas {
-        db.register_schema(schema)?;
-    }
-    for (schema, inst) in doc.objects {
-        db.restore_instance(&schema, inst)?;
-    }
-    db.drain_events();
-    Ok(db)
+    db_from_doc(doc)
 }
 
 /// Save to a file.

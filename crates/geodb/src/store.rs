@@ -48,7 +48,21 @@
 //! ([`DbStore::set_retention`], default 8) so one long-pinned reader
 //! cannot make the retained ring grow without bound (the reader's own
 //! `Arc` keeps its snapshot alive either way; the store just stops
-//! tracking it). `db.epochs_retained` gauges the ring size.
+//! tracking it). `db.epochs_retained` gauges the ring size. Replicas
+//! ([`crate::repl`]) pin the primary at their applied epoch through the
+//! same registry, so a lagging replica holds its delta base alive — up
+//! to the cap, past which it falls back to a full sync.
+//!
+//! ## Roles
+//!
+//! The read surface — publish slot, epoch watermark, pins, retention —
+//! lives in a role-agnostic [`ReadCore`] shared by two owners: the
+//! *primary* [`DbStore`] (which adds the writer, WAL and group commit)
+//! and the *replica* [`crate::repl::ReplicaStore`] (which publishes
+//! epochs applied from shipped deltas). [`DbReader`] pins work
+//! identically against either role. Likewise the writer's partition
+//! mirror ([`Mirror`]) — catalog, partitions, locator — is the shared
+//! machinery replicas use to rebuild snapshots from applied frames.
 //!
 //! Lock order (outermost first): `writer` → `wal` → `commit` →
 //! `published` → `retained` → `pins`. Any code path taking two of
@@ -59,12 +73,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, Sender};
 
 use crate::catalog::Catalog;
 use crate::db::{
     aggregate_rows, Aggregate, Database, IndexKind, MethodFn, QueryStats, RefResolver,
 };
+use crate::epoch::Epoch;
 use crate::error::{GeoDbError, Result};
 use crate::geometry::{Point, Rect};
 use crate::index::{GridIndex, RTree, SpatialIndex};
@@ -168,6 +183,20 @@ impl ClassPartition {
     fn len(&self) -> usize {
         self.instances.len()
     }
+
+    /// The extent's instances in insertion order (delta shipping
+    /// serializes a touched partition wholesale).
+    pub(crate) fn instances_ordered(&self) -> Vec<Instance> {
+        self.order
+            .iter()
+            .map(|oid| (**self.instances.get(oid).expect("ordered oid present")).clone())
+            .collect()
+    }
+
+    /// The extent's OIDs in insertion order.
+    pub(crate) fn oids(&self) -> &[Oid] {
+        &self.order
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -233,7 +262,7 @@ impl OidMap {
 /// any thread without locks. Obtained from [`DbStore::snapshot`] or a
 /// pinned [`DbReader`].
 pub struct DbSnapshot {
-    epoch: u64,
+    epoch: Epoch,
     name: Arc<str>,
     catalog: Arc<Catalog>,
     partitions: HashMap<(String, String), Arc<ClassPartition>>,
@@ -255,8 +284,27 @@ impl RefResolver for SnapshotResolver<'_> {
 
 impl DbSnapshot {
     /// The epoch this snapshot was published under.
-    pub fn epoch(&self) -> u64 {
+    pub fn epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    /// The structurally-shared partition map (delta shipping compares
+    /// partitions by `Arc` identity to find what a span of epochs
+    /// touched).
+    pub(crate) fn partitions(&self) -> &HashMap<(String, String), Arc<ClassPartition>> {
+        &self.partitions
+    }
+
+    /// The shared method registry (replicas reuse the primary's bodies —
+    /// code does not travel in frames).
+    pub(crate) fn methods_arc(&self) -> Arc<HashMap<(String, String), MethodFn>> {
+        Arc::clone(&self.methods)
+    }
+
+    /// The shared catalog (delta shipping compares catalogs by `Arc`
+    /// identity to decide whether schemas must travel).
+    pub(crate) fn catalog_arc(&self) -> &Arc<Catalog> {
+        &self.catalog
     }
 
     pub fn name(&self) -> &str {
@@ -536,46 +584,31 @@ impl std::fmt::Debug for DbSnapshot {
 pub struct Committed<R> {
     pub value: R,
     pub events: Vec<DbEvent>,
-    pub epoch: u64,
+    pub epoch: Epoch,
 }
 
-struct WriterState {
-    db: Database,
-    /// Subscription to the database's live event stream. The writer syncs
-    /// partitions from here — not from `drain_events` — so a write closure
-    /// that drains the queue itself (several `custlang` helpers do) cannot
-    /// starve the incremental sync.
-    events_rx: Receiver<DbEvent>,
+/// The role-agnostic partition mirror of a [`Database`]: catalog,
+/// structurally-shared class partitions and the OID locator. The
+/// primary's writer folds committed events into it; a replica folds
+/// applied frames into its own through the same code.
+pub(crate) struct Mirror {
     name: Arc<str>,
     catalog: Arc<Catalog>,
     parts: HashMap<(String, String), Arc<ClassPartition>>,
     locator: OidMap,
     /// Interned schema/class names for locator entries.
     interned: HashMap<String, Arc<str>>,
-    /// Last epoch *assigned* (not necessarily published yet — with group
-    /// commit the leader publishes a batch's newest epoch after the WAL
-    /// fsync). Assigning under the writer lock keeps WAL records in
-    /// strict epoch order.
-    seq: u64,
 }
 
-impl WriterState {
-    /// Drop events already emitted (pre-wrap activity, reads by an
-    /// earlier failed write) from both the queue and the subscription.
-    fn discard_pending_events(&mut self) {
-        self.db.drain_events();
-        while self.events_rx.try_recv().is_ok() {}
-    }
-
-    /// Collect everything the last closure emitted, regardless of
-    /// whether it drained the database's own queue along the way.
-    fn take_events(&mut self) -> Vec<DbEvent> {
-        self.db.drain_events();
-        let mut events = Vec::new();
-        while let Ok(e) = self.events_rx.try_recv() {
-            events.push(e);
+impl Mirror {
+    pub(crate) fn new() -> Mirror {
+        Mirror {
+            name: Arc::from(""),
+            catalog: Arc::new(Catalog::new()),
+            parts: HashMap::new(),
+            locator: OidMap::new(),
+            interned: HashMap::new(),
         }
-        events
     }
 
     fn intern(&mut self, s: &str) -> Arc<str> {
@@ -587,14 +620,15 @@ impl WriterState {
         a
     }
 
-    /// Full capture of the writer database (initial snapshot, restore).
-    fn capture_all(&mut self) -> Result<()> {
-        self.name = Arc::from(self.db.name());
-        self.catalog = Arc::new(self.db.catalog().clone());
+    /// Full capture of the database (initial snapshot, restore, replica
+    /// full sync).
+    pub(crate) fn capture_all(&mut self, db: &mut Database) -> Result<()> {
+        self.name = Arc::from(db.name());
+        self.catalog = Arc::new(db.catalog().clone());
         self.parts.clear();
         self.locator = OidMap::new();
-        for key in self.db.extent_keys() {
-            let cap = self.db.capture_extent(&key.0, &key.1)?;
+        for key in db.extent_keys() {
+            let cap = db.capture_extent(&key.0, &key.1)?;
             let part = ClassPartition::from_capture(cap);
             let (schema_a, class_a) = (self.intern(&key.0), self.intern(&key.1));
             for oid in &part.order {
@@ -605,28 +639,59 @@ impl WriterState {
         Ok(())
     }
 
+    /// Refresh the catalog mirror and capture any extents that have no
+    /// partition yet (new schemas). Returns the freshly captured keys —
+    /// their captures already reflect the current database state.
+    pub(crate) fn capture_new_extents(
+        &mut self,
+        db: &mut Database,
+    ) -> Result<HashSet<(String, String)>> {
+        let mut fresh: HashSet<(String, String)> = HashSet::new();
+        self.catalog = Arc::new(db.catalog().clone());
+        for key in db.extent_keys() {
+            if !self.parts.contains_key(&key) {
+                let cap = db.capture_extent(&key.0, &key.1)?;
+                self.parts
+                    .insert(key.clone(), Arc::new(ClassPartition::from_capture(cap)));
+                fresh.insert(key);
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Recapture one extent wholesale, replacing its partition and
+    /// locator entries (replica delta apply).
+    pub(crate) fn recapture(&mut self, db: &mut Database, key: &(String, String)) -> Result<()> {
+        if let Some(old) = self.parts.get(key) {
+            for oid in old.oids().to_vec() {
+                self.locator.remove(oid);
+            }
+        }
+        let cap = db.capture_extent(&key.0, &key.1)?;
+        let part = ClassPartition::from_capture(cap);
+        let (schema_a, class_a) = (self.intern(&key.0), self.intern(&key.1));
+        for oid in &part.order {
+            self.locator.insert(*oid, schema_a.clone(), class_a.clone());
+        }
+        self.parts.insert(key.clone(), Arc::new(part));
+        Ok(())
+    }
+
     /// Incremental sync: fold the drained events into the partition map,
     /// rebuilding only what changed.
-    fn sync_events(&mut self, events: &[DbEvent]) -> Result<()> {
+    pub(crate) fn sync_events(&mut self, db: &mut Database, events: &[DbEvent]) -> Result<()> {
         // New schemas first: refresh the catalog and capture any extents
         // we have no partition for yet. Captures taken here already
         // reflect every event of this write, so data events against
         // freshly captured classes must not be re-applied.
-        let mut fresh: HashSet<(String, String)> = HashSet::new();
-        if events
+        let fresh = if events
             .iter()
             .any(|e| matches!(e, DbEvent::SchemaRegistered { .. }))
         {
-            self.catalog = Arc::new(self.db.catalog().clone());
-            for key in self.db.extent_keys() {
-                if !self.parts.contains_key(&key) {
-                    let cap = self.db.capture_extent(&key.0, &key.1)?;
-                    self.parts
-                        .insert(key.clone(), Arc::new(ClassPartition::from_capture(cap)));
-                    fresh.insert(key);
-                }
-            }
-        }
+            self.capture_new_extents(db)?
+        } else {
+            HashSet::new()
+        };
 
         // Locator maintenance in event order; group data events per
         // class as `(oid, removed)` pairs.
@@ -669,7 +734,7 @@ impl WriterState {
                 }
                 // An instance inserted and deleted within the same write
                 // is already gone from the database; treat it as removed.
-                match self.db.fetch_instance(&key.0, &key.1, oid) {
+                match db.fetch_instance(&key.0, &key.1, oid) {
                     Ok(inst) => part.upsert(inst),
                     Err(GeoDbError::UnknownOid(_)) => part.remove(oid),
                     Err(e) => return Err(e),
@@ -722,22 +787,66 @@ impl WriterState {
         ops
     }
 
-    fn build_snapshot(&self, epoch: u64) -> DbSnapshot {
+    pub(crate) fn build_snapshot(
+        &self,
+        epoch: Epoch,
+        methods: Arc<HashMap<(String, String), MethodFn>>,
+    ) -> DbSnapshot {
         DbSnapshot {
             epoch,
             name: self.name.clone(),
             catalog: self.catalog.clone(),
             partitions: self.parts.clone(),
             locator: self.locator.clone(),
-            methods: Arc::new(self.db.methods_map()),
+            methods,
         }
+    }
+}
+
+struct WriterState {
+    db: Database,
+    /// Subscription to the database's live event stream. The writer syncs
+    /// partitions from here — not from `drain_events` — so a write closure
+    /// that drains the queue itself (several `custlang` helpers do) cannot
+    /// starve the incremental sync.
+    events_rx: Receiver<DbEvent>,
+    mirror: Mirror,
+    /// Last epoch *assigned* (not necessarily published yet — with group
+    /// commit the leader publishes a batch's newest epoch after the WAL
+    /// fsync). Assigning under the writer lock keeps WAL records in
+    /// strict epoch order.
+    seq: Epoch,
+}
+
+impl WriterState {
+    /// Drop events already emitted (pre-wrap activity, reads by an
+    /// earlier failed write) from both the queue and the subscription.
+    fn discard_pending_events(&mut self) {
+        self.db.drain_events();
+        while self.events_rx.try_recv().is_ok() {}
+    }
+
+    /// Collect everything the last closure emitted, regardless of
+    /// whether it drained the database's own queue along the way.
+    fn take_events(&mut self) -> Vec<DbEvent> {
+        self.db.drain_events();
+        let mut events = Vec::new();
+        while let Ok(e) = self.events_rx.try_recv() {
+            events.push(e);
+        }
+        events
+    }
+
+    fn build_snapshot(&self, epoch: Epoch) -> DbSnapshot {
+        self.mirror
+            .build_snapshot(epoch, Arc::new(self.db.methods_map()))
     }
 }
 
 /// One write waiting in the group-commit queue: its assigned epoch and
 /// snapshot, plus the already-encoded WAL frame payload.
 struct PendingCommit {
-    epoch: u64,
+    epoch: Epoch,
     next_oid: u64,
     snap: Arc<DbSnapshot>,
     payload: Vec<u8>,
@@ -751,7 +860,7 @@ struct CommitState {
     queue: Vec<PendingCommit>,
     leader_active: bool,
     /// Highest epoch whose WAL record is fsynced and published.
-    durable_epoch: u64,
+    durable_epoch: Epoch,
     /// The durable frontier's snapshot + OID allocator (checkpoints).
     durable: Option<(Arc<DbSnapshot>, u64)>,
     /// Set when a WAL append/fsync/publish failed: the crash model. All
@@ -759,28 +868,17 @@ struct CommitState {
     failed: Option<String>,
 }
 
-struct StoreShared {
-    writer: Mutex<WriterState>,
+/// The role-agnostic read surface of a store: the published snapshot
+/// slot, the epoch watermark, the reader-pin registry and the retained
+/// ring with its GC. Both the primary [`DbStore`] and the replica
+/// [`crate::repl::ReplicaStore`] own one; [`DbReader`] pins work against
+/// either.
+pub(crate) struct ReadCore {
     published: Mutex<Arc<DbSnapshot>>,
     epoch: AtomicU64,
-    /// The attached WAL (`None` = volatile store).
-    wal: Mutex<Option<Wal>>,
-    /// Mirror of `wal.is_some()` so the write path can branch without
-    /// touching the WAL lock.
-    wal_attached: AtomicBool,
-    /// Mirror of the attached WAL's record format (true = binary
-    /// frames), for the same lock-free reason.
-    wal_binary: AtomicBool,
-    /// Group-commit window in nanoseconds (copied from the WAL config
-    /// at attach; leaders read it without the WAL lock).
-    group_window_nanos: AtomicU64,
-    commit: Mutex<CommitState>,
-    commit_cv: Condvar,
-    /// Writers currently inside `write()` — the leader's heuristic for
-    /// whether waiting the group window can grow the batch.
-    active_writers: AtomicU64,
-    /// Reader pins per epoch; the smallest key is the pin watermark.
-    pins: Mutex<BTreeMap<u64, usize>>,
+    /// Pins per epoch (session readers *and* attached replicas); the
+    /// smallest key is the pin watermark.
+    pins: Mutex<BTreeMap<Epoch, usize>>,
     /// Recently published snapshots, oldest first, trimmed to the pin
     /// watermark and `max_retained`.
     retained: Mutex<VecDeque<Arc<DbSnapshot>>>,
@@ -790,14 +888,33 @@ struct StoreShared {
 /// Default bound on the retained-snapshot ring.
 const DEFAULT_MAX_RETAINED: u64 = 8;
 
-impl StoreShared {
-    fn pin_add(&self, epoch: u64) {
+impl ReadCore {
+    pub(crate) fn new(snap: Arc<DbSnapshot>) -> ReadCore {
+        let epoch = snap.epoch();
+        ReadCore {
+            published: Mutex::new(snap.clone()),
+            epoch: AtomicU64::new(epoch.get()),
+            pins: Mutex::new(BTreeMap::new()),
+            retained: Mutex::new(VecDeque::from([snap])),
+            max_retained: AtomicU64::new(DEFAULT_MAX_RETAINED),
+        }
+    }
+
+    pub(crate) fn epoch(&self) -> Epoch {
+        Epoch(self.epoch.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn snapshot(&self) -> Arc<DbSnapshot> {
+        Arc::clone(&lock(&self.published))
+    }
+
+    pub(crate) fn pin_add(&self, epoch: Epoch) {
         *lock(&self.pins).entry(epoch).or_insert(0) += 1;
     }
 
-    /// Atomically move a pin between epochs (reader re-pin) so the
-    /// watermark never transiently drops the reader's coverage.
-    fn pin_move(&self, from: u64, to: u64) {
+    /// Atomically move a pin between epochs (reader re-pin, replica
+    /// apply) so the watermark never transiently drops coverage.
+    pub(crate) fn pin_move(&self, from: Epoch, to: Epoch) {
         if from == to {
             return;
         }
@@ -814,7 +931,7 @@ impl StoreShared {
     /// Release one pin and trim the retained ring (dropping the last
     /// pin on an old epoch frees its partitions promptly). Lock order:
     /// retained before pins.
-    fn pin_release(&self, epoch: u64) {
+    pub(crate) fn pin_release(&self, epoch: Epoch) {
         let mut ret = lock(&self.retained);
         {
             let mut pins = lock(&self.pins);
@@ -847,6 +964,91 @@ impl StoreShared {
             obs::gauge_set("db.epochs_retained", ret.len() as u64);
         }
     }
+
+    /// Swap the published slot to `snap` if it advances the epoch
+    /// (monotonic — a stale epoch is ignored) and retain it for pinned
+    /// readers. Returns the previous epoch when the publish took.
+    pub(crate) fn publish(&self, snap: Arc<DbSnapshot>) -> Option<Epoch> {
+        let epoch = snap.epoch();
+        let prev = {
+            let mut slot = lock(&self.published);
+            let prev = slot.epoch();
+            if prev >= epoch {
+                return None;
+            }
+            *slot = snap.clone();
+            self.epoch.store(epoch.get(), Ordering::Release);
+            prev
+        };
+        {
+            let mut ret = lock(&self.retained);
+            ret.push_back(snap);
+            self.trim_retained(&mut ret);
+        }
+        Some(prev)
+    }
+
+    pub(crate) fn pin_count(&self) -> usize {
+        lock(&self.pins).values().sum()
+    }
+
+    pub(crate) fn pin_watermark(&self) -> Option<Epoch> {
+        lock(&self.pins).keys().next().copied()
+    }
+
+    pub(crate) fn epochs_retained(&self) -> usize {
+        lock(&self.retained).len()
+    }
+
+    pub(crate) fn snapshot_at(&self, epoch: Epoch) -> Option<Arc<DbSnapshot>> {
+        lock(&self.retained)
+            .iter()
+            .find(|s| s.epoch() == epoch)
+            .cloned()
+    }
+
+    pub(crate) fn set_retention(&self, cap: usize) {
+        self.max_retained
+            .store(cap.max(1) as u64, Ordering::Relaxed);
+        let mut ret = lock(&self.retained);
+        self.trim_retained(&mut ret);
+    }
+
+    /// A pinned reader starting at the current snapshot.
+    pub(crate) fn reader(self: &Arc<Self>) -> DbReader {
+        let snap = self.snapshot();
+        let epoch = snap.epoch();
+        self.pin_add(epoch);
+        DbReader {
+            core: Arc::clone(self),
+            snap,
+            epoch,
+        }
+    }
+}
+
+struct StoreShared {
+    writer: Mutex<WriterState>,
+    core: Arc<ReadCore>,
+    /// The attached WAL (`None` = volatile store).
+    wal: Mutex<Option<Wal>>,
+    /// Mirror of `wal.is_some()` so the write path can branch without
+    /// touching the WAL lock.
+    wal_attached: AtomicBool,
+    /// Mirror of the attached WAL's record format (true = binary
+    /// frames), for the same lock-free reason.
+    wal_binary: AtomicBool,
+    /// Group-commit window in nanoseconds (copied from the WAL config
+    /// at attach; leaders read it without the WAL lock).
+    group_window_nanos: AtomicU64,
+    commit: Mutex<CommitState>,
+    commit_cv: Condvar,
+    /// Writers currently inside `write()` — the leader's heuristic for
+    /// whether waiting the group window can grow the batch.
+    active_writers: AtomicU64,
+    /// Epoch-publish subscribers (replication shippers). Senders that
+    /// disconnected are dropped at the next publish.
+    subscribers: Mutex<Vec<Sender<Epoch>>>,
 }
 
 /// Shared handle to the versioned store. Cheap to clone; all clones see
@@ -872,26 +1074,24 @@ impl DbStore {
     /// Panics if the initial capture fails, which requires the backing
     /// storage to be corrupt (in-memory databases cannot fail here).
     pub fn new(db: Database) -> DbStore {
-        Self::new_at(db, 1)
+        Self::new_at(db, Epoch(1))
     }
 
     /// Wrap a database publishing at an arbitrary starting epoch
     /// (crash recovery resumes where the durable history ended).
-    fn new_at(mut db: Database, epoch: u64) -> DbStore {
-        let epoch = epoch.max(1);
+    fn new_at(mut db: Database, epoch: Epoch) -> DbStore {
+        let epoch = epoch.max(Epoch(1));
         let events_rx = db.subscribe();
         let mut w = WriterState {
             db,
             events_rx,
-            name: Arc::from(""),
-            catalog: Arc::new(Catalog::new()),
-            parts: HashMap::new(),
-            locator: OidMap::new(),
-            interned: HashMap::new(),
+            mirror: Mirror::new(),
             seq: epoch,
         };
         w.discard_pending_events();
-        w.capture_all().expect("initial snapshot capture");
+        w.mirror
+            .capture_all(&mut w.db)
+            .expect("initial snapshot capture");
         let snap = Arc::new(w.build_snapshot(epoch));
         if obs::enabled() {
             obs::counter_add("db.snapshot_publishes", 1);
@@ -900,8 +1100,7 @@ impl DbStore {
         DbStore {
             shared: Arc::new(StoreShared {
                 writer: Mutex::new(w),
-                published: Mutex::new(snap.clone()),
-                epoch: AtomicU64::new(epoch),
+                core: Arc::new(ReadCore::new(snap)),
                 wal: Mutex::new(None),
                 wal_attached: AtomicBool::new(false),
                 wal_binary: AtomicBool::new(true),
@@ -909,9 +1108,7 @@ impl DbStore {
                 commit: Mutex::new(CommitState::default()),
                 commit_cv: Condvar::new(),
                 active_writers: AtomicU64::new(0),
-                pins: Mutex::new(BTreeMap::new()),
-                retained: Mutex::new(VecDeque::from([snap])),
-                max_retained: AtomicU64::new(DEFAULT_MAX_RETAINED),
+                subscribers: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -919,7 +1116,7 @@ impl DbStore {
     /// Resume a recovered database at its last durable epoch with the
     /// (truncated, reopened) WAL attached — the [`crate::wal::recover`]
     /// constructor.
-    pub(crate) fn resume(db: Database, epoch: u64, wal: Wal) -> DbStore {
+    pub(crate) fn resume(db: Database, epoch: Epoch, wal: Wal) -> DbStore {
         let store = Self::new_at(db, epoch);
         let snap = store.snapshot();
         let next_oid = {
@@ -946,14 +1143,14 @@ impl DbStore {
     }
 
     /// The current published epoch.
-    pub fn epoch(&self) -> u64 {
-        self.shared.epoch.load(Ordering::Acquire)
+    pub fn epoch(&self) -> Epoch {
+        self.shared.core.epoch()
     }
 
     /// The current published snapshot (one lock on the published slot;
     /// use a [`DbReader`] on hot paths to avoid even that).
     pub fn snapshot(&self) -> Arc<DbSnapshot> {
-        Arc::clone(&lock(&self.shared.published))
+        self.shared.core.snapshot()
     }
 
     /// A pinned reader starting at the current snapshot. The pin is
@@ -961,56 +1158,69 @@ impl DbStore {
     /// snapshot stays retained (up to the hard cap) until the reader
     /// drops or re-pins forward.
     pub fn reader(&self) -> DbReader {
-        let snap = self.snapshot();
-        let epoch = snap.epoch();
-        self.shared.pin_add(epoch);
-        DbReader {
-            shared: Arc::clone(&self.shared),
-            snap,
-            epoch,
-        }
+        self.shared.core.reader()
     }
 
     /// Reader pins currently held (see [`DbStore::pin_count`]). Raw
     /// `snapshot()` `Arc` clones are intentionally *not* counted — only
-    /// [`DbReader`] pins participate in the retention watermark.
+    /// [`DbReader`] pins (and attached replicas) participate in the
+    /// retention watermark.
     pub fn pinned_snapshots(&self) -> usize {
         self.pin_count()
     }
 
-    /// Number of live [`DbReader`] pins across all epochs.
+    /// Number of live [`DbReader`] pins across all epochs (replicas
+    /// included — each attached replica holds one pin at its applied
+    /// epoch).
     pub fn pin_count(&self) -> usize {
-        lock(&self.shared.pins).values().sum()
+        self.shared.core.pin_count()
     }
 
     /// The oldest epoch any reader still pins (`None` when unpinned).
     /// Retention never trims at or above this watermark (up to the
     /// hard cap).
-    pub fn pin_watermark(&self) -> Option<u64> {
-        lock(&self.shared.pins).keys().next().copied()
+    pub fn pin_watermark(&self) -> Option<Epoch> {
+        self.shared.core.pin_watermark()
     }
 
     /// Snapshots currently retained for pinned readers and epoch reads
     /// (the `db.epochs_retained` gauge).
     pub fn epochs_retained(&self) -> usize {
-        lock(&self.shared.retained).len()
+        self.shared.core.epochs_retained()
     }
 
     /// A retained snapshot by epoch, if the ring still holds it.
-    pub fn snapshot_at(&self, epoch: u64) -> Option<Arc<DbSnapshot>> {
-        lock(&self.shared.retained)
-            .iter()
-            .find(|s| s.epoch() == epoch)
-            .cloned()
+    pub fn snapshot_at(&self, epoch: Epoch) -> Option<Arc<DbSnapshot>> {
+        self.shared.core.snapshot_at(epoch)
     }
 
     /// Bound the retained-snapshot ring (min 1 = current only).
     pub fn set_retention(&self, cap: usize) {
-        self.shared
-            .max_retained
-            .store(cap.max(1) as u64, Ordering::Relaxed);
-        let mut ret = lock(&self.shared.retained);
-        self.shared.trim_retained(&mut ret);
+        self.shared.core.set_retention(cap)
+    }
+
+    /// The role-agnostic read core (replication plumbing).
+    pub(crate) fn core(&self) -> &Arc<ReadCore> {
+        &self.shared.core
+    }
+
+    /// Subscribe to epoch publishes: the receiver yields every epoch
+    /// this store publishes from now on (replication shippers block on
+    /// it instead of polling). The sender is a handle into the *same*
+    /// channel, so the subscriber's owner can wake the consumer — e.g.
+    /// with a shutdown sentinel — without waiting for the next publish.
+    pub fn subscribe_epochs(&self) -> (Sender<Epoch>, Receiver<Epoch>) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        lock(&self.shared.subscribers).push(tx.clone());
+        (tx, rx)
+    }
+
+    /// Current OID allocator position (brief writer lock). Replication
+    /// frames carry it so a promoted replica never re-mints OIDs; taken
+    /// *after* the target snapshot it can only over-shoot, which
+    /// [`Database::set_next_oid`]'s max semantics absorb.
+    pub(crate) fn next_oid_hint(&self) -> u64 {
+        lock(&self.shared.writer).db.next_oid()
     }
 
     /// Execute a write against the one mutable [`Database`], then sync
@@ -1039,8 +1249,9 @@ impl DbStore {
         w.discard_pending_events();
         let value = f(&mut w.db);
         let events = w.take_events();
-        w.sync_events(&events)?;
-        w.seq += 1;
+        let WriterState { db, mirror, .. } = &mut *w;
+        mirror.sync_events(db, &events)?;
+        w.seq = w.seq.next();
         let epoch = w.seq;
         let snap = Arc::new(w.build_snapshot(epoch));
         if self.shared.wal_attached.load(Ordering::Relaxed) {
@@ -1048,7 +1259,7 @@ impl DbStore {
                 epoch,
                 next_oid: w.db.next_oid(),
                 events: events.clone(),
-                ops: w.redo_ops(&events),
+                ops: w.mirror.redo_ops(&events),
             };
             let format = if self.shared.wal_binary.load(Ordering::Relaxed) {
                 wal::WalFormat::Binary
@@ -1090,7 +1301,7 @@ impl DbStore {
     fn commit_wait(
         &self,
         mut c: MutexGuard<'_, CommitState>,
-        my_epoch: u64,
+        my_epoch: Epoch,
         t0: Instant,
     ) -> Result<()> {
         loop {
@@ -1189,16 +1400,17 @@ impl DbStore {
     /// database (snapshot restore), publishing a fresh epoch. On a
     /// durable store the restore is checkpointed immediately (the WAL
     /// history below it is obsolete and truncates with the checkpoint).
-    pub fn replace(&self, db: Database) -> Result<u64> {
+    pub fn replace(&self, db: Database) -> Result<Epoch> {
         let mut w = lock(&self.shared.writer);
         self.check_poisoned()?;
         let t0 = Instant::now();
         w.db = db;
         w.events_rx = w.db.subscribe();
         w.discard_pending_events();
-        w.interned.clear();
-        w.capture_all()?;
-        w.seq += 1;
+        w.mirror = Mirror::new();
+        let WriterState { db, mirror, .. } = &mut *w;
+        mirror.capture_all(db)?;
+        w.seq = w.seq.next();
         let epoch = w.seq;
         let snap = Arc::new(w.build_snapshot(epoch));
         if self.shared.wal_attached.load(Ordering::Relaxed) {
@@ -1217,27 +1429,22 @@ impl DbStore {
     }
 
     /// Swap the published slot to `snap` (monotonic — a stale epoch is
-    /// ignored), retain it for pinned readers, and record metrics.
+    /// ignored), retain it for pinned readers, notify replication
+    /// subscribers, and record metrics.
     fn publish_snapshot(&self, snap: Arc<DbSnapshot>, t0: Instant) {
         let _span = obs::span("db.publish");
         let epoch = snap.epoch();
         if obs::trace_recording() {
             obs::trace_annotate("epoch", epoch.to_string());
         }
-        let prev = {
-            let mut slot = lock(&self.shared.published);
-            let prev = slot.epoch();
-            if prev >= epoch {
-                return;
-            }
-            *slot = snap.clone();
-            self.shared.epoch.store(epoch, Ordering::Release);
-            prev
+        let Some(prev) = self.shared.core.publish(snap) else {
+            return;
         };
         {
-            let mut ret = lock(&self.shared.retained);
-            ret.push_back(snap);
-            self.shared.trim_retained(&mut ret);
+            let mut subs = lock(&self.shared.subscribers);
+            if !subs.is_empty() {
+                subs.retain(|tx| tx.send(epoch).is_ok());
+            }
         }
         if obs::enabled() {
             obs::counter_add("db.snapshot_publishes", 1);
@@ -1301,7 +1508,7 @@ impl DbStore {
 
     /// Checkpoint the durable frontier: write the snapshot + meta
     /// documents and truncate the log. Returns the checkpoint epoch.
-    pub fn checkpoint(&self) -> Result<u64> {
+    pub fn checkpoint(&self) -> Result<Epoch> {
         let mut wal_slot = lock(&self.shared.wal);
         let w = wal_slot
             .as_mut()
@@ -1322,15 +1529,16 @@ impl DbStore {
 
     /// Counters of the attached WAL plus the durable epoch, or `None`
     /// on a volatile store.
-    pub fn wal_status(&self) -> Option<(WalStatus, u64)> {
+    pub fn wal_status(&self) -> Option<(WalStatus, Epoch)> {
         let wal_slot = lock(&self.shared.wal);
         let status = wal_slot.as_ref()?.status();
         let durable = lock(&self.shared.commit).durable_epoch;
         Some((status, durable))
     }
 
-    /// Highest epoch known durable (0 on a volatile store).
-    pub fn durable_epoch(&self) -> u64 {
+    /// Highest epoch known durable ([`Epoch::ZERO`] on a volatile
+    /// store).
+    pub fn durable_epoch(&self) -> Epoch {
         lock(&self.shared.commit).durable_epoch
     }
 
@@ -1360,25 +1568,27 @@ impl std::fmt::Debug for DbStore {
 // DbReader
 // ---------------------------------------------------------------------------
 
-/// A per-session pin on the published snapshot. `pin()` performs exactly
-/// one `Acquire` epoch load in steady state; the published slot's lock
-/// is taken only when the epoch moved since the last pin.
+/// A per-session pin on the published snapshot of *either role* — a
+/// primary [`DbStore`] or a [`crate::repl::ReplicaStore`]. `pin()`
+/// performs exactly one `Acquire` epoch load in steady state; the
+/// published slot's lock is taken only when the epoch moved since the
+/// last pin.
 ///
-/// Each reader holds one entry in the store's pin registry: the epoch
-/// it last pinned is the floor for snapshot retention. Cloning a reader
-/// adds a pin at the same epoch; dropping releases it (and may trim the
-/// retained ring).
+/// Each reader holds one entry in the owning core's pin registry: the
+/// epoch it last pinned is the floor for snapshot retention. Cloning a
+/// reader adds a pin at the same epoch; dropping releases it (and may
+/// trim the retained ring).
 pub struct DbReader {
-    shared: Arc<StoreShared>,
+    core: Arc<ReadCore>,
     snap: Arc<DbSnapshot>,
-    epoch: u64,
+    epoch: Epoch,
 }
 
 impl Clone for DbReader {
     fn clone(&self) -> Self {
-        self.shared.pin_add(self.epoch);
+        self.core.pin_add(self.epoch);
         DbReader {
-            shared: Arc::clone(&self.shared),
+            core: Arc::clone(&self.core),
             snap: Arc::clone(&self.snap),
             epoch: self.epoch,
         }
@@ -1387,7 +1597,7 @@ impl Clone for DbReader {
 
 impl Drop for DbReader {
     fn drop(&mut self) {
-        self.shared.pin_release(self.epoch);
+        self.core.pin_release(self.epoch);
     }
 }
 
@@ -1395,13 +1605,13 @@ impl DbReader {
     /// Revalidate against the current epoch and return the pinned
     /// snapshot.
     pub fn pin(&mut self) -> &Arc<DbSnapshot> {
-        let current = self.shared.epoch.load(Ordering::Acquire);
+        let current = self.core.epoch();
         let moved = current != self.epoch;
         if moved {
-            self.snap = Arc::clone(&lock(&self.shared.published));
+            self.snap = self.core.snapshot();
             let old = self.epoch;
             self.epoch = self.snap.epoch();
-            self.shared.pin_move(old, self.epoch);
+            self.core.pin_move(old, self.epoch);
         }
         if obs::trace_recording() {
             // Annotate the epoch only when the pin actually moved: the
@@ -1424,15 +1634,14 @@ impl DbReader {
     }
 
     /// Epoch of the pinned snapshot.
-    pub fn epoch(&self) -> u64 {
+    pub fn epoch(&self) -> Epoch {
         self.epoch
     }
 
-    /// A store handle back onto the same shared state.
-    pub fn store(&self) -> DbStore {
-        DbStore {
-            shared: Arc::clone(&self.shared),
-        }
+    /// The owning store's *current* published epoch (one `Acquire`
+    /// load, no re-pin) — what `pin()` would move to.
+    pub fn latest_epoch(&self) -> Epoch {
+        self.core.epoch()
     }
 }
 

@@ -37,6 +37,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use crate::db::Database;
+use crate::epoch::Epoch;
 use crate::error::{GeoDbError, Result, SnapshotCause};
 use crate::instance::{Instance, Oid};
 use crate::query::DbEvent;
@@ -100,7 +101,7 @@ pub enum WalOp {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WalRecord {
     /// Epoch this commit published (or would have published).
-    pub epoch: u64,
+    pub epoch: Epoch,
     /// OID allocator position *after* the write — snapshots alone can't
     /// restore it (delete the highest OID, crash, and the counter would
     /// rewind).
@@ -153,10 +154,38 @@ pub fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct CheckpointMeta {
-    version: u32,
-    epoch: u64,
-    next_oid: u64,
+pub(crate) struct CheckpointMeta {
+    pub(crate) version: u32,
+    pub(crate) epoch: Epoch,
+    pub(crate) next_oid: u64,
+}
+
+/// Load and version-check the checkpoint sidecar of a WAL directory
+/// (recovery and replica promotion both start here).
+pub(crate) fn load_checkpoint_meta(dir: &Path) -> Result<CheckpointMeta> {
+    let meta_path = dir.join(CHECKPOINT_META_FILE);
+    let meta_json = fs::read_to_string(&meta_path).map_err(|e| {
+        GeoDbError::snapshot_load(
+            format!("read {meta_path:?}"),
+            SnapshotCause::Io(e.to_string()),
+        )
+    })?;
+    let meta: CheckpointMeta = serde_json::from_str(&meta_json).map_err(|e| {
+        GeoDbError::snapshot_load(
+            format!("parse {meta_path:?}"),
+            SnapshotCause::Json(e.to_string()),
+        )
+    })?;
+    if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&meta.version) {
+        return Err(GeoDbError::snapshot_load(
+            format!("parse {meta_path:?}"),
+            SnapshotCause::Format(format!(
+                "unsupported checkpoint version {} (expected {WAL_MIN_VERSION}..={WAL_VERSION})",
+                meta.version
+            )),
+        ));
+    }
+    Ok(meta)
 }
 
 // ---------------------------------------------------------------------------
@@ -235,7 +264,7 @@ pub struct WalStatus {
     /// Group commits flushed and the largest batch seen.
     pub groups: u64,
     pub max_group: u64,
-    pub checkpoint_epoch: u64,
+    pub checkpoint_epoch: Epoch,
 }
 
 /// An open, append-only write-ahead log.
@@ -252,7 +281,7 @@ pub struct Wal {
     fsyncs: u64,
     groups: u64,
     max_group: u64,
-    checkpoint_epoch: u64,
+    checkpoint_epoch: Epoch,
 }
 
 fn io_error(op: &str, path: &Path, e: &std::io::Error) -> GeoDbError {
@@ -290,12 +319,12 @@ impl Wal {
         fs::create_dir_all(&config.dir).map_err(|e| io_error("mkdir", &config.dir, &e))?;
         let path = config.dir.join(WAL_FILE);
         write_file_header(&path)?;
-        Self::open_at(config, FILE_HEADER_LEN, 0)
+        Self::open_at(config, FILE_HEADER_LEN, Epoch::ZERO)
     }
 
     /// Open an existing, already-validated log for appending at
     /// `valid_len` (recovery truncates to that length first).
-    fn open_at(config: WalConfig, valid_len: u64, checkpoint_epoch: u64) -> Result<Wal> {
+    fn open_at(config: WalConfig, valid_len: u64, checkpoint_epoch: Epoch) -> Result<Wal> {
         let path = config.dir.join(WAL_FILE);
         let file = OpenOptions::new()
             .append(true)
@@ -385,7 +414,7 @@ impl Wal {
     /// document renames *before* the meta: replay is idempotent, so a
     /// crash between the two renames causes harmless double-replay,
     /// never loss.
-    pub fn checkpoint(&mut self, snapshot_json: &str, epoch: u64, next_oid: u64) -> Result<()> {
+    pub fn checkpoint(&mut self, snapshot_json: &str, epoch: Epoch, next_oid: u64) -> Result<()> {
         let _span = obs::span("db.checkpoint");
         write_atomic(&self.dir.join(CHECKPOINT_FILE), snapshot_json.as_bytes())?;
         let meta = CheckpointMeta {
@@ -560,10 +589,10 @@ fn apply_op(db: &mut Database, op: &WalOp) -> Result<()> {
 /// What a recovery did, for logs, metrics and assertions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
-    pub checkpoint_epoch: u64,
+    pub checkpoint_epoch: Epoch,
     pub replayed_records: u64,
     /// The epoch the store resumes at: the last durable commit.
-    pub recovered_epoch: u64,
+    pub recovered_epoch: Epoch,
     /// Torn/corrupt tail bytes truncated from the log.
     pub truncated_bytes: u64,
     /// Why the tail was cut, when it was.
@@ -571,45 +600,30 @@ pub struct RecoveryReport {
     pub next_oid: u64,
 }
 
-/// Recover a durable store from `config.dir`: newest checkpoint + WAL
-/// tail replay + torn-tail truncation. The returned store resumes at
-/// the last durable epoch with the (truncated, reopened) WAL attached.
-pub fn recover(config: WalConfig) -> Result<(DbStore, RecoveryReport)> {
-    let _span = obs::span("db.recovery");
-    let dir = config.dir.clone();
-    let meta_path = dir.join(CHECKPOINT_META_FILE);
-    let meta_json = fs::read_to_string(&meta_path).map_err(|e| {
-        GeoDbError::snapshot_load(
-            format!("read {meta_path:?}"),
-            SnapshotCause::Io(e.to_string()),
-        )
-    })?;
-    let meta: CheckpointMeta = serde_json::from_str(&meta_json).map_err(|e| {
-        GeoDbError::snapshot_load(
-            format!("parse {meta_path:?}"),
-            SnapshotCause::Json(e.to_string()),
-        )
-    })?;
-    if !(WAL_MIN_VERSION..=WAL_VERSION).contains(&meta.version) {
-        return Err(GeoDbError::snapshot_load(
-            format!("parse {meta_path:?}"),
-            SnapshotCause::Format(format!(
-                "unsupported checkpoint version {} (expected {WAL_MIN_VERSION}..={WAL_VERSION})",
-                meta.version
-            )),
-        ));
-    }
-    let ckpt_path = dir.join(CHECKPOINT_FILE);
-    let ckpt_json = fs::read_to_string(&ckpt_path).map_err(|e| {
-        GeoDbError::snapshot_load(
-            format!("read {ckpt_path:?}"),
-            SnapshotCause::Io(e.to_string()),
-        )
-    })?;
-    let mut db = snapshot::load(&ckpt_json)?;
-    db.set_next_oid(meta.next_oid);
+/// Outcome of [`replay_tail`]: how far the state advanced, what was
+/// cut, and the log reopened for appending.
+pub(crate) struct TailReplay {
+    /// Highest epoch applied (`after` if the tail held nothing newer).
+    pub(crate) epoch: Epoch,
+    pub(crate) replayed: u64,
+    pub(crate) truncated_bytes: u64,
+    pub(crate) torn: Option<String>,
+    pub(crate) wal: Wal,
+}
 
-    let mut epoch = meta.epoch;
+/// Replay every WAL record with epoch > `after` onto `db`, truncate any
+/// torn or corrupt tail, and reopen the log for appending. This is the
+/// shared tail machinery of crash recovery (`after` = checkpoint epoch)
+/// and replica promotion (`after` = the replica's applied epoch, which
+/// may be far past the checkpoint).
+pub(crate) fn replay_tail(
+    db: &mut Database,
+    config: WalConfig,
+    after: Epoch,
+    checkpoint_epoch: Epoch,
+) -> Result<TailReplay> {
+    let dir = config.dir.clone();
+    let mut epoch = after;
     let mut replayed = 0u64;
     let mut truncated = 0u64;
     let mut torn = None;
@@ -617,13 +631,13 @@ pub fn recover(config: WalConfig) -> Result<(DbStore, RecoveryReport)> {
     if wal_path.exists() {
         let report = read_wal(&wal_path)?;
         for rec in &report.records {
-            // Records at or below the checkpoint epoch are already
-            // covered by the checkpoint document (the double-replay
-            // window); later ones rebuild the tail.
-            if rec.epoch <= meta.epoch {
+            // Records at or below `after` are already reflected in the
+            // base state (checkpoint document or applied replica epoch —
+            // the double-replay window); later ones rebuild the tail.
+            if rec.epoch <= after {
                 continue;
             }
-            apply_record(&mut db, rec)?;
+            apply_record(db, rec)?;
             epoch = rec.epoch;
             replayed += 1;
         }
@@ -647,25 +661,52 @@ pub fn recover(config: WalConfig) -> Result<(DbStore, RecoveryReport)> {
         write_file_header(&wal_path)?;
     }
     db.drain_events();
-    let next_oid = db.next_oid();
     let valid_len = fs::metadata(&wal_path)
         .map(|m| m.len())
         .map_err(|e| io_error("stat", &wal_path, &e))?;
-    let wal = Wal::open_at(config, valid_len, meta.epoch)?;
+    let wal = Wal::open_at(config, valid_len, checkpoint_epoch)?;
+    Ok(TailReplay {
+        epoch,
+        replayed,
+        truncated_bytes: truncated,
+        torn,
+        wal,
+    })
+}
+
+/// Recover a durable store from `config.dir`: newest checkpoint + WAL
+/// tail replay + torn-tail truncation. The returned store resumes at
+/// the last durable epoch with the (truncated, reopened) WAL attached.
+pub fn recover(config: WalConfig) -> Result<(DbStore, RecoveryReport)> {
+    let _span = obs::span("db.recovery");
+    let dir = config.dir.clone();
+    let meta = load_checkpoint_meta(&dir)?;
+    let ckpt_path = dir.join(CHECKPOINT_FILE);
+    let ckpt_json = fs::read_to_string(&ckpt_path).map_err(|e| {
+        GeoDbError::snapshot_load(
+            format!("read {ckpt_path:?}"),
+            SnapshotCause::Io(e.to_string()),
+        )
+    })?;
+    let mut db = snapshot::load(&ckpt_json)?;
+    db.set_next_oid(meta.next_oid);
+
+    let tail = replay_tail(&mut db, config, meta.epoch, meta.epoch)?;
+    let next_oid = db.next_oid();
     if obs::enabled() {
         obs::counter_add("db.recoveries", 1);
-        obs::counter_add("db.recovery_replayed_records", replayed);
-        obs::counter_add("db.recovery_truncated_bytes", truncated);
+        obs::counter_add("db.recovery_replayed_records", tail.replayed);
+        obs::counter_add("db.recovery_truncated_bytes", tail.truncated_bytes);
     }
     let report = RecoveryReport {
         checkpoint_epoch: meta.epoch,
-        replayed_records: replayed,
-        recovered_epoch: epoch,
-        truncated_bytes: truncated,
-        torn,
+        replayed_records: tail.replayed,
+        recovered_epoch: tail.epoch,
+        truncated_bytes: tail.truncated_bytes,
+        torn: tail.torn,
         next_oid,
     };
-    let store = DbStore::resume(db, epoch, wal);
+    let store = DbStore::resume(db, tail.epoch, tail.wal);
     Ok((store, report))
 }
 
@@ -699,7 +740,7 @@ mod tests {
 
     fn record(epoch: u64) -> WalRecord {
         WalRecord {
-            epoch,
+            epoch: Epoch(epoch),
             next_oid: epoch + 10,
             events: vec![DbEvent::SchemaRegistered {
                 schema: format!("s{epoch}"),

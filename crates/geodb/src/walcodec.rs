@@ -377,6 +377,7 @@ pub fn decode_record(payload: &[u8]) -> Option<WalRecord> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch::Epoch;
     use crate::instance::{Instance, Oid};
     use crate::query::DbEvent;
     use crate::schema::{ClassDef, SchemaDef};
@@ -396,7 +397,7 @@ mod tests {
             Value::List(vec![Value::Text("wood".into()), Value::Int(-3)]),
         );
         WalRecord {
-            epoch: 7,
+            epoch: Epoch(7),
             next_oid: 43,
             events: vec![DbEvent::Insert {
                 schema: "utility".into(),

@@ -23,8 +23,10 @@ use geodb::db::Database;
 use geodb::error::GeoDbError;
 use geodb::instance::Oid;
 use geodb::query::{DbEvent, Predicate};
-use geodb::store::{DbReader, DbSnapshot, DbStore};
+use geodb::repl::ReadRouter;
+use geodb::store::{DbSnapshot, DbStore};
 use geodb::value::Value;
+use geodb::Epoch;
 use uilib::{CallbackTable, Signal, UiEvent};
 
 use crate::explain::{ExplanationLog, TraceRecord};
@@ -128,16 +130,21 @@ pub type Result<T> = std::result::Result<T, UiError>;
 /// callbacks and window registry together.
 ///
 /// Since the shared-storage refactor the dispatcher owns no database:
-/// it holds a [`DbReader`] pin on a shared [`DbStore`]. Reads execute
-/// against the pinned immutable snapshot (one `Acquire` epoch load per
-/// interaction, no locks); writes go through the store's serialized
-/// writer and publish a new epoch that every other dispatcher over the
-/// same store observes on its next pin.
+/// it routes reads through a [`ReadRouter`] over a shared [`DbStore`].
+/// Reads execute against the pinned immutable snapshot (one `Acquire`
+/// epoch load per interaction, no locks) — served from the primary or,
+/// under a replicated deployment, from a follower within the router's
+/// staleness bound (see `docs/replication.md`). Writes always go through
+/// the primary store's serialized writer and publish a new epoch that
+/// every other dispatcher over the same store observes on its next pin.
 pub struct Dispatcher {
-    reader: DbReader,
+    /// The primary store: the write path, and the handle [`Dispatcher::store`]
+    /// clones out (reads may be served elsewhere).
+    write_store: DbStore,
+    router: ReadRouter,
     /// Epoch this dispatcher last served; when the pin observes a newer
     /// one, per-session caches keyed on database state are flushed.
-    last_db_epoch: u64,
+    last_db_epoch: Epoch,
     engine: Engine<Customization>,
     builder: InterfaceBuilder,
     callbacks: CallbackTable,
@@ -176,6 +183,20 @@ impl Dispatcher {
         builder: InterfaceBuilder,
         engine: Engine<Customization>,
     ) -> Dispatcher {
+        let router = ReadRouter::primary_only(store.reader());
+        Dispatcher::with_router(store, router, builder, engine)
+    }
+
+    /// Create a dispatcher whose *reads* follow `router` — e.g. served
+    /// from a replica within a staleness bound — while writes go through
+    /// `store` (the primary). `with_store` is the primary-only special
+    /// case.
+    pub fn with_router(
+        store: DbStore,
+        router: ReadRouter,
+        builder: InterfaceBuilder,
+        engine: Engine<Customization>,
+    ) -> Dispatcher {
         let mut callbacks = CallbackTable::new();
         // The generic (default) behaviors of the interface: every signal
         // is a request the dispatcher knows how to serve.
@@ -208,12 +229,14 @@ impl Dispatcher {
                 Arc::new(move |_, _| vec![Signal::new("status").arg("action", name.clone())]),
             );
         }
-        let reader = store.reader();
-        let last_db_epoch = reader.epoch();
+        let mut router = router;
+        let (snap, _, _) = router.pin();
+        let last_db_epoch = snap.epoch();
         let mut explain = ExplanationLog::default();
         explain.note_db_epoch(last_db_epoch);
         Dispatcher {
-            reader,
+            write_store: store,
+            router,
             last_db_epoch,
             engine,
             builder,
@@ -227,38 +250,57 @@ impl Dispatcher {
 
     // -- accessors ----------------------------------------------------------
 
-    /// A handle to the shared versioned store this dispatcher serves
-    /// (cheap to clone; writes through it are visible to every
-    /// dispatcher over the same store).
+    /// A handle to the shared *primary* store this dispatcher writes
+    /// through (cheap to clone; writes through it are visible to every
+    /// dispatcher over the same store). Reads may be routed elsewhere —
+    /// see [`Dispatcher::route_reads`].
     pub fn store(&self) -> DbStore {
-        self.reader.store()
+        self.write_store.clone()
     }
 
     /// The database epoch this dispatcher last served.
-    pub fn db_epoch(&self) -> u64 {
+    pub fn db_epoch(&self) -> Epoch {
         self.last_db_epoch
     }
 
-    /// Revalidate the reader pin — exactly one `Acquire` epoch load in
-    /// steady state. When the epoch moved (some session committed a
+    /// Swap the read-routing policy at run time (e.g. point reads at a
+    /// freshly attached replica, or back at the primary before a
+    /// promotion). Takes effect on the next interaction's pin.
+    pub fn route_reads(&mut self, router: ReadRouter) {
+        self.router = router;
+    }
+
+    /// Does this dispatcher currently route reads to a replica?
+    pub fn reads_replicated(&self) -> bool {
+        self.router.has_replica()
+    }
+
+    /// Revalidate the routed read pin — exactly one `Acquire` epoch load
+    /// in steady state. When the epoch moved (some session committed a
     /// write), flush the winner cache (its entries were computed against
-    /// the old data version) and stamp the new epoch into the
-    /// explanation log.
-    fn revalidate(&mut self) {
-        let epoch = self.reader.pin().epoch();
+    /// the old data version) and stamp the new epoch — and the replica
+    /// staleness the router measured — into the explanation log. Returns
+    /// the pinned snapshot every read of the interaction runs against.
+    fn revalidate(&mut self) -> Arc<DbSnapshot> {
+        let (snap, _source, lag) = self.router.pin();
+        let snap = Arc::clone(snap);
+        let epoch = snap.epoch();
         if epoch != self.last_db_epoch {
             self.last_db_epoch = epoch;
             self.engine.invalidate_winner_cache();
             self.explain.note_db_epoch(epoch);
         }
+        if lag != self.explain.staleness() {
+            self.explain.note_staleness(lag);
+        }
+        snap
     }
 
     /// Pin the current database snapshot. All reads of one interaction
     /// run against the returned snapshot, so they see a single
     /// consistent epoch even while writers publish newer ones.
     pub fn snapshot(&mut self) -> Arc<DbSnapshot> {
-        self.revalidate();
-        Arc::clone(self.reader.pinned())
+        self.revalidate()
     }
 
     pub fn engine(&mut self) -> &mut Engine<Customization> {
@@ -1618,12 +1660,55 @@ mod shared_store_tests {
             .unwrap();
         a.open_schema(juliano, "phone_net").unwrap();
 
-        let epochs: Vec<u64> = a.explanation_log().records().map(|r| r.db_epoch).collect();
+        let epochs: Vec<Epoch> = a.explanation_log().records().map(|r| r.db_epoch).collect();
         assert!(epochs.contains(&first_epoch));
         assert!(
             epochs.iter().any(|&e| e > first_epoch),
             "later traces carry the newer epoch: {epochs:?}"
         );
+    }
+
+    #[test]
+    fn replica_routed_reads_stamp_staleness_and_fall_back_within_bound() {
+        let (db, _) = geodb::gen::phone_net_db(&TelecomConfig::small()).unwrap();
+        let store = DbStore::new(db);
+        let replica = geodb::repl::ReplicaStore::attach(&store, "r1").unwrap();
+        let router = ReadRouter::with_replica(store.reader(), replica.reader(), Some(1));
+        let mut d = Dispatcher::with_router(
+            store.clone(),
+            router,
+            InterfaceBuilder::with_paper_library(),
+            Engine::new(),
+        );
+        assert!(d.reads_replicated());
+        let writer = d.open_session(SessionContext::new("w", "op", "maint"));
+        d.set_mode(writer, InteractionMode::Analysis).unwrap();
+        let oid = d.snapshot().get_class("phone_net", "Pole", false).unwrap()[0].oid;
+
+        // Two primary commits the replica has not applied: lag 2 exceeds
+        // the bound of 1, so the read falls back to the primary — it
+        // must serve the fresh value, and the trace records staleness 0.
+        d.apply_update(writer, oid, vec![("pole_type".into(), Value::Int(8))])
+            .unwrap();
+        d.apply_update(writer, oid, vec![("pole_type".into(), Value::Int(9))])
+            .unwrap();
+        let sid = d.open_session(SessionContext::new("r", "op", "browse"));
+        let win = d.open_instance(sid, oid, None).unwrap();
+        assert!(d.render(win).unwrap().contains("pole_type: 9"));
+        assert_eq!(d.db_epoch(), store.epoch());
+
+        // Catch the replica up, then lag by one: within the bound the
+        // read is served from the follower and the lag is stamped into
+        // the explanation records.
+        replica.sync_to_latest().unwrap();
+        d.apply_update(writer, oid, vec![("pole_type".into(), Value::Int(10))])
+            .unwrap();
+        d.open_instance(sid, oid, None).unwrap();
+        assert_eq!(d.db_epoch(), replica.epoch());
+        assert_eq!(d.db_epoch() + 1, store.epoch());
+        let last = d.explanation_log().records().last().unwrap();
+        assert_eq!(last.staleness, 1);
+        assert_eq!(last.db_epoch, replica.epoch());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use active::Trace;
+use geodb::Epoch;
 use serde::{Deserialize, Serialize};
 
 /// Default number of traces retained.
@@ -32,7 +33,12 @@ pub struct TraceRecord {
     /// dispatcher predates versioned storage — e.g. records deserialized
     /// from an older export).
     #[serde(default)]
-    pub db_epoch: u64,
+    pub db_epoch: Epoch,
+    /// How many epochs behind the primary's frontier the pinned snapshot
+    /// was when the interaction ran — non-zero only for reads routed to
+    /// a replica (0 on a primary-served read or in older exports).
+    #[serde(default)]
+    pub staleness: u64,
     /// The obs request-trace id the interaction ran under (0 when no
     /// trace was being recorded, or for records from older exports).
     /// Cross-links explanation entries with `obs::find_trace` both
@@ -55,7 +61,10 @@ pub struct ExplanationLog {
     next_seq: u64,
     /// Epoch stamped into records pushed from here on (see
     /// [`Self::note_db_epoch`]).
-    db_epoch: u64,
+    db_epoch: Epoch,
+    /// Replica lag stamped into records pushed from here on (see
+    /// [`Self::note_staleness`]).
+    staleness: u64,
     records: VecDeque<TraceRecord>,
     rendered: Vec<String>,
 }
@@ -72,7 +81,8 @@ impl ExplanationLog {
         ExplanationLog {
             capacity: capacity.max(1),
             next_seq: 0,
-            db_epoch: 0,
+            db_epoch: Epoch::ZERO,
+            staleness: 0,
             records: VecDeque::new(),
             rendered: Vec::new(),
         }
@@ -108,13 +118,27 @@ impl ExplanationLog {
     /// trace recorded from here on, so an exported explanation says not
     /// just *which rules* fired but *which version of the data* the
     /// interaction saw.
-    pub fn note_db_epoch(&mut self, epoch: u64) {
+    pub fn note_db_epoch(&mut self, epoch: Epoch) {
         self.db_epoch = epoch;
     }
 
     /// The epoch currently stamped into new records.
-    pub fn db_epoch(&self) -> u64 {
+    pub fn db_epoch(&self) -> Epoch {
         self.db_epoch
+    }
+
+    /// The read was served from a replica `lag` epochs behind the
+    /// primary's frontier (0 = primary-fresh): stamp the lag into every
+    /// trace recorded from here on, so an exported explanation says not
+    /// just which version the interaction saw but how stale that version
+    /// was allowed to be.
+    pub fn note_staleness(&mut self, lag: u64) {
+        self.staleness = lag;
+    }
+
+    /// The staleness currently stamped into new records.
+    pub fn staleness(&self) -> u64 {
+        self.staleness
     }
 
     /// Record a trace, evicting the oldest record when full.
@@ -122,6 +146,7 @@ impl ExplanationLog {
         let record = TraceRecord {
             seq: self.next_seq,
             db_epoch: self.db_epoch,
+            staleness: self.staleness,
             trace_id: obs::current_trace_id(),
             rendered: trace.render(),
             trace,
@@ -249,18 +274,24 @@ mod tests {
     fn db_epoch_stamps_records_from_the_note_onward() {
         let mut log = ExplanationLog::new(8);
         log.push(trace("E0"));
-        log.note_db_epoch(3);
+        log.note_db_epoch(Epoch(3));
         log.push(trace("E1"));
+        log.note_staleness(2);
         log.push(trace("E2"));
-        log.note_db_epoch(4);
+        log.note_db_epoch(Epoch(4));
+        log.note_staleness(0);
         log.push(trace("E3"));
-        let epochs: Vec<u64> = log.records().map(|r| r.db_epoch).collect();
-        assert_eq!(epochs, vec![0, 3, 3, 4]);
-        assert_eq!(log.db_epoch(), 4);
-        // Old exports (no db_epoch / trace_id fields) still deserialize.
+        let epochs: Vec<Epoch> = log.records().map(|r| r.db_epoch).collect();
+        assert_eq!(epochs, vec![Epoch(0), Epoch(3), Epoch(3), Epoch(4)]);
+        let stale: Vec<u64> = log.records().map(|r| r.staleness).collect();
+        assert_eq!(stale, vec![0, 0, 2, 0]);
+        assert_eq!(log.db_epoch(), Epoch(4));
+        // Old exports (no db_epoch / staleness / trace_id fields) still
+        // deserialize.
         let legacy = r#"{"seq":9,"trace":{"entries":[]},"rendered":""}"#;
         let rec: TraceRecord = serde_json::from_str(legacy).unwrap();
         assert_eq!(rec.db_epoch, 0);
+        assert_eq!(rec.staleness, 0);
         assert_eq!(rec.trace_id, 0);
     }
 

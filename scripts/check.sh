@@ -50,12 +50,25 @@ echo "==> SLO + WAL smoke (c5_throughput, quick)"
 # sections) and BENCH_slo.json.
 BENCH_QUICK=1 SLO_SMOKE=1 WAL_GATE=1 cargo bench -p bench --bench c5_throughput
 
+echo "==> Replication smoke (c7_replication, quick, delta-size + promotion gates)"
+# Fails if the average shipped delta frame exceeds 0.5x the full
+# snapshot frame, or any killed-primary promotion loses an acknowledged
+# durable epoch; writes BENCH_replication.json.
+BENCH_QUICK=1 REPLICATION_GATE=1 cargo bench -p bench --bench c7_replication
+
 if [[ "$QUICK" == 0 ]]; then
   echo "==> Crash recovery (seeded chains, release)"
   # The durable write path: WAL replay, torn tails, kill points between
   # append/fsync/publish. CI sweeps the same seeds.
   for seed in 7 1994 271828; do
     CRASH_SEED=$seed cargo test -q --release -p activegis --test crash_recovery
+  done
+
+  echo "==> Replication (seeded chains, release)"
+  # Byte-identity under storms, bounded staleness, killed-primary
+  # promotion read-your-writes. CI sweeps the same seeds.
+  for seed in 7 1994 271828; do
+    REPL_SEED=$seed cargo test -q --release -p activegis --test replication
   done
 fi
 

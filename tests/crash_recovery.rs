@@ -251,7 +251,7 @@ proptest! {
         prop_assert_eq!(recovered.durable_epoch(), r);
         prop_assert_eq!(
             store_bytes(&recovered),
-            oracle_bytes("crash", &ops, (r - 1) as usize),
+            oracle_bytes("crash", &ops, (r.get() - 1) as usize),
             "recovered snapshot diverged from the oracle prefix"
         );
         // The recovered store accepts new durable writes.
@@ -374,7 +374,7 @@ fn seeded_crash_chain_replays_every_surviving_epoch() {
         drop(store);
 
         let (recovered, report) = wal::recover(config()).unwrap();
-        let surviving = (report.recovered_epoch - 1) as usize;
+        let surviving = (report.recovered_epoch.get() - 1) as usize;
         assert!(
             surviving <= history.len(),
             "cycle {_cycle}: recovered beyond the issued history"

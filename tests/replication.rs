@@ -1,0 +1,538 @@
+//! Replication differential suite.
+//!
+//! The contract under test (`docs/replication.md`):
+//!
+//! 1. **Byte identity**: a replica's applied state at epoch E is
+//!    byte-identical (through the snapshot serializer) to the primary's
+//!    snapshot at E — under writer storms, delta/full sync mixes, and
+//!    schema changes mid-stream.
+//! 2. **Bounded staleness**: a read routed through
+//!    [`geodb::repl::ReadRouter`] with bound `n` never observes a
+//!    snapshot more than `n` epochs behind the primary's frontier at
+//!    pin time.
+//! 3. **GC coupling**: a stalled replica pins its delta base only up to
+//!    the primary's hard retention cap; past it the base is trimmed,
+//!    retention stays bounded, and the replica full-syncs.
+//! 4. **Failover**: after the primary is killed at any WAL failpoint,
+//!    promoting a replica over the WAL tail serves read-your-writes for
+//!    every acknowledged commit — zero durable-epoch loss.
+//!
+//! Seeded chain tests take their seed from `REPL_SEED` (CI sweeps
+//! 7, 1994, 271828 — the same sweep as `CRASH_SEED`).
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use geodb::db::Database;
+use geodb::instance::Oid;
+use geodb::repl::{ReadRouter, ReadSource, ReplicaStore, SyncOutcome};
+use geodb::schema::{ClassDef, SchemaDef};
+use geodb::store::DbStore;
+use geodb::value::{AttrType, Value};
+use geodb::wal::{self, WalConfig};
+use geodb::Epoch;
+
+/// Failpoints are process-global: every test in this binary serializes
+/// on one mutex so an armed kill point never leaks into a neighbor.
+fn serialized() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    faultsim::reset();
+    guard
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "activegis-repl-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn repl_seed() -> u64 {
+    std::env::var("REPL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn grid_schema() -> SchemaDef {
+    SchemaDef::new("grid")
+        .class(
+            ClassDef::new("Cell")
+                .attr("name", AttrType::Text)
+                .attr("level", AttrType::Int),
+        )
+        .class(
+            ClassDef::new("Probe")
+                .attr("name", AttrType::Text)
+                .attr("reading", AttrType::Float),
+        )
+}
+
+fn seeded_db(name: &str) -> Database {
+    let mut db = Database::new(name);
+    db.register_schema(grid_schema()).unwrap();
+    db.drain_events();
+    db
+}
+
+/// One mutation of a schedule; targets index into the OIDs ever
+/// allocated so updates/deletes sometimes hit dead objects (the write
+/// errors, the store republishes the partial state — replication must
+/// track that too).
+#[derive(Debug, Clone)]
+enum Op {
+    InsertCell { name: u8, level: i64 },
+    InsertProbe { name: u8, reading: i64 },
+    Update { target: usize, level: i64 },
+    Delete { target: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), -100..100i64).prop_map(|(name, level)| Op::InsertCell { name, level }),
+        (any::<u8>(), -100..100i64).prop_map(|(name, reading)| Op::InsertProbe { name, reading }),
+        (0..24usize, -100..100i64).prop_map(|(target, level)| Op::Update { target, level }),
+        (0..24usize).prop_map(|target| Op::Delete { target }),
+    ]
+}
+
+fn random_op(rng: &mut ChaCha8Rng) -> Op {
+    match rng.gen_range(0..4u8) {
+        0 => Op::InsertCell {
+            name: rng.gen_range(0..=u8::MAX),
+            level: rng.gen_range(-100..100),
+        },
+        1 => Op::InsertProbe {
+            name: rng.gen_range(0..=u8::MAX),
+            reading: rng.gen_range(-100..100),
+        },
+        2 => Op::Update {
+            target: rng.gen_range(0..24),
+            level: rng.gen_range(-100..100),
+        },
+        _ => Op::Delete {
+            target: rng.gen_range(0..24),
+        },
+    }
+}
+
+fn apply(db: &mut Database, op: &Op, oids: &[Oid]) -> geodb::Result<Option<Oid>> {
+    match op {
+        Op::InsertCell { name, level } => db
+            .insert(
+                "grid",
+                "Cell",
+                vec![
+                    ("name".into(), Value::Text(format!("c{name}"))),
+                    ("level".into(), Value::Int(*level)),
+                ],
+            )
+            .map(Some),
+        Op::InsertProbe { name, reading } => db
+            .insert(
+                "grid",
+                "Probe",
+                vec![
+                    ("name".into(), Value::Text(format!("p{name}"))),
+                    ("reading".into(), Value::Float(*reading as f64 / 4.0)),
+                ],
+            )
+            .map(Some),
+        Op::Update { target, level } => {
+            let oid = oids
+                .get(*target)
+                .copied()
+                .unwrap_or(Oid(u64::MAX - *target as u64));
+            db.update(oid, vec![("level".into(), Value::Int(*level))])
+                .map(|()| None)
+        }
+        Op::Delete { target } => {
+            let oid = oids
+                .get(*target)
+                .copied()
+                .unwrap_or(Oid(u64::MAX - *target as u64));
+            db.delete(oid).map(|()| None)
+        }
+    }
+}
+
+/// Run one op through the store's write path, tracking allocated OIDs.
+/// Write errors are fine (dead targets) — the epoch still publishes.
+fn storm(store: &DbStore, op: &Op, oids: &mut Vec<Oid>) {
+    let targets = oids.clone();
+    if let Ok(committed) = store.write(|db| apply(db, op, &targets)) {
+        if let Some(oid) = committed.value {
+            oids.push(oid);
+        }
+    }
+}
+
+fn store_bytes(store: &DbStore) -> String {
+    geodb::snapshot::save_snapshot(&store.snapshot()).unwrap()
+}
+
+fn replica_bytes(replica: &ReplicaStore) -> String {
+    geodb::snapshot::save_snapshot(&replica.snapshot()).unwrap()
+}
+
+/// Replay the first `n` ops of a schedule on a fresh oracle database and
+/// serialize it — the promotion tests compare the promoted store against
+/// this, exactly like the crash-recovery suite.
+fn oracle_bytes(name: &str, ops: &[Op], n: usize) -> String {
+    let mut db = seeded_db(name);
+    let mut oids = Vec::new();
+    for op in &ops[..n] {
+        if let Ok(Some(oid)) = apply(&mut db, op, &oids.clone()) {
+            oids.push(oid);
+        }
+        db.drain_events();
+    }
+    geodb::snapshot::save(&mut db).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// 1. Byte identity under storms and delta/full mixes
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// At every sync point of a random schedule, the replica's applied
+    /// state is byte-identical to the primary's snapshot at the same
+    /// epoch. Burst lengths above the primary's retention cap force
+    /// full-sync fallbacks, so both frame kinds are exercised.
+    #[test]
+    fn replica_is_byte_identical_at_every_sync_point(
+        bursts in proptest::collection::vec(
+            (proptest::collection::vec(arb_op(), 1..14), any::<bool>()),
+            1..8,
+        ),
+    ) {
+        let _g = serialized();
+        let store = DbStore::new(seeded_db("repl"));
+        let replica = ReplicaStore::attach(&store, "r1").unwrap();
+        let mut oids: Vec<Oid> = Vec::new();
+        let mut full_seen = 0u64;
+        for (burst, stall_long) in bursts {
+            // A "long stall" pushes far past the hard retention cap so
+            // the delta base is guaranteed trimmed.
+            let reps = if stall_long { 2 } else { 1 };
+            for _ in 0..reps {
+                for op in &burst {
+                    storm(&store, op, &mut oids);
+                }
+            }
+            let before = replica.epoch();
+            replica.sync_to_latest().unwrap();
+            prop_assert_eq!(replica.epoch(), store.epoch());
+            prop_assert_eq!(replica_bytes(&replica), store_bytes(&store));
+            prop_assert!(replica.epoch() > before || store.epoch() == before);
+            full_seen = replica.status().full_syncs;
+        }
+        // Attach itself is one full sync; long stalls may add more.
+        prop_assert!(full_seen >= 1);
+        // The replica's pin never inflates the primary's retention past
+        // its hard cap.
+        prop_assert!(store.epochs_retained() <= 8);
+    }
+
+    // -----------------------------------------------------------------------
+    // 2. Bounded staleness
+    // -----------------------------------------------------------------------
+
+    /// A router with bound `n` never serves a snapshot more than `n`
+    /// epochs behind the primary's frontier at pin time, no matter how
+    /// writes and replica syncs interleave.
+    #[test]
+    fn bounded_staleness_reads_never_exceed_the_bound(
+        bound in 0..3u64,
+        steps in proptest::collection::vec((arb_op(), 0..3u8), 1..40),
+    ) {
+        let _g = serialized();
+        let store = DbStore::new(seeded_db("repl"));
+        let replica = ReplicaStore::attach(&store, "r1").unwrap();
+        let mut router =
+            ReadRouter::with_replica(store.reader(), replica.reader(), Some(bound));
+        let mut oids: Vec<Oid> = Vec::new();
+        for (op, action) in steps {
+            match action {
+                0 => storm(&store, &op, &mut oids),
+                1 => {
+                    replica.sync_to_latest().unwrap();
+                }
+                _ => {
+                    let frontier = store.epoch();
+                    let (snap, source, lag) = router.pin();
+                    prop_assert!(
+                        frontier.lag_from(snap.epoch()) <= bound,
+                        "read at epoch {} violates bound {} (frontier {}, source {:?})",
+                        snap.epoch(), bound, frontier, source
+                    );
+                    if source == ReadSource::Replica {
+                        prop_assert!(lag <= bound);
+                    } else {
+                        // The fallback read is frontier-fresh.
+                        prop_assert_eq!(snap.epoch(), frontier);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. GC coupling: stalled replica, hard cap, full-sync fallback
+// ---------------------------------------------------------------------------
+
+/// Regression for the retention accounting: a replica that stops syncing
+/// holds its delta base alive only up to the primary's hard cap. The
+/// ring must not grow past the cap, and the replica must recover via a
+/// full sync once its base is gone.
+#[test]
+fn stalled_replica_cannot_exceed_the_retention_cap() {
+    let _g = serialized();
+    let store = DbStore::new(seeded_db("repl"));
+    let replica = ReplicaStore::attach(&store, "r1").unwrap();
+    let attach_epoch = replica.epoch();
+    assert_eq!(store.pin_watermark(), Some(attach_epoch));
+
+    let mut oids: Vec<Oid> = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(repl_seed());
+    // Within the soft window the base stays retained for the pin.
+    for _ in 0..3 {
+        let op = random_op(&mut rng);
+        storm(&store, &op, &mut oids);
+        assert!(store.snapshot_at(attach_epoch).is_some());
+    }
+    // Far past the hard cap: retention stays bounded, the base is gone.
+    for _ in 0..30 {
+        let op = random_op(&mut rng);
+        storm(&store, &op, &mut oids);
+    }
+    assert!(
+        store.epochs_retained() <= 8,
+        "stalled replica inflated retention to {}",
+        store.epochs_retained()
+    );
+    assert!(store.snapshot_at(replica.epoch()).is_none());
+
+    match replica.sync_once().unwrap() {
+        SyncOutcome::Full { .. } => {}
+        other => panic!("expected full-sync fallback, got {other:?}"),
+    }
+    replica.sync_to_latest().unwrap();
+    assert_eq!(replica_bytes(&replica), store_bytes(&store));
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved writer storm with a streaming shipper
+// ---------------------------------------------------------------------------
+
+/// Two writer threads storm the primary while the background shipper
+/// streams deltas; after the dust settles the replica converges to the
+/// primary byte-for-byte.
+#[test]
+fn streaming_replica_converges_under_concurrent_writers() {
+    let _g = serialized();
+    let store = DbStore::new(seeded_db("repl"));
+    let replica = ReplicaStore::attach(&store, "r1").unwrap();
+    replica.start_streaming().unwrap();
+
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let mut rng = ChaCha8Rng::seed_from_u64(repl_seed() ^ (w as u64));
+                let mut oids = Vec::new();
+                for _ in 0..40 {
+                    let op = random_op(&mut rng);
+                    storm(&store, &op, &mut oids);
+                    if rng.gen_bool(0.2) {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    replica.stop_streaming();
+    replica.sync_to_latest().unwrap();
+    assert_eq!(replica.epoch(), store.epoch());
+    assert_eq!(replica_bytes(&replica), store_bytes(&store));
+}
+
+// ---------------------------------------------------------------------------
+// Seeded kill points on the shipping path
+// ---------------------------------------------------------------------------
+
+/// A seeded chain of sync rounds with `repl.ship` / `repl.apply` faults
+/// injected at random: failed rounds surface as errors (never as silent
+/// divergence), and once the faults clear the replica converges
+/// byte-identically — a failed apply degrades to a full resync instead
+/// of trusting a half-applied delta base.
+#[test]
+fn seeded_kill_points_never_cause_silent_divergence() {
+    let _g = serialized();
+    let seed = repl_seed();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let store = DbStore::new(seeded_db("repl"));
+    let replica = ReplicaStore::attach(&store, "r1").unwrap();
+    let mut oids: Vec<Oid> = Vec::new();
+
+    for round in 0..20u64 {
+        for _ in 0..rng.gen_range(1..5) {
+            let op = random_op(&mut rng);
+            storm(&store, &op, &mut oids);
+        }
+        let point = if rng.gen_bool(0.5) {
+            "repl.ship"
+        } else {
+            "repl.apply"
+        };
+        faultsim::arm(
+            point,
+            faultsim::Trigger::Probability {
+                p: 0.4,
+                seed: seed ^ round,
+            },
+            faultsim::FaultAction::Error,
+        );
+        // Syncs may fail while the fault is armed; applied state must
+        // stay a prefix the next round can build on (or full-resync
+        // from), never a torn hybrid.
+        let _ = replica.sync_to_latest();
+        faultsim::disarm(point);
+        replica.sync_to_latest().unwrap();
+        assert_eq!(replica.epoch(), store.epoch(), "round {round}");
+        assert_eq!(
+            replica_bytes(&replica),
+            store_bytes(&store),
+            "round {round} diverged"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Failover: faultsim-killed primary, WAL-tail promotion
+// ---------------------------------------------------------------------------
+
+const KILL_POINTS: [&str; 3] = ["wal.append", "wal.fsync", "db.publish"];
+
+/// A seeded chain of kill/promote cycles: a durable primary is killed at
+/// a random WAL failpoint mid-write, and a replica that had synced an
+/// arbitrary prefix is promoted over the WAL tail. The promoted store
+/// must serve every *acknowledged* commit (read-your-writes, zero
+/// durable-epoch loss) and match an oracle replay byte-for-byte — the
+/// `db.publish` kill additionally resurrects the durable-but-unpublished
+/// write, exactly like crash recovery.
+#[test]
+fn promotion_after_killed_primary_serves_read_your_writes() {
+    let _g = serialized();
+    let seed = repl_seed();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(17));
+
+    for cycle in 0..6 {
+        let dir = tmp_dir(&format!("promote-{cycle}"));
+        // Odd cycles auto-checkpoint, so some promotions find a
+        // checkpoint *newer* than the replica's applied epoch and take
+        // the full-recovery path instead of the tail replay.
+        let config = || {
+            if cycle % 2 == 1 {
+                WalConfig::new(&dir).checkpoint_every(4)
+            } else {
+                WalConfig::new(&dir)
+            }
+        };
+        let (store, _) = wal::open(seeded_db("grid"), config()).unwrap();
+        let replica = ReplicaStore::attach(&store, "r1").unwrap();
+
+        let total: usize = rng.gen_range(2..12);
+        let sync_after: usize = rng.gen_range(0..=total);
+        let mut ops: Vec<Op> = Vec::new();
+        let mut oids: Vec<Oid> = Vec::new();
+        for i in 0..total {
+            let op = random_op(&mut rng);
+            let targets = oids.clone();
+            // Dead-target ops error back to the caller but still burn a
+            // durable epoch — the write path commits before surfacing
+            // the callback error, exactly like the crash suite.
+            let res = store.write(|db| apply(db, &op, &targets));
+            if let Ok(c) = res {
+                if let Some(oid) = c.value {
+                    oids.push(oid);
+                }
+            }
+            ops.push(op);
+            if i + 1 == sync_after {
+                replica.sync_to_latest().unwrap();
+            }
+        }
+        let frontier = store.durable_epoch();
+        assert_eq!(frontier, Epoch(total as u64 + 1));
+
+        // Kill the primary mid-write at a random WAL failpoint: the
+        // write errors, the store poisons, the process "dies".
+        let point = KILL_POINTS[rng.gen_range(0..KILL_POINTS.len())];
+        faultsim::arm(
+            point,
+            faultsim::Trigger::Always,
+            faultsim::FaultAction::Error,
+        );
+        let killed = random_op(&mut rng);
+        let targets = oids.clone();
+        assert!(store.write(|db| apply(db, &killed, &targets)).is_err());
+        faultsim::disarm(point);
+        ops.push(killed);
+        assert!(store.poisoned().is_some());
+        drop(store);
+
+        let applied_before = replica.epoch();
+        let (promoted, report) = replica.promote(config()).unwrap();
+        assert_eq!(report.replica_applied, applied_before);
+        assert_eq!(report.promoted_epoch, promoted.epoch());
+
+        // Zero durable-epoch loss: every acknowledged commit survives.
+        // The killed write itself may or may not have reached the disk
+        // before the fault — either way the promoted state must be a
+        // clean epoch-aligned prefix of the issued history.
+        assert!(
+            report.promoted_epoch >= frontier,
+            "cycle {cycle} ({point}): promoted {} < durable frontier {}",
+            report.promoted_epoch,
+            frontier
+        );
+        assert!(report.promoted_epoch <= frontier + 1);
+        let surviving = (report.promoted_epoch.get() - 1) as usize;
+        assert!(surviving <= ops.len());
+        assert_eq!(
+            store_bytes(&promoted),
+            oracle_bytes("grid", &ops, surviving),
+            "cycle {cycle} ({point}): promoted state diverged from the oracle"
+        );
+
+        // Read-your-writes continues: the promoted primary accepts new
+        // durable writes past the old frontier (a dead-target op still
+        // burns a durable epoch, so the frontier advances either way).
+        let op = random_op(&mut rng);
+        let targets = oids.clone();
+        let _ = promoted.write(|db| apply(db, &op, &targets));
+        assert!(promoted.durable_epoch() > frontier);
+
+        drop(promoted);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -212,7 +212,7 @@ fn pinned_readers_survive_a_writer_storm() {
         .map(|r| {
             let store = store.clone();
             std::thread::spawn(move || {
-                let mut last_epoch = 0;
+                let mut last_epoch = geodb::Epoch::ZERO;
                 for _ in 0..CHECKS_PER_READER {
                     let snap = store.snapshot();
                     assert!(

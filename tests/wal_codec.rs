@@ -24,6 +24,7 @@ use geodb::schema::{ClassDef, SchemaDef};
 use geodb::value::{AttrType, Value};
 use geodb::wal::{self, WalConfig, WalFormat, WalOp, WalRecord};
 use geodb::walcodec;
+use geodb::Epoch;
 
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -202,7 +203,7 @@ fn arb_record() -> BoxedStrategy<WalRecord> {
         proptest::collection::vec(arb_op(), 0..4),
     )
         .prop_map(|(epoch, next_oid, events, ops)| WalRecord {
-            epoch,
+            epoch: Epoch(epoch),
             next_oid,
             events,
             ops,
@@ -441,7 +442,7 @@ fn binary_frames_are_at_least_twice_as_small_as_json() {
         let oid = insert_cell(&mut db, i).unwrap();
         let events = db.drain_events();
         let rec = WalRecord {
-            epoch: i as u64 + 2,
+            epoch: Epoch(i as u64 + 2),
             next_oid: oid.0 + 1,
             events,
             ops: vec![WalOp::Upsert {
